@@ -1,0 +1,116 @@
+// Ablation (Sec. IV-A): the parity-hashed edge placement.
+//
+// "Unlike our earlier work, however, the array of triples is kept in
+// buckets defined by the first index i, and we hash the order of i and j
+// rather than storing the strictly lower triangle. [...] This scatters
+// the edges associated with high-degree vertices across different source
+// vertex buckets. [...] Rather than trying to separate out the
+// high-degree lists, we scatter the edges according to the graph
+// representation's hashing.  This appears sufficient for high
+// performance in our experiments."
+//
+// This harness quantifies that claim: bucket-size distributions under
+// the paper's parity hash vs the naive lower-triangle placement (edge
+// {i,j} always stored with min(i,j) first), on power-law graphs where
+// the difference matters.  The max bucket bounds the serial work of any
+// one vertex in the matching's per-bucket scans.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "commdet/gen/barabasi_albert.hpp"
+#include "commdet/graph/stats.hpp"
+
+namespace {
+
+struct BucketProfile {
+  std::int64_t max_bucket = 0;
+  double mean_nonempty = 0.0;
+  std::int64_t p999 = 0;  // 99.9th percentile bucket size
+};
+
+template <typename V>
+BucketProfile profile(const std::vector<std::int64_t>& sizes) {
+  BucketProfile p;
+  std::int64_t nonempty = 0, total = 0;
+  for (const auto s : sizes) {
+    p.max_bucket = std::max(p.max_bucket, s);
+    if (s > 0) {
+      ++nonempty;
+      total += s;
+    }
+  }
+  if (nonempty > 0) p.mean_nonempty = static_cast<double>(total) / static_cast<double>(nonempty);
+  auto sorted = sizes;
+  std::sort(sorted.begin(), sorted.end());
+  p.p999 = sorted[static_cast<std::size_t>(static_cast<double>(sorted.size() - 1) * 0.999)];
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace commdet;
+  using V = std::int32_t;
+  const auto cfg = bench::parse_args(argc, argv);
+
+  std::printf("== Ablation: parity-hashed vs lower-triangle edge placement (Sec. IV-A) ==\n\n");
+
+  struct Workload {
+    std::string name;
+    CommunityGraph<V> graph;
+  };
+  std::vector<Workload> workloads;
+  {
+    char name[64];
+    std::snprintf(name, sizeof name, "rmat-%d-%d", cfg.scale, cfg.edge_factor);
+    workloads.push_back({name, bench::build_rmat_workload<V>(cfg, cfg.scale, cfg.edge_factor)});
+    BarabasiAlbertParams ba;
+    ba.num_vertices = cfg.sbm_vertices;
+    ba.edges_per_vertex = 8;
+    ba.seed = cfg.seed;
+    workloads.push_back({"barabasi-albert", build_community_graph(generate_barabasi_albert<V>(ba))});
+  }
+
+  std::printf("%-22s %-16s %12s %14s %10s\n", "graph", "placement", "max-bucket",
+              "mean-nonempty", "p99.9");
+  for (const auto& [name, g] : workloads) {
+    const auto nv = static_cast<std::int64_t>(g.num_vertices());
+    const auto s = graph_stats(g);
+
+    // Parity hash: the layout the graph already has.
+    std::vector<std::int64_t> hashed(static_cast<std::size_t>(nv), 0);
+    for (std::int64_t v = 0; v < nv; ++v) {
+      const auto [b, e] = g.bucket(static_cast<V>(v));
+      hashed[static_cast<std::size_t>(v)] = e - b;
+    }
+    // Lower triangle: min(i, j) owns the edge.
+    std::vector<std::int64_t> triangle(static_cast<std::size_t>(nv), 0);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto i = static_cast<std::size_t>(e);
+      ++triangle[static_cast<std::size_t>(std::min(g.efirst[i], g.esecond[i]))];
+    }
+
+    const auto ph = profile<V>(hashed);
+    const auto pt = profile<V>(triangle);
+    std::printf("%-22s %-16s %12lld %14.2f %10lld\n", name.c_str(), "parity-hash",
+                static_cast<long long>(ph.max_bucket), ph.mean_nonempty,
+                static_cast<long long>(ph.p999));
+    std::printf("%-22s %-16s %12lld %14.2f %10lld\n", "", "lower-triangle",
+                static_cast<long long>(pt.max_bucket), pt.mean_nonempty,
+                static_cast<long long>(pt.p999));
+    std::printf("%-22s max-degree %lld; hash cuts the worst bucket %.1fx\n\n", "",
+                static_cast<long long>(s.max_degree),
+                static_cast<double>(pt.max_bucket) / static_cast<double>(std::max<std::int64_t>(1, ph.max_bucket)));
+    std::printf("row,%s,%lld,%lld,%lld\n", name.c_str(),
+                static_cast<long long>(ph.max_bucket),
+                static_cast<long long>(pt.max_bucket),
+                static_cast<long long>(s.max_degree));
+  }
+  std::printf("expectation: on power-law graphs the hashed placement's largest bucket\n"
+              "is a fraction of the hub degree, while lower-triangle placement pins\n"
+              "nearly the whole hub adjacency into one bucket (low vertex ids are the\n"
+              "R-MAT hubs), serializing that vertex's bucket scans.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation (Sec. IV-B): the improved unmatched-list matching vs the
+// original edge-sweep algorithm.
+//
+// Paper: "Our improved matching's performance gains over our original
+// method are marginal on the Cray XMT but drastic on Intel-based
+// platforms using OpenMP."  This harness times the matching phase alone
+// (same graph, same scores) and the end-to-end pipeline under each
+// matcher.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "commdet/match/edge_sweep_matcher.hpp"
+#include "commdet/match/sequential_greedy_matcher.hpp"
+#include "commdet/match/unmatched_list_matcher.hpp"
+#include "commdet/score/score_edges.hpp"
+#include "commdet/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace commdet;
+  using V = std::int32_t;
+  const auto cfg = bench::parse_args(argc, argv);
+
+  std::printf("== Ablation: matching algorithm (Sec. IV-B) ==\n\n");
+  const auto g = bench::build_rmat_workload<V>(cfg, cfg.scale, cfg.edge_factor);
+  std::vector<Score> scores;
+  score_edges(g, ModularityScorer{}, scores);
+  std::printf("graph: %lld vertices, %lld edges (first-level community graph)\n\n",
+              static_cast<long long>(g.num_vertices()), static_cast<long long>(g.num_edges()));
+
+  // Matching phase in isolation.
+  std::printf("%-20s %10s %10s %8s %8s\n", "matcher", "best(s)", "pairs", "sweeps", "weight");
+  const auto time_matcher = [&](const char* name, auto matcher) {
+    double best = 1e300;
+    Matching<V> last;
+    for (int trial = 0; trial < cfg.trials; ++trial) {
+      WallTimer t;
+      last = matcher.match(g, scores);
+      best = std::min(best, t.seconds());
+    }
+    std::printf("%-20s %10.4f %10lld %8d %8.1f\n", name, best,
+                static_cast<long long>(last.num_pairs), last.sweeps,
+                matching_weight(g, scores, last));
+    std::printf("row,match-only,%s,%.6f\n", name, best);
+    return best;
+  };
+  const double t_list = time_matcher("unmatched-list", UnmatchedListMatcher<V>{});
+  const double t_sweep = time_matcher("edge-sweep", EdgeSweepMatcher<V>{});
+  time_matcher("sequential-greedy", SequentialGreedyMatcher<V>{});
+  std::printf("\nedge-sweep / unmatched-list time ratio: %.2fx\n\n", t_sweep / t_list);
+
+  // End-to-end pipeline under each matcher.
+  std::printf("%-20s %12s\n", "pipeline matcher", "best(s)");
+  for (const auto& [kind, name] :
+       {std::pair{MatcherKind::kUnmatchedList, "unmatched-list"},
+        std::pair{MatcherKind::kEdgeSweep, "edge-sweep"}}) {
+    double best = 1e300;
+    for (int trial = 0; trial < cfg.trials; ++trial) {
+      AgglomerationOptions opts;
+      opts.min_coverage = 0.5;
+      opts.matcher = kind;
+      const auto r = agglomerate(CommunityGraph<V>(g), ModularityScorer{}, opts);
+      best = std::min(best, r.total_seconds);
+    }
+    std::printf("%-20s %12.4f\n", name, best);
+    std::printf("row,pipeline,%s,%.6f\n", name, best);
+  }
+  std::printf("\npaper: the hot spots of the edge-sweep algorithm 'crippled' the OpenMP\n"
+              "port; the rewrite made Intel platforms competitive.\n");
+  return 0;
+}

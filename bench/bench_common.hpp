@@ -1,0 +1,178 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Every table/figure binary accepts the same flags so the identical
+// harness reproduces paper-scale runs on paper-scale hardware:
+//   --scale N --edgefactor F   R-MAT stand-in size (paper: 24 / 16)
+//   --large-scale N            the uk-2007-05 stand-in size
+//   --sbm-vertices N --sbm-blocks K  soc-LiveJournal1 stand-in size
+//   --trials T                 runs per configuration (paper: 3)
+//   --max-threads T            top of the thread sweep (default: 2x cores)
+//   --quick                    tiny sizes for smoke testing
+//
+// Output: one machine-readable CSV row per measurement on stdout
+// ("row,<graph>,<threads>,<trial>,<seconds>,...") plus human-readable
+// summaries, mirroring the series plotted in the paper's figures.
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "commdet/cc/connected_components.hpp"
+#include "commdet/core/agglomerate.hpp"
+#include "commdet/gen/planted_partition.hpp"
+#include "commdet/gen/rmat.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/community_graph.hpp"
+
+namespace commdet::bench {
+
+struct BenchConfig {
+  int scale = 17;          // rmat-24-16 stand-in (fits the eval container)
+  int edge_factor = 8;
+  int large_scale = 19;    // uk-2007-05 stand-in
+  std::int64_t sbm_vertices = 1 << 17;  // soc-LiveJournal1 stand-in
+  std::int64_t sbm_blocks = 2048;
+  int trials = 3;          // the paper runs each experiment three times
+  int max_threads = 0;     // 0 -> 2x logical cores, like the paper's
+                           // "up to the number of logical cores" sweeps
+  std::uint64_t seed = 24;
+
+  [[nodiscard]] int resolved_max_threads() const {
+    return max_threads > 0 ? max_threads : 2 * omp_get_num_procs();
+  }
+};
+
+inline BenchConfig parse_args(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") cfg.scale = std::atoi(next());
+    else if (arg == "--edgefactor") cfg.edge_factor = std::atoi(next());
+    else if (arg == "--large-scale") cfg.large_scale = std::atoi(next());
+    else if (arg == "--sbm-vertices") cfg.sbm_vertices = std::atoll(next());
+    else if (arg == "--sbm-blocks") cfg.sbm_blocks = std::atoll(next());
+    else if (arg == "--trials") cfg.trials = std::atoi(next());
+    else if (arg == "--max-threads") cfg.max_threads = std::atoi(next());
+    else if (arg == "--seed") cfg.seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--quick") {
+      cfg.scale = 13;
+      cfg.large_scale = 14;
+      cfg.sbm_vertices = 1 << 13;
+      cfg.sbm_blocks = 128;
+      cfg.trials = 1;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return cfg;
+}
+
+/// The rmat-24-16 stand-in: R-MAT with the paper's a,b,c,d, multi-edges
+/// accumulated, largest component extracted (paper Sec. V-B).
+template <VertexId V>
+[[nodiscard]] CommunityGraph<V> build_rmat_workload(const BenchConfig& cfg, int scale,
+                                                    int edge_factor) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = edge_factor;
+  p.seed = cfg.seed;
+  return build_community_graph(largest_component(generate_rmat<V>(p)));
+}
+
+/// The soc-LiveJournal1 stand-in: community-rich planted partition.
+template <VertexId V>
+[[nodiscard]] CommunityGraph<V> build_social_workload(const BenchConfig& cfg) {
+  PlantedPartitionParams p;
+  p.num_vertices = cfg.sbm_vertices;
+  p.num_blocks = cfg.sbm_blocks;
+  p.internal_degree = 18.0;  // LiveJournal-like mean degree ~ 28 total
+  p.external_degree = 10.0;
+  p.seed = cfg.seed;
+  return build_community_graph(largest_component(generate_planted_partition<V>(p)));
+}
+
+/// The paper's measured quantity: full community-detection time under the
+/// DIMACS coverage >= 0.5 termination.
+template <VertexId V>
+[[nodiscard]] Clustering<V> run_detection(const CommunityGraph<V>& g) {
+  AgglomerationOptions opts;
+  opts.min_coverage = 0.5;
+  return agglomerate(CommunityGraph<V>(g), ModularityScorer{}, opts);
+}
+
+/// Thread counts swept by the figures: powers of two up to max (always
+/// including max itself), the paper's x-axis.
+inline std::vector<int> thread_sweep(int max_threads) {
+  std::vector<int> out;
+  for (int t = 1; t < max_threads; t *= 2) out.push_back(t);
+  out.push_back(max_threads);
+  return out;
+}
+
+struct SweepPoint {
+  std::string graph;
+  int threads = 0;
+  std::vector<double> seconds;  // one entry per trial
+
+  [[nodiscard]] double best() const {
+    return *std::min_element(seconds.begin(), seconds.end());
+  }
+};
+
+/// Runs the detection sweep the paper's Figures 1-3 plot: per thread
+/// count, `trials` full runs.  Emits a CSV row per trial.
+template <VertexId V>
+std::vector<SweepPoint> sweep_detection(const CommunityGraph<V>& g,
+                                        const std::string& name, const BenchConfig& cfg) {
+  std::vector<SweepPoint> points;
+  for (const int t : thread_sweep(cfg.resolved_max_threads())) {
+    omp_set_num_threads(t);
+    SweepPoint point;
+    point.graph = name;
+    point.threads = t;
+    for (int trial = 0; trial < cfg.trials; ++trial) {
+      const auto result = run_detection(g);
+      point.seconds.push_back(result.total_seconds);
+      std::printf("row,%s,%d,%d,%.6f,%lld,%.4f,%.4f\n", name.c_str(), t, trial,
+                  result.total_seconds, static_cast<long long>(result.num_communities),
+                  result.final_coverage, result.final_modularity);
+      std::fflush(stdout);
+    }
+    points.push_back(std::move(point));
+  }
+  omp_set_num_threads(omp_get_num_procs());
+  return points;
+}
+
+inline void print_speedup_summary(const std::vector<SweepPoint>& points) {
+  if (points.empty()) return;
+  const double base = points.front().best();
+  double best_speedup = 0.0;
+  int best_threads = 1;
+  std::printf("# %-24s %8s %12s %10s\n", "graph", "threads", "best-time(s)", "speed-up");
+  for (const auto& p : points) {
+    const double s = base / p.best();
+    if (s > best_speedup) {
+      best_speedup = s;
+      best_threads = p.threads;
+    }
+    std::printf("# %-24s %8d %12.4f %9.2fx\n", p.graph.c_str(), p.threads, p.best(), s);
+  }
+  std::printf("# best speed-up: %.2fx at %d threads\n", best_speedup, best_threads);
+}
+
+}  // namespace commdet::bench

@@ -1,0 +1,72 @@
+// Complexity experiment (Sec. III): the driver runs in O(|E| * K) for K
+// contraction phases.  "If the community graph is halved with each
+// iteration, our algorithm requires O(|E| log |V|) operations.  If the
+// graph is a star, only two vertices are contracted per step and our
+// algorithm requires O(|E| * |V|) operations."
+//
+// This harness measures K and per-level community counts on the two
+// extremes (caveman/halving-friendly graphs vs the star worst case) and
+// on R-MAT, confirming the geometric-vs-linear level behavior.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "commdet/gen/simple_graphs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace commdet;
+  using V = std::int32_t;
+  const auto cfg = bench::parse_args(argc, argv);
+
+  std::printf("== Complexity: contraction-phase counts (Sec. III) ==\n\n");
+  std::printf("%-24s %10s %8s %10s %14s\n", "graph", "|V|", "levels", "time(s)",
+              "levels/log2|V|");
+
+  const auto run_case = [&](const char* name, const EdgeList<V>& el, bool coverage_stop) {
+    AgglomerationOptions opts;
+    if (coverage_stop) opts.min_coverage = 0.5;
+    const auto g = build_community_graph(el);
+    const auto r = agglomerate(g, ModularityScorer{}, opts);
+    const double log2v =
+        std::log2(std::max<double>(2.0, static_cast<double>(el.num_vertices)));
+    std::printf("%-24s %10lld %8d %10.4f %14.2f\n", name,
+                static_cast<long long>(el.num_vertices), r.num_levels(), r.total_seconds,
+                static_cast<double>(r.num_levels()) / log2v);
+    std::printf("row,%s,%lld,%d,%.6f\n", name, static_cast<long long>(el.num_vertices),
+                r.num_levels(), r.total_seconds);
+  };
+
+  // Halving-friendly: paths and caveman rings merge ~half the vertices
+  // per level -> K ~ log |V|.
+  run_case("path-65536", make_path<V>(65536), false);
+  run_case("caveman-1024x16", make_caveman<V>(1024, 16), false);
+
+  // The star worst case: the hub pairs with one leaf per level -> with
+  // modularity scoring the merge quickly becomes unprofitable, but under
+  // heavy-edge scoring with a community floor the O(|V|) level count is
+  // visible.  Cap levels to keep the worst case bounded.
+  {
+    const auto el = make_star<V>(4096);
+    AgglomerationOptions opts;
+    opts.max_levels = 256;
+    const auto r = agglomerate(build_community_graph(el), HeavyEdgeScorer{}, opts);
+    std::printf("%-24s %10d %8d %10.4f %14s  <- one pair per level\n", "star-4096 (heavy-edge)",
+                4096, r.num_levels(), r.total_seconds, "-");
+    std::printf("row,star-4096,%d,%d,%.6f\n", 4096, r.num_levels(), r.total_seconds);
+  }
+
+  // R-MAT with the paper's coverage criterion.
+  {
+    RmatParams p;
+    p.scale = cfg.scale;
+    p.edge_factor = cfg.edge_factor;
+    p.seed = cfg.seed;
+    char name[64];
+    std::snprintf(name, sizeof name, "rmat-%d-%d", cfg.scale, cfg.edge_factor);
+    run_case(name, largest_component(generate_rmat<V>(p)), true);
+  }
+
+  std::printf("\nexpectation: path/caveman level counts stay near log2|V| "
+              "(geometric shrink); the star contracts one pair per level.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 1: execution time against allocated OpenMP threads per platform
+// and graph (three trials per point, best single-thread and overall times
+// annotated).
+//
+// The paper plots rmat-24-16 and soc-LiveJournal1 across five platforms;
+// this harness produces the same series (time vs threads, 3 trials) for
+// the two stand-in workloads on the host platform.  Each trial emits a
+// machine-readable "row,..." line; the summary reports the best
+// single-thread and best overall times exactly as the figure annotates.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace commdet;
+  const auto cfg = bench::parse_args(argc, argv);
+
+  std::printf("== Figure 1 stand-in: execution time vs OpenMP threads ==\n");
+  std::printf("# columns: row,graph,threads,trial,seconds,communities,coverage,modularity\n\n");
+
+  char name[64];
+  std::snprintf(name, sizeof name, "rmat-%d-%d", cfg.scale, cfg.edge_factor);
+  const auto rmat = bench::build_rmat_workload<std::int32_t>(cfg, cfg.scale, cfg.edge_factor);
+  const auto rmat_points = bench::sweep_detection(rmat, name, cfg);
+
+  const auto sbm = bench::build_social_workload<std::int32_t>(cfg);
+  const auto sbm_points = bench::sweep_detection(sbm, "sbm-livejournal-standin", cfg);
+
+  for (const auto* points : {&rmat_points, &sbm_points}) {
+    const double single = points->front().best();
+    double overall = single;
+    for (const auto& p : *points) overall = std::min(overall, p.best());
+    std::printf("\n# %s: best 1-thread %.4fs, best overall %.4fs\n",
+                points->front().graph.c_str(), single, overall);
+    for (const auto& p : *points)
+      std::printf("#   %3d threads: best %.4fs over %zu trials\n", p.threads, p.best(),
+                  p.seconds.size());
+  }
+  return 0;
+}

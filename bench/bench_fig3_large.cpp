@@ -1,0 +1,43 @@
+// Figure 3: time and speed-up on the large uk-2007-05 graph.
+//
+// The paper runs the 105.9M-vertex / 3.3B-edge web crawl on the E7-8870
+// (best 504.9s at 80 threads) and XMT2 (1063s at 64 procs), using 32-bit
+// vertex labels on Intel to fit memory.  The stand-in is the largest
+// R-MAT the container holds; the experiment additionally reproduces the
+// 32-bit-label detail by running both instantiations and reporting the
+// label-width ablation.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace commdet;
+  const auto cfg = bench::parse_args(argc, argv);
+
+  std::printf("== Figure 3 stand-in: large-graph time and speed-up ==\n");
+  std::printf("# columns: row,graph,threads,trial,seconds,communities,coverage,modularity\n\n");
+
+  char name[64];
+  std::snprintf(name, sizeof name, "rmat-%d-%d-uk32", cfg.large_scale, cfg.edge_factor);
+  const auto g32 = bench::build_rmat_workload<std::int32_t>(cfg, cfg.large_scale, cfg.edge_factor);
+  const auto points32 = bench::sweep_detection(g32, name, cfg);
+  std::printf("\n");
+  bench::print_speedup_summary(points32);
+
+  // Label-width ablation: the identical workload with 64-bit labels
+  // (what the paper could not fit on the Intel platform).
+  std::snprintf(name, sizeof name, "rmat-%d-%d-uk64", cfg.large_scale, cfg.edge_factor);
+  const auto g64 = bench::build_rmat_workload<std::int64_t>(cfg, cfg.large_scale, cfg.edge_factor);
+  const auto points64 = bench::sweep_detection(g64, name, cfg);
+  std::printf("\n");
+  bench::print_speedup_summary(points64);
+
+  double best32 = points32.front().best(), best64 = points64.front().best();
+  for (const auto& p : points32) best32 = std::min(best32, p.best());
+  for (const auto& p : points64) best64 = std::min(best64, p.best());
+  std::printf("\n# label-width ablation: 32-bit best %.4fs, 64-bit best %.4fs "
+              "(64/32 ratio %.2f)\n", best32, best64, best64 / best32);
+  std::printf("# paper: uk-2007-05 best 504.9s on 80-thread E7-8870 (32-bit labels), "
+              "1063s on 64-proc XMT2; speed-ups 13.7x / 29.6x\n");
+  return 0;
+}

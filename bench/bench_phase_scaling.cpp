@@ -1,0 +1,62 @@
+// Phase-scaling experiment: per-primitive times across the thread sweep.
+//
+// The paper attributes its platform behavior to how each primitive maps
+// to the memory system (scoring is embarrassingly parallel, matching
+// locks per vertex, contraction is bandwidth-bound bucket sorting, and
+// "the XMT compiler under-allocates threads in portions of the code").
+// This harness isolates score / match / contract at every thread count
+// so those per-phase curves are visible on any host.
+#include <omp.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "commdet/contract/bucket_sort_contractor.hpp"
+#include "commdet/match/unmatched_list_matcher.hpp"
+#include "commdet/score/score_edges.hpp"
+#include "commdet/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace commdet;
+  using V = std::int32_t;
+  const auto cfg = bench::parse_args(argc, argv);
+
+  std::printf("== Phase scaling: score / match / contract vs threads ==\n\n");
+  const auto g = bench::build_rmat_workload<V>(cfg, cfg.scale, cfg.edge_factor);
+  std::printf("graph: %lld vertices, %lld edges\n\n",
+              static_cast<long long>(g.num_vertices()),
+              static_cast<long long>(g.num_edges()));
+
+  // One fixed matching so every thread count contracts identical input.
+  std::vector<Score> scores;
+  score_edges(g, ModularityScorer{}, scores);
+  const auto matching = UnmatchedListMatcher<V>{}.match(g, scores);
+
+  std::printf("%8s %12s %12s %12s\n", "threads", "score(s)", "match(s)", "contract(s)");
+  for (const int t : bench::thread_sweep(cfg.resolved_max_threads())) {
+    omp_set_num_threads(t);
+    double score_best = 1e300, match_best = 1e300, contract_best = 1e300;
+    for (int trial = 0; trial < cfg.trials; ++trial) {
+      {
+        std::vector<Score> s;
+        WallTimer w;
+        score_edges(g, ModularityScorer{}, s);
+        score_best = std::min(score_best, w.seconds());
+      }
+      {
+        WallTimer w;
+        const auto m = UnmatchedListMatcher<V>{}.match(g, scores);
+        match_best = std::min(match_best, w.seconds());
+      }
+      {
+        WallTimer w;
+        const auto c = BucketSortContractor<V>{}.contract(g, matching);
+        contract_best = std::min(contract_best, w.seconds());
+      }
+    }
+    std::printf("%8d %12.4f %12.4f %12.4f\n", t, score_best, match_best, contract_best);
+    std::printf("row,%d,%.6f,%.6f,%.6f\n", t, score_best, match_best, contract_best);
+  }
+  omp_set_num_threads(omp_get_num_procs());
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Table I: processor characteristics of the test platform.
+//
+// The paper lists its five machines (two Cray XMT generations, three
+// Intel Xeons).  Those machines are not reproducible; this harness emits
+// the same columns — processor, processor count, max threads, speed —
+// for the host actually running the benchmarks, so EXPERIMENTS.md can
+// record the platform next to each measured series.
+#include <cstdio>
+
+#include "commdet/platform/platform_info.hpp"
+
+int main() {
+  const auto info = commdet::detect_platform();
+  std::printf("== Table I stand-in: host platform characteristics ==\n\n");
+  std::printf("%s\n", commdet::format_platform_table(info).c_str());
+  std::printf("paper's platforms for comparison:\n");
+  std::printf("  %-12s %7s %18s %10s\n", "Processor", "# proc.", "Max threads/proc.", "Speed");
+  std::printf("  %-12s %7s %18s %10s\n", "Cray XMT", "128", "100", "500MHz");
+  std::printf("  %-12s %7s %18s %10s\n", "Cray XMT2", "64", "102", "500MHz");
+  std::printf("  %-12s %7s %18s %10s\n", "Intel E7-8870", "4", "20", "2.40GHz");
+  std::printf("  %-12s %7s %18s %10s\n", "Intel X5650", "2", "12", "2.66GHz");
+  std::printf("  %-12s %7s %18s %10s\n", "Intel X5570", "2", "8", "2.93GHz");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table II: sizes of the graphs used for performance evaluation.
+//
+// Paper: rmat-24-16 (15.58M vertices / 262.5M edges after accumulation +
+// largest component), soc-LiveJournal1 (4.85M / 69.0M), uk-2007-05
+// (105.9M / 3.30B).  This harness generates the container-scale
+// stand-ins with the same pipeline (generate -> accumulate multi-edges ->
+// largest connected component) and prints the exact |V| and |E| that all
+// other benchmarks run on.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "commdet/graph/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace commdet;
+  const auto cfg = bench::parse_args(argc, argv);
+
+  std::printf("== Table II stand-in: benchmark graph sizes ==\n");
+  std::printf("paper: rmat-24-16 15 580 378 / 262 482 711, soc-LiveJournal1 "
+              "4 847 571 / 68 993 773, uk-2007-05 105 896 555 / 3 301 876 564\n\n");
+  std::printf("%-28s %12s %14s %10s %12s\n", "graph", "|V|", "|E|", "max-deg", "mean-deg");
+
+  const auto report = [](const char* name, const auto& g) {
+    const auto s = graph_stats(g);
+    std::printf("%-28s %12lld %14lld %10lld %12.2f\n", name,
+                static_cast<long long>(s.num_vertices), static_cast<long long>(s.num_edges),
+                static_cast<long long>(s.max_degree), s.mean_degree);
+    std::printf("row,%s,%lld,%lld\n", name, static_cast<long long>(s.num_vertices),
+                static_cast<long long>(s.num_edges));
+  };
+
+  char name[64];
+  std::snprintf(name, sizeof name, "rmat-%d-%d", cfg.scale, cfg.edge_factor);
+  report(name, bench::build_rmat_workload<std::int32_t>(cfg, cfg.scale, cfg.edge_factor));
+
+  report("sbm-livejournal-standin", bench::build_social_workload<std::int32_t>(cfg));
+
+  std::snprintf(name, sizeof name, "rmat-%d-%d-uk-standin", cfg.large_scale, cfg.edge_factor);
+  report(name, bench::build_rmat_workload<std::int32_t>(cfg, cfg.large_scale, cfg.edge_factor));
+  return 0;
+}

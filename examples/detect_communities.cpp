@@ -1,0 +1,159 @@
+// Command-line community detector: the tool a downstream user runs on
+// their own graph files.
+//
+//   $ ./detect_communities <graph-file> [options]
+//
+// Formats are chosen by extension: .txt/.el (edge list), .graph (METIS),
+// .mtx (Matrix Market), .bin (commdet binary).  Options:
+//   --metric modularity|conductance|heavy   scoring metric
+//   --coverage <x>      stop at coverage >= x (paper's experiments: 0.5)
+//   --min-communities <k>
+//   --max-size <n>      maximum original vertices per community
+//   --matcher list|sweep|greedy
+//   --contractor bucket|hash
+//   --threads <t>       OpenMP threads
+//   --out <file>        write "vertex community" lines
+//   --largest-component run on the largest connected component only
+#include <omp.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "commdet/cc/connected_components.hpp"
+#include "commdet/core/detect.hpp"
+#include "commdet/core/metrics.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/stats.hpp"
+#include "commdet/io/binary.hpp"
+#include "commdet/io/edge_list_text.hpp"
+#include "commdet/io/matrix_market.hpp"
+#include "commdet/io/metis.hpp"
+
+namespace {
+
+using V = std::int64_t;
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+commdet::EdgeList<V> load(const std::string& path) {
+  if (ends_with(path, ".graph")) return commdet::read_metis<V>(path);
+  if (ends_with(path, ".mtx")) return commdet::read_matrix_market<V>(path);
+  if (ends_with(path, ".bin")) return commdet::read_edge_list_binary<V>(path);
+  return commdet::read_edge_list_text<V>(path);
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: detect_communities <graph-file> [--metric modularity|conductance|heavy|resolution]\n"
+               "       [--coverage x] [--min-communities k] [--max-size n]\n"
+               "       [--matcher list|sweep|greedy] [--contractor bucket|hash|spgemm]\n"
+               "       [--refine flat|vcycle] [--gamma g] [--threads t] [--out file]\n"
+               "       [--largest-component]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  std::string path = argv[1];
+  std::string metric = "modularity";
+  std::string out_path;
+  bool use_largest_component = false;
+  commdet::DetectOptions dopts;
+  commdet::AgglomerationOptions& opts = dopts.agglomeration;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--metric") {
+      metric = next();
+    } else if (arg == "--coverage") {
+      opts.min_coverage = std::stod(next());
+    } else if (arg == "--min-communities") {
+      opts.min_communities = std::stoll(next());
+    } else if (arg == "--max-size") {
+      opts.max_community_size = std::stoll(next());
+    } else if (arg == "--matcher") {
+      const auto m = next();
+      if (m == "list") opts.matcher = commdet::MatcherKind::kUnmatchedList;
+      else if (m == "sweep") opts.matcher = commdet::MatcherKind::kEdgeSweep;
+      else if (m == "greedy") opts.matcher = commdet::MatcherKind::kSequentialGreedy;
+      else usage();
+    } else if (arg == "--contractor") {
+      const auto c = next();
+      if (c == "bucket") opts.contractor = commdet::ContractorKind::kBucketSort;
+      else if (c == "hash") opts.contractor = commdet::ContractorKind::kHashChain;
+      else if (c == "spgemm") opts.contractor = commdet::ContractorKind::kSpGemm;
+      else usage();
+    } else if (arg == "--refine") {
+      const auto mode = next();
+      if (mode == "flat") dopts.refine_mode = commdet::DetectOptions::RefineMode::kFlat;
+      else if (mode == "vcycle") dopts.refine_mode = commdet::DetectOptions::RefineMode::kVCycle;
+      else usage();
+    } else if (arg == "--gamma") {
+      dopts.resolution_gamma = std::stod(next());
+    } else if (arg == "--threads") {
+      omp_set_num_threads(std::stoi(next()));
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--largest-component") {
+      use_largest_component = true;
+    } else {
+      usage();
+    }
+  }
+
+  try {
+    auto edges = load(path);
+    if (use_largest_component) edges = commdet::largest_component(edges);
+    const auto g = commdet::build_community_graph(edges);
+    const auto stats = commdet::graph_stats(g);
+    std::printf("graph: %lld vertices, %lld unique edges, total weight %lld\n",
+                static_cast<long long>(stats.num_vertices),
+                static_cast<long long>(stats.num_edges),
+                static_cast<long long>(stats.total_weight));
+
+    if (metric == "modularity") dopts.scorer = commdet::ScorerKind::kModularity;
+    else if (metric == "conductance") dopts.scorer = commdet::ScorerKind::kConductance;
+    else if (metric == "heavy") dopts.scorer = commdet::ScorerKind::kHeavyEdge;
+    else if (metric == "resolution") dopts.scorer = commdet::ScorerKind::kResolutionModularity;
+    else usage();
+    const commdet::Clustering<V> result = commdet::detect_communities(g, dopts);
+
+    std::printf("communities: %lld   modularity: %.4f   coverage: %.4f\n",
+                static_cast<long long>(result.num_communities), result.final_modularity,
+                result.final_coverage);
+    std::printf("levels: %d   time: %.3fs   contraction share of time: %.0f%%\n",
+                result.num_levels(), result.total_seconds,
+                100.0 * result.contraction_fraction());
+    std::printf("termination: %s\n", std::string(commdet::to_string(result.reason)).c_str());
+    for (const auto& l : result.levels)
+      std::printf("  level %2d: %9lld -> %9lld communities, %9lld edges, "
+                  "coverage %.3f, modularity %.4f\n",
+                  l.level, static_cast<long long>(l.nv_before),
+                  static_cast<long long>(l.nv_after), static_cast<long long>(l.ne_before),
+                  l.coverage, l.modularity);
+
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      if (!out) throw std::runtime_error("cannot write " + out_path);
+      for (std::size_t v = 0; v < result.community.size(); ++v)
+        out << v << ' ' << static_cast<long long>(result.community[v]) << '\n';
+      std::printf("assignment written to %s\n", out_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,180 @@
+// Graph toolbox: generate, convert, and inspect graph files with the
+// library's generators and I/O codecs.
+//
+//   $ ./graph_toolbox generate rmat --scale 16 --edgefactor 8 -o g.txt
+//   $ ./graph_toolbox generate sbm --vertices 100000 --blocks 500 -o g.bin
+//   $ ./graph_toolbox generate ws|ba|er ... -o file
+//   $ ./graph_toolbox convert g.txt g.graph      # formats by extension
+//   $ ./graph_toolbox stats g.bin
+//
+// Output extensions: .txt/.el (edge list), .bin (binary), .graph (METIS).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "commdet/cc/connected_components.hpp"
+#include "commdet/gen/barabasi_albert.hpp"
+#include "commdet/gen/erdos_renyi.hpp"
+#include "commdet/gen/planted_partition.hpp"
+#include "commdet/gen/rmat.hpp"
+#include "commdet/gen/watts_strogatz.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/stats.hpp"
+#include "commdet/io/binary.hpp"
+#include "commdet/io/edge_list_text.hpp"
+#include "commdet/io/matrix_market.hpp"
+#include "commdet/io/metis.hpp"
+
+namespace {
+
+using V = std::int64_t;
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+commdet::EdgeList<V> load(const std::string& path) {
+  if (ends_with(path, ".graph")) return commdet::read_metis<V>(path);
+  if (ends_with(path, ".mtx")) return commdet::read_matrix_market<V>(path);
+  if (ends_with(path, ".bin")) return commdet::read_edge_list_binary<V>(path);
+  return commdet::read_edge_list_text<V>(path);
+}
+
+void save(const commdet::EdgeList<V>& g, const std::string& path) {
+  if (ends_with(path, ".graph")) {
+    // METIS needs deduplicated, loop-free edges: run through the builder.
+    const auto cg = commdet::build_community_graph(g);
+    commdet::EdgeList<V> clean;
+    clean.num_vertices = cg.num_vertices();
+    for (commdet::EdgeId e = 0; e < cg.num_edges(); ++e) {
+      const auto i = static_cast<std::size_t>(e);
+      clean.add(cg.efirst[i], cg.esecond[i], cg.eweight[i]);
+    }
+    commdet::write_metis(clean, path);
+  } else if (ends_with(path, ".bin")) {
+    commdet::write_edge_list_binary(g, path);
+  } else {
+    commdet::write_edge_list_text(g, path);
+  }
+  std::printf("wrote %lld edges to %s\n", static_cast<long long>(g.num_edges()),
+              path.c_str());
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  graph_toolbox generate rmat [--scale s] [--edgefactor f] [--seed k] -o out\n"
+               "  graph_toolbox generate sbm [--vertices n] [--blocks b] [--seed k] -o out\n"
+               "  graph_toolbox generate er  [--vertices n] [--edges m] [--seed k] -o out\n"
+               "  graph_toolbox generate ws  [--vertices n] [--k half-degree] [--beta p] -o out\n"
+               "  graph_toolbox generate ba  [--vertices n] [--m edges-per-vertex] -o out\n"
+               "  graph_toolbox convert <in> <out>\n"
+               "  graph_toolbox stats <file>\n");
+  std::exit(2);
+}
+
+int64_t flag_i(int& i, int argc, char** argv) {
+  if (i + 1 >= argc) usage();
+  return std::atoll(argv[++i]);
+}
+
+double flag_d(int& i, int argc, char** argv) {
+  if (i + 1 >= argc) usage();
+  return std::atof(argv[++i]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") {
+      if (argc < 3) usage();
+      const std::string model = argv[2];
+      std::string out;
+      std::int64_t vertices = 1 << 14, blocks = 128, edges = 1 << 17;
+      std::int64_t scale = 14, edgefactor = 8, k = 4, m = 4;
+      double beta = 0.1;
+      std::uint64_t seed = 1;
+      for (int i = 3; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--scale") scale = flag_i(i, argc, argv);
+        else if (a == "--edgefactor") edgefactor = flag_i(i, argc, argv);
+        else if (a == "--vertices") vertices = flag_i(i, argc, argv);
+        else if (a == "--blocks") blocks = flag_i(i, argc, argv);
+        else if (a == "--edges") edges = flag_i(i, argc, argv);
+        else if (a == "--k") k = flag_i(i, argc, argv);
+        else if (a == "--m") m = flag_i(i, argc, argv);
+        else if (a == "--beta") beta = flag_d(i, argc, argv);
+        else if (a == "--seed") seed = static_cast<std::uint64_t>(flag_i(i, argc, argv));
+        else if (a == "-o") { if (i + 1 >= argc) usage(); out = argv[++i]; }
+        else usage();
+      }
+      if (out.empty()) usage();
+      commdet::EdgeList<V> g;
+      if (model == "rmat") {
+        commdet::RmatParams p;
+        p.scale = static_cast<int>(scale);
+        p.edge_factor = static_cast<int>(edgefactor);
+        p.seed = seed;
+        g = commdet::generate_rmat<V>(p);
+      } else if (model == "sbm") {
+        commdet::PlantedPartitionParams p;
+        p.num_vertices = vertices;
+        p.num_blocks = blocks;
+        p.seed = seed;
+        g = commdet::generate_planted_partition<V>(p);
+      } else if (model == "er") {
+        g = commdet::generate_erdos_renyi<V>(vertices, edges, seed);
+      } else if (model == "ws") {
+        commdet::WattsStrogatzParams p;
+        p.num_vertices = vertices;
+        p.neighbors_per_side = k;
+        p.rewire_probability = beta;
+        p.seed = seed;
+        g = commdet::generate_watts_strogatz<V>(p);
+      } else if (model == "ba") {
+        commdet::BarabasiAlbertParams p;
+        p.num_vertices = vertices;
+        p.edges_per_vertex = m;
+        p.seed = seed;
+        g = commdet::generate_barabasi_albert<V>(p);
+      } else {
+        usage();
+      }
+      save(g, out);
+    } else if (cmd == "convert") {
+      if (argc != 4) usage();
+      save(load(argv[2]), argv[3]);
+    } else if (cmd == "stats") {
+      if (argc != 3) usage();
+      const auto el = load(argv[2]);
+      const auto g = commdet::build_community_graph(el);
+      const auto s = commdet::graph_stats(g);
+      const auto labels = commdet::connected_components(el);
+      std::printf("file:            %s\n", argv[2]);
+      std::printf("vertices:        %lld\n", static_cast<long long>(s.num_vertices));
+      std::printf("raw edges:       %lld\n", static_cast<long long>(el.num_edges()));
+      std::printf("unique edges:    %lld\n", static_cast<long long>(s.num_edges));
+      std::printf("total weight:    %lld (self-loop weight %lld)\n",
+                  static_cast<long long>(s.total_weight),
+                  static_cast<long long>(s.self_loop_weight));
+      std::printf("degree:          min %lld / mean %.2f / max %lld\n",
+                  static_cast<long long>(s.min_degree), s.mean_degree,
+                  static_cast<long long>(s.max_degree));
+      std::printf("isolated:        %lld\n", static_cast<long long>(s.isolated_vertices));
+      std::printf("components:      %lld\n",
+                  static_cast<long long>(commdet::count_components(labels)));
+    } else {
+      usage();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Level-synchronous parallel breadth-first search over a CSR graph.
+//
+// Substrate used by validation (independent connectivity oracle for the
+// union-find components) and by the small-world analyses (hop-distance
+// probes on Watts-Strogatz graphs).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "commdet/graph/csr.hpp"
+#include "commdet/util/compact.hpp"
+#include "commdet/util/parallel.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+inline constexpr std::int64_t kUnreachable = -1;
+
+/// Distances (hop counts) from `source`; kUnreachable for other
+/// components.  Level-synchronous frontier expansion, CAS-claimed visits.
+template <VertexId V>
+[[nodiscard]] std::vector<std::int64_t> bfs_distances(const CsrGraph<V>& g, V source) {
+  const auto nv = static_cast<std::int64_t>(g.num_vertices());
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(nv), kUnreachable);
+  if (source < 0 || static_cast<std::int64_t>(source) >= nv) return dist;
+
+  dist[static_cast<std::size_t>(source)] = 0;
+  std::vector<V> frontier{source};
+  std::int64_t level = 0;
+
+  while (!frontier.empty()) {
+    ++level;
+    // Upper bound on the next frontier: sum of frontier degrees.
+    EdgeId out_degree = 0;
+    for (const V v : frontier) out_degree += g.degree(v);
+    std::vector<V> next(static_cast<std::size_t>(out_degree), kNoVertex<V>);
+    std::atomic<std::int64_t> cursor{0};
+
+    parallel_for_dynamic(static_cast<std::int64_t>(frontier.size()), [&](std::int64_t i) {
+      const V v = frontier[static_cast<std::size_t>(i)];
+      for (const V u : g.neighbors_of(v)) {
+        auto& slot = dist[static_cast<std::size_t>(u)];
+        std::int64_t expected = kUnreachable;
+        if (std::atomic_ref<std::int64_t>(slot).compare_exchange_strong(
+                expected, level, std::memory_order_acq_rel)) {
+          next[static_cast<std::size_t>(cursor.fetch_add(1, std::memory_order_relaxed))] = u;
+        }
+      }
+    });
+    next.resize(static_cast<std::size_t>(cursor.load()));
+    frontier = std::move(next);
+  }
+  return dist;
+}
+
+/// Number of vertices reachable from `source` (including itself).
+template <VertexId V>
+[[nodiscard]] std::int64_t bfs_reachable_count(const CsrGraph<V>& g, V source) {
+  const auto dist = bfs_distances(g, source);
+  return parallel_count(static_cast<std::int64_t>(dist.size()), [&](std::int64_t v) {
+    return dist[static_cast<std::size_t>(v)] != kUnreachable;
+  });
+}
+
+/// The eccentricity of `source` within its component (max hop distance).
+template <VertexId V>
+[[nodiscard]] std::int64_t bfs_eccentricity(const CsrGraph<V>& g, V source) {
+  const auto dist = bfs_distances(g, source);
+  return parallel_max<std::int64_t>(static_cast<std::int64_t>(dist.size()), 0,
+                                    [&](std::int64_t v) {
+                                      const auto d = dist[static_cast<std::size_t>(v)];
+                                      return d == kUnreachable ? 0 : d;
+                                    });
+}
+
+}  // namespace commdet

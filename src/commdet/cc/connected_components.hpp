@@ -1,0 +1,128 @@
+// Parallel connected components over raw edge lists.
+//
+// The R-MAT pipeline extracts the largest connected component before
+// community detection (Sec. V-B).  Lock-free union-find: edges hook the
+// larger root under the smaller via CAS, finds use path halving.  The
+// result is schedule-independent (component labels are the minimum vertex
+// id in each component).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "commdet/graph/edge_list.hpp"
+#include "commdet/util/parallel.hpp"
+#include "commdet/util/prefix_sum.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+namespace detail {
+
+template <VertexId V>
+V uf_find(std::vector<V>& parent, V x) noexcept {
+  // Path halving with atomic reads; concurrent updates only ever move
+  // parents closer to the root, so stale reads are safe.
+  V p = std::atomic_ref<V>(parent[static_cast<std::size_t>(x)]).load(std::memory_order_relaxed);
+  while (p != x) {
+    const V gp = std::atomic_ref<V>(parent[static_cast<std::size_t>(p)]).load(std::memory_order_relaxed);
+    if (gp == p) return p;
+    std::atomic_ref<V>(parent[static_cast<std::size_t>(x)])
+        .compare_exchange_weak(p, gp, std::memory_order_relaxed);
+    x = gp;
+    p = std::atomic_ref<V>(parent[static_cast<std::size_t>(x)]).load(std::memory_order_relaxed);
+  }
+  return x;
+}
+
+template <VertexId V>
+void uf_union(std::vector<V>& parent, V a, V b) noexcept {
+  for (;;) {
+    V ra = uf_find(parent, a);
+    V rb = uf_find(parent, b);
+    if (ra == rb) return;
+    if (ra > rb) std::swap(ra, rb);  // hook larger root under smaller
+    V expected = rb;
+    if (std::atomic_ref<V>(parent[static_cast<std::size_t>(rb)])
+            .compare_exchange_strong(expected, ra, std::memory_order_acq_rel))
+      return;
+  }
+}
+
+}  // namespace detail
+
+/// Component label per vertex: the minimum vertex id in its component.
+template <VertexId V>
+[[nodiscard]] std::vector<V> connected_components(const EdgeList<V>& g) {
+  const auto nv = static_cast<std::int64_t>(g.num_vertices);
+  std::vector<V> parent(static_cast<std::size_t>(nv));
+  parallel_for(nv, [&](std::int64_t v) { parent[static_cast<std::size_t>(v)] = static_cast<V>(v); });
+
+  parallel_for(g.num_edges(), [&](std::int64_t e) {
+    const auto& edge = g.edges[static_cast<std::size_t>(e)];
+    if (edge.u != edge.v) detail::uf_union(parent, edge.u, edge.v);
+  });
+
+  // Flatten so every vertex points directly at its root.
+  parallel_for(nv, [&](std::int64_t v) {
+    parent[static_cast<std::size_t>(v)] = detail::uf_find(parent, static_cast<V>(v));
+  });
+  return parent;
+}
+
+/// Number of distinct components given labels from connected_components.
+template <VertexId V>
+[[nodiscard]] std::int64_t count_components(const std::vector<V>& labels) {
+  return parallel_count(static_cast<std::int64_t>(labels.size()), [&](std::int64_t v) {
+    return labels[static_cast<std::size_t>(v)] == static_cast<V>(v);
+  });
+}
+
+/// Extracts the largest connected component and densely relabels its
+/// vertices (order-preserving).  Self-loops inside the component survive.
+template <VertexId V>
+[[nodiscard]] EdgeList<V> largest_component(const EdgeList<V>& g) {
+  const auto nv = static_cast<std::int64_t>(g.num_vertices);
+  if (nv == 0) return g;
+  const auto labels = connected_components(g);
+
+  std::vector<std::int64_t> size(static_cast<std::size_t>(nv), 0);
+  parallel_for(nv, [&](std::int64_t v) {
+    std::atomic_ref<std::int64_t>(size[static_cast<std::size_t>(labels[static_cast<std::size_t>(v)])])
+        .fetch_add(1, std::memory_order_relaxed);
+  });
+  std::int64_t best_root = 0;
+  for (std::int64_t v = 1; v < nv; ++v)
+    if (size[static_cast<std::size_t>(v)] > size[static_cast<std::size_t>(best_root)]) best_root = v;
+
+  // Dense new ids for members, in vertex order.
+  std::vector<std::int64_t> member(static_cast<std::size_t>(nv), 0);
+  parallel_for(nv, [&](std::int64_t v) {
+    member[static_cast<std::size_t>(v)] =
+        labels[static_cast<std::size_t>(v)] == static_cast<V>(best_root) ? 1 : 0;
+  });
+  std::vector<std::int64_t> new_id(member);
+  const std::int64_t kept = exclusive_prefix_sum(std::span<std::int64_t>(new_id));
+
+  EdgeList<V> out;
+  out.num_vertices = static_cast<V>(kept);
+  // Count surviving edges, then fill (order-preserving compaction).
+  const std::int64_t surviving = parallel_count(g.num_edges(), [&](std::int64_t e) {
+    return labels[static_cast<std::size_t>(g.edges[static_cast<std::size_t>(e)].u)] ==
+           static_cast<V>(best_root);
+  });
+  out.edges.resize(static_cast<std::size_t>(surviving));
+  std::atomic<std::int64_t> cursor{0};
+  parallel_for(g.num_edges(), [&](std::int64_t e) {
+    const auto& edge = g.edges[static_cast<std::size_t>(e)];
+    if (labels[static_cast<std::size_t>(edge.u)] != static_cast<V>(best_root)) return;
+    const std::int64_t slot = cursor.fetch_add(1, std::memory_order_relaxed);
+    out.edges[static_cast<std::size_t>(slot)] = {
+        static_cast<V>(new_id[static_cast<std::size_t>(edge.u)]),
+        static_cast<V>(new_id[static_cast<std::size_t>(edge.v)]), edge.w};
+  });
+  return out;
+}
+
+}  // namespace commdet

@@ -1,0 +1,88 @@
+// Umbrella header: the full public API of the commdet library.
+//
+// commdet reproduces "Scalable Multi-threaded Community Detection in
+// Social Networks" (Riedy, Bader, Meyerhenke; IPDPSW 2012): parallel
+// agglomerative community detection by edge scoring, greedy heavy
+// maximal matching, and community-graph contraction, on OpenMP.
+//
+// Typical use:
+//
+//   #include "commdet/commdet.hpp"
+//
+//   commdet::EdgeList<std::int32_t> edges = commdet::read_edge_list_text<...>(...);
+//   auto clustering = commdet::agglomerate(edges, commdet::ModularityScorer{});
+//   // clustering.community[v] is v's community.
+//
+// Module map:
+//   util/      parallel primitives (prefix sum, sort, compact, RNG, locks)
+//   graph/     bucketed community graph, CSR view, builder, validation,
+//              statistics, triangle counting
+//   gen/       R-MAT, planted partition, Erdős–Rényi, Watts–Strogatz,
+//              Barabási–Albert, deterministic shapes
+//   io/        edge-list text, binary snapshots, METIS, Matrix Market,
+//              partition files
+//   cc/        connected components, largest component, BFS
+//   score/     modularity / conductance / heavy-edge / resolution scorers
+//   match/     unmatched-list (paper), edge-sweep (baseline), sequential
+//              greedy matchers
+//   contract/  bucket-sort (paper), hash-chain (baseline), SpGEMM
+//              contractors
+//   core/      the agglomerative driver, metrics, hierarchy, extraction
+//   refine/    parallel local-move refinement (the paper's future work)
+//   baseline/  sequential CNM and Louvain references
+//   platform/  host characteristics detection
+#pragma once
+
+#include "commdet/baseline/cnm.hpp"
+#include "commdet/baseline/louvain.hpp"
+#include "commdet/cc/bfs.hpp"
+#include "commdet/cc/connected_components.hpp"
+#include "commdet/contract/bucket_sort_contractor.hpp"
+#include "commdet/contract/hash_chain_contractor.hpp"
+#include "commdet/contract/spgemm_contractor.hpp"
+#include "commdet/core/agglomerate.hpp"
+#include "commdet/core/clustering.hpp"
+#include "commdet/core/extraction.hpp"
+#include "commdet/core/metrics.hpp"
+#include "commdet/core/options.hpp"
+#include "commdet/gen/barabasi_albert.hpp"
+#include "commdet/gen/erdos_renyi.hpp"
+#include "commdet/gen/planted_partition.hpp"
+#include "commdet/gen/rmat.hpp"
+#include "commdet/gen/simple_graphs.hpp"
+#include "commdet/gen/watts_strogatz.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/community_graph.hpp"
+#include "commdet/graph/csr.hpp"
+#include "commdet/graph/edge_list.hpp"
+#include "commdet/graph/stats.hpp"
+#include "commdet/graph/triangles.hpp"
+#include "commdet/graph/validate.hpp"
+#include "commdet/io/binary.hpp"
+#include "commdet/io/edge_list_text.hpp"
+#include "commdet/io/matrix_market.hpp"
+#include "commdet/io/parallel_edge_list.hpp"
+#include "commdet/io/metis.hpp"
+#include "commdet/io/partition.hpp"
+#include "commdet/match/edge_sweep_matcher.hpp"
+#include "commdet/match/matching.hpp"
+#include "commdet/match/sequential_greedy_matcher.hpp"
+#include "commdet/match/unmatched_list_matcher.hpp"
+#include "commdet/platform/platform_info.hpp"
+#include "commdet/pregel/engine.hpp"
+#include "commdet/pregel/programs.hpp"
+#include "commdet/refine/multilevel.hpp"
+#include "commdet/refine/refine.hpp"
+#include "commdet/score/score_edges.hpp"
+#include "commdet/score/scorers.hpp"
+#include "commdet/util/atomics.hpp"
+#include "commdet/util/compact.hpp"
+#include "commdet/util/full_empty.hpp"
+#include "commdet/util/histogram.hpp"
+#include "commdet/util/parallel.hpp"
+#include "commdet/util/prefix_sum.hpp"
+#include "commdet/util/rng.hpp"
+#include "commdet/util/sort.hpp"
+#include "commdet/util/spinlock.hpp"
+#include "commdet/util/timer.hpp"
+#include "commdet/util/types.hpp"

@@ -1,0 +1,72 @@
+// Shared first half of graph contraction: dense relabeling of matched
+// pairs and aggregation of per-vertex state (self weights, volumes).
+//
+// A matched pair (u, mate[u]) becomes one new community led by min(u,
+// mate[u]); unmatched vertices survive as singletons.  New ids are dense
+// in old-leader order (prefix sum over leader flags).  Volume is additive
+// under merges, so the new volume array is a scatter-add.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "commdet/graph/community_graph.hpp"
+#include "commdet/match/matching.hpp"
+#include "commdet/util/atomics.hpp"
+#include "commdet/util/parallel.hpp"
+#include "commdet/util/prefix_sum.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+template <VertexId V>
+struct RelabelResult {
+  V new_nv = 0;
+  std::vector<V> new_label;        // old vertex -> new vertex
+  std::vector<Weight> self_weight; // aggregated, pre-edge-pass (matched
+                                   // edge weights are folded in by the
+                                   // contractor's edge pass)
+  std::vector<Weight> volume;      // aggregated, final
+};
+
+template <VertexId V>
+[[nodiscard]] RelabelResult<V> relabel_matched(const CommunityGraph<V>& g,
+                                               const Matching<V>& m) {
+  const auto nv = static_cast<std::int64_t>(g.nv);
+
+  std::vector<std::int64_t> leader_flag(static_cast<std::size_t>(nv), 0);
+  parallel_for(nv, [&](std::int64_t v) {
+    const V p = m.mate[static_cast<std::size_t>(v)];
+    leader_flag[static_cast<std::size_t>(v)] =
+        (p == kNoVertex<V> || p > static_cast<V>(v)) ? 1 : 0;
+  });
+  std::vector<std::int64_t> new_id(leader_flag);
+  const std::int64_t new_nv = exclusive_prefix_sum(std::span<std::int64_t>(new_id));
+
+  RelabelResult<V> out;
+  out.new_nv = static_cast<V>(new_nv);
+  out.new_label.assign(static_cast<std::size_t>(nv), kNoVertex<V>);
+  parallel_for(nv, [&](std::int64_t v) {
+    const V p = m.mate[static_cast<std::size_t>(v)];
+    const std::int64_t lead = (p == kNoVertex<V> || p > static_cast<V>(v))
+                                  ? v
+                                  : static_cast<std::int64_t>(p);
+    out.new_label[static_cast<std::size_t>(v)] =
+        static_cast<V>(new_id[static_cast<std::size_t>(lead)]);
+  });
+
+  out.self_weight.assign(static_cast<std::size_t>(new_nv), 0);
+  out.volume.assign(static_cast<std::size_t>(new_nv), 0);
+  parallel_for(nv, [&](std::int64_t v) {
+    const auto nl = static_cast<std::size_t>(out.new_label[static_cast<std::size_t>(v)]);
+    std::atomic_ref<Weight>(out.self_weight[nl])
+        .fetch_add(g.self_weight[static_cast<std::size_t>(v)], std::memory_order_relaxed);
+    std::atomic_ref<Weight>(out.volume[nl])
+        .fetch_add(g.volume[static_cast<std::size_t>(v)], std::memory_order_relaxed);
+  });
+  return out;
+}
+
+}  // namespace commdet

@@ -1,0 +1,210 @@
+// The parallel agglomerative community-detection driver (paper Sec. III).
+//
+// Repeats until a termination criterion fires:
+//   1. score every community-graph edge (exit if none is positive),
+//   2. greedily compute a heavy maximal matching over those scores,
+//   3. contract matched communities into a new community graph.
+//
+// Each step is one parallel primitive; the driver adds constraint
+// filtering (maximum community size), the original-vertex -> community
+// map, and per-level telemetry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "commdet/contract/bucket_sort_contractor.hpp"
+#include "commdet/contract/hash_chain_contractor.hpp"
+#include "commdet/contract/spgemm_contractor.hpp"
+#include "commdet/core/clustering.hpp"
+#include "commdet/core/options.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/community_graph.hpp"
+#include "commdet/match/edge_sweep_matcher.hpp"
+#include "commdet/match/sequential_greedy_matcher.hpp"
+#include "commdet/match/unmatched_list_matcher.hpp"
+#include "commdet/score/score_edges.hpp"
+#include "commdet/util/timer.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+namespace detail {
+
+template <VertexId V>
+[[nodiscard]] Matching<V> run_matcher(MatcherKind kind, const CommunityGraph<V>& g,
+                                      const std::vector<Score>& scores) {
+  switch (kind) {
+    case MatcherKind::kEdgeSweep:
+      return EdgeSweepMatcher<V>{}.match(g, scores);
+    case MatcherKind::kSequentialGreedy:
+      return SequentialGreedyMatcher<V>{}.match(g, scores);
+    case MatcherKind::kUnmatchedList:
+      break;
+  }
+  return UnmatchedListMatcher<V>{}.match(g, scores);
+}
+
+template <VertexId V>
+[[nodiscard]] ContractionResult<V> run_contractor(ContractorKind kind,
+                                                  const CommunityGraph<V>& g,
+                                                  const Matching<V>& m) {
+  if (kind == ContractorKind::kHashChain) return HashChainContractor<V>{}.contract(g, m);
+  if (kind == ContractorKind::kSpGemm) return SpGemmContractor<V>{}.contract(g, m);
+  return BucketSortContractor<V>{}.contract(g, m);
+}
+
+/// Modularity of the current community graph's partition:
+/// sum_c [ self(c)/W - (vol(c)/2W)^2 ].
+template <VertexId V>
+[[nodiscard]] double partition_modularity(const CommunityGraph<V>& g) {
+  if (g.total_weight == 0) return 0.0;
+  const auto w = static_cast<double>(g.total_weight);
+  return parallel_sum<double>(static_cast<std::int64_t>(g.nv), [&](std::int64_t c) {
+    const auto i = static_cast<std::size_t>(c);
+    const double vol = static_cast<double>(g.volume[i]) / (2.0 * w);
+    return static_cast<double>(g.self_weight[i]) / w - vol * vol;
+  });
+}
+
+/// Coverage: fraction of total weight collapsed inside communities.
+template <VertexId V>
+[[nodiscard]] double partition_coverage(const CommunityGraph<V>& g) {
+  if (g.total_weight == 0) return 1.0;
+  const Weight inside =
+      parallel_sum<Weight>(static_cast<std::int64_t>(g.nv), [&](std::int64_t c) {
+        return g.self_weight[static_cast<std::size_t>(c)];
+      });
+  return static_cast<double>(inside) / static_cast<double>(g.total_weight);
+}
+
+}  // namespace detail
+
+/// Runs agglomerative community detection on a community graph (consumed).
+template <VertexId V, EdgeScorer S>
+[[nodiscard]] Clustering<V> agglomerate(CommunityGraph<V> g, const S& scorer,
+                                        const AgglomerationOptions& opts = {}) {
+  WallTimer total_timer;
+  Clustering<V> result;
+  const auto original_nv = static_cast<std::int64_t>(g.nv);
+  result.community.resize(static_cast<std::size_t>(original_nv));
+  std::iota(result.community.begin(), result.community.end(), V{0});
+  result.num_communities = original_nv;
+  result.final_modularity = detail::partition_modularity(g);
+  result.final_coverage = detail::partition_coverage(g);
+
+  // Original-vertex counts per community, for the max-size constraint.
+  std::vector<std::int64_t> vertex_count;
+  if (opts.max_community_size > 0)
+    vertex_count.assign(static_cast<std::size_t>(g.nv), 1);
+
+  std::vector<Score> scores;
+  for (int level = 1;; ++level) {
+    if (opts.max_levels > 0 && level > opts.max_levels) {
+      result.reason = TerminationReason::kLevelCap;
+      break;
+    }
+
+    LevelStats stats;
+    stats.level = level;
+    stats.nv_before = static_cast<std::int64_t>(g.nv);
+    stats.ne_before = g.num_edges();
+
+    // Step 1: score.
+    ScoreSummary summary;
+    {
+      ScopedTimer t(stats.score_seconds);
+      summary = score_edges(g, scorer, scores);
+      if (opts.max_community_size > 0) {
+        // Disqualify merges that would exceed the size cap by zeroing
+        // their scores before matching.
+        parallel_for(g.num_edges(), [&](std::int64_t e) {
+          const auto i = static_cast<std::size_t>(e);
+          if (scores[i] <= 0.0) return;
+          const auto merged =
+              vertex_count[static_cast<std::size_t>(g.efirst[i])] +
+              vertex_count[static_cast<std::size_t>(g.esecond[i])];
+          if (merged > opts.max_community_size) scores[i] = 0.0;
+        });
+      }
+    }
+    stats.positive_edges = summary.positive_edges;
+    stats.max_score = summary.max_score;
+    if (summary.positive_edges == 0) {
+      result.reason = TerminationReason::kLocalMaximum;
+      break;
+    }
+
+    // Step 2: match.
+    Matching<V> matching;
+    {
+      ScopedTimer t(stats.match_seconds);
+      matching = detail::run_matcher(opts.matcher, g, scores);
+    }
+    stats.pairs_matched = matching.num_pairs;
+    stats.match_sweeps = matching.sweeps;
+    if (matching.num_pairs == 0) {
+      result.reason = TerminationReason::kNoMatches;
+      break;
+    }
+
+    // Step 3: contract.
+    std::vector<V> new_label;
+    {
+      ScopedTimer t(stats.contract_seconds);
+      auto contracted = detail::run_contractor(opts.contractor, g, matching);
+      g = std::move(contracted.graph);
+      new_label = std::move(contracted.new_label);
+    }
+
+    // Bookkeeping: original-vertex map, size counts, quality trajectory.
+    parallel_for(original_nv, [&](std::int64_t v) {
+      auto& c = result.community[static_cast<std::size_t>(v)];
+      c = new_label[static_cast<std::size_t>(c)];
+    });
+    if (opts.track_hierarchy) result.hierarchy.push_back(new_label);
+    if (opts.max_community_size > 0) {
+      std::vector<std::int64_t> new_count(static_cast<std::size_t>(g.nv), 0);
+      parallel_for(static_cast<std::int64_t>(new_label.size()), [&](std::int64_t v) {
+        std::atomic_ref<std::int64_t>(
+            new_count[static_cast<std::size_t>(new_label[static_cast<std::size_t>(v)])])
+            .fetch_add(vertex_count[static_cast<std::size_t>(v)],
+                       std::memory_order_relaxed);
+      });
+      vertex_count = std::move(new_count);
+    }
+
+    stats.nv_after = static_cast<std::int64_t>(g.nv);
+    stats.ne_after = g.num_edges();
+    stats.coverage = detail::partition_coverage(g);
+    stats.modularity = detail::partition_modularity(g);
+    result.levels.push_back(stats);
+    result.num_communities = static_cast<std::int64_t>(g.nv);
+    result.final_coverage = stats.coverage;
+    result.final_modularity = stats.modularity;
+
+    if (stats.coverage >= opts.min_coverage) {
+      result.reason = TerminationReason::kCoverage;
+      break;
+    }
+    if (result.num_communities <= opts.min_communities) {
+      result.reason = TerminationReason::kMinCommunities;
+      break;
+    }
+  }
+
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+/// Convenience overload: builds the community graph from a raw edge list.
+template <VertexId V, EdgeScorer S>
+[[nodiscard]] Clustering<V> agglomerate(const EdgeList<V>& edges, const S& scorer,
+                                        const AgglomerationOptions& opts = {}) {
+  return agglomerate(build_community_graph(edges), scorer, opts);
+}
+
+}  // namespace commdet

@@ -1,0 +1,118 @@
+// High-level detection facade: runtime-configurable scorer selection and
+// optional refinement over the templated driver.
+//
+// The templated agglomerate() is the zero-overhead API; this facade is
+// the convenience entry point for CLIs, config-driven services, and
+// language bindings, where the metric arrives as data rather than as a
+// type.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "commdet/core/agglomerate.hpp"
+#include "commdet/core/metrics.hpp"
+#include "commdet/core/clustering.hpp"
+#include "commdet/core/options.hpp"
+#include "commdet/refine/multilevel.hpp"
+#include "commdet/refine/refine.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+enum class ScorerKind {
+  kModularity,
+  kConductance,
+  kHeavyEdge,
+  kResolutionModularity,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ScorerKind s) noexcept {
+  switch (s) {
+    case ScorerKind::kModularity: return "modularity";
+    case ScorerKind::kConductance: return "conductance";
+    case ScorerKind::kHeavyEdge: return "heavy-edge";
+    case ScorerKind::kResolutionModularity: return "resolution-modularity";
+  }
+  return "unknown";
+}
+
+struct DetectOptions {
+  ScorerKind scorer = ScorerKind::kModularity;
+  double resolution_gamma = 1.0;  // for kResolutionModularity
+  AgglomerationOptions agglomeration;
+
+  enum class RefineMode {
+    kNone,     // raw agglomerative result
+    kFlat,     // one parallel local-move pass over the original graph
+    kVCycle,   // multilevel refinement down the recorded hierarchy
+  };
+  RefineMode refine_mode = RefineMode::kNone;
+  RefineOptions refinement;
+
+  /// Back-compat convenience for the common flat case.
+  bool refine = false;  // treated as kFlat when refine_mode is kNone
+};
+
+/// Detects communities with runtime-selected metric and optional
+/// refinement.  The input graph is retained by the caller (copied into
+/// the driver; refinement needs the original).
+template <VertexId V>
+[[nodiscard]] Clustering<V> detect_communities(const CommunityGraph<V>& g,
+                                               const DetectOptions& opts = {}) {
+  // Scorers that reward every merge need an external stop.
+  const bool unbounded =
+      opts.scorer == ScorerKind::kHeavyEdge || opts.scorer == ScorerKind::kConductance;
+  if (unbounded && opts.agglomeration.min_coverage > 1.0 &&
+      opts.agglomeration.min_communities <= 1 && opts.agglomeration.max_levels == 0 &&
+      opts.agglomeration.max_community_size == 0) {
+    throw std::invalid_argument(
+        std::string(to_string(opts.scorer)) +
+        " scoring never reaches a local maximum; set a coverage/size/level limit");
+  }
+
+  auto agglomeration = opts.agglomeration;
+  const auto mode = opts.refine_mode == DetectOptions::RefineMode::kNone && opts.refine
+                        ? DetectOptions::RefineMode::kFlat
+                        : opts.refine_mode;
+  if (mode == DetectOptions::RefineMode::kVCycle) agglomeration.track_hierarchy = true;
+
+  Clustering<V> result;
+  switch (opts.scorer) {
+    case ScorerKind::kModularity:
+      result = agglomerate(CommunityGraph<V>(g), ModularityScorer{}, agglomeration);
+      break;
+    case ScorerKind::kConductance:
+      result = agglomerate(CommunityGraph<V>(g), ConductanceScorer{}, agglomeration);
+      break;
+    case ScorerKind::kHeavyEdge:
+      result = agglomerate(CommunityGraph<V>(g), HeavyEdgeScorer{}, agglomeration);
+      break;
+    case ScorerKind::kResolutionModularity:
+      result = agglomerate(CommunityGraph<V>(g),
+                           ResolutionModularityScorer{opts.resolution_gamma},
+                           opts.agglomeration);
+      break;
+  }
+
+  if (mode == DetectOptions::RefineMode::kFlat) {
+    const auto stats = refine_partition(g, result.community, opts.refinement);
+    result.final_modularity = stats.modularity_after;
+    std::int64_t num = 0;
+    for (const V c : result.community) num = std::max<std::int64_t>(num, c + 1);
+    result.num_communities = num;
+    // Coverage changed with the moves; recompute from the labels.
+    result.final_coverage =
+        evaluate_partition(g, std::span<const V>(result.community.data(),
+                                                 result.community.size()))
+            .coverage;
+  } else if (mode == DetectOptions::RefineMode::kVCycle) {
+    multilevel_refine(g, result, opts.refinement);
+  }
+  return result;
+}
+
+}  // namespace commdet

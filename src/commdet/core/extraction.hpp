@@ -1,0 +1,153 @@
+// Community-subgraph extraction and per-community profiling.
+//
+// The paper's motivating use case (Sec. I): communities "can be analyzed
+// more thoroughly or form the basis for multi-level algorithms",
+// "opening smaller portions of the data to current analysis tools".
+// These helpers hand each detected community to such tools: induced
+// subgraphs with vertex mappings, and per-community structural profiles.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "commdet/graph/community_graph.hpp"
+#include "commdet/graph/edge_list.hpp"
+#include "commdet/util/parallel.hpp"
+#include "commdet/util/prefix_sum.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+/// The induced subgraph of one community, with the mapping back to
+/// original vertex ids.
+template <VertexId V>
+struct CommunitySubgraph {
+  EdgeList<V> graph;               // local ids [0, size)
+  std::vector<V> original_vertex;  // local id -> original id
+};
+
+/// Extracts the induced subgraph of community `c` (self-loops included).
+template <VertexId V>
+[[nodiscard]] CommunitySubgraph<V> extract_community(const CommunityGraph<V>& g,
+                                                     std::span<const V> labels, V c) {
+  const auto nv = static_cast<std::int64_t>(g.nv);
+  CommunitySubgraph<V> out;
+
+  // Dense local ids for members, original order preserved.
+  std::vector<V> local(static_cast<std::size_t>(nv), kNoVertex<V>);
+  for (std::int64_t v = 0; v < nv; ++v) {
+    if (labels[static_cast<std::size_t>(v)] == c) {
+      local[static_cast<std::size_t>(v)] = static_cast<V>(out.original_vertex.size());
+      out.original_vertex.push_back(static_cast<V>(v));
+    }
+  }
+  out.graph.num_vertices = static_cast<V>(out.original_vertex.size());
+
+  for (const V v : out.original_vertex) {
+    const Weight self = g.self_weight[static_cast<std::size_t>(v)];
+    if (self > 0)
+      out.graph.add(local[static_cast<std::size_t>(v)], local[static_cast<std::size_t>(v)], self);
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto i = static_cast<std::size_t>(e);
+    const V a = g.efirst[i];
+    const V b = g.esecond[i];
+    if (labels[static_cast<std::size_t>(a)] == c && labels[static_cast<std::size_t>(b)] == c)
+      out.graph.add(local[static_cast<std::size_t>(a)], local[static_cast<std::size_t>(b)],
+                    g.eweight[i]);
+  }
+  return out;
+}
+
+/// Structural profile of one community.
+struct CommunityProfile {
+  std::int64_t size = 0;          // member vertices
+  Weight internal_weight = 0;     // edges + self-loops inside
+  Weight cut_weight = 0;          // edges leaving
+  Weight volume = 0;              // 2*internal + cut
+  double conductance = 0.0;       // cut / min(vol, 2W - vol)
+};
+
+/// Profiles every community of a dense labeling in two parallel passes.
+template <VertexId V>
+[[nodiscard]] std::vector<CommunityProfile> community_profiles(const CommunityGraph<V>& g,
+                                                               std::span<const V> labels) {
+  std::int64_t num_comms = 0;
+  for (const V l : labels) num_comms = std::max<std::int64_t>(num_comms, l + 1);
+  std::vector<CommunityProfile> out(static_cast<std::size_t>(num_comms));
+
+  parallel_for(static_cast<std::int64_t>(g.nv), [&](std::int64_t v) {
+    const auto vi = static_cast<std::size_t>(v);
+    auto& p = out[static_cast<std::size_t>(labels[vi])];
+    std::atomic_ref<std::int64_t>(p.size).fetch_add(1, std::memory_order_relaxed);
+    std::atomic_ref<Weight>(p.internal_weight)
+        .fetch_add(g.self_weight[vi], std::memory_order_relaxed);
+  });
+  parallel_for(g.num_edges(), [&](std::int64_t e) {
+    const auto i = static_cast<std::size_t>(e);
+    const V ca = labels[static_cast<std::size_t>(g.efirst[i])];
+    const V cb = labels[static_cast<std::size_t>(g.esecond[i])];
+    const Weight w = g.eweight[i];
+    if (ca == cb) {
+      std::atomic_ref<Weight>(out[static_cast<std::size_t>(ca)].internal_weight)
+          .fetch_add(w, std::memory_order_relaxed);
+    } else {
+      std::atomic_ref<Weight>(out[static_cast<std::size_t>(ca)].cut_weight)
+          .fetch_add(w, std::memory_order_relaxed);
+      std::atomic_ref<Weight>(out[static_cast<std::size_t>(cb)].cut_weight)
+          .fetch_add(w, std::memory_order_relaxed);
+    }
+  });
+  const double two_w = 2.0 * static_cast<double>(g.total_weight);
+  for (auto& p : out) {
+    p.volume = 2 * p.internal_weight + p.cut_weight;
+    const double denom = std::min(static_cast<double>(p.volume),
+                                  two_w - static_cast<double>(p.volume));
+    p.conductance =
+        (p.cut_weight == 0 || denom <= 0.0) ? 0.0 : static_cast<double>(p.cut_weight) / denom;
+  }
+  return out;
+}
+
+/// Aggregates a graph by an arbitrary dense labeling: each community
+/// becomes one vertex (the generalization of matching-based contraction
+/// to many-way merges, the basis of multi-level flows).
+template <VertexId V>
+[[nodiscard]] CommunityGraph<V> aggregate_by_labels(const CommunityGraph<V>& g,
+                                                    std::span<const V> labels);
+
+}  // namespace commdet
+
+#include "commdet/graph/builder.hpp"
+
+namespace commdet {
+
+template <VertexId V>
+[[nodiscard]] CommunityGraph<V> aggregate_by_labels(const CommunityGraph<V>& g,
+                                                    std::span<const V> labels) {
+  std::int64_t num_comms = 0;
+  for (const V l : labels) num_comms = std::max<std::int64_t>(num_comms, l + 1);
+
+  EdgeList<V> coarse;
+  coarse.num_vertices = static_cast<V>(num_comms);
+  coarse.edges.reserve(static_cast<std::size_t>(g.num_edges()) +
+                       static_cast<std::size_t>(num_comms));
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(g.nv); ++v) {
+    const Weight self = g.self_weight[static_cast<std::size_t>(v)];
+    if (self > 0) {
+      const V c = labels[static_cast<std::size_t>(v)];
+      coarse.add(c, c, self);
+    }
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto i = static_cast<std::size_t>(e);
+    coarse.add(labels[static_cast<std::size_t>(g.efirst[i])],
+               labels[static_cast<std::size_t>(g.esecond[i])], g.eweight[i]);
+  }
+  return build_community_graph(coarse);
+}
+
+}  // namespace commdet

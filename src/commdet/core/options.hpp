@@ -1,0 +1,90 @@
+// Driver configuration and termination reporting (paper Sec. III).
+//
+// "Termination occurs either when the algorithm finds a local maximum or
+// according to external constraints. [...] Real applications will impose
+// additional constraints like a minimum number of communities or maximum
+// community size.  Following the spirit of the 10th DIMACS Implementation
+// Challenge rules, Section V's performance experiments terminate once at
+// least half the initial graph's edges are contained within the
+// communities, a coverage >= 0.5."
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace commdet {
+
+enum class MatcherKind {
+  kUnmatchedList,     // the paper's improved algorithm (default)
+  kEdgeSweep,         // the paper's original algorithm (ablation baseline)
+  kSequentialGreedy,  // deterministic Preis-style reference
+};
+
+enum class ContractorKind {
+  kBucketSort,  // the paper's improved method (default)
+  kHashChain,   // the paper's original Feo-style method (ablation baseline)
+  kSpGemm,      // A' = S^T A S via Gustavson SpGEMM (Sec. VI observation)
+};
+
+struct AgglomerationOptions {
+  /// Stop once coverage (fraction of total weight inside communities)
+  /// reaches this value.  Values > 1 disable the criterion; the paper's
+  /// performance experiments use 0.5.
+  double min_coverage = 2.0;
+
+  /// Stop when at most this many communities remain.
+  std::int64_t min_communities = 1;
+
+  /// Forbid merges that would exceed this many original vertices per
+  /// community.  0 disables the constraint.
+  std::int64_t max_community_size = 0;
+
+  /// Hard cap on contraction levels.  0 disables.
+  int max_levels = 0;
+
+  /// Record the per-level relabeling maps (the contraction dendrogram)
+  /// in Clustering::hierarchy.  Costs one |V_level| vector per level.
+  bool track_hierarchy = false;
+
+  MatcherKind matcher = MatcherKind::kUnmatchedList;
+  ContractorKind contractor = ContractorKind::kBucketSort;
+};
+
+enum class TerminationReason {
+  kLocalMaximum,     // no edge had a positive score
+  kNoMatches,        // positive edges existed but none could pair (size cap)
+  kCoverage,         // coverage threshold reached
+  kMinCommunities,   // community count floor reached
+  kLevelCap,         // max_levels reached
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TerminationReason r) noexcept {
+  switch (r) {
+    case TerminationReason::kLocalMaximum: return "local-maximum";
+    case TerminationReason::kNoMatches: return "no-matches";
+    case TerminationReason::kCoverage: return "coverage";
+    case TerminationReason::kMinCommunities: return "min-communities";
+    case TerminationReason::kLevelCap: return "level-cap";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(MatcherKind m) noexcept {
+  switch (m) {
+    case MatcherKind::kUnmatchedList: return "unmatched-list";
+    case MatcherKind::kEdgeSweep: return "edge-sweep";
+    case MatcherKind::kSequentialGreedy: return "sequential-greedy";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(ContractorKind c) noexcept {
+  switch (c) {
+    case ContractorKind::kBucketSort: return "bucket-sort";
+    case ContractorKind::kHashChain: return "hash-chain";
+    case ContractorKind::kSpGemm: return "spgemm";
+  }
+  return "unknown";
+}
+
+}  // namespace commdet

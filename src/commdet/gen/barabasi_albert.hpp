@@ -1,0 +1,59 @@
+// Barabási–Albert preferential-attachment generator.
+//
+// Produces power-law degree distributions through the classic
+// edge-endpoint trick: a new vertex attaches to m targets, each chosen by
+// picking a uniformly random endpoint from the edges generated so far
+// (endpoint frequency is proportional to degree).  Inherently sequential
+// in its growth process, but O(n·m) and deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "commdet/graph/edge_list.hpp"
+#include "commdet/util/rng.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+struct BarabasiAlbertParams {
+  std::int64_t num_vertices = 1024;
+  std::int64_t edges_per_vertex = 4;  // m
+  std::uint64_t seed = 1;
+};
+
+template <VertexId V>
+[[nodiscard]] EdgeList<V> generate_barabasi_albert(const BarabasiAlbertParams& p) {
+  if (p.edges_per_vertex < 1) throw std::invalid_argument("edges_per_vertex must be >= 1");
+  if (p.num_vertices <= p.edges_per_vertex)
+    throw std::invalid_argument("need more vertices than edges_per_vertex");
+  if (!fits_vertex_id<V>(p.num_vertices - 1))
+    throw std::invalid_argument("vertex type too narrow");
+
+  EdgeList<V> out;
+  out.num_vertices = static_cast<V>(p.num_vertices);
+  out.edges.reserve(static_cast<std::size_t>(p.num_vertices * p.edges_per_vertex));
+
+  Xoshiro256ss rng(p.seed ^ 0x4241 /* "BA" */);
+
+  // Seed graph: a (m+1)-clique so every early vertex has degree >= m.
+  const std::int64_t m = p.edges_per_vertex;
+  for (std::int64_t u = 0; u <= m; ++u)
+    for (std::int64_t v = u + 1; v <= m; ++v)
+      out.edges.push_back({static_cast<V>(u), static_cast<V>(v), 1});
+
+  for (std::int64_t v = m + 1; v < p.num_vertices; ++v) {
+    const std::int64_t existing = 2 * static_cast<std::int64_t>(out.edges.size());
+    for (std::int64_t k = 0; k < m; ++k) {
+      // Pick a uniform endpoint among all existing edge endpoints.
+      const auto pick = static_cast<std::int64_t>(rng() % static_cast<std::uint64_t>(existing));
+      const auto& e = out.edges[static_cast<std::size_t>(pick / 2)];
+      const V target = (pick % 2 == 0) ? e.u : e.v;
+      // A repeat target just accumulates weight downstream.
+      out.edges.push_back({static_cast<V>(v), target, 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace commdet

@@ -1,0 +1,39 @@
+// Erdős–Rényi G(n, M) multigraph generator: M edges with both endpoints
+// uniform.  Duplicates and self-loops accumulate in the builder.  Used by
+// tests as the "no community structure" contrast workload.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "commdet/graph/edge_list.hpp"
+#include "commdet/util/parallel.hpp"
+#include "commdet/util/rng.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+template <VertexId V>
+[[nodiscard]] EdgeList<V> generate_erdos_renyi(std::int64_t num_vertices,
+                                               std::int64_t num_edges,
+                                               std::uint64_t seed = 1) {
+  if (num_vertices <= 0) throw std::invalid_argument("num_vertices must be positive");
+  if (num_edges < 0) throw std::invalid_argument("num_edges must be non-negative");
+  if (!fits_vertex_id<V>(num_vertices - 1))
+    throw std::invalid_argument("vertex type too narrow");
+
+  EdgeList<V> out;
+  out.num_vertices = static_cast<V>(num_vertices);
+  out.edges.resize(static_cast<std::size_t>(num_edges));
+  const CounterRng rng(seed, /*stream=*/0x4552 /* "ER" */);
+  parallel_for(num_edges, [&](std::int64_t e) {
+    const auto u = static_cast<V>(rng.below(static_cast<std::uint64_t>(2 * e),
+                                            static_cast<std::uint64_t>(num_vertices)));
+    const auto v = static_cast<V>(rng.below(static_cast<std::uint64_t>(2 * e + 1),
+                                            static_cast<std::uint64_t>(num_vertices)));
+    out.edges[static_cast<std::size_t>(e)] = {u, v, 1};
+  });
+  return out;
+}
+
+}  // namespace commdet

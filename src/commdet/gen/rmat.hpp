@@ -1,0 +1,98 @@
+// R-MAT graph generator (Chakrabarti, Zhan, Faloutsos; SSCA#2 flavor).
+//
+// The paper's artificial workload: an R-MAT graph with a = 0.55,
+// b = c = 0.1, d = 0.25, scale 24, edge factor 16, with multiple edges
+// accumulated into weights and the largest connected component extracted
+// (Sec. V-B).  Generation here is parallel *and* schedule-independent:
+// every edge draws from a counter-based RNG keyed by its index, so the
+// same parameters always produce the same multigraph.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "commdet/graph/edge_list.hpp"
+#include "commdet/util/parallel.hpp"
+#include "commdet/util/rng.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+struct RmatParams {
+  int scale = 16;          // 2^scale vertices
+  int edge_factor = 16;    // edge_factor * 2^scale generated edges
+  double a = 0.55;         // quadrant probabilities (paper's defaults)
+  double b = 0.10;
+  double c = 0.10;
+  double d = 0.25;
+  double noise = 0.10;     // SSCA#2-style per-level multiplicative noise
+  std::uint64_t seed = 1;
+};
+
+/// Generates the raw R-MAT multigraph (self-loops and duplicates included,
+/// as produced by the recursive quadrant descent).  The community-graph
+/// builder performs the accumulation step.
+template <VertexId V>
+[[nodiscard]] EdgeList<V> generate_rmat(const RmatParams& p) {
+  if (p.scale <= 0 || p.scale >= 31) throw std::invalid_argument("rmat scale out of range");
+  if (p.edge_factor <= 0) throw std::invalid_argument("rmat edge factor must be positive");
+  const double sum = p.a + p.b + p.c + p.d;
+  if (sum < 0.999 || sum > 1.001) throw std::invalid_argument("rmat probabilities must sum to 1");
+
+  const std::int64_t nv = std::int64_t{1} << p.scale;
+  if (!fits_vertex_id<V>(nv - 1)) throw std::invalid_argument("vertex type too narrow for scale");
+  const std::int64_t ne = static_cast<std::int64_t>(p.edge_factor) * nv;
+
+  EdgeList<V> out;
+  out.num_vertices = static_cast<V>(nv);
+  out.edges.resize(static_cast<std::size_t>(ne));
+
+  const CounterRng rng(p.seed, /*stream=*/0x524d4154 /* "RMAT" */);
+  parallel_for(ne, [&](std::int64_t e) {
+    // Each edge consumes `2 * scale` independent draws: one quadrant draw
+    // and one noise draw per level.
+    const std::uint64_t base = static_cast<std::uint64_t>(e) * (2 * static_cast<std::uint64_t>(p.scale));
+    std::int64_t row = 0;
+    std::int64_t col = 0;
+    for (int level = 0; level < p.scale; ++level) {
+      double a = p.a;
+      double b = p.b;
+      double c = p.c;
+      double d = p.d;
+      if (p.noise > 0.0) {
+        // Multiplicative perturbation, renormalized, per SSCA#2.
+        const std::uint64_t nbits = rng.at(base + 2 * static_cast<std::uint64_t>(level) + 1);
+        const auto jitter = [&](int k) {
+          const double u = static_cast<double>((nbits >> (16 * k)) & 0xffff) / 65536.0;
+          return 1.0 - p.noise / 2.0 + p.noise * u;
+        };
+        a *= jitter(0);
+        b *= jitter(1);
+        c *= jitter(2);
+        d *= jitter(3);
+        const double total = a + b + c + d;
+        a /= total;
+        b /= total;
+        c /= total;
+        d /= total;
+      }
+      const double u = rng.uniform(base + 2 * static_cast<std::uint64_t>(level));
+      row <<= 1;
+      col <<= 1;
+      if (u < a) {
+        // top-left quadrant
+      } else if (u < a + b) {
+        col |= 1;
+      } else if (u < a + b + c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    out.edges[static_cast<std::size_t>(e)] = {static_cast<V>(row), static_cast<V>(col), 1};
+  });
+  return out;
+}
+
+}  // namespace commdet

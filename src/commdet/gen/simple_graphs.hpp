@@ -1,0 +1,107 @@
+// Deterministic graph shapes for tests, examples, and complexity
+// benchmarks.  The star graph is the paper's worst case (two vertices
+// contracted per step, O(|E|*|V|) total); the caveman family is the
+// best case for community detection (cliques joined in a ring).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "commdet/graph/edge_list.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+/// Star: vertex 0 adjacent to all others.
+template <VertexId V>
+[[nodiscard]] EdgeList<V> make_star(std::int64_t n) {
+  if (n < 1) throw std::invalid_argument("star needs >= 1 vertex");
+  EdgeList<V> g;
+  g.num_vertices = static_cast<V>(n);
+  g.edges.reserve(static_cast<std::size_t>(n - 1));
+  for (std::int64_t v = 1; v < n; ++v) g.add(V{0}, static_cast<V>(v));
+  return g;
+}
+
+/// Simple path 0-1-2-...-(n-1).
+template <VertexId V>
+[[nodiscard]] EdgeList<V> make_path(std::int64_t n) {
+  if (n < 1) throw std::invalid_argument("path needs >= 1 vertex");
+  EdgeList<V> g;
+  g.num_vertices = static_cast<V>(n);
+  for (std::int64_t v = 0; v + 1 < n; ++v) g.add(static_cast<V>(v), static_cast<V>(v + 1));
+  return g;
+}
+
+/// Cycle of n vertices.
+template <VertexId V>
+[[nodiscard]] EdgeList<V> make_cycle(std::int64_t n) {
+  if (n < 3) throw std::invalid_argument("cycle needs >= 3 vertices");
+  auto g = make_path<V>(n);
+  g.add(static_cast<V>(n - 1), V{0});
+  return g;
+}
+
+/// Complete graph K_n.
+template <VertexId V>
+[[nodiscard]] EdgeList<V> make_clique(std::int64_t n) {
+  if (n < 1) throw std::invalid_argument("clique needs >= 1 vertex");
+  EdgeList<V> g;
+  g.num_vertices = static_cast<V>(n);
+  for (std::int64_t u = 0; u < n; ++u)
+    for (std::int64_t v = u + 1; v < n; ++v) g.add(static_cast<V>(u), static_cast<V>(v));
+  return g;
+}
+
+/// 2-D grid graph rows x cols with 4-neighborhoods.
+template <VertexId V>
+[[nodiscard]] EdgeList<V> make_grid(std::int64_t rows, std::int64_t cols) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("grid needs positive dimensions");
+  EdgeList<V> g;
+  g.num_vertices = static_cast<V>(rows * cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const std::int64_t v = r * cols + c;
+      if (c + 1 < cols) g.add(static_cast<V>(v), static_cast<V>(v + 1));
+      if (r + 1 < rows) g.add(static_cast<V>(v), static_cast<V>(v + cols));
+    }
+  }
+  return g;
+}
+
+/// Connected caveman graph: `num_caves` cliques of `cave_size`, each cave
+/// linked to the next by a single edge (ring of cliques).  Ideal planted
+/// communities for quality tests.
+template <VertexId V>
+[[nodiscard]] EdgeList<V> make_caveman(std::int64_t num_caves, std::int64_t cave_size) {
+  if (num_caves < 1 || cave_size < 2)
+    throw std::invalid_argument("caveman needs >= 1 cave of size >= 2");
+  EdgeList<V> g;
+  g.num_vertices = static_cast<V>(num_caves * cave_size);
+  for (std::int64_t cave = 0; cave < num_caves; ++cave) {
+    const std::int64_t lo = cave * cave_size;
+    for (std::int64_t u = 0; u < cave_size; ++u)
+      for (std::int64_t v = u + 1; v < cave_size; ++v)
+        g.add(static_cast<V>(lo + u), static_cast<V>(lo + v));
+    if (num_caves > 1) {
+      const std::int64_t next_lo = ((cave + 1) % num_caves) * cave_size;
+      // Vertex 0 of this cave links to vertex 1 of the next, keeping the
+      // two inter-cave edges of a 2-cave ring distinct.
+      g.add(static_cast<V>(lo), static_cast<V>(next_lo + 1));
+    }
+  }
+  return g;
+}
+
+/// Complete bipartite graph K_{m,n}.
+template <VertexId V>
+[[nodiscard]] EdgeList<V> make_complete_bipartite(std::int64_t m, std::int64_t n) {
+  if (m < 1 || n < 1) throw std::invalid_argument("bipartite sides must be positive");
+  EdgeList<V> g;
+  g.num_vertices = static_cast<V>(m + n);
+  for (std::int64_t u = 0; u < m; ++u)
+    for (std::int64_t v = 0; v < n; ++v) g.add(static_cast<V>(u), static_cast<V>(m + v));
+  return g;
+}
+
+}  // namespace commdet

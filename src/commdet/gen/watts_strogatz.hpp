@@ -1,0 +1,59 @@
+// Watts–Strogatz small-world generator: a ring lattice with k neighbors
+// per side, each edge rewired with probability beta.
+//
+// Small-world graphs have high clustering but little modular structure —
+// a useful contrast workload between caveman (ideal communities) and
+// R-MAT (scale-free, no communities).  Counter-based RNG keeps the
+// generation parallel and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "commdet/graph/edge_list.hpp"
+#include "commdet/util/parallel.hpp"
+#include "commdet/util/rng.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+struct WattsStrogatzParams {
+  std::int64_t num_vertices = 1024;
+  std::int64_t neighbors_per_side = 4;  // "k/2" in the usual formulation
+  double rewire_probability = 0.1;      // beta
+  std::uint64_t seed = 1;
+};
+
+template <VertexId V>
+[[nodiscard]] EdgeList<V> generate_watts_strogatz(const WattsStrogatzParams& p) {
+  if (p.num_vertices < 3) throw std::invalid_argument("watts-strogatz needs >= 3 vertices");
+  if (p.neighbors_per_side < 1 || 2 * p.neighbors_per_side >= p.num_vertices)
+    throw std::invalid_argument("neighbors_per_side out of range");
+  if (p.rewire_probability < 0.0 || p.rewire_probability > 1.0)
+    throw std::invalid_argument("rewire probability must be in [0, 1]");
+  if (!fits_vertex_id<V>(p.num_vertices - 1))
+    throw std::invalid_argument("vertex type too narrow");
+
+  const std::int64_t ne = p.num_vertices * p.neighbors_per_side;
+  EdgeList<V> out;
+  out.num_vertices = static_cast<V>(p.num_vertices);
+  out.edges.resize(static_cast<std::size_t>(ne));
+
+  const CounterRng rng(p.seed, /*stream=*/0x5753 /* "WS" */);
+  parallel_for(ne, [&](std::int64_t e) {
+    const std::int64_t v = e / p.neighbors_per_side;
+    const std::int64_t hop = e % p.neighbors_per_side + 1;
+    std::int64_t target = (v + hop) % p.num_vertices;
+    if (rng.uniform(static_cast<std::uint64_t>(2 * e)) < p.rewire_probability) {
+      // Rewire the far endpoint anywhere except v (self-loop); a
+      // duplicate of an existing edge just accumulates weight.
+      const auto r = static_cast<std::int64_t>(rng.below(
+          static_cast<std::uint64_t>(2 * e + 1), static_cast<std::uint64_t>(p.num_vertices - 1)));
+      target = r >= v ? r + 1 : r;
+    }
+    out.edges[static_cast<std::size_t>(e)] = {static_cast<V>(v), static_cast<V>(target), 1};
+  });
+  return out;
+}
+
+}  // namespace commdet

@@ -1,0 +1,142 @@
+// Builds a CommunityGraph from a raw edge list.
+//
+// Pipeline (all parallel): hash each edge into storage order, fold
+// self-loops into the self-weight array, sort the remaining triples by
+// (first, second), accumulate duplicates, and lay the result out as
+// contiguous sorted buckets.  This is the same machinery the bucket-sort
+// contraction uses each level, applied once to the input.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "commdet/graph/community_graph.hpp"
+#include "commdet/graph/edge_list.hpp"
+#include "commdet/util/parallel.hpp"
+#include "commdet/util/prefix_sum.hpp"
+#include "commdet/util/sort.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+namespace detail {
+
+template <VertexId V>
+struct HashedTriple {
+  V first;
+  V second;
+  Weight w;
+};
+
+}  // namespace detail
+
+/// Builds the bucketed community graph.  Throws std::invalid_argument on
+/// out-of-range endpoints or non-positive weights.
+template <VertexId V>
+[[nodiscard]] CommunityGraph<V> build_community_graph(const EdgeList<V>& input) {
+  const V nv = input.num_vertices;
+  const std::int64_t ne_raw = input.num_edges();
+
+  CommunityGraph<V> g;
+  g.nv = nv;
+  g.self_weight.assign(static_cast<std::size_t>(nv), 0);
+
+  // Validate and split off self-loops while hashing the rest into storage
+  // order.  Self-loop weights are accumulated directly (atomics: several
+  // raw self-loops can hit the same vertex).
+  std::atomic<bool> bad_endpoint{false};
+  std::atomic<bool> bad_weight{false};
+  std::vector<detail::HashedTriple<V>> triples;
+  triples.reserve(static_cast<std::size_t>(ne_raw));
+  {
+    // Count non-self edges first so the triple array is sized once.
+    const std::int64_t non_self = parallel_count(ne_raw, [&](std::int64_t i) {
+      const auto& e = input.edges[static_cast<std::size_t>(i)];
+      return e.u != e.v;
+    });
+    triples.resize(static_cast<std::size_t>(non_self));
+
+    std::atomic<std::int64_t> cursor{0};
+    parallel_for(ne_raw, [&](std::int64_t i) {
+      const auto& e = input.edges[static_cast<std::size_t>(i)];
+      if (e.u < 0 || e.u >= nv || e.v < 0 || e.v >= nv) {
+        bad_endpoint.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (e.w <= 0) {
+        bad_weight.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (e.u == e.v) {
+        std::atomic_ref<Weight>(g.self_weight[static_cast<std::size_t>(e.u)])
+            .fetch_add(e.w, std::memory_order_relaxed);
+        return;
+      }
+      const auto [f, s] = hashed_edge_order(e.u, e.v);
+      const std::int64_t at = cursor.fetch_add(1, std::memory_order_relaxed);
+      triples[static_cast<std::size_t>(at)] = {f, s, e.w};
+    });
+    if (bad_endpoint.load()) throw std::invalid_argument("edge endpoint out of range");
+    if (bad_weight.load()) throw std::invalid_argument("edge weight must be positive");
+    triples.resize(static_cast<std::size_t>(cursor.load()));
+  }
+
+  // Sort by (first, second) and accumulate duplicates into the leader of
+  // each equal run.
+  parallel_sort(triples.begin(), triples.end(),
+                [](const detail::HashedTriple<V>& a, const detail::HashedTriple<V>& b) {
+                  return a.first != b.first ? a.first < b.first : a.second < b.second;
+                });
+
+  const std::int64_t nt = static_cast<std::int64_t>(triples.size());
+  std::vector<std::int64_t> is_leader(static_cast<std::size_t>(nt), 0);
+  parallel_for(nt, [&](std::int64_t i) {
+    is_leader[static_cast<std::size_t>(i)] =
+        (i == 0 || triples[static_cast<std::size_t>(i)].first !=
+                       triples[static_cast<std::size_t>(i - 1)].first ||
+         triples[static_cast<std::size_t>(i)].second !=
+             triples[static_cast<std::size_t>(i - 1)].second)
+            ? 1
+            : 0;
+  });
+  std::vector<std::int64_t> leaders_before(is_leader);
+  const std::int64_t ne = exclusive_prefix_sum(std::span<std::int64_t>(leaders_before));
+  // Output slot of triple i: leaders before it, plus itself if it leads its
+  // run, minus one — non-leaders land on their run leader's slot.
+
+  g.efirst.assign(static_cast<std::size_t>(ne), V{});
+  g.esecond.assign(static_cast<std::size_t>(ne), V{});
+  g.eweight.assign(static_cast<std::size_t>(ne), 0);
+  parallel_for(nt, [&](std::int64_t i) {
+    const auto& t = triples[static_cast<std::size_t>(i)];
+    const auto slot = static_cast<std::size_t>(leaders_before[static_cast<std::size_t>(i)] +
+                                               is_leader[static_cast<std::size_t>(i)] - 1);
+    if (is_leader[static_cast<std::size_t>(i)] != 0) {
+      g.efirst[slot] = t.first;
+      g.esecond[slot] = t.second;
+    }
+    std::atomic_ref<Weight>(g.eweight[slot]).fetch_add(t.w, std::memory_order_relaxed);
+  });
+
+  // Buckets: edges are sorted by first vertex, so each bucket is the
+  // contiguous run of its vertex.  Histogram + prefix sum gives cursors.
+  std::vector<EdgeId> counts(static_cast<std::size_t>(nv) + 1, 0);
+  parallel_for(ne, [&](std::int64_t e) {
+    std::atomic_ref<EdgeId>(counts[static_cast<std::size_t>(g.efirst[static_cast<std::size_t>(e)])])
+        .fetch_add(1, std::memory_order_relaxed);
+  });
+  exclusive_prefix_sum(std::span<EdgeId>(counts));
+  g.bucket_begin.assign(counts.begin(), counts.end() - 1);
+  g.bucket_end.assign(static_cast<std::size_t>(nv), 0);
+  parallel_for(static_cast<std::int64_t>(nv), [&](std::int64_t v) {
+    g.bucket_end[static_cast<std::size_t>(v)] = counts[static_cast<std::size_t>(v) + 1];
+  });
+
+  g.recompute_volumes();
+  g.total_weight = g.compute_total_weight();
+  return g;
+}
+
+}  // namespace commdet

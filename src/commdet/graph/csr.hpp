@@ -1,0 +1,89 @@
+// Symmetric CSR adjacency view.
+//
+// Traversal-style algorithms (connected components, quality metrics, the
+// sequential Louvain baseline) want full adjacency per vertex; the
+// community graph stores each edge once.  CsrGraph materializes both
+// directions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "commdet/graph/community_graph.hpp"
+#include "commdet/graph/edge_list.hpp"
+#include "commdet/util/parallel.hpp"
+#include "commdet/util/prefix_sum.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+template <VertexId V>
+struct CsrGraph {
+  V nv = 0;
+  std::vector<EdgeId> offsets;      // nv + 1
+  std::vector<V> neighbors;         // 2 * |E|
+  std::vector<Weight> edge_weight;  // parallel to neighbors
+  std::vector<Weight> self_weight;  // per vertex
+
+  [[nodiscard]] V num_vertices() const noexcept { return nv; }
+  [[nodiscard]] EdgeId num_directed_edges() const noexcept {
+    return static_cast<EdgeId>(neighbors.size());
+  }
+  [[nodiscard]] EdgeId degree(V v) const noexcept {
+    return offsets[static_cast<std::size_t>(v) + 1] - offsets[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] std::span<const V> neighbors_of(V v) const noexcept {
+    const auto b = static_cast<std::size_t>(offsets[static_cast<std::size_t>(v)]);
+    const auto e = static_cast<std::size_t>(offsets[static_cast<std::size_t>(v) + 1]);
+    return {neighbors.data() + b, e - b};
+  }
+  [[nodiscard]] std::span<const Weight> weights_of(V v) const noexcept {
+    const auto b = static_cast<std::size_t>(offsets[static_cast<std::size_t>(v)]);
+    const auto e = static_cast<std::size_t>(offsets[static_cast<std::size_t>(v) + 1]);
+    return {edge_weight.data() + b, e - b};
+  }
+};
+
+/// Expands a community graph into symmetric CSR form.
+template <VertexId V>
+[[nodiscard]] CsrGraph<V> to_csr(const CommunityGraph<V>& g) {
+  CsrGraph<V> csr;
+  csr.nv = g.nv;
+  csr.self_weight = g.self_weight;
+  const EdgeId ne = g.num_edges();
+  const auto nv = static_cast<std::int64_t>(g.nv);
+
+  std::vector<EdgeId> counts(static_cast<std::size_t>(nv) + 1, 0);
+  parallel_for(ne, [&](std::int64_t e) {
+    const auto i = static_cast<std::size_t>(e);
+    std::atomic_ref<EdgeId>(counts[static_cast<std::size_t>(g.efirst[i])])
+        .fetch_add(1, std::memory_order_relaxed);
+    std::atomic_ref<EdgeId>(counts[static_cast<std::size_t>(g.esecond[i])])
+        .fetch_add(1, std::memory_order_relaxed);
+  });
+  exclusive_prefix_sum(std::span<EdgeId>(counts));
+  csr.offsets = counts;  // counts now holds offsets; keep a scatter cursor copy
+  std::vector<EdgeId> cursor(counts.begin(), counts.end() - 1);
+
+  csr.neighbors.assign(static_cast<std::size_t>(2 * ne), V{});
+  csr.edge_weight.assign(static_cast<std::size_t>(2 * ne), 0);
+  parallel_for(ne, [&](std::int64_t e) {
+    const auto i = static_cast<std::size_t>(e);
+    const V a = g.efirst[i];
+    const V b = g.esecond[i];
+    const Weight w = g.eweight[i];
+    const EdgeId pa = std::atomic_ref<EdgeId>(cursor[static_cast<std::size_t>(a)])
+                          .fetch_add(1, std::memory_order_relaxed);
+    csr.neighbors[static_cast<std::size_t>(pa)] = b;
+    csr.edge_weight[static_cast<std::size_t>(pa)] = w;
+    const EdgeId pb = std::atomic_ref<EdgeId>(cursor[static_cast<std::size_t>(b)])
+                          .fetch_add(1, std::memory_order_relaxed);
+    csr.neighbors[static_cast<std::size_t>(pb)] = a;
+    csr.edge_weight[static_cast<std::size_t>(pb)] = w;
+  });
+  return csr;
+}
+
+}  // namespace commdet

@@ -1,0 +1,58 @@
+// Descriptive statistics over a community graph: degree distribution and
+// weight totals.  Used by examples and the Table II harness.
+#pragma once
+
+#include <atomic>
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "commdet/graph/community_graph.hpp"
+#include "commdet/util/parallel.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+struct GraphStats {
+  std::int64_t num_vertices = 0;
+  std::int64_t num_edges = 0;       // unique undirected non-self edges
+  Weight total_weight = 0;          // edges + self loops
+  Weight self_loop_weight = 0;
+  std::int64_t min_degree = 0;      // unweighted degree (unique neighbors)
+  std::int64_t max_degree = 0;
+  double mean_degree = 0.0;
+  std::int64_t isolated_vertices = 0;
+};
+
+template <VertexId V>
+[[nodiscard]] GraphStats graph_stats(const CommunityGraph<V>& g) {
+  const auto nv = static_cast<std::int64_t>(g.nv);
+  const EdgeId ne = g.num_edges();
+
+  // Unweighted degrees from both endpoints of each stored edge.
+  std::vector<std::int64_t> degree(static_cast<std::size_t>(nv), 0);
+  parallel_for(ne, [&](std::int64_t e) {
+    const auto i = static_cast<std::size_t>(e);
+    std::atomic_ref<std::int64_t>(degree[static_cast<std::size_t>(g.efirst[i])])
+        .fetch_add(1, std::memory_order_relaxed);
+    std::atomic_ref<std::int64_t>(degree[static_cast<std::size_t>(g.esecond[i])])
+        .fetch_add(1, std::memory_order_relaxed);
+  });
+
+  GraphStats s;
+  s.num_vertices = nv;
+  s.num_edges = ne;
+  s.total_weight = g.total_weight;
+  s.self_loop_weight =
+      parallel_sum<Weight>(nv, [&](std::int64_t v) { return g.self_weight[static_cast<std::size_t>(v)]; });
+  if (nv > 0) {
+    s.min_degree = *std::min_element(degree.begin(), degree.end());
+    s.max_degree = *std::max_element(degree.begin(), degree.end());
+    s.mean_degree = 2.0 * static_cast<double>(ne) / static_cast<double>(nv);
+    s.isolated_vertices =
+        parallel_count(nv, [&](std::int64_t v) { return degree[static_cast<std::size_t>(v)] == 0; });
+  }
+  return s;
+}
+
+}  // namespace commdet

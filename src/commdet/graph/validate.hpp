@@ -1,0 +1,85 @@
+// Structural invariant checker for CommunityGraph.
+//
+// Used heavily by tests: every matcher/contractor result must keep these
+// invariants, so the validator is the oracle for property tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "commdet/graph/community_graph.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+/// Result of validation: ok() or the first violated invariant.
+struct ValidationResult {
+  std::string error;  // empty == valid
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+/// Checks all structural invariants of g:
+///  * bucket cursors in range, bucket sizes sum to the edge count,
+///  * every edge owned by its bucket vertex and in hashed storage order,
+///  * no explicit self-edges, positive weights, endpoints in range,
+///  * no duplicate (first, second) pair within a bucket,
+///  * volume[] equals 2*self + incident weight,
+///  * total_weight equals the array sums.
+template <VertexId V>
+[[nodiscard]] ValidationResult validate_graph(const CommunityGraph<V>& g) {
+  const auto nv = static_cast<std::int64_t>(g.nv);
+  const EdgeId ne = g.num_edges();
+
+  if (static_cast<std::int64_t>(g.bucket_begin.size()) != nv ||
+      static_cast<std::int64_t>(g.bucket_end.size()) != nv ||
+      static_cast<std::int64_t>(g.self_weight.size()) != nv ||
+      static_cast<std::int64_t>(g.volume.size()) != nv)
+    return {"per-vertex array size mismatch"};
+  if (g.esecond.size() != g.efirst.size() || g.eweight.size() != g.efirst.size())
+    return {"edge array size mismatch"};
+
+  std::vector<std::uint8_t> covered(static_cast<std::size_t>(ne), 0);
+  EdgeId covered_count = 0;
+  for (std::int64_t v = 0; v < nv; ++v) {
+    const EdgeId b = g.bucket_begin[static_cast<std::size_t>(v)];
+    const EdgeId e = g.bucket_end[static_cast<std::size_t>(v)];
+    if (b < 0 || e < b || e > ne) return {"bucket cursor out of range at vertex " + std::to_string(v)};
+    V prev_second = kNoVertex<V>;
+    for (EdgeId k = b; k < e; ++k) {
+      const auto i = static_cast<std::size_t>(k);
+      if (covered[i]) return {"edge slot covered by two buckets"};
+      covered[i] = 1;
+      ++covered_count;
+      if (g.efirst[i] != static_cast<V>(v)) return {"edge not owned by its bucket vertex"};
+      const V s = g.esecond[i];
+      if (s < 0 || s >= g.nv) return {"edge endpoint out of range"};
+      if (s == static_cast<V>(v)) return {"explicit self-edge in edge array"};
+      const auto [hf, hs] = hashed_edge_order(static_cast<V>(v), s);
+      if (hf != static_cast<V>(v) || hs != s) return {"edge not in hashed storage order"};
+      if (g.eweight[i] <= 0) return {"non-positive edge weight"};
+      if (s == prev_second) return {"duplicate edge within bucket"};
+      prev_second = s;
+    }
+  }
+  if (covered_count != ne) return {"bucket cursors do not cover the edge array"};
+
+  // Volume consistency.
+  std::vector<Weight> vol(static_cast<std::size_t>(nv), 0);
+  for (std::int64_t v = 0; v < nv; ++v)
+    vol[static_cast<std::size_t>(v)] = 2 * g.self_weight[static_cast<std::size_t>(v)];
+  for (EdgeId k = 0; k < ne; ++k) {
+    const auto i = static_cast<std::size_t>(k);
+    vol[static_cast<std::size_t>(g.efirst[i])] += g.eweight[i];
+    vol[static_cast<std::size_t>(g.esecond[i])] += g.eweight[i];
+  }
+  for (std::int64_t v = 0; v < nv; ++v) {
+    if (vol[static_cast<std::size_t>(v)] != g.volume[static_cast<std::size_t>(v)])
+      return {"volume array inconsistent at vertex " + std::to_string(v)};
+  }
+
+  if (g.total_weight != g.compute_total_weight()) return {"total_weight inconsistent"};
+  return {};
+}
+
+}  // namespace commdet

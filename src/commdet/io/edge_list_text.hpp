@@ -1,0 +1,64 @@
+// Whitespace-separated edge-list text I/O (the SNAP dataset convention:
+// one "u v [w]" edge per line, '#' or '%' comment lines).  This is the
+// format of soc-LiveJournal1 and friends.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "commdet/graph/edge_list.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+/// Reads an edge list.  Vertex ids may be sparse; num_vertices becomes
+/// max id + 1.  Missing weights default to 1.  Throws std::runtime_error
+/// on unreadable files or malformed lines.
+template <VertexId V>
+[[nodiscard]] EdgeList<V> read_edge_list_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+
+  EdgeList<V> out;
+  std::int64_t max_id = -1;
+  std::string line;
+  std::int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::int64_t u = 0, v = 0;
+    Weight w = 1;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error(path + ":" + std::to_string(line_no) + ": malformed edge line");
+    }
+    ls >> w;  // optional weight
+    if (u < 0 || v < 0)
+      throw std::runtime_error(path + ":" + std::to_string(line_no) + ": negative vertex id");
+    if (!fits_vertex_id<V>(u) || !fits_vertex_id<V>(v))
+      throw std::runtime_error(path + ":" + std::to_string(line_no) + ": vertex id overflows label type");
+    max_id = std::max({max_id, u, v});
+    out.edges.push_back({static_cast<V>(u), static_cast<V>(v), w});
+  }
+  out.num_vertices = static_cast<V>(max_id + 1);
+  return out;
+}
+
+/// Writes "u v w" lines with a size comment header.
+template <VertexId V>
+void write_edge_list_text(const EdgeList<V>& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write edge list: " + path);
+  out << "# Nodes: " << static_cast<std::int64_t>(g.num_vertices)
+      << " Edges: " << g.num_edges() << "\n";
+  for (const auto& e : g.edges)
+    out << static_cast<std::int64_t>(e.u) << ' ' << static_cast<std::int64_t>(e.v) << ' '
+        << e.w << '\n';
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace commdet

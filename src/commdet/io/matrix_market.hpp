@@ -1,0 +1,78 @@
+// Matrix Market coordinate reader: many public graph datasets (including
+// several DIMACS challenge instances) ship as .mtx adjacency matrices.
+// Supports pattern/integer/real fields, general/symmetric symmetry; real
+// weights are rounded to the library's integral Weight.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "commdet/graph/edge_list.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+template <VertexId V>
+[[nodiscard]] EdgeList<V> read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open MatrixMarket file: " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("empty MatrixMarket file: " + path);
+  std::istringstream hs(line);
+  std::string banner, object, format, field, symmetry;
+  hs >> banner >> object >> format >> field >> symmetry;
+  std::transform(field.begin(), field.end(), field.begin(), ::tolower);
+  std::transform(symmetry.begin(), symmetry.end(), symmetry.begin(), ::tolower);
+  if (banner != "%%MatrixMarket" || object != "matrix" || format != "coordinate")
+    throw std::runtime_error("unsupported MatrixMarket banner: " + path);
+  const bool has_value = field == "real" || field == "integer";
+  if (!has_value && field != "pattern")
+    throw std::runtime_error("unsupported MatrixMarket field '" + field + "': " + path);
+  if (symmetry != "general" && symmetry != "symmetric")
+    throw std::runtime_error("unsupported MatrixMarket symmetry '" + symmetry + "': " + path);
+
+  // Size line after comments.
+  std::int64_t rows = 0, cols = 0, nnz = 0;
+  for (;;) {
+    if (!std::getline(in, line)) throw std::runtime_error("missing MatrixMarket size line: " + path);
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ss(line);
+    if (!(ss >> rows >> cols >> nnz))
+      throw std::runtime_error("malformed MatrixMarket size line: " + path);
+    break;
+  }
+  if (rows != cols) throw std::runtime_error("adjacency matrix must be square: " + path);
+  if (!fits_vertex_id<V>(rows == 0 ? 0 : rows - 1))
+    throw std::runtime_error("vertex id overflows label type: " + path);
+
+  EdgeList<V> out;
+  out.num_vertices = static_cast<V>(rows);
+  out.edges.reserve(static_cast<std::size_t>(nnz));
+  for (std::int64_t k = 0; k < nnz; ++k) {
+    if (!std::getline(in, line)) throw std::runtime_error("truncated MatrixMarket file: " + path);
+    if (line.empty() || line[0] == '%') {
+      --k;
+      continue;
+    }
+    std::istringstream ls(line);
+    std::int64_t r = 0, c = 0;
+    double value = 1.0;
+    if (!(ls >> r >> c)) throw std::runtime_error("malformed MatrixMarket entry: " + path);
+    if (has_value && !(ls >> value))
+      throw std::runtime_error("missing MatrixMarket value: " + path);
+    if (r < 1 || r > rows || c < 1 || c > cols)
+      throw std::runtime_error("MatrixMarket entry out of range: " + path);
+    const auto w = static_cast<Weight>(std::llround(std::abs(value)));
+    out.edges.push_back({static_cast<V>(r - 1), static_cast<V>(c - 1), w > 0 ? w : 1});
+  }
+  return out;
+}
+
+}  // namespace commdet

@@ -1,0 +1,111 @@
+// METIS .graph format reader/writer — the 10th DIMACS Implementation
+// Challenge exchange format the paper's evaluation rules come from.
+//
+// Header: "<nv> <ne> [fmt [ncon]]" where fmt's last digit enables edge
+// weights ("1") and the middle digit vertex weights (unsupported here).
+// Then one line per vertex listing its 1-indexed neighbors (with a weight
+// after each neighbor when edge weights are enabled).  Each undirected
+// edge appears in both endpoint lines.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "commdet/graph/edge_list.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+template <VertexId V>
+[[nodiscard]] EdgeList<V> read_metis(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open METIS graph: " + path);
+
+  std::string line;
+  // Header: skip comment lines (starting with '%').
+  std::int64_t nv = 0, ne = 0;
+  bool has_edge_weights = false;
+  for (;;) {
+    if (!std::getline(in, line)) throw std::runtime_error("missing METIS header: " + path);
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream hs(line);
+    std::string fmt;
+    if (!(hs >> nv >> ne)) throw std::runtime_error("malformed METIS header: " + path);
+    if (hs >> fmt) {
+      if (fmt.size() > 3 || fmt.find_first_not_of("01") != std::string::npos)
+        throw std::runtime_error("unsupported METIS fmt field '" + fmt + "': " + path);
+      has_edge_weights = fmt.back() == '1';
+      if (fmt.size() >= 2 && fmt[fmt.size() - 2] == '1')
+        throw std::runtime_error("METIS vertex weights unsupported: " + path);
+    }
+    break;
+  }
+  if (nv < 0 || ne < 0) throw std::runtime_error("negative METIS sizes: " + path);
+  if (!fits_vertex_id<V>(nv == 0 ? 0 : nv - 1))
+    throw std::runtime_error("vertex id overflows label type: " + path);
+
+  EdgeList<V> out;
+  out.num_vertices = static_cast<V>(nv);
+  out.edges.reserve(static_cast<std::size_t>(ne));
+
+  std::int64_t vertex = 0;
+  while (vertex < nv) {
+    if (!std::getline(in, line))
+      throw std::runtime_error("METIS file ends before vertex " + std::to_string(vertex + 1));
+    if (!line.empty() && line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::int64_t nbr = 0;
+    while (ls >> nbr) {
+      if (nbr < 1 || nbr > nv)
+        throw std::runtime_error("METIS neighbor out of range at vertex " +
+                                 std::to_string(vertex + 1));
+      Weight w = 1;
+      if (has_edge_weights && !(ls >> w))
+        throw std::runtime_error("METIS edge weight missing at vertex " +
+                                 std::to_string(vertex + 1));
+      // Keep each undirected edge once (it appears in both lines).
+      if (vertex <= nbr - 1)
+        out.edges.push_back({static_cast<V>(vertex), static_cast<V>(nbr - 1), w});
+    }
+    ++vertex;
+  }
+  if (out.num_edges() != ne)
+    throw std::runtime_error("METIS edge count mismatch: header says " + std::to_string(ne) +
+                             ", file has " + std::to_string(out.num_edges()));
+  return out;
+}
+
+/// Writes the graph in METIS format with edge weights (fmt "001").
+/// The edge list must be free of self-loops (METIS cannot express them);
+/// duplicates are the caller's responsibility.
+template <VertexId V>
+void write_metis(const EdgeList<V>& g, const std::string& path) {
+  // Build adjacency (both directions) in memory.
+  const auto nv = static_cast<std::int64_t>(g.num_vertices);
+  std::vector<std::vector<std::pair<std::int64_t, Weight>>> adj(static_cast<std::size_t>(nv));
+  for (const auto& e : g.edges) {
+    if (e.u == e.v) throw std::invalid_argument("METIS format cannot express self-loops");
+    adj[static_cast<std::size_t>(e.u)].push_back({static_cast<std::int64_t>(e.v), e.w});
+    adj[static_cast<std::size_t>(e.v)].push_back({static_cast<std::int64_t>(e.u), e.w});
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write METIS graph: " + path);
+  out << nv << ' ' << g.num_edges() << " 001\n";
+  for (std::int64_t v = 0; v < nv; ++v) {
+    bool first = true;
+    for (const auto& [nbr, w] : adj[static_cast<std::size_t>(v)]) {
+      if (!first) out << ' ';
+      out << (nbr + 1) << ' ' << w;
+      first = false;
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace commdet

@@ -1,0 +1,95 @@
+// Community-assignment (partition) file I/O.
+//
+// Two formats:
+//  * DIMACS challenge style: line i holds the community of vertex i-1
+//    (the 10th DIMACS Implementation Challenge's clustering format, which
+//    the paper's evaluation rules come from);
+//  * pair style: "vertex community" per line, for sparse or annotated
+//    output (what detect_communities --out writes).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+/// Writes one community id per line, vertex order (DIMACS clustering).
+template <VertexId V>
+void write_partition_dimacs(const std::vector<V>& labels, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write partition: " + path);
+  for (const V c : labels) out << static_cast<std::int64_t>(c) << '\n';
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+/// Reads a DIMACS clustering file (one community id per line).
+template <VertexId V>
+[[nodiscard]] std::vector<V> read_partition_dimacs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open partition: " + path);
+  std::vector<V> labels;
+  std::string line;
+  std::int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::int64_t c = 0;
+    std::istringstream ls(line);
+    if (!(ls >> c) || c < 0)
+      throw std::runtime_error(path + ":" + std::to_string(line_no) + ": bad community id");
+    if (!fits_vertex_id<V>(c))
+      throw std::runtime_error(path + ":" + std::to_string(line_no) + ": id overflows label type");
+    labels.push_back(static_cast<V>(c));
+  }
+  return labels;
+}
+
+/// Writes "vertex community" pairs.
+template <VertexId V>
+void write_partition_pairs(const std::vector<V>& labels, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write partition: " + path);
+  for (std::size_t v = 0; v < labels.size(); ++v)
+    out << v << ' ' << static_cast<std::int64_t>(labels[v]) << '\n';
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+/// Reads "vertex community" pairs; vertices may appear in any order but
+/// must form a dense [0, n) range.
+template <VertexId V>
+[[nodiscard]] std::vector<V> read_partition_pairs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open partition: " + path);
+  std::vector<V> labels;
+  std::vector<bool> seen;
+  std::string line;
+  std::int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::int64_t v = 0, c = 0;
+    std::istringstream ls(line);
+    if (!(ls >> v >> c) || v < 0 || c < 0)
+      throw std::runtime_error(path + ":" + std::to_string(line_no) + ": bad pair line");
+    if (static_cast<std::size_t>(v) >= labels.size()) {
+      labels.resize(static_cast<std::size_t>(v) + 1, kNoVertex<V>);
+      seen.resize(static_cast<std::size_t>(v) + 1, false);
+    }
+    if (seen[static_cast<std::size_t>(v)])
+      throw std::runtime_error(path + ":" + std::to_string(line_no) + ": duplicate vertex");
+    seen[static_cast<std::size_t>(v)] = true;
+    labels[static_cast<std::size_t>(v)] = static_cast<V>(c);
+  }
+  for (std::size_t v = 0; v < seen.size(); ++v)
+    if (!seen[v])
+      throw std::runtime_error(path + ": vertex " + std::to_string(v) + " missing");
+  return labels;
+}
+
+}  // namespace commdet

@@ -1,0 +1,223 @@
+// Vertex programs for the mini-Pregel engine: the classic Pregel-paper
+// kernels plus label-propagation community detection, each verifiable
+// against the library's native (OpenMP) implementations.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "commdet/pregel/engine.hpp"
+#include "commdet/util/rng.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet::pregel {
+
+/// Connected components by minimum-label propagation (the canonical
+/// Pregel example).  Converges to the minimum vertex id per component —
+/// the same labels commdet::connected_components produces.
+template <VertexId V>
+struct MinLabelComponents {
+  using Value = V;
+  using Message = V;
+
+  static void combine(Message& into, const Message& msg) {
+    if (msg < into) into = msg;
+  }
+
+  void init(V vertex, Value& value) const { value = vertex; }
+
+  template <typename Context>
+  void compute(Context& ctx, V /*vertex*/, Value& value,
+               std::span<const Message> inbox) const {
+    V best = value;
+    for (const Message m : inbox) best = std::min(best, m);
+    if (ctx.superstep() == 0 || best < value) {
+      value = best;
+      ctx.send_to_neighbors(value);
+    }
+    ctx.vote_to_halt();
+  }
+};
+
+/// Hop distances from a source (BFS depth), verifiable against
+/// commdet::bfs_distances.
+template <VertexId V>
+struct HopDistance {
+  using Value = std::int64_t;
+  using Message = std::int64_t;
+
+  V source = 0;
+
+  static void combine(Message& into, const Message& msg) {
+    if (msg < into) into = msg;
+  }
+
+  void init(V /*vertex*/, Value& value) const { value = -1; }
+
+  template <typename Context>
+  void compute(Context& ctx, V vertex, Value& value,
+               std::span<const Message> inbox) const {
+    std::int64_t best = value < 0 ? std::numeric_limits<std::int64_t>::max() : value;
+    if (ctx.superstep() == 0 && vertex == source) best = 0;
+    for (const Message m : inbox) best = std::min(best, m);
+    if (best != std::numeric_limits<std::int64_t>::max() && (value < 0 || best < value)) {
+      value = best;
+      ctx.send_to_neighbors(value + 1);
+    }
+    ctx.vote_to_halt();
+  }
+};
+
+/// Synchronous weighted label propagation (community detection): each
+/// vertex adopts the label with the largest incident weight among its
+/// neighbors' advertised labels, ties broken deterministically by label
+/// hash.  Runs for a fixed number of rounds (synchronous LPA need not
+/// converge — two-coloring oscillations — so a round cap is part of the
+/// algorithm).
+template <VertexId V>
+struct LabelPropagation {
+  using Value = V;
+
+  struct Message {
+    V label;
+    Weight weight;
+  };
+
+  int rounds = 16;
+
+  void init(V vertex, Value& value) const { value = vertex; }
+
+  template <typename Context>
+  void compute(Context& ctx, V /*vertex*/, Value& value,
+               std::span<const Message> inbox) const {
+    if (ctx.superstep() > 0 && !inbox.empty()) {
+      // Adopt the heaviest incident label.
+      std::unordered_map<std::int64_t, Weight> tally;
+      for (const Message& m : inbox) tally[static_cast<std::int64_t>(m.label)] += m.weight;
+      V best = value;
+      Weight best_w = -1;
+      std::uint64_t best_tie = 0;
+      for (const auto& [label, w] : tally) {
+        const auto tie = mix64(static_cast<std::uint64_t>(label));
+        if (w > best_w || (w == best_w && tie < best_tie)) {
+          best = static_cast<V>(label);
+          best_w = w;
+          best_tie = tie;
+        }
+      }
+      value = best;
+    }
+    if (ctx.superstep() < rounds) {
+      const auto nbrs = ctx.neighbors();
+      const auto wts = ctx.weights();
+      for (std::size_t k = 0; k < nbrs.size(); ++k)
+        ctx.send(nbrs[k], Message{value, wts[k]});
+    }
+    ctx.vote_to_halt();
+  }
+};
+
+/// Greedy maximal matching by handshaking (Hoepman-style): step 2 of
+/// the paper's algorithm expressed in the Pregel model.  Three-superstep
+/// cycles:
+///   (A) every live unmatched vertex announces availability,
+///   (B) each picks the heaviest announcing neighbor (ties by the same
+///       hashed pair order the native matchers use) and proposes,
+///   (C) mutual proposals match (both sides see the other's proposal).
+/// A vertex retires when a cycle brings no announcements (all neighbors
+/// matched or retired); announcements shrink monotonically, and the
+/// globally best live edge is always mutual, so every cycle matches at
+/// least one pair until the matching is maximal.
+template <VertexId V>
+struct HandshakeMatching {
+  struct Value {
+    V mate = kNoVertex<V>;
+    V proposal = kNoVertex<V>;
+    bool live = true;  // still has (potential) unmatched neighbors
+  };
+
+  struct Message {
+    V from;
+    std::uint8_t kind;  // 0 = available, 1 = propose
+  };
+
+  void init(V /*vertex*/, Value& value) const { value = {}; }
+
+  template <typename Context>
+  void compute(Context& ctx, V vertex, Value& value,
+               std::span<const Message> inbox) const {
+    if (value.mate != kNoVertex<V> || !value.live) {
+      ctx.vote_to_halt();
+      return;
+    }
+    switch (ctx.superstep() % 3) {
+      case 0:  // A: announce (stay active through the whole cycle)
+        for (const V u : ctx.neighbors()) ctx.send(u, Message{vertex, 0});
+        break;
+      case 1: {  // B: propose to the heaviest announcer
+        value.proposal = kNoVertex<V>;
+        const auto nbrs = ctx.neighbors();
+        const auto wts = ctx.weights();
+        Weight best_w = -1;
+        std::uint64_t best_tie = 0;
+        for (const Message& m : inbox) {
+          if (m.kind != 0) continue;
+          Weight w = 0;  // weight of the edge to the announcer
+          for (std::size_t k = 0; k < nbrs.size(); ++k) {
+            if (nbrs[k] == m.from) {
+              w = wts[k];
+              break;
+            }
+          }
+          const V lo = std::min(vertex, m.from);
+          const V hi = std::max(vertex, m.from);
+          const auto tie = mix64((static_cast<std::uint64_t>(lo) << 32) ^
+                                 static_cast<std::uint64_t>(hi));
+          if (w > best_w || (w == best_w && tie < best_tie)) {
+            value.proposal = m.from;
+            best_w = w;
+            best_tie = tie;
+          }
+        }
+        if (value.proposal == kNoVertex<V>) {
+          // Nobody announced: neighbors are all matched or retired, and
+          // announcements only ever shrink — retire for good.
+          value.live = false;
+          ctx.vote_to_halt();
+          return;
+        }
+        ctx.send(value.proposal, Message{vertex, 1});
+        break;
+      }
+      case 2:  // C: mutual proposals match (symmetric on both sides)
+        for (const Message& m : inbox) {
+          if (m.kind == 1 && m.from == value.proposal) {
+            value.mate = value.proposal;
+            ctx.vote_to_halt();
+            return;
+          }
+        }
+        break;
+    }
+    // Unmatched and live: stay active into the next superstep.
+  }
+};
+
+/// Densifies arbitrary vertex labels into [0, k); returns k.
+template <VertexId V>
+[[nodiscard]] std::int64_t densify_labels(std::vector<V>& labels) {
+  std::unordered_map<std::int64_t, V> dense;
+  V next = 0;
+  for (auto& l : labels) {
+    auto [it, inserted] = dense.try_emplace(static_cast<std::int64_t>(l), next);
+    if (inserted) ++next;
+    l = it->second;
+  }
+  return static_cast<std::int64_t>(next);
+}
+
+}  // namespace commdet::pregel

@@ -1,0 +1,58 @@
+// Order-preserving parallel compaction (stream filter).
+//
+// The matching algorithm keeps "an array of currently unmatched vertices"
+// and re-packs it each sweep (Sec. IV-B); this is the pack primitive.
+#pragma once
+
+#include <omp.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "commdet/util/prefix_sum.hpp"
+
+namespace commdet {
+
+/// Writes the elements of `input` satisfying `pred` into a new vector,
+/// preserving their relative order.  Runs in two passes: per-thread
+/// counting, prefix sum of counts, then placement.
+template <typename T, typename Pred>
+[[nodiscard]] std::vector<T> parallel_compact(std::span<const T> input, Pred&& pred) {
+  const std::int64_t n = static_cast<std::int64_t>(input.size());
+  const int max_threads = omp_get_max_threads();
+  std::vector<std::int64_t> thread_counts(static_cast<std::size_t>(max_threads) + 1, 0);
+
+  std::vector<T> output;
+
+#pragma omp parallel
+  {
+    const int tid = omp_get_thread_num();
+    const int nthreads = omp_get_num_threads();
+    const std::int64_t chunk = (n + nthreads - 1) / nthreads;
+    const std::int64_t begin = tid * chunk;
+    const std::int64_t end = begin + chunk < n ? begin + chunk : n;
+
+    std::int64_t local = 0;
+    for (std::int64_t i = begin; i < end; ++i)
+      if (pred(input[static_cast<std::size_t>(i)])) ++local;
+    thread_counts[static_cast<std::size_t>(tid) + 1] = local;
+
+#pragma omp barrier
+#pragma omp single
+    {
+      for (int t = 1; t <= nthreads; ++t) thread_counts[t] += thread_counts[t - 1];
+      output.resize(static_cast<std::size_t>(thread_counts[nthreads]));
+    }
+
+    std::int64_t cursor = thread_counts[static_cast<std::size_t>(tid)];
+    for (std::int64_t i = begin; i < end; ++i) {
+      const T& value = input[static_cast<std::size_t>(i)];
+      if (pred(value)) output[static_cast<std::size_t>(cursor++)] = value;
+    }
+  }
+
+  return output;
+}
+
+}  // namespace commdet

@@ -1,0 +1,66 @@
+// OpenMP loop helpers.
+//
+// The algorithm maps three primitives (score, match, contract) onto
+// work-shared loops.  These wrappers keep the kernels readable and make
+// chunking/scheduling decisions explicit in one place.
+#pragma once
+
+#include <omp.h>
+
+#include <cstdint>
+
+namespace commdet {
+
+/// Number of threads a parallel region would use right now.
+[[nodiscard]] inline int parallel_threads() noexcept {
+  return omp_get_max_threads();
+}
+
+/// Static-scheduled parallel loop over [0, n).  `body(i)` must be safe to
+/// run concurrently for distinct i.
+template <typename Body>
+void parallel_for(std::int64_t n, Body&& body) {
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) body(i);
+}
+
+/// Dynamic-scheduled parallel loop for irregular per-item work (power-law
+/// bucket sizes make static schedules imbalanced).
+template <typename Body>
+void parallel_for_dynamic(std::int64_t n, Body&& body, std::int64_t chunk = 64) {
+#pragma omp parallel for schedule(dynamic, chunk)
+  for (std::int64_t i = 0; i < n; ++i) body(i);
+}
+
+/// Parallel sum-reduction of `body(i)` over [0, n).
+template <typename T, typename Body>
+[[nodiscard]] T parallel_sum(std::int64_t n, Body&& body) {
+  T total{};
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::int64_t i = 0; i < n; ++i) total += body(i);
+  return total;
+}
+
+/// Parallel count of indices where `pred(i)` holds.
+template <typename Pred>
+[[nodiscard]] std::int64_t parallel_count(std::int64_t n, Pred&& pred) {
+  std::int64_t total = 0;
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::int64_t i = 0; i < n; ++i) total += pred(i) ? 1 : 0;
+  return total;
+}
+
+/// Parallel max-reduction of `body(i)` over [0, n); returns `init` when
+/// n == 0.
+template <typename T, typename Body>
+[[nodiscard]] T parallel_max(std::int64_t n, T init, Body&& body) {
+  T best = init;
+#pragma omp parallel for schedule(static) reduction(max : best)
+  for (std::int64_t i = 0; i < n; ++i) {
+    const T value = body(i);
+    if (value > best) best = value;
+  }
+  return best;
+}
+
+}  // namespace commdet

@@ -1,0 +1,101 @@
+// Random-number generation.
+//
+// Parallel graph generation needs reproducible streams that do not depend
+// on the thread schedule.  We provide:
+//   * splitmix64        — seeding / hashing primitive,
+//   * Xoshiro256ss      — fast sequential generator,
+//   * CounterRng        — stateless, counter-based generator: the value for
+//                         (seed, stream, counter) is a pure function, so a
+//                         parallel loop indexed by `counter` produces the
+//                         same stream regardless of scheduling.
+#pragma once
+
+#include <cstdint>
+
+namespace commdet {
+
+/// One step of the splitmix64 sequence; also a good 64-bit finalizer/mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of a 64-bit value (splitmix64 finalizer).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality sequential PRNG.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256ss(std::uint64_t seed) noexcept {
+    // Seed the full 256-bit state through splitmix64, as recommended by
+    // the xoshiro authors; guarantees a nonzero state.
+    for (auto& word : state_) word = splitmix64(seed);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+/// Stateless counter-based generator.  `at(counter)` is a pure function of
+/// (seed, stream, counter): parallel loops draw independent values by
+/// passing their loop index, giving schedule-independent reproducibility.
+class CounterRng {
+ public:
+  constexpr CounterRng(std::uint64_t seed, std::uint64_t stream = 0) noexcept
+      : key_(mix64(seed ^ mix64(stream * 0xda942042e4dd58b5ULL))) {}
+
+  [[nodiscard]] constexpr std::uint64_t at(std::uint64_t counter) const noexcept {
+    return mix64(key_ ^ (counter * 0xd6e8feb86659fd93ULL));
+  }
+
+  /// Uniform double in [0, 1) for the given counter.
+  [[nodiscard]] constexpr double uniform(std::uint64_t counter) const noexcept {
+    return static_cast<double>(at(counter) >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) for the given counter (bound > 0).
+  [[nodiscard]] constexpr std::uint64_t below(std::uint64_t counter,
+                                              std::uint64_t bound) const noexcept {
+    // 128-bit multiply keeps the distribution close to uniform without a
+    // rejection loop (bias < 2^-64 * bound, negligible for graph sizes).
+    __extension__ using uint128 = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<uint128>(at(counter)) * bound) >> 64);
+  }
+
+ private:
+  std::uint64_t key_;
+};
+
+}  // namespace commdet

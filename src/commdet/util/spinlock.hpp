@@ -1,0 +1,82 @@
+// Per-vertex spinlock table.
+//
+// The paper's OpenMP port guards per-vertex match state with an array of
+// |V| locks (Sec. IV-B).  OpenMP's omp_lock_t needs explicit init/destroy
+// and is heavyweight; a byte-wide test-and-set spinlock is the idiomatic
+// OpenMP-era equivalent and keeps the table cache-compact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace commdet {
+
+/// Fixed-size table of test-and-set spinlocks.
+class SpinlockTable {
+ public:
+  explicit SpinlockTable(std::size_t count)
+      : count_(count), flags_(std::make_unique<std::atomic<std::uint8_t>[]>(count)) {
+    for (std::size_t i = 0; i < count_; ++i)
+      flags_[i].store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+  void lock(std::size_t i) noexcept {
+    auto& flag = flags_[i];
+    for (;;) {
+      if (flag.exchange(1, std::memory_order_acquire) == 0) return;
+      while (flag.load(std::memory_order_relaxed) != 0) {
+        // spin; test-and-test-and-set keeps the cache line shared
+      }
+    }
+  }
+
+  [[nodiscard]] bool try_lock(std::size_t i) noexcept {
+    return flags_[i].exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  void unlock(std::size_t i) noexcept {
+    flags_[i].store(0, std::memory_order_release);
+  }
+
+  /// Locks two slots in ascending index order (deadlock-free pairing).
+  void lock_pair(std::size_t a, std::size_t b) noexcept {
+    if (a > b) {
+      lock(b);
+      lock(a);
+    } else if (a < b) {
+      lock(a);
+      lock(b);
+    } else {
+      lock(a);
+    }
+  }
+
+  void unlock_pair(std::size_t a, std::size_t b) noexcept {
+    unlock(a);
+    if (b != a) unlock(b);
+  }
+
+ private:
+  std::size_t count_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> flags_;
+};
+
+/// RAII guard for a single SpinlockTable slot.
+class SpinlockGuard {
+ public:
+  SpinlockGuard(SpinlockTable& table, std::size_t i) noexcept : table_(table), i_(i) {
+    table_.lock(i_);
+  }
+  SpinlockGuard(const SpinlockGuard&) = delete;
+  SpinlockGuard& operator=(const SpinlockGuard&) = delete;
+  ~SpinlockGuard() { table_.unlock(i_); }
+
+ private:
+  SpinlockTable& table_;
+  std::size_t i_;
+};
+
+}  // namespace commdet

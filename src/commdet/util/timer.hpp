@@ -1,0 +1,39 @@
+// Wall-clock timing helpers used by the driver's per-phase telemetry and
+// by the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace commdet {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's wall time into an accumulator on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& accumulator) noexcept : acc_(accumulator) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { acc_ += timer_.seconds(); }
+
+ private:
+  double& acc_;
+  WallTimer timer_;
+};
+
+}  // namespace commdet

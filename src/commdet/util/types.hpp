@@ -1,0 +1,42 @@
+// Core scalar types shared across the library.
+//
+// The paper stores graphs as 64-bit integer triples but runs the largest
+// graph (uk-2007-05) with 32-bit vertex labels on Intel platforms to fit
+// memory.  We reproduce that: every graph-touching component is templated
+// on the vertex-id type, constrained to int32_t or int64_t.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+
+namespace commdet {
+
+/// Integer edge weights.  Multi-edges accumulate into the weight, and
+/// self-loop weights count input edges folded inside a community, so the
+/// weight type stays 64-bit even in 32-bit vertex-label builds.
+using Weight = std::int64_t;
+
+/// Edge-array indices.  Edge counts can exceed 2^31 even when vertex ids
+/// fit 32 bits (uk-2007-05 has 3.3e9 edges), so edge offsets are always
+/// 64-bit.
+using EdgeId = std::int64_t;
+
+/// Edge scores are 64-bit floating point, as in the paper (Sec. IV-B).
+using Score = double;
+
+/// Vertex-id types supported by the library.
+template <typename V>
+concept VertexId = std::same_as<V, std::int32_t> || std::same_as<V, std::int64_t>;
+
+/// Sentinel for "no vertex" (unmatched, no parent, ...).
+template <VertexId V>
+inline constexpr V kNoVertex = V{-1};
+
+/// Checked narrowing from 64-bit counts into a vertex-id type.
+template <VertexId V>
+[[nodiscard]] constexpr bool fits_vertex_id(std::int64_t value) noexcept {
+  return value >= 0 && value <= static_cast<std::int64_t>(std::numeric_limits<V>::max());
+}
+
+}  // namespace commdet

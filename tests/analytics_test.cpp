@@ -1,0 +1,113 @@
+// Tests for the graph-analytics substrate: BFS and triangle counting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "commdet/cc/bfs.hpp"
+#include "commdet/cc/connected_components.hpp"
+#include "commdet/gen/erdos_renyi.hpp"
+#include "commdet/gen/simple_graphs.hpp"
+#include "commdet/gen/watts_strogatz.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/csr.hpp"
+#include "commdet/graph/triangles.hpp"
+
+namespace commdet {
+namespace {
+
+using V32 = std::int32_t;
+
+TEST(Bfs, PathDistancesAreExact) {
+  const auto csr = to_csr(build_community_graph(make_path<V32>(100)));
+  const auto dist = bfs_distances(csr, V32{0});
+  for (std::int64_t v = 0; v < 100; ++v) EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+  EXPECT_EQ(bfs_eccentricity(csr, V32{0}), 99);
+  EXPECT_EQ(bfs_eccentricity(csr, V32{50}), 50);
+}
+
+TEST(Bfs, DisconnectedVerticesUnreachable) {
+  EdgeList<V32> el;
+  el.num_vertices = 5;
+  el.add(0, 1);
+  el.add(3, 4);
+  const auto csr = to_csr(build_community_graph(el));
+  const auto dist = bfs_distances(csr, V32{0});
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+  EXPECT_EQ(bfs_reachable_count(csr, V32{0}), 2);
+}
+
+TEST(Bfs, AgreesWithUnionFindComponents) {
+  const auto el = generate_erdos_renyi<V32>(2000, 2500, 11);
+  const auto labels = connected_components(el);
+  const auto csr = to_csr(build_community_graph(el));
+  // Reachable set size from vertex 0 equals its component size.
+  std::int64_t comp0 = 0;
+  for (const auto l : labels)
+    if (l == labels[0]) ++comp0;
+  EXPECT_EQ(bfs_reachable_count(csr, V32{0}), comp0);
+}
+
+TEST(Bfs, CycleEccentricityIsHalf) {
+  const auto csr = to_csr(build_community_graph(make_cycle<V32>(64)));
+  EXPECT_EQ(bfs_eccentricity(csr, V32{0}), 32);
+}
+
+TEST(Triangles, CliqueCountsAreClosedForm) {
+  const auto csr = to_csr(build_community_graph(make_clique<V32>(8)));
+  const auto s = triangle_stats(csr);
+  EXPECT_EQ(s.triangles, 8 * 7 * 6 / 6);  // C(8,3)
+  EXPECT_DOUBLE_EQ(s.global_clustering, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_local_clustering, 1.0);
+}
+
+TEST(Triangles, TreesHaveNone) {
+  const auto csr = to_csr(build_community_graph(make_star<V32>(100)));
+  const auto s = triangle_stats(csr);
+  EXPECT_EQ(s.triangles, 0);
+  EXPECT_DOUBLE_EQ(s.global_clustering, 0.0);
+}
+
+TEST(Triangles, PerVertexCountsOnBridgedCliques) {
+  // Two K4s plus a bridge: each K4 vertex is in C(3,2)=3 triangles.
+  EdgeList<V32> el;
+  el.num_vertices = 8;
+  for (V32 u = 0; u < 4; ++u)
+    for (V32 v = u + 1; v < 4; ++v) {
+      el.add(u, v);
+      el.add(u + 4, v + 4);
+    }
+  el.add(3, 4);
+  const auto counts = triangle_counts(to_csr(build_community_graph(el)));
+  for (int v = 0; v < 8; ++v) EXPECT_EQ(counts[static_cast<std::size_t>(v)], 3) << v;
+}
+
+TEST(Triangles, SmallWorldBeatsRandomClustering) {
+  // Watts-Strogatz at low rewire keeps lattice clustering; an
+  // Erdős–Rényi graph of the same size has nearly none.
+  WattsStrogatzParams p;
+  p.num_vertices = 2000;
+  p.neighbors_per_side = 4;
+  p.rewire_probability = 0.05;
+  const auto ws = triangle_stats(to_csr(build_community_graph(generate_watts_strogatz<V32>(p))));
+  const auto er = triangle_stats(
+      to_csr(build_community_graph(generate_erdos_renyi<V32>(2000, 8000, 5))));
+  EXPECT_GT(ws.global_clustering, 0.3);
+  EXPECT_LT(er.global_clustering, 0.05);
+  EXPECT_GT(ws.global_clustering, 5.0 * er.global_clustering);
+}
+
+TEST(Triangles, MultiEdgesDoNotInflateCounts) {
+  EdgeList<V32> el;
+  el.num_vertices = 3;
+  el.add(0, 1, 5);
+  el.add(1, 2);
+  el.add(0, 2);
+  el.add(0, 1);  // duplicate accumulates weight, not triangles
+  const auto s = triangle_stats(to_csr(build_community_graph(el)));
+  EXPECT_EQ(s.triangles, 1);
+}
+
+}  // namespace
+}  // namespace commdet

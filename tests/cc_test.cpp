@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "commdet/cc/connected_components.hpp"
+#include "commdet/gen/rmat.hpp"
+#include "commdet/gen/simple_graphs.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/validate.hpp"
+
+namespace commdet {
+namespace {
+
+template <typename V>
+class CcTypedTest : public ::testing::Test {};
+
+using VertexTypes = ::testing::Types<std::int32_t, std::int64_t>;
+TYPED_TEST_SUITE(CcTypedTest, VertexTypes);
+
+TYPED_TEST(CcTypedTest, TwoTrianglesAreTwoComponents) {
+  using V = TypeParam;
+  EdgeList<V> el;
+  el.num_vertices = 6;
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(0, 2);
+  el.add(3, 4);
+  el.add(4, 5);
+  el.add(3, 5);
+  const auto labels = connected_components(el);
+  EXPECT_EQ(count_components(labels), 2);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  // Labels are minimum ids.
+  EXPECT_EQ(labels[0], V{0});
+  EXPECT_EQ(labels[3], V{3});
+}
+
+TYPED_TEST(CcTypedTest, IsolatedVerticesAreSingletons) {
+  using V = TypeParam;
+  EdgeList<V> el;
+  el.num_vertices = 5;
+  el.add(1, 3);
+  const auto labels = connected_components(el);
+  EXPECT_EQ(count_components(labels), 4);
+}
+
+TYPED_TEST(CcTypedTest, LargestComponentExtractsAndRelabels) {
+  using V = TypeParam;
+  EdgeList<V> el;
+  el.num_vertices = 10;
+  // Component A: 0..4 path (5 vertices).  Component B: 7-8 (2 vertices).
+  for (V v = 0; v < 4; ++v) el.add(v, v + 1);
+  el.add(7, 8);
+  el.add(2, 2, 3);  // self-loop inside A must survive
+  const auto lcc = largest_component(el);
+  EXPECT_EQ(lcc.num_vertices, 5);
+  EXPECT_EQ(lcc.num_edges(), 5);  // 4 path edges + self-loop
+  const auto g = build_community_graph(lcc);
+  EXPECT_TRUE(validate_graph(g).ok()) << validate_graph(g).error;
+  EXPECT_EQ(g.self_weight[2], 3);  // relabeling is order-preserving
+}
+
+TYPED_TEST(CcTypedTest, ConnectedGraphIsOneComponent) {
+  using V = TypeParam;
+  const auto el = make_cycle<V>(1000);
+  EXPECT_EQ(count_components(connected_components(el)), 1);
+  const auto lcc = largest_component(el);
+  EXPECT_EQ(lcc.num_vertices, 1000);
+  EXPECT_EQ(lcc.num_edges(), 1000);
+}
+
+TEST(Cc, RmatLargestComponentIsConnectedAndDominant) {
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8;
+  const auto el = generate_rmat<std::int32_t>(p);
+  const auto lcc = largest_component(el);
+  // R-MAT at edge factor 8 has a giant component covering most vertices.
+  EXPECT_GT(lcc.num_vertices, el.num_vertices / 2);
+  EXPECT_EQ(count_components(connected_components(lcc)), 1);
+}
+
+TEST(Cc, EmptyGraph) {
+  EdgeList<std::int32_t> el;
+  el.num_vertices = 0;
+  EXPECT_EQ(count_components(connected_components(el)), 0);
+}
+
+}  // namespace
+}  // namespace commdet

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "commdet/core/detect.hpp"
+#include "commdet/core/metrics.hpp"
+#include "commdet/gen/planted_partition.hpp"
+#include "commdet/gen/simple_graphs.hpp"
+#include "commdet/graph/builder.hpp"
+
+namespace commdet {
+namespace {
+
+using V32 = std::int32_t;
+
+TEST(DetectFacade, ModularityMatchesTemplatedDriver) {
+  const auto g = build_community_graph(make_caveman<V32>(8, 6));
+  const auto direct = agglomerate(CommunityGraph<V32>(g), ModularityScorer{});
+  const auto facade = detect_communities(g);
+  // Non-determinism allows different matchings; quality must agree in
+  // range and the facade must produce a valid clustering.
+  EXPECT_NEAR(facade.final_modularity, direct.final_modularity, 0.15);
+  EXPECT_GT(facade.final_modularity, 0.5);
+}
+
+TEST(DetectFacade, EveryScorerRuns) {
+  const auto g = build_community_graph(make_caveman<V32>(6, 6));
+  for (const auto kind : {ScorerKind::kModularity, ScorerKind::kConductance,
+                          ScorerKind::kHeavyEdge, ScorerKind::kResolutionModularity}) {
+    DetectOptions opts;
+    opts.scorer = kind;
+    opts.resolution_gamma = 2.0;
+    opts.agglomeration.min_coverage = 0.5;  // needed by the unbounded scorers
+    const auto r = detect_communities(g, opts);
+    EXPECT_GT(r.num_communities, 0) << to_string(kind);
+    EXPECT_LE(r.num_communities, 36) << to_string(kind);
+  }
+}
+
+TEST(DetectFacade, RejectsUnboundedScorersWithoutLimits) {
+  const auto g = build_community_graph(make_caveman<V32>(4, 5));
+  DetectOptions opts;
+  opts.scorer = ScorerKind::kHeavyEdge;
+  EXPECT_THROW((void)detect_communities(g, opts), std::invalid_argument);
+  opts.scorer = ScorerKind::kConductance;
+  EXPECT_THROW((void)detect_communities(g, opts), std::invalid_argument);
+  // Any limit makes them legal.
+  opts.agglomeration.max_levels = 3;
+  EXPECT_NO_THROW((void)detect_communities(g, opts));
+}
+
+TEST(DetectFacade, RefinementImprovesAndRelabelsConsistently) {
+  PlantedPartitionParams p;
+  p.num_vertices = 2048;
+  p.num_blocks = 32;
+  p.internal_degree = 14;
+  p.external_degree = 4;
+  const auto g = build_community_graph(generate_planted_partition<V32>(p));
+
+  DetectOptions plain;
+  const auto base = detect_communities(g, plain);
+
+  DetectOptions refined = plain;
+  refined.refine = true;
+  const auto better = detect_communities(g, refined);
+
+  EXPECT_GE(better.final_modularity, base.final_modularity);
+  // Reported numbers must agree with from-scratch evaluation.
+  const auto q = evaluate_partition(
+      g, std::span<const V32>(better.community.data(), better.community.size()));
+  EXPECT_NEAR(q.modularity, better.final_modularity, 1e-9);
+  EXPECT_NEAR(q.coverage, better.final_coverage, 1e-9);
+  EXPECT_EQ(q.num_communities, better.num_communities);
+}
+
+TEST(DetectFacade, VCycleRefinementMode) {
+  PlantedPartitionParams p;
+  p.num_vertices = 2048;
+  p.num_blocks = 32;
+  p.internal_degree = 12;
+  p.external_degree = 6;
+  const auto g = build_community_graph(generate_planted_partition<V32>(p));
+
+  DetectOptions plain;
+  const auto base = detect_communities(g, plain);
+
+  DetectOptions vcycle = plain;
+  vcycle.refine_mode = DetectOptions::RefineMode::kVCycle;
+  const auto better = detect_communities(g, vcycle);
+
+  EXPECT_GE(better.final_modularity, base.final_modularity - 1e-12);
+  const auto q = evaluate_partition(
+      g, std::span<const V32>(better.community.data(), better.community.size()));
+  EXPECT_NEAR(q.modularity, better.final_modularity, 1e-9);
+  EXPECT_EQ(q.num_communities, better.num_communities);
+}
+
+TEST(Nmi, IdenticalAndRelabeledScoreOne) {
+  const std::vector<std::int64_t> a{0, 0, 1, 1, 2, 2};
+  const std::vector<std::int64_t> b{9, 9, 4, 4, 7, 7};
+  EXPECT_NEAR(normalized_mutual_information(std::span<const std::int64_t>(a),
+                                            std::span<const std::int64_t>(a)),
+              1.0, 1e-12);
+  EXPECT_NEAR(normalized_mutual_information(std::span<const std::int64_t>(a),
+                                            std::span<const std::int64_t>(b)),
+              1.0, 1e-12);
+}
+
+TEST(Nmi, IndependentPartitionsScoreLow) {
+  // a: halves; b: alternating — statistically independent on 8 points.
+  const std::vector<std::int64_t> a{0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<std::int64_t> b{0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_NEAR(normalized_mutual_information(std::span<const std::int64_t>(a),
+                                            std::span<const std::int64_t>(b)),
+              0.0, 1e-12);
+}
+
+TEST(Nmi, TrivialPartitionAgainstAnything) {
+  const std::vector<std::int64_t> all_same{0, 0, 0, 0};
+  const std::vector<std::int64_t> split{0, 0, 1, 1};
+  // One-cluster vs nontrivial: no information shared.
+  EXPECT_NEAR(normalized_mutual_information(std::span<const std::int64_t>(all_same),
+                                            std::span<const std::int64_t>(split)),
+              0.0, 1e-12);
+  // One-cluster vs one-cluster: identical by convention.
+  EXPECT_NEAR(normalized_mutual_information(std::span<const std::int64_t>(all_same),
+                                            std::span<const std::int64_t>(all_same)),
+              1.0, 1e-12);
+}
+
+TEST(Nmi, AgreesDirectionallyWithAri) {
+  PlantedPartitionParams p;
+  p.num_vertices = 1024;
+  p.num_blocks = 16;
+  p.internal_degree = 16;
+  p.external_degree = 2;
+  const auto g = build_community_graph(generate_planted_partition<V32>(p));
+  const auto r = detect_communities(g);
+  std::vector<std::int64_t> truth(static_cast<std::size_t>(p.num_vertices));
+  for (std::int64_t v = 0; v < p.num_vertices; ++v)
+    truth[static_cast<std::size_t>(v)] = planted_block_of(p, v);
+  const std::span<const V32> labels(r.community.data(), r.community.size());
+  const double nmi =
+      normalized_mutual_information(std::span<const std::int64_t>(truth), labels);
+  const double ari = adjusted_rand_index(std::span<const std::int64_t>(truth), labels);
+  EXPECT_GT(nmi, 0.5);
+  EXPECT_GT(nmi, ari - 0.3);  // same ballpark; NMI is typically the higher one
+}
+
+}  // namespace
+}  // namespace commdet

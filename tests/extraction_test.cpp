@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+
+#include "commdet/commdet.hpp"  // umbrella header compiles standalone
+
+namespace commdet {
+namespace {
+
+using V32 = std::int32_t;
+
+TEST(Extraction, CommunitySubgraphIsTheInducedGraph) {
+  // Two K4s plus a bridge, labeled by clique.
+  EdgeList<V32> el;
+  el.num_vertices = 8;
+  for (V32 u = 0; u < 4; ++u)
+    for (V32 v = u + 1; v < 4; ++v) {
+      el.add(u, v);
+      el.add(u + 4, v + 4);
+    }
+  el.add(3, 4);
+  const auto g = build_community_graph(el);
+  const std::vector<V32> labels{0, 0, 0, 0, 1, 1, 1, 1};
+
+  const auto sub = extract_community(g, std::span<const V32>(labels), V32{1});
+  EXPECT_EQ(sub.graph.num_vertices, 4);
+  EXPECT_EQ(sub.graph.num_edges(), 6);  // K4, bridge excluded
+  EXPECT_EQ(sub.original_vertex, (std::vector<V32>{4, 5, 6, 7}));
+  // Rebuilds into a valid graph.
+  const auto cg = build_community_graph(sub.graph);
+  EXPECT_TRUE(validate_graph(cg).ok());
+  EXPECT_EQ(cg.total_weight, 6);
+}
+
+TEST(Extraction, SelfLoopsSurviveExtraction) {
+  EdgeList<V32> el;
+  el.num_vertices = 3;
+  el.add(0, 0, 7);
+  el.add(0, 1);
+  el.add(2, 2, 2);
+  const auto g = build_community_graph(el);
+  const std::vector<V32> labels{0, 0, 1};
+  const auto sub = extract_community(g, std::span<const V32>(labels), V32{0});
+  const auto cg = build_community_graph(sub.graph);
+  EXPECT_EQ(cg.self_weight[0], 7);
+  EXPECT_EQ(cg.total_weight, 8);
+}
+
+TEST(Extraction, ProfilesMatchEvaluatePartition) {
+  PlantedPartitionParams p;
+  p.num_vertices = 1024;
+  p.num_blocks = 16;
+  const auto g = build_community_graph(generate_planted_partition<V32>(p));
+  const auto r = agglomerate(CommunityGraph<V32>(g), ModularityScorer{});
+  const std::span<const V32> labels(r.community.data(), r.community.size());
+
+  const auto profiles = community_profiles(g, labels);
+  const auto q = evaluate_partition(g, labels);
+  ASSERT_EQ(static_cast<std::int64_t>(profiles.size()), q.num_communities);
+
+  Weight inside = 0;
+  std::int64_t members = 0;
+  double worst_phi = 0;
+  for (const auto& prof : profiles) {
+    inside += prof.internal_weight;
+    members += prof.size;
+    worst_phi = std::max(worst_phi, prof.conductance);
+    EXPECT_EQ(prof.volume, 2 * prof.internal_weight + prof.cut_weight);
+  }
+  EXPECT_EQ(members, 1024);
+  EXPECT_NEAR(static_cast<double>(inside) / static_cast<double>(g.total_weight), q.coverage,
+              1e-12);
+  EXPECT_NEAR(worst_phi, q.max_conductance, 1e-12);
+}
+
+TEST(Extraction, SubgraphSizesSumToWholeGraph) {
+  const auto g = build_community_graph(make_caveman<V32>(6, 5));
+  const auto r = agglomerate(CommunityGraph<V32>(g), ModularityScorer{});
+  const std::span<const V32> labels(r.community.data(), r.community.size());
+  std::int64_t total_vertices = 0;
+  for (V32 c = 0; c < static_cast<V32>(r.num_communities); ++c)
+    total_vertices += extract_community(g, labels, c).graph.num_vertices;
+  EXPECT_EQ(total_vertices, 30);
+}
+
+TEST(Aggregate, ByLabelsPreservesPartitionQuality) {
+  PlantedPartitionParams p;
+  p.num_vertices = 512;
+  p.num_blocks = 8;
+  const auto g = build_community_graph(generate_planted_partition<V32>(p));
+  const auto r = agglomerate(CommunityGraph<V32>(g), ModularityScorer{});
+  const auto coarse =
+      aggregate_by_labels(g, std::span<const V32>(r.community.data(), r.community.size()));
+
+  ASSERT_TRUE(validate_graph(coarse).ok()) << validate_graph(coarse).error;
+  EXPECT_EQ(static_cast<std::int64_t>(coarse.num_vertices()), r.num_communities);
+  EXPECT_EQ(coarse.total_weight, g.total_weight);
+
+  // The coarse graph's singleton partition has the same modularity and
+  // coverage the fine partition had.
+  std::vector<V32> identity(static_cast<std::size_t>(coarse.nv));
+  std::iota(identity.begin(), identity.end(), 0);
+  const auto q = evaluate_partition(coarse, std::span<const V32>(identity));
+  EXPECT_NEAR(q.modularity, r.final_modularity, 1e-9);
+  EXPECT_NEAR(q.coverage, r.final_coverage, 1e-9);
+}
+
+TEST(Aggregate, MatchingContractionIsASpecialCase) {
+  // Aggregating by the driver's level-1 labels equals contracting by the
+  // level-1 matching.
+  const auto g = build_community_graph(make_caveman<V32>(8, 6));
+  AgglomerationOptions opts;
+  opts.max_levels = 1;
+  opts.track_hierarchy = true;
+  const auto r = agglomerate(CommunityGraph<V32>(g), ModularityScorer{}, opts);
+  const auto level1 = r.labels_at_level(1);
+  const auto coarse = aggregate_by_labels(g, std::span<const V32>(level1));
+  EXPECT_EQ(static_cast<std::int64_t>(coarse.num_vertices()), r.num_communities);
+  EXPECT_EQ(coarse.total_weight, g.total_weight);
+}
+
+}  // namespace
+}  // namespace commdet

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "commdet/cc/connected_components.hpp"
+#include "commdet/gen/barabasi_albert.hpp"
+#include "commdet/gen/watts_strogatz.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/stats.hpp"
+#include "commdet/graph/validate.hpp"
+
+namespace commdet {
+namespace {
+
+TEST(WattsStrogatz, RingLatticeAtZeroRewire) {
+  WattsStrogatzParams p;
+  p.num_vertices = 100;
+  p.neighbors_per_side = 3;
+  p.rewire_probability = 0.0;
+  const auto el = generate_watts_strogatz<std::int32_t>(p);
+  EXPECT_EQ(el.num_edges(), 300);
+  const auto g = build_community_graph(el);
+  ASSERT_TRUE(validate_graph(g).ok());
+  const auto s = graph_stats(g);
+  // Perfect ring lattice: every vertex has degree exactly 2k.
+  EXPECT_EQ(s.min_degree, 6);
+  EXPECT_EQ(s.max_degree, 6);
+  EXPECT_EQ(count_components(connected_components(el)), 1);
+}
+
+TEST(WattsStrogatz, RewiringPerturbsDegrees) {
+  WattsStrogatzParams p;
+  p.num_vertices = 2000;
+  p.neighbors_per_side = 4;
+  p.rewire_probability = 0.3;
+  const auto el = generate_watts_strogatz<std::int32_t>(p);
+  const auto s = graph_stats(build_community_graph(el));
+  EXPECT_LT(s.min_degree, 8);
+  EXPECT_GT(s.max_degree, 8);
+}
+
+TEST(WattsStrogatz, DeterministicAndNoSelfLoops) {
+  WattsStrogatzParams p;
+  p.num_vertices = 500;
+  p.rewire_probability = 1.0;
+  const auto a = generate_watts_strogatz<std::int64_t>(p);
+  const auto b = generate_watts_strogatz<std::int64_t>(p);
+  EXPECT_EQ(a.edges, b.edges);
+  for (const auto& e : a.edges) EXPECT_NE(e.u, e.v);
+}
+
+TEST(WattsStrogatz, RejectsInvalidParameters) {
+  WattsStrogatzParams p;
+  p.num_vertices = 2;
+  EXPECT_THROW((void)generate_watts_strogatz<std::int32_t>(p), std::invalid_argument);
+  p.num_vertices = 100;
+  p.rewire_probability = 1.5;
+  EXPECT_THROW((void)generate_watts_strogatz<std::int32_t>(p), std::invalid_argument);
+  p.rewire_probability = 0.1;
+  p.neighbors_per_side = 50;
+  EXPECT_THROW((void)generate_watts_strogatz<std::int32_t>(p), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, EdgeCountMatchesGrowthProcess) {
+  BarabasiAlbertParams p;
+  p.num_vertices = 1000;
+  p.edges_per_vertex = 3;
+  const auto el = generate_barabasi_albert<std::int32_t>(p);
+  // seed clique C(4,2)=6 + (1000 - 4) * 3 attachments
+  EXPECT_EQ(el.num_edges(), 6 + 996 * 3);
+  EXPECT_TRUE(validate_graph(build_community_graph(el)).ok());
+}
+
+TEST(BarabasiAlbert, ProducesHeavyTailedDegrees) {
+  BarabasiAlbertParams p;
+  p.num_vertices = 5000;
+  p.edges_per_vertex = 4;
+  const auto s = graph_stats(build_community_graph(generate_barabasi_albert<std::int32_t>(p)));
+  // Preferential attachment: the hub's degree dwarfs the mean.
+  EXPECT_GT(static_cast<double>(s.max_degree), 8.0 * s.mean_degree);
+  EXPECT_EQ(s.isolated_vertices, 0);
+}
+
+TEST(BarabasiAlbert, ConnectedByConstruction) {
+  BarabasiAlbertParams p;
+  p.num_vertices = 2000;
+  p.edges_per_vertex = 2;
+  const auto el = generate_barabasi_albert<std::int32_t>(p);
+  EXPECT_EQ(count_components(connected_components(el)), 1);
+}
+
+TEST(BarabasiAlbert, DeterministicPerSeed) {
+  BarabasiAlbertParams p;
+  p.num_vertices = 300;
+  p.seed = 9;
+  const auto a = generate_barabasi_albert<std::int64_t>(p);
+  const auto b = generate_barabasi_albert<std::int64_t>(p);
+  EXPECT_EQ(a.edges, b.edges);
+  p.seed = 10;
+  const auto c = generate_barabasi_albert<std::int64_t>(p);
+  EXPECT_NE(a.edges, c.edges);
+}
+
+TEST(BarabasiAlbert, RejectsInvalidParameters) {
+  BarabasiAlbertParams p;
+  p.num_vertices = 3;
+  p.edges_per_vertex = 5;
+  EXPECT_THROW((void)generate_barabasi_albert<std::int32_t>(p), std::invalid_argument);
+  p.edges_per_vertex = 0;
+  EXPECT_THROW((void)generate_barabasi_albert<std::int32_t>(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace commdet

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "commdet/gen/erdos_renyi.hpp"
+#include "commdet/gen/planted_partition.hpp"
+#include "commdet/gen/rmat.hpp"
+#include "commdet/gen/simple_graphs.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/stats.hpp"
+#include "commdet/graph/validate.hpp"
+
+namespace commdet {
+namespace {
+
+TEST(Rmat, ProducesRequestedEdgeCount) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  const auto g = generate_rmat<std::int32_t>(p);
+  EXPECT_EQ(g.num_vertices, 1024);
+  EXPECT_EQ(g.num_edges(), 8 * 1024);
+}
+
+TEST(Rmat, DeterministicAcrossCalls) {
+  RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 4;
+  p.seed = 42;
+  const auto a = generate_rmat<std::int64_t>(p);
+  const auto b = generate_rmat<std::int64_t>(p);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(Rmat, SeedChangesOutput) {
+  RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 4;
+  p.seed = 1;
+  const auto a = generate_rmat<std::int64_t>(p);
+  p.seed = 2;
+  const auto b = generate_rmat<std::int64_t>(p);
+  EXPECT_NE(a.edges, b.edges);
+}
+
+TEST(Rmat, SkewedQuadrantsConcentrateDegree) {
+  // With a = 0.55 the low-id corner should be much denser: vertex degree
+  // distribution must be heavily skewed (max degree >> mean degree).
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8;
+  const auto g = build_community_graph(generate_rmat<std::int32_t>(p));
+  ASSERT_TRUE(validate_graph(g).ok());
+  const auto s = graph_stats(g);
+  EXPECT_GT(static_cast<double>(s.max_degree), 10.0 * s.mean_degree);
+}
+
+TEST(Rmat, RejectsInvalidParameters) {
+  RmatParams p;
+  p.scale = 0;
+  EXPECT_THROW((void)generate_rmat<std::int32_t>(p), std::invalid_argument);
+  p.scale = 10;
+  p.edge_factor = 0;
+  EXPECT_THROW((void)generate_rmat<std::int32_t>(p), std::invalid_argument);
+  p.edge_factor = 4;
+  p.a = 0.9;  // probabilities no longer sum to 1
+  EXPECT_THROW((void)generate_rmat<std::int32_t>(p), std::invalid_argument);
+}
+
+TEST(PlantedPartition, InternalEdgesDominateWhenRequested) {
+  PlantedPartitionParams p;
+  p.num_vertices = 1 << 12;
+  p.num_blocks = 64;
+  p.internal_degree = 16;
+  p.external_degree = 2;
+  const auto el = generate_planted_partition<std::int32_t>(p);
+  std::int64_t internal = 0;
+  for (const auto& e : el.edges)
+    if (planted_block_of(p, e.u) == planted_block_of(p, e.v)) ++internal;
+  EXPECT_GT(static_cast<double>(internal) / static_cast<double>(el.num_edges()), 0.85);
+}
+
+TEST(PlantedPartition, DeterministicAndValid) {
+  PlantedPartitionParams p;
+  p.num_vertices = 1000;
+  p.num_blocks = 10;
+  p.seed = 7;
+  const auto a = generate_planted_partition<std::int64_t>(p);
+  const auto b = generate_planted_partition<std::int64_t>(p);
+  EXPECT_EQ(a.edges, b.edges);
+  const auto g = build_community_graph(a);
+  EXPECT_TRUE(validate_graph(g).ok()) << validate_graph(g).error;
+}
+
+TEST(PlantedPartition, RejectsInvalidParameters) {
+  PlantedPartitionParams p;
+  p.num_blocks = 0;
+  EXPECT_THROW((void)generate_planted_partition<std::int32_t>(p), std::invalid_argument);
+  p.num_blocks = 10;
+  p.internal_degree = -1;
+  EXPECT_THROW((void)generate_planted_partition<std::int32_t>(p), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, CountsAndDeterminism) {
+  const auto a = generate_erdos_renyi<std::int32_t>(500, 2000, 3);
+  EXPECT_EQ(a.num_vertices, 500);
+  EXPECT_EQ(a.num_edges(), 2000);
+  const auto b = generate_erdos_renyi<std::int32_t>(500, 2000, 3);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(SimpleGraphs, ShapesHaveExpectedCounts) {
+  EXPECT_EQ(make_star<std::int32_t>(10).num_edges(), 9);
+  EXPECT_EQ(make_path<std::int32_t>(10).num_edges(), 9);
+  EXPECT_EQ(make_cycle<std::int32_t>(10).num_edges(), 10);
+  EXPECT_EQ(make_clique<std::int32_t>(6).num_edges(), 15);
+  EXPECT_EQ(make_grid<std::int32_t>(3, 4).num_edges(), 17);
+  EXPECT_EQ(make_complete_bipartite<std::int32_t>(3, 4).num_edges(), 12);
+  // Caveman: k * C(s,2) internal + k ring edges.
+  EXPECT_EQ(make_caveman<std::int32_t>(4, 5).num_edges(), 4 * 10 + 4);
+}
+
+TEST(SimpleGraphs, AllBuildValidGraphs) {
+  for (const auto& el :
+       {make_star<std::int32_t>(50), make_path<std::int32_t>(50), make_cycle<std::int32_t>(50),
+        make_clique<std::int32_t>(20), make_grid<std::int32_t>(8, 8),
+        make_caveman<std::int32_t>(5, 6), make_complete_bipartite<std::int32_t>(7, 9)}) {
+    const auto g = build_community_graph(el);
+    EXPECT_TRUE(validate_graph(g).ok()) << validate_graph(g).error;
+  }
+}
+
+TEST(SimpleGraphs, RejectDegenerateSizes) {
+  EXPECT_THROW((void)make_star<std::int32_t>(0), std::invalid_argument);
+  EXPECT_THROW((void)make_cycle<std::int32_t>(2), std::invalid_argument);
+  EXPECT_THROW((void)make_caveman<std::int32_t>(1, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_grid<std::int32_t>(0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace commdet

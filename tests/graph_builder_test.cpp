@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/stats.hpp"
+#include "commdet/graph/validate.hpp"
+#include "commdet/util/rng.hpp"
+
+namespace commdet {
+namespace {
+
+template <typename V>
+class BuilderTypedTest : public ::testing::Test {};
+
+using VertexTypes = ::testing::Types<std::int32_t, std::int64_t>;
+TYPED_TEST_SUITE(BuilderTypedTest, VertexTypes);
+
+TYPED_TEST(BuilderTypedTest, HashedOrderRespectsParityRule) {
+  using V = TypeParam;
+  // Same parity -> (min, max).
+  EXPECT_EQ(hashed_edge_order<V>(2, 4), (std::pair<V, V>{2, 4}));
+  EXPECT_EQ(hashed_edge_order<V>(4, 2), (std::pair<V, V>{2, 4}));
+  EXPECT_EQ(hashed_edge_order<V>(3, 7), (std::pair<V, V>{3, 7}));
+  // Mixed parity -> (max, min).
+  EXPECT_EQ(hashed_edge_order<V>(2, 5), (std::pair<V, V>{5, 2}));
+  EXPECT_EQ(hashed_edge_order<V>(5, 2), (std::pair<V, V>{5, 2}));
+}
+
+TYPED_TEST(BuilderTypedTest, TriangleBuildsValidGraph) {
+  using V = TypeParam;
+  EdgeList<V> el;
+  el.num_vertices = 3;
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(0, 2);
+  const auto g = build_community_graph(el);
+  EXPECT_TRUE(validate_graph(g).ok()) << validate_graph(g).error;
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.total_weight, 3);
+  // Triangle: every vertex has volume 2 (two unit edges).
+  for (int v = 0; v < 3; ++v) EXPECT_EQ(g.volume[static_cast<std::size_t>(v)], 2);
+}
+
+TYPED_TEST(BuilderTypedTest, AccumulatesRepeatedEdges) {
+  using V = TypeParam;
+  EdgeList<V> el;
+  el.num_vertices = 2;
+  el.add(0, 1, 2);
+  el.add(1, 0, 3);
+  el.add(0, 1, 5);
+  const auto g = build_community_graph(el);
+  ASSERT_TRUE(validate_graph(g).ok()) << validate_graph(g).error;
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.eweight[0], 10);
+  EXPECT_EQ(g.total_weight, 10);
+}
+
+TYPED_TEST(BuilderTypedTest, FoldsSelfLoopsIntoSelfWeight) {
+  using V = TypeParam;
+  EdgeList<V> el;
+  el.num_vertices = 3;
+  el.add(0, 0, 4);
+  el.add(0, 0, 1);
+  el.add(1, 2, 7);
+  const auto g = build_community_graph(el);
+  ASSERT_TRUE(validate_graph(g).ok()) << validate_graph(g).error;
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.self_weight[0], 5);
+  EXPECT_EQ(g.volume[0], 10);  // 2 * self
+  EXPECT_EQ(g.total_weight, 12);
+}
+
+TYPED_TEST(BuilderTypedTest, RejectsBadInput) {
+  using V = TypeParam;
+  EdgeList<V> el;
+  el.num_vertices = 2;
+  el.add(0, 2);  // out of range
+  EXPECT_THROW((void)build_community_graph(el), std::invalid_argument);
+
+  EdgeList<V> el2;
+  el2.num_vertices = 2;
+  el2.edges.push_back({0, 1, 0});  // non-positive weight
+  EXPECT_THROW((void)build_community_graph(el2), std::invalid_argument);
+
+  EdgeList<V> el3;
+  el3.num_vertices = 2;
+  el3.edges.push_back({V{-1}, 1, 1});
+  EXPECT_THROW((void)build_community_graph(el3), std::invalid_argument);
+}
+
+TYPED_TEST(BuilderTypedTest, EmptyGraph) {
+  using V = TypeParam;
+  EdgeList<V> el;
+  el.num_vertices = 5;
+  const auto g = build_community_graph(el);
+  ASSERT_TRUE(validate_graph(g).ok());
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.total_weight, 0);
+}
+
+TYPED_TEST(BuilderTypedTest, MemoryFootprintMatchesPaperBudget) {
+  using V = TypeParam;
+  EdgeList<V> el;
+  el.num_vertices = 100;
+  for (V v = 0; v + 1 < 100; ++v) el.add(v, v + 1);
+  const auto g = build_community_graph(el);
+  // Paper budget: 3|V| + 3|E| words (+ our extra |V| volume array).
+  const std::size_t expected =
+      100 * (2 * sizeof(EdgeId) + 2 * sizeof(Weight)) + 99 * (2 * sizeof(V) + sizeof(Weight));
+  EXPECT_EQ(g.memory_bytes(), expected);
+  // The 32-bit instantiation is strictly smaller per edge.
+  if constexpr (std::is_same_v<V, std::int32_t>) {
+    EXPECT_LT(g.memory_bytes(), 100 * 32 + 99 * 24);
+  }
+}
+
+// Property sweep: random multigraphs of varying density build into valid
+// graphs whose totals match a serial reference.
+class BuilderPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::int32_t, std::int64_t, std::uint64_t>> {};
+
+TEST_P(BuilderPropertyTest, RandomMultigraphInvariants) {
+  const auto [nv, ne, seed] = GetParam();
+  CounterRng rng(seed);
+  EdgeList<std::int32_t> el;
+  el.num_vertices = nv;
+  Weight expected_total = 0;
+  for (std::int64_t i = 0; i < ne; ++i) {
+    const auto u = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(3 * i), static_cast<std::uint64_t>(nv)));
+    const auto v = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(3 * i + 1), static_cast<std::uint64_t>(nv)));
+    const auto w = static_cast<Weight>(1 + rng.below(static_cast<std::uint64_t>(3 * i + 2), 5));
+    el.add(u, v, w);
+    expected_total += w;
+  }
+  const auto g = build_community_graph(el);
+  const auto check = validate_graph(g);
+  ASSERT_TRUE(check.ok()) << check.error;
+  EXPECT_EQ(g.total_weight, expected_total);
+  const auto s = graph_stats(g);
+  EXPECT_EQ(s.num_vertices, nv);
+  EXPECT_LE(s.num_edges, ne);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BuilderPropertyTest,
+    ::testing::Values(std::tuple{10, std::int64_t{50}, std::uint64_t{1}},
+                      std::tuple{100, std::int64_t{1000}, std::uint64_t{2}},
+                      std::tuple{1000, std::int64_t{20000}, std::uint64_t{3}},
+                      std::tuple{17, std::int64_t{500}, std::uint64_t{4}},
+                      std::tuple{2, std::int64_t{100}, std::uint64_t{5}},
+                      std::tuple{1, std::int64_t{20}, std::uint64_t{6}}));
+
+}  // namespace
+}  // namespace commdet

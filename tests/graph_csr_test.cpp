@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/csr.hpp"
+
+namespace commdet {
+namespace {
+
+template <typename V>
+class CsrTypedTest : public ::testing::Test {};
+
+using VertexTypes = ::testing::Types<std::int32_t, std::int64_t>;
+TYPED_TEST_SUITE(CsrTypedTest, VertexTypes);
+
+TYPED_TEST(CsrTypedTest, PathGraphAdjacency) {
+  using V = TypeParam;
+  EdgeList<V> el;
+  el.num_vertices = 4;
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(2, 3);
+  const auto csr = to_csr(build_community_graph(el));
+  EXPECT_EQ(csr.num_directed_edges(), 6);
+  EXPECT_EQ(csr.degree(0), 1);
+  EXPECT_EQ(csr.degree(1), 2);
+  EXPECT_EQ(csr.degree(2), 2);
+  EXPECT_EQ(csr.degree(3), 1);
+  EXPECT_EQ(csr.neighbors_of(0)[0], 1);
+
+  auto mid = csr.neighbors_of(1);
+  std::vector<V> sorted_mid(mid.begin(), mid.end());
+  std::sort(sorted_mid.begin(), sorted_mid.end());
+  EXPECT_EQ(sorted_mid, (std::vector<V>{0, 2}));
+}
+
+TYPED_TEST(CsrTypedTest, WeightsTravelWithNeighbors) {
+  using V = TypeParam;
+  EdgeList<V> el;
+  el.num_vertices = 3;
+  el.add(0, 1, 5);
+  el.add(0, 2, 7);
+  const auto csr = to_csr(build_community_graph(el));
+  const auto nbrs = csr.neighbors_of(0);
+  const auto wts = csr.weights_of(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == V{1}) {
+      EXPECT_EQ(wts[i], 5);
+    }
+    if (nbrs[i] == V{2}) {
+      EXPECT_EQ(wts[i], 7);
+    }
+  }
+}
+
+TYPED_TEST(CsrTypedTest, DegreeSumEqualsTwiceEdges) {
+  using V = TypeParam;
+  EdgeList<V> el;
+  el.num_vertices = 50;
+  for (V u = 0; u < 50; ++u)
+    for (V v = u + 1; v < 50; v += 3) el.add(u, v);
+  const auto g = build_community_graph(el);
+  const auto csr = to_csr(g);
+  EdgeId total = 0;
+  for (V v = 0; v < csr.num_vertices(); ++v) total += csr.degree(v);
+  EXPECT_EQ(total, 2 * g.num_edges());
+}
+
+}  // namespace
+}  // namespace commdet

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "commdet/core/agglomerate.hpp"
+#include "commdet/core/metrics.hpp"
+#include "commdet/gen/planted_partition.hpp"
+#include "commdet/gen/simple_graphs.hpp"
+#include "commdet/graph/builder.hpp"
+
+namespace commdet {
+namespace {
+
+using V32 = std::int32_t;
+
+TEST(Hierarchy, TopLevelMatchesFinalCommunity) {
+  const auto el = make_caveman<V32>(8, 6);
+  AgglomerationOptions opts;
+  opts.track_hierarchy = true;
+  const auto r = agglomerate(el, ModularityScorer{}, opts);
+  ASSERT_EQ(static_cast<int>(r.hierarchy.size()), r.num_levels());
+  EXPECT_EQ(r.labels_at_level(r.num_levels()), r.community);
+}
+
+TEST(Hierarchy, LevelZeroIsSingletons) {
+  const auto el = make_caveman<V32>(4, 5);
+  AgglomerationOptions opts;
+  opts.track_hierarchy = true;
+  const auto r = agglomerate(el, ModularityScorer{}, opts);
+  const auto labels = r.labels_at_level(0);
+  for (V32 v = 0; v < 20; ++v) EXPECT_EQ(labels[static_cast<std::size_t>(v)], v);
+}
+
+TEST(Hierarchy, CutsAreRefinementsOfEachOther) {
+  PlantedPartitionParams p;
+  p.num_vertices = 1024;
+  p.num_blocks = 16;
+  const auto el = generate_planted_partition<V32>(p);
+  AgglomerationOptions opts;
+  opts.track_hierarchy = true;
+  const auto r = agglomerate(el, ModularityScorer{}, opts);
+  ASSERT_GT(r.num_levels(), 1);
+  // Level k+1 must merge whole level-k communities: vertices sharing a
+  // label at level k share it at level k+1.
+  for (int k = 0; k + 1 <= r.num_levels(); ++k) {
+    const auto fine = r.labels_at_level(k);
+    const auto coarse = r.labels_at_level(k + 1);
+    std::vector<V32> coarse_of(fine.size(), kNoVertex<V32>);
+    for (std::size_t v = 0; v < fine.size(); ++v) {
+      auto& slot = coarse_of[static_cast<std::size_t>(fine[v])];
+      if (slot == kNoVertex<V32>) slot = coarse[v];
+      ASSERT_EQ(slot, coarse[v]) << "level " << k << " not refined by level " << k + 1;
+    }
+  }
+}
+
+TEST(Hierarchy, CommunityCountsShrinkMonotonically) {
+  const auto el = make_caveman<V32>(16, 6);
+  AgglomerationOptions opts;
+  opts.track_hierarchy = true;
+  const auto r = agglomerate(el, ModularityScorer{}, opts);
+  std::int64_t prev = 16 * 6;
+  for (int k = 1; k <= r.num_levels(); ++k) {
+    const auto labels = r.labels_at_level(k);
+    std::int64_t count = 0;
+    for (const auto c : labels) count = std::max<std::int64_t>(count, c + 1);
+    EXPECT_LT(count, prev);
+    prev = count;
+  }
+  EXPECT_EQ(prev, r.num_communities);
+}
+
+TEST(Hierarchy, DisabledByDefault) {
+  const auto r = agglomerate(make_caveman<V32>(4, 5), ModularityScorer{});
+  EXPECT_TRUE(r.hierarchy.empty());
+}
+
+TEST(ResolutionScorer, GammaOneMatchesPlainModularity) {
+  ModularityScorer plain;
+  ResolutionModularityScorer res{1.0};
+  const EdgeContext ctx{.edge_weight = 3,
+                        .volume_c = 10,
+                        .volume_d = 7,
+                        .self_c = 2,
+                        .self_d = 1,
+                        .total_weight = 50};
+  EXPECT_DOUBLE_EQ(plain.score(ctx), res.score(ctx));
+}
+
+TEST(ResolutionScorer, HigherGammaYieldsMoreCommunities) {
+  PlantedPartitionParams p;
+  p.num_vertices = 2048;
+  p.num_blocks = 32;
+  p.internal_degree = 14;
+  p.external_degree = 4;
+  const auto g = build_community_graph(generate_planted_partition<V32>(p));
+
+  const auto coarse = agglomerate(CommunityGraph<V32>(g), ResolutionModularityScorer{0.5});
+  const auto medium = agglomerate(CommunityGraph<V32>(g), ResolutionModularityScorer{1.0});
+  const auto fine = agglomerate(CommunityGraph<V32>(g), ResolutionModularityScorer{4.0});
+  EXPECT_LE(coarse.num_communities, medium.num_communities);
+  EXPECT_LT(medium.num_communities, fine.num_communities);
+}
+
+TEST(ResolutionScorer, GammaZeroMergesEverythingConnected) {
+  // gamma = 0 makes every edge score positive (pure coverage greed), so
+  // a connected graph collapses to one community at the local maximum.
+  const auto el = make_cycle<V32>(32);
+  const auto r = agglomerate(el, ResolutionModularityScorer{0.0});
+  EXPECT_EQ(r.num_communities, 1);
+}
+
+}  // namespace
+}  // namespace commdet

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "commdet/gen/erdos_renyi.hpp"
+#include "commdet/gen/simple_graphs.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/validate.hpp"
+#include "commdet/io/binary.hpp"
+#include "commdet/io/edge_list_text.hpp"
+#include "commdet/io/matrix_market.hpp"
+#include "commdet/io/metis.hpp"
+#include "commdet/io/parallel_edge_list.hpp"
+#include "commdet/io/partition.hpp"
+
+namespace commdet {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("commdet_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  static void write_file(const std::string& p, const std::string& content) {
+    std::ofstream out(p);
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, TextRoundTripPreservesEdges) {
+  const auto g = generate_erdos_renyi<std::int32_t>(100, 500, 7);
+  write_edge_list_text(g, path("g.txt"));
+  const auto back = read_edge_list_text<std::int32_t>(path("g.txt"));
+  EXPECT_EQ(back.num_vertices, g.num_vertices);
+  EXPECT_EQ(back.edges, g.edges);
+}
+
+TEST_F(IoTest, TextReaderHandlesCommentsAndDefaults) {
+  write_file(path("g.txt"),
+             "# SNAP-style comment\n"
+             "% percent comment\n"
+             "0 1\n"
+             "1 2 5\n"
+             "\n"
+             "4 0\n");
+  const auto g = read_edge_list_text<std::int32_t>(path("g.txt"));
+  EXPECT_EQ(g.num_vertices, 5);  // max id + 1
+  ASSERT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.edges[0].w, 1);  // default weight
+  EXPECT_EQ(g.edges[1].w, 5);
+}
+
+TEST_F(IoTest, TextReaderRejectsMalformedInput) {
+  write_file(path("bad1.txt"), "0 not_a_number\n");
+  EXPECT_THROW((void)read_edge_list_text<std::int32_t>(path("bad1.txt")), std::runtime_error);
+  write_file(path("bad2.txt"), "-1 2\n");
+  EXPECT_THROW((void)read_edge_list_text<std::int32_t>(path("bad2.txt")), std::runtime_error);
+  EXPECT_THROW((void)read_edge_list_text<std::int32_t>(path("missing.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, TextReaderRejectsIdsOverflowing32Bit) {
+  write_file(path("big.txt"), "0 4294967296\n");
+  EXPECT_THROW((void)read_edge_list_text<std::int32_t>(path("big.txt")), std::runtime_error);
+  // But the 64-bit reader accepts them.
+  const auto g = read_edge_list_text<std::int64_t>(path("big.txt"));
+  EXPECT_EQ(g.num_vertices, 4294967297LL);
+}
+
+TEST_F(IoTest, BinaryRoundTripPreservesEdges) {
+  const auto g = generate_erdos_renyi<std::int64_t>(1000, 5000, 9);
+  write_edge_list_binary(g, path("g.bin"));
+  const auto back = read_edge_list_binary<std::int64_t>(path("g.bin"));
+  EXPECT_EQ(back.num_vertices, g.num_vertices);
+  EXPECT_EQ(back.edges, g.edges);
+}
+
+TEST_F(IoTest, BinaryRejectsCorruptFiles) {
+  write_file(path("junk.bin"), "this is not a graph");
+  EXPECT_THROW((void)read_edge_list_binary<std::int32_t>(path("junk.bin")), std::runtime_error);
+
+  // Truncate a valid file.
+  const auto g = generate_erdos_renyi<std::int32_t>(50, 100, 1);
+  write_edge_list_binary(g, path("g.bin"));
+  std::filesystem::resize_file(path("g.bin"), 40);
+  EXPECT_THROW((void)read_edge_list_binary<std::int32_t>(path("g.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, MetisRoundTripThroughBuilder) {
+  // Deduplicated, self-loop-free input (METIS requirement).
+  const auto g = build_community_graph(make_caveman<std::int32_t>(4, 5));
+  EdgeList<std::int32_t> el;
+  el.num_vertices = g.num_vertices();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto i = static_cast<std::size_t>(e);
+    el.add(g.efirst[i], g.esecond[i], g.eweight[i]);
+  }
+  write_metis(el, path("g.graph"));
+  const auto back = read_metis<std::int32_t>(path("g.graph"));
+  EXPECT_EQ(back.num_vertices, el.num_vertices);
+  EXPECT_EQ(back.num_edges(), el.num_edges());
+  const auto g2 = build_community_graph(back);
+  EXPECT_TRUE(validate_graph(g2).ok());
+  EXPECT_EQ(g2.total_weight, g.total_weight);
+}
+
+TEST_F(IoTest, MetisReaderParsesUnweightedFormat) {
+  // Triangle in canonical METIS form.
+  write_file(path("tri.graph"),
+             "% a triangle\n"
+             "3 3\n"
+             "2 3\n"
+             "1 3\n"
+             "1 2\n");
+  const auto g = read_metis<std::int32_t>(path("tri.graph"));
+  EXPECT_EQ(g.num_vertices, 3);
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+TEST_F(IoTest, MetisReaderRejectsBadFiles) {
+  write_file(path("bad.graph"), "3 5\n2 3\n1 3\n1 2\n");  // count mismatch
+  EXPECT_THROW((void)read_metis<std::int32_t>(path("bad.graph")), std::runtime_error);
+  write_file(path("bad2.graph"), "3 3\n2 9\n1 3\n1 2\n");  // neighbor out of range
+  EXPECT_THROW((void)read_metis<std::int32_t>(path("bad2.graph")), std::runtime_error);
+  write_file(path("bad3.graph"), "3 3 011\n");  // vertex weights unsupported
+  EXPECT_THROW((void)read_metis<std::int32_t>(path("bad3.graph")), std::runtime_error);
+  EdgeList<std::int32_t> with_loop;
+  with_loop.num_vertices = 2;
+  with_loop.add(0, 0);
+  EXPECT_THROW(write_metis(with_loop, path("loop.graph")), std::invalid_argument);
+}
+
+TEST_F(IoTest, MatrixMarketSymmetricPattern) {
+  write_file(path("g.mtx"),
+             "%%MatrixMarket matrix coordinate pattern symmetric\n"
+             "% triangle\n"
+             "3 3 3\n"
+             "2 1\n"
+             "3 1\n"
+             "3 2\n");
+  const auto g = read_matrix_market<std::int32_t>(path("g.mtx"));
+  EXPECT_EQ(g.num_vertices, 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  const auto cg = build_community_graph(g);
+  EXPECT_TRUE(validate_graph(cg).ok());
+  EXPECT_EQ(cg.total_weight, 3);
+}
+
+TEST_F(IoTest, MatrixMarketRealWeightsRounded) {
+  write_file(path("w.mtx"),
+             "%%MatrixMarket matrix coordinate real general\n"
+             "2 2 1\n"
+             "1 2 2.6\n");
+  const auto g = read_matrix_market<std::int32_t>(path("w.mtx"));
+  ASSERT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edges[0].w, 3);
+}
+
+TEST_F(IoTest, MatrixMarketRejectsUnsupported) {
+  write_file(path("c.mtx"), "%%MatrixMarket matrix coordinate complex general\n2 2 0\n");
+  EXPECT_THROW((void)read_matrix_market<std::int32_t>(path("c.mtx")), std::runtime_error);
+  write_file(path("r.mtx"), "%%MatrixMarket matrix coordinate pattern general\n2 3 0\n");
+  EXPECT_THROW((void)read_matrix_market<std::int32_t>(path("r.mtx")), std::runtime_error);
+}
+
+TEST_F(IoTest, ParallelReaderMatchesSequentialExactly) {
+  const auto g = generate_erdos_renyi<std::int32_t>(500, 20000, 13);
+  write_edge_list_text(g, path("g.txt"));
+  const auto seq = read_edge_list_text<std::int32_t>(path("g.txt"));
+  const auto par = read_edge_list_text_parallel<std::int32_t>(path("g.txt"));
+  EXPECT_EQ(par.num_vertices, seq.num_vertices);
+  EXPECT_EQ(par.edges, seq.edges);
+}
+
+TEST_F(IoTest, ParallelReaderHandlesCommentsWeightsAndNoTrailingNewline) {
+  write_file(path("g.txt"),
+             "# header comment\n"
+             "0 1\n"
+             "% mid comment\n"
+             "1 2 5\n"
+             "\n"
+             "4 0 2");  // no trailing newline
+  const auto g = read_edge_list_text_parallel<std::int32_t>(path("g.txt"));
+  EXPECT_EQ(g.num_vertices, 5);
+  ASSERT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.edges[1].w, 5);
+  EXPECT_EQ(g.edges[2].w, 2);
+}
+
+TEST_F(IoTest, ParallelReaderRejectsMalformedInput) {
+  write_file(path("bad.txt"), "0 zebra\n");
+  EXPECT_THROW((void)read_edge_list_text_parallel<std::int32_t>(path("bad.txt")),
+               std::runtime_error);
+  write_file(path("neg.txt"), "0 -4\n");
+  EXPECT_THROW((void)read_edge_list_text_parallel<std::int32_t>(path("neg.txt")),
+               std::runtime_error);
+  EXPECT_THROW((void)read_edge_list_text_parallel<std::int32_t>(path("missing2.txt")),
+               std::runtime_error);
+}
+
+TEST_F(IoTest, ParallelReaderEmptyFile) {
+  write_file(path("empty.txt"), "");
+  const auto g = read_edge_list_text_parallel<std::int32_t>(path("empty.txt"));
+  EXPECT_EQ(g.num_vertices, 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST_F(IoTest, PartitionDimacsRoundTrip) {
+  const std::vector<std::int32_t> labels{0, 0, 1, 2, 1, 0};
+  write_partition_dimacs(labels, path("p.txt"));
+  EXPECT_EQ(read_partition_dimacs<std::int32_t>(path("p.txt")), labels);
+}
+
+TEST_F(IoTest, PartitionPairsRoundTripAnyOrder) {
+  const std::vector<std::int64_t> labels{3, 1, 4, 1, 5};
+  write_partition_pairs(labels, path("p.txt"));
+  EXPECT_EQ(read_partition_pairs<std::int64_t>(path("p.txt")), labels);
+
+  // Shuffled pair order still reads back densely.
+  write_file(path("shuffled.txt"), "4 5\n0 3\n2 4\n1 1\n3 1\n");
+  EXPECT_EQ(read_partition_pairs<std::int64_t>(path("shuffled.txt")), labels);
+}
+
+TEST_F(IoTest, PartitionReadersRejectMalformedInput) {
+  write_file(path("bad.txt"), "0 1\n0 2\n");  // duplicate vertex
+  EXPECT_THROW((void)read_partition_pairs<std::int32_t>(path("bad.txt")), std::runtime_error);
+  write_file(path("gap.txt"), "0 1\n2 1\n");  // vertex 1 missing
+  EXPECT_THROW((void)read_partition_pairs<std::int32_t>(path("gap.txt")), std::runtime_error);
+  write_file(path("neg.txt"), "-3\n");
+  EXPECT_THROW((void)read_partition_dimacs<std::int32_t>(path("neg.txt")), std::runtime_error);
+  EXPECT_THROW((void)read_partition_dimacs<std::int32_t>(path("missing.txt")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace commdet

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "commdet/gen/erdos_renyi.hpp"
+#include "commdet/gen/planted_partition.hpp"
+#include "commdet/gen/rmat.hpp"
+#include "commdet/gen/simple_graphs.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/match/edge_sweep_matcher.hpp"
+#include "commdet/match/matching.hpp"
+#include "commdet/match/sequential_greedy_matcher.hpp"
+#include "commdet/match/unmatched_list_matcher.hpp"
+#include "commdet/score/score_edges.hpp"
+#include "commdet/score/scorers.hpp"
+
+namespace commdet {
+namespace {
+
+using V32 = std::int32_t;
+
+/// Exhaustive maximum-weight matching over positive edges (small graphs).
+double brute_force_best(const CommunityGraph<V32>& g, const std::vector<Score>& scores) {
+  std::vector<std::pair<std::pair<V32, V32>, Score>> edges;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto i = static_cast<std::size_t>(e);
+    if (scores[i] > 0) edges.push_back({{g.efirst[i], g.esecond[i]}, scores[i]});
+  }
+  std::vector<bool> used(static_cast<std::size_t>(g.nv), false);
+  std::function<double(std::size_t)> rec = [&](std::size_t k) -> double {
+    if (k == edges.size()) return 0.0;
+    double best = rec(k + 1);  // skip edge k
+    const auto [uv, s] = edges[k];
+    if (!used[static_cast<std::size_t>(uv.first)] && !used[static_cast<std::size_t>(uv.second)]) {
+      used[static_cast<std::size_t>(uv.first)] = used[static_cast<std::size_t>(uv.second)] = true;
+      best = std::max(best, s + rec(k + 1));
+      used[static_cast<std::size_t>(uv.first)] = used[static_cast<std::size_t>(uv.second)] = false;
+    }
+    return best;
+  };
+  return rec(0);
+}
+
+enum class Kind { kList, kSweep, kGreedy };
+
+Matching<V32> run(Kind kind, const CommunityGraph<V32>& g, const std::vector<Score>& scores) {
+  switch (kind) {
+    case Kind::kList: return UnmatchedListMatcher<V32>{}.match(g, scores);
+    case Kind::kSweep: return EdgeSweepMatcher<V32>{}.match(g, scores);
+    case Kind::kGreedy: return SequentialGreedyMatcher<V32>{}.match(g, scores);
+  }
+  return {};
+}
+
+class MatcherTest : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(MatcherTest, PathGraphMatchingIsValidAndMaximal) {
+  const auto g = build_community_graph(make_path<V32>(10));
+  std::vector<Score> scores;
+  score_edges(g, ModularityScorer{}, scores);
+  const auto m = run(GetParam(), g, scores);
+  EXPECT_TRUE(is_valid_matching(m));
+  EXPECT_TRUE(is_maximal_matching(g, scores, m));
+  EXPECT_GE(m.num_pairs, 3);  // a maximal matching on P10 has >= 3 edges
+  EXPECT_LE(m.num_pairs, 5);
+}
+
+TEST_P(MatcherTest, StarGraphMatchesExactlyOnePair) {
+  const auto g = build_community_graph(make_star<V32>(64));
+  std::vector<Score> scores;
+  score_edges(g, ModularityScorer{}, scores);
+  const auto m = run(GetParam(), g, scores);
+  EXPECT_TRUE(is_valid_matching(m));
+  EXPECT_TRUE(is_maximal_matching(g, scores, m));
+  EXPECT_EQ(m.num_pairs, 1);  // the hub can pair with only one leaf
+}
+
+TEST_P(MatcherTest, NoPositiveScoresMeansEmptyMatching) {
+  const auto g = build_community_graph(make_path<V32>(6));
+  std::vector<Score> scores(static_cast<std::size_t>(g.num_edges()), -1.0);
+  const auto m = run(GetParam(), g, scores);
+  EXPECT_TRUE(is_valid_matching(m));
+  EXPECT_EQ(m.num_pairs, 0);
+}
+
+TEST_P(MatcherTest, RespectsScoreSignEdgeByEdge) {
+  // Path 0-1-2-3 with only the middle edge positive.
+  const auto g = build_community_graph(make_path<V32>(4));
+  std::vector<Score> scores(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto i = static_cast<std::size_t>(e);
+    const auto lo = std::min(g.efirst[i], g.esecond[i]);
+    scores[i] = (lo == 1) ? 1.0 : -1.0;
+  }
+  const auto m = run(GetParam(), g, scores);
+  EXPECT_EQ(m.num_pairs, 1);
+  EXPECT_EQ(m.mate[1], 2);
+  EXPECT_EQ(m.mate[2], 1);
+  EXPECT_EQ(m.mate[0], kNoVertex<V32>);
+}
+
+TEST_P(MatcherTest, WithinFactorTwoOfOptimumOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto g = build_community_graph(generate_erdos_renyi<V32>(12, 30, seed));
+    std::vector<Score> scores;
+    score_edges(g, ModularityScorer{}, scores);
+    const auto m = run(GetParam(), g, scores);
+    ASSERT_TRUE(is_valid_matching(m));
+    ASSERT_TRUE(is_maximal_matching(g, scores, m));
+    const double got = matching_weight(g, scores, m);
+    const double best = brute_force_best(g, scores);
+    EXPECT_GE(2.0 * got + 1e-12, best) << "seed " << seed;
+  }
+}
+
+TEST_P(MatcherTest, LargeGraphMaximalityHolds) {
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8;
+  const auto g = build_community_graph(generate_rmat<V32>(p));
+  std::vector<Score> scores;
+  score_edges(g, ModularityScorer{}, scores);
+  const auto m = run(GetParam(), g, scores);
+  EXPECT_TRUE(is_valid_matching(m));
+  EXPECT_TRUE(is_maximal_matching(g, scores, m));
+  EXPECT_GT(m.num_pairs, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatchers, MatcherTest,
+                         ::testing::Values(Kind::kList, Kind::kSweep, Kind::kGreedy),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Kind::kList: return "UnmatchedList";
+                             case Kind::kSweep: return "EdgeSweep";
+                             case Kind::kGreedy: return "SequentialGreedy";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(Offer, TotalOrderIsAntisymmetric) {
+  const auto a = make_offer<V32>(1.0, 0, 1);
+  const auto b = make_offer<V32>(2.0, 2, 3);
+  EXPECT_TRUE(b.beats(a));
+  EXPECT_FALSE(a.beats(b));
+  // Equal scores: the hashed endpoint tie-break is still antisymmetric.
+  const auto c = make_offer<V32>(1.0, 0, 2);
+  EXPECT_NE(a.beats(c), c.beats(a));
+  // Identical offers beat neither way.
+  EXPECT_FALSE(a.beats(a));
+  // Invalid never beats valid.
+  Offer<V32> none;
+  EXPECT_TRUE(a.beats(none));
+  EXPECT_FALSE(none.beats(a));
+  EXPECT_FALSE(none.beats(none));
+}
+
+TEST(Offer, EqualScoreOrderIsTotalOverManyPairs) {
+  // Every distinct pair must be strictly ordered against every other at
+  // equal score (the matchers' progress proof needs a total order).
+  std::vector<Offer<V32>> offers;
+  for (V32 u = 0; u < 12; ++u)
+    for (V32 v = u + 1; v < 12; ++v) offers.push_back(make_offer<V32>(1.0, u, v));
+  for (std::size_t i = 0; i < offers.size(); ++i)
+    for (std::size_t j = 0; j < offers.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_NE(offers[i].beats(offers[j]), offers[j].beats(offers[i]));
+    }
+}
+
+TEST(Offer, MakeOfferNormalizesEndpointOrder) {
+  const auto a = make_offer<V32>(1.0, 5, 2);
+  EXPECT_EQ(a.lo, 2);
+  EXPECT_EQ(a.hi, 5);
+}
+
+TEST(UnmatchedList, SweepCountStaysSmallOnSocialGraphs) {
+  // Paper Sec. IV-B: "Strictly this is not an O(|E|) algorithm, but the
+  // number of passes is small enough in social network graphs that it
+  // runs in effectively O(|E|) time."
+  RmatParams p;
+  p.scale = 13;
+  p.edge_factor = 8;
+  const auto g = build_community_graph(generate_rmat<V32>(p));
+  std::vector<Score> scores;
+  score_edges(g, ModularityScorer{}, scores);
+  const auto m = UnmatchedListMatcher<V32>{}.match(g, scores);
+  EXPECT_LE(m.sweeps, 40) << "pass count should stay logarithmic-ish";
+
+  PlantedPartitionParams sp;
+  sp.num_vertices = 1 << 13;
+  sp.num_blocks = 128;
+  const auto g2 = build_community_graph(generate_planted_partition<V32>(sp));
+  score_edges(g2, ModularityScorer{}, scores);
+  const auto m2 = UnmatchedListMatcher<V32>{}.match(g2, scores);
+  EXPECT_LE(m2.sweeps, 40);
+}
+
+TEST(SequentialGreedy, DeterministicallyPicksHighestScores) {
+  // Path 0-1-2-3-4 with weights making edges (1,2) and (3,4) the greedy picks.
+  EdgeList<V32> el;
+  el.num_vertices = 5;
+  el.add(0, 1, 1);
+  el.add(1, 2, 10);
+  el.add(2, 3, 5);
+  el.add(3, 4, 7);
+  const auto g = build_community_graph(el);
+  std::vector<Score> scores;
+  score_edges(g, HeavyEdgeScorer{}, scores);
+  const auto m = SequentialGreedyMatcher<V32>{}.match(g, scores);
+  EXPECT_EQ(m.num_pairs, 2);
+  EXPECT_EQ(m.mate[1], 2);
+  EXPECT_EQ(m.mate[3], 4);
+  EXPECT_EQ(m.mate[0], kNoVertex<V32>);
+}
+
+}  // namespace
+}  // namespace commdet

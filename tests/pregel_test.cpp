@@ -1,0 +1,163 @@
+// Tests for the mini-Pregel engine and its vertex programs, pinned
+// against the library's native kernels.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "commdet/cc/bfs.hpp"
+#include "commdet/cc/connected_components.hpp"
+#include "commdet/core/metrics.hpp"
+#include "commdet/gen/erdos_renyi.hpp"
+#include "commdet/gen/planted_partition.hpp"
+#include "commdet/gen/simple_graphs.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/csr.hpp"
+#include "commdet/pregel/engine.hpp"
+#include "commdet/match/matching.hpp"
+#include "commdet/pregel/programs.hpp"
+#include "commdet/score/score_edges.hpp"
+
+namespace commdet {
+namespace {
+
+using V32 = std::int32_t;
+
+TEST(Pregel, MinLabelComponentsMatchesUnionFind) {
+  const auto el = generate_erdos_renyi<V32>(1500, 1800, 21);  // many components
+  const auto expected = connected_components(el);
+  const auto csr = to_csr(build_community_graph(el));
+
+  pregel::Engine<V32, pregel::MinLabelComponents<V32>> engine(csr, {});
+  const auto stats = engine.run();
+  EXPECT_GT(stats.supersteps, 1);
+  EXPECT_EQ(engine.values(), expected);
+}
+
+TEST(Pregel, HopDistanceMatchesBfs) {
+  const auto el = generate_erdos_renyi<V32>(800, 2400, 5);
+  const auto csr = to_csr(build_community_graph(el));
+  const auto expected = bfs_distances(csr, V32{0});
+
+  pregel::Engine<V32, pregel::HopDistance<V32>> engine(csr, {.source = 0});
+  engine.run();
+  EXPECT_EQ(engine.values(), expected);
+}
+
+TEST(Pregel, HaltsImmediatelyOnEdgelessGraph) {
+  EdgeList<V32> el;
+  el.num_vertices = 10;
+  const auto csr = to_csr(build_community_graph(el));
+  pregel::Engine<V32, pregel::MinLabelComponents<V32>> engine(csr, {});
+  const auto stats = engine.run();
+  EXPECT_LE(stats.supersteps, 2);
+  EXPECT_EQ(stats.messages_sent, 0);
+}
+
+TEST(Pregel, SuperstepCapThrows) {
+  // Label propagation with an absurd round count vs a tiny cap.
+  const auto csr = to_csr(build_community_graph(make_cycle<V32>(16)));
+  pregel::Engine<V32, pregel::LabelPropagation<V32>> engine(csr, {.rounds = 1000});
+  EXPECT_THROW((void)engine.run({.max_supersteps = 5}), std::runtime_error);
+}
+
+TEST(Pregel, CombinerReducesMessageTraffic) {
+  // With MinCombiner semantics (combine() on the program), each vertex
+  // receives at most one message per superstep regardless of degree.
+  const auto csr = to_csr(build_community_graph(make_clique<V32>(32)));
+  pregel::Engine<V32, pregel::MinLabelComponents<V32>> engine(csr, {});
+  const auto stats = engine.run();
+  // Superstep 0: every vertex messages all 31 neighbors (sends counted
+  // pre-combine).  Convergence within a few supersteps.
+  EXPECT_LE(stats.supersteps, 5);
+  for (const auto v : engine.values()) EXPECT_EQ(v, 0);
+}
+
+TEST(Pregel, LabelPropagationRecoversCaveman) {
+  const auto g = build_community_graph(make_caveman<V32>(12, 8));
+  const auto csr = to_csr(g);
+  pregel::Engine<V32, pregel::LabelPropagation<V32>> engine(csr, {.rounds = 12});
+  engine.run();
+  auto labels = engine.values();
+  const auto k = pregel::densify_labels(labels);
+  EXPECT_GE(k, 10);  // roughly one label per cave
+  EXPECT_LE(k, 16);
+  const auto q = evaluate_partition(g, std::span<const V32>(labels));
+  EXPECT_GT(q.modularity, 0.6);
+}
+
+TEST(Pregel, LabelPropagationOnPlantedPartition) {
+  PlantedPartitionParams p;
+  p.num_vertices = 2048;
+  p.num_blocks = 32;
+  p.internal_degree = 16;
+  p.external_degree = 2;
+  const auto g = build_community_graph(generate_planted_partition<V32>(p));
+  pregel::Engine<V32, pregel::LabelPropagation<V32>> engine(to_csr(g), {.rounds = 16});
+  engine.run();
+  auto labels = engine.values();
+  (void)pregel::densify_labels(labels);
+  std::vector<std::int64_t> truth(static_cast<std::size_t>(p.num_vertices));
+  for (std::int64_t v = 0; v < p.num_vertices; ++v)
+    truth[static_cast<std::size_t>(v)] = planted_block_of(p, v);
+  const double ari = adjusted_rand_index(std::span<const std::int64_t>(truth),
+                                         std::span<const V32>(labels.data(), labels.size()));
+  EXPECT_GT(ari, 0.8);
+}
+
+TEST(Pregel, HandshakeMatchingIsValidAndMaximal) {
+  const auto el = generate_erdos_renyi<V32>(600, 2400, 9);
+  const auto g = build_community_graph(el);
+  pregel::Engine<V32, pregel::HandshakeMatching<V32>> engine(to_csr(g), {});
+  engine.run();
+
+  // Convert to the native Matching form and reuse its validators with
+  // all-positive scores (handshake matches over every edge).
+  Matching<V32> m;
+  m.mate.resize(engine.values().size());
+  for (std::size_t v = 0; v < engine.values().size(); ++v) {
+    m.mate[v] = engine.values()[v].mate;
+    if (m.mate[v] != kNoVertex<V32> && static_cast<std::size_t>(m.mate[v]) > v) ++m.num_pairs;
+  }
+  EXPECT_TRUE(is_valid_matching(m));
+  const std::vector<Score> ones(static_cast<std::size_t>(g.num_edges()), 1.0);
+  EXPECT_TRUE(is_maximal_matching(g, ones, m));
+  EXPECT_GT(m.num_pairs, 0);
+}
+
+TEST(Pregel, HandshakeMatchingPrefersHeavyEdges) {
+  // Path 0-1-2-3 with a heavy middle edge: the handshake must take it.
+  EdgeList<V32> el;
+  el.num_vertices = 4;
+  el.add(0, 1, 1);
+  el.add(1, 2, 10);
+  el.add(2, 3, 1);
+  pregel::Engine<V32, pregel::HandshakeMatching<V32>> engine(
+      to_csr(build_community_graph(el)), {});
+  engine.run();
+  EXPECT_EQ(engine.values()[1].mate, 2);
+  EXPECT_EQ(engine.values()[2].mate, 1);
+  EXPECT_EQ(engine.values()[0].mate, kNoVertex<V32>);
+  EXPECT_EQ(engine.values()[3].mate, kNoVertex<V32>);
+}
+
+TEST(Pregel, HandshakeMatchingOnStarMatchesOnePair) {
+  pregel::Engine<V32, pregel::HandshakeMatching<V32>> engine(
+      to_csr(build_community_graph(make_star<V32>(32))), {});
+  engine.run();
+  std::int64_t matched = 0;
+  for (const auto& v : engine.values())
+    if (v.mate != kNoVertex<V32>) ++matched;
+  EXPECT_EQ(matched, 2);  // the hub and exactly one leaf
+}
+
+TEST(Pregel, DensifyLabelsIsDenseAndOrderPreserving) {
+  std::vector<V32> labels{7, 7, 3, 9, 3};
+  const auto k = pregel::densify_labels(labels);
+  EXPECT_EQ(k, 3);
+  EXPECT_EQ(labels, (std::vector<V32>{0, 0, 1, 2, 1}));
+}
+
+}  // namespace
+}  // namespace commdet

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "commdet/core/agglomerate.hpp"
+#include "commdet/core/metrics.hpp"
+#include "commdet/gen/planted_partition.hpp"
+#include "commdet/gen/simple_graphs.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/refine/refine.hpp"
+
+namespace commdet {
+namespace {
+
+using V32 = std::int32_t;
+
+TEST(Refine, MovesMisassignedVertexHome) {
+  // Two K4s bridged by one edge; start with one vertex on the wrong side.
+  EdgeList<V32> el;
+  el.num_vertices = 8;
+  for (V32 u = 0; u < 4; ++u)
+    for (V32 v = u + 1; v < 4; ++v) {
+      el.add(u, v);
+      el.add(u + 4, v + 4);
+    }
+  el.add(3, 4);
+  const auto g = build_community_graph(el);
+
+  std::vector<V32> labels{0, 0, 0, 1, 1, 1, 1, 1};  // vertex 3 misassigned
+  const auto stats = refine_partition(g, labels);
+  EXPECT_GT(stats.moves, 0);
+  EXPECT_GT(stats.modularity_after, stats.modularity_before);
+  EXPECT_EQ(labels[3], labels[0]);  // came home
+  const auto q = evaluate_partition(g, std::span<const V32>(labels));
+  EXPECT_NEAR(q.modularity, stats.modularity_after, 1e-9);
+}
+
+TEST(Refine, OptimalPartitionIsAFixedPoint) {
+  const auto g = build_community_graph(make_caveman<V32>(6, 6));
+  std::vector<V32> labels(36);
+  for (int v = 0; v < 36; ++v) labels[static_cast<std::size_t>(v)] = static_cast<V32>(v / 6);
+  const double before = evaluate_partition(g, std::span<const V32>(labels)).modularity;
+  const auto stats = refine_partition(g, labels);
+  EXPECT_EQ(stats.moves, 0);
+  EXPECT_NEAR(stats.modularity_after, before, 1e-12);
+  for (int v = 0; v < 36; ++v) EXPECT_EQ(labels[static_cast<std::size_t>(v)], v / 6);
+}
+
+TEST(Refine, NeverDecreasesModularity) {
+  PlantedPartitionParams p;
+  p.num_vertices = 2000;
+  p.num_blocks = 40;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    p.seed = seed;
+    const auto g = build_community_graph(generate_planted_partition<V32>(p));
+    // Deliberately coarse start: everything from the driver at level cap 2.
+    AgglomerationOptions opts;
+    opts.max_levels = 2;
+    auto r = agglomerate(g, ModularityScorer{}, opts);
+    auto labels = r.community;
+    const auto stats = refine_partition(g, labels);
+    EXPECT_GE(stats.modularity_after, stats.modularity_before - 1e-12) << "seed " << seed;
+    const auto q = evaluate_partition(g, std::span<const V32>(labels));
+    EXPECT_NEAR(q.modularity, stats.modularity_after, 1e-9) << "seed " << seed;
+    // Labels stay dense.
+    std::vector<bool> seen(static_cast<std::size_t>(q.num_communities), false);
+    for (const auto c : labels) {
+      ASSERT_GE(c, 0);
+      ASSERT_LT(c, q.num_communities);
+      seen[static_cast<std::size_t>(c)] = true;
+    }
+    for (const bool s : seen) EXPECT_TRUE(s);
+  }
+}
+
+TEST(Refine, ImprovesAgglomerativeResultOnPlantedGraph) {
+  PlantedPartitionParams p;
+  p.num_vertices = 4096;
+  p.num_blocks = 64;
+  p.internal_degree = 14;
+  p.external_degree = 4;
+  const auto g = build_community_graph(generate_planted_partition<V32>(p));
+  auto r = agglomerate(g, ModularityScorer{});
+  auto labels = r.community;
+  const auto stats = refine_partition(g, labels);
+  // Matching-based agglomeration without refinement leaves local moves on
+  // the table; refinement must find at least some.
+  EXPECT_GT(stats.moves, 0);
+  EXPECT_GT(stats.modularity_after, r.final_modularity);
+}
+
+TEST(Refine, SecondPassIsANoOp) {
+  // Refinement runs local moves to a fixed point; a second invocation on
+  // its own output must make no moves.
+  PlantedPartitionParams p;
+  p.num_vertices = 1500;
+  p.num_blocks = 30;
+  const auto g = build_community_graph(generate_planted_partition<V32>(p));
+  auto r = agglomerate(g, ModularityScorer{});
+  auto labels = r.community;
+  refine_partition(g, labels);
+  const auto again = refine_partition(g, labels);
+  EXPECT_EQ(again.moves, 0);
+  EXPECT_NEAR(again.modularity_after, again.modularity_before, 1e-12);
+}
+
+TEST(Refine, EmptyAndEdgelessGraphs) {
+  EdgeList<V32> el;
+  el.num_vertices = 4;
+  const auto g = build_community_graph(el);
+  std::vector<V32> labels{0, 1, 2, 3};
+  const auto stats = refine_partition(g, labels);
+  EXPECT_EQ(stats.moves, 0);
+  EXPECT_EQ(stats.rounds, 0);
+}
+
+TEST(Refine, RespectsRoundCap) {
+  PlantedPartitionParams p;
+  p.num_vertices = 1000;
+  p.num_blocks = 20;
+  const auto g = build_community_graph(generate_planted_partition<V32>(p));
+  std::vector<V32> labels(1000);
+  std::iota(labels.begin(), labels.end(), 0);  // all singletons: far from optimal
+  RefineOptions opts;
+  opts.max_rounds = 1;
+  const auto stats = refine_partition(g, labels, opts);
+  EXPECT_LE(stats.rounds, 1);
+}
+
+}  // namespace
+}  // namespace commdet

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "commdet/gen/simple_graphs.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/score/score_edges.hpp"
+#include "commdet/score/scorers.hpp"
+
+namespace commdet {
+namespace {
+
+// Two triangles joined by one bridge edge: the canonical community shape.
+template <typename V>
+CommunityGraph<V> barbell_triangles() {
+  EdgeList<V> el;
+  el.num_vertices = 6;
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(0, 2);
+  el.add(3, 4);
+  el.add(4, 5);
+  el.add(3, 5);
+  el.add(2, 3);  // bridge
+  return build_community_graph(el);
+}
+
+TEST(ModularityScorer, MatchesHandComputedDelta) {
+  // K2: single edge between two singletons.  W = 1, vol = 1 each.
+  // dQ = 1/1 - (1*1)/(2*1) = 0.5.
+  ModularityScorer scorer;
+  const Score s = scorer.score({.edge_weight = 1,
+                                .volume_c = 1,
+                                .volume_d = 1,
+                                .self_c = 0,
+                                .self_d = 0,
+                                .total_weight = 1});
+  EXPECT_DOUBLE_EQ(s, 0.5);
+}
+
+TEST(ModularityScorer, PrefersIntraCommunityEdges) {
+  const auto g = barbell_triangles<std::int32_t>();
+  std::vector<Score> scores;
+  const auto summary = score_edges(g, ModularityScorer{}, scores);
+  EXPECT_EQ(summary.positive_edges, 7);  // all positive at the first level
+
+  // The bridge edge {2,3} must score lower than a triangle edge {0,1}:
+  // its endpoints have volume 3 (vs 2) and it closes no triangle.
+  Score bridge = 0, triangle = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto i = static_cast<std::size_t>(e);
+    const auto a = std::minmax(g.efirst[i], g.esecond[i]);
+    if (a.first == 2 && a.second == 3) bridge = scores[i];
+    if (a.first == 0 && a.second == 1) triangle = scores[i];
+  }
+  EXPECT_LT(bridge, triangle);
+}
+
+TEST(ModularityScorer, MergedCommunitiesCanScoreNegative) {
+  // Two big communities connected weakly: merging them lowers modularity.
+  ModularityScorer scorer;
+  const Score s = scorer.score({.edge_weight = 1,
+                                .volume_c = 100,
+                                .volume_d = 100,
+                                .self_c = 49,
+                                .self_d = 49,
+                                .total_weight = 101});
+  EXPECT_LT(s, 0.0);
+}
+
+TEST(ConductanceScorer, MergingIsolatedPairImprovesConductance) {
+  // Two singletons joined by their only edge: merged conductance is 0,
+  // individual conductance is 1 each -> score = +2.
+  ConductanceScorer scorer;
+  const Score s = scorer.score({.edge_weight = 1,
+                                .volume_c = 1,
+                                .volume_d = 1,
+                                .self_c = 0,
+                                .self_d = 0,
+                                .total_weight = 10});
+  EXPECT_DOUBLE_EQ(s, 2.0);
+}
+
+TEST(ConductanceScorer, ZeroCutCommunityHasZeroConductance) {
+  ConductanceScorer scorer;
+  // Community c has zero cut (vol == 2*self): phi(c) = 0.
+  const Score s = scorer.score({.edge_weight = 2,
+                                .volume_c = 10,
+                                .volume_d = 6,
+                                .self_c = 5,
+                                .self_d = 1,
+                                .total_weight = 20});
+  // phi(c)=0, phi(d)=4/6, merged cut = 0+4-4=0 -> phi(m)=0; score=2/3.
+  EXPECT_NEAR(s, 4.0 / 6.0, 1e-12);
+}
+
+TEST(HeavyEdgeScorer, ScoreEqualsWeight) {
+  HeavyEdgeScorer scorer;
+  EXPECT_DOUBLE_EQ(
+      scorer.score({.edge_weight = 7, .volume_c = 1, .volume_d = 1, .self_c = 0, .self_d = 0, .total_weight = 100}),
+      7.0);
+}
+
+TEST(ScoreEdges, SummaryCountsPositives) {
+  const auto g = barbell_triangles<std::int64_t>();
+  std::vector<Score> scores;
+  const auto summary = score_edges(g, ModularityScorer{}, scores);
+  EXPECT_EQ(static_cast<EdgeId>(scores.size()), g.num_edges());
+  EdgeId pos = 0;
+  Score max_s = 0;
+  for (const auto s : scores)
+    if (s > 0) {
+      ++pos;
+      max_s = std::max(max_s, s);
+    }
+  EXPECT_EQ(summary.positive_edges, pos);
+  EXPECT_DOUBLE_EQ(summary.max_score, max_s);
+}
+
+TEST(ScoreEdges, CliqueLocalMaximumAfterFullMerge) {
+  // A graph that is already one community (single vertex with self-loop)
+  // has no edges, so no positive scores.
+  EdgeList<std::int32_t> el;
+  el.num_vertices = 1;
+  el.add(0, 0, 5);
+  const auto g = build_community_graph(el);
+  std::vector<Score> scores;
+  const auto summary = score_edges(g, ModularityScorer{}, scores);
+  EXPECT_EQ(summary.positive_edges, 0);
+}
+
+TEST(ConductanceScorer, WholeGraphVolumeEdgeCase) {
+  // When one community holds nearly all volume, min(vol, 2W - vol)
+  // switches sides; the scorer must stay finite and sane.
+  ConductanceScorer scorer;
+  const Score s = scorer.score({.edge_weight = 1,
+                                .volume_c = 19,
+                                .volume_d = 1,
+                                .self_c = 9,
+                                .self_d = 0,
+                                .total_weight = 10});
+  // phi(c) = 1/min(19,1) = 1, phi(d) = 1/1 = 1, merged cut 0 -> phi 0.
+  EXPECT_DOUBLE_EQ(s, 2.0);
+}
+
+TEST(ModularityScorer, SymmetricInEndpoints) {
+  ModularityScorer scorer;
+  const EdgeContext ab{.edge_weight = 3, .volume_c = 8, .volume_d = 5,
+                       .self_c = 2, .self_d = 0, .total_weight = 40};
+  const EdgeContext ba{.edge_weight = 3, .volume_c = 5, .volume_d = 8,
+                       .self_c = 0, .self_d = 2, .total_weight = 40};
+  EXPECT_DOUBLE_EQ(scorer.score(ab), scorer.score(ba));
+}
+
+TEST(ScoreEdges, WeightsShiftScores) {
+  // Heavier edges between the same communities score higher under
+  // modularity (w/W term grows, volume term fixed).
+  ModularityScorer scorer;
+  EdgeContext ctx{.edge_weight = 1, .volume_c = 10, .volume_d = 10,
+                  .self_c = 0, .self_d = 0, .total_weight = 100};
+  const Score light = scorer.score(ctx);
+  ctx.edge_weight = 5;
+  const Score heavy = scorer.score(ctx);
+  EXPECT_GT(heavy, light);
+}
+
+TEST(ScoreEdges, RescoringAfterContractionUsesMergedVolumes) {
+  // Score a 4-cycle, contract opposite pairs, rescore: the single
+  // remaining edge sees the merged volumes (3 + 3 -> negative score at
+  // the local maximum when everything would collapse to one community).
+  const auto g = build_community_graph(make_cycle<std::int32_t>(4));
+  std::vector<Score> scores;
+  auto summary = score_edges(g, ModularityScorer{}, scores);
+  EXPECT_EQ(summary.positive_edges, 4);
+}
+
+}  // namespace
+}  // namespace commdet

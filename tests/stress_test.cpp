@@ -1,0 +1,126 @@
+// Concurrency stress: repeated runs of the parallel kernels under
+// deliberate thread oversubscription, with full invariant validation
+// after every run.  Races in the matching claim protocol or contraction
+// scatter would surface here as invariant violations (the checks are
+// outcome-based, so they are meaningful even on a single-core host and
+// get stronger on real multicore machines).
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "commdet/contract/bucket_sort_contractor.hpp"
+#include "commdet/gen/planted_partition.hpp"
+#include "commdet/gen/rmat.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/validate.hpp"
+#include "commdet/match/matching.hpp"
+#include "commdet/match/unmatched_list_matcher.hpp"
+#include "commdet/score/score_edges.hpp"
+#include "commdet/util/compact.hpp"
+#include "commdet/util/prefix_sum.hpp"
+
+namespace commdet {
+namespace {
+
+using V32 = std::int32_t;
+
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int threads) : saved_(omp_get_max_threads()) {
+    omp_set_num_threads(threads);
+  }
+  ~ThreadGuard() { omp_set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+class StressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StressTest, MatchingStaysValidAndMaximalAcrossRepeats) {
+  ThreadGuard guard(GetParam());
+  RmatParams p;
+  p.scale = 11;
+  p.edge_factor = 8;
+  const auto g = build_community_graph(generate_rmat<V32>(p));
+  std::vector<Score> scores;
+  score_edges(g, ModularityScorer{}, scores);
+
+  std::set<std::int64_t> pair_counts;
+  for (int run = 0; run < 8; ++run) {
+    const auto m = UnmatchedListMatcher<V32>{}.match(g, scores);
+    ASSERT_TRUE(is_valid_matching(m)) << "run " << run;
+    ASSERT_TRUE(is_maximal_matching(g, scores, m)) << "run " << run;
+    pair_counts.insert(m.num_pairs);
+  }
+  // Non-determinism may vary the matching, but never by much: all runs
+  // are maximal matchings of the same graph.
+  EXPECT_LE(*pair_counts.rbegin() - *pair_counts.begin(),
+            *pair_counts.rbegin() / 4 + 16);
+}
+
+TEST_P(StressTest, ContractionInvariantsUnderOversubscription) {
+  ThreadGuard guard(GetParam());
+  PlantedPartitionParams p;
+  p.num_vertices = 4096;
+  p.num_blocks = 64;
+  auto g = build_community_graph(generate_planted_partition<V32>(p));
+  std::vector<Score> scores;
+  for (int level = 0; level < 6 && g.num_vertices() > 2; ++level) {
+    score_edges(g, ModularityScorer{}, scores);
+    const auto m = UnmatchedListMatcher<V32>{}.match(g, scores);
+    if (m.num_pairs == 0) break;
+    auto r = BucketSortContractor<V32>{}.contract(g, m);
+    const auto check = validate_graph(r.graph);
+    ASSERT_TRUE(check.ok()) << "level " << level << ": " << check.error;
+    ASSERT_EQ(r.graph.total_weight, g.total_weight);
+    g = std::move(r.graph);
+  }
+}
+
+TEST_P(StressTest, PrefixSumAndCompactExactUnderThreads) {
+  ThreadGuard guard(GetParam());
+  const std::int64_t n = 1 << 18;
+  for (int run = 0; run < 4; ++run) {
+    std::vector<std::int64_t> values(static_cast<std::size_t>(n), 1);
+    const auto total = exclusive_prefix_sum(std::span<std::int64_t>(values));
+    ASSERT_EQ(total, n);
+    for (std::int64_t i = 0; i < n; i += n / 64)
+      ASSERT_EQ(values[static_cast<std::size_t>(i)], i);
+
+    std::vector<std::int32_t> input(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) input[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i);
+    const auto kept = parallel_compact(std::span<const std::int32_t>(input),
+                                       [](std::int32_t v) { return v % 5 == 0; });
+    ASSERT_EQ(static_cast<std::int64_t>(kept.size()), (n + 4) / 5);
+    ASSERT_EQ(kept.front(), 0);
+    ASSERT_EQ(kept.back(), ((n - 1) / 5) * 5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, StressTest, ::testing::Values(1, 2, 4, 8, 16),
+                         [](const auto& info) {
+                           return "Threads" + std::to_string(info.param);
+                         });
+
+// int64 vertex ids through the full matching path (most tests use int32;
+// this guards the wider instantiation).
+TEST(Int64Labels, FullPipelineSmoke) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  const auto g = build_community_graph(generate_rmat<std::int64_t>(p));
+  std::vector<Score> scores;
+  score_edges(g, ModularityScorer{}, scores);
+  const auto m = UnmatchedListMatcher<std::int64_t>{}.match(g, scores);
+  EXPECT_TRUE(is_valid_matching(m));
+  EXPECT_TRUE(is_maximal_matching(g, scores, m));
+  const auto r = BucketSortContractor<std::int64_t>{}.contract(g, m);
+  EXPECT_TRUE(validate_graph(r.graph).ok());
+}
+
+}  // namespace
+}  // namespace commdet

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "commdet/util/rng.hpp"
+
+namespace commdet {
+namespace {
+
+TEST(Splitmix64, AdvancesStateDeterministically) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(splitmix64(s1), splitmix64(s2) + 1);  // streams stay in lockstep
+}
+
+TEST(Splitmix64, KnownFirstValueForSeedZero) {
+  // Reference value of the splitmix64 sequence from seed 0.
+  std::uint64_t s = 0;
+  EXPECT_EQ(splitmix64(s), 0xe220a8397b1dcdafULL);
+}
+
+TEST(Mix64, IsPureFunction) {
+  EXPECT_EQ(mix64(123456), mix64(123456));
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+TEST(Xoshiro256ss, DifferentSeedsDiverge) {
+  Xoshiro256ss a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256ss, UniformInUnitInterval) {
+  Xoshiro256ss rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(CounterRng, PureFunctionOfCounter) {
+  CounterRng rng(99, 3);
+  const auto a = rng.at(1000);
+  const auto b = rng.at(1000);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(rng.at(1000), rng.at(1001));
+}
+
+TEST(CounterRng, StreamsAreIndependent) {
+  CounterRng s0(99, 0), s1(99, 1);
+  int same = 0;
+  for (std::uint64_t i = 0; i < 256; ++i)
+    if (s0.at(i) == s1.at(i)) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(CounterRng, BelowStaysInBounds) {
+  CounterRng rng(5);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const auto v = rng.below(i, 10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit over 1000 draws
+}
+
+TEST(CounterRng, UniformMeanNearHalf) {
+  CounterRng rng(11);
+  double sum = 0;
+  for (std::uint64_t i = 0; i < 20000; ++i) sum += rng.uniform(i);
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace commdet

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "commdet/util/parallel.hpp"
+#include "commdet/util/spinlock.hpp"
+
+namespace commdet {
+namespace {
+
+TEST(SpinlockTable, MutualExclusionUnderContention) {
+  SpinlockTable locks(4);
+  std::vector<std::int64_t> counters(4, 0);  // plain increments guarded by locks
+  parallel_for(40000, [&](std::int64_t i) {
+    const std::size_t slot = static_cast<std::size_t>(i) % 4;
+    SpinlockGuard guard(locks, slot);
+    counters[slot] += 1;  // data race iff the lock is broken
+  });
+  for (const auto c : counters) EXPECT_EQ(c, 10000);
+}
+
+TEST(SpinlockTable, TryLockReflectsState) {
+  SpinlockTable locks(1);
+  EXPECT_TRUE(locks.try_lock(0));
+  EXPECT_FALSE(locks.try_lock(0));
+  locks.unlock(0);
+  EXPECT_TRUE(locks.try_lock(0));
+  locks.unlock(0);
+}
+
+TEST(SpinlockTable, LockPairHandlesEqualIndices) {
+  SpinlockTable locks(3);
+  locks.lock_pair(1, 1);
+  EXPECT_FALSE(locks.try_lock(1));
+  locks.unlock_pair(1, 1);
+  EXPECT_TRUE(locks.try_lock(1));
+  locks.unlock(1);
+}
+
+TEST(SpinlockTable, LockPairOrdersBothDirections) {
+  SpinlockTable locks(8);
+  std::int64_t counter = 0;
+  // Threads lock pairs in opposite presentation order; ascending-index
+  // acquisition must prevent deadlock.
+  parallel_for(20000, [&](std::int64_t i) {
+    if (i % 2 == 0) {
+      locks.lock_pair(2, 5);
+      counter += 1;
+      locks.unlock_pair(2, 5);
+    } else {
+      locks.lock_pair(5, 2);
+      counter += 1;
+      locks.unlock_pair(5, 2);
+    }
+  });
+  EXPECT_EQ(counter, 20000);
+}
+
+}  // namespace
+}  // namespace commdet

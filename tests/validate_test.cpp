@@ -1,0 +1,113 @@
+// Negative tests for the graph validator: corrupt each invariant in turn
+// and confirm the validator names it.  The validator is the oracle for
+// all contraction property tests, so its own sensitivity matters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "commdet/gen/simple_graphs.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/validate.hpp"
+
+namespace commdet {
+namespace {
+
+using V32 = std::int32_t;
+
+CommunityGraph<V32> healthy() {
+  return build_community_graph(make_caveman<V32>(3, 4));
+}
+
+TEST(Validate, AcceptsHealthyGraph) {
+  EXPECT_TRUE(validate_graph(healthy()).ok());
+}
+
+TEST(Validate, DetectsWrongBucketOwner) {
+  auto g = healthy();
+  // Move an edge into a foreign bucket by swapping two buckets' cursors.
+  std::swap(g.bucket_begin[0], g.bucket_begin[1]);
+  std::swap(g.bucket_end[0], g.bucket_end[1]);
+  EXPECT_FALSE(validate_graph(g).ok());
+}
+
+TEST(Validate, DetectsBucketOutOfRange) {
+  auto g = healthy();
+  g.bucket_end[0] = g.num_edges() + 5;
+  const auto r = validate_graph(g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("out of range"), std::string::npos);
+}
+
+TEST(Validate, DetectsHashOrderViolation) {
+  auto g = healthy();
+  // Swap first/second of one edge: breaks ownership or the parity rule.
+  std::swap(g.efirst[0], g.esecond[0]);
+  EXPECT_FALSE(validate_graph(g).ok());
+}
+
+TEST(Validate, DetectsNonPositiveWeight) {
+  auto g = healthy();
+  g.eweight[0] = 0;
+  const auto r = validate_graph(g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("weight"), std::string::npos);
+}
+
+TEST(Validate, DetectsVolumeDrift) {
+  auto g = healthy();
+  g.volume[2] += 1;
+  const auto r = validate_graph(g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("volume"), std::string::npos);
+}
+
+TEST(Validate, DetectsTotalWeightDrift) {
+  auto g = healthy();
+  g.total_weight += 7;
+  const auto r = validate_graph(g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("total_weight"), std::string::npos);
+}
+
+TEST(Validate, DetectsDuplicateEdgeInBucket) {
+  auto g = healthy();
+  // Duplicate the second edge of a bucket with >= 2 edges onto the first.
+  for (V32 v = 0; v < g.nv; ++v) {
+    const auto [b, e] = g.bucket(v);
+    if (e - b >= 2) {
+      const Weight moved = g.eweight[static_cast<std::size_t>(b + 1)];
+      g.esecond[static_cast<std::size_t>(b + 1)] = g.esecond[static_cast<std::size_t>(b)];
+      // Keep volume/total consistent so only the duplicate fires: the
+      // validator checks duplicates before recomputing volumes.
+      (void)moved;
+      break;
+    }
+  }
+  const auto r = validate_graph(g);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(Validate, DetectsArraySizeMismatch) {
+  auto g = healthy();
+  g.self_weight.pop_back();
+  const auto r = validate_graph(g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("size"), std::string::npos);
+}
+
+TEST(Validate, DetectsUncoveredEdges) {
+  auto g = healthy();
+  // Shrink one bucket so its last edge is covered by no bucket.
+  for (V32 v = 0; v < g.nv; ++v) {
+    const auto [b, e] = g.bucket(v);
+    if (e > b) {
+      g.bucket_end[static_cast<std::size_t>(v)] = e - 1;
+      break;
+    }
+  }
+  const auto r = validate_graph(g);
+  ASSERT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace commdet
