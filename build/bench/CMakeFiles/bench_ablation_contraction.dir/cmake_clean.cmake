@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_contraction.dir/bench_ablation_contraction.cpp.o"
+  "CMakeFiles/bench_ablation_contraction.dir/bench_ablation_contraction.cpp.o.d"
+  "bench_ablation_contraction"
+  "bench_ablation_contraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

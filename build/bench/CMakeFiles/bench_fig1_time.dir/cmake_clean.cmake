@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_time.dir/bench_fig1_time.cpp.o"
+  "CMakeFiles/bench_fig1_time.dir/bench_fig1_time.cpp.o.d"
+  "bench_fig1_time"
+  "bench_fig1_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

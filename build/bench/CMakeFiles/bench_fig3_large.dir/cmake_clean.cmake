@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_large.dir/bench_fig3_large.cpp.o"
+  "CMakeFiles/bench_fig3_large.dir/bench_fig3_large.cpp.o.d"
+  "bench_fig3_large"
+  "bench_fig3_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phase_scaling.dir/bench_phase_scaling.cpp.o"
+  "CMakeFiles/bench_phase_scaling.dir/bench_phase_scaling.cpp.o.d"
+  "bench_phase_scaling"
+  "bench_phase_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phase_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

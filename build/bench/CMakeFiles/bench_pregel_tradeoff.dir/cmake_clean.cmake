@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pregel_tradeoff.dir/bench_pregel_tradeoff.cpp.o"
+  "CMakeFiles/bench_pregel_tradeoff.dir/bench_pregel_tradeoff.cpp.o.d"
+  "bench_pregel_tradeoff"
+  "bench_pregel_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pregel_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_refinement.dir/bench_refinement.cpp.o"
+  "CMakeFiles/bench_refinement.dir/bench_refinement.cpp.o.d"
+  "bench_refinement"
+  "bench_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_platform.dir/bench_table1_platform.cpp.o"
+  "CMakeFiles/bench_table1_platform.dir/bench_table1_platform.cpp.o.d"
+  "bench_table1_platform"
+  "bench_table1_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_graphs.dir/bench_table2_graphs.cpp.o"
+  "CMakeFiles/bench_table2_graphs.dir/bench_table2_graphs.cpp.o.d"
+  "bench_table2_graphs"
+  "bench_table2_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_rate.dir/bench_table3_rate.cpp.o"
+  "CMakeFiles/bench_table3_rate.dir/bench_table3_rate.cpp.o.d"
+  "bench_table3_rate"
+  "bench_table3_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

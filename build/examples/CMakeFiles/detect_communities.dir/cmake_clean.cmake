@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_communities.dir/detect_communities.cpp.o"
+  "CMakeFiles/detect_communities.dir/detect_communities.cpp.o.d"
+  "detect_communities"
+  "detect_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for detect_communities.
+# This may be replaced when dependencies are built.

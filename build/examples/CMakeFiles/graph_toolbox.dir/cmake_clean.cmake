@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_toolbox.dir/graph_toolbox.cpp.o"
+  "CMakeFiles/graph_toolbox.dir/graph_toolbox.cpp.o.d"
+  "graph_toolbox"
+  "graph_toolbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_toolbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_explorer.dir/hierarchy_explorer.cpp.o"
+  "CMakeFiles/hierarchy_explorer.dir/hierarchy_explorer.cpp.o.d"
+  "hierarchy_explorer"
+  "hierarchy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

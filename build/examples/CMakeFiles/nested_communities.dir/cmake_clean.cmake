@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_communities.dir/nested_communities.cpp.o"
+  "CMakeFiles/nested_communities.dir/nested_communities.cpp.o.d"
+  "nested_communities"
+  "nested_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

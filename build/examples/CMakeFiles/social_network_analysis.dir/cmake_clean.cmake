@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_network_analysis.dir/social_network_analysis.cpp.o"
+  "CMakeFiles/social_network_analysis.dir/social_network_analysis.cpp.o.d"
+  "social_network_analysis"
+  "social_network_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_network_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

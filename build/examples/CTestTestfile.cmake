@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_social_network]=] "/root/repo/build/examples/social_network_analysis" "4000" "40")
+set_tests_properties([=[example_social_network]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_web_pipeline]=] "/root/repo/build/examples/web_graph_pipeline" "12" "8")
+set_tests_properties([=[example_web_pipeline]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_hierarchy]=] "/root/repo/build/examples/hierarchy_explorer" "8" "8")
+set_tests_properties([=[example_hierarchy]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_toolbox_generate]=] "/root/repo/build/examples/graph_toolbox" "generate" "rmat" "--scale" "10" "--edgefactor" "4" "-o" "toolbox_smoke.txt")
+set_tests_properties([=[example_toolbox_generate]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_nested]=] "/root/repo/build/examples/nested_communities" "5000" "20")
+set_tests_properties([=[example_nested]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_detect]=] "/root/repo/build/examples/detect_communities" "toolbox_smoke.txt" "--largest-component" "--coverage" "0.5")
+set_tests_properties([=[example_detect]=] PROPERTIES  DEPENDS "example_toolbox_generate" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

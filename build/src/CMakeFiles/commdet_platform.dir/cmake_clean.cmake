@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commdet_platform.dir/commdet/platform/platform_info.cpp.o"
+  "CMakeFiles/commdet_platform.dir/commdet/platform/platform_info.cpp.o.d"
+  "libcommdet_platform.a"
+  "libcommdet_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commdet_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcommdet_platform.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agglomerate_test.dir/agglomerate_test.cpp.o"
+  "CMakeFiles/agglomerate_test.dir/agglomerate_test.cpp.o.d"
+  "agglomerate_test"
+  "agglomerate_test.pdb"
+  "agglomerate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agglomerate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

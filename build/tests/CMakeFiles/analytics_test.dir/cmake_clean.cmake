@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_test.dir/analytics_test.cpp.o"
+  "CMakeFiles/analytics_test.dir/analytics_test.cpp.o.d"
+  "analytics_test"
+  "analytics_test.pdb"
+  "analytics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contract_test.dir/contract_test.cpp.o"
+  "CMakeFiles/contract_test.dir/contract_test.cpp.o.d"
+  "contract_test"
+  "contract_test.pdb"
+  "contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_facade_test.dir/detect_facade_test.cpp.o"
+  "CMakeFiles/detect_facade_test.dir/detect_facade_test.cpp.o.d"
+  "detect_facade_test"
+  "detect_facade_test.pdb"
+  "detect_facade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_facade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

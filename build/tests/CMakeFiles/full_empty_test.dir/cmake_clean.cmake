@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_empty_test.dir/full_empty_test.cpp.o"
+  "CMakeFiles/full_empty_test.dir/full_empty_test.cpp.o.d"
+  "full_empty_test"
+  "full_empty_test.pdb"
+  "full_empty_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_empty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

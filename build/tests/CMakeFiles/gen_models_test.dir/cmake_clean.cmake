@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_models_test.dir/gen_models_test.cpp.o"
+  "CMakeFiles/gen_models_test.dir/gen_models_test.cpp.o.d"
+  "gen_models_test"
+  "gen_models_test.pdb"
+  "gen_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

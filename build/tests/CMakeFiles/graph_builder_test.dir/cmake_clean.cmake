@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_builder_test.dir/graph_builder_test.cpp.o"
+  "CMakeFiles/graph_builder_test.dir/graph_builder_test.cpp.o.d"
+  "graph_builder_test"
+  "graph_builder_test.pdb"
+  "graph_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

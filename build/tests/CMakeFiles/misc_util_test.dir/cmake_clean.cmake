@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_util_test.dir/misc_util_test.cpp.o"
+  "CMakeFiles/misc_util_test.dir/misc_util_test.cpp.o.d"
+  "misc_util_test"
+  "misc_util_test.pdb"
+  "misc_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilevel_refine_test.dir/multilevel_refine_test.cpp.o"
+  "CMakeFiles/multilevel_refine_test.dir/multilevel_refine_test.cpp.o.d"
+  "multilevel_refine_test"
+  "multilevel_refine_test.pdb"
+  "multilevel_refine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel_refine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

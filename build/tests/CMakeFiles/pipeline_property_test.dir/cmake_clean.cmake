@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_property_test.dir/pipeline_property_test.cpp.o"
+  "CMakeFiles/pipeline_property_test.dir/pipeline_property_test.cpp.o.d"
+  "pipeline_property_test"
+  "pipeline_property_test.pdb"
+  "pipeline_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregel_test.dir/pregel_test.cpp.o"
+  "CMakeFiles/pregel_test.dir/pregel_test.cpp.o.d"
+  "pregel_test"
+  "pregel_test.pdb"
+  "pregel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

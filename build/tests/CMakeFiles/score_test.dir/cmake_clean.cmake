@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/score_test.dir/score_test.cpp.o"
+  "CMakeFiles/score_test.dir/score_test.cpp.o.d"
+  "score_test"
+  "score_test.pdb"
+  "score_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/score_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
