@@ -14,6 +14,9 @@
 //   --threads <t>       OpenMP threads
 //   --out <file>        write "vertex community" lines
 //   --largest-component run on the largest connected component only
+//   --max-seconds / --max-memory-mb / --max-stalled-levels / --grace-levels
+//                       run budget: degrade to the best clustering so far
+//                       instead of running without bound
 #include <omp.h>
 
 #include <cstdio>
@@ -54,7 +57,8 @@ commdet::EdgeList<V> load(const std::string& path) {
                "       [--coverage x] [--min-communities k] [--max-size n]\n"
                "       [--matcher list|sweep|greedy] [--contractor bucket|hash|spgemm]\n"
                "       [--refine flat|vcycle] [--gamma g] [--threads t] [--out file]\n"
-               "       [--largest-component]\n");
+               "       [--largest-component] [--max-seconds s] [--max-memory-mb m]\n"
+               "       [--max-stalled-levels k] [--grace-levels k]\n");
   std::exit(2);
 }
 
@@ -108,6 +112,14 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--largest-component") {
       use_largest_component = true;
+    } else if (arg == "--max-seconds") {
+      opts.budget.max_seconds = std::stod(next());
+    } else if (arg == "--max-memory-mb") {
+      opts.budget.max_memory_bytes = std::stoll(next()) << 20;
+    } else if (arg == "--max-stalled-levels") {
+      opts.budget.max_stalled_levels = std::stoi(next());
+    } else if (arg == "--grace-levels") {
+      opts.budget.grace_levels = std::stoi(next());
     } else {
       usage();
     }
@@ -137,6 +149,9 @@ int main(int argc, char** argv) {
                 result.num_levels(), result.total_seconds,
                 100.0 * result.contraction_fraction());
     std::printf("termination: %s\n", std::string(commdet::to_string(result.reason)).c_str());
+    if (commdet::is_degraded(result.reason) && result.error)
+      std::printf("degraded run (best clustering so far returned): %s\n",
+                  result.error->message().c_str());
     for (const auto& l : result.levels)
       std::printf("  level %2d: %9lld -> %9lld communities, %9lld edges, "
                   "coverage %.3f, modularity %.4f\n",

@@ -21,6 +21,8 @@
 //              Barabási–Albert, deterministic shapes
 //   io/        edge-list text, binary snapshots, METIS, Matrix Market,
 //              partition files
+//   robust/    structured errors + Expected, fault injection, run
+//              budgets, input sanitization
 //   cc/        connected components, largest component, BFS
 //   score/     modularity / conductance / heavy-edge / resolution scorers
 //   match/     unmatched-list (paper), edge-sweep (baseline), sequential
@@ -73,6 +75,11 @@
 #include "commdet/pregel/programs.hpp"
 #include "commdet/refine/multilevel.hpp"
 #include "commdet/refine/refine.hpp"
+#include "commdet/robust/budget.hpp"
+#include "commdet/robust/error.hpp"
+#include "commdet/robust/expected.hpp"
+#include "commdet/robust/fault_injection.hpp"
+#include "commdet/robust/sanitize.hpp"
 #include "commdet/score/score_edges.hpp"
 #include "commdet/score/scorers.hpp"
 #include "commdet/util/atomics.hpp"

@@ -91,33 +91,38 @@ class BucketSortContractor {
     // Pass 3: per-bucket sort by second vertex and accumulate identical
     // edges in place, shortening the bucket.
     std::vector<EdgeId> new_len(static_cast<std::size_t>(new_nv), 0);
+    ExceptionCollector errors;
 #pragma omp parallel
     {
       std::vector<std::pair<V, Weight>> scratch;
 #pragma omp for schedule(dynamic, 64)
       for (std::int64_t v = 0; v < new_nv; ++v) {
-        const EdgeId bb = counts[static_cast<std::size_t>(v)];
-        const EdgeId be = counts[static_cast<std::size_t>(v) + 1];
-        if (bb == be) continue;
-        scratch.clear();
-        for (EdgeId k = bb; k < be; ++k)
-          scratch.emplace_back(tmp_second[static_cast<std::size_t>(k)],
-                               tmp_weight[static_cast<std::size_t>(k)]);
-        std::sort(scratch.begin(), scratch.end(),
-                  [](const auto& x, const auto& y) { return x.first < y.first; });
-        EdgeId w = bb;  // write cursor back into the bucket
-        for (std::size_t r = 0; r < scratch.size(); ++r) {
-          if (r > 0 && scratch[r].first == tmp_second[static_cast<std::size_t>(w - 1)]) {
-            tmp_weight[static_cast<std::size_t>(w - 1)] += scratch[r].second;
-          } else {
-            tmp_second[static_cast<std::size_t>(w)] = scratch[r].first;
-            tmp_weight[static_cast<std::size_t>(w)] = scratch[r].second;
-            ++w;
+        if (errors.armed()) continue;
+        errors.run([&] {
+          const EdgeId bb = counts[static_cast<std::size_t>(v)];
+          const EdgeId be = counts[static_cast<std::size_t>(v) + 1];
+          if (bb == be) return;
+          scratch.clear();
+          for (EdgeId k = bb; k < be; ++k)
+            scratch.emplace_back(tmp_second[static_cast<std::size_t>(k)],
+                                 tmp_weight[static_cast<std::size_t>(k)]);
+          std::sort(scratch.begin(), scratch.end(),
+                    [](const auto& x, const auto& y) { return x.first < y.first; });
+          EdgeId w = bb;  // write cursor back into the bucket
+          for (std::size_t r = 0; r < scratch.size(); ++r) {
+            if (r > 0 && scratch[r].first == tmp_second[static_cast<std::size_t>(w - 1)]) {
+              tmp_weight[static_cast<std::size_t>(w - 1)] += scratch[r].second;
+            } else {
+              tmp_second[static_cast<std::size_t>(w)] = scratch[r].first;
+              tmp_weight[static_cast<std::size_t>(w)] = scratch[r].second;
+              ++w;
+            }
           }
-        }
-        new_len[static_cast<std::size_t>(v)] = w - bb;
+          new_len[static_cast<std::size_t>(v)] = w - bb;
+        });
       }
     }
+    errors.rethrow_if_armed();
 
     // Pass 4: copy the shortened buckets back out contiguously, filling in
     // the implicit first vertex.

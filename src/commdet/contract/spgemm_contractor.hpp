@@ -81,32 +81,37 @@ class SpGemmContractor {
     // and diagonal (intra-community) accumulation into self weights.
     // Each undirected edge appears in both endpoint rows of A, so the
     // diagonal gathers 2x the internal weight — halved on write.
+    ExceptionCollector pass1_errors;
 #pragma omp parallel
     {
       std::vector<std::uint32_t> stamp(static_cast<std::size_t>(new_nv), 0);
       std::uint32_t generation = 0;
 #pragma omp for schedule(dynamic, 64)
       for (std::int64_t row = 0; row < new_nv; ++row) {
-        ++generation;
-        EdgeId owned = 0;
-        Weight diagonal = 0;
-        for_each_entry(row, [&](V col, Weight w) {
-          if (static_cast<std::int64_t>(col) == row) {
-            diagonal += w;
-            return;
-          }
-          const auto [f, s] = hashed_edge_order(static_cast<V>(row), col);
-          if (f != static_cast<V>(row)) return;  // owned by the other row
-          if (stamp[static_cast<std::size_t>(col)] != generation) {
-            stamp[static_cast<std::size_t>(col)] = generation;
-            ++owned;
-          }
+        if (pass1_errors.armed()) continue;
+        pass1_errors.run([&] {
+          ++generation;
+          EdgeId owned = 0;
+          Weight diagonal = 0;
+          for_each_entry(row, [&](V col, Weight w) {
+            if (static_cast<std::int64_t>(col) == row) {
+              diagonal += w;
+              return;
+            }
+            const auto [f, s] = hashed_edge_order(static_cast<V>(row), col);
+            if (f != static_cast<V>(row)) return;  // owned by the other row
+            if (stamp[static_cast<std::size_t>(col)] != generation) {
+              stamp[static_cast<std::size_t>(col)] = generation;
+              ++owned;
+            }
+          });
+          row_len[static_cast<std::size_t>(row)] = owned;
+          if (diagonal > 0)
+            out.self_weight[static_cast<std::size_t>(row)] += diagonal / 2;
         });
-        row_len[static_cast<std::size_t>(row)] = owned;
-        if (diagonal > 0)
-          out.self_weight[static_cast<std::size_t>(row)] += diagonal / 2;
       }
     }
+    pass1_errors.rethrow_if_armed();
 
     std::vector<EdgeId> offsets(row_len.begin(), row_len.end());
     offsets.push_back(0);
@@ -117,6 +122,7 @@ class SpGemmContractor {
 
     // Pass 2: accumulate weights per unique column and write the row,
     // sorted by column for the bucket-order invariant.
+    ExceptionCollector pass2_errors;
 #pragma omp parallel
     {
       std::vector<std::uint32_t> stamp(static_cast<std::size_t>(new_nv), 0);
@@ -125,30 +131,34 @@ class SpGemmContractor {
       std::uint32_t generation = 0;
 #pragma omp for schedule(dynamic, 64)
       for (std::int64_t row = 0; row < new_nv; ++row) {
-        ++generation;
-        touched.clear();
-        for_each_entry(row, [&](V col, Weight w) {
-          if (static_cast<std::int64_t>(col) == row) return;
-          const auto [f, s] = hashed_edge_order(static_cast<V>(row), col);
-          if (f != static_cast<V>(row)) return;
-          const auto ci = static_cast<std::size_t>(col);
-          if (stamp[ci] != generation) {
-            stamp[ci] = generation;
-            acc[ci] = 0;
-            touched.push_back(col);
+        if (pass2_errors.armed()) continue;
+        pass2_errors.run([&] {
+          ++generation;
+          touched.clear();
+          for_each_entry(row, [&](V col, Weight w) {
+            if (static_cast<std::int64_t>(col) == row) return;
+            const auto [f, s] = hashed_edge_order(static_cast<V>(row), col);
+            if (f != static_cast<V>(row)) return;
+            const auto ci = static_cast<std::size_t>(col);
+            if (stamp[ci] != generation) {
+              stamp[ci] = generation;
+              acc[ci] = 0;
+              touched.push_back(col);
+            }
+            acc[ci] += w;
+          });
+          std::sort(touched.begin(), touched.end());
+          EdgeId at = offsets[static_cast<std::size_t>(row)];
+          for (const V col : touched) {
+            out.efirst[static_cast<std::size_t>(at)] = static_cast<V>(row);
+            out.esecond[static_cast<std::size_t>(at)] = col;
+            out.eweight[static_cast<std::size_t>(at)] = acc[static_cast<std::size_t>(col)];
+            ++at;
           }
-          acc[ci] += w;
         });
-        std::sort(touched.begin(), touched.end());
-        EdgeId at = offsets[static_cast<std::size_t>(row)];
-        for (const V col : touched) {
-          out.efirst[static_cast<std::size_t>(at)] = static_cast<V>(row);
-          out.esecond[static_cast<std::size_t>(at)] = col;
-          out.eweight[static_cast<std::size_t>(at)] = acc[static_cast<std::size_t>(col)];
-          ++at;
-        }
       }
     }
+    pass2_errors.rethrow_if_armed();
 
     out.bucket_begin.assign(offsets.begin(), offsets.end() - 1);
     out.bucket_end.assign(static_cast<std::size_t>(new_nv), 0);

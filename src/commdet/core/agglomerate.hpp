@@ -26,6 +26,9 @@
 #include "commdet/match/edge_sweep_matcher.hpp"
 #include "commdet/match/sequential_greedy_matcher.hpp"
 #include "commdet/match/unmatched_list_matcher.hpp"
+#include "commdet/robust/budget.hpp"
+#include "commdet/robust/error.hpp"
+#include "commdet/robust/fault_injection.hpp"
 #include "commdet/score/score_edges.hpp"
 #include "commdet/util/timer.hpp"
 #include "commdet/util/types.hpp"
@@ -34,9 +37,20 @@ namespace commdet {
 
 namespace detail {
 
+/// Maps a budget/containment Error onto the driver's termination enum.
+[[nodiscard]] constexpr TerminationReason termination_for(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kDeadlineExceeded: return TerminationReason::kDeadline;
+    case ErrorCode::kMemoryBudget: return TerminationReason::kMemoryBudget;
+    case ErrorCode::kStalled: return TerminationReason::kStalled;
+    default: return TerminationReason::kContainedError;
+  }
+}
+
 template <VertexId V>
 [[nodiscard]] Matching<V> run_matcher(MatcherKind kind, const CommunityGraph<V>& g,
                                       const std::vector<Score>& scores) {
+  COMMDET_FAULT_POINT(fault::kMatch, Phase::kMatch);
   switch (kind) {
     case MatcherKind::kEdgeSweep:
       return EdgeSweepMatcher<V>{}.match(g, scores);
@@ -52,6 +66,7 @@ template <VertexId V>
 [[nodiscard]] ContractionResult<V> run_contractor(ContractorKind kind,
                                                   const CommunityGraph<V>& g,
                                                   const Matching<V>& m) {
+  COMMDET_FAULT_POINT(fault::kContract, Phase::kContract);
   if (kind == ContractorKind::kHashChain) return HashChainContractor<V>{}.contract(g, m);
   if (kind == ContractorKind::kSpGemm) return SpGemmContractor<V>{}.contract(g, m);
   return BucketSortContractor<V>{}.contract(g, m);
@@ -101,11 +116,33 @@ template <VertexId V, EdgeScorer S>
   if (opts.max_community_size > 0)
     vertex_count.assign(static_cast<std::size_t>(g.nv), 1);
 
+  // Budget tracking: checked at level boundaries and between phases.
+  // On exhaustion — or a contained per-level failure — the loop stops
+  // and `result` keeps the best clustering completed so far, tagged
+  // with the degradation reason (graceful degradation, never a crash).
+  BudgetTracker budget(opts.budget);
+  const bool budgeted = opts.budget.limited();
+  int completed_levels = 0;
+  const auto degrade = [&](Error e) {
+    result.reason = detail::termination_for(e.code);
+    result.error = std::move(e);
+  };
+
   std::vector<Score> scores;
   for (int level = 1;; ++level) {
     if (opts.max_levels > 0 && level > opts.max_levels) {
       result.reason = TerminationReason::kLevelCap;
       break;
+    }
+    if (budgeted) {
+      if (auto violation = budget.check_deadline(completed_levels)) {
+        degrade(std::move(*violation));
+        break;
+      }
+      if (auto violation = budget.check_memory(estimate_working_set_bytes(g), completed_levels)) {
+        degrade(std::move(*violation));
+        break;
+      }
     }
 
     LevelStats stats;
@@ -113,75 +150,108 @@ template <VertexId V, EdgeScorer S>
     stats.nv_before = static_cast<std::int64_t>(g.nv);
     stats.ne_before = g.num_edges();
 
-    // Step 1: score.
-    ScoreSummary summary;
-    {
-      ScopedTimer t(stats.score_seconds);
-      summary = score_edges(g, scorer, scores);
-      if (opts.max_community_size > 0) {
-        // Disqualify merges that would exceed the size cap by zeroing
-        // their scores before matching.
-        parallel_for(g.num_edges(), [&](std::int64_t e) {
-          const auto i = static_cast<std::size_t>(e);
-          if (scores[i] <= 0.0) return;
-          const auto merged =
-              vertex_count[static_cast<std::size_t>(g.efirst[i])] +
-              vertex_count[static_cast<std::size_t>(g.esecond[i])];
-          if (merged > opts.max_community_size) scores[i] = 0.0;
-        });
+    // The three phases run under containment: an exception raised inside
+    // any of them (already rethrown on this thread by the parallel
+    // wrappers) abandons the level, leaving `g` and the vertex maps in
+    // their last consistent state — score and match do not mutate them,
+    // and a contraction failure throws before `g` is replaced.
+    Phase phase = Phase::kScore;
+    bool contained = false;
+    try {
+      // Step 1: score.
+      ScoreSummary summary;
+      {
+        ScopedTimer t(stats.score_seconds);
+        summary = score_edges(g, scorer, scores);
+        if (opts.max_community_size > 0) {
+          // Disqualify merges that would exceed the size cap by zeroing
+          // their scores before matching.
+          parallel_for(g.num_edges(), [&](std::int64_t e) {
+            const auto i = static_cast<std::size_t>(e);
+            if (scores[i] <= 0.0) return;
+            const auto merged =
+                vertex_count[static_cast<std::size_t>(g.efirst[i])] +
+                vertex_count[static_cast<std::size_t>(g.esecond[i])];
+            if (merged > opts.max_community_size) scores[i] = 0.0;
+          });
+        }
       }
-    }
-    stats.positive_edges = summary.positive_edges;
-    stats.max_score = summary.max_score;
-    if (summary.positive_edges == 0) {
-      result.reason = TerminationReason::kLocalMaximum;
-      break;
-    }
+      stats.positive_edges = summary.positive_edges;
+      stats.max_score = summary.max_score;
+      if (summary.positive_edges == 0) {
+        result.reason = TerminationReason::kLocalMaximum;
+        break;
+      }
+      if (budgeted) {
+        if (auto violation = budget.check_deadline(completed_levels)) {
+          degrade(std::move(*violation));
+          break;
+        }
+      }
 
-    // Step 2: match.
-    Matching<V> matching;
-    {
-      ScopedTimer t(stats.match_seconds);
-      matching = detail::run_matcher(opts.matcher, g, scores);
-    }
-    stats.pairs_matched = matching.num_pairs;
-    stats.match_sweeps = matching.sweeps;
-    if (matching.num_pairs == 0) {
-      result.reason = TerminationReason::kNoMatches;
-      break;
-    }
+      // Step 2: match.
+      phase = Phase::kMatch;
+      Matching<V> matching;
+      {
+        ScopedTimer t(stats.match_seconds);
+        matching = detail::run_matcher(opts.matcher, g, scores);
+      }
+      stats.pairs_matched = matching.num_pairs;
+      stats.match_sweeps = matching.sweeps;
+      if (matching.num_pairs == 0) {
+        result.reason = TerminationReason::kNoMatches;
+        break;
+      }
+      if (budgeted) {
+        if (auto violation = budget.check_deadline(completed_levels)) {
+          degrade(std::move(*violation));
+          break;
+        }
+      }
 
-    // Step 3: contract.
-    std::vector<V> new_label;
-    {
-      ScopedTimer t(stats.contract_seconds);
-      auto contracted = detail::run_contractor(opts.contractor, g, matching);
-      g = std::move(contracted.graph);
-      new_label = std::move(contracted.new_label);
-    }
+      // Step 3: contract.
+      phase = Phase::kContract;
+      std::vector<V> new_label;
+      {
+        ScopedTimer t(stats.contract_seconds);
+        auto contracted = detail::run_contractor(opts.contractor, g, matching);
+        g = std::move(contracted.graph);
+        new_label = std::move(contracted.new_label);
+      }
 
-    // Bookkeeping: original-vertex map, size counts, quality trajectory.
-    parallel_for(original_nv, [&](std::int64_t v) {
-      auto& c = result.community[static_cast<std::size_t>(v)];
-      c = new_label[static_cast<std::size_t>(c)];
-    });
-    if (opts.track_hierarchy) result.hierarchy.push_back(new_label);
-    if (opts.max_community_size > 0) {
-      std::vector<std::int64_t> new_count(static_cast<std::size_t>(g.nv), 0);
-      parallel_for(static_cast<std::int64_t>(new_label.size()), [&](std::int64_t v) {
-        std::atomic_ref<std::int64_t>(
-            new_count[static_cast<std::size_t>(new_label[static_cast<std::size_t>(v)])])
-            .fetch_add(vertex_count[static_cast<std::size_t>(v)],
-                       std::memory_order_relaxed);
+      // Bookkeeping: original-vertex map, size counts, quality trajectory.
+      phase = Phase::kDriver;
+      parallel_for(original_nv, [&](std::int64_t v) {
+        auto& c = result.community[static_cast<std::size_t>(v)];
+        c = new_label[static_cast<std::size_t>(c)];
       });
-      vertex_count = std::move(new_count);
-    }
+      if (opts.track_hierarchy) result.hierarchy.push_back(new_label);
+      if (opts.max_community_size > 0) {
+        std::vector<std::int64_t> new_count(static_cast<std::size_t>(g.nv), 0);
+        parallel_for(static_cast<std::int64_t>(new_label.size()), [&](std::int64_t v) {
+          std::atomic_ref<std::int64_t>(
+              new_count[static_cast<std::size_t>(new_label[static_cast<std::size_t>(v)])])
+              .fetch_add(vertex_count[static_cast<std::size_t>(v)],
+                         std::memory_order_relaxed);
+        });
+        vertex_count = std::move(new_count);
+      }
 
-    stats.nv_after = static_cast<std::int64_t>(g.nv);
-    stats.ne_after = g.num_edges();
-    stats.coverage = detail::partition_coverage(g);
-    stats.modularity = detail::partition_modularity(g);
+      stats.nv_after = static_cast<std::int64_t>(g.nv);
+      stats.ne_after = g.num_edges();
+      stats.coverage = detail::partition_coverage(g);
+      stats.modularity = detail::partition_modularity(g);
+    } catch (const std::exception& e) {
+      degrade(error_from_exception(e, phase));
+      contained = true;
+    } catch (...) {
+      degrade(Error{ErrorCode::kInternal, phase, "non-standard exception"});
+      contained = true;
+    }
+    if (contained) break;
+
     result.levels.push_back(stats);
+    ++completed_levels;
     result.num_communities = static_cast<std::int64_t>(g.nv);
     result.final_coverage = stats.coverage;
     result.final_modularity = stats.modularity;
@@ -193,6 +263,12 @@ template <VertexId V, EdgeScorer S>
     if (result.num_communities <= opts.min_communities) {
       result.reason = TerminationReason::kMinCommunities;
       break;
+    }
+    if (budgeted) {
+      if (auto violation = budget.note_level(stats.nv_before, stats.nv_after)) {
+        degrade(std::move(*violation));
+        break;
+      }
     }
   }
 

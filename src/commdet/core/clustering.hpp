@@ -6,9 +6,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "commdet/core/options.hpp"
+#include "commdet/robust/error.hpp"
 #include "commdet/util/types.hpp"
 
 namespace commdet {
@@ -38,6 +40,11 @@ struct Clustering {
   std::vector<V> community;
   std::int64_t num_communities = 0;
   TerminationReason reason = TerminationReason::kLocalMaximum;
+
+  /// Set when the run degraded (reason kContainedError or a budget
+  /// reason): the structured record of what stopped it.  The clustering
+  /// itself is still the valid best-so-far result.
+  std::optional<Error> error;
 
   double final_coverage = 0.0;
   double final_modularity = 0.0;

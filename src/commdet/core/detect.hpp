@@ -17,8 +17,11 @@
 #include "commdet/core/metrics.hpp"
 #include "commdet/core/clustering.hpp"
 #include "commdet/core/options.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/edge_list.hpp"
 #include "commdet/refine/multilevel.hpp"
 #include "commdet/refine/refine.hpp"
+#include "commdet/robust/sanitize.hpp"
 #include "commdet/util/types.hpp"
 
 namespace commdet {
@@ -55,6 +58,12 @@ struct DetectOptions {
 
   /// Back-compat convenience for the common flat case.
   bool refine = false;  // treated as kFlat when refine_mode is kNone
+
+  /// Input sanitization for the EdgeList entry point: one parallel
+  /// sweep rejecting or repairing bad endpoints/weights before graph
+  /// build.  Ignored by the CommunityGraph overload (already built).
+  bool sanitize_input = true;
+  SanitizeOptions sanitize;
 };
 
 /// Detects communities with runtime-selected metric and optional
@@ -113,6 +122,19 @@ template <VertexId V>
     multilevel_refine(g, result, opts.refinement);
   }
   return result;
+}
+
+/// Raw edge-list entry point: sanitizes (per opts.sanitize), builds the
+/// community graph, and detects.  Throws CommdetError when the input is
+/// rejected or unrepairable; a run-time failure *after* a valid build
+/// degrades gracefully via the driver instead of throwing.
+template <VertexId V>
+[[nodiscard]] Clustering<V> detect_communities(const EdgeList<V>& edges,
+                                               const DetectOptions& opts = {}) {
+  EdgeList<V> cleaned = edges;
+  if (opts.sanitize_input)
+    (void)sanitize_edges(cleaned, opts.sanitize).value_or_throw();
+  return detect_communities(build_community_graph(cleaned), opts);
 }
 
 }  // namespace commdet

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "commdet/robust/budget.hpp"
+
 namespace commdet {
 
 enum class MatcherKind {
@@ -46,6 +48,12 @@ struct AgglomerationOptions {
   /// in Clustering::hierarchy.  Costs one |V_level| vector per level.
   bool track_hierarchy = false;
 
+  /// Resource budget for the whole run (wall clock, memory estimate,
+  /// progress watchdog).  Default: unlimited.  On exhaustion the driver
+  /// degrades gracefully: it stops and returns the best clustering
+  /// completed so far with the matching TerminationReason.
+  RunBudget budget;
+
   MatcherKind matcher = MatcherKind::kUnmatchedList;
   ContractorKind contractor = ContractorKind::kBucketSort;
 };
@@ -56,7 +64,18 @@ enum class TerminationReason {
   kCoverage,         // coverage threshold reached
   kMinCommunities,   // community count floor reached
   kLevelCap,         // max_levels reached
+  kDeadline,         // RunBudget wall-clock limit; best-so-far returned
+  kMemoryBudget,     // RunBudget memory ceiling; best-so-far returned
+  kStalled,          // RunBudget progress watchdog; best-so-far returned
+  kContainedError,   // a level failed; best-so-far returned, see Clustering::error
 };
+
+/// True when the run ended early but still returned a valid (degraded)
+/// best-so-far clustering rather than an optimum of its criterion.
+[[nodiscard]] constexpr bool is_degraded(TerminationReason r) noexcept {
+  return r == TerminationReason::kDeadline || r == TerminationReason::kMemoryBudget ||
+         r == TerminationReason::kStalled || r == TerminationReason::kContainedError;
+}
 
 [[nodiscard]] constexpr std::string_view to_string(TerminationReason r) noexcept {
   switch (r) {
@@ -65,6 +84,10 @@ enum class TerminationReason {
     case TerminationReason::kCoverage: return "coverage";
     case TerminationReason::kMinCommunities: return "min-communities";
     case TerminationReason::kLevelCap: return "level-cap";
+    case TerminationReason::kDeadline: return "deadline";
+    case TerminationReason::kMemoryBudget: return "memory-budget";
+    case TerminationReason::kStalled: return "stalled";
+    case TerminationReason::kContainedError: return "contained-error";
   }
   return "unknown";
 }

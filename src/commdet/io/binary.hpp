@@ -7,11 +7,12 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "commdet/graph/edge_list.hpp"
+#include "commdet/robust/error.hpp"
+#include "commdet/robust/fault_injection.hpp"
 #include "commdet/util/types.hpp"
 
 namespace commdet {
@@ -25,7 +26,8 @@ inline constexpr std::array<char, 8> kBinaryMagic = {'C', 'D', 'E', 'L', '0', '0
 template <VertexId V>
 void write_edge_list_binary(const EdgeList<V>& g, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot write binary edge list: " + path);
+  if (!out)
+    throw_error(ErrorCode::kIoOpen, Phase::kInput, "cannot write binary edge list: " + path);
   out.write(detail::kBinaryMagic.data(), detail::kBinaryMagic.size());
   const std::int64_t nv = g.num_vertices;
   const std::int64_t ne = g.num_edges();
@@ -37,23 +39,25 @@ void write_edge_list_binary(const EdgeList<V>& g, const std::string& path) {
     out.write(reinterpret_cast<const char*>(&v), sizeof v);
     out.write(reinterpret_cast<const char*>(&w), sizeof w);
   }
-  if (!out) throw std::runtime_error("write failed: " + path);
+  if (!out) throw_error(ErrorCode::kIoWrite, Phase::kInput, "write failed: " + path);
 }
 
 template <VertexId V>
 [[nodiscard]] EdgeList<V> read_edge_list_binary(const std::string& path) {
+  COMMDET_FAULT_POINT(fault::kIoBinary, Phase::kInput);
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open binary edge list: " + path);
+  if (!in) throw_error(ErrorCode::kIoOpen, Phase::kInput, "cannot open binary edge list: " + path);
   std::array<char, 8> magic{};
   in.read(magic.data(), magic.size());
   if (!in || magic != detail::kBinaryMagic)
-    throw std::runtime_error("bad magic in binary edge list: " + path);
+    throw_error(ErrorCode::kIoFormat, Phase::kInput, "bad magic in binary edge list: " + path);
   std::int64_t nv = 0, ne = 0;
   in.read(reinterpret_cast<char*>(&nv), sizeof nv);
   in.read(reinterpret_cast<char*>(&ne), sizeof ne);
-  if (!in || nv < 0 || ne < 0) throw std::runtime_error("bad header in binary edge list: " + path);
+  if (!in || nv < 0 || ne < 0)
+    throw_error(ErrorCode::kIoFormat, Phase::kInput, "bad header in binary edge list: " + path);
   if (!fits_vertex_id<V>(nv == 0 ? 0 : nv - 1))
-    throw std::runtime_error("vertex id overflows label type: " + path);
+    throw_error(ErrorCode::kIdOverflow, Phase::kInput, "vertex id overflows label type: " + path);
 
   EdgeList<V> out;
   out.num_vertices = static_cast<V>(nv);
@@ -63,9 +67,9 @@ template <VertexId V>
     in.read(reinterpret_cast<char*>(&u), sizeof u);
     in.read(reinterpret_cast<char*>(&v), sizeof v);
     in.read(reinterpret_cast<char*>(&w), sizeof w);
-    if (!in) throw std::runtime_error("truncated binary edge list: " + path);
+    if (!in) throw_error(ErrorCode::kIoRead, Phase::kInput, "truncated binary edge list: " + path);
     if (u < 0 || u >= nv || v < 0 || v >= nv)
-      throw std::runtime_error("edge endpoint out of range in: " + path);
+      throw_error(ErrorCode::kBadEndpoint, Phase::kInput, "edge endpoint out of range in: " + path);
     e = {static_cast<V>(u), static_cast<V>(v), w};
   }
   return out;

@@ -1,27 +1,73 @@
 // Whitespace-separated edge-list text I/O (the SNAP dataset convention:
 // one "u v [w]" edge per line, '#' or '%' comment lines).  This is the
 // format of soc-LiveJournal1 and friends.
+//
+// All failures throw CommdetError (a std::runtime_error) carrying a
+// structured {code, phase, detail} record; data-line errors include the
+// 1-based line number.  Weights are parsed strictly: "nan", "inf",
+// negative, zero, fractional, and 64-bit-overflowing weights are
+// rejected instead of being silently misread.
 #pragma once
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 #include <string>
 
 #include "commdet/graph/edge_list.hpp"
+#include "commdet/robust/error.hpp"
+#include "commdet/robust/fault_injection.hpp"
 #include "commdet/util/types.hpp"
 
 namespace commdet {
 
+namespace detail {
+
+/// Strict weight parsing: the token must be a positive 64-bit integer.
+/// `where` prefixes the error detail ("path:line" or "path near byte N").
+[[nodiscard]] inline Weight parse_weight_token(const std::string& tok, const std::string& where) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(tok.c_str(), &end, 10);
+  if (end != tok.c_str() && *end == '\0') {
+    if (errno == ERANGE)
+      throw_error(ErrorCode::kBadWeight, Phase::kInput,
+                  where + ": weight '" + tok + "' overflows 64-bit weight");
+    if (value <= 0)
+      throw_error(ErrorCode::kBadWeight, Phase::kInput,
+                  where + ": weight must be positive, got '" + tok + "'");
+    return static_cast<Weight>(value);
+  }
+  // Not a plain integer — diagnose what it was for the error message.
+  char* fend = nullptr;
+  const double as_double = std::strtod(tok.c_str(), &fend);
+  if (fend == tok.c_str() || *fend != '\0')
+    throw_error(ErrorCode::kIoParse, Phase::kInput, where + ": malformed weight '" + tok + "'");
+  if (!std::isfinite(as_double))
+    throw_error(ErrorCode::kBadWeight, Phase::kInput,
+                where + ": non-finite weight '" + tok + "'");
+  if (as_double <= 0.0)
+    throw_error(ErrorCode::kBadWeight, Phase::kInput,
+                where + ": weight must be positive, got '" + tok + "'");
+  throw_error(ErrorCode::kBadWeight, Phase::kInput,
+              where + ": non-integer weight '" + tok + "' (integral weights required)");
+}
+
+}  // namespace detail
+
 /// Reads an edge list.  Vertex ids may be sparse; num_vertices becomes
-/// max id + 1.  Missing weights default to 1.  Throws std::runtime_error
-/// on unreadable files or malformed lines.
+/// max id + 1.  Missing weights default to 1.  Throws CommdetError
+/// (derived from std::runtime_error) on unreadable files or malformed
+/// lines, with the offending line number in the detail.
 template <VertexId V>
 [[nodiscard]] EdgeList<V> read_edge_list_text(const std::string& path) {
+  COMMDET_FAULT_POINT(fault::kIoEdgeListText, Phase::kInput);
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  if (!in) throw_error(ErrorCode::kIoOpen, Phase::kInput, "cannot open edge list: " + path);
 
   EdgeList<V> out;
   std::int64_t max_id = -1;
@@ -30,17 +76,19 @@ template <VertexId V>
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    const std::string where = path + ":" + std::to_string(line_no);
     std::istringstream ls(line);
     std::int64_t u = 0, v = 0;
     Weight w = 1;
-    if (!(ls >> u >> v)) {
-      throw std::runtime_error(path + ":" + std::to_string(line_no) + ": malformed edge line");
-    }
-    ls >> w;  // optional weight
+    if (!(ls >> u >> v))
+      throw_error(ErrorCode::kIoParse, Phase::kInput, where + ": malformed edge line");
+    std::string wtok;
+    if (ls >> wtok) w = detail::parse_weight_token(wtok, where);  // optional weight
     if (u < 0 || v < 0)
-      throw std::runtime_error(path + ":" + std::to_string(line_no) + ": negative vertex id");
+      throw_error(ErrorCode::kBadEndpoint, Phase::kInput, where + ": negative vertex id");
     if (!fits_vertex_id<V>(u) || !fits_vertex_id<V>(v))
-      throw std::runtime_error(path + ":" + std::to_string(line_no) + ": vertex id overflows label type");
+      throw_error(ErrorCode::kIdOverflow, Phase::kInput,
+                  where + ": vertex id overflows label type");
     max_id = std::max({max_id, u, v});
     out.edges.push_back({static_cast<V>(u), static_cast<V>(v), w});
   }
@@ -52,13 +100,13 @@ template <VertexId V>
 template <VertexId V>
 void write_edge_list_text(const EdgeList<V>& g, const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write edge list: " + path);
+  if (!out) throw_error(ErrorCode::kIoOpen, Phase::kInput, "cannot write edge list: " + path);
   out << "# Nodes: " << static_cast<std::int64_t>(g.num_vertices)
       << " Edges: " << g.num_edges() << "\n";
   for (const auto& e : g.edges)
     out << static_cast<std::int64_t>(e.u) << ' ' << static_cast<std::int64_t>(e.v) << ' '
         << e.w << '\n';
-  if (!out) throw std::runtime_error("write failed: " + path);
+  if (!out) throw_error(ErrorCode::kIoWrite, Phase::kInput, "write failed: " + path);
 }
 
 }  // namespace commdet

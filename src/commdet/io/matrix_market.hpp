@@ -2,73 +2,109 @@
 // several DIMACS challenge instances) ship as .mtx adjacency matrices.
 // Supports pattern/integer/real fields, general/symmetric symmetry; real
 // weights are rounded to the library's integral Weight.
+//
+// All failures throw CommdetError with a structured {code, phase, detail}
+// record; entry errors carry the 1-based line number.  Non-finite values
+// (nan/inf) are rejected instead of being rounded into garbage weights.
 #pragma once
 
 #include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 #include <string>
 
 #include "commdet/graph/edge_list.hpp"
+#include "commdet/robust/error.hpp"
+#include "commdet/robust/fault_injection.hpp"
 #include "commdet/util/types.hpp"
 
 namespace commdet {
 
 template <VertexId V>
 [[nodiscard]] EdgeList<V> read_matrix_market(const std::string& path) {
+  COMMDET_FAULT_POINT(fault::kIoMatrixMarket, Phase::kInput);
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open MatrixMarket file: " + path);
+  if (!in) throw_error(ErrorCode::kIoOpen, Phase::kInput, "cannot open MatrixMarket file: " + path);
 
   std::string line;
-  if (!std::getline(in, line)) throw std::runtime_error("empty MatrixMarket file: " + path);
+  std::int64_t line_no = 0;
+  if (!std::getline(in, line))
+    throw_error(ErrorCode::kIoFormat, Phase::kInput, "empty MatrixMarket file: " + path);
+  ++line_no;
   std::istringstream hs(line);
   std::string banner, object, format, field, symmetry;
   hs >> banner >> object >> format >> field >> symmetry;
   std::transform(field.begin(), field.end(), field.begin(), ::tolower);
   std::transform(symmetry.begin(), symmetry.end(), symmetry.begin(), ::tolower);
   if (banner != "%%MatrixMarket" || object != "matrix" || format != "coordinate")
-    throw std::runtime_error("unsupported MatrixMarket banner: " + path);
+    throw_error(ErrorCode::kIoFormat, Phase::kInput, "unsupported MatrixMarket banner: " + path);
   const bool has_value = field == "real" || field == "integer";
   if (!has_value && field != "pattern")
-    throw std::runtime_error("unsupported MatrixMarket field '" + field + "': " + path);
+    throw_error(ErrorCode::kIoFormat, Phase::kInput,
+                "unsupported MatrixMarket field '" + field + "': " + path);
   if (symmetry != "general" && symmetry != "symmetric")
-    throw std::runtime_error("unsupported MatrixMarket symmetry '" + symmetry + "': " + path);
+    throw_error(ErrorCode::kIoFormat, Phase::kInput,
+                "unsupported MatrixMarket symmetry '" + symmetry + "': " + path);
 
   // Size line after comments.
   std::int64_t rows = 0, cols = 0, nnz = 0;
   for (;;) {
-    if (!std::getline(in, line)) throw std::runtime_error("missing MatrixMarket size line: " + path);
+    if (!std::getline(in, line))
+      throw_error(ErrorCode::kIoFormat, Phase::kInput, "missing MatrixMarket size line: " + path);
+    ++line_no;
     if (line.empty() || line[0] == '%') continue;
     std::istringstream ss(line);
     if (!(ss >> rows >> cols >> nnz))
-      throw std::runtime_error("malformed MatrixMarket size line: " + path);
+      throw_error(ErrorCode::kIoParse, Phase::kInput,
+                  path + ":" + std::to_string(line_no) + ": malformed MatrixMarket size line");
     break;
   }
-  if (rows != cols) throw std::runtime_error("adjacency matrix must be square: " + path);
+  if (rows != cols)
+    throw_error(ErrorCode::kIoFormat, Phase::kInput, "adjacency matrix must be square: " + path);
   if (!fits_vertex_id<V>(rows == 0 ? 0 : rows - 1))
-    throw std::runtime_error("vertex id overflows label type: " + path);
+    throw_error(ErrorCode::kIdOverflow, Phase::kInput, "vertex id overflows label type: " + path);
 
   EdgeList<V> out;
   out.num_vertices = static_cast<V>(rows);
   out.edges.reserve(static_cast<std::size_t>(nnz));
   for (std::int64_t k = 0; k < nnz; ++k) {
-    if (!std::getline(in, line)) throw std::runtime_error("truncated MatrixMarket file: " + path);
+    if (!std::getline(in, line))
+      throw_error(ErrorCode::kIoRead, Phase::kInput,
+                  path + ": truncated MatrixMarket file (expected " + std::to_string(nnz) +
+                      " entries, got " + std::to_string(k) + ")");
+    ++line_no;
     if (line.empty() || line[0] == '%') {
       --k;
       continue;
     }
+    const std::string where = path + ":" + std::to_string(line_no);
     std::istringstream ls(line);
     std::int64_t r = 0, c = 0;
     double value = 1.0;
-    if (!(ls >> r >> c)) throw std::runtime_error("malformed MatrixMarket entry: " + path);
-    if (has_value && !(ls >> value))
-      throw std::runtime_error("missing MatrixMarket value: " + path);
+    if (!(ls >> r >> c))
+      throw_error(ErrorCode::kIoParse, Phase::kInput, where + ": malformed MatrixMarket entry");
+    if (has_value) {
+      // Parse via strtod rather than stream extraction: istreams do not
+      // accept "nan"/"inf" tokens, and we want to *diagnose* them.
+      std::string vtok;
+      if (!(ls >> vtok))
+        throw_error(ErrorCode::kIoParse, Phase::kInput, where + ": missing MatrixMarket value");
+      char* vend = nullptr;
+      value = std::strtod(vtok.c_str(), &vend);
+      if (vend == vtok.c_str() || *vend != '\0')
+        throw_error(ErrorCode::kIoParse, Phase::kInput,
+                    where + ": malformed MatrixMarket value '" + vtok + "'");
+      if (!std::isfinite(value))
+        throw_error(ErrorCode::kBadWeight, Phase::kInput,
+                    where + ": non-finite MatrixMarket value '" + vtok + "'");
+    }
     if (r < 1 || r > rows || c < 1 || c > cols)
-      throw std::runtime_error("MatrixMarket entry out of range: " + path);
+      throw_error(ErrorCode::kBadEndpoint, Phase::kInput,
+                  where + ": MatrixMarket entry out of range");
     const auto w = static_cast<Weight>(std::llround(std::abs(value)));
     out.edges.push_back({static_cast<V>(r - 1), static_cast<V>(c - 1), w > 0 ? w : 1});
   }

@@ -17,37 +17,45 @@
 #include <vector>
 
 #include "commdet/graph/edge_list.hpp"
+#include "commdet/robust/error.hpp"
+#include "commdet/robust/fault_injection.hpp"
 #include "commdet/util/types.hpp"
 
 namespace commdet {
 
 template <VertexId V>
 [[nodiscard]] EdgeList<V> read_metis(const std::string& path) {
+  COMMDET_FAULT_POINT(fault::kIoMetis, Phase::kInput);
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open METIS graph: " + path);
+  if (!in) throw_error(ErrorCode::kIoOpen, Phase::kInput, "cannot open METIS graph: " + path);
 
   std::string line;
   // Header: skip comment lines (starting with '%').
   std::int64_t nv = 0, ne = 0;
   bool has_edge_weights = false;
   for (;;) {
-    if (!std::getline(in, line)) throw std::runtime_error("missing METIS header: " + path);
+    if (!std::getline(in, line))
+      throw_error(ErrorCode::kIoFormat, Phase::kInput, "missing METIS header: " + path);
     if (line.empty() || line[0] == '%') continue;
     std::istringstream hs(line);
     std::string fmt;
-    if (!(hs >> nv >> ne)) throw std::runtime_error("malformed METIS header: " + path);
+    if (!(hs >> nv >> ne))
+      throw_error(ErrorCode::kIoFormat, Phase::kInput, "malformed METIS header: " + path);
     if (hs >> fmt) {
       if (fmt.size() > 3 || fmt.find_first_not_of("01") != std::string::npos)
-        throw std::runtime_error("unsupported METIS fmt field '" + fmt + "': " + path);
+        throw_error(ErrorCode::kIoFormat, Phase::kInput,
+                    "unsupported METIS fmt field '" + fmt + "': " + path);
       has_edge_weights = fmt.back() == '1';
       if (fmt.size() >= 2 && fmt[fmt.size() - 2] == '1')
-        throw std::runtime_error("METIS vertex weights unsupported: " + path);
+        throw_error(ErrorCode::kIoFormat, Phase::kInput,
+                    "METIS vertex weights unsupported: " + path);
     }
     break;
   }
-  if (nv < 0 || ne < 0) throw std::runtime_error("negative METIS sizes: " + path);
+  if (nv < 0 || ne < 0)
+    throw_error(ErrorCode::kIoFormat, Phase::kInput, "negative METIS sizes: " + path);
   if (!fits_vertex_id<V>(nv == 0 ? 0 : nv - 1))
-    throw std::runtime_error("vertex id overflows label type: " + path);
+    throw_error(ErrorCode::kIdOverflow, Phase::kInput, "vertex id overflows label type: " + path);
 
   EdgeList<V> out;
   out.num_vertices = static_cast<V>(nv);
@@ -56,18 +64,20 @@ template <VertexId V>
   std::int64_t vertex = 0;
   while (vertex < nv) {
     if (!std::getline(in, line))
-      throw std::runtime_error("METIS file ends before vertex " + std::to_string(vertex + 1));
+      throw_error(ErrorCode::kIoRead, Phase::kInput,
+                  path + ": METIS file ends before vertex " + std::to_string(vertex + 1));
     if (!line.empty() && line[0] == '%') continue;
     std::istringstream ls(line);
     std::int64_t nbr = 0;
     while (ls >> nbr) {
       if (nbr < 1 || nbr > nv)
-        throw std::runtime_error("METIS neighbor out of range at vertex " +
-                                 std::to_string(vertex + 1));
+        throw_error(ErrorCode::kBadEndpoint, Phase::kInput,
+                    path + ": METIS neighbor out of range at vertex " +
+                        std::to_string(vertex + 1));
       Weight w = 1;
       if (has_edge_weights && !(ls >> w))
-        throw std::runtime_error("METIS edge weight missing at vertex " +
-                                 std::to_string(vertex + 1));
+        throw_error(ErrorCode::kIoParse, Phase::kInput,
+                    path + ": METIS edge weight missing at vertex " + std::to_string(vertex + 1));
       // Keep each undirected edge once (it appears in both lines).
       if (vertex <= nbr - 1)
         out.edges.push_back({static_cast<V>(vertex), static_cast<V>(nbr - 1), w});
@@ -75,8 +85,9 @@ template <VertexId V>
     ++vertex;
   }
   if (out.num_edges() != ne)
-    throw std::runtime_error("METIS edge count mismatch: header says " + std::to_string(ne) +
-                             ", file has " + std::to_string(out.num_edges()));
+    throw_error(ErrorCode::kIoFormat, Phase::kInput,
+                path + ": METIS edge count mismatch: header says " + std::to_string(ne) +
+                    ", file has " + std::to_string(out.num_edges()));
   return out;
 }
 
@@ -94,7 +105,7 @@ void write_metis(const EdgeList<V>& g, const std::string& path) {
     adj[static_cast<std::size_t>(e.v)].push_back({static_cast<std::int64_t>(e.u), e.w});
   }
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write METIS graph: " + path);
+  if (!out) throw_error(ErrorCode::kIoOpen, Phase::kInput, "cannot write METIS graph: " + path);
   out << nv << ' ' << g.num_edges() << " 001\n";
   for (std::int64_t v = 0; v < nv; ++v) {
     bool first = true;
@@ -105,7 +116,7 @@ void write_metis(const EdgeList<V>& g, const std::string& path) {
     }
     out << '\n';
   }
-  if (!out) throw std::runtime_error("write failed: " + path);
+  if (!out) throw_error(ErrorCode::kIoWrite, Phase::kInput, "write failed: " + path);
 }
 
 }  // namespace commdet

@@ -6,20 +6,30 @@
 // per-thread chunks aligned to line boundaries, parses chunks
 // concurrently into thread-local edge buffers, and concatenates.
 // Produces exactly the same EdgeList as read_edge_list_text (tests
-// enforce equivalence), including '#'/'%' comment handling and optional
-// weights.
+// enforce equivalence), including '#'/'%' comment handling, optional
+// weights, and strict weight validation: nan/inf, negative, zero,
+// fractional, and overflowing weights are rejected, not misread.
+//
+// Failures throw CommdetError (a std::runtime_error) with a structured
+// {code, phase, detail} record; data errors report a byte offset.  Each
+// thread captures its first exception; the earliest-offset one is
+// rethrown on the calling thread after the region joins.
 #pragma once
 
 #include <omp.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
+#include <exception>
 #include <fstream>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "commdet/graph/edge_list.hpp"
+#include "commdet/io/edge_list_text.hpp"
+#include "commdet/robust/error.hpp"
+#include "commdet/robust/fault_injection.hpp"
 #include "commdet/util/types.hpp"
 
 namespace commdet {
@@ -48,23 +58,25 @@ inline bool parse_int(const char* data, std::size_t size, std::size_t& pos,
 
 }  // namespace detail
 
-/// Parallel equivalent of read_edge_list_text.  Throws std::runtime_error
-/// on unreadable files or malformed lines (reported with a byte offset).
+/// Parallel equivalent of read_edge_list_text.  Throws CommdetError on
+/// unreadable files or malformed lines (reported with a byte offset).
 template <VertexId V>
 [[nodiscard]] EdgeList<V> read_edge_list_text_parallel(const std::string& path) {
+  COMMDET_FAULT_POINT(fault::kIoEdgeListText, Phase::kInput);
   std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  if (!in) throw_error(ErrorCode::kIoOpen, Phase::kInput, "cannot open edge list: " + path);
   const auto size = static_cast<std::size_t>(in.tellg());
   std::string buffer(size, '\0');
   in.seekg(0);
   in.read(buffer.data(), static_cast<std::streamsize>(size));
-  if (!in && size > 0) throw std::runtime_error("read failed: " + path);
+  if (!in && size > 0) throw_error(ErrorCode::kIoRead, Phase::kInput, "read failed: " + path);
   const char* data = buffer.data();
 
   const int num_threads = omp_get_max_threads();
   std::vector<std::vector<RawEdge<V>>> partial(static_cast<std::size_t>(num_threads));
   std::vector<std::int64_t> partial_max(static_cast<std::size_t>(num_threads), -1);
-  std::vector<std::string> errors(static_cast<std::size_t>(num_threads));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_threads));
+  std::vector<std::size_t> error_offset(static_cast<std::size_t>(num_threads), 0);
 
 #pragma omp parallel num_threads(num_threads)
   {
@@ -83,47 +95,62 @@ template <VertexId V>
     auto& edges = partial[static_cast<std::size_t>(tid)];
     auto& max_id = partial_max[static_cast<std::size_t>(tid)];
     std::size_t pos = begin;
-    while (pos < end) {
-      // One line per iteration.
-      if (data[pos] == '\n') {
-        ++pos;
-        continue;
+    try {
+      while (pos < end) {
+        // One line per iteration.
+        if (data[pos] == '\n') {
+          ++pos;
+          continue;
+        }
+        if (data[pos] == '#' || data[pos] == '%' || data[pos] == '\r') {
+          while (pos < size && data[pos] != '\n') ++pos;
+          continue;
+        }
+        const std::size_t line_start = pos;
+        std::int64_t u = 0, v = 0;
+        Weight w = 1;
+        if (!detail::parse_int(data, size, pos, u) || !detail::parse_int(data, size, pos, v))
+          throw_error(ErrorCode::kIoParse, Phase::kInput,
+                      path + ": malformed edge line near byte " + std::to_string(line_start));
+        // Optional third token: a strictly validated weight.  Anything
+        // present that is not a positive 64-bit integer is an error, in
+        // lockstep with the sequential reader.
+        while (pos < size && (data[pos] == ' ' || data[pos] == '\t')) ++pos;
+        if (pos < size && data[pos] != '\n' && data[pos] != '\r') {
+          const std::size_t tok_start = pos;
+          while (pos < size && !std::isspace(static_cast<unsigned char>(data[pos]))) ++pos;
+          const std::string tok(data + tok_start, pos - tok_start);
+          w = detail::parse_weight_token(
+              tok, path + " near byte " + std::to_string(tok_start));
+        }
+        while (pos < size && data[pos] != '\n') ++pos;  // ignore trailing junk/space
+        if (u < 0 || v < 0)
+          throw_error(ErrorCode::kBadEndpoint, Phase::kInput,
+                      path + ": negative vertex id near byte " + std::to_string(line_start));
+        if (!fits_vertex_id<V>(u) || !fits_vertex_id<V>(v))
+          throw_error(ErrorCode::kIdOverflow, Phase::kInput,
+                      path + ": vertex id overflows label type near byte " +
+                          std::to_string(line_start));
+        edges.push_back({static_cast<V>(u), static_cast<V>(v), w});
+        max_id = std::max({max_id, u, v});
       }
-      if (data[pos] == '#' || data[pos] == '%' || data[pos] == '\r') {
-        while (pos < size && data[pos] != '\n') ++pos;
-        continue;
-      }
-      std::int64_t u = 0, v = 0, w = 1;
-      if (!detail::parse_int(data, size, pos, u) || !detail::parse_int(data, size, pos, v)) {
-        errors[static_cast<std::size_t>(tid)] =
-            path + ": malformed edge line near byte " + std::to_string(pos);
-        break;
-      }
-      std::int64_t maybe_w = 0;
-      const std::size_t save = pos;
-      if (detail::parse_int(data, size, pos, maybe_w)) {
-        w = maybe_w;
-      } else {
-        pos = save;
-      }
-      while (pos < size && data[pos] != '\n') ++pos;  // ignore trailing junk/space
-      if (u < 0 || v < 0) {
-        errors[static_cast<std::size_t>(tid)] =
-            path + ": negative vertex id near byte " + std::to_string(pos);
-        break;
-      }
-      if (!fits_vertex_id<V>(u) || !fits_vertex_id<V>(v)) {
-        errors[static_cast<std::size_t>(tid)] =
-            path + ": vertex id overflows label type near byte " + std::to_string(pos);
-        break;
-      }
-      edges.push_back({static_cast<V>(u), static_cast<V>(v), w});
-      max_id = std::max({max_id, u, v});
+    } catch (...) {
+      errors[static_cast<std::size_t>(tid)] = std::current_exception();
+      error_offset[static_cast<std::size_t>(tid)] = pos;
     }
   }
 
-  for (const auto& err : errors)
-    if (!err.empty()) throw std::runtime_error(err);
+  // Rethrow the earliest failure so diagnostics are deterministic even
+  // when multiple chunks are malformed.
+  std::exception_ptr first;
+  std::size_t first_offset = 0;
+  for (std::size_t t = 0; t < errors.size(); ++t) {
+    if (errors[t] && (!first || error_offset[t] < first_offset)) {
+      first = errors[t];
+      first_offset = error_offset[t];
+    }
+  }
+  if (first) std::rethrow_exception(first);
 
   EdgeList<V> out;
   std::size_t total = 0;

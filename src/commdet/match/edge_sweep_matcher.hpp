@@ -49,20 +49,25 @@ class EdgeSweepMatcher {
       // Sweep all edges, bidding each positive edge into the best-offer
       // slot of both endpoints (locked updates: the hot spot).
       std::int64_t candidates = 0;
+      ExceptionCollector errors;
 #pragma omp parallel for schedule(static) reduction(+ : candidates)
       for (EdgeId e = 0; e < ne; ++e) {
-        const auto i = static_cast<std::size_t>(e);
-        if (scores[i] <= 0.0) continue;
-        const V a = g.efirst[i];
-        const V b = g.esecond[i];
-        if (mate[static_cast<std::size_t>(a)] != kNoVertex<V> ||
-            mate[static_cast<std::size_t>(b)] != kNoVertex<V>)
-          continue;
-        ++candidates;
-        const auto offer = make_offer(scores[i], a, b);
-        bid(locks, best_partner, best_score, a, b, offer);
-        bid(locks, best_partner, best_score, b, a, offer);
+        if (errors.armed()) continue;
+        errors.run([&] {
+          const auto i = static_cast<std::size_t>(e);
+          if (scores[i] <= 0.0) return;
+          const V a = g.efirst[i];
+          const V b = g.esecond[i];
+          if (mate[static_cast<std::size_t>(a)] != kNoVertex<V> ||
+              mate[static_cast<std::size_t>(b)] != kNoVertex<V>)
+            return;
+          ++candidates;
+          const auto offer = make_offer(scores[i], a, b);
+          bid(locks, best_partner, best_score, a, b, offer);
+          bid(locks, best_partner, best_score, b, a, offer);
+        });
       }
+      errors.rethrow_if_armed();
       if (candidates == 0) break;
 
       // Match mutual bests; the total order guarantees at least one

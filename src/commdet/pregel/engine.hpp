@@ -130,22 +130,27 @@ class Engine {
       // A vertex is active in superstep 0, or when its inbox is nonempty.
       std::int64_t active = 0;
       std::int64_t sent = 0;
+      ExceptionCollector errors;
 #pragma omp parallel reduction(+ : active, sent)
       {
         local_sent_ = 0;
 #pragma omp for schedule(dynamic, 128)
         for (std::int64_t v = 0; v < nv_; ++v) {
-          const auto vi = static_cast<std::size_t>(v);
-          const bool has_mail = !inbox_[vi].empty();
-          if (superstep_ > 0 && halted_[vi] != 0 && !has_mail) continue;
-          halted_[vi] = 0;
-          ++active;
-          Context ctx(*this, static_cast<V>(v));
-          program_.compute(ctx, static_cast<V>(v), values_[vi],
-                           std::span<const Message>(inbox_[vi]));
+          if (errors.armed()) continue;
+          errors.run([&] {
+            const auto vi = static_cast<std::size_t>(v);
+            const bool has_mail = !inbox_[vi].empty();
+            if (superstep_ > 0 && halted_[vi] != 0 && !has_mail) return;
+            halted_[vi] = 0;
+            ++active;
+            Context ctx(*this, static_cast<V>(v));
+            program_.compute(ctx, static_cast<V>(v), values_[vi],
+                             std::span<const Message>(inbox_[vi]));
+          });
         }
         sent += local_sent_;
       }
+      errors.rethrow_if_armed();
       stats.messages_sent += sent;
       ++stats.supersteps;
 

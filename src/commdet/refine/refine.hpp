@@ -107,46 +107,51 @@ RefineStats refine_partition(const CommunityGraph<V>& g, std::vector<V>& labels,
   for (int round = 0; round < opts.max_rounds; ++round) {
     // Propose: best neighbor community per vertex, from snapshot volumes.
     std::int64_t proposals = 0;
+    ExceptionCollector errors;
 #pragma omp parallel reduction(+ : proposals)
     {
       std::unordered_map<std::int64_t, double> weight_to;
 #pragma omp for schedule(dynamic, 256)
       for (std::int64_t v = 0; v < nv; ++v) {
-        const auto vi = static_cast<std::size_t>(v);
-        const V home = labels[vi];
-        proposed[vi] = home;
-        const auto nbrs = csr.neighbors_of(static_cast<V>(v));
-        const auto wts = csr.weights_of(static_cast<V>(v));
-        if (nbrs.empty()) continue;
-        weight_to.clear();
-        weight_to[static_cast<std::int64_t>(home)];
-        for (std::size_t k = 0; k < nbrs.size(); ++k)
-          weight_to[static_cast<std::int64_t>(labels[static_cast<std::size_t>(nbrs[k])])] +=
-              static_cast<double>(wts[k]);
+        if (errors.armed()) continue;
+        errors.run([&] {
+          const auto vi = static_cast<std::size_t>(v);
+          const V home = labels[vi];
+          proposed[vi] = home;
+          const auto nbrs = csr.neighbors_of(static_cast<V>(v));
+          const auto wts = csr.weights_of(static_cast<V>(v));
+          if (nbrs.empty()) return;
+          weight_to.clear();
+          weight_to[static_cast<std::int64_t>(home)];
+          for (std::size_t k = 0; k < nbrs.size(); ++k)
+            weight_to[static_cast<std::int64_t>(labels[static_cast<std::size_t>(nbrs[k])])] +=
+                static_cast<double>(wts[k]);
 
-        const double vol_v = vertex_vol[vi];
-        const double home_vol =
-            comm_vol[static_cast<std::size_t>(home)] - vol_v;  // v removed
-        double best_gain =
-            weight_to[static_cast<std::int64_t>(home)] / w_total -
-            home_vol * vol_v / (2.0 * w_total * w_total);
-        V best = home;
-        for (const auto& [c, k_vc] : weight_to) {
-          if (c == static_cast<std::int64_t>(home)) continue;
-          const double gain =
-              k_vc / w_total -
-              comm_vol[static_cast<std::size_t>(c)] * vol_v / (2.0 * w_total * w_total);
-          if (gain > best_gain + opts.min_gain) {
-            best_gain = gain;
-            best = static_cast<V>(c);
+          const double vol_v = vertex_vol[vi];
+          const double home_vol =
+              comm_vol[static_cast<std::size_t>(home)] - vol_v;  // v removed
+          double best_gain =
+              weight_to[static_cast<std::int64_t>(home)] / w_total -
+              home_vol * vol_v / (2.0 * w_total * w_total);
+          V best = home;
+          for (const auto& [c, k_vc] : weight_to) {
+            if (c == static_cast<std::int64_t>(home)) continue;
+            const double gain =
+                k_vc / w_total -
+                comm_vol[static_cast<std::size_t>(c)] * vol_v / (2.0 * w_total * w_total);
+            if (gain > best_gain + opts.min_gain) {
+              best_gain = gain;
+              best = static_cast<V>(c);
+            }
           }
-        }
-        if (best != home) {
-          proposed[vi] = best;
-          ++proposals;
-        }
+          if (best != home) {
+            proposed[vi] = best;
+            ++proposals;
+          }
+        });
       }
     }
+    errors.rethrow_if_armed();
     if (proposals == 0) break;
 
     // Apply the round tentatively, then keep it only if the true

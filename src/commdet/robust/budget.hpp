@@ -1,0 +1,118 @@
+// Run budgets: wall-clock deadline, progress watchdog, and memory
+// ceiling for the agglomeration driver.
+//
+// A production service cannot let one pathological request spin
+// forever: the paper's own complexity analysis (Sec. III) shows a star
+// graph needs O(|V|) contraction levels, and an adversarial input can
+// stretch a run arbitrarily.  The driver checks a BudgetTracker between
+// phases; on exhaustion it degrades gracefully, returning the best
+// clustering completed so far tagged with the budget's
+// TerminationReason instead of throwing work away.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "commdet/robust/error.hpp"
+#include "commdet/util/timer.hpp"
+
+namespace commdet {
+
+struct RunBudget {
+  /// Wall-clock limit for the whole agglomeration, in seconds.
+  /// 0 disables the deadline.
+  double max_seconds = 0.0;
+
+  /// Ceiling on the *estimated* working set (current community graph
+  /// plus contraction scratch), in bytes.  0 disables the check.
+  std::int64_t max_memory_bytes = 0;
+
+  /// Stop after this many consecutive levels that shrink the community
+  /// count by less than min_shrink_fraction (the star-graph watchdog:
+  /// one merge per level means |V| levels).  0 disables the watchdog.
+  int max_stalled_levels = 0;
+
+  /// A level counts as progress when nv_after <= nv_before * (1 - this).
+  double min_shrink_fraction = 0.01;
+
+  /// Levels that always run to completion before any budget check can
+  /// fire, so a budgeted run still produces a meaningful (non-singleton)
+  /// degraded clustering.  The deadline/memory checks engage only once
+  /// this many levels have finished.
+  int grace_levels = 0;
+
+  [[nodiscard]] bool limited() const noexcept {
+    return max_seconds > 0.0 || max_memory_bytes > 0 || max_stalled_levels > 0;
+  }
+};
+
+/// Estimated resident bytes for a community graph plus the bucket-sort
+/// contraction scratch the next level will allocate (|V|+1 offsets and
+/// ~2|E| triple words, paper Sec. IV-C).  Duck-typed over the graph so
+/// any type exposing nv / num_edges() and the standard arrays works.
+template <typename Graph>
+[[nodiscard]] std::int64_t estimate_working_set_bytes(const Graph& g) {
+  const auto nv = static_cast<std::int64_t>(g.nv);
+  const auto ne = g.num_edges();
+  const auto vertex_word = static_cast<std::int64_t>(sizeof(g.efirst[0]));
+  // Per vertex: volume + self_weight (Weight) and bucket begin/end (EdgeId).
+  const std::int64_t per_vertex = 2 * 8 + 2 * 8;
+  // Per edge: two endpoints + weight, stored once...
+  const std::int64_t per_edge = 2 * vertex_word + 8;
+  // ...plus contraction scratch: counts/cursors and the (second, weight)
+  // temporaries, roughly one more edge array.
+  const std::int64_t scratch = ne * (vertex_word + 8) + (nv + 1) * 8;
+  return nv * per_vertex + ne * per_edge + scratch;
+}
+
+/// Tracks one run against a RunBudget.  All checks return std::nullopt
+/// while within budget, or the structured violation to report.
+class BudgetTracker {
+ public:
+  explicit BudgetTracker(const RunBudget& budget) : budget_(budget) {}
+
+  [[nodiscard]] double elapsed_seconds() const noexcept { return timer_.seconds(); }
+
+  /// Deadline check; `completed_levels` gates the grace window.
+  [[nodiscard]] std::optional<Error> check_deadline(int completed_levels) const {
+    if (budget_.max_seconds <= 0.0 || completed_levels < budget_.grace_levels)
+      return std::nullopt;
+    const double elapsed = timer_.seconds();
+    if (elapsed <= budget_.max_seconds) return std::nullopt;
+    return Error{ErrorCode::kDeadlineExceeded, Phase::kDriver,
+                 "wall-clock budget exhausted after " + std::to_string(elapsed) + "s (limit " +
+                     std::to_string(budget_.max_seconds) + "s)"};
+  }
+
+  /// Memory-ceiling check against an estimated working set.
+  [[nodiscard]] std::optional<Error> check_memory(std::int64_t estimated_bytes,
+                                                  int completed_levels) const {
+    if (budget_.max_memory_bytes <= 0 || completed_levels < budget_.grace_levels)
+      return std::nullopt;
+    if (estimated_bytes <= budget_.max_memory_bytes) return std::nullopt;
+    return Error{ErrorCode::kMemoryBudget, Phase::kDriver,
+                 "estimated working set " + std::to_string(estimated_bytes) +
+                     " bytes exceeds budget " + std::to_string(budget_.max_memory_bytes)};
+  }
+
+  /// Progress watchdog, fed once per completed level.
+  [[nodiscard]] std::optional<Error> note_level(std::int64_t nv_before, std::int64_t nv_after) {
+    if (budget_.max_stalled_levels <= 0) return std::nullopt;
+    const auto threshold = static_cast<std::int64_t>(
+        static_cast<double>(nv_before) * (1.0 - budget_.min_shrink_fraction));
+    stalled_ = nv_after <= threshold ? 0 : stalled_ + 1;
+    if (stalled_ < budget_.max_stalled_levels) return std::nullopt;
+    return Error{ErrorCode::kStalled, Phase::kDriver,
+                 std::to_string(stalled_) + " consecutive levels shrank the community count by "
+                                            "less than " +
+                     std::to_string(budget_.min_shrink_fraction * 100.0) + "%"};
+  }
+
+ private:
+  RunBudget budget_;
+  WallTimer timer_;
+  int stalled_ = 0;
+};
+
+}  // namespace commdet

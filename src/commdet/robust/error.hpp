@@ -1,0 +1,133 @@
+// Structured errors for the detection pipeline.
+//
+// Every failure the library can contain or report carries an Error:
+// a machine-readable code, the pipeline phase it arose in, and a
+// human-readable detail string.  CommdetError wraps an Error as an
+// exception and derives from std::runtime_error so existing catch
+// sites (and tests) keep working unchanged.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace commdet {
+
+/// Machine-readable failure categories.
+enum class ErrorCode {
+  kIoOpen,            // file could not be opened / created
+  kIoRead,            // short read / truncated payload
+  kIoWrite,           // write or flush failed
+  kIoFormat,          // malformed header / banner / structure
+  kIoParse,           // malformed token on a data line
+  kIdOverflow,        // vertex id does not fit the label type
+  kBadWeight,         // NaN / inf / negative / zero / overflowing weight
+  kBadEndpoint,       // endpoint outside [0, num_vertices)
+  kInvalidArgument,   // caller-supplied configuration is unusable
+  kDeadlineExceeded,  // RunBudget wall-clock limit hit
+  kMemoryBudget,      // RunBudget memory ceiling hit
+  kStalled,           // RunBudget progress watchdog fired
+  kInjectedFault,     // fault-injection site fired (testing only)
+  kInternal,          // contained exception without structured info
+};
+
+/// Pipeline phase an error was raised in.
+enum class Phase {
+  kInput,     // file readers / parsers
+  kSanitize,  // input sanitization sweep
+  kBuild,     // community-graph construction
+  kScore,     // edge scoring
+  kMatch,     // heavy maximal matching
+  kContract,  // graph contraction
+  kRefine,    // local-move refinement
+  kDriver,    // agglomeration driver bookkeeping
+  kUnknown,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kIoOpen: return "io-open";
+    case ErrorCode::kIoRead: return "io-read";
+    case ErrorCode::kIoWrite: return "io-write";
+    case ErrorCode::kIoFormat: return "io-format";
+    case ErrorCode::kIoParse: return "io-parse";
+    case ErrorCode::kIdOverflow: return "id-overflow";
+    case ErrorCode::kBadWeight: return "bad-weight";
+    case ErrorCode::kBadEndpoint: return "bad-endpoint";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kMemoryBudget: return "memory-budget";
+    case ErrorCode::kStalled: return "stalled";
+    case ErrorCode::kInjectedFault: return "injected-fault";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(Phase p) noexcept {
+  switch (p) {
+    case Phase::kInput: return "input";
+    case Phase::kSanitize: return "sanitize";
+    case Phase::kBuild: return "build";
+    case Phase::kScore: return "score";
+    case Phase::kMatch: return "match";
+    case Phase::kContract: return "contract";
+    case Phase::kRefine: return "refine";
+    case Phase::kDriver: return "driver";
+    case Phase::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+/// One structured failure record.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  Phase phase = Phase::kUnknown;
+  std::string detail;
+
+  /// "phase/code: detail" — the canonical log form.
+  [[nodiscard]] std::string message() const {
+    std::string out;
+    out += to_string(phase);
+    out += '/';
+    out += to_string(code);
+    if (!detail.empty()) {
+      out += ": ";
+      out += detail;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+/// Exception carrier for Error.  Derives from std::runtime_error so the
+/// pre-existing error-handling contract ("IO throws std::runtime_error")
+/// is preserved while catch sites can recover the structured record.
+class CommdetError : public std::runtime_error {
+ public:
+  explicit CommdetError(Error e) : std::runtime_error(e.message()), error_(std::move(e)) {}
+
+  [[nodiscard]] const Error& error() const noexcept { return error_; }
+  [[nodiscard]] ErrorCode code() const noexcept { return error_.code; }
+  [[nodiscard]] Phase phase() const noexcept { return error_.phase; }
+
+ private:
+  Error error_;
+};
+
+/// Convenience thrower used across the library.
+[[noreturn]] inline void throw_error(ErrorCode code, Phase phase, std::string detail) {
+  throw CommdetError(Error{code, phase, std::move(detail)});
+}
+
+/// Recovers a structured Error from an arbitrary in-flight exception.
+/// Non-CommdetError exceptions are folded into kInternal at `phase`.
+[[nodiscard]] inline Error error_from_exception(const std::exception& e,
+                                                Phase phase = Phase::kUnknown) {
+  if (const auto* ce = dynamic_cast<const CommdetError*>(&e)) return ce->error();
+  return Error{ErrorCode::kInternal, phase, e.what()};
+}
+
+}  // namespace commdet

@@ -1,0 +1,74 @@
+// Minimal Expected<T, E>: a value or an error, for APIs where failure
+// is an expected outcome (input sanitization, budgeted runs) and an
+// exception would be the wrong cost model.  Deliberately tiny — just
+// the subset of std::expected (C++23) this library needs, buildable
+// under C++20.
+#pragma once
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "commdet/robust/error.hpp"
+
+namespace commdet {
+
+/// Tag wrapper so Expected<E, E> stays unambiguous.
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+
+template <typename T, typename E = Error>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Unexpected<E> e) : storage_(std::in_place_index<1>, std::move(e.error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const noexcept { return storage_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& value() & { return std::get<0>(storage_); }
+  [[nodiscard]] const T& value() const& { return std::get<0>(storage_); }
+  [[nodiscard]] T&& value() && { return std::get<0>(std::move(storage_)); }
+
+  [[nodiscard]] E& error() & { return std::get<1>(storage_); }
+  [[nodiscard]] const E& error() const& { return std::get<1>(storage_); }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+  template <typename U>
+  [[nodiscard]] T value_or(U&& fallback) const& {
+    return has_value() ? value() : static_cast<T>(std::forward<U>(fallback));
+  }
+
+  /// Throws the carried error (CommdetError when E is Error) when empty;
+  /// bridges Expected-style call sites back into exception-style ones.
+  T& value_or_throw() & {
+    if (!has_value()) raise();
+    return value();
+  }
+  T&& value_or_throw() && {
+    if (!has_value()) raise();
+    return std::get<0>(std::move(storage_));
+  }
+
+ private:
+  [[noreturn]] void raise() const {
+    if constexpr (std::same_as<E, Error>) {
+      throw CommdetError(error());
+    } else {
+      throw error();
+    }
+  }
+
+  std::variant<T, E> storage_;
+};
+
+}  // namespace commdet

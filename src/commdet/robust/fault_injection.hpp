@@ -1,0 +1,166 @@
+// Compile-time-gated fault injection.
+//
+// Named injection sites are placed in the score/match/contract kernels
+// and the four file readers.  In default builds the sites compile to
+// `((void)0)` — zero code, zero data, zero overhead.  When the library
+// is built with -DCOMMDET_FAULT_INJECTION=1 (CMake option
+// COMMDET_FAULT_INJECTION, or per-target for a single test binary),
+// each site counts its hits and throws a structured
+// CommdetError{kInjectedFault} on the armed hit, so tests can
+// deterministically fail level k of a run or reader n of a pipeline.
+//
+// Arming is programmatic (fault::arm / fault::ScopedFault) or via the
+// environment: COMMDET_FAULT="site[:nth][,site[:nth]...]", e.g.
+// COMMDET_FAULT="contract:2" fails the second contraction.
+#pragma once
+
+#include "commdet/robust/error.hpp"
+
+namespace commdet::fault {
+
+// Site names are plain strings so new sites need no central registry.
+inline constexpr const char* kScore = "score";
+inline constexpr const char* kMatch = "match";
+inline constexpr const char* kContract = "contract";
+inline constexpr const char* kSanitize = "sanitize";
+inline constexpr const char* kIoEdgeListText = "io.edge_list_text";
+inline constexpr const char* kIoBinary = "io.binary";
+inline constexpr const char* kIoMetis = "io.metis";
+inline constexpr const char* kIoMatrixMarket = "io.matrix_market";
+
+}  // namespace commdet::fault
+
+#if defined(COMMDET_FAULT_INJECTION)
+
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace commdet::fault {
+
+inline constexpr bool kEnabled = true;
+
+namespace detail {
+
+struct SiteState {
+  std::int64_t hits = 0;     // total check() calls seen at this site
+  std::int64_t trigger = 0;  // throw when hits reaches this; 0 = disarmed
+};
+
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+
+  void arm(const std::string& site, std::int64_t nth) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& s = sites_[site];
+    s.trigger = nth;
+    s.hits = 0;
+  }
+
+  void disarm(const std::string& site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sites_.erase(site);
+  }
+
+  void disarm_all() {
+    std::lock_guard<std::mutex> lock(mu_);
+    sites_.clear();
+  }
+
+  [[nodiscard]] std::int64_t hits(const std::string& site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.hits;
+  }
+
+  void check(const char* site, Phase phase) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    if (it == sites_.end()) return;
+    auto& s = it->second;
+    ++s.hits;
+    if (s.trigger > 0 && s.hits == s.trigger) {
+      const auto hit = s.hits;
+      s.trigger = 0;  // one-shot: re-arm explicitly for repeated faults
+      throw CommdetError(Error{ErrorCode::kInjectedFault, phase,
+                               "injected fault at site '" + std::string(site) + "' (hit " +
+                                   std::to_string(hit) + ")"});
+    }
+  }
+
+ private:
+  Registry() {
+    // COMMDET_FAULT="site[:nth][,...]"; unparsable entries are ignored.
+    if (const char* env = std::getenv("COMMDET_FAULT")) {
+      std::string spec(env);
+      std::size_t begin = 0;
+      while (begin <= spec.size()) {
+        const std::size_t comma = spec.find(',', begin);
+        std::string entry = spec.substr(begin, comma - begin);
+        begin = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+        if (entry.empty()) continue;
+        std::int64_t nth = 1;
+        const std::size_t colon = entry.find(':');
+        if (colon != std::string::npos) {
+          nth = std::strtoll(entry.c_str() + colon + 1, nullptr, 10);
+          entry.resize(colon);
+        }
+        if (!entry.empty() && nth > 0) sites_[entry].trigger = nth;
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::unordered_map<std::string, SiteState> sites_;
+};
+
+}  // namespace detail
+
+/// Arms `site` to throw on its `nth` subsequent hit (1-based) and
+/// resets the site's hit counter.
+inline void arm(const std::string& site, std::int64_t nth = 1) {
+  detail::Registry::instance().arm(site, nth);
+}
+
+inline void disarm(const std::string& site) { detail::Registry::instance().disarm(site); }
+inline void disarm_all() { detail::Registry::instance().disarm_all(); }
+
+/// Hits observed at `site` since it was last (re)armed.
+[[nodiscard]] inline std::int64_t hits(const std::string& site) {
+  return detail::Registry::instance().hits(site);
+}
+
+/// The site check the COMMDET_FAULT_POINT macro expands to.
+inline void check(const char* site, Phase phase) {
+  detail::Registry::instance().check(site, phase);
+}
+
+/// RAII arming for tests: arms in the constructor, disarms everything on
+/// scope exit so one test cannot leak faults into the next.
+class ScopedFault {
+ public:
+  explicit ScopedFault(const std::string& site, std::int64_t nth = 1) { arm(site, nth); }
+  ~ScopedFault() { disarm_all(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+}  // namespace commdet::fault
+
+#define COMMDET_FAULT_POINT(site, phase) ::commdet::fault::check((site), (phase))
+
+#else  // !COMMDET_FAULT_INJECTION
+
+namespace commdet::fault {
+inline constexpr bool kEnabled = false;
+}  // namespace commdet::fault
+
+#define COMMDET_FAULT_POINT(site, phase) ((void)0)
+
+#endif  // COMMDET_FAULT_INJECTION

@@ -1,0 +1,188 @@
+// Input sanitization: one parallel sweep over a raw edge list before
+// graph build.
+//
+// Real-world inputs (SNAP dumps, crawler output, user uploads) carry
+// out-of-range endpoints, non-positive weights, self-loops, duplicate
+// edges, and — at uk-2007-05 scale with 32-bit labels — weight sums
+// that overflow the 64-bit total the scorers divide by.  The builder
+// throws on the first bad edge it sees; this pass instead classifies
+// every edge in parallel and either rejects the input with one
+// structured Error carrying full counts (kReject) or repairs it in
+// place (kRepair): bad edges dropped, optionally self-loops dropped and
+// duplicates folded.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "commdet/graph/edge_list.hpp"
+#include "commdet/robust/error.hpp"
+#include "commdet/robust/expected.hpp"
+#include "commdet/robust/fault_injection.hpp"
+#include "commdet/util/parallel.hpp"
+#include "commdet/util/sort.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+enum class SanitizePolicy {
+  kReject,  // any anomaly fails the whole input with a structured Error
+  kRepair,  // drop/fold anomalous edges and report what was done
+};
+
+struct SanitizeOptions {
+  SanitizePolicy policy = SanitizePolicy::kRepair;
+
+  /// Self-loops are legal downstream (the builder folds them into the
+  /// community self-weight); treat them as anomalies only on request.
+  bool allow_self_loops = true;
+
+  /// Duplicate {u,v} pairs are legal downstream (the builder
+  /// accumulates them); treat them as anomalies only on request.
+  /// Folding duplicates re-orders the edge list (canonical endpoint
+  /// order, sorted) — flag it only when order does not matter.
+  bool allow_duplicates = true;
+};
+
+struct SanitizeReport {
+  std::int64_t scanned = 0;
+  std::int64_t bad_endpoints = 0;       // outside [0, num_vertices)
+  std::int64_t bad_weights = 0;         // weight <= 0
+  std::int64_t self_loops = 0;          // u == v (anomalous only if disallowed)
+  std::int64_t duplicates = 0;          // repeated {u,v} beyond the first
+  std::int64_t removed = 0;             // edges dropped or folded away (repair)
+  bool weight_sum_overflow = false;     // 2 * sum(w) would overflow Weight
+
+  [[nodiscard]] bool clean() const noexcept {
+    return bad_endpoints == 0 && bad_weights == 0 && !weight_sum_overflow && removed == 0;
+  }
+};
+
+namespace detail {
+
+[[nodiscard]] inline std::string sanitize_summary(const SanitizeReport& r) {
+  return std::to_string(r.bad_endpoints) + " bad endpoints, " + std::to_string(r.bad_weights) +
+         " bad weights, " + std::to_string(r.self_loops) + " self-loops, " +
+         std::to_string(r.duplicates) + " duplicates" +
+         (r.weight_sum_overflow ? ", total weight overflows 64-bit accumulator" : "") +
+         " in " + std::to_string(r.scanned) + " edges";
+}
+
+}  // namespace detail
+
+/// Sanitizes `edges` in place.  Returns the report, or a structured
+/// Error (phase kSanitize) when the input is rejected or unrepairable.
+template <VertexId V>
+[[nodiscard]] Expected<SanitizeReport> sanitize_edges(EdgeList<V>& edges,
+                                                      const SanitizeOptions& opts = {}) {
+  try {
+    COMMDET_FAULT_POINT(fault::kSanitize, Phase::kSanitize);
+    const std::int64_t ne = edges.num_edges();
+    const auto nv = static_cast<std::int64_t>(edges.num_vertices);
+    SanitizeReport report;
+    report.scanned = ne;
+
+    // One parallel classification sweep: anomaly counts plus the weight
+    // total.  The total is accumulated in double solely to detect
+    // overflow of the exact 64-bit sum downstream; 53 bits of mantissa
+    // are ample to test against a 2^62 threshold.
+    const auto bad = [&](const RawEdge<V>& e) {
+      return e.u < 0 || e.u >= nv || e.v < 0 || e.v >= nv || e.w <= 0;
+    };
+    report.bad_endpoints = parallel_count(ne, [&](std::int64_t i) {
+      const auto& e = edges.edges[static_cast<std::size_t>(i)];
+      return e.u < 0 || e.u >= nv || e.v < 0 || e.v >= nv;
+    });
+    report.bad_weights = parallel_count(ne, [&](std::int64_t i) {
+      return edges.edges[static_cast<std::size_t>(i)].w <= 0;
+    });
+    report.self_loops = parallel_count(ne, [&](std::int64_t i) {
+      const auto& e = edges.edges[static_cast<std::size_t>(i)];
+      return e.u == e.v && !bad(e);
+    });
+    const double weight_total = parallel_sum<double>(ne, [&](std::int64_t i) {
+      const auto& e = edges.edges[static_cast<std::size_t>(i)];
+      return bad(e) ? 0.0 : static_cast<double>(e.w);
+    });
+    // The scorers divide by 2W; the builder accumulates W in Weight
+    // (int64).  Leave two bits of headroom under the exact limit.
+    report.weight_sum_overflow = 2.0 * weight_total >= 4.611686018427387904e18;  // 2^62
+
+    // Duplicate detection needs a sort over canonicalized endpoint pairs;
+    // run it only when duplicates are anomalous.
+    std::vector<std::pair<V, V>> canon;
+    if (!opts.allow_duplicates) {
+      canon.resize(static_cast<std::size_t>(ne));
+      parallel_for(ne, [&](std::int64_t i) {
+        const auto& e = edges.edges[static_cast<std::size_t>(i)];
+        canon[static_cast<std::size_t>(i)] = {std::min(e.u, e.v), std::max(e.u, e.v)};
+      });
+      parallel_sort(canon.begin(), canon.end());
+      report.duplicates = parallel_count(ne, [&](std::int64_t i) {
+        return i > 0 && canon[static_cast<std::size_t>(i)] == canon[static_cast<std::size_t>(i - 1)];
+      });
+    }
+
+    const bool anomalous = report.bad_endpoints > 0 || report.bad_weights > 0 ||
+                           report.weight_sum_overflow ||
+                           (!opts.allow_self_loops && report.self_loops > 0) ||
+                           (!opts.allow_duplicates && report.duplicates > 0);
+
+    if (opts.policy == SanitizePolicy::kReject) {
+      if (anomalous)
+        return Unexpected(Error{ErrorCode::kBadEndpoint, Phase::kSanitize,
+                                "input rejected: " + detail::sanitize_summary(report)});
+      return report;
+    }
+
+    // Repair: the weight-sum overflow cannot be repaired by dropping a
+    // well-defined subset of edges — refuse rather than guess.
+    if (report.weight_sum_overflow)
+      return Unexpected(Error{ErrorCode::kBadWeight, Phase::kSanitize,
+                              "unrepairable: " + detail::sanitize_summary(report)});
+    if (!anomalous) return report;
+
+    // Drop bad edges (and self-loops when disallowed), keeping order.
+    auto keep = [&](const RawEdge<V>& e) {
+      if (bad(e)) return false;
+      if (!opts.allow_self_loops && e.u == e.v) return false;
+      return true;
+    };
+    const auto before = edges.edges.size();
+    std::erase_if(edges.edges, [&](const RawEdge<V>& e) { return !keep(e); });
+    report.removed = static_cast<std::int64_t>(before - edges.edges.size());
+
+    // Fold duplicates: canonicalize endpoint order, sort, accumulate
+    // each equal run into its leader.
+    if (!opts.allow_duplicates && report.duplicates > 0) {
+      const auto n = static_cast<std::int64_t>(edges.edges.size());
+      parallel_for(n, [&](std::int64_t i) {
+        auto& e = edges.edges[static_cast<std::size_t>(i)];
+        if (e.u > e.v) std::swap(e.u, e.v);
+      });
+      parallel_sort(edges.edges.begin(), edges.edges.end(),
+                    [](const RawEdge<V>& a, const RawEdge<V>& b) {
+                      return a.u != b.u ? a.u < b.u : a.v < b.v;
+                    });
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < edges.edges.size(); ++r) {
+        if (w > 0 && edges.edges[r].u == edges.edges[w - 1].u &&
+            edges.edges[r].v == edges.edges[w - 1].v) {
+          edges.edges[w - 1].w += edges.edges[r].w;
+        } else {
+          edges.edges[w++] = edges.edges[r];
+        }
+      }
+      report.removed += static_cast<std::int64_t>(edges.edges.size() - w);
+      edges.edges.resize(w);
+    }
+    return report;
+  } catch (const std::exception& e) {
+    return Unexpected(error_from_exception(e, Phase::kSanitize));
+  }
+}
+
+}  // namespace commdet

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "commdet/graph/community_graph.hpp"
+#include "commdet/robust/fault_injection.hpp"
 #include "commdet/score/scorers.hpp"
 #include "commdet/util/parallel.hpp"
 #include "commdet/util/types.hpp"
@@ -23,30 +24,36 @@ struct ScoreSummary {
 template <VertexId V, EdgeScorer S>
 ScoreSummary score_edges(const CommunityGraph<V>& g, const S& scorer,
                          std::vector<Score>& scores) {
+  COMMDET_FAULT_POINT(fault::kScore, Phase::kScore);
   const EdgeId ne = g.num_edges();
   scores.resize(static_cast<std::size_t>(ne));
 
+  ExceptionCollector errors;
   EdgeId positive = 0;
   Score max_score = 0.0;
 #pragma omp parallel for schedule(static) reduction(+ : positive) reduction(max : max_score)
   for (EdgeId e = 0; e < ne; ++e) {
-    const auto i = static_cast<std::size_t>(e);
-    const auto c = static_cast<std::size_t>(g.efirst[i]);
-    const auto d = static_cast<std::size_t>(g.esecond[i]);
-    const Score s = scorer.score(EdgeContext{
-        .edge_weight = g.eweight[i],
-        .volume_c = g.volume[c],
-        .volume_d = g.volume[d],
-        .self_c = g.self_weight[c],
-        .self_d = g.self_weight[d],
-        .total_weight = g.total_weight,
+    if (errors.armed()) continue;
+    errors.run([&] {
+      const auto i = static_cast<std::size_t>(e);
+      const auto c = static_cast<std::size_t>(g.efirst[i]);
+      const auto d = static_cast<std::size_t>(g.esecond[i]);
+      const Score s = scorer.score(EdgeContext{
+          .edge_weight = g.eweight[i],
+          .volume_c = g.volume[c],
+          .volume_d = g.volume[d],
+          .self_c = g.self_weight[c],
+          .self_d = g.self_weight[d],
+          .total_weight = g.total_weight,
+      });
+      scores[i] = s;
+      if (s > 0.0) {
+        ++positive;
+        if (s > max_score) max_score = s;
+      }
     });
-    scores[i] = s;
-    if (s > 0.0) {
-      ++positive;
-      if (s > max_score) max_score = s;
-    }
   }
+  errors.rethrow_if_armed();
   return {positive, max_score};
 }
 

@@ -3,13 +3,67 @@
 // The algorithm maps three primitives (score, match, contract) onto
 // work-shared loops.  These wrappers keep the kernels readable and make
 // chunking/scheduling decisions explicit in one place.
+//
+// Exception containment: an exception escaping a structured block inside
+// an OpenMP region is undefined behavior — in practice std::terminate.
+// Every wrapper therefore runs its body under an ExceptionCollector that
+// captures the first exception raised on any thread, lets the remaining
+// iterations drain as no-ops, and rethrows on the calling thread once
+// the region has joined.  Kernels with hand-written `#pragma omp`
+// regions (score, the contractors, the matchers) reuse the same
+// collector.
 #pragma once
 
 #include <omp.h>
 
+#include <atomic>
 #include <cstdint>
+#include <exception>
 
 namespace commdet {
+
+/// Captures the first exception thrown across an OpenMP region and
+/// rethrows it after the join.  All members are safe to call
+/// concurrently.
+class ExceptionCollector {
+ public:
+  /// True once any thread captured an exception; iterations should
+  /// fast-path out.  Relaxed: the rethrow (after the region join)
+  /// provides the synchronization that matters.
+  [[nodiscard]] bool armed() const noexcept { return armed_.load(std::memory_order_relaxed); }
+
+  /// Call from a catch(...) block: stores std::current_exception() if
+  /// this is the first capture, otherwise drops the exception.
+  void capture() noexcept {
+    if (!claimed_.exchange(true, std::memory_order_acq_rel)) {
+      first_ = std::current_exception();
+      armed_.store(true, std::memory_order_release);
+    }
+  }
+
+  /// Runs `f()` and captures anything it throws.
+  template <typename F>
+  void run(F&& f) noexcept {
+    try {
+      f();
+    } catch (...) {
+      capture();
+    }
+  }
+
+  /// Rethrows the captured exception, if any.  Call after the parallel
+  /// region has joined (never from inside it).
+  void rethrow_if_armed() {
+    // The join is a full barrier, but `first_` is published by `armed_`'s
+    // release store; acquire it before reading.
+    if (armed_.load(std::memory_order_acquire) && first_) std::rethrow_exception(first_);
+  }
+
+ private:
+  std::atomic<bool> claimed_{false};  // a thread won the right to write first_
+  std::atomic<bool> armed_{false};    // first_ is published
+  std::exception_ptr first_;
+};
 
 /// Number of threads a parallel region would use right now.
 [[nodiscard]] inline int parallel_threads() noexcept {
@@ -17,36 +71,58 @@ namespace commdet {
 }
 
 /// Static-scheduled parallel loop over [0, n).  `body(i)` must be safe to
-/// run concurrently for distinct i.
+/// run concurrently for distinct i.  An exception thrown by any body is
+/// rethrown on the calling thread; iterations after the first failure
+/// may be skipped.
 template <typename Body>
 void parallel_for(std::int64_t n, Body&& body) {
+  ExceptionCollector errors;
 #pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < n; ++i) body(i);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (errors.armed()) continue;
+    errors.run([&] { body(i); });
+  }
+  errors.rethrow_if_armed();
 }
 
 /// Dynamic-scheduled parallel loop for irregular per-item work (power-law
 /// bucket sizes make static schedules imbalanced).
 template <typename Body>
 void parallel_for_dynamic(std::int64_t n, Body&& body, std::int64_t chunk = 64) {
+  ExceptionCollector errors;
 #pragma omp parallel for schedule(dynamic, chunk)
-  for (std::int64_t i = 0; i < n; ++i) body(i);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (errors.armed()) continue;
+    errors.run([&] { body(i); });
+  }
+  errors.rethrow_if_armed();
 }
 
 /// Parallel sum-reduction of `body(i)` over [0, n).
 template <typename T, typename Body>
 [[nodiscard]] T parallel_sum(std::int64_t n, Body&& body) {
+  ExceptionCollector errors;
   T total{};
 #pragma omp parallel for schedule(static) reduction(+ : total)
-  for (std::int64_t i = 0; i < n; ++i) total += body(i);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (errors.armed()) continue;
+    errors.run([&] { total += body(i); });
+  }
+  errors.rethrow_if_armed();
   return total;
 }
 
 /// Parallel count of indices where `pred(i)` holds.
 template <typename Pred>
 [[nodiscard]] std::int64_t parallel_count(std::int64_t n, Pred&& pred) {
+  ExceptionCollector errors;
   std::int64_t total = 0;
 #pragma omp parallel for schedule(static) reduction(+ : total)
-  for (std::int64_t i = 0; i < n; ++i) total += pred(i) ? 1 : 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (errors.armed()) continue;
+    errors.run([&] { total += pred(i) ? 1 : 0; });
+  }
+  errors.rethrow_if_armed();
   return total;
 }
 
@@ -54,12 +130,17 @@ template <typename Pred>
 /// n == 0.
 template <typename T, typename Body>
 [[nodiscard]] T parallel_max(std::int64_t n, T init, Body&& body) {
+  ExceptionCollector errors;
   T best = init;
 #pragma omp parallel for schedule(static) reduction(max : best)
   for (std::int64_t i = 0; i < n; ++i) {
-    const T value = body(i);
-    if (value > best) best = value;
+    if (errors.armed()) continue;
+    errors.run([&] {
+      const T value = body(i);
+      if (value > best) best = value;
+    });
   }
+  errors.rethrow_if_armed();
   return best;
 }
 

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "commdet/core/agglomerate.hpp"
+#include "commdet/gen/planted_partition.hpp"
+#include "commdet/gen/simple_graphs.hpp"
+#include "commdet/robust/budget.hpp"
+#include "commdet/score/scorers.hpp"
+
+namespace commdet {
+namespace {
+
+using V32 = std::int32_t;
+
+PlantedPartitionParams small_partition() {
+  PlantedPartitionParams p;
+  p.num_vertices = 2048;
+  p.num_blocks = 16;
+  p.internal_degree = 12.0;
+  p.external_degree = 2.0;
+  p.seed = 42;
+  return p;
+}
+
+TEST(RunBudgetStruct, UnlimitedByDefault) {
+  EXPECT_FALSE(RunBudget{}.limited());
+  RunBudget b;
+  b.max_seconds = 1.0;
+  EXPECT_TRUE(b.limited());
+  b = RunBudget{};
+  b.max_memory_bytes = 1;
+  EXPECT_TRUE(b.limited());
+  b = RunBudget{};
+  b.max_stalled_levels = 3;
+  EXPECT_TRUE(b.limited());
+}
+
+TEST(BudgetTracker, DeadlineRespectsGraceLevels) {
+  RunBudget b;
+  b.max_seconds = 1e-9;  // already elapsed by the time we check
+  b.grace_levels = 2;
+  BudgetTracker tracker(b);
+  EXPECT_FALSE(tracker.check_deadline(0).has_value());
+  EXPECT_FALSE(tracker.check_deadline(1).has_value());
+  const auto violation = tracker.check_deadline(2);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(violation->phase, Phase::kDriver);
+}
+
+TEST(BudgetTracker, MemoryCeilingFires) {
+  RunBudget b;
+  b.max_memory_bytes = 1000;
+  BudgetTracker tracker(b);
+  EXPECT_FALSE(tracker.check_memory(999, 0).has_value());
+  EXPECT_FALSE(tracker.check_memory(1000, 0).has_value());
+  const auto violation = tracker.check_memory(1001, 0);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->code, ErrorCode::kMemoryBudget);
+}
+
+TEST(BudgetTracker, StallWatchdogCountsConsecutiveStalls) {
+  RunBudget b;
+  b.max_stalled_levels = 2;
+  b.min_shrink_fraction = 0.5;
+  BudgetTracker tracker(b);
+  EXPECT_FALSE(tracker.note_level(100, 40).has_value());   // good shrink resets
+  EXPECT_FALSE(tracker.note_level(40, 39).has_value());    // stall 1
+  const auto violation = tracker.note_level(39, 38);       // stall 2 -> fire
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->code, ErrorCode::kStalled);
+}
+
+TEST(BudgetTracker, GoodLevelResetsStallCount) {
+  RunBudget b;
+  b.max_stalled_levels = 2;
+  b.min_shrink_fraction = 0.5;
+  BudgetTracker tracker(b);
+  EXPECT_FALSE(tracker.note_level(100, 99).has_value());  // stall 1
+  EXPECT_FALSE(tracker.note_level(99, 40).has_value());   // resets
+  EXPECT_FALSE(tracker.note_level(40, 39).has_value());   // stall 1 again
+}
+
+TEST(EstimateWorkingSet, GrowsWithGraph) {
+  const auto small = build_community_graph(make_caveman<V32>(4, 4));
+  const auto large = build_community_graph(make_caveman<V32>(16, 16));
+  EXPECT_GT(estimate_working_set_bytes(small), 0);
+  EXPECT_GT(estimate_working_set_bytes(large), estimate_working_set_bytes(small));
+}
+
+TEST(AgglomerateBudget, DeadlineDegradesToBestSoFar) {
+  // grace_levels=1 guarantees one full level before the (instantly
+  // exhausted) deadline engages: the degraded result must be that
+  // level-1 clustering, not singletons and not a crash.
+  const auto el = generate_planted_partition<V32>(small_partition());
+  AgglomerationOptions opts;
+  opts.budget.max_seconds = 1e-9;
+  opts.budget.grace_levels = 1;
+  const auto result = agglomerate(el, ModularityScorer{}, opts);
+  EXPECT_EQ(result.reason, TerminationReason::kDeadline);
+  EXPECT_TRUE(is_degraded(result.reason));
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(result.error->code, ErrorCode::kDeadlineExceeded);
+  ASSERT_EQ(result.levels.size(), 1u);
+  EXPECT_LT(result.num_communities, 2048);
+  EXPECT_GT(result.final_modularity, 0.0);
+  // Labels stay a valid partition of the input.
+  for (const auto c : result.community) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, result.num_communities);
+  }
+}
+
+TEST(AgglomerateBudget, MemoryBudgetDegradesAfterGrace) {
+  const auto el = generate_planted_partition<V32>(small_partition());
+  AgglomerationOptions opts;
+  opts.budget.max_memory_bytes = 1;  // any real graph exceeds this
+  opts.budget.grace_levels = 1;
+  const auto result = agglomerate(el, ModularityScorer{}, opts);
+  EXPECT_EQ(result.reason, TerminationReason::kMemoryBudget);
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(result.error->code, ErrorCode::kMemoryBudget);
+  ASSERT_EQ(result.levels.size(), 1u);
+  EXPECT_GT(result.final_modularity, 0.0);
+}
+
+TEST(AgglomerateBudget, StarGraphStallWatchdogFires) {
+  // The paper's worst case: a star supports one merge per level, so the
+  // community count shrinks by one — far below any sensible shrink
+  // fraction.  The watchdog caps the O(|V|)-level runaway.
+  const auto el = make_star<V32>(200);
+  AgglomerationOptions opts;
+  opts.budget.max_stalled_levels = 3;
+  opts.budget.min_shrink_fraction = 0.05;
+  const auto result = agglomerate(el, ModularityScorer{}, opts);
+  if (result.reason == TerminationReason::kStalled) {
+    ASSERT_TRUE(result.error.has_value());
+    EXPECT_EQ(result.error->code, ErrorCode::kStalled);
+    EXPECT_EQ(result.levels.size(), 3u);
+    EXPECT_EQ(result.num_communities, 200 - 3);  // one merge per level
+  } else {
+    // Modularity on a star can reach a local maximum first; either way
+    // the run must terminate in far fewer than |V| levels.
+    EXPECT_LE(result.levels.size(), 3u);
+  }
+}
+
+TEST(AgglomerateBudget, UnlimitedBudgetMatchesDefaultRun) {
+  const auto el = make_caveman<V32>(6, 6);
+  const auto plain = agglomerate(el, ModularityScorer{});
+  AgglomerationOptions opts;  // budget defaults to unlimited
+  const auto budgeted = agglomerate(el, ModularityScorer{}, opts);
+  EXPECT_EQ(budgeted.reason, plain.reason);
+  EXPECT_EQ(budgeted.num_communities, plain.num_communities);
+  EXPECT_FALSE(budgeted.error.has_value());
+}
+
+}  // namespace
+}  // namespace commdet

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "commdet/robust/error.hpp"
+#include "commdet/robust/expected.hpp"
+
+namespace commdet {
+namespace {
+
+TEST(RobustError, MessageComposesPhaseCodeDetail) {
+  const Error e{ErrorCode::kBadWeight, Phase::kInput, "line 7: weight 'nan'"};
+  EXPECT_EQ(e.message(), "input/bad-weight: line 7: weight 'nan'");
+}
+
+TEST(RobustError, ToStringCoversAllCodes) {
+  // Every enumerator must render something other than the fallback.
+  for (const auto code :
+       {ErrorCode::kIoOpen, ErrorCode::kIoRead, ErrorCode::kIoWrite, ErrorCode::kIoFormat,
+        ErrorCode::kIoParse, ErrorCode::kIdOverflow, ErrorCode::kBadWeight,
+        ErrorCode::kBadEndpoint, ErrorCode::kInvalidArgument, ErrorCode::kDeadlineExceeded,
+        ErrorCode::kMemoryBudget, ErrorCode::kStalled, ErrorCode::kInjectedFault,
+        ErrorCode::kInternal}) {
+    EXPECT_NE(to_string(code), std::string_view("unknown"));
+  }
+  for (const auto phase :
+       {Phase::kInput, Phase::kSanitize, Phase::kBuild, Phase::kScore, Phase::kMatch,
+        Phase::kContract, Phase::kRefine, Phase::kDriver}) {
+    EXPECT_NE(to_string(phase), std::string_view("unknown"));
+  }
+}
+
+TEST(RobustError, CommdetErrorIsRuntimeError) {
+  // Back-compat: all existing EXPECT_THROW(..., std::runtime_error)
+  // contracts keep holding for structured errors.
+  try {
+    throw_error(ErrorCode::kIoParse, Phase::kInput, "bad line");
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad line"), std::string::npos);
+    return;
+  }
+  FAIL() << "CommdetError must be catchable as std::runtime_error";
+}
+
+TEST(RobustError, CommdetErrorCarriesStructuredRecord) {
+  try {
+    throw_error(ErrorCode::kIdOverflow, Phase::kInput, "vertex 5e9");
+  } catch (const CommdetError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIdOverflow);
+    EXPECT_EQ(e.phase(), Phase::kInput);
+    EXPECT_EQ(e.error().detail, "vertex 5e9");
+  }
+}
+
+TEST(RobustError, ErrorFromExceptionRecoversCommdetRecord) {
+  const CommdetError ce(Error{ErrorCode::kBadWeight, Phase::kSanitize, "w"});
+  const Error recovered = error_from_exception(ce, Phase::kDriver);
+  EXPECT_EQ(recovered.code, ErrorCode::kBadWeight);
+  EXPECT_EQ(recovered.phase, Phase::kSanitize);  // original phase wins
+}
+
+TEST(RobustError, ErrorFromExceptionWrapsForeignExceptions) {
+  const std::runtime_error plain("bad_alloc-ish");
+  const Error wrapped = error_from_exception(plain, Phase::kContract);
+  EXPECT_EQ(wrapped.code, ErrorCode::kInternal);
+  EXPECT_EQ(wrapped.phase, Phase::kContract);
+  EXPECT_NE(wrapped.detail.find("bad_alloc-ish"), std::string::npos);
+}
+
+TEST(RobustExpected, ValueRoundTrip) {
+  Expected<int> ok(42);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+}
+
+TEST(RobustExpected, ErrorRoundTrip) {
+  Expected<int> bad(Unexpected<Error>{Error{ErrorCode::kStalled, Phase::kDriver, "no shrink"}});
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().code, ErrorCode::kStalled);
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(RobustExpected, ValueOrThrowThrowsCommdetError) {
+  Expected<int> bad(Unexpected<Error>{Error{ErrorCode::kBadEndpoint, Phase::kSanitize, "u<0"}});
+  try {
+    (void)bad.value_or_throw();
+    FAIL() << "expected throw";
+  } catch (const CommdetError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadEndpoint);
+  }
+  Expected<std::string> ok(std::string("fine"));
+  EXPECT_EQ(std::move(ok).value_or_throw(), "fine");
+}
+
+}  // namespace
+}  // namespace commdet

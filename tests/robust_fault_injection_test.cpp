@@ -1,0 +1,213 @@
+// Fault-injection tests: this binary is compiled with
+// COMMDET_FAULT_INJECTION=1 (see tests/CMakeLists.txt), turning the
+// named fault points in the kernels and readers live.  The headline
+// assertion is ISSUE-level graceful degradation: a failure injected
+// mid-run — or an exhausted wall-clock budget — returns the best
+// clustering completed so far with a machine-readable TerminationReason,
+// instead of crashing or calling std::terminate.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "commdet/core/agglomerate.hpp"
+#include "commdet/core/detect.hpp"
+#include "commdet/gen/planted_partition.hpp"
+#include "commdet/io/binary.hpp"
+#include "commdet/io/edge_list_text.hpp"
+#include "commdet/io/matrix_market.hpp"
+#include "commdet/io/metis.hpp"
+#include "commdet/robust/fault_injection.hpp"
+#include "commdet/robust/sanitize.hpp"
+#include "commdet/score/scorers.hpp"
+
+namespace commdet {
+namespace {
+
+using V32 = std::int32_t;
+
+static_assert(fault::kEnabled, "this binary must be built with COMMDET_FAULT_INJECTION");
+
+PlantedPartitionParams small_partition() {
+  PlantedPartitionParams p;
+  p.num_vertices = 2048;
+  p.num_blocks = 16;
+  p.internal_degree = 12.0;
+  p.external_degree = 2.0;
+  p.seed = 42;
+  return p;
+}
+
+TEST(FaultInjection, ContractFailureAtLevelTwoDegradesToLevelOne) {
+  // The tentpole scenario: level 2's contraction throws mid-run.  The
+  // driver must contain it and return the level-1 clustering — a real,
+  // non-trivial partition — tagged kContainedError with the injected
+  // fault's structured record.
+  const auto el = generate_planted_partition<V32>(small_partition());
+  fault::ScopedFault f(fault::kContract, 2);
+  const auto result = agglomerate(el, ModularityScorer{});
+  EXPECT_EQ(result.reason, TerminationReason::kContainedError);
+  EXPECT_TRUE(is_degraded(result.reason));
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(result.error->code, ErrorCode::kInjectedFault);
+  EXPECT_EQ(result.error->phase, Phase::kContract);
+  ASSERT_EQ(result.levels.size(), 1u);  // exactly the completed level survives
+  EXPECT_LT(result.num_communities, 2048);
+  EXPECT_GT(result.final_modularity, 0.0);
+  for (const auto c : result.community) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, result.num_communities);
+  }
+}
+
+TEST(FaultInjection, ScoreFailureAtLevelOneKeepsSingletons) {
+  // Nothing completed yet: the degraded result is the identity
+  // clustering, still valid, still machine-readably tagged.
+  const auto el = generate_planted_partition<V32>(small_partition());
+  fault::ScopedFault f(fault::kScore, 1);
+  const auto result = agglomerate(el, ModularityScorer{});
+  EXPECT_EQ(result.reason, TerminationReason::kContainedError);
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(result.error->phase, Phase::kScore);
+  EXPECT_TRUE(result.levels.empty());
+  EXPECT_EQ(result.num_communities, 2048);
+}
+
+TEST(FaultInjection, MatchFailureIsContainedToo) {
+  const auto el = generate_planted_partition<V32>(small_partition());
+  fault::ScopedFault f(fault::kMatch, 1);
+  const auto result = agglomerate(el, ModularityScorer{});
+  EXPECT_EQ(result.reason, TerminationReason::kContainedError);
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(result.error->phase, Phase::kMatch);
+  EXPECT_EQ(result.num_communities, 2048);
+}
+
+TEST(FaultInjection, ExhaustedDeadlineStillYieldsBestSoFar) {
+  // The second half of the acceptance criterion: a wall-clock budget
+  // that is exhausted immediately after the grace level returns the
+  // level-1 clustering with reason kDeadline, not an exception.
+  const auto el = generate_planted_partition<V32>(small_partition());
+  AgglomerationOptions opts;
+  opts.budget.max_seconds = 1e-9;
+  opts.budget.grace_levels = 1;
+  const auto result = agglomerate(el, ModularityScorer{}, opts);
+  EXPECT_EQ(result.reason, TerminationReason::kDeadline);
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(result.error->code, ErrorCode::kDeadlineExceeded);
+  ASSERT_EQ(result.levels.size(), 1u);
+  EXPECT_GT(result.final_modularity, 0.0);
+  EXPECT_LT(result.num_communities, 2048);
+}
+
+TEST(FaultInjection, RepeatedRunsAfterContainmentSucceed) {
+  // Containment must not poison library state: the very next call with
+  // no armed faults runs to a clean local maximum.
+  const auto el = generate_planted_partition<V32>(small_partition());
+  {
+    fault::ScopedFault f(fault::kContract, 1);
+    const auto degraded = agglomerate(el, ModularityScorer{});
+    EXPECT_EQ(degraded.reason, TerminationReason::kContainedError);
+  }
+  const auto clean = agglomerate(el, ModularityScorer{});
+  EXPECT_FALSE(clean.error.has_value());
+  EXPECT_FALSE(is_degraded(clean.reason));
+  EXPECT_GT(clean.final_modularity, 0.2);
+}
+
+TEST(FaultInjection, SanitizeFaultSurfacesAsExpectedError) {
+  EdgeList<V32> el;
+  el.num_vertices = 2;
+  el.add(0, 1);
+  fault::ScopedFault f(fault::kSanitize, 1);
+  const auto result = sanitize_edges(el);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, ErrorCode::kInjectedFault);
+}
+
+TEST(FaultInjection, HitCountingAndOneShotSemantics) {
+  EdgeList<V32> el;
+  el.num_vertices = 2;
+  el.add(0, 1);
+  fault::arm(fault::kSanitize, 3);
+  EXPECT_TRUE(sanitize_edges(el).has_value());  // hit 1
+  EXPECT_TRUE(sanitize_edges(el).has_value());  // hit 2
+  EXPECT_EQ(fault::hits(fault::kSanitize), 2);
+  EXPECT_FALSE(sanitize_edges(el).has_value());  // hit 3 fires
+  EXPECT_TRUE(sanitize_edges(el).has_value());   // one-shot: disarmed now
+  fault::disarm_all();
+}
+
+class FaultInjectionIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("commdet_fault_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::disarm_all();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  static void write_file(const std::string& p, const std::string& content) {
+    std::ofstream out(p);
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FaultInjectionIoTest, AllFourReadersHaveLiveFaultPoints) {
+  write_file(path("g.txt"), "0 1\n");
+  write_file(path("g.graph"), "2 1\n2\n1\n");
+  write_file(path("g.mtx"), "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n");
+  EdgeList<V32> el;
+  el.num_vertices = 2;
+  el.add(0, 1);
+  write_edge_list_binary(el, path("g.bin"));
+
+  {
+    fault::ScopedFault f(fault::kIoEdgeListText);
+    EXPECT_THROW((void)read_edge_list_text<V32>(path("g.txt")), CommdetError);
+  }
+  {
+    fault::ScopedFault f(fault::kIoMetis);
+    EXPECT_THROW((void)read_metis<V32>(path("g.graph")), CommdetError);
+  }
+  {
+    fault::ScopedFault f(fault::kIoMatrixMarket);
+    EXPECT_THROW((void)read_matrix_market<V32>(path("g.mtx")), CommdetError);
+  }
+  {
+    fault::ScopedFault f(fault::kIoBinary);
+    EXPECT_THROW((void)read_edge_list_binary<V32>(path("g.bin")), CommdetError);
+  }
+  // ScopedFault cleanup: everything reads fine again.
+  EXPECT_EQ(read_edge_list_text<V32>(path("g.txt")).num_edges(), 1);
+  EXPECT_EQ(read_metis<V32>(path("g.graph")).num_edges(), 1);
+  EXPECT_EQ(read_matrix_market<V32>(path("g.mtx")).num_edges(), 1);
+  EXPECT_EQ(read_edge_list_binary<V32>(path("g.bin")).num_edges(), 1);
+}
+
+TEST_F(FaultInjectionIoTest, InjectedReaderFaultCarriesStructuredRecord) {
+  write_file(path("g.txt"), "0 1\n");
+  fault::ScopedFault f(fault::kIoEdgeListText);
+  try {
+    (void)read_edge_list_text<V32>(path("g.txt"));
+    FAIL() << "fault did not fire";
+  } catch (const CommdetError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInjectedFault);
+    EXPECT_EQ(e.phase(), Phase::kInput);
+    EXPECT_NE(std::string(e.what()).find("io.edge_list_text"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace commdet

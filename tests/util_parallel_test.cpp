@@ -5,6 +5,7 @@
 #include <numeric>
 #include <random>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "commdet/util/atomics.hpp"
@@ -32,6 +33,102 @@ TEST(ParallelSum, MatchesSerialSum) {
 
 TEST(ParallelCount, CountsPredicate) {
   EXPECT_EQ(parallel_count(1000, [](std::int64_t i) { return i % 3 == 0; }), 334);
+}
+
+// Exceptions thrown inside the parallel wrappers must be rethrown on the
+// calling thread, not escape the OpenMP region (which is UB and in
+// practice std::terminate).  One collector per region captures the first
+// exception; remaining iterations are skipped.
+
+TEST(ParallelExceptions, ParallelForRethrowsOnCallingThread) {
+  EXPECT_THROW(
+      parallel_for(1000, [](std::int64_t i) {
+        if (i == 500) throw std::runtime_error("boom at 500");
+      }),
+      std::runtime_error);
+}
+
+TEST(ParallelExceptions, ParallelForDynamicRethrows) {
+  EXPECT_THROW(
+      parallel_for_dynamic(1000, [](std::int64_t i) {
+        if (i == 3) throw std::logic_error("boom");
+      }),
+      std::logic_error);
+}
+
+TEST(ParallelExceptions, ParallelSumRethrows) {
+  EXPECT_THROW((void)parallel_sum<std::int64_t>(1000,
+                                                [](std::int64_t i) -> std::int64_t {
+                                                  if (i == 999) throw std::runtime_error("sum");
+                                                  return i;
+                                                }),
+               std::runtime_error);
+}
+
+TEST(ParallelExceptions, ParallelCountRethrows) {
+  EXPECT_THROW((void)parallel_count(1000,
+                                    [](std::int64_t i) -> bool {
+                                      if (i == 0) throw std::runtime_error("count");
+                                      return true;
+                                    }),
+               std::runtime_error);
+}
+
+TEST(ParallelExceptions, ParallelMaxRethrows) {
+  EXPECT_THROW((void)parallel_max(1000, std::int64_t{0},
+                                  [](std::int64_t i) -> std::int64_t {
+                                    if (i == 123) throw std::runtime_error("max");
+                                    return i;
+                                  }),
+               std::runtime_error);
+}
+
+TEST(ParallelExceptions, MessageSurvivesPropagation) {
+  try {
+    parallel_for(100, [](std::int64_t i) {
+      if (i == 42) throw std::runtime_error("very specific payload");
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "very specific payload");
+  }
+}
+
+TEST(ParallelExceptions, ExactlyOneExceptionIsCaptured) {
+  // Every iteration throws; exactly one must be claimed and rethrown,
+  // the rest swallowed — never nested rethrow, never terminate.
+  std::int64_t seen = 0;
+  try {
+    parallel_for(10000, [](std::int64_t) { throw std::runtime_error("any"); });
+  } catch (const std::runtime_error&) {
+    ++seen;
+  }
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(ParallelExceptions, WorkAfterFailedRegionStillRuns) {
+  // Containment leaves the thread pool usable for the next region.
+  try {
+    parallel_for(100, [](std::int64_t) { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::int64_t total = 0;
+  parallel_for(1000, [&](std::int64_t) { atomic_fetch_add(total, std::int64_t{1}); });
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(ExceptionCollector, ManualUseCapturesFirstOnly) {
+  ExceptionCollector errors;
+  EXPECT_FALSE(errors.armed());
+  errors.run([] { throw std::runtime_error("first"); });
+  EXPECT_TRUE(errors.armed());
+  errors.run([] { throw std::runtime_error("second"); });
+  try {
+    errors.rethrow_if_armed();
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
 }
 
 TEST(ParallelMax, FindsMaximum) {
