@@ -2,6 +2,8 @@
 // Feo-style hash-of-linked-lists contraction, plus the phase-time
 // breakdown behind the paper's claim that contraction "requires from 40%
 // to 80% of the execution time".
+#include <omp.h>
+
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -40,6 +42,8 @@ int main(int argc, char** argv) {
     }
     std::printf("%-16s %10.4f %14lld\n", name, best, static_cast<long long>(ne_after));
     std::printf("row,contract-only,%s,%.6f\n", name, best);
+    bench::report().add(std::string("contract-only:") + name, omp_get_max_threads(), 0,
+                        best, {{"edges_after", static_cast<double>(ne_after)}});
     return best;
   };
   const double t_bucket = time_contractor("bucket-sort", BucketSortContractor<V>{});
@@ -68,8 +72,12 @@ int main(int argc, char** argv) {
                 100.0 * r.contraction_fraction());
     std::printf("row,pipeline,%s,%.6f,%.4f\n", name, r.total_seconds,
                 r.contraction_fraction());
+    bench::report().add(std::string("pipeline:") + name, omp_get_max_threads(), 0,
+                        r.total_seconds,
+                        {{"contraction_fraction", r.contraction_fraction()}});
   }
   std::printf("\npaper: contraction takes 40%%-80%% of execution time; the\n"
               "linked-list variant was 'infeasible' under OpenMP.\n");
+  bench::write_report(cfg, "bench_ablation_contraction");
   return 0;
 }

@@ -107,10 +107,15 @@ int main(int argc, char** argv) {
                 static_cast<long long>(ph.max_bucket),
                 static_cast<long long>(pt.max_bucket),
                 static_cast<long long>(s.max_degree));
+    bench::report().add(name, 0, 0, 0.0,
+                        {{"max_bucket_hashed", static_cast<double>(ph.max_bucket)},
+                         {"max_bucket_triangle", static_cast<double>(pt.max_bucket)},
+                         {"max_degree", static_cast<double>(s.max_degree)}});
   }
   std::printf("expectation: on power-law graphs the hashed placement's largest bucket\n"
               "is a fraction of the hub degree, while lower-triangle placement pins\n"
               "nearly the whole hub adjacency into one bucket (low vertex ids are the\n"
               "R-MAT hubs), serializing that vertex's bucket scans.\n");
+  bench::write_report(cfg, "bench_ablation_hashing");
   return 0;
 }

@@ -6,6 +6,8 @@
 // platforms using OpenMP."  This harness times the matching phase alone
 // (same graph, same scores) and the end-to-end pipeline under each
 // matcher.
+#include <omp.h>
+
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -41,6 +43,9 @@ int main(int argc, char** argv) {
                 static_cast<long long>(last.num_pairs), last.sweeps,
                 matching_weight(g, scores, last));
     std::printf("row,match-only,%s,%.6f\n", name, best);
+    bench::report().add(std::string("match-only:") + name, omp_get_max_threads(), 0, best,
+                        {{"pairs", static_cast<double>(last.num_pairs)},
+                         {"sweeps", static_cast<double>(last.sweeps)}});
     return best;
   };
   const double t_list = time_matcher("unmatched-list", UnmatchedListMatcher<V>{});
@@ -63,8 +68,10 @@ int main(int argc, char** argv) {
     }
     std::printf("%-20s %12.4f\n", name, best);
     std::printf("row,pipeline,%s,%.6f\n", name, best);
+    bench::report().add(std::string("pipeline:") + name, omp_get_max_threads(), 0, best);
   }
   std::printf("\npaper: the hot spots of the edge-sweep algorithm 'crippled' the OpenMP\n"
               "port; the rewrite made Intel platforms competitive.\n");
+  bench::write_report(cfg, "bench_ablation_matching");
   return 0;
 }

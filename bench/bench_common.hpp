@@ -8,6 +8,9 @@
 //   --trials T                 runs per configuration (paper: 3)
 //   --max-threads T            top of the thread sweep (default: 2x cores)
 //   --quick                    tiny sizes for smoke testing
+//   --report F                 write measurements as a "bench"-kind JSON
+//                              run report (same versioned schema as
+//                              detect_communities --report)
 //
 // Output: one machine-readable CSV row per measurement on stdout
 // ("row,<graph>,<threads>,<trial>,<seconds>,...") plus human-readable
@@ -21,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "commdet/cc/connected_components.hpp"
@@ -29,6 +33,9 @@
 #include "commdet/gen/rmat.hpp"
 #include "commdet/graph/builder.hpp"
 #include "commdet/graph/community_graph.hpp"
+#include "commdet/obs/probes.hpp"
+#include "commdet/obs/report.hpp"
+#include "commdet/platform/platform_info.hpp"
 
 namespace commdet::bench {
 
@@ -42,6 +49,7 @@ struct BenchConfig {
   int max_threads = 0;     // 0 -> 2x logical cores, like the paper's
                            // "up to the number of logical cores" sweeps
   std::uint64_t seed = 24;
+  std::string report_path;  // "" -> no JSON report
 
   [[nodiscard]] int resolved_max_threads() const {
     return max_threads > 0 ? max_threads : 2 * omp_get_num_procs();
@@ -67,6 +75,7 @@ inline BenchConfig parse_args(int argc, char** argv) {
     else if (arg == "--trials") cfg.trials = std::atoi(next());
     else if (arg == "--max-threads") cfg.max_threads = std::atoi(next());
     else if (arg == "--seed") cfg.seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--report") cfg.report_path = next();
     else if (arg == "--quick") {
       cfg.scale = 13;
       cfg.large_scale = 14;
@@ -79,6 +88,51 @@ inline BenchConfig parse_args(int argc, char** argv) {
     }
   }
   return cfg;
+}
+
+/// Process-wide measurement collector.  The sweeps record into it
+/// automatically; binaries with bespoke loops add their own rows.  One
+/// call to write_report() at the end serializes everything.
+class BenchReport {
+ public:
+  [[nodiscard]] static BenchReport& instance() {
+    static BenchReport r;
+    return r;
+  }
+
+  void add(obs::BenchRow row) { rows_.push_back(std::move(row)); }
+  void add(std::string series, int threads, int trial, double seconds,
+           std::vector<std::pair<std::string, double>> values = {}) {
+    rows_.push_back({std::move(series), threads, trial, seconds, std::move(values)});
+  }
+
+  [[nodiscard]] const std::vector<obs::BenchRow>& rows() const { return rows_; }
+
+ private:
+  BenchReport() = default;
+  std::vector<obs::BenchRow> rows_;
+};
+
+[[nodiscard]] inline BenchReport& report() { return BenchReport::instance(); }
+
+/// Writes the collected rows as a "bench"-kind run report — the same
+/// versioned envelope detect_communities --report emits, with the
+/// measurements in "rows".  No-op when --report was not given.
+inline void write_report(const BenchConfig& cfg, const std::string& tool) {
+  if (cfg.report_path.empty()) return;
+  const PlatformInfo platform = detect_platform();
+  const obs::ResourceSample resources = obs::sample_resources();
+  obs::RunReportInputs in;
+  in.platform = &platform;
+  in.resources = &resources;
+  in.info = {{"tool", tool},
+             {"scale", std::to_string(cfg.scale)},
+             {"edge_factor", std::to_string(cfg.edge_factor)},
+             {"trials", std::to_string(cfg.trials)},
+             {"seed", std::to_string(cfg.seed)}};
+  obs::write_text_file(cfg.report_path,
+                       obs::bench_report_json(report().rows(), in));
+  std::printf("# bench report written to %s\n", cfg.report_path.c_str());
 }
 
 /// The rmat-24-16 stand-in: R-MAT with the paper's a,b,c,d, multi-edges
@@ -151,6 +205,10 @@ std::vector<SweepPoint> sweep_detection(const CommunityGraph<V>& g,
                   result.total_seconds, static_cast<long long>(result.num_communities),
                   result.final_coverage, result.final_modularity);
       std::fflush(stdout);
+      report().add(name, t, trial, result.total_seconds,
+                   {{"communities", static_cast<double>(result.num_communities)},
+                    {"coverage", result.final_coverage},
+                    {"modularity", result.final_modularity}});
     }
     points.push_back(std::move(point));
   }

@@ -34,6 +34,9 @@ int main(int argc, char** argv) {
                 static_cast<double>(r.num_levels()) / log2v);
     std::printf("row,%s,%lld,%d,%.6f\n", name, static_cast<long long>(el.num_vertices),
                 r.num_levels(), r.total_seconds);
+    bench::report().add(name, 0, 0, r.total_seconds,
+                        {{"num_vertices", static_cast<double>(el.num_vertices)},
+                         {"levels", static_cast<double>(r.num_levels())}});
   };
 
   // Halving-friendly: paths and caveman rings merge ~half the vertices
@@ -53,6 +56,9 @@ int main(int argc, char** argv) {
     std::printf("%-24s %10d %8d %10.4f %14s  <- one pair per level\n", "star-4096 (heavy-edge)",
                 4096, r.num_levels(), r.total_seconds, "-");
     std::printf("row,star-4096,%d,%d,%.6f\n", 4096, r.num_levels(), r.total_seconds);
+    bench::report().add("star-4096", 0, 0, r.total_seconds,
+                        {{"num_vertices", 4096.0},
+                         {"levels", static_cast<double>(r.num_levels())}});
   }
 
   // R-MAT with the paper's coverage criterion.
@@ -68,5 +74,6 @@ int main(int argc, char** argv) {
 
   std::printf("\nexpectation: path/caveman level counts stay near log2|V| "
               "(geometric shrink); the star contracts one pair per level.\n");
+  bench::write_report(cfg, "bench_complexity");
   return 0;
 }

@@ -36,5 +36,6 @@ int main(int argc, char** argv) {
       std::printf("#   %3d threads: best %.4fs over %zu trials\n", p.threads, p.best(),
                   p.seconds.size());
   }
+  bench::write_report(cfg, "bench_fig1_time");
   return 0;
 }

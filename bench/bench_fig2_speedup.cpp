@@ -32,5 +32,6 @@ int main(int argc, char** argv) {
 
   std::printf("\n# paper peaks: rmat 24.8x (XMT2) / 16.5x (E7-8870); "
               "soc-LiveJournal1 9.24x / 8.01x\n");
+  bench::write_report(cfg, "bench_fig2_speedup");
   return 0;
 }

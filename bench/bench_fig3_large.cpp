@@ -39,5 +39,6 @@ int main(int argc, char** argv) {
               "(64/32 ratio %.2f)\n", best32, best64, best64 / best32);
   std::printf("# paper: uk-2007-05 best 504.9s on 80-thread E7-8870 (32-bit labels), "
               "1063s on 64-proc XMT2; speed-ups 13.7x / 29.6x\n");
+  bench::write_report(cfg, "bench_fig3_large");
   return 0;
 }

@@ -56,7 +56,11 @@ int main(int argc, char** argv) {
     }
     std::printf("%8d %12.4f %12.4f %12.4f\n", t, score_best, match_best, contract_best);
     std::printf("row,%d,%.6f,%.6f,%.6f\n", t, score_best, match_best, contract_best);
+    bench::report().add("score", t, 0, score_best);
+    bench::report().add("match", t, 0, match_best);
+    bench::report().add("contract", t, 0, contract_best);
   }
   omp_set_num_threads(omp_get_num_procs());
+  bench::write_report(cfg, "bench_phase_scaling");
   return 0;
 }

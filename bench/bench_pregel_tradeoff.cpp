@@ -50,6 +50,8 @@ int main(int argc, char** argv) {
                   "native-agglomerative", secs, static_cast<long long>(r.num_communities),
                   r.final_modularity, "-");
       std::printf("row,%s,native,%.4f,%.4f\n", name.c_str(), secs, r.final_modularity);
+      bench::report().add(name + ":native", 0, 0, secs,
+                          {{"modularity", r.final_modularity}});
     }
     {
       WallTimer t;
@@ -61,6 +63,8 @@ int main(int argc, char** argv) {
                   "native-spgemm", secs, static_cast<long long>(r.num_communities),
                   r.final_modularity, "-");
       std::printf("row,%s,spgemm,%.4f,%.4f\n", name.c_str(), secs, r.final_modularity);
+      bench::report().add(name + ":spgemm", 0, 0, secs,
+                          {{"modularity", r.final_modularity}});
     }
     {
       WallTimer t;
@@ -77,10 +81,15 @@ int main(int argc, char** argv) {
                   "pregel-labelprop", secs, static_cast<long long>(q.num_communities),
                   q.modularity, overhead);
       std::printf("row,%s,pregel,%.4f,%.4f\n", name.c_str(), secs, q.modularity);
+      bench::report().add(name + ":pregel", 0, 0, secs,
+                          {{"modularity", q.modularity},
+                           {"messages_sent", static_cast<double>(stats.messages_sent)},
+                           {"supersteps", static_cast<double>(stats.supersteps)}});
     }
   }
   std::printf("\nexpectation: the BSP model pays per-message materialization costs the\n"
               "shared-memory formulation avoids; quality is method-dependent (label\n"
               "propagation vs modularity greedy), so compare time at similar quality.\n");
+  bench::write_report(cfg, "bench_pregel_tradeoff");
   return 0;
 }

@@ -18,6 +18,8 @@
 #include "commdet/graph/builder.hpp"
 #include "commdet/match/edge_sweep_matcher.hpp"
 #include "commdet/match/unmatched_list_matcher.hpp"
+#include "commdet/obs/metrics.hpp"
+#include "commdet/obs/trace.hpp"
 #include "commdet/score/score_edges.hpp"
 #include "commdet/util/compact.hpp"
 #include "commdet/util/histogram.hpp"
@@ -147,6 +149,30 @@ void BM_ContractHashChain(benchmark::State& state) {
   state.SetItemsProcessed(f.graph.num_edges() * state.iterations());
 }
 BENCHMARK(BM_ContractHashChain);
+
+// Observability overhead: the same scoring kernel with no sink (the
+// default — counters resolve to nullptr) and with a live metrics
+// registry + trace.  Compare against BM_ScoreEdges: the no-sink variant
+// must be indistinguishable from it.
+void BM_ScoreEdgesObsDisabled(benchmark::State& state) {
+  const auto& f = Fixture::get();
+  std::vector<Score> scores;
+  for (auto _ : state) benchmark::DoNotOptimize(score_edges(f.graph, ModularityScorer{}, scores));
+  state.SetItemsProcessed(f.graph.num_edges() * state.iterations());
+}
+BENCHMARK(BM_ScoreEdgesObsDisabled);
+
+void BM_ScoreEdgesObsEnabled(benchmark::State& state) {
+  const auto& f = Fixture::get();
+  obs::Trace trace;
+  obs::MetricsRegistry metrics;
+  obs::TraceSession ts(trace);
+  obs::MetricsSession ms(metrics);
+  std::vector<Score> scores;
+  for (auto _ : state) benchmark::DoNotOptimize(score_edges(f.graph, ModularityScorer{}, scores));
+  state.SetItemsProcessed(f.graph.num_edges() * state.iterations());
+}
+BENCHMARK(BM_ScoreEdgesObsEnabled);
 
 }  // namespace
 

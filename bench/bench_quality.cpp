@@ -54,6 +54,10 @@ int main(int argc, char** argv) {
                   static_cast<long long>(ncomm), q.modularity, q.coverage, seconds);
       std::printf("row,%s,%s,%lld,%.4f,%.4f,%.4f\n", name.c_str(), method,
                   static_cast<long long>(ncomm), q.modularity, q.coverage, seconds);
+      bench::report().add(name + ":" + method, 0, 0, seconds,
+                          {{"communities", static_cast<double>(ncomm)},
+                           {"modularity", q.modularity},
+                           {"coverage", q.coverage}});
     };
 
     // The parallel algorithm under each scoring metric.
@@ -89,5 +93,6 @@ int main(int argc, char** argv) {
   std::printf("expectation (paper): the parallel algorithm's modularity is in the same\n"
               "range as the sequential agglomerative reference on community-rich graphs;\n"
               "R-MAT has little community structure, so all methods score low there.\n");
+  bench::write_report(cfg, "bench_quality");
   return 0;
 }

@@ -53,6 +53,12 @@ int main(int argc, char** argv) {
     std::printf("row,%s,%.4f,%.4f,%lld,%.4f,%.4f,%.4f\n", name.c_str(), stats.modularity_before,
                 stats.modularity_after, static_cast<long long>(stats.moves),
                 r.total_seconds, refine_seconds, ml.modularity_after);
+    bench::report().add(name, 0, 0, r.total_seconds + refine_seconds,
+                        {{"modularity_before", stats.modularity_before},
+                         {"modularity_flat", stats.modularity_after},
+                         {"modularity_vcycle", ml.modularity_after},
+                         {"moves", static_cast<double>(stats.moves)},
+                         {"refine_seconds", refine_seconds}});
 
     const auto louvain = louvain_cluster(g);
     std::printf("%-26s %14s %14.4f %10s %12.3f %12s  (sequential reference)\n",
@@ -61,5 +67,6 @@ int main(int argc, char** argv) {
   std::printf("\nexpectation: refinement closes part of the modularity gap between the\n"
               "matching-based agglomeration and Louvain at a fraction of Louvain's\n"
               "sequential cost, without giving up the parallel structure.\n");
+  bench::write_report(cfg, "bench_refinement");
   return 0;
 }

@@ -7,9 +7,11 @@
 // record the platform next to each measured series.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "commdet/platform/platform_info.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cfg = commdet::bench::parse_args(argc, argv);
   const auto info = commdet::detect_platform();
   std::printf("== Table I stand-in: host platform characteristics ==\n\n");
   std::printf("%s\n", commdet::format_platform_table(info).c_str());
@@ -20,5 +22,6 @@ int main() {
   std::printf("  %-12s %7s %18s %10s\n", "Intel E7-8870", "4", "20", "2.40GHz");
   std::printf("  %-12s %7s %18s %10s\n", "Intel X5650", "2", "12", "2.66GHz");
   std::printf("  %-12s %7s %18s %10s\n", "Intel X5570", "2", "8", "2.93GHz");
+  commdet::bench::write_report(cfg, "bench_table1_platform");
   return 0;
 }

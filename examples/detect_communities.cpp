@@ -17,12 +17,19 @@
 //   --max-seconds / --max-memory-mb / --max-stalled-levels / --grace-levels
 //                       run budget: degrade to the best clustering so far
 //                       instead of running without bound
+//   --report <file>     machine-readable JSON run report (schema
+//                       "commdet-run-report" v1: trace, metrics, levels,
+//                       platform, resources)
+//   --report-csv <file> per-level CSV table
+//   --trace             print the span tree to stderr after the run
 #include <omp.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 
@@ -35,6 +42,11 @@
 #include "commdet/io/edge_list_text.hpp"
 #include "commdet/io/matrix_market.hpp"
 #include "commdet/io/metis.hpp"
+#include "commdet/obs/metrics.hpp"
+#include "commdet/obs/probes.hpp"
+#include "commdet/obs/report.hpp"
+#include "commdet/obs/trace.hpp"
+#include "commdet/platform/platform_info.hpp"
 
 namespace {
 
@@ -58,7 +70,8 @@ commdet::EdgeList<V> load(const std::string& path) {
                "       [--matcher list|sweep|greedy] [--contractor bucket|hash|spgemm]\n"
                "       [--refine flat|vcycle] [--gamma g] [--threads t] [--out file]\n"
                "       [--largest-component] [--max-seconds s] [--max-memory-mb m]\n"
-               "       [--max-stalled-levels k] [--grace-levels k]\n");
+               "       [--max-stalled-levels k] [--grace-levels k]\n"
+               "       [--report file.json] [--report-csv file.csv] [--trace]\n");
   std::exit(2);
 }
 
@@ -69,6 +82,9 @@ int main(int argc, char** argv) {
   std::string path = argv[1];
   std::string metric = "modularity";
   std::string out_path;
+  std::string report_path;
+  std::string report_csv_path;
+  bool print_trace = false;
   bool use_largest_component = false;
   commdet::DetectOptions dopts;
   commdet::AgglomerationOptions& opts = dopts.agglomeration;
@@ -120,10 +136,29 @@ int main(int argc, char** argv) {
       opts.budget.max_stalled_levels = std::stoi(next());
     } else if (arg == "--grace-levels") {
       opts.budget.grace_levels = std::stoi(next());
+    } else if (arg == "--report") {
+      report_path = next();
+    } else if (arg == "--report-csv") {
+      report_csv_path = next();
+    } else if (arg == "--trace") {
+      print_trace = true;
     } else {
       usage();
     }
   }
+
+  // Observability is opt-in: with no report/trace flag the sinks stay
+  // uninstalled and the instrumented kernels run at full speed.
+  const bool observing = print_trace || !report_path.empty() || !report_csv_path.empty();
+  commdet::obs::Trace trace;
+  commdet::obs::MetricsRegistry metrics;
+  std::optional<commdet::obs::TraceSession> trace_session;
+  std::optional<commdet::obs::MetricsSession> metrics_session;
+  if (observing) {
+    trace_session.emplace(trace);
+    metrics_session.emplace(metrics);
+  }
+  const commdet::obs::ResourceSample resources_begin = commdet::obs::sample_resources();
 
   try {
     auto edges = load(path);
@@ -166,6 +201,36 @@ int main(int argc, char** argv) {
         out << v << ' ' << static_cast<long long>(result.community[v]) << '\n';
       std::printf("assignment written to %s\n", out_path.c_str());
     }
+
+    if (!report_path.empty()) {
+      const auto platform = commdet::detect_platform();
+      const auto degree = commdet::degree_distribution(g);
+      const auto sizes = commdet::community_size_distribution(
+          std::span<const V>(result.community.data(), result.community.size()),
+          result.num_communities);
+      const auto resources =
+          commdet::obs::resource_delta(resources_begin, commdet::obs::sample_resources());
+      commdet::obs::RunReportInputs inputs;
+      inputs.platform = &platform;
+      inputs.graph = &stats;
+      inputs.degree = &degree;
+      inputs.community_sizes = &sizes;
+      inputs.trace = &trace;
+      inputs.metrics = &metrics;
+      inputs.resources = &resources;
+      inputs.info = {{"tool", "detect_communities"},
+                     {"input", path},
+                     {"metric", metric}};
+      commdet::obs::write_text_file(report_path,
+                                    commdet::obs::run_report_json(result, inputs));
+      std::printf("run report written to %s\n", report_path.c_str());
+    }
+    if (!report_csv_path.empty()) {
+      commdet::obs::write_text_file(report_csv_path, commdet::obs::levels_csv(result));
+      std::printf("per-level CSV written to %s\n", report_csv_path.c_str());
+    }
+    if (print_trace)
+      std::fprintf(stderr, "%s", commdet::obs::format_trace(trace).c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -27,14 +27,14 @@ run_tsan() {
   cmake -B build-tsan -S . -DCOMMDET_SANITIZE="thread" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   for t in util_parallel_test util_spinlock_test match_test contract_test \
-           agglomerate_test robust_budget_test sanitize_test; do
+           agglomerate_test robust_budget_test sanitize_test obs_test; do
     cmake --build build-tsan -j "${jobs}" --target "${t}" > /dev/null
   done
   # OpenMP runtimes trip TSan's lock-order heuristics without the
   # instrumented libomp; suppress known-benign runtime internals.
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "${jobs}" \
-      -R "ParallelFor|ParallelSum|ParallelCount|ParallelMax|ParallelExceptions|ExceptionCollector|Spinlock|Match|Contract|Agglomerate|Sanitize|BudgetTracker"
+      -R "ParallelFor|ParallelSum|ParallelCount|ParallelMax|ParallelExceptions|ExceptionCollector|Spinlock|Match|Contract|Agglomerate|Sanitize|BudgetTracker|Obs"
 }
 
 case "${mode}" in

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Reproduces every table and figure of the paper's evaluation, in order,
-# writing one log per experiment under results/.
+# writing one log (results/<bench>.txt) and one machine-readable
+# commdet-run-report JSON (results/<bench>.json, schema v1) per
+# experiment.
 #
 #   scripts/reproduce_paper.sh [extra bench flags...]
 #
@@ -17,12 +19,16 @@ mkdir -p results
 for bench in \
     bench_table1_platform bench_table2_graphs bench_table3_rate \
     bench_fig1_time bench_fig2_speedup bench_fig3_large \
-    bench_ablation_matching bench_ablation_contraction \
+    bench_ablation_hashing bench_ablation_matching bench_ablation_contraction \
     bench_quality bench_complexity bench_refinement \
     bench_phase_scaling bench_pregel_tradeoff; do
   echo "== ${bench}"
-  "./build/bench/${bench}" "$@" | tee "results/${bench}.txt"
+  "./build/bench/${bench}" --report "results/${bench}.json" "$@" \
+    | tee "results/${bench}.txt"
 done
-./build/bench/bench_primitives | tee results/bench_primitives.txt
+# bench_primitives is google-benchmark; its native JSON is the report.
+./build/bench/bench_primitives \
+  --benchmark_out=results/bench_primitives.json --benchmark_out_format=json \
+  | tee results/bench_primitives.txt
 
-echo "All experiment logs written to results/."
+echo "All experiment logs (.txt) and run reports (.json) written to results/."

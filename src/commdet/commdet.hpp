@@ -23,6 +23,8 @@
 //              partition files
 //   robust/    structured errors + Expected, fault injection, run
 //              budgets, input sanitization
+//   obs/       span tracer, sharded metrics, resource probes, JSON/CSV
+//              run reports
 //   cc/        connected components, largest component, BFS
 //   score/     modularity / conductance / heavy-edge / resolution scorers
 //   match/     unmatched-list (paper), edge-sweep (baseline), sequential
@@ -67,6 +69,11 @@
 #include "commdet/io/metis.hpp"
 #include "commdet/io/partition.hpp"
 #include "commdet/match/edge_sweep_matcher.hpp"
+#include "commdet/obs/json.hpp"
+#include "commdet/obs/metrics.hpp"
+#include "commdet/obs/probes.hpp"
+#include "commdet/obs/report.hpp"
+#include "commdet/obs/trace.hpp"
 #include "commdet/match/matching.hpp"
 #include "commdet/match/sequential_greedy_matcher.hpp"
 #include "commdet/match/unmatched_list_matcher.hpp"

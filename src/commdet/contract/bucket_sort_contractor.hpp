@@ -24,6 +24,7 @@
 #include "commdet/contract/relabel.hpp"
 #include "commdet/graph/community_graph.hpp"
 #include "commdet/match/matching.hpp"
+#include "commdet/obs/metrics.hpp"
 #include "commdet/util/parallel.hpp"
 #include "commdet/util/prefix_sum.hpp"
 #include "commdet/util/types.hpp"
@@ -51,6 +52,14 @@ class BucketSortContractor {
     out.self_weight = std::move(rel.self_weight);
     out.total_weight = g.total_weight;
 
+    // Sharded counters, resolved once (null when metrics are disabled);
+    // per-edge adds from inside the parallel passes touch thread-local
+    // cache lines only.
+    obs::Counter* c_self_folded = obs::counter("contract.self_edges_folded");
+    obs::Counter* c_edges_in = obs::counter("contract.edges_in");
+    obs::Counter* c_edges_out = obs::counter("contract.edges_out");
+    obs::Counter* c_bytes = obs::counter("contract.scratch_bytes_moved");
+
     // Pass 1: relabel endpoints; edges inside a new community fold into
     // its self weight, the rest are counted toward their new bucket.
     std::vector<EdgeId> counts(static_cast<std::size_t>(new_nv) + 1, 0);
@@ -61,6 +70,7 @@ class BucketSortContractor {
       if (a == b) {
         std::atomic_ref<Weight>(out.self_weight[static_cast<std::size_t>(a)])
             .fetch_add(g.eweight[i], std::memory_order_relaxed);
+        if (c_self_folded != nullptr) c_self_folded->add(1);
         return;
       }
       const auto [f, s] = hashed_edge_order(a, b);
@@ -151,6 +161,14 @@ class BucketSortContractor {
       out.bucket_end[static_cast<std::size_t>(v)] =
           final_off[static_cast<std::size_t>(v)] + new_len[static_cast<std::size_t>(v)];
     });
+
+    if (c_edges_in != nullptr) c_edges_in->add(ne);
+    if (c_edges_out != nullptr) c_edges_out->add(static_cast<std::int64_t>(final_ne));
+    if (c_bytes != nullptr) {
+      // Scratch traffic: scatter into (second, weight) and the copy back.
+      const auto per_edge = static_cast<std::int64_t>(sizeof(V) + sizeof(Weight));
+      c_bytes->add(2 * per_edge * static_cast<std::int64_t>(live));
+    }
 
     return {std::move(out), std::move(rel.new_label)};
   }

@@ -26,6 +26,9 @@
 #include "commdet/match/edge_sweep_matcher.hpp"
 #include "commdet/match/sequential_greedy_matcher.hpp"
 #include "commdet/match/unmatched_list_matcher.hpp"
+#include "commdet/obs/metrics.hpp"
+#include "commdet/obs/probes.hpp"
+#include "commdet/obs/trace.hpp"
 #include "commdet/robust/budget.hpp"
 #include "commdet/robust/error.hpp"
 #include "commdet/robust/fault_injection.hpp"
@@ -103,6 +106,12 @@ template <VertexId V, EdgeScorer S>
 [[nodiscard]] Clustering<V> agglomerate(CommunityGraph<V> g, const S& scorer,
                                         const AgglomerationOptions& opts = {}) {
   WallTimer total_timer;
+  obs::ScopedSpan run_span("agglomerate");
+  run_span.attr("nv", static_cast<std::int64_t>(g.nv));
+  run_span.attr("ne", static_cast<std::int64_t>(g.num_edges()));
+  run_span.attr("matcher", to_string(opts.matcher));
+  run_span.attr("contractor", to_string(opts.contractor));
+  obs::Gauge* rss_gauge = obs::gauge("agglomerate.rss_hwm_bytes");
   Clustering<V> result;
   const auto original_nv = static_cast<std::int64_t>(g.nv);
   result.community.resize(static_cast<std::size_t>(original_nv));
@@ -150,6 +159,11 @@ template <VertexId V, EdgeScorer S>
     stats.nv_before = static_cast<std::int64_t>(g.nv);
     stats.ne_before = g.num_edges();
 
+    obs::ScopedSpan level_span("level");
+    level_span.attr("level", level);
+    level_span.attr("nv_before", stats.nv_before);
+    level_span.attr("ne_before", static_cast<std::int64_t>(stats.ne_before));
+
     // The three phases run under containment: an exception raised inside
     // any of them (already rethrown on this thread by the parallel
     // wrappers) abandons the level, leaving `g` and the vertex maps in
@@ -162,7 +176,10 @@ template <VertexId V, EdgeScorer S>
       ScoreSummary summary;
       {
         ScopedTimer t(stats.score_seconds);
+        obs::ScopedSpan span("score");
         summary = score_edges(g, scorer, scores);
+        span.attr("positive_edges", static_cast<std::int64_t>(summary.positive_edges));
+        span.attr("max_score", summary.max_score);
         if (opts.max_community_size > 0) {
           // Disqualify merges that would exceed the size cap by zeroing
           // their scores before matching.
@@ -194,7 +211,10 @@ template <VertexId V, EdgeScorer S>
       Matching<V> matching;
       {
         ScopedTimer t(stats.match_seconds);
+        obs::ScopedSpan span("match");
         matching = detail::run_matcher(opts.matcher, g, scores);
+        span.attr("pairs_matched", matching.num_pairs);
+        span.attr("sweeps", matching.sweeps);
       }
       stats.pairs_matched = matching.num_pairs;
       stats.match_sweeps = matching.sweeps;
@@ -214,9 +234,12 @@ template <VertexId V, EdgeScorer S>
       std::vector<V> new_label;
       {
         ScopedTimer t(stats.contract_seconds);
+        obs::ScopedSpan span("contract");
         auto contracted = detail::run_contractor(opts.contractor, g, matching);
         g = std::move(contracted.graph);
         new_label = std::move(contracted.new_label);
+        span.attr("nv_after", static_cast<std::int64_t>(g.nv));
+        span.attr("ne_after", static_cast<std::int64_t>(g.num_edges()));
       }
 
       // Bookkeeping: original-vertex map, size counts, quality trajectory.
@@ -241,6 +264,18 @@ template <VertexId V, EdgeScorer S>
       stats.ne_after = g.num_edges();
       stats.coverage = detail::partition_coverage(g);
       stats.modularity = detail::partition_modularity(g);
+
+      // Level-boundary resource probe: RSS high-water into the level
+      // span and the run gauge.  The /proc read only happens when a
+      // sink is installed.
+      if (level_span.active() || rss_gauge != nullptr) {
+        const std::int64_t rss = obs::rss_high_water_bytes();
+        if (rss_gauge != nullptr) rss_gauge->record(rss);
+        level_span.attr("rss_hwm_bytes", rss);
+      }
+      level_span.attr("nv_after", stats.nv_after);
+      level_span.attr("coverage", stats.coverage);
+      level_span.attr("modularity", stats.modularity);
     } catch (const std::exception& e) {
       degrade(error_from_exception(e, phase));
       contained = true;
@@ -248,7 +283,14 @@ template <VertexId V, EdgeScorer S>
       degrade(Error{ErrorCode::kInternal, phase, "non-standard exception"});
       contained = true;
     }
-    if (contained) break;
+    if (contained) {
+      // Preserve the interrupted level's partial telemetry: ScopedTimer
+      // accumulated the failing phase's time during unwinding, and the
+      // phases that did finish left their counts in `stats`.
+      result.failed_level = stats;
+      level_span.set_error();
+      break;
+    }
 
     result.levels.push_back(stats);
     ++completed_levels;
@@ -273,6 +315,9 @@ template <VertexId V, EdgeScorer S>
   }
 
   result.total_seconds = total_timer.seconds();
+  run_span.attr("levels", static_cast<std::int64_t>(result.levels.size()));
+  run_span.attr("termination", to_string(result.reason));
+  if (run_span.active()) run_span.attr("rss_hwm_bytes", obs::rss_high_water_bytes());
   return result;
 }
 

@@ -46,6 +46,12 @@ struct Clustering {
   /// itself is still the valid best-so-far result.
   std::optional<Error> error;
 
+  /// Partial stats of the level a contained failure interrupted: phase
+  /// times accumulated up to the throw (ScopedTimer adds on unwinding),
+  /// sizes and counts of the phases that finished.  The level itself is
+  /// not in `levels` — it never completed.
+  std::optional<LevelStats> failed_level;
+
   double final_coverage = 0.0;
   double final_modularity = 0.0;
   double total_seconds = 0.0;

@@ -19,6 +19,7 @@
 #include "commdet/core/options.hpp"
 #include "commdet/graph/builder.hpp"
 #include "commdet/graph/edge_list.hpp"
+#include "commdet/obs/trace.hpp"
 #include "commdet/refine/multilevel.hpp"
 #include "commdet/refine/refine.hpp"
 #include "commdet/robust/sanitize.hpp"
@@ -88,6 +89,13 @@ template <VertexId V>
                         ? DetectOptions::RefineMode::kFlat
                         : opts.refine_mode;
   if (mode == DetectOptions::RefineMode::kVCycle) agglomeration.track_hierarchy = true;
+
+  obs::ScopedSpan span("detect");
+  span.attr("scorer", to_string(opts.scorer));
+  span.attr("refine",
+            mode == DetectOptions::RefineMode::kFlat     ? "flat"
+            : mode == DetectOptions::RefineMode::kVCycle ? "vcycle"
+                                                         : "none");
 
   Clustering<V> result;
   switch (opts.scorer) {

@@ -1,13 +1,17 @@
 // Descriptive statistics over a community graph: degree distribution and
-// weight totals.  Used by examples and the Table II harness.
+// weight totals.  Used by examples, the Table II harness, and the run
+// report's degree/community-size summaries.
 #pragma once
 
 #include <atomic>
 #include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "commdet/graph/community_graph.hpp"
+#include "commdet/util/histogram.hpp"
 #include "commdet/util/parallel.hpp"
 #include "commdet/util/types.hpp"
 
@@ -24,20 +28,95 @@ struct GraphStats {
   std::int64_t isolated_vertices = 0;
 };
 
-template <VertexId V>
-[[nodiscard]] GraphStats graph_stats(const CommunityGraph<V>& g) {
-  const auto nv = static_cast<std::int64_t>(g.nv);
-  const EdgeId ne = g.num_edges();
+/// Five-number-style summary of a non-negative integer distribution
+/// (degrees, community sizes), plus a log2 histogram: bucket b counts
+/// values whose bit width is b (0 -> {0}, 1 -> {1}, 2 -> {2,3}, ...) —
+/// the compact shape descriptor social-network power laws call for.
+struct DistributionSummary {
+  std::int64_t count = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  double mean = 0.0;
+  std::int64_t p50 = 0;
+  std::int64_t p90 = 0;
+  std::int64_t p99 = 0;
+  std::vector<std::int64_t> log2_buckets;
+};
 
-  // Unweighted degrees from both endpoints of each stored edge.
-  std::vector<std::int64_t> degree(static_cast<std::size_t>(nv), 0);
-  parallel_for(ne, [&](std::int64_t e) {
+/// Summarizes `values` (each >= 0).  Report-time cost: one sort of a
+/// copy for exact percentiles.
+[[nodiscard]] inline DistributionSummary summarize_values(
+    std::span<const std::int64_t> values) {
+  DistributionSummary s;
+  s.count = static_cast<std::int64_t>(values.size());
+  if (values.empty()) return s;
+
+  std::vector<std::int64_t> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double total = 0.0;
+  for (const auto v : sorted) total += static_cast<double>(v);
+  s.mean = total / static_cast<double>(sorted.size());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+  };
+  s.p50 = at(0.50);
+  s.p90 = at(0.90);
+  s.p99 = at(0.99);
+
+  // Reuse the parallel histogram over bit widths (bounded by 64 bins).
+  std::vector<std::int64_t> widths(sorted.size());
+  parallel_for(static_cast<std::int64_t>(sorted.size()), [&](std::int64_t i) {
+    widths[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(
+        std::bit_width(static_cast<std::uint64_t>(sorted[static_cast<std::size_t>(i)])));
+  });
+  const auto max_width =
+      static_cast<std::int64_t>(std::bit_width(static_cast<std::uint64_t>(s.max)));
+  s.log2_buckets =
+      parallel_histogram(std::span<const std::int64_t>(widths), max_width + 1);
+  return s;
+}
+
+/// Unweighted degree (bucket entries from both endpoints) per vertex.
+template <VertexId V>
+[[nodiscard]] std::vector<std::int64_t> degree_array(const CommunityGraph<V>& g) {
+  std::vector<std::int64_t> degree(static_cast<std::size_t>(g.nv), 0);
+  parallel_for(g.num_edges(), [&](std::int64_t e) {
     const auto i = static_cast<std::size_t>(e);
     std::atomic_ref<std::int64_t>(degree[static_cast<std::size_t>(g.efirst[i])])
         .fetch_add(1, std::memory_order_relaxed);
     std::atomic_ref<std::int64_t>(degree[static_cast<std::size_t>(g.esecond[i])])
         .fetch_add(1, std::memory_order_relaxed);
   });
+  return degree;
+}
+
+/// Degree-distribution summary for the run report.
+template <VertexId V>
+[[nodiscard]] DistributionSummary degree_distribution(const CommunityGraph<V>& g) {
+  const auto degree = degree_array(g);
+  return summarize_values(std::span<const std::int64_t>(degree));
+}
+
+/// Community-size distribution of a labeling with labels dense in
+/// [0, num_communities): sizes come from one parallel histogram pass.
+template <VertexId V>
+[[nodiscard]] DistributionSummary community_size_distribution(
+    std::span<const V> labels, std::int64_t num_communities) {
+  if (num_communities <= 0) return {};
+  const auto sizes = parallel_histogram(labels, num_communities);
+  return summarize_values(std::span<const std::int64_t>(sizes));
+}
+
+template <VertexId V>
+[[nodiscard]] GraphStats graph_stats(const CommunityGraph<V>& g) {
+  const auto nv = static_cast<std::int64_t>(g.nv);
+  const EdgeId ne = g.num_edges();
+
+  const std::vector<std::int64_t> degree = degree_array(g);
 
   GraphStats s;
   s.num_vertices = nv;

@@ -28,6 +28,8 @@
 
 #include "commdet/graph/edge_list.hpp"
 #include "commdet/io/edge_list_text.hpp"
+#include "commdet/obs/metrics.hpp"
+#include "commdet/obs/trace.hpp"
 #include "commdet/robust/error.hpp"
 #include "commdet/robust/fault_injection.hpp"
 #include "commdet/util/types.hpp"
@@ -63,6 +65,8 @@ inline bool parse_int(const char* data, std::size_t size, std::size_t& pos,
 template <VertexId V>
 [[nodiscard]] EdgeList<V> read_edge_list_text_parallel(const std::string& path) {
   COMMDET_FAULT_POINT(fault::kIoEdgeListText, Phase::kInput);
+  obs::ScopedSpan span("io.read_edge_list_parallel");
+  span.attr("path", path);
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw_error(ErrorCode::kIoOpen, Phase::kInput, "cannot open edge list: " + path);
   const auto size = static_cast<std::size_t>(in.tellg());
@@ -164,6 +168,14 @@ template <VertexId V>
     out.edges.insert(out.edges.end(), partial[static_cast<std::size_t>(t)].begin(),
                      partial[static_cast<std::size_t>(t)].end());
   out.num_vertices = static_cast<V>(max_id + 1);
+
+  span.attr("bytes", static_cast<std::int64_t>(size));
+  span.attr("edges", static_cast<std::int64_t>(total));
+  span.attr("parser_threads", num_threads);
+  if (obs::Counter* c = obs::counter("io.bytes_parsed"))
+    c->add(static_cast<std::int64_t>(size));
+  if (obs::Counter* c = obs::counter("io.edges_parsed"))
+    c->add(static_cast<std::int64_t>(total));
   return out;
 }
 

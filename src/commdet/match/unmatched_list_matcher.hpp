@@ -30,6 +30,7 @@
 
 #include "commdet/graph/community_graph.hpp"
 #include "commdet/match/matching.hpp"
+#include "commdet/obs/metrics.hpp"
 #include "commdet/util/atomics.hpp"
 #include "commdet/util/compact.hpp"
 #include "commdet/util/parallel.hpp"
@@ -56,6 +57,15 @@ class UnmatchedListMatcher {
     std::vector<V> unmatched(static_cast<std::size_t>(nv));
     std::iota(unmatched.begin(), unmatched.end(), V{0});
 
+    // Sharded counters (null when no metrics registry is installed):
+    // resolved once here, incremented from inside the parallel passes
+    // without serializing — each thread hits its own cache line.
+    obs::Counter* c_proposals = obs::counter("match.proposals");
+    obs::Counter* c_deferrals = obs::counter("match.deferrals");
+    obs::Counter* c_claim_conflicts = obs::counter("match.claim_conflicts");
+    obs::Counter* c_sweeps = obs::counter("match.sweeps");
+    obs::Counter* c_retries = obs::counter("match.list_retries");
+
     std::int64_t pairs = 0;
     while (!unmatched.empty()) {
       ++result.sweeps;
@@ -81,6 +91,7 @@ class UnmatchedListMatcher {
         }
         proposal[static_cast<std::size_t>(u)] = best_target;
         proposal_score[static_cast<std::size_t>(u)] = best.score;
+        if (c_proposals != nullptr && best_target != kNoVertex<V>) c_proposals->add(1);
       });
 
       // Pass 2: claim.  u defers when the other side holds a strictly
@@ -100,7 +111,10 @@ class UnmatchedListMatcher {
           if (vs_target != kNoVertex<V>) {
             const auto theirs =
                 make_offer(proposal_score[static_cast<std::size_t>(v)], v, vs_target);
-            if (theirs.beats(mine)) return;  // let the better side act
+            if (theirs.beats(mine)) {
+              if (c_deferrals != nullptr) c_deferrals->add(1);
+              return;  // let the better side act
+            }
           }
           locks.lock_pair(static_cast<std::size_t>(u), static_cast<std::size_t>(v));
           if (mate[static_cast<std::size_t>(u)] == kNoVertex<V> &&
@@ -108,6 +122,10 @@ class UnmatchedListMatcher {
             mate[static_cast<std::size_t>(u)] = v;
             mate[static_cast<std::size_t>(v)] = u;
             ++matched_this_sweep;
+          } else if (c_claim_conflicts != nullptr) {
+            // Lost the race: a side was claimed between the scan and the
+            // lock — the contention the paper's sweep count amortizes.
+            c_claim_conflicts->add(1);
           }
           locks.unlock_pair(static_cast<std::size_t>(u), static_cast<std::size_t>(v));
         });
@@ -121,8 +139,10 @@ class UnmatchedListMatcher {
         return mate[static_cast<std::size_t>(u)] == kNoVertex<V> &&
                proposal[static_cast<std::size_t>(u)] != kNoVertex<V>;
       });
+      if (c_retries != nullptr) c_retries->add(static_cast<std::int64_t>(unmatched.size()));
     }
 
+    if (c_sweeps != nullptr) c_sweeps->add(result.sweeps);
     result.num_pairs = pairs;
     return result;
   }

@@ -1,0 +1,266 @@
+// Minimal JSON emitter and syntax validator for the run-report writer.
+//
+// The report schema is small and flat enough that a dependency-free
+// streaming writer suffices: containers push/pop an emission stack that
+// inserts commas, keys are escaped, and non-finite doubles (which JSON
+// cannot represent) degrade to null.  The validator is a strict
+// recursive-descent syntax check used by tests and by consumers that
+// want to reject a truncated report before parsing it for real.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace commdet::obs {
+
+/// Streaming JSON writer.  Call sequence is the caller's contract:
+/// inside an object alternate key()/value (or key()/begin_*), inside an
+/// array just emit values.  Misuse shows up as invalid output, which
+/// json_validate (and the tests) catch.
+class JsonWriter {
+ public:
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(out_); }
+
+  void begin_object() {
+    comma();
+    out_ += '{';
+    stack_.push_back(false);
+  }
+  void end_object() {
+    out_ += '}';
+    stack_.pop_back();
+  }
+  void begin_array() {
+    comma();
+    out_ += '[';
+    stack_.push_back(false);
+  }
+  void end_array() {
+    out_ += ']';
+    stack_.pop_back();
+  }
+
+  /// Emits `"name":`; the next emission is its value.
+  void key(std::string_view name) {
+    comma();
+    append_string(name);
+    out_ += ':';
+    pending_value_ = true;
+  }
+
+  void value(std::string_view s) {
+    comma();
+    append_string(s);
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) {
+    comma();
+    out_ += b ? "true" : "false";
+  }
+  void value(std::int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void value(double d) {
+    comma();
+    if (!std::isfinite(d)) {
+      out_ += "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out_ += buf;
+    // %.17g never emits a bare integer-looking token that JSON rejects,
+    // but "1e+06" etc. are all valid JSON numbers already.
+  }
+  void null() {
+    comma();
+    out_ += "null";
+  }
+
+ private:
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;  // value directly after a key: no comma
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) out_ += ',';
+      stack_.back() = true;
+    }
+  }
+
+  void append_string(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;  // per open container: "an element was emitted"
+  bool pending_value_ = false;
+};
+
+namespace detail {
+
+struct JsonCursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+  [[nodiscard]] bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool peek_is(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+};
+
+inline bool validate_value(JsonCursor& c, int depth);
+
+inline bool validate_string(JsonCursor& c) {
+  if (!c.eat('"')) return false;
+  while (c.pos < c.text.size()) {
+    const char ch = c.text[c.pos++];
+    if (ch == '"') return true;
+    if (ch == '\\') {
+      if (c.pos >= c.text.size()) return false;
+      const char esc = c.text[c.pos++];
+      if (esc == 'u') {
+        for (int i = 0; i < 4; ++i) {
+          if (c.pos >= c.text.size() ||
+              !std::isxdigit(static_cast<unsigned char>(c.text[c.pos])))
+            return false;
+          ++c.pos;
+        }
+      } else if (std::string_view("\"\\/bfnrt").find(esc) == std::string_view::npos) {
+        return false;
+      }
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      return false;
+    }
+  }
+  return false;  // unterminated
+}
+
+inline bool validate_number(JsonCursor& c) {
+  const std::size_t start = c.pos;
+  if (c.pos < c.text.size() && c.text[c.pos] == '-') ++c.pos;
+  const std::size_t int_start = c.pos;
+  std::size_t digits = 0;
+  while (c.pos < c.text.size() &&
+         std::isdigit(static_cast<unsigned char>(c.text[c.pos]))) {
+    ++c.pos;
+    ++digits;
+  }
+  if (digits == 0) return false;
+  if (digits > 1 && c.text[int_start] == '0') return false;  // no leading zeros
+  if (c.pos < c.text.size() && c.text[c.pos] == '.') {
+    ++c.pos;
+    std::size_t frac = 0;
+    while (c.pos < c.text.size() &&
+           std::isdigit(static_cast<unsigned char>(c.text[c.pos]))) {
+      ++c.pos;
+      ++frac;
+    }
+    if (frac == 0) return false;
+  }
+  if (c.pos < c.text.size() && (c.text[c.pos] == 'e' || c.text[c.pos] == 'E')) {
+    ++c.pos;
+    if (c.pos < c.text.size() && (c.text[c.pos] == '+' || c.text[c.pos] == '-')) ++c.pos;
+    std::size_t exp = 0;
+    while (c.pos < c.text.size() &&
+           std::isdigit(static_cast<unsigned char>(c.text[c.pos]))) {
+      ++c.pos;
+      ++exp;
+    }
+    if (exp == 0) return false;
+  }
+  return c.pos > start;
+}
+
+inline bool validate_literal(JsonCursor& c, std::string_view lit) {
+  if (c.text.substr(c.pos, lit.size()) != lit) return false;
+  c.pos += lit.size();
+  return true;
+}
+
+inline bool validate_value(JsonCursor& c, int depth) {
+  if (depth > 128) return false;
+  c.skip_ws();
+  if (c.pos >= c.text.size()) return false;
+  const char ch = c.text[c.pos];
+  if (ch == '{') {
+    ++c.pos;
+    if (c.eat('}')) return true;
+    do {
+      c.skip_ws();
+      if (!validate_string(c)) return false;
+      if (!c.eat(':')) return false;
+      if (!validate_value(c, depth + 1)) return false;
+    } while (c.eat(','));
+    return c.eat('}');
+  }
+  if (ch == '[') {
+    ++c.pos;
+    if (c.eat(']')) return true;
+    do {
+      if (!validate_value(c, depth + 1)) return false;
+    } while (c.eat(','));
+    return c.eat(']');
+  }
+  if (ch == '"') return validate_string(c);
+  if (ch == 't') return validate_literal(c, "true");
+  if (ch == 'f') return validate_literal(c, "false");
+  if (ch == 'n') return validate_literal(c, "null");
+  return validate_number(c);
+}
+
+}  // namespace detail
+
+/// Strict syntax check: exactly one JSON value plus trailing whitespace.
+[[nodiscard]] inline bool json_validate(std::string_view text) {
+  detail::JsonCursor c{text};
+  if (!detail::validate_value(c, 0)) return false;
+  c.skip_ws();
+  return c.pos == text.size();
+}
+
+}  // namespace commdet::obs

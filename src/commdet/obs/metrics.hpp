@@ -1,0 +1,194 @@
+// Low-overhead metrics: cache-line-padded per-thread sharded counters
+// and high-water gauges, merged on read.
+//
+// Hot loops (matcher claim arbitration, contraction scatter, scoring)
+// count events by fetch-adding a thread-private shard — no shared cache
+// line, no lock, no serialization.  Reads (report time) sum the shards.
+// When no registry is installed, instrumentation sites hold null Counter
+// pointers and skip the count with one predictable branch, keeping the
+// disabled cost unmeasurable.
+//
+// Usage at an instrumentation site:
+//
+//   obs::Counter* conflicts = obs::counter("match.claim_conflicts");
+//   ... inside the parallel loop ...
+//   if (conflicts) conflicts->add(1);
+//
+// `obs::counter()` resolves the name once per kernel invocation (mutex
+// on the registry map), never per iteration.
+#pragma once
+
+#include <omp.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace commdet::obs {
+
+// A fixed 64 rather than std::hardware_destructive_interference_size:
+// the value is an ABI hazard GCC warns about, and every target we run on
+// uses 64-byte lines.  Padding to 128 would only waste shard memory.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+namespace detail {
+
+struct alignas(kCacheLineBytes) Shard {
+  std::atomic<std::int64_t> value{0};
+};
+
+[[nodiscard]] inline std::size_t shard_count() noexcept {
+  // Power of two >= the thread count so the slot mask is one AND; capped
+  // to bound the memory of a registry with many metrics.
+  std::size_t n = 1;
+  const auto threads = static_cast<std::size_t>(omp_get_max_threads());
+  while (n < threads && n < 256) n <<= 1;
+  return n;
+}
+
+}  // namespace detail
+
+/// Monotonic sharded counter.
+class Counter {
+ public:
+  Counter() : shards_(detail::shard_count()), mask_(shards_.size() - 1) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Concurrency-safe from any thread, including inside OpenMP regions.
+  void add(std::int64_t delta) noexcept {
+    shards_[static_cast<std::size_t>(omp_get_thread_num()) & mask_].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Merged value.  Safe concurrently with add(); the result is a sum of
+  /// per-shard snapshots, exact once writers have quiesced.
+  [[nodiscard]] std::int64_t value() const noexcept {
+    std::int64_t total = 0;
+    for (const auto& s : shards_) total += s.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  std::vector<detail::Shard> shards_;
+  std::size_t mask_;
+};
+
+/// High-water gauge: record() keeps the per-shard maximum, value() merges
+/// by max.  Initial value is 0 (suits sizes, byte counts, RSS).
+class Gauge {
+ public:
+  Gauge() : shards_(detail::shard_count()), mask_(shards_.size() - 1) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void record(std::int64_t v) noexcept {
+    auto& slot = shards_[static_cast<std::size_t>(omp_get_thread_num()) & mask_].value;
+    std::int64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    std::int64_t best = 0;
+    for (const auto& s : shards_) {
+      const std::int64_t v = s.value.load(std::memory_order_relaxed);
+      if (v > best) best = v;
+    }
+    return best;
+  }
+
+ private:
+  std::vector<detail::Shard> shards_;
+  std::size_t mask_;
+};
+
+/// Named metrics for one run.  Creation is mutex-protected and returns
+/// stable references; the hot path never touches the map.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = counters_[std::string(name)];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+  }
+
+  [[nodiscard]] Gauge& gauge(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = gauges_[std::string(name)];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+  }
+
+  /// Merged snapshot of every metric, sorted by name (counters and
+  /// gauges share the namespace; pick distinct names).
+  [[nodiscard]] std::map<std::string, std::int64_t> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, std::int64_t> out;
+    for (const auto& [name, c] : counters_) out[name] = c->value();
+    for (const auto& [name, g] : gauges_) out[name] = g->value();
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+namespace detail {
+
+inline std::atomic<MetricsRegistry*>& metrics_slot() noexcept {
+  static std::atomic<MetricsRegistry*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace detail
+
+/// The installed registry, or nullptr (metrics disabled).
+[[nodiscard]] inline MetricsRegistry* active_metrics() noexcept {
+  return detail::metrics_slot().load(std::memory_order_relaxed);
+}
+
+/// Installs `m` process-wide (nullptr uninstalls); returns the previous.
+inline MetricsRegistry* install_metrics(MetricsRegistry* m) noexcept {
+  return detail::metrics_slot().exchange(m, std::memory_order_release);
+}
+
+/// RAII installation for the duration of a scope.
+class MetricsSession {
+ public:
+  explicit MetricsSession(MetricsRegistry& m) noexcept : previous_(install_metrics(&m)) {}
+  ~MetricsSession() { install_metrics(previous_); }
+  MetricsSession(const MetricsSession&) = delete;
+  MetricsSession& operator=(const MetricsSession&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+/// Resolves a counter against the installed registry; nullptr when
+/// metrics are disabled.  Resolve once per kernel call, not per item.
+[[nodiscard]] inline Counter* counter(std::string_view name) {
+  MetricsRegistry* m = active_metrics();
+  return m != nullptr ? &m->counter(name) : nullptr;
+}
+
+/// Resolves a gauge; nullptr when metrics are disabled.
+[[nodiscard]] inline Gauge* gauge(std::string_view name) {
+  MetricsRegistry* m = active_metrics();
+  return m != nullptr ? &m->gauge(name) : nullptr;
+}
+
+}  // namespace commdet::obs

@@ -1,0 +1,93 @@
+// Resource probes sampled at level boundaries and run edges: RSS
+// high-water (the paper-scale memory question: does uk-2007-05 fit?),
+// page faults, and context switches.
+//
+// Primary source is /proc/self/status (Linux, exact VmHWM); the portable
+// fallback is getrusage(RUSAGE_SELF), available on every POSIX system.
+// On platforms with neither, probes return zeros — callers treat 0 as
+// "not measured" and the report writer still emits the field.
+//
+// These are milliseconds-scale syscalls, not hot-path operations: sample
+// them at level boundaries, guarded by ScopedSpan::active() or an
+// installed metrics registry.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define COMMDET_OBS_HAS_RUSAGE 1
+#endif
+
+namespace commdet::obs {
+
+/// Point-in-time process resource usage.
+struct ResourceSample {
+  std::int64_t max_rss_bytes = 0;       // high-water resident set
+  std::int64_t minor_faults = 0;        // page reclaims (no I/O)
+  std::int64_t major_faults = 0;        // page faults (I/O)
+  std::int64_t voluntary_ctx_switches = 0;
+  std::int64_t involuntary_ctx_switches = 0;
+};
+
+/// RSS high-water in bytes: /proc/self/status VmHWM when available,
+/// otherwise getrusage's ru_maxrss, otherwise 0.
+[[nodiscard]] inline std::int64_t rss_high_water_bytes() noexcept {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    std::int64_t kb = -1;
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      if (std::strncmp(line, "VmHWM:", 6) == 0) {
+        std::sscanf(line + 6, "%lld", reinterpret_cast<long long*>(&kb));
+        break;
+      }
+    }
+    std::fclose(f);
+    if (kb >= 0) return kb * 1024;
+  }
+#endif
+#if defined(COMMDET_OBS_HAS_RUSAGE)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::int64_t>(ru.ru_maxrss);  // bytes on Darwin
+#else
+    return static_cast<std::int64_t>(ru.ru_maxrss) * 1024;  // kilobytes elsewhere
+#endif
+  }
+#endif
+  return 0;
+}
+
+/// Samples the current process counters (zeros where unsupported).
+[[nodiscard]] inline ResourceSample sample_resources() noexcept {
+  ResourceSample s;
+#if defined(COMMDET_OBS_HAS_RUSAGE)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    s.minor_faults = static_cast<std::int64_t>(ru.ru_minflt);
+    s.major_faults = static_cast<std::int64_t>(ru.ru_majflt);
+    s.voluntary_ctx_switches = static_cast<std::int64_t>(ru.ru_nvcsw);
+    s.involuntary_ctx_switches = static_cast<std::int64_t>(ru.ru_nivcsw);
+  }
+#endif
+  s.max_rss_bytes = rss_high_water_bytes();
+  return s;
+}
+
+/// end - begin for the monotone counters; RSS keeps the end high-water.
+[[nodiscard]] inline ResourceSample resource_delta(const ResourceSample& begin,
+                                                   const ResourceSample& end) noexcept {
+  ResourceSample d;
+  d.max_rss_bytes = end.max_rss_bytes;
+  d.minor_faults = end.minor_faults - begin.minor_faults;
+  d.major_faults = end.major_faults - begin.major_faults;
+  d.voluntary_ctx_switches = end.voluntary_ctx_switches - begin.voluntary_ctx_switches;
+  d.involuntary_ctx_switches = end.involuntary_ctx_switches - begin.involuntary_ctx_switches;
+  return d;
+}
+
+}  // namespace commdet::obs

@@ -1,0 +1,443 @@
+// Machine-readable run reports: one versioned JSON document per run
+// carrying the trace, merged metrics, per-level stats, platform info,
+// resource high-waters, and the termination/degradation record — the
+// format the BENCH_*.json trajectory and reproduce_paper.sh consume.
+//
+// Schema (version 1, "commdet-run-report"):
+//
+//   {
+//     "schema": "commdet-run-report",
+//     "schema_version": 1,
+//     "kind": "detection" | "bench",
+//     "threads": <omp max threads>,
+//     "info": { <free-form string pairs: graph name, scorer, flags> },
+//     "platform": { cpu_model, logical_cpus, omp_max_threads, cpu_mhz,
+//                   total_ram_bytes, openmp_version } | null,
+//     "graph": { num_vertices, num_edges, total_weight, self_loop_weight,
+//                min_degree, max_degree, mean_degree, isolated_vertices,
+//                degree_distribution: <distribution> | null } | null,
+//     "result": { num_communities, modularity, coverage, total_seconds,
+//                 num_levels, contraction_fraction, termination, degraded,
+//                 error: {code, phase, detail} | null,
+//                 community_size_distribution: <distribution> | null,
+//                 levels: [ <level> ... ],
+//                 failed_level: <level> | null },
+//     "metrics": { "<name>": <int64>, ... },
+//     "resources": { max_rss_bytes, minor_faults, major_faults,
+//                    voluntary_ctx_switches, involuntary_ctx_switches },
+//     "trace": [ { id, parent, name, start_seconds, end_seconds, threads,
+//                  error, attrs: {..} } ... ],
+//     "rows": [ { series, threads, trial, seconds, values: {..} } ... ]
+//                                // bench reports only; key order in the
+//                                // document is not part of the schema
+//   }
+//
+//   <level>: { level, nv_before, ne_before, positive_edges, max_score,
+//              pairs_matched, match_sweeps, nv_after, ne_after, coverage,
+//              modularity, score_seconds, match_seconds, contract_seconds }
+//   <distribution>: { count, min, max, mean, p50, p90, p99,
+//                     log2_buckets: [..] }
+//
+// Additions within version 1 are backward compatible (new keys only);
+// renames or removals bump schema_version.  obs_test pins the keys.
+#pragma once
+
+#include <omp.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "commdet/core/clustering.hpp"
+#include "commdet/graph/stats.hpp"
+#include "commdet/obs/json.hpp"
+#include "commdet/obs/metrics.hpp"
+#include "commdet/obs/probes.hpp"
+#include "commdet/obs/trace.hpp"
+#include "commdet/platform/platform_info.hpp"
+#include "commdet/robust/error.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet::obs {
+
+inline constexpr std::string_view kRunReportSchema = "commdet-run-report";
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// Optional report sections; null pointers are emitted as JSON null (or
+/// an empty object for metrics/info), so every consumer sees every key.
+struct RunReportInputs {
+  const PlatformInfo* platform = nullptr;
+  const GraphStats* graph = nullptr;
+  const DistributionSummary* degree = nullptr;           // of the input graph
+  const DistributionSummary* community_sizes = nullptr;  // of the final labels
+  const Trace* trace = nullptr;
+  const MetricsRegistry* metrics = nullptr;
+  const ResourceSample* resources = nullptr;
+  std::vector<std::pair<std::string, std::string>> info;  // free-form strings
+};
+
+namespace detail {
+
+inline void write_distribution(JsonWriter& w, const DistributionSummary& d) {
+  w.begin_object();
+  w.key("count");
+  w.value(d.count);
+  w.key("min");
+  w.value(d.min);
+  w.key("max");
+  w.value(d.max);
+  w.key("mean");
+  w.value(d.mean);
+  w.key("p50");
+  w.value(d.p50);
+  w.key("p90");
+  w.value(d.p90);
+  w.key("p99");
+  w.value(d.p99);
+  w.key("log2_buckets");
+  w.begin_array();
+  for (const auto b : d.log2_buckets) w.value(b);
+  w.end_array();
+  w.end_object();
+}
+
+inline void write_level(JsonWriter& w, const LevelStats& l) {
+  w.begin_object();
+  w.key("level");
+  w.value(l.level);
+  w.key("nv_before");
+  w.value(l.nv_before);
+  w.key("ne_before");
+  w.value(static_cast<std::int64_t>(l.ne_before));
+  w.key("positive_edges");
+  w.value(static_cast<std::int64_t>(l.positive_edges));
+  w.key("max_score");
+  w.value(l.max_score);
+  w.key("pairs_matched");
+  w.value(l.pairs_matched);
+  w.key("match_sweeps");
+  w.value(l.match_sweeps);
+  w.key("nv_after");
+  w.value(l.nv_after);
+  w.key("ne_after");
+  w.value(static_cast<std::int64_t>(l.ne_after));
+  w.key("coverage");
+  w.value(l.coverage);
+  w.key("modularity");
+  w.value(l.modularity);
+  w.key("score_seconds");
+  w.value(l.score_seconds);
+  w.key("match_seconds");
+  w.value(l.match_seconds);
+  w.key("contract_seconds");
+  w.value(l.contract_seconds);
+  w.end_object();
+}
+
+inline void write_platform(JsonWriter& w, const PlatformInfo* p) {
+  if (p == nullptr) {
+    w.null();
+    return;
+  }
+  w.begin_object();
+  w.key("cpu_model");
+  w.value(p->cpu_model);
+  w.key("logical_cpus");
+  w.value(p->logical_cpus);
+  w.key("omp_max_threads");
+  w.value(p->omp_max_threads);
+  w.key("cpu_mhz");
+  w.value(p->cpu_mhz);
+  w.key("total_ram_bytes");
+  w.value(p->total_ram_bytes);
+  w.key("openmp_version");
+  w.value(p->openmp_version);
+  w.end_object();
+}
+
+inline void write_resources(JsonWriter& w, const ResourceSample& r) {
+  w.begin_object();
+  w.key("max_rss_bytes");
+  w.value(r.max_rss_bytes);
+  w.key("minor_faults");
+  w.value(r.minor_faults);
+  w.key("major_faults");
+  w.value(r.major_faults);
+  w.key("voluntary_ctx_switches");
+  w.value(r.voluntary_ctx_switches);
+  w.key("involuntary_ctx_switches");
+  w.value(r.involuntary_ctx_switches);
+  w.end_object();
+}
+
+inline void write_trace(JsonWriter& w, const Trace& trace) {
+  w.begin_array();
+  for (const auto& s : trace.spans()) {
+    w.begin_object();
+    w.key("id");
+    w.value(static_cast<std::int64_t>(s.id));
+    w.key("parent");
+    w.value(static_cast<std::int64_t>(s.parent));
+    w.key("name");
+    w.value(s.name);
+    w.key("start_seconds");
+    w.value(s.start_seconds);
+    w.key("end_seconds");
+    w.value(s.end_seconds);
+    w.key("threads");
+    w.value(s.threads);
+    w.key("error");
+    w.value(s.error);
+    w.key("attrs");
+    w.begin_object();
+    for (const auto& a : s.attrs) {
+      w.key(a.key);
+      if (const auto* i = std::get_if<std::int64_t>(&a.value)) {
+        w.value(*i);
+      } else if (const auto* d = std::get_if<double>(&a.value)) {
+        w.value(*d);
+      } else {
+        w.value(std::get<std::string>(a.value));
+      }
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+inline void write_error(JsonWriter& w, const Error& e) {
+  w.begin_object();
+  w.key("code");
+  w.value(to_string(e.code));
+  w.key("phase");
+  w.value(to_string(e.phase));
+  w.key("detail");
+  w.value(e.detail);
+  w.end_object();
+}
+
+/// Shared envelope head: callers continue the open top-level object.
+inline void begin_report(JsonWriter& w, std::string_view kind,
+                         const RunReportInputs& in) {
+  w.begin_object();
+  w.key("schema");
+  w.value(kRunReportSchema);
+  w.key("schema_version");
+  w.value(kRunReportSchemaVersion);
+  w.key("kind");
+  w.value(kind);
+  w.key("threads");
+  w.value(omp_get_max_threads());
+  w.key("info");
+  w.begin_object();
+  for (const auto& [k, v] : in.info) {
+    w.key(k);
+    w.value(v);
+  }
+  w.end_object();
+  w.key("platform");
+  write_platform(w, in.platform);
+}
+
+/// Shared envelope tail: metrics, resources, trace; closes the object.
+inline void end_report(JsonWriter& w, const RunReportInputs& in) {
+  w.key("metrics");
+  w.begin_object();
+  if (in.metrics != nullptr) {
+    for (const auto& [name, value] : in.metrics->snapshot()) {
+      w.key(name);
+      w.value(value);
+    }
+  }
+  w.end_object();
+  w.key("resources");
+  if (in.resources != nullptr) {
+    write_resources(w, *in.resources);
+  } else {
+    const ResourceSample now = sample_resources();
+    write_resources(w, now);
+  }
+  w.key("trace");
+  if (in.trace != nullptr) {
+    write_trace(w, *in.trace);
+  } else {
+    w.begin_array();
+    w.end_array();
+  }
+  w.end_object();
+}
+
+}  // namespace detail
+
+/// Serializes one detection run into the versioned report document.
+template <VertexId V>
+[[nodiscard]] std::string run_report_json(const Clustering<V>& c,
+                                          const RunReportInputs& in = {}) {
+  JsonWriter w;
+  detail::begin_report(w, "detection", in);
+
+  w.key("graph");
+  if (in.graph != nullptr) {
+    w.begin_object();
+    w.key("num_vertices");
+    w.value(in.graph->num_vertices);
+    w.key("num_edges");
+    w.value(in.graph->num_edges);
+    w.key("total_weight");
+    w.value(static_cast<std::int64_t>(in.graph->total_weight));
+    w.key("self_loop_weight");
+    w.value(static_cast<std::int64_t>(in.graph->self_loop_weight));
+    w.key("min_degree");
+    w.value(in.graph->min_degree);
+    w.key("max_degree");
+    w.value(in.graph->max_degree);
+    w.key("mean_degree");
+    w.value(in.graph->mean_degree);
+    w.key("isolated_vertices");
+    w.value(in.graph->isolated_vertices);
+    w.key("degree_distribution");
+    if (in.degree != nullptr) {
+      detail::write_distribution(w, *in.degree);
+    } else {
+      w.null();
+    }
+    w.end_object();
+  } else {
+    w.null();
+  }
+
+  w.key("result");
+  w.begin_object();
+  w.key("num_communities");
+  w.value(c.num_communities);
+  w.key("modularity");
+  w.value(c.final_modularity);
+  w.key("coverage");
+  w.value(c.final_coverage);
+  w.key("total_seconds");
+  w.value(c.total_seconds);
+  w.key("num_levels");
+  w.value(c.num_levels());
+  w.key("contraction_fraction");
+  w.value(c.contraction_fraction());
+  w.key("termination");
+  w.value(to_string(c.reason));
+  w.key("degraded");
+  w.value(is_degraded(c.reason));
+  w.key("error");
+  if (c.error.has_value()) {
+    detail::write_error(w, *c.error);
+  } else {
+    w.null();
+  }
+  w.key("community_size_distribution");
+  if (in.community_sizes != nullptr) {
+    detail::write_distribution(w, *in.community_sizes);
+  } else {
+    w.null();
+  }
+  w.key("levels");
+  w.begin_array();
+  for (const auto& l : c.levels) detail::write_level(w, l);
+  w.end_array();
+  w.key("failed_level");
+  if (c.failed_level.has_value()) {
+    detail::write_level(w, *c.failed_level);
+  } else {
+    w.null();
+  }
+  w.end_object();
+
+  detail::end_report(w, in);
+  return w.take();
+}
+
+/// One benchmark measurement: a (series, threads, trial) point with its
+/// wall time and any extra named values (speedup, modularity, ...).
+struct BenchRow {
+  std::string series;
+  int threads = 0;
+  int trial = 0;
+  double seconds = 0.0;
+  std::vector<std::pair<std::string, double>> values;
+};
+
+/// Serializes a benchmark run into the same versioned envelope as the
+/// detection report ("kind": "bench"); graph/result are null and the
+/// measurements land in "rows".
+[[nodiscard]] inline std::string bench_report_json(const std::vector<BenchRow>& rows,
+                                                   const RunReportInputs& in = {}) {
+  JsonWriter w;
+  detail::begin_report(w, "bench", in);
+  w.key("graph");
+  w.null();
+  w.key("result");
+  w.null();
+  w.key("rows");
+  w.begin_array();
+  for (const auto& r : rows) {
+    w.begin_object();
+    w.key("series");
+    w.value(r.series);
+    w.key("threads");
+    w.value(r.threads);
+    w.key("trial");
+    w.value(r.trial);
+    w.key("seconds");
+    w.value(r.seconds);
+    w.key("values");
+    w.begin_object();
+    for (const auto& [k, v] : r.values) {
+      w.key(k);
+      w.value(v);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  detail::end_report(w, in);
+  return w.take();
+}
+
+/// CSV export of the per-level table (paper Tables 2-3 shape).  Includes
+/// the failed partial level, marked in the final column.
+template <VertexId V>
+[[nodiscard]] std::string levels_csv(const Clustering<V>& c) {
+  std::string out =
+      "level,nv_before,ne_before,positive_edges,max_score,pairs_matched,"
+      "match_sweeps,nv_after,ne_after,coverage,modularity,score_seconds,"
+      "match_seconds,contract_seconds,status\n";
+  char buf[512];
+  const auto row = [&](const LevelStats& l, const char* status) {
+    std::snprintf(buf, sizeof buf,
+                  "%d,%lld,%lld,%lld,%.17g,%lld,%d,%lld,%lld,%.17g,%.17g,"
+                  "%.17g,%.17g,%.17g,%s\n",
+                  l.level, static_cast<long long>(l.nv_before),
+                  static_cast<long long>(l.ne_before),
+                  static_cast<long long>(l.positive_edges), l.max_score,
+                  static_cast<long long>(l.pairs_matched), l.match_sweeps,
+                  static_cast<long long>(l.nv_after),
+                  static_cast<long long>(l.ne_after), l.coverage, l.modularity,
+                  l.score_seconds, l.match_seconds, l.contract_seconds, status);
+    out += buf;
+  };
+  for (const auto& l : c.levels) row(l, "completed");
+  if (c.failed_level.has_value()) row(*c.failed_level, "failed");
+  return out;
+}
+
+/// Writes `content` to `path`, throwing a structured kIoWrite error on
+/// failure (consistent with the io/ layer's contract).
+inline void write_text_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw_error(ErrorCode::kIoWrite, Phase::kUnknown, "cannot create " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) throw_error(ErrorCode::kIoWrite, Phase::kUnknown, "write failed: " + path);
+}
+
+}  // namespace commdet::obs

@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "commdet/graph/csr.hpp"
+#include "commdet/obs/metrics.hpp"
+#include "commdet/obs/trace.hpp"
 #include "commdet/util/parallel.hpp"
 #include "commdet/util/spinlock.hpp"
 #include "commdet/util/types.hpp"
@@ -121,6 +123,11 @@ class Engine {
   /// the superstep cap.  Throws if the cap is hit.
   EngineStats run(const EngineOptions& opts = {}) {
     EngineStats stats;
+    obs::ScopedSpan span("pregel.run");
+    span.attr("nv", nv_);
+    obs::Counter* c_messages = obs::counter("pregel.messages_sent");
+    obs::Counter* c_supersteps = obs::counter("pregel.supersteps");
+    obs::Gauge* g_active = obs::gauge("pregel.max_active_vertices");
 
     parallel_for(nv_, [&](std::int64_t v) {
       program_.init(static_cast<V>(v), values_[static_cast<std::size_t>(v)]);
@@ -153,6 +160,9 @@ class Engine {
       errors.rethrow_if_armed();
       stats.messages_sent += sent;
       ++stats.supersteps;
+      if (c_messages != nullptr) c_messages->add(sent);
+      if (c_supersteps != nullptr) c_supersteps->add(1);
+      if (g_active != nullptr) g_active->record(active);
 
       // Swap inboxes: this superstep's sends become next superstep's mail.
       parallel_for(nv_, [&](std::int64_t v) {
@@ -166,9 +176,14 @@ class Engine {
         const std::int64_t still_active = parallel_count(nv_, [&](std::int64_t v) {
           return halted_[static_cast<std::size_t>(v)] == 0;
         });
-        if (still_active == 0) return stats;
+        if (still_active == 0) {
+          span.attr("supersteps", stats.supersteps);
+          span.attr("messages_sent", stats.messages_sent);
+          return stats;
+        }
       }
     }
+    // The tracing span closes during unwinding and is marked errored.
     throw std::runtime_error("pregel: superstep cap reached without quiescence");
   }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "commdet/graph/community_graph.hpp"
+#include "commdet/obs/metrics.hpp"
 #include "commdet/robust/fault_injection.hpp"
 #include "commdet/score/scorers.hpp"
 #include "commdet/util/parallel.hpp"
@@ -54,6 +55,13 @@ ScoreSummary score_edges(const CommunityGraph<V>& g, const S& scorer,
     });
   }
   errors.rethrow_if_armed();
+
+  // Phase-granularity metrics: the per-edge work is already reduced by
+  // the OpenMP loop above, so one add per call suffices (and costs
+  // nothing when no registry is installed).
+  if (obs::Counter* c = obs::counter("score.edges_scored")) c->add(ne);
+  if (obs::Counter* c = obs::counter("score.positive_edges")) c->add(positive);
+
   return {positive, max_score};
 }
 

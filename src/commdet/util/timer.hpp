@@ -24,12 +24,18 @@ class WallTimer {
 };
 
 /// Adds the scope's wall time into an accumulator on destruction.
+///
+/// Exception-correct: the destructor is noexcept and runs during stack
+/// unwinding, so a phase that throws into the robustness layer's
+/// containment frames still adds its partial duration — the driver
+/// preserves it in Clustering::failed_level.  The accumulator must
+/// outlive the timer (it is written during unwinding).
 class ScopedTimer {
  public:
   explicit ScopedTimer(double& accumulator) noexcept : acc_(accumulator) {}
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
-  ~ScopedTimer() { acc_ += timer_.seconds(); }
+  ~ScopedTimer() noexcept { acc_ += timer_.seconds(); }
 
  private:
   double& acc_;

@@ -1,0 +1,530 @@
+// Observability-layer tests: tracer semantics (nesting, attrs, error
+// marking, zero-sink no-op), sharded metrics (single-threaded semantics
+// and OpenMP merge correctness — the concurrent suites double as the
+// TSan targets wired into scripts/check_sanitizers.sh), resource probes,
+// the JSON writer/validator, and the versioned run-report schema.
+#include <gtest/gtest.h>
+
+#include <omp.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "commdet/core/agglomerate.hpp"
+#include "commdet/gen/simple_graphs.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/stats.hpp"
+#include "commdet/obs/json.hpp"
+#include "commdet/obs/metrics.hpp"
+#include "commdet/obs/probes.hpp"
+#include "commdet/obs/report.hpp"
+#include "commdet/obs/trace.hpp"
+#include "commdet/platform/platform_info.hpp"
+#include "commdet/score/scorers.hpp"
+
+namespace commdet {
+namespace {
+
+using V32 = std::int32_t;
+
+// ---------------------------------------------------------------- tracer
+
+TEST(ObsTrace, DisabledByDefaultAndSpansAreNoops) {
+  ASSERT_EQ(obs::active_trace(), nullptr);
+  obs::ScopedSpan span("orphan");
+  EXPECT_FALSE(span.active());
+  span.attr("k", std::int64_t{1});  // must not crash or allocate a sink
+  span.set_error();
+  span.close();
+}
+
+TEST(ObsTrace, RecordsNestingAttrsAndThreads) {
+  obs::Trace trace;
+  {
+    obs::TraceSession session(trace);
+    obs::ScopedSpan outer("outer");
+    EXPECT_TRUE(outer.active());
+    outer.attr("count", std::int64_t{7});
+    outer.attr("ratio", 0.5);
+    outer.attr("label", "abc");
+    {
+      obs::ScopedSpan inner("inner");
+      obs::ScopedSpan innermost("innermost");
+    }
+    obs::ScopedSpan sibling("sibling");
+  }
+  ASSERT_EQ(obs::active_trace(), nullptr);  // session uninstalled
+
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[2].name, "innermost");
+  EXPECT_EQ(spans[2].parent, spans[1].id);
+  EXPECT_EQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[3].parent, spans[0].id);  // nesting restored after inner closed
+
+  for (const auto& s : spans) {
+    EXPECT_GE(s.end_seconds, s.start_seconds) << s.name;
+    EXPECT_GT(s.threads, 0) << s.name;
+    EXPECT_FALSE(s.error) << s.name;
+  }
+  ASSERT_EQ(spans[0].attrs.size(), 3u);
+  EXPECT_EQ(spans[0].attrs[0].key, "count");
+  EXPECT_EQ(std::get<std::int64_t>(spans[0].attrs[0].value), 7);
+  EXPECT_EQ(std::get<double>(spans[0].attrs[1].value), 0.5);
+  EXPECT_EQ(std::get<std::string>(spans[0].attrs[2].value), "abc");
+}
+
+TEST(ObsTrace, ThrowMarksSpanErrored) {
+  obs::Trace trace;
+  {
+    obs::TraceSession session(trace);
+    try {
+      obs::ScopedSpan span("failing");
+      throw std::runtime_error("boom");
+    } catch (const std::runtime_error&) {
+    }
+    obs::ScopedSpan after("after");
+  }
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_TRUE(spans[0].error);
+  EXPECT_GE(spans[0].end_seconds, spans[0].start_seconds);  // closed during unwind
+  EXPECT_FALSE(spans[1].error);
+  EXPECT_EQ(spans[1].parent, 0u);  // unwinding restored the parent slot
+}
+
+TEST(ObsTrace, ExplicitSetErrorAndIdempotentClose) {
+  obs::Trace trace;
+  obs::TraceSession session(trace);
+  obs::ScopedSpan span("contained");
+  span.set_error();
+  span.close();
+  span.close();  // second close is a no-op
+  span.attr("late", std::int64_t{1});  // attrs after close are dropped
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].error);
+  EXPECT_TRUE(spans[0].attrs.empty());
+}
+
+TEST(ObsTrace, SessionRestoresPreviousSink) {
+  obs::Trace first;
+  obs::Trace second;
+  obs::TraceSession outer(first);
+  {
+    obs::TraceSession inner(second);
+    EXPECT_EQ(obs::active_trace(), &second);
+    obs::ScopedSpan span("into-second");
+  }
+  EXPECT_EQ(obs::active_trace(), &first);
+  obs::ScopedSpan span("into-first");
+  span.close();
+  EXPECT_EQ(second.size(), 1u);
+  EXPECT_EQ(first.size(), 1u);
+}
+
+TEST(ObsTrace, FormatTraceRendersIndentedTree) {
+  obs::Trace trace;
+  {
+    obs::TraceSession session(trace);
+    obs::ScopedSpan outer("outer");
+    obs::ScopedSpan inner("inner");
+    inner.attr("edges", std::int64_t{42});
+  }
+  const std::string text = obs::format_trace(trace);
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  EXPECT_NE(text.find("\n  inner"), std::string::npos);  // child is indented
+  EXPECT_NE(text.find("edges=42"), std::string::npos);
+  EXPECT_NE(text.find("threads="), std::string::npos);
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST(ObsMetrics, CounterAndGaugeSingleThreadSemantics) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("c");
+  EXPECT_EQ(c.value(), 0);
+  c.add(5);
+  c.add(-2);
+  EXPECT_EQ(c.value(), 3);
+
+  obs::Gauge& g = reg.gauge("g");
+  EXPECT_EQ(g.value(), 0);
+  g.record(5);
+  g.record(3);
+  g.record(9);
+  g.record(7);
+  EXPECT_EQ(g.value(), 9);
+}
+
+TEST(ObsMetrics, RegistryReturnsStableReferences) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("same");
+  obs::Counter& b = reg.counter("same");
+  EXPECT_EQ(&a, &b);
+  a.add(1);
+  b.add(1);
+  EXPECT_EQ(reg.counter("same").value(), 2);
+}
+
+TEST(ObsMetrics, SnapshotMergesAllInstruments) {
+  obs::MetricsRegistry reg;
+  reg.counter("alpha").add(10);
+  reg.gauge("beta").record(20);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.at("alpha"), 10);
+  EXPECT_EQ(snap.at("beta"), 20);
+}
+
+TEST(ObsMetrics, FreeFunctionsResolveOnlyWhenInstalled) {
+  EXPECT_EQ(obs::counter("nope"), nullptr);
+  EXPECT_EQ(obs::gauge("nope"), nullptr);
+  obs::MetricsRegistry reg;
+  {
+    obs::MetricsSession session(reg);
+    obs::Counter* c = obs::counter("hits");
+    ASSERT_NE(c, nullptr);
+    c->add(3);
+    obs::Gauge* g = obs::gauge("peak");
+    ASSERT_NE(g, nullptr);
+    g->record(11);
+  }
+  EXPECT_EQ(obs::counter("hits"), nullptr);  // uninstalled again
+  EXPECT_EQ(reg.counter("hits").value(), 3);
+  EXPECT_EQ(reg.gauge("peak").value(), 11);
+}
+
+// Concurrent suites: the sharded counters' correctness under OpenMP and
+// the TSan targets registered in scripts/check_sanitizers.sh.
+TEST(ObsMetricsConcurrent, ShardedCounterMergesAllThreads) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("hot");
+  constexpr std::int64_t kPerThread = 20000;
+  std::int64_t threads = 0;
+#pragma omp parallel
+  {
+#pragma omp single
+    threads = omp_get_num_threads();
+    for (std::int64_t i = 0; i < kPerThread; ++i) c.add(1);
+  }
+  EXPECT_EQ(c.value(), threads * kPerThread);
+}
+
+TEST(ObsMetricsConcurrent, GaugeKeepsGlobalMax) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.gauge("hwm");
+  int threads = 0;
+#pragma omp parallel
+  {
+#pragma omp single
+    threads = omp_get_num_threads();
+    const int tid = omp_get_thread_num();
+    for (int i = 0; i < 1000; ++i) g.record(tid * 1000 + i);
+  }
+  EXPECT_EQ(g.value(), (threads - 1) * 1000 + 999);
+}
+
+TEST(ObsMetricsConcurrent, ConcurrentRegistryLookupsAreSafe) {
+  obs::MetricsRegistry reg;
+  int threads = 0;
+#pragma omp parallel
+  {
+#pragma omp single
+    threads = omp_get_num_threads();
+    // Same-name lookups race on the registry map; each add must land.
+    reg.counter("shared").add(1);
+    reg.counter("t" + std::to_string(omp_get_thread_num())).add(1);
+  }
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.at("shared"), threads);
+  EXPECT_EQ(static_cast<int>(snap.size()), 1 + threads);
+}
+
+// ---------------------------------------------------------------- probes
+
+TEST(ObsProbes, ResourceSamplesAreMonotonic) {
+  const auto begin = obs::sample_resources();
+  // Touch some memory so the counters can only move forward.
+  std::vector<std::int64_t> sink(1 << 16, 1);
+  volatile std::int64_t total = 0;
+  for (const auto v : sink) total = total + v;
+  const auto end = obs::sample_resources();
+  const auto delta = obs::resource_delta(begin, end);
+  EXPECT_GE(delta.minor_faults, 0);
+  EXPECT_GE(delta.major_faults, 0);
+  EXPECT_GE(delta.voluntary_ctx_switches, 0);
+  EXPECT_GE(delta.involuntary_ctx_switches, 0);
+  EXPECT_EQ(delta.max_rss_bytes, end.max_rss_bytes);  // high-water, not a diff
+#if defined(__linux__)
+  EXPECT_GT(obs::rss_high_water_bytes(), 0);
+#endif
+}
+
+// ------------------------------------------------------------------ json
+
+TEST(ObsJson, WriterProducesCompactDocuments) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("a");
+  w.value(std::int64_t{1});
+  w.key("b");
+  w.begin_array();
+  w.value(true);
+  w.value("x");
+  w.null();
+  w.end_array();
+  w.key("c");
+  w.value(2.5);
+  w.end_object();
+  EXPECT_EQ(w.take(), R"({"a":1,"b":[true,"x",null],"c":2.5})");
+}
+
+TEST(ObsJson, WriterEscapesStrings) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("k");
+  w.value(std::string("a\"b\\c\nd\te\x01"));
+  w.end_object();
+  const std::string doc = w.take();
+  EXPECT_EQ(doc, "{\"k\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+  EXPECT_TRUE(obs::json_validate(doc));
+}
+
+TEST(ObsJson, NonFiniteDoublesBecomeNull) {
+  obs::JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(1.0);
+  w.end_array();
+  const std::string doc = w.take();
+  EXPECT_EQ(doc, "[null,null,1]");
+  EXPECT_TRUE(obs::json_validate(doc));
+}
+
+TEST(ObsJson, ValidatorAcceptsWellFormedDocuments) {
+  EXPECT_TRUE(obs::json_validate("{}"));
+  EXPECT_TRUE(obs::json_validate("[]"));
+  EXPECT_TRUE(obs::json_validate("  {\"a\": [1, -2.5e3, true, false, null]} "));
+  EXPECT_TRUE(obs::json_validate("\"just a string\""));
+  EXPECT_TRUE(obs::json_validate("{\"nested\":{\"deep\":[{\"x\":0}]}}"));
+}
+
+TEST(ObsJson, ValidatorRejectsMalformedDocuments) {
+  EXPECT_FALSE(obs::json_validate(""));
+  EXPECT_FALSE(obs::json_validate("{"));
+  EXPECT_FALSE(obs::json_validate("{} extra"));
+  EXPECT_FALSE(obs::json_validate("{\"a\":}"));
+  EXPECT_FALSE(obs::json_validate("{\"a\" 1}"));
+  EXPECT_FALSE(obs::json_validate("[1,]"));
+  EXPECT_FALSE(obs::json_validate("\"unterminated"));
+  EXPECT_FALSE(obs::json_validate("nul"));
+  EXPECT_FALSE(obs::json_validate("01"));
+  EXPECT_FALSE(obs::json_validate("{'a':1}"));
+}
+
+// --------------------------------------------------------- distributions
+
+TEST(ObsDistribution, SummarizesKnownValues) {
+  const std::vector<std::int64_t> values{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto s = summarize_values(std::span<const std::int64_t>(values));
+  EXPECT_EQ(s.count, 10);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 9);
+  EXPECT_DOUBLE_EQ(s.mean, 4.5);
+  EXPECT_EQ(s.p50, 5);
+  EXPECT_EQ(s.p90, 8);
+  EXPECT_EQ(s.p99, 9);
+  // bit widths: {0}->0, {1}->1, {2,3}->2, {4..7}->3, {8,9}->4
+  ASSERT_EQ(s.log2_buckets.size(), 5u);
+  EXPECT_EQ(s.log2_buckets[0], 1);
+  EXPECT_EQ(s.log2_buckets[1], 1);
+  EXPECT_EQ(s.log2_buckets[2], 2);
+  EXPECT_EQ(s.log2_buckets[3], 4);
+  EXPECT_EQ(s.log2_buckets[4], 2);
+}
+
+TEST(ObsDistribution, EmptyInputYieldsZeroSummary) {
+  const auto s = summarize_values({});
+  EXPECT_EQ(s.count, 0);
+  EXPECT_TRUE(s.log2_buckets.empty());
+}
+
+TEST(ObsDistribution, CommunitySizesFromLabels) {
+  const std::vector<V32> labels{0, 0, 0, 1, 1, 2};
+  const auto s =
+      community_size_distribution(std::span<const V32>(labels.data(), labels.size()), 3);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 3);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+}
+
+// --------------------------------------------------------------- reports
+
+/// One observed detection run on a community-rich graph.
+struct ObservedRun {
+  obs::Trace trace;
+  obs::MetricsRegistry metrics;
+  CommunityGraph<V32> graph;
+  Clustering<V32> clustering;
+
+  ObservedRun() {
+    graph = build_community_graph(make_caveman<V32>(64, 8));
+    obs::TraceSession ts(trace);
+    obs::MetricsSession ms(metrics);
+    clustering = agglomerate(CommunityGraph<V32>(graph), ModularityScorer{});
+  }
+};
+
+TEST(ObsReport, InstrumentedRunTracesEveryPhase) {
+  ObservedRun run;
+  ASSERT_FALSE(run.clustering.levels.empty());
+
+  const auto spans = run.trace.spans();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans[0].name, "agglomerate");
+  std::size_t levels = 0, scores = 0, matches = 0, contracts = 0;
+  for (const auto& s : spans) {
+    EXPECT_GE(s.end_seconds, 0.0) << s.name << " left open";
+    EXPECT_FALSE(s.error) << s.name;
+    if (s.name == "level") {
+      ++levels;
+      EXPECT_EQ(s.parent, spans[0].id);
+    } else if (s.name == "score" || s.name == "match" || s.name == "contract") {
+      scores += s.name == "score";
+      matches += s.name == "match";
+      contracts += s.name == "contract";
+      // Phases hang off a level span, never the root.
+      const auto& parent = spans[s.parent - 1];
+      EXPECT_EQ(parent.name, "level");
+    }
+  }
+  // Every completed level scored, matched, and contracted exactly once;
+  // a trailing local-maximum probe may add one extra score span.
+  const auto completed = run.clustering.levels.size();
+  EXPECT_GE(levels, completed);
+  EXPECT_GE(scores, completed);
+  EXPECT_EQ(matches, contracts);
+
+  const auto snap = run.metrics.snapshot();
+  EXPECT_GT(snap.at("score.edges_scored"), 0);
+  EXPECT_GT(snap.at("match.proposals"), 0);
+  EXPECT_GT(snap.at("contract.edges_in"), 0);
+  ASSERT_TRUE(snap.contains("agglomerate.rss_hwm_bytes"));
+}
+
+TEST(ObsReport, DetectionReportValidatesAndCarriesSchema) {
+  ObservedRun run;
+  const auto platform = detect_platform();
+  const auto stats = graph_stats(run.graph);
+  const auto degree = degree_distribution(run.graph);
+  const auto sizes = community_size_distribution(
+      std::span<const V32>(run.clustering.community.data(),
+                           run.clustering.community.size()),
+      run.clustering.num_communities);
+  const auto resources = obs::sample_resources();
+
+  obs::RunReportInputs in;
+  in.platform = &platform;
+  in.graph = &stats;
+  in.degree = &degree;
+  in.community_sizes = &sizes;
+  in.trace = &run.trace;
+  in.metrics = &run.metrics;
+  in.resources = &resources;
+  in.info = {{"graph", "caveman-64x8"}, {"scorer", "modularity"}};
+
+  const std::string doc = obs::run_report_json(run.clustering, in);
+  ASSERT_TRUE(obs::json_validate(doc)) << doc;
+
+  // Schema-pinning: renaming any of these keys requires a version bump.
+  for (const char* key :
+       {"\"schema\":\"commdet-run-report\"", "\"schema_version\":1",
+        "\"kind\":\"detection\"", "\"threads\":", "\"info\":", "\"platform\":",
+        "\"graph\":", "\"num_vertices\":", "\"degree_distribution\":",
+        "\"result\":", "\"num_communities\":", "\"modularity\":", "\"coverage\":",
+        "\"termination\":", "\"degraded\":false", "\"error\":null",
+        "\"community_size_distribution\":", "\"levels\":", "\"failed_level\":null",
+        "\"metrics\":", "\"score.edges_scored\":", "\"resources\":",
+        "\"max_rss_bytes\":", "\"trace\":", "\"name\":\"agglomerate\"",
+        "\"log2_buckets\":"}) {
+    EXPECT_NE(doc.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(ObsReport, MinimalReportStillValidates) {
+  ObservedRun run;
+  const std::string doc = obs::run_report_json(run.clustering);
+  ASSERT_TRUE(obs::json_validate(doc)) << doc;
+  EXPECT_NE(doc.find("\"platform\":null"), std::string::npos);
+  EXPECT_NE(doc.find("\"graph\":null"), std::string::npos);
+  EXPECT_NE(doc.find("\"trace\":[]"), std::string::npos);
+}
+
+TEST(ObsReport, BenchReportSharesTheEnvelope) {
+  std::vector<obs::BenchRow> rows;
+  rows.push_back({"rmat-17-8", 4, 0, 1.25, {{"modularity", 0.5}}});
+  rows.push_back({"rmat-17-8", 4, 1, 1.5, {}});
+  obs::RunReportInputs in;
+  in.info = {{"tool", "bench_fig1_time"}};
+  const std::string doc = obs::bench_report_json(rows, in);
+  ASSERT_TRUE(obs::json_validate(doc)) << doc;
+  for (const char* key :
+       {"\"schema\":\"commdet-run-report\"", "\"schema_version\":1",
+        "\"kind\":\"bench\"", "\"graph\":null", "\"result\":null", "\"rows\":",
+        "\"series\":\"rmat-17-8\"", "\"threads\":4", "\"trial\":1",
+        "\"modularity\":0.5", "\"metrics\":{}", "\"resources\":"}) {
+    EXPECT_NE(doc.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(ObsReport, LevelsCsvHeaderIsPinned) {
+  ObservedRun run;
+  const std::string csv = obs::levels_csv(run.clustering);
+  const auto first_newline = csv.find('\n');
+  ASSERT_NE(first_newline, std::string::npos);
+  EXPECT_EQ(csv.substr(0, first_newline),
+            "level,nv_before,ne_before,positive_edges,max_score,pairs_matched,"
+            "match_sweeps,nv_after,ne_after,coverage,modularity,score_seconds,"
+            "match_seconds,contract_seconds,status");
+  // One row per completed level, each marked completed.
+  std::size_t data_rows = 0;
+  for (auto pos = first_newline; pos != std::string::npos && pos + 1 < csv.size();
+       pos = csv.find('\n', pos + 1))
+    ++data_rows;
+  EXPECT_EQ(data_rows, run.clustering.levels.size());
+  EXPECT_NE(csv.find(",completed\n"), std::string::npos);
+  EXPECT_EQ(csv.find(",failed\n"), std::string::npos);
+}
+
+TEST(ObsReport, WriteTextFileRoundTripsAndReportsFailure) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("commdet_obs_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "report.json").string();
+  obs::write_text_file(path, "{\"ok\":true}");
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "{\"ok\":true}");
+  std::filesystem::remove_all(dir);
+
+  EXPECT_THROW(obs::write_text_file((dir / "missing" / "x.json").string(), "{}"),
+               CommdetError);
+}
+
+}  // namespace
+}  // namespace commdet

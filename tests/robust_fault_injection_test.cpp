@@ -21,6 +21,7 @@
 #include "commdet/io/edge_list_text.hpp"
 #include "commdet/io/matrix_market.hpp"
 #include "commdet/io/metis.hpp"
+#include "commdet/obs/trace.hpp"
 #include "commdet/robust/fault_injection.hpp"
 #include "commdet/robust/sanitize.hpp"
 #include "commdet/score/scorers.hpp"
@@ -85,6 +86,44 @@ TEST(FaultInjection, MatchFailureIsContainedToo) {
   ASSERT_TRUE(result.error.has_value());
   EXPECT_EQ(result.error->phase, Phase::kMatch);
   EXPECT_EQ(result.num_communities, 2048);
+}
+
+TEST(FaultInjection, FailedLevelPreservesPartialPhaseTimings) {
+  // ScopedTimer accumulates on unwinding, so the partial stats of the
+  // level the fault interrupted keep the timings of the phases that ran:
+  // score completed, and the match phase's time up to the throw.
+  const auto el = generate_planted_partition<V32>(small_partition());
+  fault::ScopedFault f(fault::kMatch, 2);
+  const auto result = agglomerate(el, ModularityScorer{});
+  EXPECT_EQ(result.reason, TerminationReason::kContainedError);
+  ASSERT_EQ(result.levels.size(), 1u);
+  ASSERT_TRUE(result.failed_level.has_value());
+  EXPECT_EQ(result.failed_level->level, 2);
+  EXPECT_GT(result.failed_level->score_seconds, 0.0);
+  EXPECT_GT(result.failed_level->match_seconds, 0.0);
+  EXPECT_EQ(result.failed_level->contract_seconds, 0.0);  // never started
+}
+
+TEST(FaultInjection, ContainedFaultMarksTraceSpansErrored) {
+  // The observability tie-in: a contained failure leaves an errored
+  // level span (and its closed phase spans) in the installed trace.
+  const auto el = generate_planted_partition<V32>(small_partition());
+  obs::Trace trace;
+  {
+    obs::TraceSession session(trace);
+    fault::ScopedFault f(fault::kMatch, 2);
+    const auto result = agglomerate(el, ModularityScorer{});
+    EXPECT_EQ(result.reason, TerminationReason::kContainedError);
+  }
+  bool level_errored = false;
+  bool match_errored = false;
+  for (const auto& s : trace.spans()) {
+    EXPECT_GE(s.end_seconds, 0.0) << s.name << " left open";
+    level_errored = level_errored || (s.name == "level" && s.error);
+    match_errored = match_errored || (s.name == "match" && s.error);
+  }
+  EXPECT_TRUE(level_errored);
+  EXPECT_TRUE(match_errored);
 }
 
 TEST(FaultInjection, ExhaustedDeadlineStillYieldsBestSoFar) {
