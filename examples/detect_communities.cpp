@@ -17,13 +17,26 @@
 //   --max-seconds / --max-memory-mb / --max-stalled-levels / --grace-levels
 //                       run budget: degrade to the best clustering so far
 //                       instead of running without bound
+//   --checkpoint-dir <dir>   crash-safe checkpointing: snapshot the
+//                       resumable state into <dir> at level boundaries
+//                       (and on budget exhaustion or SIGINT/SIGTERM)
+//   --checkpoint-every <k>   checkpoint cadence in levels (default 1)
+//   --checkpoint-keep <k>    generations retained (default 2)
+//   --resume            continue from the newest valid checkpoint in
+//                       --checkpoint-dir (falls back to a fresh run when
+//                       none exists); pass the same detection flags
 //   --report <file>     machine-readable JSON run report (schema
 //                       "commdet-run-report" v1: trace, metrics, levels,
-//                       platform, resources)
+//                       platform, resources, checkpoint provenance)
 //   --report-csv <file> per-level CSV table
 //   --trace             print the span tree to stderr after the run
+//
+// Exit codes: 0 success (including degraded-but-returned runs), 2 usage,
+// 1 unstructured exception, and exit_code_for() categories (3..9) for
+// structured errors — which are also printed to stderr as one JSON line.
 #include <omp.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,11 +55,14 @@
 #include "commdet/io/edge_list_text.hpp"
 #include "commdet/io/matrix_market.hpp"
 #include "commdet/io/metis.hpp"
+#include "commdet/obs/json.hpp"
 #include "commdet/obs/metrics.hpp"
 #include "commdet/obs/probes.hpp"
 #include "commdet/obs/report.hpp"
 #include "commdet/obs/trace.hpp"
 #include "commdet/platform/platform_info.hpp"
+#include "commdet/robust/checkpoint.hpp"
+#include "commdet/util/rng.hpp"
 
 namespace {
 
@@ -71,8 +87,39 @@ commdet::EdgeList<V> load(const std::string& path) {
                "       [--refine flat|vcycle] [--gamma g] [--threads t] [--out file]\n"
                "       [--largest-component] [--max-seconds s] [--max-memory-mb m]\n"
                "       [--max-stalled-levels k] [--grace-levels k]\n"
+               "       [--checkpoint-dir d] [--checkpoint-every k] [--checkpoint-keep k]\n"
+               "       [--resume]\n"
                "       [--report file.json] [--report-csv file.csv] [--trace]\n");
   std::exit(2);
+}
+
+/// First SIGINT/SIGTERM requests a cooperative stop (the driver
+/// checkpoints and returns best-so-far); restoring the default action
+/// means a second signal kills the process the normal way.
+extern "C" void on_stop_signal(int sig) {
+  commdet::request_interrupt();
+  std::signal(sig, SIG_DFL);
+}
+
+/// Emits a structured error to stderr as one JSON line and returns the
+/// category exit code, so supervisors can branch on $? or parse stderr.
+int report_structured_error(const commdet::Error& err, int exit_code) {
+  commdet::obs::JsonWriter w;
+  w.begin_object();
+  w.key("error");
+  w.begin_object();
+  w.key("code");
+  w.value(commdet::to_string(err.code));
+  w.key("phase");
+  w.value(commdet::to_string(err.phase));
+  w.key("detail");
+  w.value(err.detail);
+  w.key("exit_code");
+  w.value(exit_code);
+  w.end_object();
+  w.end_object();
+  std::fprintf(stderr, "%s\n", w.take().c_str());
+  return exit_code;
 }
 
 }  // namespace
@@ -86,6 +133,7 @@ int main(int argc, char** argv) {
   std::string report_csv_path;
   bool print_trace = false;
   bool use_largest_component = false;
+  bool resume = false;
   commdet::DetectOptions dopts;
   commdet::AgglomerationOptions& opts = dopts.agglomeration;
 
@@ -136,6 +184,14 @@ int main(int argc, char** argv) {
       opts.budget.max_stalled_levels = std::stoi(next());
     } else if (arg == "--grace-levels") {
       opts.budget.grace_levels = std::stoi(next());
+    } else if (arg == "--checkpoint-dir") {
+      opts.checkpoint.directory = next();
+    } else if (arg == "--checkpoint-every") {
+      opts.checkpoint.every_levels = std::stoi(next());
+    } else if (arg == "--checkpoint-keep") {
+      opts.checkpoint.keep_generations = std::stoi(next());
+    } else if (arg == "--resume") {
+      resume = true;
     } else if (arg == "--report") {
       report_path = next();
     } else if (arg == "--report-csv") {
@@ -145,6 +201,10 @@ int main(int argc, char** argv) {
     } else {
       usage();
     }
+  }
+  if (resume && !opts.checkpoint.enabled()) {
+    std::fprintf(stderr, "error: --resume requires --checkpoint-dir\n");
+    return 2;
   }
 
   // Observability is opt-in: with no report/trace flag the sinks stay
@@ -175,7 +235,37 @@ int main(int argc, char** argv) {
     else if (metric == "heavy") dopts.scorer = commdet::ScorerKind::kHeavyEdge;
     else if (metric == "resolution") dopts.scorer = commdet::ScorerKind::kResolutionModularity;
     else usage();
-    const commdet::Clustering<V> result = commdet::detect_communities(g, dopts);
+
+    if (opts.checkpoint.enabled()) {
+      // Fold the input graph's identity into the configuration
+      // fingerprint so a checkpoint cannot silently resume against a
+      // different graph, and arm cooperative shutdown: the first
+      // SIGINT/SIGTERM checkpoints and exits cleanly with the report.
+      std::uint64_t salt = commdet::mix64(0x636c69636b707473ULL ^
+                                          static_cast<std::uint64_t>(stats.num_vertices));
+      salt = commdet::mix64(salt ^ static_cast<std::uint64_t>(stats.num_edges));
+      salt = commdet::mix64(salt ^ static_cast<std::uint64_t>(stats.total_weight));
+      opts.checkpoint.config_salt = salt;
+      std::signal(SIGINT, on_stop_signal);
+      std::signal(SIGTERM, on_stop_signal);
+    }
+
+    commdet::Clustering<V> result;
+    if (resume) {
+      auto ckpt = commdet::load_latest_checkpoint<V>(opts.checkpoint.directory);
+      if (ckpt.has_value()) {
+        std::printf("resuming from %s (level %d, %.3fs of prior work)\n",
+                    ckpt->source_path.c_str(), ckpt->next_level, ckpt->elapsed_seconds);
+        result = commdet::resume_detect(g, std::move(*ckpt), dopts);
+      } else {
+        std::fprintf(stderr,
+                     "warning: no valid checkpoint in %s; starting a fresh run\n",
+                     opts.checkpoint.directory.c_str());
+        result = commdet::detect_communities(g, dopts);
+      }
+    } else {
+      result = commdet::detect_communities(g, dopts);
+    }
 
     std::printf("communities: %lld   modularity: %.4f   coverage: %.4f\n",
                 static_cast<long long>(result.num_communities), result.final_modularity,
@@ -187,6 +277,10 @@ int main(int argc, char** argv) {
     if (commdet::is_degraded(result.reason) && result.error)
       std::printf("degraded run (best clustering so far returned): %s\n",
                   result.error->message().c_str());
+    if (result.checkpoint.has_value() && result.checkpoint->last_generation >= 0)
+      std::printf("checkpoint: generation %lld in %s (resume with --resume)\n",
+                  static_cast<long long>(result.checkpoint->last_generation),
+                  result.checkpoint->directory.c_str());
     for (const auto& l : result.levels)
       std::printf("  level %2d: %9lld -> %9lld communities, %9lld edges, "
                   "coverage %.3f, modularity %.4f\n",
@@ -221,6 +315,8 @@ int main(int argc, char** argv) {
       inputs.info = {{"tool", "detect_communities"},
                      {"input", path},
                      {"metric", metric}};
+      if (opts.checkpoint.enabled())
+        inputs.info.emplace_back("checkpoint_dir", opts.checkpoint.directory);
       commdet::obs::write_text_file(report_path,
                                     commdet::obs::run_report_json(result, inputs));
       std::printf("run report written to %s\n", report_path.c_str());
@@ -231,9 +327,11 @@ int main(int argc, char** argv) {
     }
     if (print_trace)
       std::fprintf(stderr, "%s", commdet::obs::format_trace(trace).c_str());
+  } catch (const commdet::CommdetError& e) {
+    return report_structured_error(e.error(), commdet::exit_code_for(e.code()));
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return report_structured_error(
+        commdet::Error{commdet::ErrorCode::kInternal, commdet::Phase::kUnknown, e.what()}, 1);
   }
   return 0;
 }

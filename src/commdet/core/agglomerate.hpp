@@ -8,6 +8,12 @@
 // Each step is one parallel primitive; the driver adds constraint
 // filtering (maximum community size), the original-vertex -> community
 // map, and per-level telemetry.
+//
+// The driver is restartable: with AgglomerationOptions::checkpoint set,
+// the resumable state is snapshotted at level boundaries (and on budget
+// exhaustion or interrupt), and resume_agglomerate() continues a run
+// from its newest valid checkpoint with the same trajectory an
+// uninterrupted run would have taken.
 #pragma once
 
 #include <atomic>
@@ -30,6 +36,7 @@
 #include "commdet/obs/probes.hpp"
 #include "commdet/obs/trace.hpp"
 #include "commdet/robust/budget.hpp"
+#include "commdet/robust/checkpoint.hpp"
 #include "commdet/robust/error.hpp"
 #include "commdet/robust/fault_injection.hpp"
 #include "commdet/score/score_edges.hpp"
@@ -46,6 +53,7 @@ namespace detail {
     case ErrorCode::kDeadlineExceeded: return TerminationReason::kDeadline;
     case ErrorCode::kMemoryBudget: return TerminationReason::kMemoryBudget;
     case ErrorCode::kStalled: return TerminationReason::kStalled;
+    case ErrorCode::kInterrupted: return TerminationReason::kInterrupted;
     default: return TerminationReason::kContainedError;
   }
 }
@@ -99,12 +107,14 @@ template <VertexId V>
   return static_cast<double>(inside) / static_cast<double>(g.total_weight);
 }
 
-}  // namespace detail
-
-/// Runs agglomerative community detection on a community graph (consumed).
+/// The level loop, shared by fresh and resumed runs.  `resume` seats
+/// the loop at a checkpoint's level boundary: `g` is the restored
+/// community graph and the maps/history/elapsed time come from the
+/// checkpoint (moved out of it).
 template <VertexId V, EdgeScorer S>
-[[nodiscard]] Clustering<V> agglomerate(CommunityGraph<V> g, const S& scorer,
-                                        const AgglomerationOptions& opts = {}) {
+[[nodiscard]] Clustering<V> agglomerate_impl(CommunityGraph<V> g, const S& scorer,
+                                             const AgglomerationOptions& opts,
+                                             CheckpointState<V>* resume) {
   WallTimer total_timer;
   obs::ScopedSpan run_span("agglomerate");
   run_span.attr("nv", static_cast<std::int64_t>(g.nv));
@@ -113,45 +123,123 @@ template <VertexId V, EdgeScorer S>
   run_span.attr("contractor", to_string(opts.contractor));
   obs::Gauge* rss_gauge = obs::gauge("agglomerate.rss_hwm_bytes");
   Clustering<V> result;
-  const auto original_nv = static_cast<std::int64_t>(g.nv);
-  result.community.resize(static_cast<std::size_t>(original_nv));
-  std::iota(result.community.begin(), result.community.end(), V{0});
-  result.num_communities = original_nv;
+  const std::int64_t original_nv =
+      resume != nullptr ? resume->original_nv : static_cast<std::int64_t>(g.nv);
+  if (resume != nullptr) {
+    result.community = std::move(resume->community);
+    result.levels = std::move(resume->levels);
+    result.hierarchy = std::move(resume->hierarchy);
+  } else {
+    result.community.resize(static_cast<std::size_t>(original_nv));
+    std::iota(result.community.begin(), result.community.end(), V{0});
+  }
+  result.num_communities = static_cast<std::int64_t>(g.nv);
   result.final_modularity = detail::partition_modularity(g);
   result.final_coverage = detail::partition_coverage(g);
 
   // Original-vertex counts per community, for the max-size constraint.
   std::vector<std::int64_t> vertex_count;
-  if (opts.max_community_size > 0)
-    vertex_count.assign(static_cast<std::size_t>(g.nv), 1);
+  if (opts.max_community_size > 0) {
+    if (resume != nullptr && !resume->vertex_count.empty())
+      vertex_count = std::move(resume->vertex_count);
+    else
+      vertex_count.assign(static_cast<std::size_t>(g.nv), 1);
+  }
 
   // Budget tracking: checked at level boundaries and between phases.
   // On exhaustion — or a contained per-level failure — the loop stops
   // and `result` keeps the best clustering completed so far, tagged
   // with the degradation reason (graceful degradation, never a crash).
-  BudgetTracker budget(opts.budget);
+  // A resumed run seats the tracker at the checkpoint's accumulated
+  // elapsed time, so budgets cover the whole logical run.
+  const double base_elapsed = resume != nullptr ? resume->elapsed_seconds : 0.0;
+  BudgetTracker budget(opts.budget, base_elapsed);
   const bool budgeted = opts.budget.limited();
-  int completed_levels = 0;
+  int completed_levels = static_cast<int>(result.levels.size());
+  const int start_level = resume != nullptr ? resume->next_level : 1;
+  int last_completed_level = start_level - 1;
   const auto degrade = [&](Error e) {
     result.reason = detail::termination_for(e.code);
     result.error = std::move(e);
   };
 
+  // Checkpoint machinery.  Snapshot writes are contained: a failing
+  // checkpoint is counted and the (healthy) run keeps going.
+  const bool ckpt_enabled = opts.checkpoint.enabled();
+  const std::uint64_t fingerprint =
+      ckpt_enabled || resume != nullptr ? options_fingerprint(opts) : 0;
+  if (ckpt_enabled || resume != nullptr) {
+    CheckpointProvenance prov;
+    prov.directory = opts.checkpoint.directory;
+    if (resume != nullptr) {
+      prov.resumed_from = resume->source_path;
+      prov.resumed_generation = resume->source_generation;
+      prov.resumed_level = start_level;
+      prov.resumed_elapsed_seconds = base_elapsed;
+    }
+    result.checkpoint = std::move(prov);
+    run_span.attr("resumed", resume != nullptr ? 1 : 0);
+  }
+  obs::Counter* ckpt_write_counter = ckpt_enabled ? obs::counter("checkpoint.writes") : nullptr;
+  obs::Counter* ckpt_bytes_counter = ckpt_enabled ? obs::counter("checkpoint.bytes") : nullptr;
+  const auto save_checkpoint_now = [&](int next_level) -> bool {
+    if (!ckpt_enabled) return false;
+    obs::ScopedSpan span("checkpoint");
+    span.attr("next_level", next_level);
+    try {
+      CheckpointView<V> view;
+      view.config_fingerprint = fingerprint;
+      view.original_nv = original_nv;
+      view.next_level = next_level;
+      view.elapsed_seconds = base_elapsed + total_timer.seconds();
+      view.graph = &g;
+      view.community = &result.community;
+      view.vertex_count = vertex_count.empty() ? nullptr : &vertex_count;
+      view.levels = &result.levels;
+      view.hierarchy = opts.track_hierarchy ? &result.hierarchy : nullptr;
+      const std::int64_t generation =
+          save_checkpoint(opts.checkpoint.directory, view, opts.checkpoint.keep_generations);
+      result.checkpoint->last_generation = generation;
+      ++result.checkpoint->checkpoints_written;
+      if (ckpt_write_counter != nullptr) ckpt_write_counter->add(1);
+      span.attr("generation", generation);
+      return true;
+    } catch (const std::exception& e) {
+      // A failing snapshot must not take down a healthy run: record it
+      // and continue without checkpoint coverage for this boundary.
+      ++result.checkpoint->checkpoint_failures;
+      span.set_error();
+      span.attr("error", e.what());
+      if (obs::Counter* f = obs::counter("checkpoint.failures")) f->add(1);
+      return false;
+    }
+  };
+  (void)ckpt_bytes_counter;
+
+  // Stop checks shared by the level boundary and the between-phase
+  // points: cooperative interrupt first (a signal handler set the
+  // flag), then the budget.
+  const auto check_stop = [&](bool check_memory) -> std::optional<Error> {
+    if (interrupt_requested())
+      return Error{ErrorCode::kInterrupted, Phase::kDriver,
+                   "interrupt requested (SIGINT/SIGTERM)"};
+    if (!budgeted) return std::nullopt;
+    if (auto violation = budget.check_deadline(completed_levels)) return violation;
+    if (check_memory)
+      if (auto violation = budget.check_memory(estimate_working_set_bytes(g), completed_levels))
+        return violation;
+    return std::nullopt;
+  };
+
   std::vector<Score> scores;
-  for (int level = 1;; ++level) {
+  for (int level = start_level;; ++level) {
     if (opts.max_levels > 0 && level > opts.max_levels) {
       result.reason = TerminationReason::kLevelCap;
       break;
     }
-    if (budgeted) {
-      if (auto violation = budget.check_deadline(completed_levels)) {
-        degrade(std::move(*violation));
-        break;
-      }
-      if (auto violation = budget.check_memory(estimate_working_set_bytes(g), completed_levels)) {
-        degrade(std::move(*violation));
-        break;
-      }
+    if (auto violation = check_stop(/*check_memory=*/true)) {
+      degrade(std::move(*violation));
+      break;
     }
 
     LevelStats stats;
@@ -199,11 +287,9 @@ template <VertexId V, EdgeScorer S>
         result.reason = TerminationReason::kLocalMaximum;
         break;
       }
-      if (budgeted) {
-        if (auto violation = budget.check_deadline(completed_levels)) {
-          degrade(std::move(*violation));
-          break;
-        }
+      if (auto violation = check_stop(/*check_memory=*/false)) {
+        degrade(std::move(*violation));
+        break;
       }
 
       // Step 2: match.
@@ -222,11 +308,9 @@ template <VertexId V, EdgeScorer S>
         result.reason = TerminationReason::kNoMatches;
         break;
       }
-      if (budgeted) {
-        if (auto violation = budget.check_deadline(completed_levels)) {
-          degrade(std::move(*violation));
-          break;
-        }
+      if (auto violation = check_stop(/*check_memory=*/false)) {
+        degrade(std::move(*violation));
+        break;
       }
 
       // Step 3: contract.
@@ -294,6 +378,7 @@ template <VertexId V, EdgeScorer S>
 
     result.levels.push_back(stats);
     ++completed_levels;
+    last_completed_level = level;
     result.num_communities = static_cast<std::int64_t>(g.nv);
     result.final_coverage = stats.coverage;
     result.final_modularity = stats.modularity;
@@ -312,13 +397,40 @@ template <VertexId V, EdgeScorer S>
         break;
       }
     }
+
+    // Level boundary reached with the run still going: checkpoint on
+    // the configured cadence.
+    if (ckpt_enabled && opts.checkpoint.every_levels > 0 &&
+        completed_levels % opts.checkpoint.every_levels == 0)
+      (void)save_checkpoint_now(level + 1);
   }
 
-  result.total_seconds = total_timer.seconds();
+  // A degraded stop hands its state to the next invocation: one final
+  // checkpoint at the last completed level boundary.  Budget and
+  // interrupt stops become kCheckpointed (the run is explicitly
+  // resumable); a contained error keeps its diagnostic reason but is
+  // checkpointed all the same.
+  if (ckpt_enabled && opts.checkpoint.on_exhaustion && is_degraded(result.reason)) {
+    const bool saved = save_checkpoint_now(last_completed_level + 1);
+    if (saved && result.reason != TerminationReason::kContainedError)
+      result.reason = TerminationReason::kCheckpointed;
+  }
+
+  result.total_seconds = base_elapsed + total_timer.seconds();
   run_span.attr("levels", static_cast<std::int64_t>(result.levels.size()));
   run_span.attr("termination", to_string(result.reason));
   if (run_span.active()) run_span.attr("rss_hwm_bytes", obs::rss_high_water_bytes());
   return result;
+}
+
+}  // namespace detail
+
+/// Runs agglomerative community detection on a community graph (consumed).
+template <VertexId V, EdgeScorer S>
+[[nodiscard]] Clustering<V> agglomerate(CommunityGraph<V> g, const S& scorer,
+                                        const AgglomerationOptions& opts = {}) {
+  return detail::agglomerate_impl(std::move(g), scorer, opts,
+                                  static_cast<CheckpointState<V>*>(nullptr));
 }
 
 /// Convenience overload: builds the community graph from a raw edge list.
@@ -326,6 +438,26 @@ template <VertexId V, EdgeScorer S>
 [[nodiscard]] Clustering<V> agglomerate(const EdgeList<V>& edges, const S& scorer,
                                         const AgglomerationOptions& opts = {}) {
   return agglomerate(build_community_graph(edges), scorer, opts);
+}
+
+/// Continues an interrupted run from a checkpoint (consumed).  The
+/// options must describe the same trajectory the checkpoint was written
+/// under — matcher, contractor, constraints, and the caller's
+/// config_salt are folded into a fingerprint and a mismatch is refused
+/// with ErrorCode::kCheckpointMismatch.  Budget and checkpoint-cadence
+/// fields may differ (a resume typically raises the deadline).
+template <VertexId V, EdgeScorer S>
+[[nodiscard]] Clustering<V> resume_agglomerate(CheckpointState<V> ckpt, const S& scorer,
+                                               const AgglomerationOptions& opts = {}) {
+  const std::uint64_t fingerprint = options_fingerprint(opts);
+  if (fingerprint != ckpt.config_fingerprint)
+    throw_error(ErrorCode::kCheckpointMismatch, Phase::kDriver,
+                "checkpoint was written under a different configuration "
+                "(matcher/contractor/constraints/scorer); refusing to resume" +
+                    (ckpt.source_path.empty() ? std::string()
+                                              : " from " + ckpt.source_path));
+  CommunityGraph<V> g = std::move(ckpt.graph);
+  return detail::agglomerate_impl(std::move(g), scorer, opts, &ckpt);
 }
 
 }  // namespace commdet

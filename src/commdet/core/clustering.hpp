@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "commdet/core/options.hpp"
@@ -33,6 +34,20 @@ struct LevelStats {
   double contract_seconds = 0.0;
 };
 
+/// Checkpoint/resume provenance of one driver invocation, surfaced in
+/// the run report so supervisors can tell a fresh run from a resumed
+/// one and find the newest generation to resume from.
+struct CheckpointProvenance {
+  std::string directory;              // CheckpointOptions::directory
+  std::int64_t last_generation = -1;  // newest generation this run wrote
+  int checkpoints_written = 0;        // successful snapshot commits
+  int checkpoint_failures = 0;        // contained write failures (run kept going)
+  std::string resumed_from;           // loaded generation's path; "" = fresh run
+  std::int64_t resumed_generation = -1;
+  int resumed_level = 0;              // first level executed by this invocation
+  double resumed_elapsed_seconds = 0.0;  // work time inherited from prior runs
+};
+
 template <VertexId V>
 struct Clustering {
   /// Community of each original vertex; labels dense in
@@ -45,6 +60,9 @@ struct Clustering {
   /// reason): the structured record of what stopped it.  The clustering
   /// itself is still the valid best-so-far result.
   std::optional<Error> error;
+
+  /// Present when checkpointing was enabled or the run was resumed.
+  std::optional<CheckpointProvenance> checkpoint;
 
   /// Partial stats of the level a contained failure interrupted: phase
   /// times accumulated up to the throw (ScopedTimer adds on unwinding),

@@ -8,10 +8,13 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "commdet/core/agglomerate.hpp"
 #include "commdet/core/metrics.hpp"
@@ -23,6 +26,7 @@
 #include "commdet/refine/multilevel.hpp"
 #include "commdet/refine/refine.hpp"
 #include "commdet/robust/sanitize.hpp"
+#include "commdet/util/rng.hpp"
 #include "commdet/util/types.hpp"
 
 namespace commdet {
@@ -67,6 +71,70 @@ struct DetectOptions {
   SanitizeOptions sanitize;
 };
 
+namespace detail {
+
+/// Dispatches a runtime ScorerKind to the statically typed scorer and
+/// invokes `run` with it.  Shared by the fresh and resume paths so both
+/// select scorers identically.
+template <typename F>
+[[nodiscard]] auto with_scorer(ScorerKind kind, double gamma, F&& run) {
+  switch (kind) {
+    case ScorerKind::kConductance: return run(ConductanceScorer{});
+    case ScorerKind::kHeavyEdge: return run(HeavyEdgeScorer{});
+    case ScorerKind::kResolutionModularity: return run(ResolutionModularityScorer{gamma});
+    case ScorerKind::kModularity: break;
+  }
+  return run(ModularityScorer{});
+}
+
+/// Folds the facade-level configuration (scorer identity, resolution
+/// gamma) into the checkpoint fingerprint salt: a checkpoint written
+/// under one metric must not silently resume under another.
+[[nodiscard]] inline std::uint64_t fold_detect_salt(std::uint64_t salt, ScorerKind scorer,
+                                                    double gamma) noexcept {
+  std::uint64_t h = mix64(salt ^ 0x64657465637426ULL);
+  h = mix64(h ^ static_cast<std::uint64_t>(scorer));
+  if (scorer == ScorerKind::kResolutionModularity)
+    h = mix64(h ^ std::bit_cast<std::uint64_t>(gamma));
+  return h;
+}
+
+/// The per-run option adjustments the facade applies before handing the
+/// AgglomerationOptions to the driver.
+[[nodiscard]] inline std::pair<AgglomerationOptions, DetectOptions::RefineMode>
+prepare_agglomeration(const DetectOptions& opts) {
+  auto agglomeration = opts.agglomeration;
+  const auto mode = opts.refine_mode == DetectOptions::RefineMode::kNone && opts.refine
+                        ? DetectOptions::RefineMode::kFlat
+                        : opts.refine_mode;
+  if (mode == DetectOptions::RefineMode::kVCycle) agglomeration.track_hierarchy = true;
+  agglomeration.checkpoint.config_salt =
+      fold_detect_salt(agglomeration.checkpoint.config_salt, opts.scorer, opts.resolution_gamma);
+  return {std::move(agglomeration), mode};
+}
+
+/// Post-agglomeration refinement shared by detect and resume.
+template <VertexId V>
+void apply_refinement(const CommunityGraph<V>& g, Clustering<V>& result,
+                      DetectOptions::RefineMode mode, const DetectOptions& opts) {
+  if (mode == DetectOptions::RefineMode::kFlat) {
+    const auto stats = refine_partition(g, result.community, opts.refinement);
+    result.final_modularity = stats.modularity_after;
+    std::int64_t num = 0;
+    for (const V c : result.community) num = std::max<std::int64_t>(num, c + 1);
+    result.num_communities = num;
+    // Coverage changed with the moves; recompute from the labels.
+    result.final_coverage =
+        evaluate_partition(g, std::span<const V>(result.community.data(),
+                                                 result.community.size()))
+            .coverage;
+  } else if (mode == DetectOptions::RefineMode::kVCycle) {
+    multilevel_refine(g, result, opts.refinement);
+  }
+}
+
+}  // namespace detail
+
 /// Detects communities with runtime-selected metric and optional
 /// refinement.  The input graph is retained by the caller (copied into
 /// the driver; refinement needs the original).
@@ -84,11 +152,7 @@ template <VertexId V>
         " scoring never reaches a local maximum; set a coverage/size/level limit");
   }
 
-  auto agglomeration = opts.agglomeration;
-  const auto mode = opts.refine_mode == DetectOptions::RefineMode::kNone && opts.refine
-                        ? DetectOptions::RefineMode::kFlat
-                        : opts.refine_mode;
-  if (mode == DetectOptions::RefineMode::kVCycle) agglomeration.track_hierarchy = true;
+  const auto [agglomeration, mode] = detail::prepare_agglomeration(opts);
 
   obs::ScopedSpan span("detect");
   span.attr("scorer", to_string(opts.scorer));
@@ -97,38 +161,12 @@ template <VertexId V>
             : mode == DetectOptions::RefineMode::kVCycle ? "vcycle"
                                                          : "none");
 
-  Clustering<V> result;
-  switch (opts.scorer) {
-    case ScorerKind::kModularity:
-      result = agglomerate(CommunityGraph<V>(g), ModularityScorer{}, agglomeration);
-      break;
-    case ScorerKind::kConductance:
-      result = agglomerate(CommunityGraph<V>(g), ConductanceScorer{}, agglomeration);
-      break;
-    case ScorerKind::kHeavyEdge:
-      result = agglomerate(CommunityGraph<V>(g), HeavyEdgeScorer{}, agglomeration);
-      break;
-    case ScorerKind::kResolutionModularity:
-      result = agglomerate(CommunityGraph<V>(g),
-                           ResolutionModularityScorer{opts.resolution_gamma},
-                           opts.agglomeration);
-      break;
-  }
+  Clustering<V> result =
+      detail::with_scorer(opts.scorer, opts.resolution_gamma, [&](const auto& scorer) {
+        return agglomerate(CommunityGraph<V>(g), scorer, agglomeration);
+      });
 
-  if (mode == DetectOptions::RefineMode::kFlat) {
-    const auto stats = refine_partition(g, result.community, opts.refinement);
-    result.final_modularity = stats.modularity_after;
-    std::int64_t num = 0;
-    for (const V c : result.community) num = std::max<std::int64_t>(num, c + 1);
-    result.num_communities = num;
-    // Coverage changed with the moves; recompute from the labels.
-    result.final_coverage =
-        evaluate_partition(g, std::span<const V>(result.community.data(),
-                                                 result.community.size()))
-            .coverage;
-  } else if (mode == DetectOptions::RefineMode::kVCycle) {
-    multilevel_refine(g, result, opts.refinement);
-  }
+  detail::apply_refinement(g, result, mode, opts);
   return result;
 }
 
@@ -143,6 +181,30 @@ template <VertexId V>
   if (opts.sanitize_input)
     (void)sanitize_edges(cleaned, opts.sanitize).value_or_throw();
   return detect_communities(build_community_graph(cleaned), opts);
+}
+
+/// Resumes an interrupted detect_communities run from a checkpoint
+/// (consumed).  `g` is the same original graph the checkpoint's run
+/// started from — it is needed for the refinement passes, which operate
+/// on the original vertices; the agglomeration itself continues from the
+/// checkpointed community graph.  The options must match the original
+/// run's configuration (ErrorCode::kCheckpointMismatch otherwise).
+template <VertexId V>
+[[nodiscard]] Clustering<V> resume_detect(const CommunityGraph<V>& g, CheckpointState<V> ckpt,
+                                          const DetectOptions& opts = {}) {
+  const auto [agglomeration, mode] = detail::prepare_agglomeration(opts);
+
+  obs::ScopedSpan span("detect");
+  span.attr("scorer", to_string(opts.scorer));
+  span.attr("resumed_from", ckpt.source_path);
+
+  Clustering<V> result =
+      detail::with_scorer(opts.scorer, opts.resolution_gamma, [&](const auto& scorer) {
+        return resume_agglomerate(std::move(ckpt), scorer, agglomeration);
+      });
+
+  detail::apply_refinement(g, result, mode, opts);
+  return result;
 }
 
 }  // namespace commdet

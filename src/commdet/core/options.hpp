@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #include "commdet/robust/budget.hpp"
@@ -26,6 +27,36 @@ enum class ContractorKind {
   kBucketSort,  // the paper's improved method (default)
   kHashChain,   // the paper's original Feo-style method (ablation baseline)
   kSpGemm,      // A' = S^T A S via Gustavson SpGEMM (Sec. VI observation)
+};
+
+/// Crash-safe checkpointing of the agglomeration loop (see
+/// robust/checkpoint.hpp for the snapshot format and loader).  When a
+/// directory is set, the driver snapshots the resumable state at level
+/// boundaries; an interrupted run restarts from its newest valid
+/// generation via resume_agglomerate / resume_detect.
+struct CheckpointOptions {
+  /// Directory for checkpoint generations.  Empty disables checkpointing.
+  std::string directory;
+
+  /// Write a checkpoint after every this-many completed levels.
+  int every_levels = 1;
+
+  /// Newest generations retained after a successful write (>= 1).  Two
+  /// generations survive a latest-generation corruption.
+  int keep_generations = 2;
+
+  /// Also write a final checkpoint when a budget violation, interrupt,
+  /// or contained error stops the run, so the work completed so far is
+  /// handed to the next invocation (TerminationReason::kCheckpointed).
+  bool on_exhaustion = true;
+
+  /// Extra entropy folded into the configuration fingerprint.  Callers
+  /// that select behaviour outside AgglomerationOptions (scorer kind,
+  /// resolution gamma, input graph identity) fold it in here so a
+  /// resume under a different setup is refused.
+  std::uint64_t config_salt = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return !directory.empty(); }
 };
 
 struct AgglomerationOptions {
@@ -54,6 +85,9 @@ struct AgglomerationOptions {
   /// completed so far with the matching TerminationReason.
   RunBudget budget;
 
+  /// Crash-safe checkpoint/resume.  Disabled unless a directory is set.
+  CheckpointOptions checkpoint;
+
   MatcherKind matcher = MatcherKind::kUnmatchedList;
   ContractorKind contractor = ContractorKind::kBucketSort;
 };
@@ -68,13 +102,17 @@ enum class TerminationReason {
   kMemoryBudget,     // RunBudget memory ceiling; best-so-far returned
   kStalled,          // RunBudget progress watchdog; best-so-far returned
   kContainedError,   // a level failed; best-so-far returned, see Clustering::error
+  kInterrupted,      // stop requested (SIGINT/SIGTERM); best-so-far returned
+  kCheckpointed,     // run stopped early but its state was checkpointed:
+                     // re-run with resume to continue from here
 };
 
 /// True when the run ended early but still returned a valid (degraded)
 /// best-so-far clustering rather than an optimum of its criterion.
 [[nodiscard]] constexpr bool is_degraded(TerminationReason r) noexcept {
   return r == TerminationReason::kDeadline || r == TerminationReason::kMemoryBudget ||
-         r == TerminationReason::kStalled || r == TerminationReason::kContainedError;
+         r == TerminationReason::kStalled || r == TerminationReason::kContainedError ||
+         r == TerminationReason::kInterrupted || r == TerminationReason::kCheckpointed;
 }
 
 [[nodiscard]] constexpr std::string_view to_string(TerminationReason r) noexcept {
@@ -88,6 +126,8 @@ enum class TerminationReason {
     case TerminationReason::kMemoryBudget: return "memory-budget";
     case TerminationReason::kStalled: return "stalled";
     case TerminationReason::kContainedError: return "contained-error";
+    case TerminationReason::kInterrupted: return "interrupted";
+    case TerminationReason::kCheckpointed: return "checkpointed";
   }
   return "unknown";
 }

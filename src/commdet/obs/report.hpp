@@ -19,6 +19,11 @@
 //     "result": { num_communities, modularity, coverage, total_seconds,
 //                 num_levels, contraction_fraction, termination, degraded,
 //                 error: {code, phase, detail} | null,
+//                 checkpoint: { directory, last_generation,
+//                               checkpoints_written, checkpoint_failures,
+//                               resumed, resumed_from, resumed_generation,
+//                               resumed_level,
+//                               resumed_elapsed_seconds } | null,
 //                 community_size_distribution: <distribution> | null,
 //                 levels: [ <level> ... ],
 //                 failed_level: <level> | null },
@@ -209,6 +214,29 @@ inline void write_trace(JsonWriter& w, const Trace& trace) {
   w.end_array();
 }
 
+inline void write_checkpoint(JsonWriter& w, const CheckpointProvenance& p) {
+  w.begin_object();
+  w.key("directory");
+  w.value(p.directory);
+  w.key("last_generation");
+  w.value(p.last_generation);
+  w.key("checkpoints_written");
+  w.value(p.checkpoints_written);
+  w.key("checkpoint_failures");
+  w.value(p.checkpoint_failures);
+  w.key("resumed");
+  w.value(!p.resumed_from.empty());
+  w.key("resumed_from");
+  w.value(p.resumed_from);
+  w.key("resumed_generation");
+  w.value(p.resumed_generation);
+  w.key("resumed_level");
+  w.value(p.resumed_level);
+  w.key("resumed_elapsed_seconds");
+  w.value(p.resumed_elapsed_seconds);
+  w.end_object();
+}
+
 inline void write_error(JsonWriter& w, const Error& e) {
   w.begin_object();
   w.key("code");
@@ -331,6 +359,12 @@ template <VertexId V>
   w.key("error");
   if (c.error.has_value()) {
     detail::write_error(w, *c.error);
+  } else {
+    w.null();
+  }
+  w.key("checkpoint");
+  if (c.checkpoint.has_value()) {
+    detail::write_checkpoint(w, *c.checkpoint);
   } else {
     w.null();
   }

@@ -70,15 +70,22 @@ template <typename Graph>
 /// while within budget, or the structured violation to report.
 class BudgetTracker {
  public:
-  explicit BudgetTracker(const RunBudget& budget) : budget_(budget) {}
+  /// `elapsed_offset` seats the tracker mid-run: a resumed run passes
+  /// the work time accumulated by prior invocations (from the
+  /// checkpoint), so a wall-clock budget covers the whole logical run,
+  /// not each invocation separately.
+  explicit BudgetTracker(const RunBudget& budget, double elapsed_offset = 0.0)
+      : budget_(budget), base_(elapsed_offset) {}
 
-  [[nodiscard]] double elapsed_seconds() const noexcept { return timer_.seconds(); }
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return base_ + timer_.seconds();
+  }
 
   /// Deadline check; `completed_levels` gates the grace window.
   [[nodiscard]] std::optional<Error> check_deadline(int completed_levels) const {
     if (budget_.max_seconds <= 0.0 || completed_levels < budget_.grace_levels)
       return std::nullopt;
-    const double elapsed = timer_.seconds();
+    const double elapsed = elapsed_seconds();
     if (elapsed <= budget_.max_seconds) return std::nullopt;
     return Error{ErrorCode::kDeadlineExceeded, Phase::kDriver,
                  "wall-clock budget exhausted after " + std::to_string(elapsed) + "s (limit " +
@@ -111,6 +118,7 @@ class BudgetTracker {
 
  private:
   RunBudget budget_;
+  double base_ = 0.0;
   WallTimer timer_;
   int stalled_ = 0;
 };

@@ -28,6 +28,8 @@ enum class ErrorCode {
   kDeadlineExceeded,  // RunBudget wall-clock limit hit
   kMemoryBudget,      // RunBudget memory ceiling hit
   kStalled,           // RunBudget progress watchdog fired
+  kInterrupted,       // SIGINT/SIGTERM-style stop requested mid-run
+  kCheckpointMismatch,  // resume refused: checkpoint written under other config
   kInjectedFault,     // fault-injection site fired (testing only)
   kInternal,          // contained exception without structured info
 };
@@ -59,6 +61,8 @@ enum class Phase {
     case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
     case ErrorCode::kMemoryBudget: return "memory-budget";
     case ErrorCode::kStalled: return "stalled";
+    case ErrorCode::kInterrupted: return "interrupted";
+    case ErrorCode::kCheckpointMismatch: return "checkpoint-mismatch";
     case ErrorCode::kInjectedFault: return "injected-fault";
     case ErrorCode::kInternal: return "internal";
   }
@@ -78,6 +82,39 @@ enum class Phase {
     case Phase::kUnknown: return "unknown";
   }
   return "unknown";
+}
+
+/// Process exit code for an ErrorCode *category*, for supervising
+/// scripts that must decide between retry and abort without parsing
+/// text.  2 is reserved for CLI usage errors and 1 for unstructured
+/// exceptions, so categories start at 3:
+///   3  I/O failures (open/read/write/format/parse) — often transient
+///   4  input data rejected (overflow, bad weight/endpoint) — abort
+///   5  unusable configuration — abort
+///   6  run budget exhausted — retry with a larger budget (or resume)
+///   7  checkpoint/configuration mismatch — fix flags, do not retry
+///   8  interrupted — resume
+///   9  internal/injected failure — report
+[[nodiscard]] constexpr int exit_code_for(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kIoOpen:
+    case ErrorCode::kIoRead:
+    case ErrorCode::kIoWrite:
+    case ErrorCode::kIoFormat:
+    case ErrorCode::kIoParse: return 3;
+    case ErrorCode::kIdOverflow:
+    case ErrorCode::kBadWeight:
+    case ErrorCode::kBadEndpoint: return 4;
+    case ErrorCode::kInvalidArgument: return 5;
+    case ErrorCode::kDeadlineExceeded:
+    case ErrorCode::kMemoryBudget:
+    case ErrorCode::kStalled: return 6;
+    case ErrorCode::kCheckpointMismatch: return 7;
+    case ErrorCode::kInterrupted: return 8;
+    case ErrorCode::kInjectedFault:
+    case ErrorCode::kInternal: return 9;
+  }
+  return 9;
 }
 
 /// One structured failure record.

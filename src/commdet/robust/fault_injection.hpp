@@ -27,6 +27,9 @@ inline constexpr const char* kIoEdgeListText = "io.edge_list_text";
 inline constexpr const char* kIoBinary = "io.binary";
 inline constexpr const char* kIoMetis = "io.metis";
 inline constexpr const char* kIoMatrixMarket = "io.matrix_market";
+inline constexpr const char* kSnapshotWrite = "io.snapshot.write";
+inline constexpr const char* kSnapshotCommit = "io.snapshot.commit";
+inline constexpr const char* kSnapshotRead = "io.snapshot.read";
 
 }  // namespace commdet::fault
 

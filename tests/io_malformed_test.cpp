@@ -163,13 +163,71 @@ TEST_F(IoMalformedTest, BinaryBadMagicIsIoFormat) {
                     [&] { (void)read_edge_list_binary<V32>(path("junk.bin")); });
 }
 
-TEST_F(IoMalformedTest, BinaryTruncatedPayloadIsIoRead) {
+TEST_F(IoMalformedTest, BinaryTruncatedPayloadIsIoFormat) {
+  // The declared edge count is validated against the actual file size
+  // before anything is allocated or parsed, so truncation is rejected
+  // up front as a format error rather than discovered mid-read.
   const auto g = generate_erdos_renyi<V32>(50, 200, 3);
   write_edge_list_binary(g, path("g.bin"));
   const auto full = std::filesystem::file_size(path("g.bin"));
   std::filesystem::resize_file(path("g.bin"), full - 7);
-  expect_structured(ErrorCode::kIoRead, "truncated",
+  expect_structured(ErrorCode::kIoFormat, "file size",
                     [&] { (void)read_edge_list_binary<V32>(path("g.bin")); });
+}
+
+TEST_F(IoMalformedTest, BinaryOverstatedEdgeCountRejectedBeforeAllocation) {
+  // A corrupt header claiming billions of edges must not drive a blind
+  // multi-gigabyte allocation: the size check fires first.
+  const auto g = generate_erdos_renyi<V32>(10, 20, 3);
+  write_edge_list_binary(g, path("g.bin"));
+  std::fstream f(path("g.bin"), std::ios::in | std::ios::out | std::ios::binary);
+  const std::int64_t huge = std::int64_t{1} << 40;
+  f.seekp(16);  // ne field: magic(8) + nv(8)
+  f.write(reinterpret_cast<const char*>(&huge), sizeof huge);
+  f.close();
+  expect_structured(ErrorCode::kIoFormat, "file size",
+                    [&] { (void)read_edge_list_binary<V32>(path("g.bin")); });
+}
+
+TEST_F(IoMalformedTest, BinaryBitFlipFailsChecksum) {
+  const auto g = generate_erdos_renyi<V32>(50, 200, 3);
+  write_edge_list_binary(g, path("g.bin"));
+  // Flip one bit inside a weight (keeps endpoints valid so only the CRC
+  // can catch it).
+  std::fstream f(path("g.bin"), std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(24 + 2 * 8);  // first triple's weight
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.seekp(24 + 2 * 8);
+  f.write(&byte, 1);
+  f.close();
+  expect_structured(ErrorCode::kIoFormat, "checksum",
+                    [&] { (void)read_edge_list_binary<V32>(path("g.bin")); });
+}
+
+TEST_F(IoMalformedTest, BinaryLegacyV1StillReadable) {
+  // Pre-trailer files carry the CDEL0001 magic and no CRC; they must
+  // keep loading (with the size check, but without checksum coverage).
+  const auto g = generate_erdos_renyi<V32>(30, 60, 7);
+  std::ofstream out(path("v1.bin"), std::ios::binary);
+  out.write("CDEL0001", 8);
+  const std::int64_t nv = g.num_vertices, ne = g.num_edges();
+  out.write(reinterpret_cast<const char*>(&nv), 8);
+  out.write(reinterpret_cast<const char*>(&ne), 8);
+  for (const auto& e : g.edges) {
+    const std::int64_t t[3] = {e.u, e.v, e.w};
+    out.write(reinterpret_cast<const char*>(t), sizeof t);
+  }
+  out.close();
+  const auto back = read_edge_list_binary<V32>(path("v1.bin"));
+  EXPECT_EQ(back.num_vertices, g.num_vertices);
+  ASSERT_EQ(back.edges.size(), g.edges.size());
+  for (std::size_t i = 0; i < back.edges.size(); ++i) {
+    EXPECT_EQ(back.edges[i].u, g.edges[i].u);
+    EXPECT_EQ(back.edges[i].v, g.edges[i].v);
+    EXPECT_EQ(back.edges[i].w, g.edges[i].w);
+  }
 }
 
 TEST_F(IoMalformedTest, BinaryTruncatedHeaderIsIoFormat) {

@@ -248,5 +248,82 @@ TEST_F(FaultInjectionIoTest, InjectedReaderFaultCarriesStructuredRecord) {
   }
 }
 
+// ----------------------------------------------------------- snapshots
+
+TEST_F(FaultInjectionIoTest, CheckpointWriteFailureIsContainedByDriver) {
+  // A failing snapshot must never take down a healthy run: the driver
+  // counts the failure and finishes normally.
+  const auto el = generate_planted_partition<V32>(small_partition());
+  AgglomerationOptions opts;
+  opts.checkpoint.directory = path("ckpts_contained");
+  fault::ScopedFault f(fault::kSnapshotWrite, 1);
+  const auto result = agglomerate(el, ModularityScorer{}, opts);
+  EXPECT_FALSE(is_degraded(result.reason));
+  ASSERT_TRUE(result.checkpoint.has_value());
+  EXPECT_GE(result.checkpoint->checkpoint_failures, 1);
+  EXPECT_GT(result.final_modularity, 0.0);
+}
+
+TEST_F(FaultInjectionIoTest, CrashBeforePublishLeavesPreviousGenerationIntact) {
+  // kSnapshotCommit fires after the payload is written but before the
+  // rename that publishes it — the torn-write window.  The previously
+  // published generation must survive, and no half-written file may
+  // become visible.
+  const auto g = build_community_graph(generate_planted_partition<V32>(small_partition()));
+  std::vector<V32> community(static_cast<std::size_t>(g.nv));
+  for (std::size_t i = 0; i < community.size(); ++i) community[i] = static_cast<V32>(i);
+  std::vector<LevelStats> levels;
+  CheckpointView<V32> view;
+  view.original_nv = static_cast<std::int64_t>(g.nv);
+  view.graph = &g;
+  view.community = &community;
+  view.levels = &levels;
+
+  const std::string dir = path("ckpts_torn");
+  view.next_level = 1;
+  ASSERT_EQ(save_checkpoint(dir, view, 2), 1);
+
+  view.next_level = 2;
+  {
+    fault::ScopedFault f(fault::kSnapshotCommit, 1);
+    EXPECT_THROW((void)save_checkpoint(dir, view, 2), CommdetError);
+  }
+  const auto generations = list_checkpoints(dir);
+  ASSERT_EQ(generations.size(), 1u);  // the aborted generation never published
+  EXPECT_EQ(generations[0].first, 1);
+  const auto st = load_latest_checkpoint<V32>(dir);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->next_level, 1);
+
+  // And with the fault gone, the next save publishes generation 2.
+  EXPECT_EQ(save_checkpoint(dir, view, 2), 2);
+}
+
+TEST_F(FaultInjectionIoTest, UnreadableLatestGenerationFallsBack) {
+  const auto g = build_community_graph(generate_planted_partition<V32>(small_partition()));
+  std::vector<V32> community(static_cast<std::size_t>(g.nv));
+  for (std::size_t i = 0; i < community.size(); ++i) community[i] = static_cast<V32>(i);
+  std::vector<LevelStats> levels;
+  CheckpointView<V32> view;
+  view.original_nv = static_cast<std::int64_t>(g.nv);
+  view.graph = &g;
+  view.community = &community;
+  view.levels = &levels;
+
+  const std::string dir = path("ckpts_fallback");
+  view.next_level = 1;
+  (void)save_checkpoint(dir, view, 2);
+  view.next_level = 2;
+  (void)save_checkpoint(dir, view, 2);
+
+  // First open (the newest generation) throws; the loader must catch it
+  // and hand back the previous one.
+  fault::ScopedFault f(fault::kSnapshotRead, 1);
+  const auto st = load_latest_checkpoint<V32>(dir);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->source_generation, 1);
+  EXPECT_EQ(st->next_level, 1);
+}
+
 }  // namespace
 }  // namespace commdet
