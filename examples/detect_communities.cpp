@@ -25,9 +25,16 @@
 //   --resume            continue from the newest valid checkpoint in
 //                       --checkpoint-dir (falls back to a fresh run when
 //                       none exists); pass the same detection flags
+//   --updates <file>    dynamic mode: after the initial detection,
+//                       stream edge deltas ("+ u v [w]" / "- u v" /
+//                       "= u v w" lines) through seeded re-agglomeration
+//   --batch-size <n>    deltas per batch in dynamic mode (default 1024,
+//                       0 = one batch for the whole file)
+//   --halo <k>          unseat k hops around updated edges (default 1)
 //   --report <file>     machine-readable JSON run report (schema
 //                       "commdet-run-report" v1: trace, metrics, levels,
-//                       platform, resources, checkpoint provenance)
+//                       platform, resources, checkpoint provenance;
+//                       dynamic runs add the "dynamic" object)
 //   --report-csv <file> per-level CSV table
 //   --trace             print the span tree to stderr after the run
 //
@@ -36,6 +43,7 @@
 // structured errors — which are also printed to stderr as one JSON line.
 #include <omp.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -49,7 +57,10 @@
 #include "commdet/cc/connected_components.hpp"
 #include "commdet/core/detect.hpp"
 #include "commdet/core/metrics.hpp"
+#include "commdet/dyn/dynamic_communities.hpp"
 #include "commdet/graph/builder.hpp"
+#include "commdet/graph/delta.hpp"
+#include "commdet/io/delta_text.hpp"
 #include "commdet/graph/stats.hpp"
 #include "commdet/io/binary.hpp"
 #include "commdet/io/edge_list_text.hpp"
@@ -89,6 +100,7 @@ commdet::EdgeList<V> load(const std::string& path) {
                "       [--max-stalled-levels k] [--grace-levels k]\n"
                "       [--checkpoint-dir d] [--checkpoint-every k] [--checkpoint-keep k]\n"
                "       [--resume]\n"
+               "       [--updates deltas.txt] [--batch-size n] [--halo k]\n"
                "       [--report file.json] [--report-csv file.csv] [--trace]\n");
   std::exit(2);
 }
@@ -131,6 +143,9 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string report_path;
   std::string report_csv_path;
+  std::string updates_path;
+  std::int64_t batch_size = 1024;
+  int halo_hops = 1;
   bool print_trace = false;
   bool use_largest_component = false;
   bool resume = false;
@@ -192,6 +207,12 @@ int main(int argc, char** argv) {
       opts.checkpoint.keep_generations = std::stoi(next());
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--updates") {
+      updates_path = next();
+    } else if (arg == "--batch-size") {
+      batch_size = std::stoll(next());
+    } else if (arg == "--halo") {
+      halo_hops = std::stoi(next());
     } else if (arg == "--report") {
       report_path = next();
     } else if (arg == "--report-csv") {
@@ -288,6 +309,50 @@ int main(int argc, char** argv) {
                   static_cast<long long>(l.nv_after), static_cast<long long>(l.ne_before),
                   l.coverage, l.modularity);
 
+    // Dynamic mode: adopt the detected clustering and stream the delta
+    // file through seeded re-agglomeration, batch by batch.  A failed
+    // batch rolls back and the stream continues with the next one.
+    std::optional<commdet::obs::DynamicRunStats> dyn_stats;
+    if (!updates_path.empty()) {
+      commdet::DynamicOptions dyn_opts;
+      dyn_opts.detect = dopts;
+      dyn_opts.halo_hops = halo_hops;
+      commdet::DynamicCommunities<V> dyn(commdet::CommunityGraph<V>(g), result, dyn_opts);
+      const auto deltas = commdet::read_delta_text<V>(updates_path);
+      const auto total = static_cast<std::int64_t>(deltas.size());
+      const std::int64_t step =
+          batch_size > 0 ? batch_size : std::max<std::int64_t>(total, 1);
+      std::printf("dynamic: %lld deltas from %s in batches of %lld (halo %d)\n",
+                  static_cast<long long>(total), updates_path.c_str(),
+                  static_cast<long long>(step), halo_hops);
+      for (std::int64_t off = 0; off < total; off += step) {
+        commdet::DeltaBatch<V> batch;
+        batch.deltas.assign(deltas.deltas.begin() + off,
+                            deltas.deltas.begin() + std::min(total, off + step));
+        const auto row = dyn.apply_batch(batch);
+        if (!row.has_value()) {
+          std::fprintf(stderr, "batch at offset %lld failed (rolled back): %s\n",
+                       static_cast<long long>(off), row.error().message().c_str());
+          continue;
+        }
+        std::printf("  batch %3lld: %6lld deltas (%lld effective), "
+                    "%.3fs apply + %.3fs recompute, %lld communities, modularity %.4f\n",
+                    static_cast<long long>(row->batch),
+                    static_cast<long long>(row->deltas),
+                    static_cast<long long>(row->effective), row->apply_seconds,
+                    row->recompute_seconds, static_cast<long long>(row->num_communities),
+                    row->modularity);
+      }
+      result = dyn.clustering();
+      dyn_stats = dyn.stats();
+      std::printf("dynamic final: %lld batches (%lld rolled back), "
+                  "%lld communities, modularity %.4f, %.0f updates/s\n",
+                  static_cast<long long>(dyn_stats->batches),
+                  static_cast<long long>(dyn_stats->rolled_back),
+                  static_cast<long long>(result.num_communities),
+                  result.final_modularity, dyn_stats->updates_per_second());
+    }
+
     if (!out_path.empty()) {
       std::ofstream out(out_path);
       if (!out) throw std::runtime_error("cannot write " + out_path);
@@ -317,6 +382,10 @@ int main(int argc, char** argv) {
                      {"metric", metric}};
       if (opts.checkpoint.enabled())
         inputs.info.emplace_back("checkpoint_dir", opts.checkpoint.directory);
+      if (dyn_stats.has_value()) {
+        inputs.dynamic = &*dyn_stats;
+        inputs.info.emplace_back("updates", updates_path);
+      }
       commdet::obs::write_text_file(report_path,
                                     commdet::obs::run_report_json(result, inputs));
       std::printf("run report written to %s\n", report_path.c_str());

@@ -6,6 +6,11 @@
 //   $ ./graph_toolbox generate ws|ba|er ... -o file
 //   $ ./graph_toolbox convert g.txt g.graph      # formats by extension
 //   $ ./graph_toolbox stats g.bin
+//   $ ./graph_toolbox deltas g.txt --count 1000 --seed 7 -o d.txt
+//       # random update stream against g: deletes of existing edges and
+//       # inserts of fresh ones, in the io/delta_text.hpp format
+//   $ ./graph_toolbox apply g.txt d.txt -o g2.txt
+//       # applies a delta file to a graph and writes the result
 //
 // Output extensions: .txt/.el (edge list), .bin (binary), .graph (METIS).
 #include <cstdio>
@@ -15,6 +20,9 @@
 #include <string>
 
 #include "commdet/cc/connected_components.hpp"
+#include "commdet/graph/delta.hpp"
+#include "commdet/io/delta_text.hpp"
+#include "commdet/util/rng.hpp"
 #include "commdet/gen/barabasi_albert.hpp"
 #include "commdet/gen/erdos_renyi.hpp"
 #include "commdet/gen/planted_partition.hpp"
@@ -72,7 +80,9 @@ void save(const commdet::EdgeList<V>& g, const std::string& path) {
                "  graph_toolbox generate ws  [--vertices n] [--k half-degree] [--beta p] -o out\n"
                "  graph_toolbox generate ba  [--vertices n] [--m edges-per-vertex] -o out\n"
                "  graph_toolbox convert <in> <out>\n"
-               "  graph_toolbox stats <file>\n");
+               "  graph_toolbox stats <file>\n"
+               "  graph_toolbox deltas <graph> [--count n] [--insert-frac p] [--seed k] -o out\n"
+               "  graph_toolbox apply <graph> <deltas> -o out\n");
   std::exit(2);
 }
 
@@ -150,6 +160,66 @@ int main(int argc, char** argv) {
     } else if (cmd == "convert") {
       if (argc != 4) usage();
       save(load(argv[2]), argv[3]);
+    } else if (cmd == "deltas") {
+      if (argc < 3) usage();
+      std::string out;
+      std::int64_t count = 1000;
+      double insert_frac = 0.5;
+      std::uint64_t seed = 1;
+      for (int i = 3; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--count") count = flag_i(i, argc, argv);
+        else if (a == "--insert-frac") insert_frac = flag_d(i, argc, argv);
+        else if (a == "--seed") seed = static_cast<std::uint64_t>(flag_i(i, argc, argv));
+        else if (a == "-o") { if (i + 1 >= argc) usage(); out = argv[++i]; }
+        else usage();
+      }
+      if (out.empty()) usage();
+      const auto g = commdet::build_community_graph(load(argv[2]));
+      const auto nv = static_cast<std::uint64_t>(g.nv);
+      const auto ne = static_cast<std::uint64_t>(g.num_edges());
+      const commdet::CounterRng rng(seed, 42);
+      commdet::DeltaBatch<V> batch;
+      for (std::int64_t i = 0; i < count; ++i) {
+        const auto c = static_cast<std::uint64_t>(4 * i);
+        if (rng.uniform(c) < insert_frac || ne == 0) {
+          batch.insert(static_cast<V>(rng.below(c + 1, nv)),
+                       static_cast<V>(rng.below(c + 2, nv)),
+                       1 + static_cast<commdet::Weight>(rng.below(c + 3, 3)));
+        } else {
+          const auto e = static_cast<std::size_t>(rng.below(c + 1, ne));
+          batch.erase(g.efirst[e], g.esecond[e]);
+        }
+      }
+      commdet::write_delta_text(batch, out);
+      std::printf("wrote %lld deltas to %s\n", static_cast<long long>(batch.size()),
+                  out.c_str());
+    } else if (cmd == "apply") {
+      if (argc < 4) usage();
+      std::string out;
+      for (int i = 4; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "-o") { if (i + 1 >= argc) usage(); out = argv[++i]; }
+        else usage();
+      }
+      if (out.empty()) usage();
+      const auto g = commdet::build_community_graph(load(argv[2]));
+      const auto batch = commdet::read_delta_text<V>(argv[3]);
+      const auto applied = commdet::apply_delta(g, batch);
+      commdet::EdgeList<V> el;
+      el.num_vertices = applied.graph.num_vertices();
+      for (commdet::EdgeId e = 0; e < applied.graph.num_edges(); ++e) {
+        const auto i = static_cast<std::size_t>(e);
+        el.add(applied.graph.efirst[i], applied.graph.esecond[i], applied.graph.eweight[i]);
+      }
+      for (V v = 0; v < applied.graph.nv; ++v)
+        if (applied.graph.self_weight[static_cast<std::size_t>(v)] > 0)
+          el.add(v, v, applied.graph.self_weight[static_cast<std::size_t>(v)]);
+      save(el, out);
+      std::printf("applied %lld deltas (%lld effective, %lld vertices touched)\n",
+                  static_cast<long long>(applied.report.applied),
+                  static_cast<long long>(applied.report.effective),
+                  static_cast<long long>(applied.touched.size()));
     } else if (cmd == "stats") {
       if (argc != 3) usage();
       const auto el = load(argv[2]);

@@ -32,6 +32,8 @@
 //   contract/  bucket-sort (paper), hash-chain (baseline), SpGEMM
 //              contractors
 //   core/      the agglomerative driver, metrics, hierarchy, extraction
+//   dyn/       batched edge updates with seeded (warm-start)
+//              re-agglomeration over a maintained clustering
 //   refine/    parallel local-move refinement (the paper's future work)
 //   baseline/  sequential CNM and Louvain references
 //   platform/  host characteristics detection
@@ -46,9 +48,12 @@
 #include "commdet/contract/spgemm_contractor.hpp"
 #include "commdet/core/agglomerate.hpp"
 #include "commdet/core/clustering.hpp"
+#include "commdet/core/detect.hpp"
 #include "commdet/core/extraction.hpp"
 #include "commdet/core/metrics.hpp"
 #include "commdet/core/options.hpp"
+#include "commdet/dyn/dynamic_communities.hpp"
+#include "commdet/dyn/seeded.hpp"
 #include "commdet/gen/barabasi_albert.hpp"
 #include "commdet/gen/erdos_renyi.hpp"
 #include "commdet/gen/planted_partition.hpp"
@@ -58,16 +63,19 @@
 #include "commdet/graph/builder.hpp"
 #include "commdet/graph/community_graph.hpp"
 #include "commdet/graph/csr.hpp"
+#include "commdet/graph/delta.hpp"
 #include "commdet/graph/edge_list.hpp"
 #include "commdet/graph/stats.hpp"
 #include "commdet/graph/triangles.hpp"
 #include "commdet/graph/validate.hpp"
 #include "commdet/io/binary.hpp"
+#include "commdet/io/delta_text.hpp"
 #include "commdet/io/edge_list_text.hpp"
 #include "commdet/io/matrix_market.hpp"
 #include "commdet/io/parallel_edge_list.hpp"
 #include "commdet/io/metis.hpp"
 #include "commdet/io/partition.hpp"
+#include "commdet/io/snapshot.hpp"
 #include "commdet/match/edge_sweep_matcher.hpp"
 #include "commdet/obs/json.hpp"
 #include "commdet/obs/metrics.hpp"
@@ -83,6 +91,7 @@
 #include "commdet/refine/multilevel.hpp"
 #include "commdet/refine/refine.hpp"
 #include "commdet/robust/budget.hpp"
+#include "commdet/robust/checkpoint.hpp"
 #include "commdet/robust/error.hpp"
 #include "commdet/robust/expected.hpp"
 #include "commdet/robust/fault_injection.hpp"

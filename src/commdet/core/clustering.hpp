@@ -5,16 +5,48 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "commdet/core/options.hpp"
 #include "commdet/robust/error.hpp"
+#include "commdet/util/parallel.hpp"
+#include "commdet/util/prefix_sum.hpp"
 #include "commdet/util/types.hpp"
 
 namespace commdet {
+
+/// Remaps non-negative labels onto the dense range [0, k), preserving
+/// the relative order of surviving label values, and returns k.  The
+/// remap is stable: applying it to an already-dense labeling is the
+/// identity, so repeated incremental rounds (which unseat a few
+/// vertices into fresh high labels and then re-compact) cannot grow or
+/// churn the label space beyond the communities that actually changed.
+template <VertexId V>
+std::int64_t compact_labels(std::vector<V>& labels) {
+  const auto n = static_cast<std::int64_t>(labels.size());
+  if (n == 0) return 0;
+  const V max_label = parallel_max(n, V{-1}, [&](std::int64_t i) {
+    const V l = labels[static_cast<std::size_t>(i)];
+    assert(l >= 0 && "compact_labels requires non-negative labels");
+    return l;
+  });
+  std::vector<V> newid(static_cast<std::size_t>(max_label) + 1, 0);
+  parallel_for(n, [&](std::int64_t i) {
+    // Benign same-value race: every writer stores 1.
+    newid[static_cast<std::size_t>(labels[static_cast<std::size_t>(i)])] = 1;
+  });
+  const V k = exclusive_prefix_sum(std::span<V>(newid));
+  parallel_for(n, [&](std::int64_t i) {
+    auto& l = labels[static_cast<std::size_t>(i)];
+    l = newid[static_cast<std::size_t>(l)];
+  });
+  return static_cast<std::int64_t>(k);
+}
 
 /// Telemetry for one score/match/contract iteration.
 struct LevelStats {
@@ -82,6 +114,10 @@ struct Clustering {
   std::vector<std::vector<V>> hierarchy;
 
   [[nodiscard]] int num_levels() const noexcept { return static_cast<int>(levels.size()); }
+
+  /// Re-densifies `community` in place (order-preserving, stable — see
+  /// the free compact_labels) and refreshes num_communities.
+  void compact_labels() { num_communities = ::commdet::compact_labels(community); }
 
   /// Community of every original vertex after `level` contractions
   /// (level 0 = all singletons).  Requires track_hierarchy.

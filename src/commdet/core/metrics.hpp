@@ -41,23 +41,70 @@ template <VertexId V>
   std::vector<std::int64_t> size(static_cast<std::size_t>(num_comms), 0);
 
   const auto nv = static_cast<std::int64_t>(g.nv);
-  parallel_for(nv, [&](std::int64_t v) {
-    const auto c = static_cast<std::size_t>(labels[static_cast<std::size_t>(v)]);
-    const Weight self = g.self_weight[static_cast<std::size_t>(v)];
-    std::atomic_ref<Weight>(internal[c]).fetch_add(self, std::memory_order_relaxed);
-    std::atomic_ref<Weight>(volume[c]).fetch_add(2 * self, std::memory_order_relaxed);
-    std::atomic_ref<std::int64_t>(size[c]).fetch_add(1, std::memory_order_relaxed);
-  });
-  parallel_for(g.num_edges(), [&](std::int64_t e) {
-    const auto i = static_cast<std::size_t>(e);
-    const auto ca = static_cast<std::size_t>(labels[static_cast<std::size_t>(g.efirst[i])]);
-    const auto cb = static_cast<std::size_t>(labels[static_cast<std::size_t>(g.esecond[i])]);
-    const Weight w = g.eweight[i];
-    std::atomic_ref<Weight>(volume[ca]).fetch_add(w, std::memory_order_relaxed);
-    std::atomic_ref<Weight>(volume[cb]).fetch_add(w, std::memory_order_relaxed);
-    if (ca == cb)
-      std::atomic_ref<Weight>(internal[ca]).fetch_add(w, std::memory_order_relaxed);
-  });
+  const auto ne = static_cast<std::int64_t>(g.num_edges());
+  const std::int64_t nchunks = std::max(1, omp_get_max_threads());
+  if (num_comms * nchunks <= nv + ne) {
+    // Few communities relative to the input: per-edge atomic adds would
+    // serialize on the handful of hot community slots (all of a big
+    // community's edges hit the same counter), so accumulate into
+    // per-chunk histograms and reduce.  Weights are integers — the
+    // result is bit-identical to the atomic path.
+    std::vector<std::vector<Weight>> cint(static_cast<std::size_t>(nchunks));
+    std::vector<std::vector<Weight>> cvol(static_cast<std::size_t>(nchunks));
+    std::vector<std::vector<std::int64_t>> csize(static_cast<std::size_t>(nchunks));
+    parallel_for_dynamic(nchunks, [&](std::int64_t c) {
+      auto& li = cint[static_cast<std::size_t>(c)];
+      auto& lv = cvol[static_cast<std::size_t>(c)];
+      auto& ls = csize[static_cast<std::size_t>(c)];
+      li.assign(static_cast<std::size_t>(num_comms), 0);
+      lv.assign(static_cast<std::size_t>(num_comms), 0);
+      ls.assign(static_cast<std::size_t>(num_comms), 0);
+      for (std::int64_t v = nv * c / nchunks, ve = nv * (c + 1) / nchunks; v < ve; ++v) {
+        const auto cc = static_cast<std::size_t>(labels[static_cast<std::size_t>(v)]);
+        const Weight self = g.self_weight[static_cast<std::size_t>(v)];
+        li[cc] += self;
+        lv[cc] += 2 * self;
+        ++ls[cc];
+      }
+      for (std::int64_t e = ne * c / nchunks, ee = ne * (c + 1) / nchunks; e < ee; ++e) {
+        const auto i = static_cast<std::size_t>(e);
+        const auto ca =
+            static_cast<std::size_t>(labels[static_cast<std::size_t>(g.efirst[i])]);
+        const auto cb =
+            static_cast<std::size_t>(labels[static_cast<std::size_t>(g.esecond[i])]);
+        const Weight w = g.eweight[i];
+        lv[ca] += w;
+        lv[cb] += w;
+        if (ca == cb) li[ca] += w;
+      }
+    }, /*chunk=*/1);
+    parallel_for(num_comms, [&](std::int64_t cc) {
+      const auto i = static_cast<std::size_t>(cc);
+      for (std::int64_t c = 0; c < nchunks; ++c) {
+        internal[i] += cint[static_cast<std::size_t>(c)][i];
+        volume[i] += cvol[static_cast<std::size_t>(c)][i];
+        size[i] += csize[static_cast<std::size_t>(c)][i];
+      }
+    });
+  } else {
+    parallel_for(nv, [&](std::int64_t v) {
+      const auto c = static_cast<std::size_t>(labels[static_cast<std::size_t>(v)]);
+      const Weight self = g.self_weight[static_cast<std::size_t>(v)];
+      std::atomic_ref<Weight>(internal[c]).fetch_add(self, std::memory_order_relaxed);
+      std::atomic_ref<Weight>(volume[c]).fetch_add(2 * self, std::memory_order_relaxed);
+      std::atomic_ref<std::int64_t>(size[c]).fetch_add(1, std::memory_order_relaxed);
+    });
+    parallel_for(g.num_edges(), [&](std::int64_t e) {
+      const auto i = static_cast<std::size_t>(e);
+      const auto ca = static_cast<std::size_t>(labels[static_cast<std::size_t>(g.efirst[i])]);
+      const auto cb = static_cast<std::size_t>(labels[static_cast<std::size_t>(g.esecond[i])]);
+      const Weight w = g.eweight[i];
+      std::atomic_ref<Weight>(volume[ca]).fetch_add(w, std::memory_order_relaxed);
+      std::atomic_ref<Weight>(volume[cb]).fetch_add(w, std::memory_order_relaxed);
+      if (ca == cb)
+        std::atomic_ref<Weight>(internal[ca]).fetch_add(w, std::memory_order_relaxed);
+    });
+  }
 
   PartitionQuality q;
   q.num_communities = num_comms;

@@ -1,19 +1,32 @@
-// Builds a CommunityGraph from a raw edge list.
+// Builds a CommunityGraph from a raw edge list, and applies normalized
+// delta batches to an already-built graph.
 //
 // Pipeline (all parallel): hash each edge into storage order, fold
 // self-loops into the self-weight array, sort the remaining triples by
 // (first, second), accumulate duplicates, and lay the result out as
 // contiguous sorted buckets.  This is the same machinery the bucket-sort
 // contraction uses each level, applied once to the input.
+//
+// apply_delta() is the incremental path: instead of re-running the full
+// O(E log E) build for a small batch of mutations, it classifies each
+// delta against its bucket by binary search and merges old bucket and
+// deltas in one parallel O(E + D log D) pass, preserving every builder
+// invariant (contiguous buckets in vertex order, sorted by second
+// endpoint, hashed placement, incremental volumes).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "commdet/graph/community_graph.hpp"
+#include "commdet/graph/delta.hpp"
 #include "commdet/graph/edge_list.hpp"
+#include "commdet/util/compact.hpp"
 #include "commdet/util/parallel.hpp"
 #include "commdet/util/prefix_sum.hpp"
 #include "commdet/util/sort.hpp"
@@ -137,6 +150,279 @@ template <VertexId V>
   g.recompute_volumes();
   g.total_weight = g.compute_total_weight();
   return g;
+}
+
+/// What a delta application did, by category.  "Effective" changes are
+/// the ones that altered the graph; a delete of a missing edge or a
+/// reweight to the current weight is counted but changes nothing.
+struct DeltaApplyReport {
+  std::int64_t applied = 0;          // normalized deltas processed
+  std::int64_t inserted = 0;         // new edges created by kInsert
+  std::int64_t strengthened = 0;     // kInsert onto an existing edge
+  std::int64_t deleted = 0;          // edges removed
+  std::int64_t missing_deletes = 0;  // kDelete of an absent edge (no-op)
+  std::int64_t reweighted = 0;       // kReweight of an existing edge
+  std::int64_t upserts = 0;          // kReweight creating an absent edge
+  std::int64_t self_loop_updates = 0;
+  std::int64_t effective = 0;        // deltas that changed the graph
+};
+
+/// Result of apply_delta: the updated graph (the input graph is not
+/// modified — application is transactional, callers commit by swapping),
+/// the category counts, and the sorted unique vertices incident to an
+/// effective change (the seed set for incremental re-agglomeration).
+template <VertexId V>
+struct DeltaApplied {
+  CommunityGraph<V> graph;
+  DeltaApplyReport report;
+  std::vector<V> touched;
+};
+
+/// Applies a *normalized* delta span (see normalize_deltas: hashed
+/// endpoint order, sorted by (first, second), one op per edge) to `g`,
+/// returning the updated graph.  Throws std::invalid_argument on
+/// out-of-range endpoints or non-positive insert/reweight weights —
+/// sanitize first (robust/sanitize.hpp) when the batch is untrusted.
+/// Requires each bucket of `g` sorted by second endpoint, which
+/// build_community_graph guarantees and this function preserves.
+template <VertexId V>
+[[nodiscard]] DeltaApplied<V> apply_delta(const CommunityGraph<V>& g,
+                                          std::span<const EdgeDelta<V>> deltas) {
+  const V nv = g.nv;
+  const auto nvs = static_cast<std::size_t>(nv);
+  const auto nd = static_cast<std::int64_t>(deltas.size());
+
+  std::atomic<bool> bad_endpoint{false};
+  std::atomic<bool> bad_weight{false};
+  parallel_for(nd, [&](std::int64_t i) {
+    const auto& d = deltas[static_cast<std::size_t>(i)];
+    if (d.u < 0 || d.u >= nv || d.v < 0 || d.v >= nv)
+      bad_endpoint.store(true, std::memory_order_relaxed);
+    if (d.op != DeltaOp::kDelete && d.w <= 0)
+      bad_weight.store(true, std::memory_order_relaxed);
+  });
+  if (bad_endpoint.load()) throw std::invalid_argument("delta endpoint out of range");
+  if (bad_weight.load()) throw std::invalid_argument("delta weight must be positive");
+
+#ifndef NDEBUG
+  // Normalization contract: strictly sorted by (first, second).
+  for (std::int64_t i = 1; i < nd; ++i) {
+    const auto& a = deltas[static_cast<std::size_t>(i - 1)];
+    const auto& b = deltas[static_cast<std::size_t>(i)];
+    assert((a.u < b.u || (a.u == b.u && a.v < b.v)) && "deltas not normalized");
+  }
+  // Parity-hashed placement invariant of the input buckets: each bucket
+  // sorted by second endpoint (binary-search classification needs it).
+  parallel_for(static_cast<std::int64_t>(nv), [&](std::int64_t v) {
+    const auto [b, e] = g.bucket(static_cast<V>(v));
+    assert(std::is_sorted(g.esecond.begin() + b, g.esecond.begin() + e) &&
+           "bucket not sorted by second endpoint");
+  });
+#endif
+
+  DeltaApplied<V> out;
+  out.graph.nv = nv;
+  out.graph.self_weight = g.self_weight;
+  out.graph.volume = g.volume;
+  out.graph.total_weight = g.total_weight;
+  out.report.applied = nd;
+
+  std::vector<std::uint8_t> touched_flag(nvs, 0);
+
+  // Order-preserving split keeps the edge deltas sorted.
+  const auto self_deltas = parallel_compact(
+      deltas, [](const EdgeDelta<V>& d) { return d.u == d.v; });
+  const auto edge_deltas = parallel_compact(
+      deltas, [](const EdgeDelta<V>& d) { return d.u != d.v; });
+
+  // Self-loop deltas mutate the per-vertex self weight directly.
+  for (const auto& d : self_deltas) {
+    const auto vi = static_cast<std::size_t>(d.u);
+    const Weight old = out.graph.self_weight[vi];
+    Weight neww = old;
+    switch (d.op) {
+      case DeltaOp::kInsert: neww = old + d.w; break;
+      case DeltaOp::kDelete: neww = 0; break;
+      case DeltaOp::kReweight: neww = d.w; break;
+    }
+    if (d.op == DeltaOp::kDelete && old == 0) ++out.report.missing_deletes;
+    ++out.report.self_loop_updates;
+    const Weight dw = neww - old;
+    if (dw == 0) continue;
+    out.graph.self_weight[vi] = neww;
+    out.graph.volume[vi] += 2 * dw;
+    out.graph.total_weight += dw;
+    touched_flag[vi] = 1;
+    ++out.report.effective;
+  }
+
+  // Classify each edge delta against its bucket.  Kinds: 0 = in-place
+  // weight change, 1 = create, 2 = remove, 3 = no-op.
+  const auto ned = static_cast<std::int64_t>(edge_deltas.size());
+  std::vector<std::uint8_t> kind(static_cast<std::size_t>(ned), 3);
+  std::vector<Weight> result_w(static_cast<std::size_t>(ned), 0);
+  std::vector<Weight> weight_dw(static_cast<std::size_t>(ned), 0);
+  parallel_for(ned, [&](std::int64_t i) {
+    const auto& d = edge_deltas[static_cast<std::size_t>(i)];
+    const auto [b, e] = g.bucket(d.u);
+    const auto* lo = g.esecond.data() + b;
+    const auto* hi = g.esecond.data() + e;
+    const auto* it = std::lower_bound(lo, hi, d.v);
+    const bool found = it != hi && *it == d.v;
+    const auto idx = static_cast<std::size_t>(b + (it - lo));
+    const auto ii = static_cast<std::size_t>(i);
+    switch (d.op) {
+      case DeltaOp::kInsert:
+        kind[ii] = found ? 0 : 1;
+        result_w[ii] = found ? g.eweight[idx] + d.w : d.w;
+        weight_dw[ii] = d.w;
+        break;
+      case DeltaOp::kDelete:
+        kind[ii] = found ? 2 : 3;
+        weight_dw[ii] = found ? -g.eweight[idx] : 0;
+        break;
+      case DeltaOp::kReweight:
+        if (found && g.eweight[idx] == d.w) {
+          kind[ii] = 3;  // reweight to the current weight: nothing to do
+        } else {
+          kind[ii] = found ? 0 : 1;
+          result_w[ii] = d.w;
+          weight_dw[ii] = found ? d.w - g.eweight[idx] : d.w;
+        }
+        break;
+    }
+  });
+
+  const auto count_kind = [&](DeltaOp op, std::uint8_t k) {
+    return parallel_count(ned, [&](std::int64_t i) {
+      return edge_deltas[static_cast<std::size_t>(i)].op == op &&
+             kind[static_cast<std::size_t>(i)] == k;
+    });
+  };
+  out.report.inserted = count_kind(DeltaOp::kInsert, 1);
+  out.report.strengthened = count_kind(DeltaOp::kInsert, 0);
+  out.report.deleted = count_kind(DeltaOp::kDelete, 2);
+  out.report.missing_deletes += count_kind(DeltaOp::kDelete, 3);
+  out.report.reweighted = count_kind(DeltaOp::kReweight, 0);
+  out.report.upserts = count_kind(DeltaOp::kReweight, 1);
+  out.report.effective += parallel_count(ned, [&](std::int64_t i) {
+    return kind[static_cast<std::size_t>(i)] != 3;
+  });
+
+  // New bucket sizes -> cursors, then one merge pass per bucket.
+  std::vector<EdgeId> grow(nvs, 0);
+  std::vector<EdgeId> shrink(nvs, 0);
+  parallel_for(ned, [&](std::int64_t i) {
+    const auto ii = static_cast<std::size_t>(i);
+    const auto f = static_cast<std::size_t>(edge_deltas[ii].u);
+    if (kind[ii] == 1)
+      std::atomic_ref<EdgeId>(grow[f]).fetch_add(1, std::memory_order_relaxed);
+    else if (kind[ii] == 2)
+      std::atomic_ref<EdgeId>(shrink[f]).fetch_add(1, std::memory_order_relaxed);
+  });
+  std::vector<EdgeId> cursors(nvs + 1, 0);
+  parallel_for(static_cast<std::int64_t>(nv), [&](std::int64_t v) {
+    const auto vi = static_cast<std::size_t>(v);
+    cursors[vi] = g.bucket_end[vi] - g.bucket_begin[vi] + grow[vi] - shrink[vi];
+  });
+  const EdgeId ne_new = exclusive_prefix_sum(std::span<EdgeId>(cursors));
+  out.graph.bucket_begin.assign(cursors.begin(), cursors.end() - 1);
+  out.graph.bucket_end.assign(nvs, 0);
+  parallel_for(static_cast<std::int64_t>(nv), [&](std::int64_t v) {
+    out.graph.bucket_end[static_cast<std::size_t>(v)] =
+        cursors[static_cast<std::size_t>(v) + 1];
+  });
+  out.graph.efirst.assign(static_cast<std::size_t>(ne_new), V{});
+  out.graph.esecond.assign(static_cast<std::size_t>(ne_new), V{});
+  out.graph.eweight.assign(static_cast<std::size_t>(ne_new), 0);
+
+  // Per-bucket merge of the old sorted bucket with its delta run (both
+  // sorted by second endpoint).  Buckets without deltas are plain copies.
+  parallel_for_dynamic(static_cast<std::int64_t>(nv), [&](std::int64_t v) {
+    const auto vv = static_cast<V>(v);
+    const auto vi = static_cast<std::size_t>(v);
+    EdgeId oi = g.bucket_begin[vi];
+    const EdgeId oe = g.bucket_end[vi];
+    // Delta run for this bucket (sorted edge deltas, binary search).
+    const auto cmp_first = [](const EdgeDelta<V>& d, V f) { return d.u < f; };
+    const auto* dlo = std::lower_bound(edge_deltas.data(), edge_deltas.data() + ned,
+                                       vv, cmp_first);
+    const auto* dhi = std::lower_bound(dlo, edge_deltas.data() + ned,
+                                       static_cast<V>(v + 1), cmp_first);
+    EdgeId w = out.graph.bucket_begin[vi];
+    const auto emit = [&](V second, Weight weight) {
+      const auto wi = static_cast<std::size_t>(w++);
+      out.graph.efirst[wi] = vv;
+      out.graph.esecond[wi] = second;
+      out.graph.eweight[wi] = weight;
+    };
+    auto di = dlo;
+    const auto delta_index = [&](const EdgeDelta<V>* d) {
+      return static_cast<std::size_t>(d - edge_deltas.data());
+    };
+    while (di != dhi && kind[delta_index(di)] == 3) ++di;
+    while (oi < oe || di != dhi) {
+      if (di == dhi) {  // drain old edges
+        emit(g.esecond[static_cast<std::size_t>(oi)],
+             g.eweight[static_cast<std::size_t>(oi)]);
+        ++oi;
+        continue;
+      }
+      const auto ki = delta_index(di);
+      if (oi == oe || di->v < g.esecond[static_cast<std::size_t>(oi)]) {
+        assert(kind[ki] == 1 && "create delta matched an existing edge");
+        emit(di->v, result_w[ki]);
+      } else if (di->v == g.esecond[static_cast<std::size_t>(oi)]) {
+        if (kind[ki] == 0) emit(di->v, result_w[ki]);  // kind 2 drops the edge
+        ++oi;
+      } else {
+        emit(g.esecond[static_cast<std::size_t>(oi)],
+             g.eweight[static_cast<std::size_t>(oi)]);
+        ++oi;
+        continue;  // delta not consumed yet
+      }
+      ++di;
+      while (di != dhi && kind[delta_index(di)] == 3) ++di;
+    }
+    assert(w == out.graph.bucket_end[vi] && "merged bucket size mismatch");
+  });
+
+  // Incremental volume / total-weight maintenance from effective deltas.
+  parallel_for(ned, [&](std::int64_t i) {
+    const auto ii = static_cast<std::size_t>(i);
+    const Weight dw = weight_dw[ii];
+    if (dw == 0) return;
+    const auto& d = edge_deltas[ii];
+    std::atomic_ref<Weight>(out.graph.volume[static_cast<std::size_t>(d.u)])
+        .fetch_add(dw, std::memory_order_relaxed);
+    std::atomic_ref<Weight>(out.graph.volume[static_cast<std::size_t>(d.v)])
+        .fetch_add(dw, std::memory_order_relaxed);
+    std::atomic_ref<std::uint8_t>(touched_flag[static_cast<std::size_t>(d.u)])
+        .store(1, std::memory_order_relaxed);
+    std::atomic_ref<std::uint8_t>(touched_flag[static_cast<std::size_t>(d.v)])
+        .store(1, std::memory_order_relaxed);
+  });
+  out.graph.total_weight +=
+      parallel_sum<Weight>(ned, [&](std::int64_t i) {
+        return weight_dw[static_cast<std::size_t>(i)];
+      });
+
+  std::vector<V> ids(nvs);
+  parallel_for(static_cast<std::int64_t>(nv), [&](std::int64_t v) {
+    ids[static_cast<std::size_t>(v)] = static_cast<V>(v);
+  });
+  out.touched = parallel_compact(std::span<const V>(ids), [&](V v) {
+    return touched_flag[static_cast<std::size_t>(v)] != 0;
+  });
+  return out;
+}
+
+/// Convenience overload for a raw (un-normalized) batch.
+template <VertexId V>
+[[nodiscard]] DeltaApplied<V> apply_delta(const CommunityGraph<V>& g,
+                                          const DeltaBatch<V>& batch) {
+  const auto normalized = normalize_deltas(batch);
+  return apply_delta(g, std::span<const EdgeDelta<V>>(normalized));
 }
 
 }  // namespace commdet

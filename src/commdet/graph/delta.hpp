@@ -1,0 +1,130 @@
+// Edge deltas: the mutation vocabulary of the dynamic-update subsystem.
+//
+// A batch is an ordered list of insert / delete / reweight operations
+// against the *base* graph (original vertices, not contracted
+// communities).  Before application the batch is normalized: endpoints
+// are put into hashed storage order (the same parity rule the
+// CommunityGraph buckets use), and operations targeting the same edge
+// are deduplicated last-writer-wins — within one batch only the final
+// op on an edge takes effect, mirroring how a replayed log would land.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "commdet/graph/community_graph.hpp"
+#include "commdet/util/compact.hpp"
+#include "commdet/util/parallel.hpp"
+#include "commdet/util/sort.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+enum class DeltaOp : std::uint8_t {
+  kInsert,    // add weight w to edge {u,v}, creating it if absent
+  kDelete,    // remove edge {u,v} entirely; missing edge is a no-op
+  kReweight,  // set edge {u,v} weight to w, creating it if absent
+};
+
+[[nodiscard]] constexpr const char* to_string(DeltaOp op) noexcept {
+  switch (op) {
+    case DeltaOp::kInsert: return "insert";
+    case DeltaOp::kDelete: return "delete";
+    case DeltaOp::kReweight: return "reweight";
+  }
+  return "unknown";
+}
+
+/// One mutation.  `w` is ignored for kDelete.  u == v targets the
+/// vertex's self-loop weight.
+template <VertexId V>
+struct EdgeDelta {
+  DeltaOp op = DeltaOp::kInsert;
+  V u = 0;
+  V v = 0;
+  Weight w = 1;
+
+  friend bool operator==(const EdgeDelta&, const EdgeDelta&) = default;
+};
+
+/// An ordered batch of mutations over vertices [0, num_vertices) of the
+/// base graph.
+template <VertexId V>
+struct DeltaBatch {
+  std::vector<EdgeDelta<V>> deltas;
+
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(deltas.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return deltas.empty(); }
+
+  void insert(V u, V v, Weight w = 1) { deltas.push_back({DeltaOp::kInsert, u, v, w}); }
+  void erase(V u, V v) { deltas.push_back({DeltaOp::kDelete, u, v, 0}); }
+  void reweight(V u, V v, Weight w) { deltas.push_back({DeltaOp::kReweight, u, v, w}); }
+};
+
+/// Canonicalizes a batch for application: endpoints in hashed storage
+/// order, sorted by (first, second), one surviving op per edge — the
+/// batch-order-latest one (last-writer-wins).  Parallel; stable with
+/// respect to batch order within each edge's run.
+template <VertexId V>
+[[nodiscard]] std::vector<EdgeDelta<V>> normalize_deltas(
+    std::span<const EdgeDelta<V>> deltas) {
+  const auto n = static_cast<std::int64_t>(deltas.size());
+
+  struct Tagged {
+    EdgeDelta<V> d;
+    std::int64_t order;  // position in the batch; ties break by recency
+  };
+  std::vector<Tagged> tagged(static_cast<std::size_t>(n));
+  parallel_for(n, [&](std::int64_t i) {
+    EdgeDelta<V> d = deltas[static_cast<std::size_t>(i)];
+    if (d.u != d.v) {
+      const auto [f, s] = hashed_edge_order(d.u, d.v);
+      d.u = f;
+      d.v = s;
+    }
+    tagged[static_cast<std::size_t>(i)] = {d, i};
+  });
+
+  parallel_sort(tagged.begin(), tagged.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.d.u != b.d.u) return a.d.u < b.d.u;
+    if (a.d.v != b.d.v) return a.d.v < b.d.v;
+    return a.order < b.order;
+  });
+
+  // The survivor of each (u, v) run is its last element (highest batch
+  // order).  Mark survivors in parallel, then compact preserving order.
+  std::vector<std::uint8_t> last(static_cast<std::size_t>(n), 0);
+  parallel_for(n, [&](std::int64_t i) {
+    last[static_cast<std::size_t>(i)] =
+        (i + 1 == n || tagged[static_cast<std::size_t>(i)].d.u !=
+                           tagged[static_cast<std::size_t>(i + 1)].d.u ||
+         tagged[static_cast<std::size_t>(i)].d.v !=
+             tagged[static_cast<std::size_t>(i + 1)].d.v)
+            ? 1
+            : 0;
+  });
+
+  std::vector<std::int64_t> survivors(static_cast<std::size_t>(n));
+  parallel_for(n, [&](std::int64_t i) { survivors[static_cast<std::size_t>(i)] = i; });
+  const auto kept = parallel_compact(std::span<const std::int64_t>(survivors),
+                                     [&](std::int64_t i) {
+                                       return last[static_cast<std::size_t>(i)] != 0;
+                                     });
+
+  std::vector<EdgeDelta<V>> out(kept.size());
+  parallel_for(static_cast<std::int64_t>(kept.size()), [&](std::int64_t i) {
+    out[static_cast<std::size_t>(i)] =
+        tagged[static_cast<std::size_t>(kept[static_cast<std::size_t>(i)])].d;
+  });
+  return out;
+}
+
+template <VertexId V>
+[[nodiscard]] std::vector<EdgeDelta<V>> normalize_deltas(const DeltaBatch<V>& batch) {
+  return normalize_deltas(std::span<const EdgeDelta<V>>(batch.deltas));
+}
+
+}  // namespace commdet

@@ -27,6 +27,16 @@
 //                 community_size_distribution: <distribution> | null,
 //                 levels: [ <level> ... ],
 //                 failed_level: <level> | null },
+//     "dynamic": { batches, updates_applied, updates_effective,
+//                  rolled_back, halo_hops, apply_seconds,
+//                  recompute_seconds, updates_per_second,
+//                  batch_rows: [ { batch, deltas, effective, touched,
+//                                  dirty, seed_communities, apply_seconds,
+//                                  recompute_seconds, modularity, coverage,
+//                                  num_communities, termination,
+//                                  degraded } ... ] } | null,
+//                                // present only for --updates runs
+//                                // (added within schema version 1)
 //     "metrics": { "<name>": <int64>, ... },
 //     "resources": { max_rss_bytes, minor_faults, major_faults,
 //                    voluntary_ctx_switches, involuntary_ctx_switches },
@@ -71,6 +81,46 @@ namespace commdet::obs {
 inline constexpr std::string_view kRunReportSchema = "commdet-run-report";
 inline constexpr int kRunReportSchemaVersion = 1;
 
+/// One absorbed (or attempted) dynamic batch: sizes of the update and
+/// its blast radius, phase timings, and the quality the re-agglomerated
+/// clustering landed on.  Pure data, so the dyn/ subsystem can fill it
+/// without the report layer depending on dyn/.
+struct DynamicBatchRow {
+  std::int64_t batch = 0;             // 0-based batch index
+  std::int64_t deltas = 0;            // raw deltas submitted
+  std::int64_t effective = 0;         // deltas that changed the graph
+  std::int64_t touched = 0;           // vertices incident to a change
+  std::int64_t dirty = 0;             // touched + k-hop halo (unseated)
+  std::int64_t seed_communities = 0;  // warm-start community count
+  double apply_seconds = 0.0;
+  double recompute_seconds = 0.0;
+  double modularity = 0.0;
+  double coverage = 0.0;
+  std::int64_t num_communities = 0;
+  std::string termination;            // TerminationReason of the re-agglomeration
+  bool degraded = false;
+  bool kept_prior = false;  // re-agglomeration lost to the prior labels
+};
+
+/// Aggregate dynamic-update telemetry for one run (the "dynamic" run
+/// report object).
+struct DynamicRunStats {
+  std::int64_t batches = 0;          // batches committed
+  std::int64_t updates_applied = 0;  // raw deltas across committed batches
+  std::int64_t updates_effective = 0;
+  std::int64_t rolled_back = 0;      // failed batches (state unchanged)
+  std::int64_t kept_prior = 0;       // batches where the prior labels won
+  int halo_hops = 0;
+  double apply_seconds = 0.0;      // total graph-merge time
+  double recompute_seconds = 0.0;  // total seeded re-agglomeration time
+  std::vector<DynamicBatchRow> batch_rows;
+
+  [[nodiscard]] double updates_per_second() const noexcept {
+    const double t = apply_seconds + recompute_seconds;
+    return t > 0.0 ? static_cast<double>(updates_applied) / t : 0.0;
+  }
+};
+
 /// Optional report sections; null pointers are emitted as JSON null (or
 /// an empty object for metrics/info), so every consumer sees every key.
 struct RunReportInputs {
@@ -81,6 +131,7 @@ struct RunReportInputs {
   const Trace* trace = nullptr;
   const MetricsRegistry* metrics = nullptr;
   const ResourceSample* resources = nullptr;
+  const DynamicRunStats* dynamic = nullptr;              // --updates runs only
   std::vector<std::pair<std::string, std::string>> info;  // free-form strings
 };
 
@@ -237,6 +288,68 @@ inline void write_checkpoint(JsonWriter& w, const CheckpointProvenance& p) {
   w.end_object();
 }
 
+inline void write_dynamic(JsonWriter& w, const DynamicRunStats* d) {
+  if (d == nullptr) {
+    w.null();
+    return;
+  }
+  w.begin_object();
+  w.key("batches");
+  w.value(d->batches);
+  w.key("updates_applied");
+  w.value(d->updates_applied);
+  w.key("updates_effective");
+  w.value(d->updates_effective);
+  w.key("rolled_back");
+  w.value(d->rolled_back);
+  w.key("kept_prior");
+  w.value(d->kept_prior);
+  w.key("halo_hops");
+  w.value(d->halo_hops);
+  w.key("apply_seconds");
+  w.value(d->apply_seconds);
+  w.key("recompute_seconds");
+  w.value(d->recompute_seconds);
+  w.key("updates_per_second");
+  w.value(d->updates_per_second());
+  w.key("batch_rows");
+  w.begin_array();
+  for (const auto& r : d->batch_rows) {
+    w.begin_object();
+    w.key("batch");
+    w.value(r.batch);
+    w.key("deltas");
+    w.value(r.deltas);
+    w.key("effective");
+    w.value(r.effective);
+    w.key("touched");
+    w.value(r.touched);
+    w.key("dirty");
+    w.value(r.dirty);
+    w.key("seed_communities");
+    w.value(r.seed_communities);
+    w.key("apply_seconds");
+    w.value(r.apply_seconds);
+    w.key("recompute_seconds");
+    w.value(r.recompute_seconds);
+    w.key("modularity");
+    w.value(r.modularity);
+    w.key("coverage");
+    w.value(r.coverage);
+    w.key("num_communities");
+    w.value(r.num_communities);
+    w.key("termination");
+    w.value(r.termination);
+    w.key("degraded");
+    w.value(r.degraded);
+    w.key("kept_prior");
+    w.value(r.kept_prior);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 inline void write_error(JsonWriter& w, const Error& e) {
   w.begin_object();
   w.key("code");
@@ -385,6 +498,9 @@ template <VertexId V>
     w.null();
   }
   w.end_object();
+
+  w.key("dynamic");
+  detail::write_dynamic(w, in.dynamic);
 
   detail::end_report(w, in);
   return w.take();

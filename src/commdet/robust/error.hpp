@@ -44,6 +44,7 @@ enum class Phase {
   kContract,  // graph contraction
   kRefine,    // local-move refinement
   kDriver,    // agglomeration driver bookkeeping
+  kDynamic,   // dynamic-update subsystem (batch application / re-agglomeration)
   kUnknown,
 };
 
@@ -79,6 +80,7 @@ enum class Phase {
     case Phase::kContract: return "contract";
     case Phase::kRefine: return "refine";
     case Phase::kDriver: return "driver";
+    case Phase::kDynamic: return "dynamic";
     case Phase::kUnknown: return "unknown";
   }
   return "unknown";

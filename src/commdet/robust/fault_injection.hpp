@@ -30,6 +30,9 @@ inline constexpr const char* kIoMatrixMarket = "io.matrix_market";
 inline constexpr const char* kSnapshotWrite = "io.snapshot.write";
 inline constexpr const char* kSnapshotCommit = "io.snapshot.commit";
 inline constexpr const char* kSnapshotRead = "io.snapshot.read";
+inline constexpr const char* kDynApply = "dyn.apply";      // mid-batch, at the staged graph apply
+inline constexpr const char* kDynRecompute = "dyn.recompute";  // mid-batch, before re-agglomeration
+inline constexpr const char* kIoDeltaText = "io.delta_text";
 
 }  // namespace commdet::fault
 

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "commdet/graph/delta.hpp"
 #include "commdet/graph/edge_list.hpp"
 #include "commdet/robust/error.hpp"
 #include "commdet/robust/expected.hpp"
@@ -179,6 +180,71 @@ template <VertexId V>
       report.removed += static_cast<std::int64_t>(edges.edges.size() - w);
       edges.edges.resize(w);
     }
+    return report;
+  } catch (const std::exception& e) {
+    return Unexpected(error_from_exception(e, Phase::kSanitize));
+  }
+}
+
+/// Anomaly counts of one delta-batch sweep.  Self-loops and duplicate
+/// targets are legal in a batch (normalize_deltas resolves duplicates
+/// last-writer-wins), so only range and weight violations count.
+struct DeltaSanitizeReport {
+  std::int64_t scanned = 0;
+  std::int64_t bad_endpoints = 0;  // outside [0, num_vertices)
+  std::int64_t bad_weights = 0;    // insert/reweight with weight <= 0
+  std::int64_t removed = 0;        // deltas dropped under kRepair
+
+  [[nodiscard]] bool clean() const noexcept {
+    return bad_endpoints == 0 && bad_weights == 0 && removed == 0;
+  }
+};
+
+/// Sanitizes a delta batch in place against a graph with `num_vertices`
+/// vertices.  kReject fails the whole batch on any anomaly; kRepair
+/// drops anomalous deltas (order preserved — last-writer-wins dedup
+/// still sees the surviving batch order).  Returns the report or a
+/// structured Error (phase kSanitize).
+template <VertexId V>
+[[nodiscard]] Expected<DeltaSanitizeReport> sanitize_deltas(DeltaBatch<V>& batch,
+                                                            V num_vertices,
+                                                            const SanitizeOptions& opts = {}) {
+  try {
+    COMMDET_FAULT_POINT(fault::kSanitize, Phase::kSanitize);
+    const std::int64_t n = batch.size();
+    const auto nv = static_cast<std::int64_t>(num_vertices);
+    DeltaSanitizeReport report;
+    report.scanned = n;
+
+    const auto bad_endpoint = [&](const EdgeDelta<V>& d) {
+      return d.u < 0 || d.u >= nv || d.v < 0 || d.v >= nv;
+    };
+    const auto bad_weight = [&](const EdgeDelta<V>& d) {
+      return d.op != DeltaOp::kDelete && d.w <= 0;
+    };
+    report.bad_endpoints = parallel_count(n, [&](std::int64_t i) {
+      return bad_endpoint(batch.deltas[static_cast<std::size_t>(i)]);
+    });
+    report.bad_weights = parallel_count(n, [&](std::int64_t i) {
+      const auto& d = batch.deltas[static_cast<std::size_t>(i)];
+      return !bad_endpoint(d) && bad_weight(d);
+    });
+
+    const bool anomalous = report.bad_endpoints > 0 || report.bad_weights > 0;
+    if (!anomalous) return report;
+
+    if (opts.policy == SanitizePolicy::kReject)
+      return Unexpected(Error{ErrorCode::kBadEndpoint, Phase::kSanitize,
+                              "delta batch rejected: " + std::to_string(report.bad_endpoints) +
+                                  " bad endpoints, " + std::to_string(report.bad_weights) +
+                                  " bad weights in " + std::to_string(report.scanned) +
+                                  " deltas"});
+
+    const auto before = batch.deltas.size();
+    std::erase_if(batch.deltas, [&](const EdgeDelta<V>& d) {
+      return bad_endpoint(d) || bad_weight(d);
+    });
+    report.removed = static_cast<std::int64_t>(before - batch.deltas.size());
     return report;
   } catch (const std::exception& e) {
     return Unexpected(error_from_exception(e, Phase::kSanitize));

@@ -16,8 +16,11 @@
 
 #include "commdet/core/agglomerate.hpp"
 #include "commdet/core/detect.hpp"
+#include "commdet/dyn/dynamic_communities.hpp"
 #include "commdet/gen/planted_partition.hpp"
+#include "commdet/graph/delta.hpp"
 #include "commdet/io/binary.hpp"
+#include "commdet/io/delta_text.hpp"
 #include "commdet/io/edge_list_text.hpp"
 #include "commdet/io/matrix_market.hpp"
 #include "commdet/io/metis.hpp"
@@ -323,6 +326,89 @@ TEST_F(FaultInjectionIoTest, UnreadableLatestGenerationFallsBack) {
   ASSERT_TRUE(st.has_value());
   EXPECT_EQ(st->source_generation, 1);
   EXPECT_EQ(st->next_level, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic batches: a failure anywhere inside apply_batch must roll the
+// whole batch back — the previous graph and clustering stay bit-for-bit
+// intact (no torn membership) and the next batch goes through cleanly.
+
+void expect_batch_rolls_back(const char* site) {
+  const auto el = generate_planted_partition<V32>(small_partition());
+  DynamicCommunities<V32> dyn(build_community_graph(el));
+  const auto labels_before = dyn.clustering().community;
+  const auto weight_before = dyn.graph().total_weight;
+  const auto edges_before = dyn.graph().num_edges();
+
+  DeltaBatch<V32> batch;
+  batch.insert(0, 1, 3);
+  batch.erase(2, 3);
+
+  {
+    fault::ScopedFault f(site);
+    const auto row = dyn.apply_batch(batch);
+    ASSERT_FALSE(row.has_value()) << "fault at " << site << " must fail the batch";
+    EXPECT_EQ(row.error().code, ErrorCode::kInjectedFault);
+    EXPECT_EQ(row.error().phase, Phase::kDynamic);
+  }
+  EXPECT_EQ(dyn.clustering().community, labels_before);
+  EXPECT_EQ(dyn.graph().total_weight, weight_before);
+  EXPECT_EQ(dyn.graph().num_edges(), edges_before);
+  EXPECT_EQ(dyn.stats().rolled_back, 1);
+  EXPECT_EQ(dyn.stats().batches, 0);
+
+  // With the fault gone the identical batch commits.
+  const auto row = dyn.apply_batch(batch);
+  ASSERT_TRUE(row.has_value()) << row.error().message();
+  EXPECT_GT(row->effective, 0);
+  EXPECT_NE(dyn.graph().total_weight, weight_before);
+  EXPECT_EQ(dyn.stats().batches, 1);
+}
+
+TEST(FaultInjection, DynamicBatchRollsBackOnApplyFault) {
+  expect_batch_rolls_back(fault::kDynApply);
+}
+
+TEST(FaultInjection, DynamicBatchRollsBackOnRecomputeFault) {
+  expect_batch_rolls_back(fault::kDynRecompute);
+}
+
+TEST(FaultInjection, DynamicBatchContainsMidAgglomerationFault) {
+  // A fault deep inside the seeded re-agglomeration (the contraction
+  // kernel) is contained by the driver into a degraded clustering — the
+  // batch still commits transactionally with the best result reached.
+  const auto el = generate_planted_partition<V32>(small_partition());
+  DynamicCommunities<V32> dyn(build_community_graph(el));
+  const auto weight_before = dyn.graph().total_weight;
+
+  DeltaBatch<V32> batch;
+  for (V32 i = 0; i < 32; ++i) batch.insert(i, static_cast<V32>(i + 64), 2);
+
+  fault::ScopedFault f(fault::kContract, 1);
+  const auto row = dyn.apply_batch(batch);
+  ASSERT_TRUE(row.has_value()) << row.error().message();
+  // Either the degraded best-so-far committed, or the quality guard
+  // noticed it lost to the prior labels and kept those instead.
+  EXPECT_TRUE(row->degraded || row->kept_prior);
+  EXPECT_NE(dyn.graph().total_weight, weight_before);  // the graph update committed
+  EXPECT_EQ(dyn.stats().batches, 1);
+  EXPECT_EQ(dyn.stats().rolled_back, 0);
+}
+
+TEST(FaultInjection, DeltaTextReadFaultSurfacesAsInputError) {
+  const std::string path = testing::TempDir() + "/fi_deltas.txt";
+  DeltaBatch<V32> batch;
+  batch.insert(1, 2, 1);
+  write_delta_text(batch, path);
+  fault::ScopedFault f(fault::kIoDeltaText);
+  try {
+    (void)read_delta_text<V32>(path);
+    FAIL() << "expected injected fault";
+  } catch (const CommdetError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInjectedFault);
+    EXPECT_EQ(e.error().phase, Phase::kInput);
+  }
+  std::filesystem::remove(path);
 }
 
 }  // namespace
