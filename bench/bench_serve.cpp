@@ -1,0 +1,214 @@
+// Streaming-service benchmark: ingest throughput and query latency of
+// an in-process CommunityService under concurrent load.
+//
+// Workload: the rmat stand-in at --scale, then `--batches` delta
+// batches (same ~1%% half-delete/half-insert stream as bench_dynamic)
+// pushed through submit()+COMMIT on one ingest thread while
+// `--readers` threads hammer the epoch-published snapshot with
+// membership lookups.  Reported:
+//
+//   row,ingest,<batch>,0,<seconds>,<deltas/s>,<epoch>
+//   row,query,<reader>,0,<seconds>,<queries/s>,<p50_us>,<p90_us>,<p99_us>
+//
+// plus a summary row with aggregate deltas/s and pooled latency
+// percentiles.  The WAL runs with fsync disabled so the numbers measure
+// the service machinery, not the container's disk (pass --fsync to
+// include it).
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "commdet/dyn/dynamic_communities.hpp"
+#include "commdet/graph/delta.hpp"
+#include "commdet/serve/service.hpp"
+#include "commdet/util/rng.hpp"
+#include "commdet/util/timer.hpp"
+
+namespace {
+
+using commdet::CounterRng;
+using commdet::DeltaBatch;
+using V = std::int32_t;
+
+DeltaBatch<V> make_batch(const commdet::CommunityGraph<V>& g, std::uint64_t seed,
+                         int batch, double fraction) {
+  const auto num_edges = static_cast<std::uint64_t>(g.num_edges());
+  const auto nv = static_cast<std::uint64_t>(g.nv);
+  const auto total = static_cast<std::int64_t>(
+      std::max<double>(1.0, fraction * static_cast<double>(num_edges)));
+  const CounterRng rng(seed, 1000 + static_cast<std::uint64_t>(batch));
+  DeltaBatch<V> out;
+  for (std::int64_t i = 0; i < total; ++i) {
+    const auto c = static_cast<std::uint64_t>(4 * i);
+    if (i % 2 == 0 && num_edges > 0) {
+      const auto e = static_cast<std::size_t>(rng.below(c, num_edges));
+      out.erase(g.efirst[e], g.esecond[e]);
+    } else {
+      out.insert(static_cast<V>(rng.below(c + 1, nv)),
+                 static_cast<V>(rng.below(c + 2, nv)),
+                 1 + static_cast<commdet::Weight>(rng.below(c + 3, 3)));
+    }
+  }
+  return out;
+}
+
+double percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace commdet;
+  using namespace commdet::bench;
+
+  int batches = 20;
+  int readers = 4;
+  bool fsync = false;
+  std::vector<char*> rest{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--batches" && i + 1 < argc) batches = std::atoi(argv[++i]);
+    else if (std::string(argv[i]) == "--readers" && i + 1 < argc) readers = std::atoi(argv[++i]);
+    else if (std::string(argv[i]) == "--fsync") fsync = true;
+    else rest.push_back(argv[i]);
+  }
+  BenchConfig cfg = parse_args(static_cast<int>(rest.size()), rest.data());
+  if (cfg.trials == 1 && cfg.scale <= 13) batches = std::min(batches, 5);  // --quick
+  const double fraction = 0.01;
+
+  std::printf("# bench_serve: scale=%d edgefactor=%d batches=%d readers=%d fsync=%d\n",
+              cfg.scale, cfg.edge_factor, batches, readers, fsync ? 1 : 0);
+  auto base = build_rmat_workload<V>(cfg, cfg.scale, cfg.edge_factor);
+  std::printf("# graph: %lld vertices, %lld edges\n", static_cast<long long>(base.nv),
+              static_cast<long long>(base.num_edges()));
+  const std::int64_t nv = base.nv;
+
+  const std::string dir = "bench_serve_state";
+  std::filesystem::remove_all(dir);
+  serve::ServeOptions sopts;
+  sopts.dir = dir;
+  sopts.fsync_wal = fsync;
+  sopts.dynamic.detect.agglomeration.min_coverage = 0.5;
+  sopts.save_every_batches = 0;  // measure WAL + apply, not snapshot saves
+
+  WallTimer init_timer;
+  auto created = serve::CommunityService<V>::create(std::move(base), sopts);
+  if (!created.has_value()) {
+    std::fprintf(stderr, "create failed: %s\n", created.error().message().c_str());
+    return 1;
+  }
+  auto& svc = **created;
+  std::printf("# service up in %.4fs\n", init_timer.seconds());
+
+  // Readers: random membership lookups against whatever epoch is
+  // current, per-query latency sampled with a wall timer.  They run for
+  // the whole ingest window and stop when the flag flips.
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> latencies_us(static_cast<std::size_t>(readers));
+  std::vector<std::thread> reader_threads;
+  std::vector<double> reader_seconds(static_cast<std::size_t>(readers), 0.0);
+  reader_threads.reserve(static_cast<std::size_t>(readers));
+  for (int r = 0; r < readers; ++r) {
+    reader_threads.emplace_back([&, r] {
+      const CounterRng rng(cfg.seed, 9000 + static_cast<std::uint64_t>(r));
+      auto& lat = latencies_us[static_cast<std::size_t>(r)];
+      WallTimer total;
+      std::uint64_t c = 0;
+      std::int64_t checksum = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto v = static_cast<std::size_t>(
+            rng.below(c++, static_cast<std::uint64_t>(nv)));
+        WallTimer t;
+        const auto snap = svc.snapshot();
+        if (v < snap->labels->size()) checksum += (*snap->labels)[v];
+        lat.push_back(t.seconds() * 1e6);
+      }
+      reader_seconds[static_cast<std::size_t>(r)] = total.seconds();
+      if (checksum == -1) std::printf("#\n");  // defeat dead-code elimination
+    });
+  }
+
+  // Ingest: submit each batch delta-by-delta (the daemon's unit of
+  // arrival), then a COMMIT barrier so the measured window covers WAL
+  // append + apply + publish.
+  double ingest_seconds_total = 0.0;
+  std::int64_t deltas_total = 0;
+  for (int b = 0; b < batches; ++b) {
+    // Reading the maintained graph between commits is race-free here:
+    // this thread is the only producer, so after commit() the writer is
+    // idle on an empty queue.
+    const auto batch = make_batch(svc.dynamics().graph(), cfg.seed, b, fraction);
+    WallTimer t;
+    for (const auto& d : batch.deltas) {
+      if (auto r = svc.submit(d); !r.has_value()) {
+        std::fprintf(stderr, "submit failed: %s\n", r.error().message().c_str());
+        return 1;
+      }
+    }
+    const auto epoch = svc.commit();
+    const double s = t.seconds();
+    if (!epoch.has_value()) {
+      std::fprintf(stderr, "batch %d failed: %s\n", b, epoch.error().message().c_str());
+      return 1;
+    }
+    ingest_seconds_total += s;
+    deltas_total += batch.size();
+    const double rate = s > 0.0 ? static_cast<double>(batch.size()) / s : 0.0;
+    std::printf("row,ingest,%d,0,%.6f,%.0f,%lld\n", b, s, rate,
+                static_cast<long long>(epoch.value()));
+    report().add("ingest", 0, b, s,
+                 {{"deltas_per_second", rate},
+                  {"deltas", static_cast<double>(batch.size())},
+                  {"epoch", static_cast<double>(epoch.value())}});
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : reader_threads) t.join();
+
+  std::vector<double> pooled;
+  for (int r = 0; r < readers; ++r) {
+    auto& lat = latencies_us[static_cast<std::size_t>(r)];
+    std::sort(lat.begin(), lat.end());
+    const double secs = reader_seconds[static_cast<std::size_t>(r)];
+    const double qps = secs > 0.0 ? static_cast<double>(lat.size()) / secs : 0.0;
+    std::printf("row,query,%d,0,%.6f,%.0f,%.2f,%.2f,%.2f\n", r, secs, qps,
+                percentile(lat, 0.50), percentile(lat, 0.90), percentile(lat, 0.99));
+    report().add("query", r, 0, secs,
+                 {{"queries_per_second", qps},
+                  {"p50_us", percentile(lat, 0.50)},
+                  {"p90_us", percentile(lat, 0.90)},
+                  {"p99_us", percentile(lat, 0.99)}});
+    pooled.insert(pooled.end(), lat.begin(), lat.end());
+  }
+  std::sort(pooled.begin(), pooled.end());
+
+  const double ingest_rate = ingest_seconds_total > 0.0
+                                 ? static_cast<double>(deltas_total) / ingest_seconds_total
+                                 : 0.0;
+  std::printf("# ingest: %" PRId64 " deltas over %d batches, %.0f deltas/s\n",
+              deltas_total, batches, ingest_rate);
+  std::printf("# query: %zu samples, p50 %.2fus p90 %.2fus p99 %.2fus\n", pooled.size(),
+              percentile(pooled, 0.50), percentile(pooled, 0.90),
+              percentile(pooled, 0.99));
+  report().add("summary", 0, 0, ingest_seconds_total,
+               {{"deltas_per_second", ingest_rate},
+                {"queries", static_cast<double>(pooled.size())},
+                {"p50_us", percentile(pooled, 0.50)},
+                {"p90_us", percentile(pooled, 0.90)},
+                {"p99_us", percentile(pooled, 0.99)}});
+
+  svc.shutdown();
+  write_report(cfg, "bench_serve");
+  std::filesystem::remove_all(dir);
+  return 0;
+}

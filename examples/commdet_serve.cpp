@@ -1,0 +1,377 @@
+// commdet_serve: long-lived streaming community-detection daemon.
+//
+// Speaks the serve/protocol.hpp line protocol over stdin/stdout
+// (default), a Unix socket (--socket), or local TCP (--port).  Edge
+// deltas stream in, micro-batches apply on a dedicated writer thread,
+// and queries are answered from epoch-published immutable snapshots.
+// Every committed batch is WAL-logged before it is acknowledged, and
+// snapshots rotate through the checkpoint generation machinery, so:
+//
+//   * SIGKILL: restart with the same --dir recovers the exact committed
+//     epoch (snapshot + WAL replay, bit-for-bit membership).
+//   * SIGTERM/SIGINT: cooperative interrupt -> drain, final snapshot,
+//     clean exit 0 (a second signal kills the process the normal way).
+//
+// Startup: when --dir already holds a dynamic state, the daemon
+// recovers from it (the graph file is ignored); otherwise it loads the
+// graph, runs the initial detection, and starts at epoch 0.  Once
+// serving it prints "READY epoch=<e> replayed=<n>" on stdout.
+//
+// Exit codes match detect_communities: 0 ok, 2 usage, 1 unstructured
+// exception, exit_code_for() categories (3..9) for structured errors.
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <omp.h>
+
+#include "commdet/core/detect.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/io/binary.hpp"
+#include "commdet/io/edge_list_text.hpp"
+#include "commdet/io/matrix_market.hpp"
+#include "commdet/io/metis.hpp"
+#include "commdet/obs/json.hpp"
+#include "commdet/obs/report.hpp"
+#include "commdet/platform/platform_info.hpp"
+#include "commdet/robust/checkpoint.hpp"
+#include "commdet/robust/error.hpp"
+#include "commdet/serve/service.hpp"
+#include "commdet/serve/session.hpp"
+
+namespace {
+
+using V = std::int64_t;
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+commdet::EdgeList<V> load(const std::string& path) {
+  if (ends_with(path, ".graph")) return commdet::read_metis<V>(path);
+  if (ends_with(path, ".mtx")) return commdet::read_matrix_market<V>(path);
+  if (ends_with(path, ".bin")) return commdet::read_edge_list_binary<V>(path);
+  return commdet::read_edge_list_text<V>(path);
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: commdet_serve <graph-file> --dir <state-dir>\n"
+               "       [--socket path | --port p]          (default: stdin/stdout)\n"
+               "       [--metric modularity|conductance|heavy|resolution] [--gamma g]\n"
+               "       [--refine flat|vcycle] [--threads t]\n"
+               "       [--halo k|auto] [--refresh-margin x] [--refresh-every n]\n"
+               "       [--batch-count n] [--batch-ms m] [--save-every n] [--keep k]\n"
+               "       [--no-fsync] [--report file.json]\n");
+  std::exit(2);
+}
+
+/// First SIGINT/SIGTERM requests a cooperative stop (drain + final
+/// snapshot); restoring the default action means a second signal kills
+/// the process the normal way.
+extern "C" void on_stop_signal(int sig) {
+  commdet::request_interrupt();
+  std::signal(sig, SIG_DFL);
+}
+
+int report_structured_error(const commdet::Error& err, int exit_code) {
+  commdet::obs::JsonWriter w;
+  w.begin_object();
+  w.key("error");
+  w.begin_object();
+  w.key("code");
+  w.value(commdet::to_string(err.code));
+  w.key("phase");
+  w.value(commdet::to_string(err.phase));
+  w.key("detail");
+  w.value(err.detail);
+  w.key("exit_code");
+  w.value(exit_code);
+  w.end_object();
+  w.end_object();
+  std::fprintf(stderr, "%s\n", w.take().c_str());
+  return exit_code;
+}
+
+void write_all(int fd, const std::string& s) {
+  const char* p = s.data();
+  std::size_t left = s.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // peer went away; the session loop notices on read
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Buffered newline framing over a poll-able fd, with a timeout so the
+/// loop can notice the interrupt flag even when the peer is silent.
+class FdLineReader {
+ public:
+  explicit FdLineReader(int fd) : fd_(fd) {}
+
+  /// 1 = got a line, 0 = timeout, -1 = EOF/error (buffer drained first).
+  int next(std::string& line, int timeout_ms) {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line.assign(buf_, 0, nl);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        buf_.erase(0, nl + 1);
+        return 1;
+      }
+      if (eof_) {
+        if (buf_.empty()) return -1;
+        line = std::move(buf_);  // unterminated final line still counts
+        buf_.clear();
+        return 1;
+      }
+      struct pollfd pfd{fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, timeout_ms);
+      if (pr == 0) return 0;
+      if (pr < 0) {
+        if (errno == EINTR) return 0;
+        eof_ = true;
+        continue;
+      }
+      char chunk[65536];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        eof_ = true;
+        continue;
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+std::atomic<bool> g_closing{false};
+
+/// One protocol session over (in_fd, out_fd); returns when the peer
+/// hangs up, QUIT/SHUTDOWN arrives, or the daemon is stopping.
+void run_session(commdet::serve::CommunityService<V>& svc, const std::string& peer,
+                 int in_fd, int out_fd) {
+  commdet::serve::Session<V> session(svc, peer);
+  FdLineReader reader(in_fd);
+  std::string line;
+  while (!g_closing.load(std::memory_order_relaxed) && !commdet::interrupt_requested()) {
+    const int r = reader.next(line, 200);
+    if (r < 0) break;
+    if (r == 0) continue;
+    const auto reply = session.handle_line(line);
+    if (reply.line.has_value()) write_all(out_fd, *reply.line + "\n");
+    if (reply.shutdown) {
+      commdet::request_interrupt();
+      g_closing.store(true, std::memory_order_relaxed);
+    }
+    if (reply.close) break;
+  }
+}
+
+int serve_socket(commdet::serve::CommunityService<V>& svc, int listen_fd) {
+  std::vector<std::thread> conns;
+  std::int64_t next_id = 0;
+  while (!g_closing.load(std::memory_order_relaxed) && !commdet::interrupt_requested()) {
+    struct pollfd pfd{listen_fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr <= 0) continue;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    const std::string peer = "conn-" + std::to_string(next_id++);
+    conns.emplace_back([&svc, peer, conn] {
+      run_session(svc, peer, conn, conn);
+      ::close(conn);
+    });
+  }
+  ::close(listen_fd);
+  for (auto& t : conns) t.join();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  std::string graph_path = argv[1];
+  std::string socket_path;
+  std::string report_path;
+  std::string metric = "modularity";
+  int port = 0;
+  commdet::serve::ServeOptions sopts;
+  commdet::DynamicOptions& dopts = sopts.dynamic;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--dir") {
+      sopts.dir = next();
+    } else if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--port") {
+      port = std::stoi(next());
+    } else if (arg == "--metric") {
+      metric = next();
+    } else if (arg == "--gamma") {
+      dopts.detect.resolution_gamma = std::stod(next());
+    } else if (arg == "--refine") {
+      const auto mode = next();
+      if (mode == "flat") dopts.detect.refine_mode = commdet::DetectOptions::RefineMode::kFlat;
+      else if (mode == "vcycle") dopts.detect.refine_mode = commdet::DetectOptions::RefineMode::kVCycle;
+      else usage();
+    } else if (arg == "--threads") {
+      omp_set_num_threads(std::stoi(next()));
+    } else if (arg == "--halo") {
+      const auto h = next();
+      dopts.halo_hops = h == "auto" ? -1 : std::stoi(h);
+    } else if (arg == "--refresh-margin") {
+      dopts.refresh_margin = std::stod(next());
+    } else if (arg == "--refresh-every") {
+      dopts.refresh_every = std::stoi(next());
+    } else if (arg == "--batch-count") {
+      sopts.batch_max_deltas = std::stoll(next());
+    } else if (arg == "--batch-ms") {
+      sopts.batch_max_delay_seconds = std::stod(next()) / 1000.0;
+    } else if (arg == "--save-every") {
+      sopts.save_every_batches = std::stoi(next());
+    } else if (arg == "--keep") {
+      sopts.keep_generations = std::stoi(next());
+    } else if (arg == "--no-fsync") {
+      sopts.fsync_wal = false;
+    } else if (arg == "--report") {
+      report_path = next();
+    } else {
+      usage();
+    }
+  }
+  if (sopts.dir.empty()) {
+    std::fprintf(stderr, "error: --dir is required (state + WAL root)\n");
+    return 2;
+  }
+  if (!socket_path.empty() && port != 0) {
+    std::fprintf(stderr, "error: --socket and --port are mutually exclusive\n");
+    return 2;
+  }
+
+  if (metric == "modularity") dopts.detect.scorer = commdet::ScorerKind::kModularity;
+  else if (metric == "conductance") dopts.detect.scorer = commdet::ScorerKind::kConductance;
+  else if (metric == "heavy") dopts.detect.scorer = commdet::ScorerKind::kHeavyEdge;
+  else if (metric == "resolution") dopts.detect.scorer = commdet::ScorerKind::kResolutionModularity;
+  else usage();
+
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+  std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the daemon
+
+  try {
+    // Recover when the state directory already holds generations;
+    // otherwise cold-start from the graph file.
+    std::unique_ptr<commdet::serve::CommunityService<V>> svc;
+    const bool have_state = !commdet::list_checkpoints(sopts.dir).empty();
+    if (have_state) {
+      auto opened = commdet::serve::CommunityService<V>::open(sopts);
+      if (!opened.has_value())
+        return report_structured_error(opened.error(),
+                                       commdet::exit_code_for(opened.error().code));
+      svc = std::move(opened.value());
+    } else {
+      auto created = commdet::serve::CommunityService<V>::create(
+          commdet::build_community_graph(load(graph_path)), sopts);
+      if (!created.has_value())
+        return report_structured_error(created.error(),
+                                       commdet::exit_code_for(created.error().code));
+      svc = std::move(created.value());
+    }
+
+    std::printf("READY epoch=%lld replayed=%lld\n",
+                static_cast<long long>(svc->snapshot()->epoch),
+                static_cast<long long>(svc->replayed_batches()));
+    std::fflush(stdout);
+
+    if (!socket_path.empty()) {
+      const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) { std::perror("socket"); return 1; }
+      struct sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      if (socket_path.size() >= sizeof addr.sun_path) {
+        std::fprintf(stderr, "error: socket path too long\n");
+        return 2;
+      }
+      std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+      ::unlink(socket_path.c_str());
+      if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) < 0 ||
+          ::listen(fd, 64) < 0) {
+        std::perror("bind/listen");
+        return 1;
+      }
+      serve_socket(*svc, fd);
+      ::unlink(socket_path.c_str());
+    } else if (port != 0) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) { std::perror("socket"); return 1; }
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+      struct sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local only
+      addr.sin_port = htons(static_cast<std::uint16_t>(port));
+      if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) < 0 ||
+          ::listen(fd, 64) < 0) {
+        std::perror("bind/listen");
+        return 1;
+      }
+      serve_socket(*svc, fd);
+    } else {
+      run_session(*svc, "stdin", 0, 1);  // EOF = graceful shutdown
+    }
+
+    svc->shutdown();  // drain + final snapshot
+
+    if (!report_path.empty()) {
+      const auto platform = commdet::detect_platform();
+      commdet::obs::RunReportInputs inputs;
+      inputs.platform = &platform;
+      inputs.dynamic = &svc->dynamics().stats();
+      inputs.info = {{"tool", "commdet_serve"},
+                     {"dir", sopts.dir},
+                     {"metric", metric},
+                     {"replayed", std::to_string(svc->replayed_batches())},
+                     {"queries", std::to_string(svc->queries_served())}};
+      commdet::obs::write_text_file(
+          report_path, commdet::obs::run_report_json(svc->dynamics().clustering(), inputs));
+      std::fprintf(stderr, "run report written to %s\n", report_path.c_str());
+    }
+    std::printf("BYE epoch=%lld\n",
+                static_cast<long long>(svc->dynamics().epoch()));
+    return 0;
+  } catch (const commdet::CommdetError& e) {
+    return report_structured_error(e.error(), commdet::exit_code_for(e.code()));
+  } catch (const std::exception& e) {
+    return report_structured_error(
+        commdet::Error{commdet::ErrorCode::kInternal, commdet::Phase::kUnknown, e.what()}, 1);
+  }
+}

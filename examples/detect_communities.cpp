@@ -30,7 +30,9 @@
 //                       "= u v w" lines) through seeded re-agglomeration
 //   --batch-size <n>    deltas per batch in dynamic mode (default 1024,
 //                       0 = one batch for the whole file)
-//   --halo <k>          unseat k hops around updated edges (default 1)
+//   --halo <k>|auto     unseat k hops around updated edges (default 1);
+//                       "auto" picks the radius per batch from the
+//                       perturbation's cut-weight share
 //   --report <file>     machine-readable JSON run report (schema
 //                       "commdet-run-report" v1: trace, metrics, levels,
 //                       platform, resources, checkpoint provenance;
@@ -100,7 +102,8 @@ commdet::EdgeList<V> load(const std::string& path) {
                "       [--max-stalled-levels k] [--grace-levels k]\n"
                "       [--checkpoint-dir d] [--checkpoint-every k] [--checkpoint-keep k]\n"
                "       [--resume]\n"
-               "       [--updates deltas.txt] [--batch-size n] [--halo k]\n"
+               "       [--updates deltas.txt] [--batch-size n] [--halo k|auto]\n"
+               "       [--refresh-margin x] [--refresh-every n]\n"
                "       [--report file.json] [--report-csv file.csv] [--trace]\n");
   std::exit(2);
 }
@@ -146,6 +149,8 @@ int main(int argc, char** argv) {
   std::string updates_path;
   std::int64_t batch_size = 1024;
   int halo_hops = 1;
+  double refresh_margin = 0.0;
+  int refresh_every = 0;
   bool print_trace = false;
   bool use_largest_component = false;
   bool resume = false;
@@ -212,7 +217,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--batch-size") {
       batch_size = std::stoll(next());
     } else if (arg == "--halo") {
-      halo_hops = std::stoi(next());
+      const auto h = next();
+      halo_hops = h == "auto" ? -1 : std::stoi(h);
+    } else if (arg == "--refresh-margin") {
+      refresh_margin = std::stod(next());
+    } else if (arg == "--refresh-every") {
+      refresh_every = std::stoi(next());
     } else if (arg == "--report") {
       report_path = next();
     } else if (arg == "--report-csv") {
@@ -317,14 +327,21 @@ int main(int argc, char** argv) {
       commdet::DynamicOptions dyn_opts;
       dyn_opts.detect = dopts;
       dyn_opts.halo_hops = halo_hops;
+      dyn_opts.refresh_margin = refresh_margin;
+      dyn_opts.refresh_every = refresh_every;
       commdet::DynamicCommunities<V> dyn(commdet::CommunityGraph<V>(g), result, dyn_opts);
       const auto deltas = commdet::read_delta_text<V>(updates_path);
       const auto total = static_cast<std::int64_t>(deltas.size());
       const std::int64_t step =
           batch_size > 0 ? batch_size : std::max<std::int64_t>(total, 1);
-      std::printf("dynamic: %lld deltas from %s in batches of %lld (halo %d)\n",
-                  static_cast<long long>(total), updates_path.c_str(),
-                  static_cast<long long>(step), halo_hops);
+      if (halo_hops < 0)
+        std::printf("dynamic: %lld deltas from %s in batches of %lld (halo auto)\n",
+                    static_cast<long long>(total), updates_path.c_str(),
+                    static_cast<long long>(step));
+      else
+        std::printf("dynamic: %lld deltas from %s in batches of %lld (halo %d)\n",
+                    static_cast<long long>(total), updates_path.c_str(),
+                    static_cast<long long>(step), halo_hops);
       for (std::int64_t off = 0; off < total; off += step) {
         commdet::DeltaBatch<V> batch;
         batch.deltas.assign(deltas.deltas.begin() + off,

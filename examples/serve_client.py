@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Minimal client for the commdet_serve line protocol.
+
+Connects to a running daemon over a Unix socket or local TCP, streams a
+few edge deltas, commits them, and queries the published membership.
+
+Start a daemon first, e.g.:
+
+    build/examples/commdet_serve graph.txt --dir /tmp/commdet-state \
+        --socket /tmp/commdet.sock
+
+then:
+
+    python3 examples/serve_client.py --socket /tmp/commdet.sock
+
+The protocol is newline-framed text (see src/commdet/serve/protocol.hpp):
+delta lines ("+ u v w", "- u v", "= u v w") are acknowledged lazily by
+the next COMMIT; query verbs (GET, COMMUNITY, QUALITY, EPOCH, STATS)
+answer immediately from the latest published epoch.
+"""
+
+import argparse
+import json
+import socket
+import sys
+
+
+class ServeClient:
+    """Blocking line-oriented client; one request/response at a time."""
+
+    def __init__(self, sock):
+        self.sock = sock
+        self.buf = b""
+
+    @classmethod
+    def connect(cls, unix_path=None, port=None):
+        if unix_path:
+            s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            s.connect(unix_path)
+        else:
+            s = socket.create_connection(("127.0.0.1", port))
+        return cls(s)
+
+    def send(self, line):
+        """Fire-and-forget (delta lines are silent on success)."""
+        self.sock.sendall(line.encode() + b"\n")
+
+    def ask(self, line):
+        """Send a verb and return its single reply line."""
+        self.send(line)
+        return self.recv_line()
+
+    def recv_line(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("daemon closed the connection")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode().rstrip("\r")
+
+    def commit(self):
+        """Barrier: returns the epoch once every prior delta is applied,
+        or raises if any of them failed."""
+        reply = self.ask("COMMIT")
+        if not reply.startswith("OK "):
+            raise RuntimeError(reply)
+        return int(reply.split()[1])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = ap.add_mutually_exclusive_group(required=True)
+    group.add_argument("--socket", help="Unix socket path of the daemon")
+    group.add_argument("--port", type=int, help="local TCP port of the daemon")
+    args = ap.parse_args()
+
+    c = ServeClient.connect(unix_path=args.socket, port=args.port)
+
+    print("epoch at connect:", c.ask("EPOCH"))
+
+    # Stream a tiny batch of deltas, then barrier on COMMIT.
+    for line in ["+ 0 1 2.5", "+ 1 2 1.0", "- 0 2"]:
+        c.send(line)
+    epoch = c.commit()
+    print("committed epoch:", epoch)
+
+    # Queries are answered from the immutable snapshot of that epoch.
+    print("vertex 0:", c.ask("GET 0"))
+    print("quality:", c.ask("QUALITY"))
+
+    stats_reply = c.ask("STATS")
+    if stats_reply.startswith("OK "):
+        stats = json.loads(stats_reply[3:])
+        print("batches applied:", stats["dynamic"]["batches"])
+
+    print(c.ask("QUIT"))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

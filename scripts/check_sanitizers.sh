@@ -3,8 +3,9 @@
 #
 #   1. ASan + UBSan over the full tier-1 suite,
 #   2. TSan over the concurrency-heavy matcher/contractor/driver tests
-#      (a full TSan run is minutes of overhead; the data-race surface
-#      lives in match/, contract/, and the parallel primitives).
+#      plus the streaming-service suite (a full TSan run is minutes of
+#      overhead; the data-race surface lives in match/, contract/, the
+#      parallel primitives, and the serve writer/reader exchange).
 #
 # Usage: scripts/check_sanitizers.sh [asan|tsan|all]   (default: all)
 set -euo pipefail
@@ -27,14 +28,15 @@ run_tsan() {
   cmake -B build-tsan -S . -DCOMMDET_SANITIZE="thread" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   for t in util_parallel_test util_spinlock_test match_test contract_test \
-           agglomerate_test robust_budget_test sanitize_test obs_test; do
+           agglomerate_test robust_budget_test sanitize_test obs_test \
+           serve_test; do
     cmake --build build-tsan -j "${jobs}" --target "${t}" > /dev/null
   done
   # OpenMP runtimes trip TSan's lock-order heuristics without the
   # instrumented libomp; suppress known-benign runtime internals.
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "${jobs}" \
-      -R "ParallelFor|ParallelSum|ParallelCount|ParallelMax|ParallelExceptions|ExceptionCollector|Spinlock|Match|Contract|Agglomerate|Sanitize|BudgetTracker|Obs"
+      -R "ParallelFor|ParallelSum|ParallelCount|ParallelMax|ParallelExceptions|ExceptionCollector|Spinlock|Match|Contract|Agglomerate|Sanitize|BudgetTracker|Obs|Serve"
 }
 
 case "${mode}" in

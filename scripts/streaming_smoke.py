@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""End-to-end crash test for the commdet_serve streaming daemon.
+
+Drives the daemon over its Unix socket: streams delta batches with
+COMMIT barriers and live queries, SIGKILLs it mid-stream, restarts it
+from the same state directory, and asserts the recovered membership is
+bit-for-bit identical to what was committed before the kill.  Finishes
+the stream, shuts down gracefully, and validates the run report.
+
+Usage:
+    python3 scripts/streaming_smoke.py <serve-binary> <graph-file> \
+        <deltas-file> <work-dir> [--batches N] [--batch-size N]
+
+Exit code 0 = all assertions held.
+"""
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+
+class Client:
+    def __init__(self, path, retries=50):
+        last = None
+        for _ in range(retries):
+            try:
+                self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                self.sock.connect(path)
+                self.buf = b""
+                return
+            except OSError as e:
+                last = e
+                time.sleep(0.1)
+        raise last
+
+    def send(self, text):
+        self.sock.sendall(text.encode())
+
+    def recv_line(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(1 << 16)
+            if not chunk:
+                raise ConnectionError("daemon closed the connection")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode()
+
+    def ask(self, line):
+        self.send(line + "\n")
+        return self.recv_line()
+
+    def commit(self):
+        reply = self.ask("COMMIT")
+        assert reply.startswith("OK "), reply
+        return int(reply.split()[1])
+
+    def dump_membership(self):
+        """Full membership + quality, one deterministic text blob.
+
+        The label count is discovered by probing GET past the end
+        (exponential + binary search), then all lookups are pipelined.
+        """
+        lo, hi = 0, 1
+        while self.ask(f"GET {hi}").startswith("OK "):
+            lo, hi = hi, hi * 2
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if self.ask(f"GET {mid}").startswith("OK "):
+                lo = mid
+            else:
+                hi = mid
+        n = hi
+        lines = [self.ask("QUALITY")]
+        chunk = 4096
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            self.send("".join(f"GET {v}\n" for v in range(start, stop)))
+            for v in range(start, stop):
+                reply = self.recv_line()
+                assert reply.startswith("OK "), (v, reply)
+                lines.append(reply)
+        return "\n".join(lines)
+
+
+def start_daemon(binary, graph, state_dir, sock_path, report=None, extra=()):
+    cmd = [binary, graph, "--dir", state_dir, "--socket", sock_path,
+           "--batch-count", "500", "--batch-ms", "10000",
+           "--save-every", "4", "--keep", "2"] + list(extra)
+    if report:
+        cmd += ["--report", report]
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True)
+    ready = proc.stdout.readline().strip()
+    assert ready.startswith("READY "), ready
+    fields = dict(kv.split("=") for kv in ready.split()[1:])
+    return proc, int(fields["epoch"]), int(fields["replayed"])
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("binary")
+    ap.add_argument("graph")
+    ap.add_argument("deltas")
+    ap.add_argument("workdir")
+    ap.add_argument("--batches", type=int, default=20)
+    ap.add_argument("--batch-size", type=int, default=500)
+    args = ap.parse_args()
+
+    with open(args.deltas) as f:
+        deltas = [l for l in f if l.strip() and l[0] in "+-="]
+    need = args.batches * args.batch_size
+    assert len(deltas) >= need, f"need {need} deltas, file has {len(deltas)}"
+    batches = [deltas[i * args.batch_size:(i + 1) * args.batch_size]
+               for i in range(args.batches)]
+
+    os.makedirs(args.workdir, exist_ok=True)
+    state = os.path.join(args.workdir, "state")
+    sock_path = os.path.join(args.workdir, "serve.sock")
+    report_path = os.path.join(args.workdir, "report.json")
+    half = args.batches // 2
+
+    # Phase 1: cold start, stream the first half with queries.
+    proc, epoch, replayed = start_daemon(args.binary, args.graph, state, sock_path)
+    assert (epoch, replayed) == (0, 0), (epoch, replayed)
+    c = Client(sock_path)
+    for b, batch in enumerate(batches[:half], start=1):
+        c.send("".join(batch))
+        assert c.commit() == b
+        assert c.ask("EPOCH") == f"OK {b}"
+        assert c.ask("GET 0").startswith("OK 0 ")
+    dump_before = c.dump_membership()
+    committed = half
+
+    # A partial, uncommitted batch: unacked deltas are allowed to vanish.
+    c.send("".join(batches[half][:100]))
+
+    # Phase 2: SIGKILL, restart, demand bit-for-bit recovery.
+    proc.send_signal(signal.SIGKILL)
+    proc.wait()
+    proc, epoch, replayed = start_daemon(args.binary, args.graph, state, sock_path)
+    assert epoch == committed, (epoch, committed)
+    assert replayed >= 1, "expected WAL batches past the last snapshot"
+    c = Client(sock_path)
+    dump_after = c.dump_membership()
+    assert dump_after == dump_before, "membership diverged across the crash"
+    print(f"crash recovery OK: epoch {epoch}, {replayed} WAL batches replayed, "
+          f"{len(dump_before.splitlines()) - 1} labels bit-for-bit identical")
+
+    # Phase 3: finish the stream (the interrupted batch is resent whole),
+    # then shut down gracefully; the daemon writes the run report.
+    for b, batch in enumerate(batches[half:], start=half + 1):
+        c.send("".join(batch))
+        assert c.commit() == b
+    stats = c.ask("STATS")
+    assert stats.startswith("OK "), stats
+    assert json.loads(stats[3:])["epoch"] == args.batches
+    gen = c.ask("SAVE")
+    assert gen.startswith("OK "), gen
+    proc2_stdout = proc.stdout
+    # Re-launch with --report on the final run?  No: SHUTDOWN on this
+    # process exercises graceful drain; restart only to emit the report.
+    assert c.ask("SHUTDOWN") == "OK shutting-down"
+    assert proc.wait(timeout=60) == 0
+    proc2_stdout.close()
+
+    proc, epoch, replayed = start_daemon(args.binary, args.graph, state, sock_path,
+                                         report=report_path)
+    assert epoch == args.batches and replayed == 0, (epoch, replayed)
+    c = Client(sock_path)
+    assert c.ask("SHUTDOWN") == "OK shutting-down"
+    assert proc.wait(timeout=60) == 0
+    proc.stdout.close()
+
+    rep = json.load(open(report_path))
+    dyn = rep["dynamic"]
+    assert dyn is not None, "dynamic object missing from the run report"
+    assert dyn["batches"] == args.batches, dyn["batches"]
+    assert dyn["rolled_back"] == 0, dyn
+    info = {row["key"]: row["value"] for row in rep.get("info", [])} \
+        if isinstance(rep.get("info"), list) else rep.get("info", {})
+    print(f"streaming smoke OK: {dyn['batches']} batches, report validates "
+          f"(tool={info.get('tool', '?')})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

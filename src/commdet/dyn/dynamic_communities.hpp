@@ -17,10 +17,14 @@
 // start could only churn labels for nothing.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <filesystem>
 #include <limits>
 #include <span>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -54,8 +58,33 @@ struct DynamicOptions {
   /// Halo radius: how many hops beyond the directly touched vertices
   /// are unseated into singletons before re-agglomeration.  0 = only
   /// the endpoints of changed edges; larger values trade update cost
-  /// for quality headroom around the perturbation.
+  /// for quality headroom around the perturbation.  -1 = adaptive: pick
+  /// the radius per batch from the perturbation itself, expanding until
+  /// the dirty frontier's cut-weight share drops below
+  /// `halo_cut_threshold` or `halo_max_hops` is reached.
   int halo_hops = 1;
+
+  /// Adaptive-halo stop condition (halo_hops == -1 only): expansion
+  /// stops once cut(dirty, clean) / volume(dirty) falls to or below
+  /// this share — the perturbation is then mostly self-contained.
+  double halo_cut_threshold = 0.25;
+
+  /// Adaptive-halo radius cap (halo_hops == -1 only).
+  int halo_max_hops = 4;
+
+  /// Quality-triggered full refresh: when the maintained clustering's
+  /// modularity falls more than this margin below the best modularity
+  /// seen since the last full recompute (a cheap upper-bound proxy —
+  /// incremental maintenance only loses quality relative to it),
+  /// recompute() runs automatically after the batch commits.  0
+  /// disables.  Modularity-family scorers only.
+  double refresh_margin = 0.0;
+
+  /// Cadence-triggered full refresh: recompute() after every N
+  /// committed batches regardless of drift.  0 disables.  Like the run
+  /// budget, refresh cadence is operational tuning: it is excluded from
+  /// the config fingerprint, so a restarted stream may change it.
+  int refresh_every = 0;
 
   /// Level cap for the warm (seeded) re-agglomeration only, applied
   /// when detect.agglomeration.max_levels is unset.  Heavy matching
@@ -90,16 +119,27 @@ struct CommunityStats {
   Weight volume = 0;           // sum of member volumes (2*internal + cut)
 };
 
-/// Snapshot payload version for save_state/load_state.
-inline constexpr std::uint32_t kDynStateFormatVersion = 1;
+/// Snapshot payload version for save_state/load_state.  Version 2:
+/// dynamic states live in the same `checkpoint-NNNNNN.ckpt` rotation as
+/// agglomeration checkpoints (which are version 1), so the version
+/// bump is also what turns "pointed a dynamic resume at an
+/// agglomeration checkpoint dir" into a clean format error.
+inline constexpr std::uint32_t kDynStateFormatVersion = 2;
 
 /// Fingerprint of the configuration that shapes dynamic results; a
-/// saved state is refused under a different configuration.
+/// saved state is refused under a different configuration.  Refresh
+/// cadence and budgets are excluded (operational knobs, legitimately
+/// changeable across restarts).
 [[nodiscard]] inline std::uint64_t dynamic_config_fingerprint(const DynamicOptions& o) {
   std::uint64_t h = options_fingerprint(o.detect.agglomeration);
   h = detail::fold_detect_salt(h, o.detect.scorer, o.detect.resolution_gamma);
   h = mix64(h ^ static_cast<std::uint64_t>(o.warm_max_levels));
-  return mix64(h ^ static_cast<std::uint64_t>(o.halo_hops));
+  h = mix64(h ^ static_cast<std::uint64_t>(o.halo_hops));
+  if (o.halo_hops < 0) {
+    h = mix64(h ^ std::bit_cast<std::uint64_t>(o.halo_cut_threshold));
+    h = mix64(h ^ static_cast<std::uint64_t>(o.halo_max_hops));
+  }
+  return h;
 }
 
 template <VertexId V>
@@ -160,7 +200,9 @@ class DynamicCommunities {
       span.attr("effective", row.effective);
 
       if (applied.touched.empty()) {
-        // Nothing changed: keep the current clustering bit-for-bit.
+        // Nothing changed: keep the current clustering bit-for-bit
+        // (modulo a cadence-due refresh — no-op batches still count).
+        maybe_refresh(row, tracker);
         fill_quality(row);
         commit_stats(row);
         return row;
@@ -172,8 +214,18 @@ class DynamicCommunities {
       }
 
       COMMDET_FAULT_POINT(fault::kDynRecompute, Phase::kDynamic);
-      const auto dirty =
-          expand_halo(applied.graph, std::span<const V>(applied.touched), opts_.halo_hops);
+      std::vector<std::uint8_t> dirty;
+      if (opts_.halo_hops < 0) {
+        AdaptiveHalo halo = expand_halo_adaptive(
+            applied.graph, std::span<const V>(applied.touched),
+            opts_.halo_cut_threshold, opts_.halo_max_hops);
+        dirty = std::move(halo.dirty);
+        row.halo_hops_used = halo.hops;
+      } else {
+        dirty = expand_halo(applied.graph, std::span<const V>(applied.touched),
+                            opts_.halo_hops);
+        row.halo_hops_used = opts_.halo_hops;
+      }
       std::int64_t dirty_count = 0;
       for (const auto f : dirty) dirty_count += f;
       row.dirty = dirty_count;
@@ -228,6 +280,7 @@ class DynamicCommunities {
       clustering_.compact_labels();
       community_cache_.clear();
 
+      maybe_refresh(row, tracker);
       fill_quality(row);
       commit_stats(row);
       return row;
@@ -245,6 +298,11 @@ class DynamicCommunities {
     clustering_ = detect_communities(base_, opts_.detect);
     clustering_.compact_labels();
     community_cache_.clear();
+    // The refreshed score is the new drift reference, even when it is
+    // lower than the old one: a genuinely degraded graph must not
+    // trigger a refresh on every subsequent batch.
+    reference_modularity_ = clustering_.final_modularity;
+    batches_since_refresh_ = 0;
     return clustering_;
   }
 
@@ -269,9 +327,58 @@ class DynamicCommunities {
     return community_cache_[static_cast<std::size_t>(c)];
   }
 
-  /// Persists graph + clustering + aggregate counters as one
-  /// crash-atomic snapshot (io/snapshot.hpp container).
-  void save_state(const std::string& path) const {
+  /// All communities' stats in label order (same lazy cache).  The
+  /// streaming service snapshots this vector at epoch-publish time.
+  [[nodiscard]] const std::vector<CommunityStats>& community_stats_all() const {
+    if (community_cache_.empty()) build_community_cache();
+    return community_cache_;
+  }
+
+  /// Committed-batch count — the epoch number the streaming service
+  /// publishes and the WAL sequences against.
+  [[nodiscard]] std::int64_t epoch() const noexcept { return stats_.batches; }
+
+  /// Generation load_state restored from, -1 for a fresh instance.
+  [[nodiscard]] std::int64_t loaded_generation() const noexcept {
+    return loaded_generation_;
+  }
+
+  /// CRC32 over the i64-widened label array: the membership identity
+  /// carried by WAL commit records and checked on replay.  Label-width
+  /// independent, like the on-disk array encoding.
+  [[nodiscard]] static std::uint32_t labels_checksum(std::span<const V> labels) noexcept {
+    std::uint32_t crc = 0;
+    for (const V l : labels) {
+      const auto wide = static_cast<std::int64_t>(l);
+      crc = crc32_update(crc, &wide, sizeof wide);
+    }
+    return crc;
+  }
+
+  /// Persists graph + clustering + aggregate counters as the next
+  /// checkpoint generation in `dir` (created on demand), pruning
+  /// generations beyond `keep_generations` only after the new one is
+  /// durably committed — the robust/checkpoint.hpp rotation contract,
+  /// so a torn latest generation falls back to the previous one on
+  /// load.  Returns the generation written.
+  std::int64_t save_state(const std::string& dir, int keep_generations = 2) const {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+      throw_error(ErrorCode::kIoOpen, Phase::kDynamic,
+                  "cannot create state directory: " + dir + " (" + ec.message() + ")");
+    auto existing = list_checkpoints(dir);
+    const std::int64_t generation = existing.empty() ? 1 : existing.front().first + 1;
+    write_state_file(checkpoint_path(dir, generation));
+    const int keep = keep_generations < 1 ? 1 : keep_generations;
+    for (std::size_t i = static_cast<std::size_t>(keep) - 1; i < existing.size(); ++i)
+      std::filesystem::remove(existing[i].second, ec);  // best-effort prune
+    return generation;
+  }
+
+  /// Serializes into one explicit file, crash-atomically
+  /// (io/snapshot.hpp container).  Building block of save_state.
+  void write_state_file(const std::string& path) const {
     SnapshotWriter w(path, kDynStateFormatVersion);
     w.write_u64(dynamic_config_fingerprint(opts_));
     w.write_i64(static_cast<std::int64_t>(base_.nv));
@@ -290,17 +397,44 @@ class DynamicCommunities {
     w.write_i64(stats_.updates_effective);
     w.write_i64(stats_.rolled_back);
     w.write_i64(stats_.kept_prior);
+    w.write_i64(stats_.full_refreshes);
     w.write_f64(stats_.apply_seconds);
     w.write_f64(stats_.recompute_seconds);
     w.commit();
   }
 
-  /// Restores a saved state.  Refused (kCheckpointMismatch) when `opts`
-  /// differs from the configuration the state was saved under, so a
-  /// resumed stream cannot silently continue with a different metric or
-  /// halo radius.
-  [[nodiscard]] static Expected<DynamicCommunities<V>> load_state(const std::string& path,
+  /// Restores the newest *valid* saved generation in `dir`: candidates
+  /// are tried newest-first and corrupt ones (torn, truncated,
+  /// bit-flipped, wrong version) are skipped, so one bad generation
+  /// degrades to the one before it rather than to data loss.  A
+  /// configuration mismatch is NOT corruption: it refuses immediately
+  /// (kCheckpointMismatch) instead of silently resuming an older
+  /// generation under a different metric or halo policy.
+  [[nodiscard]] static Expected<DynamicCommunities<V>> load_state(const std::string& dir,
                                                                   DynamicOptions opts = {}) {
+    const auto candidates = list_checkpoints(dir);
+    if (candidates.empty())
+      return Unexpected(Error{ErrorCode::kIoOpen, Phase::kDynamic,
+                              "no dynamic state found in " + dir});
+    for (const auto& [generation, path] : candidates) {
+      auto loaded = load_state_file(path, opts);
+      if (loaded.has_value()) {
+        loaded.value().loaded_generation_ = generation;
+        return loaded;
+      }
+      if (loaded.error().code == ErrorCode::kCheckpointMismatch) return loaded;
+      // Torn/corrupt generation: fall back to the previous one.
+    }
+    return Unexpected(Error{ErrorCode::kIoFormat, Phase::kDynamic,
+                            "no valid dynamic state generation in " + dir});
+  }
+
+  /// Restores one explicit state file.  Refused (kCheckpointMismatch)
+  /// when `opts` differs from the configuration the state was saved
+  /// under, so a resumed stream cannot silently continue with a
+  /// different metric or halo radius.
+  [[nodiscard]] static Expected<DynamicCommunities<V>> load_state_file(
+      const std::string& path, DynamicOptions opts = {}) {
     try {
       SnapshotReader r(path, kDynStateFormatVersion);
       const std::uint64_t fingerprint = r.read_u64();
@@ -325,10 +459,83 @@ class DynamicCommunities {
       out.stats_.updates_effective = r.read_i64();
       out.stats_.rolled_back = r.read_i64();
       out.stats_.kept_prior = r.read_i64();
+      out.stats_.full_refreshes = r.read_i64();
       out.stats_.apply_seconds = r.read_f64();
       out.stats_.recompute_seconds = r.read_f64();
       r.finish();
       return out;
+    } catch (const std::exception& e) {
+      return Unexpected(error_from_exception(e, Phase::kDynamic));
+    }
+  }
+
+  /// One label change a committed batch made relative to the previous
+  /// epoch, in the i64-widened on-disk encoding.
+  struct LabelChange {
+    std::int64_t vertex = 0;
+    std::int64_t label = 0;
+  };
+
+  /// Replays one previously committed batch from the streaming
+  /// service's write-ahead log WITHOUT re-running re-agglomeration.
+  /// Parallel scoring accumulates floating-point atomics in
+  /// nondeterministic order, so re-running it cannot promise the same
+  /// labels; the graph mutation (sanitize + normalize + apply_delta) is
+  /// deterministic by construction, and `changes` carries the exact
+  /// label diff the original commit produced.  `labels_crc`
+  /// (labels_checksum of the committed epoch's full label array) proves
+  /// the restored membership is bit-for-bit the committed one.
+  /// Transactional like apply_batch: any failure — including a checksum
+  /// mismatch — leaves graph and clustering untouched.
+  Expected<obs::DynamicBatchRow> replay_batch(const DeltaBatch<V>& batch,
+                                              std::span<const LabelChange> changes,
+                                              std::int64_t num_communities,
+                                              double modularity, double coverage,
+                                              std::uint32_t labels_crc) {
+    obs::DynamicBatchRow row;
+    row.batch = stats_.batches;
+    row.deltas = batch.size();
+    try {
+      DeltaBatch<V> cleaned = batch;
+      if (opts_.sanitize_input) {
+        auto rep = sanitize_deltas(cleaned, base_.nv, opts_.sanitize);
+        if (!rep.has_value()) return Unexpected(rep.error());
+      }
+      const auto normalized = normalize_deltas(cleaned);
+      WallTimer apply_timer;
+      DeltaApplied<V> applied =
+          apply_delta(base_, std::span<const EdgeDelta<V>>(normalized));
+      row.apply_seconds = apply_timer.seconds();
+      row.effective = applied.report.effective;
+      row.touched = static_cast<std::int64_t>(applied.touched.size());
+
+      std::vector<V> labels = clustering_.community;
+      for (const LabelChange& ch : changes) {
+        if (ch.vertex < 0 || ch.vertex >= static_cast<std::int64_t>(labels.size()) ||
+            ch.label < 0 || !fits_vertex_id<V>(ch.label))
+          throw_error(ErrorCode::kIoFormat, Phase::kDynamic,
+                      "WAL label change out of range: vertex " +
+                          std::to_string(ch.vertex) + " -> " + std::to_string(ch.label));
+        labels[static_cast<std::size_t>(ch.vertex)] = static_cast<V>(ch.label);
+      }
+      if (labels_checksum(std::span<const V>(labels)) != labels_crc)
+        throw_error(ErrorCode::kCheckpointMismatch, Phase::kDynamic,
+                    "replayed membership does not match the committed epoch checksum");
+
+      // Commit point: nothing below throws.
+      base_ = std::move(applied.graph);
+      clustering_.community = std::move(labels);
+      clustering_.num_communities = num_communities;
+      clustering_.final_modularity = modularity;
+      clustering_.final_coverage = coverage;
+      community_cache_.clear();
+
+      row.modularity = modularity;
+      row.coverage = coverage;
+      row.num_communities = num_communities;
+      row.termination = "replayed";
+      commit_stats(row);
+      return row;
     } catch (const std::exception& e) {
       return Unexpected(error_from_exception(e, Phase::kDynamic));
     }
@@ -339,6 +546,38 @@ class DynamicCommunities {
   /// by the loader.
   explicit DynamicCommunities(DynamicOptions opts) : opts_(std::move(opts)) {
     stats_.halo_hops = opts_.halo_hops;
+  }
+
+  /// Runs the quality/cadence-triggered full refresh when due.  Sits
+  /// after the commit point, so it must not throw and must never turn a
+  /// committed batch into a failure: a refresh that dies is swallowed
+  /// (the trigger re-fires next batch), and a batch whose budget is
+  /// already spent defers instead of blowing the deadline further.
+  void maybe_refresh(obs::DynamicBatchRow& row, BudgetTracker& tracker) noexcept {
+    try {
+      ++batches_since_refresh_;
+      const bool modularity_scorer =
+          opts_.detect.scorer == ScorerKind::kModularity ||
+          opts_.detect.scorer == ScorerKind::kResolutionModularity;
+      if (modularity_scorer)
+        reference_modularity_ =
+            std::max(reference_modularity_, clustering_.final_modularity);
+      bool due = opts_.refresh_every > 0 && batches_since_refresh_ >= opts_.refresh_every;
+      if (!due && opts_.refresh_margin > 0.0 && modularity_scorer)
+        due = reference_modularity_ - clustering_.final_modularity > opts_.refresh_margin;
+      if (!due) return;
+      if (opts_.batch_budget.limited() &&
+          tracker.check_deadline(std::numeric_limits<int>::max()).has_value())
+        return;
+      WallTimer timer;
+      recompute();
+      row.refreshed = true;
+      row.refresh_seconds = timer.seconds();
+      ++stats_.full_refreshes;
+      if (auto* c = obs::counter("dyn.refreshes")) c->add(1);
+    } catch (...) {
+      // Committed batch stands; the refresh retries on a later batch.
+    }
   }
 
   void fill_quality(obs::DynamicBatchRow& row) const {
@@ -390,6 +629,9 @@ class DynamicCommunities {
   Clustering<V> clustering_;
   obs::DynamicRunStats stats_;
   mutable std::vector<CommunityStats> community_cache_;
+  double reference_modularity_ = -1.0;  // best score since the last refresh
+  std::int64_t batches_since_refresh_ = 0;
+  std::int64_t loaded_generation_ = -1;
 };
 
 }  // namespace commdet

@@ -59,6 +59,68 @@ template <VertexId V>
   return dirty;
 }
 
+/// Result of adaptive halo expansion: the dirty flags plus the radius
+/// that was actually used (for telemetry).
+struct AdaptiveHalo {
+  std::vector<std::uint8_t> dirty;
+  int hops = 0;
+};
+
+/// Adaptive halo: grows the dirty region hop by hop until the dirty
+/// frontier's cut-weight share — the weight crossing the dirty/clean
+/// boundary divided by the dirty region's volume — drops to
+/// `cut_threshold` or below, or `max_hops` is reached.  A perturbation
+/// that is still strongly coupled to its surroundings (high share)
+/// keeps expanding; one that has absorbed its neighborhood (low share)
+/// stops early, so the unseated region tracks the perturbation size
+/// instead of one global constant.  Each round is two parallel E/V
+/// sweeps, the same access pattern as expand_halo.
+template <VertexId V>
+[[nodiscard]] AdaptiveHalo expand_halo_adaptive(const CommunityGraph<V>& g,
+                                                std::span<const V> touched,
+                                                double cut_threshold, int max_hops) {
+  AdaptiveHalo out;
+  out.dirty.assign(static_cast<std::size_t>(g.nv), 0);
+  for (const V v : touched) out.dirty[static_cast<std::size_t>(v)] = 1;
+  const EdgeId ne = g.num_edges();
+  const auto nv = static_cast<std::int64_t>(g.nv);
+
+  const auto cut_share = [&]() -> double {
+    const Weight cut = parallel_sum<Weight>(static_cast<std::int64_t>(ne), [&](std::int64_t e) {
+      const auto i = static_cast<std::size_t>(e);
+      const auto f = static_cast<std::size_t>(g.efirst[i]);
+      const auto s = static_cast<std::size_t>(g.esecond[i]);
+      return out.dirty[f] != out.dirty[s] ? g.eweight[i] : Weight{0};
+    });
+    const Weight vol = parallel_sum<Weight>(nv, [&](std::int64_t v) {
+      return out.dirty[static_cast<std::size_t>(v)] != 0
+                 ? g.volume[static_cast<std::size_t>(v)]
+                 : Weight{0};
+    });
+    if (vol <= 0) return cut > 0 ? 1.0 : 0.0;
+    return static_cast<double>(cut) / static_cast<double>(vol);
+  };
+
+  while (out.hops < max_hops && cut_share() > cut_threshold) {
+    std::vector<std::uint8_t> next(out.dirty);
+    const bool grew = parallel_sum<std::int64_t>(static_cast<std::int64_t>(ne), [&](std::int64_t e) {
+      const auto i = static_cast<std::size_t>(e);
+      const auto f = static_cast<std::size_t>(g.efirst[i]);
+      const auto s = static_cast<std::size_t>(g.esecond[i]);
+      if (out.dirty[f] != out.dirty[s]) {
+        // Benign same-value race: every writer stores 1.
+        next[out.dirty[f] ? s : f] = 1;
+        return std::int64_t{1};
+      }
+      return std::int64_t{0};
+    }) > 0;
+    out.dirty = std::move(next);
+    ++out.hops;
+    if (!grew) break;  // the dirty region is a whole component
+  }
+  return out;
+}
+
 /// Seed labels for the warm start: dirty vertices are unseated into
 /// fresh singleton communities, everyone else keeps `base_labels`, and
 /// the result is compacted to a dense [0, k).  Returns (labels, k).

@@ -100,6 +100,9 @@ struct DynamicBatchRow {
   std::string termination;            // TerminationReason of the re-agglomeration
   bool degraded = false;
   bool kept_prior = false;  // re-agglomeration lost to the prior labels
+  int halo_hops_used = 0;   // actual radius (adaptive halo picks per batch)
+  bool refreshed = false;   // a quality-triggered full recompute followed
+  double refresh_seconds = 0.0;
 };
 
 /// Aggregate dynamic-update telemetry for one run (the "dynamic" run
@@ -110,7 +113,8 @@ struct DynamicRunStats {
   std::int64_t updates_effective = 0;
   std::int64_t rolled_back = 0;      // failed batches (state unchanged)
   std::int64_t kept_prior = 0;       // batches where the prior labels won
-  int halo_hops = 0;
+  std::int64_t full_refreshes = 0;   // quality/cadence-triggered recomputes
+  int halo_hops = 0;                 // configured radius (-1 = adaptive)
   double apply_seconds = 0.0;      // total graph-merge time
   double recompute_seconds = 0.0;  // total seeded re-agglomeration time
   std::vector<DynamicBatchRow> batch_rows;
@@ -304,6 +308,8 @@ inline void write_dynamic(JsonWriter& w, const DynamicRunStats* d) {
   w.value(d->rolled_back);
   w.key("kept_prior");
   w.value(d->kept_prior);
+  w.key("full_refreshes");
+  w.value(d->full_refreshes);
   w.key("halo_hops");
   w.value(d->halo_hops);
   w.key("apply_seconds");
@@ -344,6 +350,12 @@ inline void write_dynamic(JsonWriter& w, const DynamicRunStats* d) {
     w.value(r.degraded);
     w.key("kept_prior");
     w.value(r.kept_prior);
+    w.key("halo_hops_used");
+    w.value(r.halo_hops_used);
+    w.key("refreshed");
+    w.value(r.refreshed);
+    w.key("refresh_seconds");
+    w.value(r.refresh_seconds);
     w.end_object();
   }
   w.end_array();
@@ -503,6 +515,15 @@ template <VertexId V>
   detail::write_dynamic(w, in.dynamic);
 
   detail::end_report(w, in);
+  return w.take();
+}
+
+/// Serializes one DynamicRunStats as a standalone JSON object — exactly
+/// the run report's "dynamic" section.  The streaming service's STATS
+/// verb answers with this.
+[[nodiscard]] inline std::string dynamic_stats_json(const DynamicRunStats& d) {
+  JsonWriter w;
+  detail::write_dynamic(w, &d);
   return w.take();
 }
 

@@ -1,0 +1,52 @@
+// Epoch-published membership snapshots: the reader side of the
+// streaming service.
+//
+// The writer thread commits a batch, then publishes one immutable
+// MembershipSnapshot through an atomic shared_ptr swap.  Readers grab
+// the pointer (acquire) and answer every query from that frozen view —
+// they never block on the writer, never observe a half-applied batch,
+// and a snapshot stays alive for as long as any in-flight query holds
+// it, however many epochs the writer publishes meanwhile.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "commdet/dyn/dynamic_communities.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet::serve {
+
+/// One fully committed epoch, frozen: membership labels, per-community
+/// stats, and the quality scalars of the clustering that produced them.
+template <VertexId V>
+struct MembershipSnapshot {
+  std::int64_t epoch = 0;  // committed batches (0 = initial detection)
+  std::int64_t num_communities = 0;
+  double modularity = 0.0;
+  double coverage = 0.0;
+  std::shared_ptr<const std::vector<V>> labels;
+  std::shared_ptr<const std::vector<CommunityStats>> communities;
+};
+
+/// Single-writer / many-reader snapshot exchange.  publish() is a
+/// release store; current() is an acquire load, so everything the
+/// writer wrote into the snapshot happens-before any reader's use.
+template <VertexId V>
+class EpochPublisher {
+ public:
+  void publish(std::shared_ptr<const MembershipSnapshot<V>> snap) noexcept {
+    current_.store(std::move(snap), std::memory_order_release);
+  }
+
+  [[nodiscard]] std::shared_ptr<const MembershipSnapshot<V>> current() const noexcept {
+    return current_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const MembershipSnapshot<V>>> current_;
+};
+
+}  // namespace commdet::serve

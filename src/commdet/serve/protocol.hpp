@@ -1,0 +1,58 @@
+// Wire protocol for the streaming service: newline-delimited text,
+// symmetric over stdin/stdout, a Unix socket, or local TCP.
+//
+// Requests (one per line):
+//
+//   + u v [w]      ingest: insert (io/delta_text.hpp line format;
+//   - u v                  silent on success, so bulk streams
+//   = u v w                cost one line each and no round trip)
+//   COMMIT         barrier: apply everything sent so far; acks epoch
+//   GET v          membership of vertex v
+//   COMMUNITY c    size / internal weight / volume of community c
+//   QUALITY        epoch, community count, modularity, coverage
+//   EPOCH          current committed epoch
+//   STATS          one-line JSON: service gauges + the run report's
+//                  "dynamic" object
+//   SAVE           persist a snapshot generation now
+//   PING           liveness
+//   QUIT           close this connection
+//   SHUTDOWN       graceful daemon drain-and-checkpoint stop
+//   # ...          comment, ignored (also '%')
+//
+// Responses:
+//
+//   OK <fields...>                      verb-specific, one line
+//   ERR <code> <phase> <detail>         structured error, one line
+//
+// Queries are answered from the last *committed* epoch (every OK line
+// that reports state carries the epoch it came from); a client that
+// needs its own writes visible issues COMMIT first.  Doubles are
+// printed with %.17g, so equal epochs compare bit-for-bit as text.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "commdet/robust/error.hpp"
+
+namespace commdet::serve {
+
+/// %.17g — round-trips every double exactly (the bit-for-bit epoch
+/// comparison in recovery tests relies on it).
+[[nodiscard]] inline std::string protocol_f64(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// One-line "ERR <code> <phase> <detail>"; newlines in the detail are
+/// flattened so the framing survives arbitrary error text.
+[[nodiscard]] inline std::string protocol_error_line(const Error& e) {
+  std::string detail = e.detail;
+  for (char& c : detail)
+    if (c == '\n' || c == '\r') c = ' ';
+  return "ERR " + std::string(to_string(e.code)) + ' ' + std::string(to_string(e.phase)) +
+         ' ' + detail;
+}
+
+}  // namespace commdet::serve

@@ -1,0 +1,555 @@
+// CommunityService: the streaming daemon's core — one writer thread
+// applying micro-batched edge deltas through DynamicCommunities, many
+// reader threads answering queries from epoch-published snapshots.
+//
+// Threading model (single-writer, wait-free readers):
+//   * submit() enqueues deltas from any thread, blocking only on
+//     backpressure (bounded queue).
+//   * The writer thread drains the queue into micro-batches cut by
+//     count (`batch_max_deltas`), wall-clock deadline
+//     (`batch_max_delay_seconds`), or a control item (COMMIT barrier,
+//     SAVE, STATS, shutdown), and applies each batch transactionally.
+//   * Readers call snapshot() — an atomic shared_ptr load — and never
+//     touch the mutating state; a query observes exactly one fully
+//     committed epoch.
+//
+// Durability (see serve/wal.hpp for the on-disk grammar):
+//   intent append+fsync -> apply_batch -> commit append+fsync ->
+//   publish -> (periodic) snapshot save + WAL segment rotation.
+// An acknowledged batch (COMMIT returned OK) survives SIGKILL: restart
+// loads the newest valid snapshot generation and replays the committed
+// WAL suffix bit-for-bit.  Unacknowledged tail batches may be lost —
+// that is the contract.  SIGTERM/SIGINT route through the PR-3
+// cooperative-interrupt flag, which the writer polls even when idle:
+// graceful drain, final save, clean exit.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "commdet/dyn/dynamic_communities.hpp"
+#include "commdet/graph/delta.hpp"
+#include "commdet/obs/json.hpp"
+#include "commdet/obs/metrics.hpp"
+#include "commdet/obs/report.hpp"
+#include "commdet/robust/checkpoint.hpp"
+#include "commdet/robust/error.hpp"
+#include "commdet/robust/expected.hpp"
+#include "commdet/serve/epoch.hpp"
+#include "commdet/serve/wal.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet::serve {
+
+struct ServeOptions {
+  /// Detection / halo / refresh configuration for the maintained
+  /// clustering (dyn/dynamic_communities.hpp).
+  DynamicOptions dynamic;
+
+  /// State root: snapshot generations land in `dir/`, WAL segments in
+  /// `dir/wal/`.
+  std::string dir;
+
+  /// Micro-batch cut: flush once this many deltas are gathered ...
+  std::int64_t batch_max_deltas = 1024;
+  /// ... or once the oldest gathered delta has waited this long.
+  double batch_max_delay_seconds = 0.05;
+
+  /// Snapshot cadence: save + rotate the WAL segment every N committed
+  /// batches (0 = only on explicit SAVE and graceful shutdown).
+  int save_every_batches = 16;
+
+  /// Snapshot generations (and WAL segments + 1) retained.
+  int keep_generations = 2;
+
+  /// fsync every WAL append.  Turning this off trades the durability
+  /// contract for ingest throughput (benchmarks, tests on tmpfs).
+  bool fsync_wal = true;
+
+  /// Backpressure bound: submit() blocks while this many deltas are
+  /// already queued.
+  std::int64_t max_queue_deltas = std::int64_t{1} << 20;
+};
+
+/// What SAVE acknowledges: the generation written and the epoch it
+/// captured.
+struct SaveResult {
+  std::int64_t generation = 0;
+  std::int64_t epoch = 0;
+};
+
+template <VertexId V>
+class CommunityService {
+  struct Barrier {
+    std::promise<Expected<std::int64_t>> done;
+  };
+  struct SaveReq {
+    std::promise<Expected<SaveResult>> done;
+  };
+  struct StatsReq {
+    std::promise<std::string> done;
+  };
+  using Control = std::variant<std::shared_ptr<Barrier>, std::shared_ptr<SaveReq>,
+                               std::shared_ptr<StatsReq>>;
+  using Item = std::variant<EdgeDelta<V>, Control>;
+  using LabelChange = typename DynamicCommunities<V>::LabelChange;
+
+ public:
+  /// Cold start: take ownership of the graph, run the initial
+  /// detection, persist generation 1, open the first WAL segment, and
+  /// start serving at epoch 0.
+  [[nodiscard]] static Expected<std::unique_ptr<CommunityService>> create(
+      CommunityGraph<V> base, ServeOptions opts) {
+    try {
+      std::unique_ptr<CommunityService> svc(new CommunityService(std::move(opts)));
+      svc->dyn_ = std::make_unique<DynamicCommunities<V>>(std::move(base),
+                                                          svc->opts_.dynamic);
+      svc->bootstrap();
+      return svc;
+    } catch (const std::exception& e) {
+      return Unexpected(error_from_exception(e, Phase::kDynamic));
+    }
+  }
+
+  /// Crash/graceful-restart recovery: load the newest valid snapshot
+  /// generation, replay the committed WAL suffix (bit-for-bit
+  /// membership, checked against the recorded checksums), fold the
+  /// recovered state into a fresh durable generation, and resume.
+  [[nodiscard]] static Expected<std::unique_ptr<CommunityService>> open(ServeOptions opts) {
+    try {
+      std::unique_ptr<CommunityService> svc(new CommunityService(std::move(opts)));
+      auto loaded = DynamicCommunities<V>::load_state(svc->opts_.dir, svc->opts_.dynamic);
+      if (!loaded.has_value()) return Unexpected(loaded.error());
+      svc->dyn_ = std::make_unique<DynamicCommunities<V>>(std::move(loaded.value()));
+      auto records = read_wal_records<V>(svc->wal_dir(), svc->dyn_->epoch());
+      for (const WalRecord<V>& rec : records) {
+        auto rep = svc->dyn_->replay_batch(rec.batch, std::span<const LabelChange>(rec.changes),
+                                           rec.num_communities, rec.modularity,
+                                           rec.coverage, rec.labels_crc);
+        if (!rep.has_value()) return Unexpected(rep.error());
+      }
+      svc->replayed_ = static_cast<std::int64_t>(records.size());
+      svc->bootstrap();
+      return svc;
+    } catch (const std::exception& e) {
+      return Unexpected(error_from_exception(e, Phase::kDynamic));
+    }
+  }
+
+  CommunityService(const CommunityService&) = delete;
+  CommunityService& operator=(const CommunityService&) = delete;
+
+  ~CommunityService() { shutdown(); }
+
+  // ----- reader side (any thread, never blocks on the writer) -----
+
+  /// The last committed epoch's frozen membership view.
+  [[nodiscard]] std::shared_ptr<const MembershipSnapshot<V>> snapshot() const noexcept {
+    return publisher_.current();
+  }
+
+  /// Query-throughput gauge hook (sessions call this per answered query).
+  void note_query() noexcept {
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    if (auto* c = obs::counter("serve.queries")) c->add(1);
+  }
+
+  [[nodiscard]] std::int64_t queries_served() const noexcept {
+    return queries_.load(std::memory_order_relaxed);
+  }
+
+  /// Batches restored from the WAL by open() (0 for create()).
+  [[nodiscard]] std::int64_t replayed_batches() const noexcept { return replayed_; }
+
+  // ----- ingestion side -----
+
+  /// Enqueues one delta; blocks on backpressure.  The delta is neither
+  /// durable nor applied until a later COMMIT barrier (or batch cut)
+  /// acknowledges it.
+  Expected<std::monostate> submit(const EdgeDelta<V>& d) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_space_.wait(lk, [this] {
+      return queued_deltas_ < opts_.max_queue_deltas || stop_ || crash_;
+    });
+    if (stop_ || crash_)
+      return Unexpected(Error{ErrorCode::kInterrupted, Phase::kDynamic,
+                              "service is shutting down"});
+    queue_.emplace_back(d);
+    ++queued_deltas_;
+    cv_work_.notify_one();
+    return std::monostate{};
+  }
+
+  /// Barrier: cuts the current micro-batch, waits until everything
+  /// submitted before it has been applied, and returns the resulting
+  /// epoch — or the batch's structured error if a batch since the
+  /// previous barrier rolled back (sticky, consumed by this ack).
+  [[nodiscard]] Expected<std::int64_t> commit() {
+    auto barrier = std::make_shared<Barrier>();
+    auto fut = barrier->done.get_future();
+    if (auto err = push_control(Control(std::move(barrier)))) return Unexpected(*err);
+    return await(fut);
+  }
+
+  /// Snapshot now: persists the current epoch as the next generation
+  /// and rotates the WAL segment.  Runs on the writer thread, ordered
+  /// after everything submitted before it.
+  [[nodiscard]] Expected<SaveResult> save() {
+    auto req = std::make_shared<SaveReq>();
+    auto fut = req->done.get_future();
+    if (auto err = push_control(Control(std::move(req)))) return Unexpected(*err);
+    return await(fut);
+  }
+
+  /// One-line JSON: service gauges plus the v1 run report's "dynamic"
+  /// object.  Runs on the writer thread (the stats are writer-owned).
+  [[nodiscard]] Expected<std::string> stats_json() {
+    auto req = std::make_shared<StatsReq>();
+    auto fut = req->done.get_future();
+    if (auto err = push_control(Control(std::move(req)))) return Unexpected(*err);
+    try {
+      return fut.get();
+    } catch (const std::exception& e) {
+      return Unexpected(error_from_exception(e, Phase::kDynamic));
+    }
+  }
+
+  /// Graceful drain: applies everything already queued, answers pending
+  /// barriers, writes a final snapshot generation, stops the writer.
+  /// Idempotent; also invoked by the destructor.
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!crash_) stop_ = true;
+    }
+    cv_work_.notify_all();
+    cv_space_.notify_all();
+    if (writer_.joinable()) writer_.join();
+  }
+
+  /// Crash simulation for recovery tests: the writer thread exits
+  /// immediately — no drain, no final save, pending barriers break —
+  /// leaving exactly the on-disk state a SIGKILL would.  The WAL and
+  /// snapshots already fsync'd remain valid; open() recovers from them.
+  void crash_for_test() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      crash_ = true;
+    }
+    cv_work_.notify_all();
+    cv_space_.notify_all();
+    if (writer_.joinable()) writer_.join();
+  }
+
+  [[nodiscard]] const ServeOptions& options() const noexcept { return opts_; }
+
+  /// The maintained dynamic state.  Writer-owned while the service is
+  /// running: only call this after shutdown() (e.g. to fold the final
+  /// clustering and DynamicRunStats into a run report).
+  [[nodiscard]] const DynamicCommunities<V>& dynamics() const noexcept { return *dyn_; }
+
+ private:
+  explicit CommunityService(ServeOptions opts) : opts_(std::move(opts)) {
+    if (opts_.batch_max_deltas < 1) opts_.batch_max_deltas = 1;
+    if (opts_.max_queue_deltas < 1) opts_.max_queue_deltas = 1;
+    if (opts_.dir.empty())
+      throw_error(ErrorCode::kInvalidArgument, Phase::kDynamic,
+                  "ServeOptions.dir must name a state directory");
+  }
+
+  [[nodiscard]] std::string wal_dir() const {
+    return (std::filesystem::path(opts_.dir) / "wal").string();
+  }
+
+  /// Common tail of create()/open(): make the current epoch durable as
+  /// a fresh generation (so the possibly-torn previous WAL segment can
+  /// be retired), open a new segment, publish, start the writer.
+  void bootstrap() {
+    last_save_generation_ = dyn_->save_state(opts_.dir, opts_.keep_generations);
+    open_wal_segment(dyn_->epoch() + 1);
+    publish();
+    writer_ = std::thread([this] { writer_loop(); });
+  }
+
+  void open_wal_segment(std::int64_t first_seq) {
+    wal_.reset();
+    wal_ = std::make_unique<WalWriter<V>>(wal_dir(), first_seq, opts_.fsync_wal);
+    wal_first_seq_ = first_seq;
+    prune_wal_segments();
+  }
+
+  /// Segment retention mirrors snapshot retention: one segment per
+  /// retained generation plus the live one, so even a fallback to the
+  /// oldest retained generation still finds a contiguous committed
+  /// suffix to replay.
+  void prune_wal_segments() noexcept {
+    auto segs = list_wal_segments(wal_dir());
+    const std::size_t keep =
+        static_cast<std::size_t>(opts_.keep_generations < 1 ? 1 : opts_.keep_generations) + 1;
+    if (segs.size() <= keep) return;
+    std::error_code ec;
+    for (std::size_t i = 0; i + keep < segs.size(); ++i)
+      std::filesystem::remove(segs[i].second, ec);
+  }
+
+  void publish() {
+    auto snap = std::make_shared<MembershipSnapshot<V>>();
+    const Clustering<V>& cl = dyn_->clustering();
+    snap->epoch = dyn_->epoch();
+    snap->num_communities = cl.num_communities;
+    snap->modularity = cl.final_modularity;
+    snap->coverage = cl.final_coverage;
+    snap->labels = std::make_shared<const std::vector<V>>(cl.community);
+    snap->communities =
+        std::make_shared<const std::vector<CommunityStats>>(dyn_->community_stats_all());
+    publisher_.publish(std::move(snap));
+  }
+
+  [[nodiscard]] std::optional<Error> push_control(Control c) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_ || crash_)
+      return Error{ErrorCode::kInterrupted, Phase::kDynamic, "service is shutting down"};
+    queue_.emplace_back(std::move(c));
+    cv_work_.notify_one();
+    return std::nullopt;
+  }
+
+  template <typename T>
+  [[nodiscard]] Expected<T> await(std::future<Expected<T>>& fut) {
+    try {
+      return fut.get();
+    } catch (const std::exception& e) {
+      // Broken promise: the writer died (crash_for_test or fatal error)
+      // before answering — exactly what a killed daemon looks like.
+      return Unexpected(error_from_exception(e, Phase::kDynamic));
+    }
+  }
+
+  // ----- writer thread -----
+
+  void writer_loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      while (queue_.empty() && !stop_ && !crash_) {
+        if (interrupt_requested()) {
+          stop_ = true;
+          cv_space_.notify_all();
+          break;
+        }
+        cv_work_.wait_for(lk, std::chrono::milliseconds(50));
+      }
+      if (crash_) return;
+      if (queue_.empty() && stop_) break;
+
+      // Gather one micro-batch.  The deadline starts when the first
+      // delta is seen; a control item cuts the batch immediately.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(opts_.batch_max_delay_seconds));
+      DeltaBatch<V> batch;
+      std::optional<Control> control;
+      bool flush = false;
+      while (!flush) {
+        if (crash_) return;
+        if (!queue_.empty()) {
+          Item it = std::move(queue_.front());
+          queue_.pop_front();
+          if (auto* d = std::get_if<EdgeDelta<V>>(&it)) {
+            batch.deltas.push_back(*d);
+            --queued_deltas_;
+            cv_space_.notify_all();
+            if (static_cast<std::int64_t>(batch.size()) >= opts_.batch_max_deltas)
+              flush = true;
+          } else {
+            control = std::move(std::get<Control>(it));
+            flush = true;
+          }
+        } else if (stop_ || batch.deltas.empty()) {
+          // Drained: stop means apply what we have; an empty batch with
+          // an empty queue means a spurious wake — re-enter the wait.
+          flush = true;
+        } else if (cv_work_.wait_until(lk, deadline) == std::cv_status::timeout) {
+          flush = true;
+        }
+      }
+      if (batch.deltas.empty() && !control) continue;
+
+      // Apply outside the lock: submit()/snapshot() must not stall on
+      // re-agglomeration.
+      lk.unlock();
+      if (!batch.deltas.empty()) {
+        auto res = apply_one_batch(batch);
+        if (!res.has_value()) pending_error_ = res.error();
+      }
+      if (control) handle_control(*std::move(control));
+      lk.lock();
+    }
+
+    // Graceful tail: nothing queued, writer still owns the state.
+    lk.unlock();
+    try {
+      do_save();
+    } catch (const std::exception&) {
+      // A failed final save leaves the WAL authoritative — recovery
+      // still replays every committed batch.
+    }
+  }
+
+  /// WAL intent -> apply -> WAL commit -> publish -> periodic save.
+  [[nodiscard]] Expected<std::int64_t> apply_one_batch(const DeltaBatch<V>& batch) {
+    const std::int64_t seq = dyn_->epoch() + 1;
+    try {
+      wal_->append_intent(seq, std::span<const EdgeDelta<V>>(batch.deltas));
+    } catch (const std::exception& e) {
+      return Unexpected(error_from_exception(e, Phase::kDynamic));
+    }
+
+    auto prev = publisher_.current();
+    auto applied = dyn_->apply_batch(batch);
+    if (!applied.has_value()) {
+      try {
+        wal_->append_abort(seq);
+      } catch (const std::exception&) {
+        // The missing abort marker is indistinguishable from a crash
+        // before commit; replay discards the intent either way.
+      }
+      return Unexpected(applied.error());
+    }
+
+    const std::vector<V>& labels = dyn_->clustering().community;
+    const std::vector<V>& old_labels = *prev->labels;
+    std::vector<LabelChange> changes;
+    for (std::size_t v = 0; v < labels.size(); ++v)
+      if (old_labels[v] != labels[v])
+        changes.push_back(LabelChange{static_cast<std::int64_t>(v),
+                                      static_cast<std::int64_t>(labels[v])});
+    const std::uint32_t crc =
+        DynamicCommunities<V>::labels_checksum(std::span<const V>(labels));
+    try {
+      wal_->append_commit(seq, std::span<const LabelChange>(changes),
+                          dyn_->num_communities(), dyn_->clustering().final_modularity,
+                          dyn_->clustering().final_coverage, crc);
+    } catch (const std::exception& e) {
+      // The epoch advanced in memory but its commit record is not
+      // durable; worse, later commit records would be unreachable past
+      // this gap.  Fall back to snapshot durability immediately.
+      publish();
+      try {
+        do_save();
+      } catch (const std::exception&) {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;  // no durability path left: stop accepting work
+        cv_work_.notify_all();
+        cv_space_.notify_all();
+      }
+      return Unexpected(error_from_exception(e, Phase::kDynamic));
+    }
+
+    publish();
+    if (auto* c = obs::counter("serve.batches")) c->add(1);
+    ++batches_since_save_;
+    if (opts_.save_every_batches > 0 && batches_since_save_ >= opts_.save_every_batches) {
+      try {
+        do_save();
+      } catch (const std::exception& e) {
+        return Unexpected(error_from_exception(e, Phase::kDynamic));
+      }
+    }
+    return dyn_->epoch();
+  }
+
+  void handle_control(Control control) {
+    if (auto* barrier = std::get_if<std::shared_ptr<Barrier>>(&control)) {
+      if (pending_error_.has_value()) {
+        (*barrier)->done.set_value(Unexpected(*pending_error_));
+        pending_error_.reset();
+      } else {
+        (*barrier)->done.set_value(dyn_->epoch());
+      }
+    } else if (auto* save = std::get_if<std::shared_ptr<SaveReq>>(&control)) {
+      try {
+        (*save)->done.set_value(do_save());
+      } catch (const std::exception& e) {
+        (*save)->done.set_value(Unexpected(error_from_exception(e, Phase::kDynamic)));
+      }
+    } else if (auto* stats = std::get_if<std::shared_ptr<StatsReq>>(&control)) {
+      (*stats)->done.set_value(build_stats_json());
+    }
+  }
+
+  SaveResult do_save() {
+    SaveResult out;
+    out.generation = dyn_->save_state(opts_.dir, opts_.keep_generations);
+    out.epoch = dyn_->epoch();
+    last_save_generation_ = out.generation;
+    batches_since_save_ = 0;
+    ++saves_;
+    if (auto* c = obs::counter("serve.saves")) c->add(1);
+    if (out.epoch + 1 != wal_first_seq_) open_wal_segment(out.epoch + 1);
+    return out;
+  }
+
+  [[nodiscard]] std::string build_stats_json() {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("schema");
+    w.value("commdet-serve-stats");
+    w.key("version");
+    w.value(std::int64_t{1});
+    w.key("epoch");
+    w.value(dyn_->epoch());
+    w.key("replayed");
+    w.value(replayed_);
+    w.key("queries");
+    w.value(queries_.load(std::memory_order_relaxed));
+    w.key("saves");
+    w.value(saves_);
+    w.key("last_save_generation");
+    w.value(last_save_generation_);
+    w.key("dynamic");
+    obs::detail::write_dynamic(w, &dyn_->stats());
+    w.end_object();
+    return w.take();
+  }
+
+  ServeOptions opts_;
+  std::unique_ptr<DynamicCommunities<V>> dyn_;  // writer thread only (after start)
+  std::unique_ptr<WalWriter<V>> wal_;           // writer thread only (after start)
+  std::int64_t wal_first_seq_ = 1;
+  EpochPublisher<V> publisher_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_space_;
+  std::deque<Item> queue_;
+  std::int64_t queued_deltas_ = 0;
+  bool stop_ = false;
+  bool crash_ = false;
+
+  // Writer-thread state.
+  std::optional<Error> pending_error_;
+  std::int64_t batches_since_save_ = 0;
+  std::int64_t saves_ = 0;
+  std::int64_t last_save_generation_ = 0;
+  std::int64_t replayed_ = 0;
+
+  std::atomic<std::int64_t> queries_{0};
+  std::thread writer_;
+};
+
+}  // namespace commdet::serve

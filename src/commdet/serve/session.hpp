@@ -1,0 +1,143 @@
+// One protocol session: a line-in / line-out state machine over a
+// CommunityService.  Transport-free on purpose — the daemon wraps one
+// Session per connection (or one for stdio), and tests drive it
+// directly with strings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "commdet/graph/delta.hpp"
+#include "commdet/io/delta_text.hpp"
+#include "commdet/robust/error.hpp"
+#include "commdet/serve/protocol.hpp"
+#include "commdet/serve/service.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet::serve {
+
+template <VertexId V>
+class Session {
+ public:
+  struct Reply {
+    std::optional<std::string> line;  // response to send, when any
+    bool close = false;               // QUIT / SHUTDOWN: drop the connection
+    bool shutdown = false;            // SHUTDOWN: stop the daemon
+  };
+
+  /// `peer` labels this session in error locations ("stdin:17",
+  /// "conn-3:2"), mirroring the file readers' "path:line" contract.
+  Session(CommunityService<V>& service, std::string peer)
+      : service_(service), peer_(std::move(peer)) {}
+
+  Reply handle_line(const std::string& line) {
+    ++line_no_;
+    const std::string where = peer_ + ":" + std::to_string(line_no_);
+    try {
+      if (line.empty() || line[0] == '#' || line[0] == '%') return {};
+      if (is_delta_line(line)) return handle_delta(line, where);
+      return handle_verb(line, where);
+    } catch (const std::exception& e) {
+      return {protocol_error_line(error_from_exception(e, Phase::kInput)), false, false};
+    }
+  }
+
+ private:
+  Reply handle_delta(const std::string& line, const std::string& where) {
+    scratch_.deltas.clear();
+    parse_delta_line(line, where, scratch_);  // throws the located error
+    for (const EdgeDelta<V>& d : scratch_.deltas) {
+      auto sent = service_.submit(d);
+      if (!sent.has_value()) return {protocol_error_line(sent.error()), true, false};
+    }
+    return {};  // silent: bulk ingest costs no round trips
+  }
+
+  Reply handle_verb(const std::string& line, const std::string& where) {
+    std::istringstream ls(line);
+    std::string verb;
+    ls >> verb;
+
+    if (verb == "GET") {
+      std::int64_t v = -1;
+      if (!(ls >> v))
+        return err(where + ": GET takes a vertex id");
+      const auto snap = service_.snapshot();
+      if (v < 0 || v >= static_cast<std::int64_t>(snap->labels->size()))
+        return {protocol_error_line(
+                    Error{ErrorCode::kBadEndpoint, Phase::kInput,
+                          where + ": vertex " + std::to_string(v) + " outside [0, " +
+                              std::to_string(snap->labels->size()) + ")"}),
+                false, false};
+      service_.note_query();
+      return ok(std::to_string(v) + ' ' +
+                std::to_string(static_cast<std::int64_t>(
+                    (*snap->labels)[static_cast<std::size_t>(v)])) +
+                ' ' + std::to_string(snap->epoch));
+    }
+    if (verb == "COMMUNITY") {
+      std::int64_t c = -1;
+      if (!(ls >> c))
+        return err(where + ": COMMUNITY takes a community id");
+      const auto snap = service_.snapshot();
+      if (c < 0 || c >= static_cast<std::int64_t>(snap->communities->size()))
+        return {protocol_error_line(
+                    Error{ErrorCode::kBadEndpoint, Phase::kInput,
+                          where + ": community " + std::to_string(c) + " outside [0, " +
+                              std::to_string(snap->communities->size()) + ")"}),
+                false, false};
+      const CommunityStats& s = (*snap->communities)[static_cast<std::size_t>(c)];
+      service_.note_query();
+      return ok(std::to_string(c) + ' ' + std::to_string(s.size) + ' ' +
+                std::to_string(s.internal_weight) + ' ' + std::to_string(s.volume) + ' ' +
+                std::to_string(snap->epoch));
+    }
+    if (verb == "QUALITY") {
+      const auto snap = service_.snapshot();
+      service_.note_query();
+      return ok(std::to_string(snap->epoch) + ' ' + std::to_string(snap->num_communities) +
+                ' ' + protocol_f64(snap->modularity) + ' ' + protocol_f64(snap->coverage));
+    }
+    if (verb == "EPOCH") {
+      service_.note_query();
+      return ok(std::to_string(service_.snapshot()->epoch));
+    }
+    if (verb == "PING") return ok("pong " + std::to_string(service_.snapshot()->epoch));
+    if (verb == "COMMIT") {
+      auto committed = service_.commit();
+      if (!committed.has_value()) return {protocol_error_line(committed.error()), false, false};
+      return ok(std::to_string(committed.value()));
+    }
+    if (verb == "SAVE") {
+      auto saved = service_.save();
+      if (!saved.has_value()) return {protocol_error_line(saved.error()), false, false};
+      return ok(std::to_string(saved.value().generation) + ' ' +
+                std::to_string(saved.value().epoch));
+    }
+    if (verb == "STATS") {
+      auto stats = service_.stats_json();
+      if (!stats.has_value()) return {protocol_error_line(stats.error()), false, false};
+      return ok(stats.value());
+    }
+    if (verb == "QUIT") return {std::string("OK bye"), true, false};
+    if (verb == "SHUTDOWN") return {std::string("OK shutting-down"), true, true};
+    return err(where + ": unknown verb '" + verb + "'");
+  }
+
+  static Reply ok(const std::string& fields) { return {"OK " + fields, false, false}; }
+
+  static Reply err(const std::string& detail) {
+    return {protocol_error_line(Error{ErrorCode::kIoParse, Phase::kInput, detail}), false,
+            false};
+  }
+
+  CommunityService<V>& service_;
+  std::string peer_;
+  std::int64_t line_no_ = 0;
+  DeltaBatch<V> scratch_;
+};
+
+}  // namespace commdet::serve

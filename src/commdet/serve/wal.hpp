@@ -1,0 +1,349 @@
+// Write-ahead delta log for the streaming service.
+//
+// Durability contract: a batch's deltas are appended (and fsync'd)
+// *before* apply_batch runs, and its commit record — the label diff the
+// re-agglomeration actually produced, plus a checksum of the full label
+// array — is appended and fsync'd *before* the epoch is published or
+// acknowledged.  A SIGKILL at any point therefore loses only batches
+// that were never acknowledged; everything acknowledged replays
+// bit-for-bit.  The commit record carries labels rather than relying on
+// re-running the solver because parallel scoring accumulates
+// floating-point atomics in nondeterministic order — graph replay
+// (apply_delta) is deterministic, membership replay is a recorded diff.
+//
+// Segments are plain text, one record stream per file, named by the
+// first sequence number they may contain (`wal-00000042.wal` starts at
+// seq 42).  Record grammar, seq = the epoch the batch produces:
+//
+//   B <seq> <ndeltas>                 intent header
+//   <ndeltas delta lines>             io/delta_text.hpp line format
+//   E <seq> <crc32 of the delta lines>
+//   C <seq> <nchanges> <k> <modularity> <coverage> <labels_crc>
+//   <nchanges "vertex label" lines>   diff vs the previous epoch
+//   c <seq> <crc32 of the change lines>
+//   A <seq>                           abort (batch rolled back; seq reused)
+//
+// The reader walks segments in ascending order; a torn or corrupt
+// record ends that segment (everything before it still counts) and only
+// records whose intent AND commit verify are replayed, contiguously
+// from the requested epoch.  A new segment is opened after every
+// snapshot save, so segment boundaries line up with snapshot
+// generations and pruning can mirror snapshot retention.
+#pragma once
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "commdet/dyn/dynamic_communities.hpp"
+#include "commdet/graph/delta.hpp"
+#include "commdet/io/delta_text.hpp"
+#include "commdet/io/snapshot.hpp"
+#include "commdet/robust/error.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet::serve {
+
+inline constexpr std::string_view kWalSuffix = ".wal";
+
+[[nodiscard]] inline std::string wal_segment_path(const std::string& wal_dir,
+                                                  std::int64_t first_seq) {
+  char name[32];
+  std::snprintf(name, sizeof name, "wal-%08lld", static_cast<long long>(first_seq));
+  return (std::filesystem::path(wal_dir) / (std::string(name) + std::string(kWalSuffix)))
+      .string();
+}
+
+/// Segments present in `wal_dir`, ascending by first sequence number.
+/// Non-segment files are ignored.
+[[nodiscard]] inline std::vector<std::pair<std::int64_t, std::string>> list_wal_segments(
+    const std::string& wal_dir) {
+  std::vector<std::pair<std::int64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(wal_dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    constexpr std::string_view prefix = "wal-";
+    if (name.size() <= prefix.size() + kWalSuffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - kWalSuffix.size(), kWalSuffix.size(), kWalSuffix) != 0)
+      continue;
+    std::int64_t seq = 0;
+    bool digits = true;
+    for (std::size_t i = prefix.size(); i < name.size() - kWalSuffix.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        digits = false;
+        break;
+      }
+      seq = seq * 10 + (name[i] - '0');
+    }
+    if (digits) out.emplace_back(seq, entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace detail {
+
+[[nodiscard]] inline std::string format_f64(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// CRC over a block of record body lines, each counted with its '\n'.
+[[nodiscard]] inline std::uint32_t crc_lines(const std::vector<std::string>& lines) {
+  std::uint32_t crc = 0;
+  for (const std::string& l : lines) {
+    crc = crc32_update(crc, l.data(), l.size());
+    crc = crc32_update(crc, "\n", 1);
+  }
+  return crc;
+}
+
+}  // namespace detail
+
+/// Appends records to one open segment.  Every append is a single
+/// write(2) of the whole record followed by fsync (when enabled), so a
+/// crash leaves at worst one torn record at the tail — which the reader
+/// treats as end-of-segment.
+template <VertexId V>
+class WalWriter {
+ public:
+  /// Opens (creating or truncating) the segment for `first_seq`.
+  /// Truncation is safe by construction: the caller only reuses a
+  /// segment name when every committed record that segment could have
+  /// held is already covered by a durable snapshot.
+  WalWriter(std::string wal_dir, std::int64_t first_seq, bool fsync_writes)
+      : wal_dir_(std::move(wal_dir)),
+        path_(wal_segment_path(wal_dir_, first_seq)),
+        fsync_(fsync_writes) {
+    std::error_code ec;
+    std::filesystem::create_directories(wal_dir_, ec);
+    if (ec)
+      throw_error(ErrorCode::kIoOpen, Phase::kDynamic,
+                  "cannot create WAL directory: " + wal_dir_ + " (" + ec.message() + ")");
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd_ < 0)
+      throw_error(ErrorCode::kIoOpen, Phase::kDynamic,
+                  "cannot open WAL segment: " + path_ + " (" + std::strerror(errno) + ")");
+    sync_directory();
+  }
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  ~WalWriter() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Durable intent: the batch's deltas, before any of them is applied.
+  void append_intent(std::int64_t seq, std::span<const EdgeDelta<V>> deltas) {
+    std::vector<std::string> lines;
+    lines.reserve(deltas.size());
+    for (const EdgeDelta<V>& d : deltas) lines.push_back(format_delta_line(d));
+    std::string rec = "B " + std::to_string(seq) + ' ' + std::to_string(deltas.size()) + '\n';
+    for (const std::string& l : lines) rec += l + '\n';
+    rec += "E " + std::to_string(seq) + ' ' + std::to_string(detail::crc_lines(lines)) + '\n';
+    append(rec);
+  }
+
+  /// Durable commit: the membership diff the batch produced, sealed
+  /// with a checksum of the resulting full label array.
+  void append_commit(std::int64_t seq,
+                     std::span<const typename DynamicCommunities<V>::LabelChange> changes,
+                     std::int64_t num_communities, double modularity, double coverage,
+                     std::uint32_t labels_crc) {
+    std::vector<std::string> lines;
+    lines.reserve(changes.size());
+    for (const auto& ch : changes)
+      lines.push_back(std::to_string(ch.vertex) + ' ' + std::to_string(ch.label));
+    std::string rec = "C " + std::to_string(seq) + ' ' + std::to_string(changes.size()) +
+                      ' ' + std::to_string(num_communities) + ' ' +
+                      detail::format_f64(modularity) + ' ' + detail::format_f64(coverage) +
+                      ' ' + std::to_string(labels_crc) + '\n';
+    for (const std::string& l : lines) rec += l + '\n';
+    rec += "c " + std::to_string(seq) + ' ' + std::to_string(detail::crc_lines(lines)) + '\n';
+    append(rec);
+  }
+
+  /// The batch rolled back; its sequence number will be reused.
+  void append_abort(std::int64_t seq) { append("A " + std::to_string(seq) + '\n'); }
+
+ private:
+  void append(const std::string& rec) {
+    const char* p = rec.data();
+    std::size_t left = rec.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_error(ErrorCode::kIoWrite, Phase::kDynamic,
+                    "WAL append failed: " + path_ + " (" + std::strerror(errno) + ")");
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    if (fsync_ && ::fsync(fd_) != 0)
+      throw_error(ErrorCode::kIoWrite, Phase::kDynamic,
+                  "WAL fsync failed: " + path_ + " (" + std::strerror(errno) + ")");
+  }
+
+  /// Make the segment's creation itself durable; best-effort (some
+  /// filesystems refuse directory fsync).
+  void sync_directory() noexcept {
+    const int dfd = ::open(wal_dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+      (void)::fsync(dfd);
+      ::close(dfd);
+    }
+  }
+
+  std::string wal_dir_;
+  std::string path_;
+  bool fsync_ = true;
+  int fd_ = -1;
+};
+
+/// One fully committed batch recovered from the log.
+template <VertexId V>
+struct WalRecord {
+  std::int64_t seq = 0;
+  DeltaBatch<V> batch;
+  std::vector<typename DynamicCommunities<V>::LabelChange> changes;
+  std::int64_t num_communities = 0;
+  double modularity = 0.0;
+  double coverage = 0.0;
+  std::uint32_t labels_crc = 0;
+};
+
+namespace detail {
+
+/// Parses one segment into committed records.  Any malformed, torn, or
+/// checksum-failing record ends the segment silently — that is the
+/// crash contract, not an error.
+template <VertexId V>
+void read_wal_segment(const std::string& path, std::vector<WalRecord<V>>& out) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::string line;
+  const auto next_line = [&]() -> bool { return static_cast<bool>(std::getline(in, line)); };
+
+  while (next_line()) {
+    // --- intent ---
+    std::int64_t seq = 0, ndeltas = 0;
+    {
+      std::istringstream hs(line);
+      std::string tag;
+      if (!(hs >> tag >> seq >> ndeltas) || tag != "B" || ndeltas < 0) return;
+    }
+    std::vector<std::string> delta_lines;
+    delta_lines.reserve(static_cast<std::size_t>(ndeltas));
+    for (std::int64_t i = 0; i < ndeltas; ++i) {
+      if (!next_line()) return;
+      delta_lines.push_back(line);
+    }
+    {
+      if (!next_line()) return;
+      std::istringstream es(line);
+      std::string tag;
+      std::int64_t eseq = 0;
+      std::uint32_t crc = 0;
+      if (!(es >> tag >> eseq >> crc) || tag != "E" || eseq != seq) return;
+      if (crc != crc_lines(delta_lines)) return;
+    }
+
+    // --- outcome ---
+    if (!next_line()) return;  // crashed between apply and commit/abort
+    if (line.size() >= 1 && line[0] == 'A') {
+      std::istringstream as(line);
+      std::string tag;
+      std::int64_t aseq = 0;
+      if (!(as >> tag >> aseq) || tag != "A" || aseq != seq) return;
+      continue;  // rolled back; seq is reused by the next record
+    }
+    WalRecord<V> rec;
+    rec.seq = seq;
+    {
+      std::istringstream cs(line);
+      std::string tag;
+      std::int64_t cseq = 0, nchanges = 0;
+      if (!(cs >> tag >> cseq >> nchanges >> rec.num_communities >> rec.modularity >>
+            rec.coverage >> rec.labels_crc) ||
+          tag != "C" || cseq != seq || nchanges < 0)
+        return;
+      std::vector<std::string> change_lines;
+      change_lines.reserve(static_cast<std::size_t>(nchanges));
+      for (std::int64_t i = 0; i < nchanges; ++i) {
+        if (!next_line()) return;
+        change_lines.push_back(line);
+      }
+      if (!next_line()) return;
+      std::istringstream ts(line);
+      std::string ttag;
+      std::int64_t tseq = 0;
+      std::uint32_t crc = 0;
+      if (!(ts >> ttag >> tseq >> crc) || ttag != "c" || tseq != seq) return;
+      if (crc != crc_lines(change_lines)) return;
+
+      rec.changes.reserve(change_lines.size());
+      for (const std::string& cl : change_lines) {
+        std::istringstream vs(cl);
+        typename DynamicCommunities<V>::LabelChange ch;
+        if (!(vs >> ch.vertex >> ch.label)) return;
+        rec.changes.push_back(ch);
+      }
+    }
+    try {
+      for (std::size_t i = 0; i < delta_lines.size(); ++i)
+        parse_delta_line(delta_lines[i],
+                         path + ":record " + std::to_string(seq) + " delta " +
+                             std::to_string(i + 1),
+                         rec.batch);
+    } catch (const std::exception&) {
+      return;  // checksummed but unparseable: treat as torn
+    }
+    out.push_back(std::move(rec));
+  }
+}
+
+}  // namespace detail
+
+/// All committed records after `after_epoch`, contiguous: the first
+/// kept record is seq == after_epoch + 1 and each next record advances
+/// by one.  A gap (possible only when segments were pruned incorrectly
+/// or hand-deleted) stops the scan so replay never skips an epoch.
+template <VertexId V>
+[[nodiscard]] std::vector<WalRecord<V>> read_wal_records(const std::string& wal_dir,
+                                                         std::int64_t after_epoch) {
+  std::vector<WalRecord<V>> all;
+  for (const auto& [first_seq, path] : list_wal_segments(wal_dir))
+    detail::read_wal_segment<V>(path, all);
+  std::vector<WalRecord<V>> out;
+  std::int64_t expected = after_epoch + 1;
+  for (auto& rec : all) {
+    if (rec.seq < expected) continue;  // covered by the loaded snapshot
+    if (rec.seq > expected) break;     // gap: nothing past it is usable
+    out.push_back(std::move(rec));
+    ++expected;
+  }
+  return out;
+}
+
+}  // namespace commdet::serve

@@ -7,6 +7,8 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <span>
 #include <string>
@@ -488,20 +490,22 @@ TEST(DynamicCommunities, CommunityStatsAreConsistent) {
 }
 
 TEST(DynamicCommunities, SaveLoadRoundTripAndFingerprintRefusal) {
-  const std::string path = testing::TempDir() + "/dyn_state.snap";
+  const std::string dir = testing::TempDir() + "/dyn_state_rt";
+  std::filesystem::remove_all(dir);
   DynamicOptions opts;
   opts.halo_hops = 2;
   DynamicCommunities<V32> dyn(build_community_graph(two_cliques<V32>(6)), opts);
   DeltaBatch<V32> batch;
   batch.insert(1, 7, 2);
   ASSERT_TRUE(dyn.apply_batch(batch).has_value());
-  dyn.save_state(path);
+  EXPECT_EQ(dyn.save_state(dir), 1);
 
-  auto loaded = DynamicCommunities<V32>::load_state(path, opts);
+  auto loaded = DynamicCommunities<V32>::load_state(dir, opts);
   ASSERT_TRUE(loaded.has_value()) << loaded.error().message();
   EXPECT_EQ(loaded->clustering().community, dyn.clustering().community);
   EXPECT_EQ(loaded->graph().total_weight, dyn.graph().total_weight);
   EXPECT_EQ(loaded->stats().batches, 1);
+  EXPECT_EQ(loaded->loaded_generation(), 1);
   EXPECT_TRUE(validate_graph(loaded->graph()).ok());
 
   // The loaded instance keeps working.
@@ -511,10 +515,178 @@ TEST(DynamicCommunities, SaveLoadRoundTripAndFingerprintRefusal) {
 
   DynamicOptions other = opts;
   other.halo_hops = 3;
-  const auto refused = DynamicCommunities<V32>::load_state(path, other);
+  const auto refused = DynamicCommunities<V32>::load_state(dir, other);
   ASSERT_FALSE(refused.has_value());
   EXPECT_EQ(refused.error().code, ErrorCode::kCheckpointMismatch);
-  std::remove(path.c_str());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DynamicCommunities, SaveRotatesGenerationsAndLoadFallsBackPastCorruption) {
+  const std::string dir = testing::TempDir() + "/dyn_state_rot";
+  std::filesystem::remove_all(dir);
+  DynamicOptions opts;
+  DynamicCommunities<V32> dyn(build_community_graph(two_cliques<V32>(6)), opts);
+  DeltaBatch<V32> b1;
+  b1.insert(0, 6, 1);
+  ASSERT_TRUE(dyn.apply_batch(b1).has_value());
+  EXPECT_EQ(dyn.save_state(dir, /*keep_generations=*/2), 1);
+  const auto labels_gen1 = dyn.clustering().community;
+
+  DeltaBatch<V32> b2;
+  b2.insert(1, 7, 3);
+  ASSERT_TRUE(dyn.apply_batch(b2).has_value());
+  EXPECT_EQ(dyn.save_state(dir, 2), 2);
+  ASSERT_EQ(list_checkpoints(dir).size(), 2u);
+
+  // Truncate the newest generation: load_state must fall back to gen 1.
+  {
+    std::ofstream corrupt(checkpoint_path(dir, 2),
+                          std::ios::binary | std::ios::trunc);
+    corrupt << "garbage";
+  }
+  auto loaded = DynamicCommunities<V32>::load_state(dir, opts);
+  ASSERT_TRUE(loaded.has_value()) << loaded.error().message();
+  EXPECT_EQ(loaded->loaded_generation(), 1);
+  EXPECT_EQ(loaded->stats().batches, 1);
+  EXPECT_EQ(loaded->clustering().community, labels_gen1);
+
+  // Retention: a third save with keep_generations=2 prunes generation 1.
+  DeltaBatch<V32> b3;
+  b3.insert(2, 8, 1);
+  ASSERT_TRUE(dyn.apply_batch(b3).has_value());
+  EXPECT_EQ(dyn.save_state(dir, 2), 3);
+  const auto gens = list_checkpoints(dir);
+  ASSERT_EQ(gens.size(), 2u);
+  EXPECT_EQ(gens[0].first, 3);
+  EXPECT_EQ(gens[1].first, 2);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DynamicCommunities, CadenceTriggeredRefreshRunsAndCounts) {
+  DynamicOptions opts;
+  opts.refresh_every = 2;  // refresh on every second batch
+  DynamicCommunities<V32> dyn(build_community_graph(two_cliques<V32>(6)), opts);
+  for (int b = 0; b < 4; ++b) {
+    DeltaBatch<V32> batch;
+    batch.insert(static_cast<V32>(b), static_cast<V32>(6 + b), 1);
+    const auto row = dyn.apply_batch(batch);
+    ASSERT_TRUE(row.has_value());
+    EXPECT_EQ(row->refreshed, b % 2 == 1) << "batch " << b;
+    if (row->refreshed) {
+      EXPECT_GE(row->refresh_seconds, 0.0);
+    }
+  }
+  EXPECT_EQ(dyn.stats().full_refreshes, 2);
+  EXPECT_TRUE(validate_graph(dyn.graph()).ok());
+}
+
+TEST(DynamicCommunities, DriftTriggeredRefreshFiresOnModularityDrop) {
+  DynamicOptions opts;
+  opts.refresh_margin = 0.01;  // any visible drop from the best-seen
+  opts.halo_hops = 0;          // endpoint-only repair drifts fastest
+  DynamicCommunities<V32> dyn(build_community_graph(two_cliques<V32>(8)), opts);
+  // Rewire: delete intra-clique edges and bridge the cliques so the
+  // maintained (kept_prior-guarded) labels lose modularity.
+  bool refreshed = false;
+  const CounterRng rng(7, 7);
+  for (int b = 0; b < 12 && !refreshed; ++b) {
+    DeltaBatch<V32> batch;
+    const auto base = static_cast<V32>(rng.below(static_cast<std::uint64_t>(b), 8));
+    batch.erase(base, static_cast<V32>((base + 1) % 8));
+    batch.insert(base, static_cast<V32>(8 + (base + b) % 8), 4);
+    const auto row = dyn.apply_batch(batch);
+    ASSERT_TRUE(row.has_value());
+    refreshed = row->refreshed;
+  }
+  EXPECT_TRUE(refreshed);
+  EXPECT_GE(dyn.stats().full_refreshes, 1);
+}
+
+TEST(ExpandHaloAdaptive, StopsWhenFrontierCutShareFallsBelowThreshold) {
+  // Two 8-cliques: a touched vertex inside one clique has a heavy
+  // internal frontier, so hop 1 swallows its clique; after that the
+  // dirty set's external cut is 0 and expansion stops.
+  const auto g = build_community_graph(two_cliques<V32>(8));
+  const std::vector<V32> touched{0};
+  const auto halo = expand_halo_adaptive(g, std::span<const V32>(touched), 0.25, 4);
+  ASSERT_EQ(halo.dirty.size(), static_cast<std::size_t>(g.nv));
+  std::int64_t dirty_count = 0;
+  for (const auto d : halo.dirty) dirty_count += d;
+  EXPECT_EQ(dirty_count, 8);           // exactly the touched clique
+  EXPECT_LE(halo.hops, 2);
+  for (V32 v = 0; v < 8; ++v) EXPECT_TRUE(halo.dirty[static_cast<std::size_t>(v)]);
+  for (V32 v = 8; v < 16; ++v) EXPECT_FALSE(halo.dirty[static_cast<std::size_t>(v)]);
+}
+
+TEST(ExpandHaloAdaptive, MaxHopsBoundsExpansion) {
+  // A long path keeps the frontier cut share high; max_hops must cap it.
+  EdgeList<V32> path;
+  path.num_vertices = 64;
+  for (V32 i = 0; i + 1 < 64; ++i) path.add(i, i + 1);
+  const auto g = build_community_graph(path);
+  const std::vector<V32> touched{0};
+  const auto halo = expand_halo_adaptive(g, std::span<const V32>(touched), 0.0, 3);
+  EXPECT_LE(halo.hops, 3);
+  std::int64_t dirty_count = 0;
+  for (const auto d : halo.dirty) dirty_count += d;
+  EXPECT_LE(dirty_count, 1 + 3);  // seed + one vertex per hop down the path
+}
+
+TEST(DynamicCommunities, AdaptiveHaloBatchRecordsHopsUsed) {
+  DynamicOptions opts;
+  opts.halo_hops = -1;  // adaptive
+  DynamicCommunities<V32> dyn(build_community_graph(two_cliques<V32>(6)), opts);
+  DeltaBatch<V32> batch;
+  batch.insert(0, 6, 2);
+  const auto row = dyn.apply_batch(batch);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_GE(row->halo_hops_used, 0);
+  EXPECT_LE(row->halo_hops_used, opts.halo_max_hops);
+  EXPECT_TRUE(validate_graph(dyn.graph()).ok());
+}
+
+TEST(DynamicCommunities, ReplayBatchReproducesRecordedOutcome) {
+  // Source of truth: a live instance applies a batch; its label diff +
+  // CRC becomes the "WAL commit record" replayed onto a twin.
+  const auto edges = two_cliques<V32>(6);
+  DynamicOptions opts;
+  DynamicCommunities<V32> live(build_community_graph(edges), opts);
+  const auto before = live.clustering().community;
+  DeltaBatch<V32> batch;
+  batch.insert(2, 9, 3);
+  const auto row = live.apply_batch(batch);
+  ASSERT_TRUE(row.has_value());
+
+  std::vector<DynamicCommunities<V32>::LabelChange> changes;
+  const auto& after = live.clustering().community;
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    if (i >= before.size() || before[i] != after[i])
+      changes.push_back({static_cast<std::int64_t>(i), static_cast<std::int64_t>(after[i])});
+  }
+  const auto crc = DynamicCommunities<V32>::labels_checksum(
+      std::span<const V32>(after.data(), after.size()));
+
+  DynamicCommunities<V32> twin(build_community_graph(edges), opts);
+  const auto replayed = twin.replay_batch(
+      batch, std::span<const DynamicCommunities<V32>::LabelChange>(changes),
+      live.num_communities(), live.clustering().final_modularity,
+      live.clustering().final_coverage, crc);
+  ASSERT_TRUE(replayed.has_value()) << replayed.error().message();
+  EXPECT_EQ(twin.clustering().community, live.clustering().community);
+  EXPECT_EQ(twin.num_communities(), live.num_communities());
+  EXPECT_EQ(twin.stats().batches, 1);
+  EXPECT_EQ(replayed->termination, "replayed");
+
+  // A wrong checksum must be refused without mutating the labels.
+  DynamicCommunities<V32> twin2(build_community_graph(edges), opts);
+  const auto labels_before = twin2.clustering().community;
+  const auto bad = twin2.replay_batch(
+      batch, std::span<const DynamicCommunities<V32>::LabelChange>(changes),
+      live.num_communities(), live.clustering().final_modularity,
+      live.clustering().final_coverage, crc ^ 0xdeadbeefu);
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().code, ErrorCode::kCheckpointMismatch);
+  EXPECT_EQ(twin2.clustering().community, labels_before);
 }
 
 // ---------------------------------------------------------------------------
