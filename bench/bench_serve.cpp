@@ -14,6 +14,19 @@
 // percentiles.  The WAL runs with fsync disabled so the numbers measure
 // the service machinery, not the container's disk (pass --fsync to
 // include it).
+//
+// --replication compare runs the whole workload twice — once without
+// replication, once shipping to a stalled follower (answers the
+// handshake, then never acks) AND a dead endpoint (nobody listening) —
+// and reports the ingest-rate ratio.  The replication design promises
+// the writer never waits on a follower, so the ratio should be ~1;
+// --assert-ratio R makes the bench fail below R (the acceptance gate
+// uses 0.9).  Rows from the second pass are suffixed "_replicated".
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cinttypes>
@@ -27,6 +40,7 @@
 #include "bench_common.hpp"
 #include "commdet/dyn/dynamic_communities.hpp"
 #include "commdet/graph/delta.hpp"
+#include "commdet/serve/replication.hpp"
 #include "commdet/serve/service.hpp"
 #include "commdet/util/rng.hpp"
 #include "commdet/util/timer.hpp"
@@ -66,49 +80,130 @@ double percentile(std::vector<double>& sorted_us, double p) {
   return sorted_us[idx];
 }
 
-}  // namespace
+// A deliberately unresponsive follower: accepts the writer's dial,
+// answers the REPL HELLO so the link reaches its steady shipping state,
+// then never reads or replies again.  The writer's link thread is the
+// only thing allowed to notice (bounded queue sheds, ack deadline
+// reconnects); the ingest thread must not.
+class StalledFollower {
+ public:
+  explicit StalledFollower(std::string sock_path) : path_(std::move(sock_path)) {
+    ::unlink(path_.c_str());
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", path_.c_str());
+    if (listen_fd_ < 0 ||
+        ::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd_, 8) != 0) {
+      std::perror("stalled follower listen");
+      std::exit(1);
+    }
+    th_ = std::thread([this] { loop(); });
+  }
 
-int main(int argc, char** argv) {
+  StalledFollower(const StalledFollower&) = delete;
+  StalledFollower& operator=(const StalledFollower&) = delete;
+
+  ~StalledFollower() {
+    stop_.store(true, std::memory_order_relaxed);
+    th_.join();
+    ::close(listen_fd_);
+    for (const int fd : conns_) ::close(fd);
+    ::unlink(path_.c_str());
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] int accepted() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      pollfd pfd{listen_fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, 50) <= 0) continue;
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) continue;
+      std::string hello;
+      char c = 0;
+      while (hello.size() < 4096 && ::read(fd, &c, 1) == 1 && c != '\n')
+        hello.push_back(c);
+      const std::string reply = "REPL OK 0\n";
+      if (::write(fd, reply.data(), reply.size()) !=
+          static_cast<ssize_t>(reply.size())) {
+        ::close(fd);
+        continue;
+      }
+      conns_.push_back(fd);  // keep it open, go silent: records pile up
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::string path_;
+  int listen_fd_ = -1;
+  std::thread th_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> accepted_{0};
+  std::vector<int> conns_;  // accept-loop thread only
+};
+
+struct PassResult {
+  bool ok = false;
+  double ingest_seconds = 0.0;
+  std::int64_t deltas = 0;
+  double ingest_rate = 0.0;
+  std::size_t queries = 0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  std::int64_t shed = 0;
+  std::int64_t reconnects = 0;
+};
+
+// One full measured run: fresh state dir, fresh service over the same
+// deterministic graph + delta stream, readers hammering the snapshot.
+// `suffix` tags the emitted rows ("" for the baseline, "_replicated"
+// for the stalled-follower pass) so one report JSON holds both.
+PassResult run_pass(const commdet::bench::BenchConfig& cfg, int batches,
+                    int readers, bool fsync, double fraction,
+                    const std::string& suffix,
+                    const std::vector<std::string>& endpoints) {
   using namespace commdet;
   using namespace commdet::bench;
+  PassResult res;
 
-  int batches = 20;
-  int readers = 4;
-  bool fsync = false;
-  std::vector<char*> rest{argv[0]};
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--batches" && i + 1 < argc) batches = std::atoi(argv[++i]);
-    else if (std::string(argv[i]) == "--readers" && i + 1 < argc) readers = std::atoi(argv[++i]);
-    else if (std::string(argv[i]) == "--fsync") fsync = true;
-    else rest.push_back(argv[i]);
-  }
-  BenchConfig cfg = parse_args(static_cast<int>(rest.size()), rest.data());
-  if (cfg.trials == 1 && cfg.scale <= 13) batches = std::min(batches, 5);  // --quick
-  const double fraction = 0.01;
-
-  std::printf("# bench_serve: scale=%d edgefactor=%d batches=%d readers=%d fsync=%d\n",
-              cfg.scale, cfg.edge_factor, batches, readers, fsync ? 1 : 0);
   auto base = build_rmat_workload<V>(cfg, cfg.scale, cfg.edge_factor);
-  std::printf("# graph: %lld vertices, %lld edges\n", static_cast<long long>(base.nv),
-              static_cast<long long>(base.num_edges()));
   const std::int64_t nv = base.nv;
 
-  const std::string dir = "bench_serve_state";
+  const std::string dir = "bench_serve_state" + suffix;
   std::filesystem::remove_all(dir);
   serve::ServeOptions sopts;
   sopts.dir = dir;
   sopts.fsync_wal = fsync;
   sopts.dynamic.detect.agglomeration.min_coverage = 0.5;
   sopts.save_every_batches = 0;  // measure WAL + apply, not snapshot saves
+  if (!endpoints.empty()) {
+    sopts.replication.endpoints = endpoints;
+    // Small queue + tight deadlines so the stall actually exercises the
+    // shed/reconnect machinery inside the measured window instead of
+    // hiding in a roomy buffer.
+    sopts.replication.max_queue_records = 8;
+    sopts.replication.heartbeat_interval_seconds = 0.25;
+    sopts.replication.io_timeout_seconds = 1.0;
+    sopts.replication.reconnect_min_seconds = 0.05;
+    sopts.replication.reconnect_max_seconds = 0.25;
+  }
 
   WallTimer init_timer;
   auto created = serve::CommunityService<V>::create(std::move(base), sopts);
   if (!created.has_value()) {
     std::fprintf(stderr, "create failed: %s\n", created.error().message().c_str());
-    return 1;
+    return res;
   }
   auto& svc = **created;
-  std::printf("# service up in %.4fs\n", init_timer.seconds());
+  std::printf("# service%s up in %.4fs\n", suffix.c_str(), init_timer.seconds());
 
   // Readers: random membership lookups against whatever epoch is
   // current, per-query latency sampled with a wall timer.  They run for
@@ -141,9 +236,8 @@ int main(int argc, char** argv) {
   // Ingest: submit each batch delta-by-delta (the daemon's unit of
   // arrival), then a COMMIT barrier so the measured window covers WAL
   // append + apply + publish.
-  double ingest_seconds_total = 0.0;
-  std::int64_t deltas_total = 0;
-  for (int b = 0; b < batches; ++b) {
+  bool failed = false;
+  for (int b = 0; b < batches && !failed; ++b) {
     // Reading the maintained graph between commits is race-free here:
     // this thread is the only producer, so after commit() the writer is
     // idle on an empty queue.
@@ -152,21 +246,24 @@ int main(int argc, char** argv) {
     for (const auto& d : batch.deltas) {
       if (auto r = svc.submit(d); !r.has_value()) {
         std::fprintf(stderr, "submit failed: %s\n", r.error().message().c_str());
-        return 1;
+        failed = true;
+        break;
       }
     }
+    if (failed) break;
     const auto epoch = svc.commit();
     const double s = t.seconds();
     if (!epoch.has_value()) {
       std::fprintf(stderr, "batch %d failed: %s\n", b, epoch.error().message().c_str());
-      return 1;
+      failed = true;
+      break;
     }
-    ingest_seconds_total += s;
-    deltas_total += batch.size();
+    res.ingest_seconds += s;
+    res.deltas += batch.size();
     const double rate = s > 0.0 ? static_cast<double>(batch.size()) / s : 0.0;
-    std::printf("row,ingest,%d,0,%.6f,%.0f,%lld\n", b, s, rate,
+    std::printf("row,ingest%s,%d,0,%.6f,%.0f,%lld\n", suffix.c_str(), b, s, rate,
                 static_cast<long long>(epoch.value()));
-    report().add("ingest", 0, b, s,
+    report().add("ingest" + suffix, 0, b, s,
                  {{"deltas_per_second", rate},
                   {"deltas", static_cast<double>(batch.size())},
                   {"epoch", static_cast<double>(epoch.value())}});
@@ -174,6 +271,10 @@ int main(int argc, char** argv) {
 
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : reader_threads) t.join();
+  if (failed) {
+    svc.shutdown();
+    return res;
+  }
 
   std::vector<double> pooled;
   for (int r = 0; r < readers; ++r) {
@@ -181,9 +282,10 @@ int main(int argc, char** argv) {
     std::sort(lat.begin(), lat.end());
     const double secs = reader_seconds[static_cast<std::size_t>(r)];
     const double qps = secs > 0.0 ? static_cast<double>(lat.size()) / secs : 0.0;
-    std::printf("row,query,%d,0,%.6f,%.0f,%.2f,%.2f,%.2f\n", r, secs, qps,
-                percentile(lat, 0.50), percentile(lat, 0.90), percentile(lat, 0.99));
-    report().add("query", r, 0, secs,
+    std::printf("row,query%s,%d,0,%.6f,%.0f,%.2f,%.2f,%.2f\n", suffix.c_str(), r,
+                secs, qps, percentile(lat, 0.50), percentile(lat, 0.90),
+                percentile(lat, 0.99));
+    report().add("query" + suffix, r, 0, secs,
                  {{"queries_per_second", qps},
                   {"p50_us", percentile(lat, 0.50)},
                   {"p90_us", percentile(lat, 0.90)},
@@ -192,23 +294,132 @@ int main(int argc, char** argv) {
   }
   std::sort(pooled.begin(), pooled.end());
 
-  const double ingest_rate = ingest_seconds_total > 0.0
-                                 ? static_cast<double>(deltas_total) / ingest_seconds_total
-                                 : 0.0;
-  std::printf("# ingest: %" PRId64 " deltas over %d batches, %.0f deltas/s\n",
-              deltas_total, batches, ingest_rate);
-  std::printf("# query: %zu samples, p50 %.2fus p90 %.2fus p99 %.2fus\n", pooled.size(),
-              percentile(pooled, 0.50), percentile(pooled, 0.90),
-              percentile(pooled, 0.99));
-  report().add("summary", 0, 0, ingest_seconds_total,
-               {{"deltas_per_second", ingest_rate},
-                {"queries", static_cast<double>(pooled.size())},
-                {"p50_us", percentile(pooled, 0.50)},
-                {"p90_us", percentile(pooled, 0.90)},
-                {"p99_us", percentile(pooled, 0.99)}});
+  res.ingest_rate = res.ingest_seconds > 0.0
+                        ? static_cast<double>(res.deltas) / res.ingest_seconds
+                        : 0.0;
+  res.queries = pooled.size();
+  res.p50_us = percentile(pooled, 0.50);
+  res.p90_us = percentile(pooled, 0.90);
+  res.p99_us = percentile(pooled, 0.99);
+  if (const auto* repl = svc.replication()) {
+    for (const auto& link : repl->status()) {
+      res.shed += link.shed;
+      res.reconnects += link.reconnects;
+    }
+  }
+
+  std::printf("# ingest%s: %" PRId64 " deltas over %d batches, %.0f deltas/s\n",
+              suffix.c_str(), res.deltas, batches, res.ingest_rate);
+  std::printf("# query%s: %zu samples, p50 %.2fus p90 %.2fus p99 %.2fus\n",
+              suffix.c_str(), res.queries, res.p50_us, res.p90_us, res.p99_us);
+  report().add("summary" + suffix, 0, 0, res.ingest_seconds,
+               {{"deltas_per_second", res.ingest_rate},
+                {"queries", static_cast<double>(res.queries)},
+                {"p50_us", res.p50_us},
+                {"p90_us", res.p90_us},
+                {"p99_us", res.p99_us},
+                {"replication_shed", static_cast<double>(res.shed)},
+                {"replication_reconnects", static_cast<double>(res.reconnects)}});
 
   svc.shutdown();
-  write_report(cfg, "bench_serve");
   std::filesystem::remove_all(dir);
-  return 0;
+  res.ok = true;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace commdet;
+  using namespace commdet::bench;
+
+  int batches = 20;
+  int readers = 4;
+  bool fsync = false;
+  std::string replication = "off";  // off | stalled | compare
+  double assert_ratio = 0.0;        // 0 = report only, no gate
+  std::vector<char*> rest{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--batches" && i + 1 < argc) batches = std::atoi(argv[++i]);
+    else if (std::string(argv[i]) == "--readers" && i + 1 < argc) readers = std::atoi(argv[++i]);
+    else if (std::string(argv[i]) == "--fsync") fsync = true;
+    else if (std::string(argv[i]) == "--replication" && i + 1 < argc) replication = argv[++i];
+    else if (std::string(argv[i]) == "--assert-ratio" && i + 1 < argc) assert_ratio = std::atof(argv[++i]);
+    else rest.push_back(argv[i]);
+  }
+  if (replication != "off" && replication != "stalled" && replication != "compare") {
+    std::fprintf(stderr, "--replication must be off, stalled, or compare\n");
+    return 2;
+  }
+  BenchConfig cfg = parse_args(static_cast<int>(rest.size()), rest.data());
+  if (cfg.trials == 1 && cfg.scale <= 13) batches = std::min(batches, 5);  // --quick
+  const double fraction = 0.01;
+
+  std::printf(
+      "# bench_serve: scale=%d edgefactor=%d batches=%d readers=%d fsync=%d "
+      "replication=%s\n",
+      cfg.scale, cfg.edge_factor, batches, readers, fsync ? 1 : 0,
+      replication.c_str());
+
+  // The stalled follower answers one handshake and then plays dead; the
+  // second endpoint is a socket nobody ever listens on, so that link
+  // lives in the dial/backoff loop the whole run.
+  const std::string stall_dir = "bench_serve_followers";
+  std::filesystem::remove_all(stall_dir);
+  std::vector<std::string> endpoints;
+  std::unique_ptr<StalledFollower> stalled;
+  if (replication != "off") {
+    std::filesystem::create_directories(stall_dir);
+    stalled = std::make_unique<StalledFollower>(stall_dir + "/stalled.sock");
+    endpoints = {stalled->path(), stall_dir + "/dead.sock"};
+  }
+
+  PassResult baseline;
+  if (replication != "stalled") {
+    baseline = run_pass(cfg, batches, readers, fsync, fraction, "", {});
+    if (!baseline.ok) return 1;
+  }
+  PassResult degraded;
+  if (replication != "off") {
+    degraded = run_pass(cfg, batches, readers, fsync, fraction, "_replicated",
+                        endpoints);
+    if (!degraded.ok) return 1;
+    std::printf("# replication links: handshakes=%d shed=%" PRId64
+                " reconnects=%" PRId64 "\n",
+                stalled->accepted(), degraded.shed, degraded.reconnects);
+  }
+
+  int rc = 0;
+  if (replication == "compare") {
+    const double ratio =
+        baseline.ingest_rate > 0.0 ? degraded.ingest_rate / baseline.ingest_rate
+                                   : 0.0;
+    std::printf("row,replication_compare,0,0,%.6f,%.0f,%.0f,%.4f\n",
+                baseline.ingest_seconds + degraded.ingest_seconds,
+                baseline.ingest_rate, degraded.ingest_rate, ratio);
+    report().add("replication_compare", 0, 0,
+                 baseline.ingest_seconds + degraded.ingest_seconds,
+                 {{"baseline_deltas_per_second", baseline.ingest_rate},
+                  {"replicated_deltas_per_second", degraded.ingest_rate},
+                  {"ingest_ratio", ratio},
+                  {"replication_shed", static_cast<double>(degraded.shed)},
+                  {"replication_reconnects",
+                   static_cast<double>(degraded.reconnects)}});
+    std::printf(
+        "# replication compare: baseline %.0f deltas/s, stalled+dead "
+        "followers %.0f deltas/s (ratio %.3f)\n",
+        baseline.ingest_rate, degraded.ingest_rate, ratio);
+    if (assert_ratio > 0.0 && ratio < assert_ratio) {
+      std::fprintf(stderr,
+                   "FAIL: stalled followers dragged ingest to %.3fx of the "
+                   "baseline (gate %.3f)\n",
+                   ratio, assert_ratio);
+      rc = 1;
+    }
+  }
+
+  stalled.reset();
+  std::filesystem::remove_all(stall_dir);
+  write_report(cfg, "bench_serve");
+  return rc;
 }

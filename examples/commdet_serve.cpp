@@ -12,10 +12,21 @@
 //   * SIGTERM/SIGINT: cooperative interrupt -> drain, final snapshot,
 //     clean exit 0 (a second signal kills the process the normal way).
 //
+// Replication (serve/replication.hpp + serve/follower.hpp):
+//
+//   * writer + followers: `--replicate-to <endpoint>` (repeatable)
+//     ships every committed WAL record to follower daemons started
+//     with `--follower`; a follower bootstraps via snapshot transfer,
+//     serves bounded-stale reads (`--max-lag`), and refuses mutations.
+//   * failover: the PROMOTE verb on a follower finalizes its
+//     replicated state and reopens it as the writer, resuming from the
+//     last committed epoch; the daemon keeps serving across the swap.
+//
 // Startup: when --dir already holds a dynamic state, the daemon
 // recovers from it (the graph file is ignored); otherwise it loads the
-// graph, runs the initial detection, and starts at epoch 0.  Once
-// serving it prints "READY epoch=<e> replayed=<n>" on stdout.
+// graph, runs the initial detection, and starts at epoch 0.  Followers
+// may start with no graph and no state at all.  Once serving it prints
+// "READY epoch=<e> replayed=<n>" on stdout.
 //
 // Exit codes match detect_communities: 0 ok, 2 usage, 1 unstructured
 // exception, exit_code_for() categories (3..9) for structured errors.
@@ -26,11 +37,13 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,6 +61,7 @@
 #include "commdet/platform/platform_info.hpp"
 #include "commdet/robust/checkpoint.hpp"
 #include "commdet/robust/error.hpp"
+#include "commdet/serve/follower.hpp"
 #include "commdet/serve/service.hpp"
 #include "commdet/serve/session.hpp"
 
@@ -69,13 +83,19 @@ commdet::EdgeList<V> load(const std::string& path) {
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: commdet_serve <graph-file> --dir <state-dir>\n"
+               "usage: commdet_serve [graph-file] --dir <state-dir>\n"
                "       [--socket path | --port p]          (default: stdin/stdout)\n"
+               "       [--follower] [--replicate-to endpoint]... [--max-lag n]\n"
                "       [--metric modularity|conductance|heavy|resolution] [--gamma g]\n"
                "       [--refine flat|vcycle] [--threads t]\n"
                "       [--halo k|auto] [--refresh-margin x] [--refresh-every n]\n"
                "       [--batch-count n] [--batch-ms m] [--save-every n] [--keep k]\n"
-               "       [--no-fsync] [--report file.json]\n");
+               "       [--session-idle-timeout s] [--max-line bytes]\n"
+               "       [--no-fsync] [--report file.json]\n"
+               "  --follower      run as a read-only replica (no graph file needed;\n"
+               "                  a writer with --replicate-to this endpoint feeds it)\n"
+               "  --replicate-to  follower endpoint: Unix socket path or local TCP port\n"
+               "  --max-lag       refuse follower reads more than n epochs stale (-1 = off)\n");
   std::exit(2);
 }
 
@@ -120,27 +140,33 @@ void write_all(int fd, const std::string& s) {
   }
 }
 
-/// Buffered newline framing over a poll-able fd, with a timeout so the
-/// loop can notice the interrupt flag even when the peer is silent.
+/// Buffered newline framing over a poll-able fd, built on the bounded
+/// serve::LineFramer, with a timeout so the loop can notice the
+/// interrupt flag even when the peer is silent.
 class FdLineReader {
  public:
-  explicit FdLineReader(int fd) : fd_(fd) {}
+  /// `keep_partial_on_eof`: stdio sessions treat an unterminated final
+  /// line as a last request; socket sessions discard it (a mid-line
+  /// disconnect is torn input, not a request).
+  FdLineReader(int fd, bool keep_partial_on_eof, std::size_t max_line_bytes)
+      : fd_(fd), keep_partial_(keep_partial_on_eof), framer_(max_line_bytes) {}
 
-  /// 1 = got a line, 0 = timeout, -1 = EOF/error (buffer drained first).
+  /// 1 = got a line, 0 = timeout, -1 = EOF/error (buffer drained
+  /// first), -2 = line exceeded the bound (hostile/broken client).
   int next(std::string& line, int timeout_ms) {
     for (;;) {
-      const std::size_t nl = buf_.find('\n');
-      if (nl != std::string::npos) {
-        line.assign(buf_, 0, nl);
-        if (!line.empty() && line.back() == '\r') line.pop_back();
-        buf_.erase(0, nl + 1);
+      if (framer_.overflowed()) return -2;
+      if (auto l = framer_.next_line()) {
+        line = std::move(*l);
         return 1;
       }
+      if (framer_.overflowed()) return -2;  // terminated but oversized
       if (eof_) {
-        if (buf_.empty()) return -1;
-        line = std::move(buf_);  // unterminated final line still counts
-        buf_.clear();
-        return 1;
+        if (keep_partial_ && framer_.has_partial()) {
+          line = framer_.take_partial();  // unterminated final line still counts
+          return 1;
+        }
+        return -1;
       }
       struct pollfd pfd{fd_, POLLIN, 0};
       const int pr = ::poll(&pfd, 1, timeout_ms);
@@ -157,30 +183,157 @@ class FdLineReader {
         eof_ = true;
         continue;
       }
-      buf_.append(chunk, static_cast<std::size_t>(n));
+      if (!framer_.feed(chunk, static_cast<std::size_t>(n))) return -2;
     }
   }
 
  private:
   int fd_;
-  std::string buf_;
+  bool keep_partial_;
+  commdet::serve::LineFramer framer_;
   bool eof_ = false;
 };
 
+// ----- daemon-wide role state (promotion swaps follower -> writer) -----
+
+struct Roles {
+  std::shared_ptr<commdet::serve::CommunityService<V>> writer;
+  std::shared_ptr<commdet::serve::FollowerService<V>> follower;
+};
+
+std::mutex g_roles_mu;
+Roles g_roles;
+std::atomic<std::int64_t> g_roles_gen{0};  // bumped on promotion
+commdet::serve::ServeOptions g_sopts;      // promotion reopens with these
 std::atomic<bool> g_closing{false};
 
+Roles current_roles() {
+  std::lock_guard<std::mutex> g(g_roles_mu);
+  return g_roles;
+}
+
+/// PROMOTE: finalize the follower's replicated state and reopen its
+/// directory as the writer.  Serialized; concurrent sessions observe
+/// the generation bump and rebind.  Returns the reply line.
+std::string promote_follower() {
+  std::lock_guard<std::mutex> g(g_roles_mu);
+  if (g_roles.writer)
+    return commdet::serve::protocol_error_line(
+        commdet::Error{commdet::ErrorCode::kInvalidArgument, commdet::Phase::kInput,
+                       "already the writer"});
+  auto fin = g_roles.follower->finalize_for_promotion();
+  if (!fin.has_value()) return commdet::serve::protocol_error_line(fin.error());
+  commdet::serve::ServeOptions sopts = g_sopts;
+  auto opened = commdet::serve::CommunityService<V>::open(sopts);
+  if (!opened.has_value()) return commdet::serve::protocol_error_line(opened.error());
+  g_roles.writer = std::move(opened.value());
+  g_roles.follower.reset();  // sessions holding a ref keep it alive until rebind
+  g_roles_gen.fetch_add(1, std::memory_order_release);
+  std::fprintf(stderr, "PROMOTED epoch=%lld\n", static_cast<long long>(fin.value()));
+  return "OK promoted " + std::to_string(fin.value());
+}
+
+/// One replication connection (a writer dialed in and sent REPL HELLO):
+/// every line goes through the follower's replay state machine.
+void run_repl_connection(std::shared_ptr<commdet::serve::FollowerService<V>> follower,
+                         const std::string& first_line, int in_fd, int out_fd,
+                         std::size_t max_line_bytes) {
+  const std::int64_t gen = g_roles_gen.load(std::memory_order_acquire);
+  FdLineReader reader(in_fd, /*keep_partial_on_eof=*/false, max_line_bytes);
+  std::string line = first_line;
+  for (;;) {
+    if (auto reply = follower->handle_repl_line(line)) write_all(out_fd, *reply + "\n");
+    for (;;) {
+      if (g_closing.load(std::memory_order_relaxed) || commdet::interrupt_requested() ||
+          g_roles_gen.load(std::memory_order_acquire) != gen) {
+        follower->repl_disconnected();
+        return;  // promoted (or stopping): this node no longer replays
+      }
+      const int r = reader.next(line, 200);
+      if (r == 1) break;
+      if (r == 0) continue;
+      follower->repl_disconnected();  // EOF / oversized: drop partial record
+      return;
+    }
+  }
+}
+
 /// One protocol session over (in_fd, out_fd); returns when the peer
-/// hangs up, QUIT/SHUTDOWN arrives, or the daemon is stopping.
-void run_session(commdet::serve::CommunityService<V>& svc, const std::string& peer,
-                 int in_fd, int out_fd) {
-  commdet::serve::Session<V> session(svc, peer);
-  FdLineReader reader(in_fd);
+/// hangs up, QUIT/SHUTDOWN arrives, the idle deadline fires, or the
+/// daemon is stopping.  A leading "REPL HELLO" hands the connection to
+/// the replication state machine instead.
+void run_session(const std::string& peer, int in_fd, int out_fd, bool is_socket,
+                 double idle_timeout_seconds, std::size_t max_line_bytes) {
+  std::int64_t gen = g_roles_gen.load(std::memory_order_acquire);
+  Roles roles = current_roles();
+  auto make_session = [&peer, &roles]() {
+    return roles.writer ? commdet::serve::Session<V>(*roles.writer, peer)
+                        : commdet::serve::Session<V>(*roles.follower, peer);
+  };
+  commdet::serve::Session<V> session = make_session();
+  FdLineReader reader(in_fd, /*keep_partial_on_eof=*/!is_socket, max_line_bytes);
   std::string line;
+  bool first = true;
+  auto last_activity = std::chrono::steady_clock::now();
   while (!g_closing.load(std::memory_order_relaxed) && !commdet::interrupt_requested()) {
     const int r = reader.next(line, 200);
+    if (r == -2) {
+      // Bounded line length: a client streaming an unbounded "line"
+      // gets a typed error and a closed connection, not an unbounded
+      // buffer.
+      write_all(out_fd,
+                commdet::serve::protocol_error_line(commdet::Error{
+                    commdet::ErrorCode::kIoParse, commdet::Phase::kInput,
+                    peer + ": line exceeds " + std::to_string(max_line_bytes) +
+                        " bytes, closing"}) +
+                    "\n");
+      break;
+    }
     if (r < 0) break;
-    if (r == 0) continue;
-    const auto reply = session.handle_line(line);
+    if (r == 0) {
+      if (idle_timeout_seconds > 0.0 &&
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - last_activity)
+                  .count() > idle_timeout_seconds) {
+        write_all(out_fd,
+                  commdet::serve::protocol_error_line(commdet::Error{
+                      commdet::ErrorCode::kStalled, commdet::Phase::kInput,
+                      peer + ": idle beyond " + std::to_string(idle_timeout_seconds) +
+                          "s, closing"}) +
+                      "\n");
+        break;
+      }
+      continue;
+    }
+    last_activity = std::chrono::steady_clock::now();
+    if (first) {
+      first = false;
+      if (line.compare(0, 10, "REPL HELLO") == 0) {
+        if (roles.follower) {
+          run_repl_connection(roles.follower, line, in_fd, out_fd, max_line_bytes);
+        } else {
+          write_all(out_fd,
+                    commdet::serve::protocol_error_line(commdet::Error{
+                        commdet::ErrorCode::kReplicationBroken, commdet::Phase::kInput,
+                        "this endpoint is the writer, not a follower"}) +
+                        "\n");
+        }
+        return;
+      }
+    }
+    if (g_roles_gen.load(std::memory_order_acquire) != gen) {
+      gen = g_roles_gen.load(std::memory_order_acquire);
+      roles = current_roles();
+      session = make_session();  // rebind after promotion
+    }
+    auto reply = session.handle_line(line);
+    if (reply.promote) {
+      const std::string answer = promote_follower();
+      write_all(out_fd, answer + "\n");
+      gen = g_roles_gen.load(std::memory_order_acquire);
+      roles = current_roles();
+      session = make_session();
+      continue;
+    }
     if (reply.line.has_value()) write_all(out_fd, *reply.line + "\n");
     if (reply.shutdown) {
       commdet::request_interrupt();
@@ -190,7 +343,7 @@ void run_session(commdet::serve::CommunityService<V>& svc, const std::string& pe
   }
 }
 
-int serve_socket(commdet::serve::CommunityService<V>& svc, int listen_fd) {
+int serve_socket(int listen_fd, double idle_timeout_seconds, std::size_t max_line_bytes) {
   std::vector<std::thread> conns;
   std::int64_t next_id = 0;
   while (!g_closing.load(std::memory_order_relaxed) && !commdet::interrupt_requested()) {
@@ -200,8 +353,9 @@ int serve_socket(commdet::serve::CommunityService<V>& svc, int listen_fd) {
     const int conn = ::accept(listen_fd, nullptr, nullptr);
     if (conn < 0) continue;
     const std::string peer = "conn-" + std::to_string(next_id++);
-    conns.emplace_back([&svc, peer, conn] {
-      run_session(svc, peer, conn, conn);
+    conns.emplace_back([peer, conn, idle_timeout_seconds, max_line_bytes] {
+      run_session(peer, conn, conn, /*is_socket=*/true, idle_timeout_seconds,
+                  max_line_bytes);
       ::close(conn);
     });
   }
@@ -214,15 +368,24 @@ int serve_socket(commdet::serve::CommunityService<V>& svc, int listen_fd) {
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
-  std::string graph_path = argv[1];
+  std::string graph_path;
   std::string socket_path;
   std::string report_path;
   std::string metric = "modularity";
   int port = 0;
+  bool follower_mode = false;
+  std::int64_t max_lag = -1;
+  double idle_timeout_seconds = -1.0;  // <0: default per transport
+  std::size_t max_line_bytes = std::size_t{1} << 20;
   commdet::serve::ServeOptions sopts;
   commdet::DynamicOptions& dopts = sopts.dynamic;
 
-  for (int i = 2; i < argc; ++i) {
+  int i = 1;
+  if (argv[1][0] != '-') {
+    graph_path = argv[1];
+    i = 2;
+  }
+  for (; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
       if (i + 1 >= argc) usage();
@@ -234,6 +397,12 @@ int main(int argc, char** argv) {
       socket_path = next();
     } else if (arg == "--port") {
       port = std::stoi(next());
+    } else if (arg == "--follower") {
+      follower_mode = true;
+    } else if (arg == "--replicate-to") {
+      sopts.replication.endpoints.push_back(next());
+    } else if (arg == "--max-lag") {
+      max_lag = std::stoll(next());
     } else if (arg == "--metric") {
       metric = next();
     } else if (arg == "--gamma") {
@@ -260,6 +429,10 @@ int main(int argc, char** argv) {
       sopts.save_every_batches = std::stoi(next());
     } else if (arg == "--keep") {
       sopts.keep_generations = std::stoi(next());
+    } else if (arg == "--session-idle-timeout") {
+      idle_timeout_seconds = std::stod(next());
+    } else if (arg == "--max-line") {
+      max_line_bytes = static_cast<std::size_t>(std::stoll(next()));
     } else if (arg == "--no-fsync") {
       sopts.fsync_wal = false;
     } else if (arg == "--report") {
@@ -276,6 +449,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --socket and --port are mutually exclusive\n");
     return 2;
   }
+  if (follower_mode && !sopts.replication.endpoints.empty()) {
+    std::fprintf(stderr, "error: --follower and --replicate-to are mutually exclusive\n");
+    return 2;
+  }
 
   if (metric == "modularity") dopts.detect.scorer = commdet::ScorerKind::kModularity;
   else if (metric == "conductance") dopts.detect.scorer = commdet::ScorerKind::kConductance;
@@ -283,34 +460,63 @@ int main(int argc, char** argv) {
   else if (metric == "resolution") dopts.detect.scorer = commdet::ScorerKind::kResolutionModularity;
   else usage();
 
+  // Sessions over stdio have no idle deadline by default (interactive
+  // and test use); socket sessions default to 15 minutes.
+  const bool using_socket = !socket_path.empty() || port != 0;
+  if (idle_timeout_seconds < 0.0) idle_timeout_seconds = using_socket ? 900.0 : 0.0;
+
   std::signal(SIGINT, on_stop_signal);
   std::signal(SIGTERM, on_stop_signal);
   std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the daemon
 
   try {
     // Recover when the state directory already holds generations;
-    // otherwise cold-start from the graph file.
-    std::unique_ptr<commdet::serve::CommunityService<V>> svc;
+    // otherwise cold-start from the graph file (writer) or empty
+    // awaiting a snapshot transfer (follower).
     const bool have_state = !commdet::list_checkpoints(sopts.dir).empty();
-    if (have_state) {
+    if (follower_mode) {
+      commdet::serve::FollowerOptions fopts;
+      fopts.dynamic = sopts.dynamic;
+      fopts.dir = sopts.dir;
+      fopts.max_lag_epochs = max_lag;
+      fopts.save_every_batches = sopts.save_every_batches;
+      fopts.keep_generations = sopts.keep_generations;
+      fopts.fsync_wal = sopts.fsync_wal;
+      auto opened = commdet::serve::FollowerService<V>::open(fopts);
+      if (!opened.has_value())
+        return report_structured_error(opened.error(),
+                                       commdet::exit_code_for(opened.error().code));
+      g_roles.follower = std::move(opened.value());
+    } else if (have_state) {
       auto opened = commdet::serve::CommunityService<V>::open(sopts);
       if (!opened.has_value())
         return report_structured_error(opened.error(),
                                        commdet::exit_code_for(opened.error().code));
-      svc = std::move(opened.value());
+      g_roles.writer = std::move(opened.value());
     } else {
+      if (graph_path.empty()) {
+        std::fprintf(stderr, "error: no state in --dir and no graph file given\n");
+        return 2;
+      }
       auto created = commdet::serve::CommunityService<V>::create(
           commdet::build_community_graph(load(graph_path)), sopts);
       if (!created.has_value())
         return report_structured_error(created.error(),
                                        commdet::exit_code_for(created.error().code));
-      svc = std::move(created.value());
+      g_roles.writer = std::move(created.value());
     }
+    g_sopts = sopts;
 
-    std::printf("READY epoch=%lld replayed=%lld\n",
-                static_cast<long long>(svc->snapshot()->epoch),
-                static_cast<long long>(svc->replayed_batches()));
-    std::fflush(stdout);
+    {
+      const Roles roles = current_roles();
+      const long long epoch = roles.writer ? roles.writer->snapshot()->epoch
+                                           : roles.follower->epoch();
+      const long long replayed = roles.writer ? roles.writer->replayed_batches()
+                                              : roles.follower->replayed_batches();
+      std::printf("READY epoch=%lld replayed=%lld role=%s\n", epoch, replayed,
+                  roles.writer ? "writer" : "follower");
+      std::fflush(stdout);
+    }
 
     if (!socket_path.empty()) {
       const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -328,7 +534,7 @@ int main(int argc, char** argv) {
         std::perror("bind/listen");
         return 1;
       }
-      serve_socket(*svc, fd);
+      serve_socket(fd, idle_timeout_seconds, max_line_bytes);
       ::unlink(socket_path.c_str());
     } else if (port != 0) {
       const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -344,29 +550,37 @@ int main(int argc, char** argv) {
         std::perror("bind/listen");
         return 1;
       }
-      serve_socket(*svc, fd);
+      serve_socket(fd, idle_timeout_seconds, max_line_bytes);
     } else {
-      run_session(*svc, "stdin", 0, 1);  // EOF = graceful shutdown
+      // EOF = graceful shutdown.
+      run_session("stdin", 0, 1, /*is_socket=*/false, idle_timeout_seconds,
+                  max_line_bytes);
     }
 
-    svc->shutdown();  // drain + final snapshot
+    const Roles roles = current_roles();
+    if (roles.writer) {
+      roles.writer->shutdown();  // drain + final snapshot
 
-    if (!report_path.empty()) {
-      const auto platform = commdet::detect_platform();
-      commdet::obs::RunReportInputs inputs;
-      inputs.platform = &platform;
-      inputs.dynamic = &svc->dynamics().stats();
-      inputs.info = {{"tool", "commdet_serve"},
-                     {"dir", sopts.dir},
-                     {"metric", metric},
-                     {"replayed", std::to_string(svc->replayed_batches())},
-                     {"queries", std::to_string(svc->queries_served())}};
-      commdet::obs::write_text_file(
-          report_path, commdet::obs::run_report_json(svc->dynamics().clustering(), inputs));
-      std::fprintf(stderr, "run report written to %s\n", report_path.c_str());
+      if (!report_path.empty()) {
+        const auto platform = commdet::detect_platform();
+        commdet::obs::RunReportInputs inputs;
+        inputs.platform = &platform;
+        inputs.dynamic = &roles.writer->dynamics().stats();
+        inputs.info = {{"tool", "commdet_serve"},
+                       {"dir", sopts.dir},
+                       {"metric", metric},
+                       {"replayed", std::to_string(roles.writer->replayed_batches())},
+                       {"queries", std::to_string(roles.writer->queries_served())}};
+        commdet::obs::write_text_file(
+            report_path,
+            commdet::obs::run_report_json(roles.writer->dynamics().clustering(), inputs));
+        std::fprintf(stderr, "run report written to %s\n", report_path.c_str());
+      }
+      std::printf("BYE epoch=%lld\n",
+                  static_cast<long long>(roles.writer->dynamics().epoch()));
+    } else {
+      std::printf("BYE epoch=%lld\n", static_cast<long long>(roles.follower->epoch()));
     }
-    std::printf("BYE epoch=%lld\n",
-                static_cast<long long>(svc->dynamics().epoch()));
     return 0;
   } catch (const commdet::CommdetError& e) {
     return report_structured_error(e.error(), commdet::exit_code_for(e.code()));

@@ -67,6 +67,15 @@ class ServeClient:
             raise RuntimeError(reply)
         return int(reply.split()[1])
 
+    def health(self):
+        """One JSON object: role (writer/follower), epoch, replication
+        lag, and WAL cursor.  Works in both roles — on a follower it is
+        the way to see how far behind the writer it is."""
+        reply = self.ask("HEALTH")
+        if not reply.startswith("OK "):
+            raise RuntimeError(reply)
+        return json.loads(reply[3:])
+
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -80,7 +89,7 @@ def main():
     print("epoch at connect:", c.ask("EPOCH"))
 
     # Stream a tiny batch of deltas, then barrier on COMMIT.
-    for line in ["+ 0 1 2.5", "+ 1 2 1.0", "- 0 2"]:
+    for line in ["+ 0 1 2", "+ 1 2 1", "- 0 2"]:
         c.send(line)
     epoch = c.commit()
     print("committed epoch:", epoch)
@@ -93,6 +102,15 @@ def main():
     if stats_reply.startswith("OK "):
         stats = json.loads(stats_reply[3:])
         print("batches applied:", stats["dynamic"]["batches"])
+
+    # HEALTH works on writers and followers alike; on a writer with
+    # replication configured it also reports each follower link's
+    # acked epoch, and on a follower its lag behind the writer.
+    health = c.health()
+    print("role:", health["role"], "epoch:", health["epoch"])
+    if health.get("replication"):
+        for link in health["replication"]["followers"]:
+            print("  follower", link["endpoint"], "acked", link["acked_epoch"])
 
     print(c.ask("QUIT"))
 

@@ -33,8 +33,10 @@ run_tsan() {
     cmake --build build-tsan -j "${jobs}" --target "${t}" > /dev/null
   done
   # OpenMP runtimes trip TSan's lock-order heuristics without the
-  # instrumented libomp; suppress known-benign runtime internals.
-  TSAN_OPTIONS="halt_on_error=1" \
+  # instrumented libomp, and libstdc++'s atomic<shared_ptr> hides its
+  # lock-bit happens-before from TSan; suppress known-benign runtime
+  # internals (see scripts/tsan.supp).
+  TSAN_OPTIONS="halt_on_error=1 suppressions=$(pwd)/scripts/tsan.supp" \
     ctest --test-dir build-tsan --output-on-failure -j "${jobs}" \
       -R "ParallelFor|ParallelSum|ParallelCount|ParallelMax|ParallelExceptions|ExceptionCollector|Spinlock|Match|Contract|Agglomerate|Sanitize|BudgetTracker|Obs|Serve"
 }

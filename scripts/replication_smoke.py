@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""End-to-end replication / failover test for the commdet_serve daemon.
+
+Topology: one writer plus two follower daemons over Unix sockets.  The
+writer streams delta batches with COMMIT barriers while shipping every
+committed WAL record to both followers.  The script then:
+
+  1. waits (via HEALTH) for both followers to reach the writer's
+     committed epoch and byte-compares all three membership dumps,
+  2. sends a partial, uncommitted batch and SIGKILLs the writer
+     mid-stream — followers must keep serving the last committed epoch,
+     bit-for-bit, with zero committed epochs lost,
+  3. restarts the writer from its own directory and demands the same
+     dump again (WAL recovery and replication agree),
+  4. promotes follower 1 to writer (PROMOTE) after the writer is gone
+     for good, and requires the promoted node to answer queries
+     identically AND accept new commits.
+
+Usage:
+    python3 scripts/replication_smoke.py <serve-binary> <graph-file> \
+        <deltas-file> <work-dir> [--batches N] [--batch-size N]
+
+Exit code 0 = all assertions held.
+"""
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+
+class Client:
+    def __init__(self, path, retries=50):
+        last = None
+        for _ in range(retries):
+            try:
+                self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                self.sock.connect(path)
+                self.buf = b""
+                return
+            except OSError as e:
+                last = e
+                time.sleep(0.1)
+        raise last
+
+    def send(self, text):
+        self.sock.sendall(text.encode())
+
+    def recv_line(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(1 << 16)
+            if not chunk:
+                raise ConnectionError("daemon closed the connection")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode()
+
+    def ask(self, line):
+        self.send(line + "\n")
+        return self.recv_line()
+
+    def commit(self):
+        reply = self.ask("COMMIT")
+        assert reply.startswith("OK "), reply
+        return int(reply.split()[1])
+
+    def health(self):
+        reply = self.ask("HEALTH")
+        assert reply.startswith("OK "), reply
+        return json.loads(reply[3:])
+
+    def dump_membership(self):
+        """Full membership + quality, one deterministic text blob."""
+        lo, hi = 0, 1
+        while self.ask(f"GET {hi}").startswith("OK "):
+            lo, hi = hi, hi * 2
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if self.ask(f"GET {mid}").startswith("OK "):
+                lo = mid
+            else:
+                hi = mid
+        n = hi
+        lines = [self.ask("QUALITY")]
+        chunk = 4096
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            self.send("".join(f"GET {v}\n" for v in range(start, stop)))
+            for v in range(start, stop):
+                reply = self.recv_line()
+                assert reply.startswith("OK "), (v, reply)
+                lines.append(reply)
+        return "\n".join(lines)
+
+
+def start_daemon(binary, state_dir, sock_path, graph=None, extra=()):
+    cmd = [binary]
+    if graph:
+        cmd.append(graph)
+    cmd += ["--dir", state_dir, "--socket", sock_path,
+            "--batch-count", "500", "--batch-ms", "10000",
+            "--save-every", "4", "--keep", "2"] + list(extra)
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True)
+    ready = proc.stdout.readline().strip()
+    assert ready.startswith("READY "), ready
+    fields = dict(kv.split("=") for kv in ready.split()[1:])
+    return proc, int(fields["epoch"]), fields.get("role", "writer")
+
+
+def wait_for_epoch(sock_path, epoch, timeout=120.0):
+    """Polls HEALTH until the follower has replicated up to `epoch`."""
+    deadline = time.monotonic() + timeout
+    c = Client(sock_path)
+    while time.monotonic() < deadline:
+        h = c.health()
+        if h["epoch"] >= epoch:
+            return h
+        time.sleep(0.1)
+    raise AssertionError(f"follower {sock_path} stuck at "
+                         f"{c.health()} (want epoch {epoch})")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("binary")
+    ap.add_argument("graph")
+    ap.add_argument("deltas")
+    ap.add_argument("workdir")
+    ap.add_argument("--batches", type=int, default=16)
+    ap.add_argument("--batch-size", type=int, default=500)
+    args = ap.parse_args()
+
+    with open(args.deltas) as f:
+        deltas = [l for l in f if l.strip() and l[0] in "+-="]
+    need = (args.batches + 1) * args.batch_size
+    assert len(deltas) >= need, f"need {need} deltas, file has {len(deltas)}"
+    batches = [deltas[i * args.batch_size:(i + 1) * args.batch_size]
+               for i in range(args.batches + 1)]
+
+    os.makedirs(args.workdir, exist_ok=True)
+    wdir = os.path.join(args.workdir, "writer")
+    wsock = os.path.join(args.workdir, "writer.sock")
+    fdirs = [os.path.join(args.workdir, f"follower{i}") for i in (1, 2)]
+    fsocks = [os.path.join(args.workdir, f"follower{i}.sock") for i in (1, 2)]
+
+    # Followers first (cold: the writer bootstraps them with a snapshot
+    # transfer), then the writer with both replication endpoints.
+    followers = []
+    for fdir, fsock in zip(fdirs, fsocks):
+        proc, epoch, role = start_daemon(args.binary, fdir, fsock,
+                                         extra=["--follower"])
+        assert role == "follower" and epoch == -1, (role, epoch)
+        followers.append(proc)
+    wproc, epoch, role = start_daemon(
+        args.binary, wdir, wsock, graph=args.graph,
+        extra=["--replicate-to", fsocks[0], "--replicate-to", fsocks[1]])
+    assert role == "writer" and epoch == 0, (role, epoch)
+
+    # Phase 1: stream committed batches, then demand convergence.
+    w = Client(wsock)
+    for b, batch in enumerate(batches[:args.batches], start=1):
+        w.send("".join(batch))
+        assert w.commit() == b
+    committed = args.batches
+    wh = w.health()
+    assert wh["role"] == "writer" and wh["epoch"] == committed, wh
+
+    for fsock in fsocks:
+        h = wait_for_epoch(fsock, committed)
+        assert h["role"] == "follower" and h["lag"] == 0, h
+    dump_writer = w.dump_membership()
+    dumps = [Client(s).dump_membership() for s in fsocks]
+    assert dumps[0] == dump_writer, "follower 1 diverged from the writer"
+    assert dumps[1] == dump_writer, "follower 2 diverged from the writer"
+    print(f"replication OK: both followers bit-for-bit at epoch {committed} "
+          f"({len(dump_writer.splitlines()) - 1} labels)")
+
+    # Phase 2: a partial, uncommitted batch, then SIGKILL the writer
+    # mid-stream.  Nothing committed may be lost; the uncommitted tail
+    # must vanish everywhere.
+    w.send("".join(batches[args.batches][:100]))
+    wproc.send_signal(signal.SIGKILL)
+    wproc.wait()
+    wproc.stdout.close()
+    for i, fsock in enumerate(fsocks, start=1):
+        d = Client(fsock).dump_membership()
+        assert d == dump_writer, f"follower {i} lost a committed epoch"
+    print("writer SIGKILL OK: followers still serve the last committed "
+          "epoch, zero committed epochs lost")
+
+    # Phase 3: the writer restarts from its own WAL and must agree with
+    # what its followers kept serving.
+    wproc, epoch, role = start_daemon(
+        args.binary, wdir, wsock, graph=args.graph,
+        extra=["--replicate-to", fsocks[0], "--replicate-to", fsocks[1]])
+    assert (role, epoch) == ("writer", committed), (role, epoch)
+    w = Client(wsock)
+    assert w.dump_membership() == dump_writer, \
+        "restarted writer diverged from its followers"
+    assert w.ask("SHUTDOWN") == "OK shutting-down"
+    assert wproc.wait(timeout=60) == 0
+    wproc.stdout.close()
+    print(f"writer restart OK: recovered epoch {committed} bit-for-bit")
+
+    # Phase 4: the writer is gone for good — promote follower 1 and
+    # keep serving, including new commits.
+    f1 = Client(fsocks[0])
+    reply = f1.ask("+ 0 1 2")
+    assert reply.startswith("ERR read-only"), reply
+    reply = f1.ask("PROMOTE")
+    assert reply == f"OK promoted {committed}", reply
+    h = f1.health()
+    assert h["role"] == "writer" and h["epoch"] == committed, h
+    assert f1.dump_membership() == dump_writer, \
+        "promotion changed the committed membership"
+    f1.send("".join(batches[args.batches]))
+    assert f1.commit() == committed + 1
+    assert f1.ask("EPOCH") == f"OK {committed + 1}"
+    print(f"failover OK: follower 1 promoted at epoch {committed}, "
+          f"serving and committing (now at {committed + 1})")
+
+    assert f1.ask("SHUTDOWN") == "OK shutting-down"
+    f2 = Client(fsocks[1])
+    assert f2.ask("SHUTDOWN") == "OK shutting-down"
+    for proc in followers:
+        assert proc.wait(timeout=60) == 0
+        proc.stdout.close()
+    print("replication smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

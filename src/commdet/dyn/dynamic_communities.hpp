@@ -123,8 +123,11 @@ struct CommunityStats {
 /// dynamic states live in the same `checkpoint-NNNNNN.ckpt` rotation as
 /// agglomeration checkpoints (which are version 1), so the version
 /// bump is also what turns "pointed a dynamic resume at an
-/// agglomeration checkpoint dir" into a clean format error.
-inline constexpr std::uint32_t kDynStateFormatVersion = 2;
+/// agglomeration checkpoint dir" into a clean format error.  Version 3
+/// adds the clustering quality scalars (modularity / coverage), so a
+/// restart — or a follower promoted to writer — reports the same
+/// QUALITY line without needing a WAL record to replay.
+inline constexpr std::uint32_t kDynStateFormatVersion = 3;
 
 /// Fingerprint of the configuration that shapes dynamic results; a
 /// saved state is refused under a different configuration.  Refresh
@@ -392,6 +395,8 @@ class DynamicCommunities {
     w.write_i64(base_.total_weight);
     w.write_i64_array(clustering_.community);
     w.write_i64(clustering_.num_communities);
+    w.write_f64(clustering_.final_modularity);
+    w.write_f64(clustering_.final_coverage);
     w.write_i64(stats_.batches);
     w.write_i64(stats_.updates_applied);
     w.write_i64(stats_.updates_effective);
@@ -454,6 +459,8 @@ class DynamicCommunities {
       out.base_.total_weight = r.read_i64();
       out.clustering_.community = r.template read_i64_array<V>();
       out.clustering_.num_communities = r.read_i64();
+      out.clustering_.final_modularity = r.read_f64();
+      out.clustering_.final_coverage = r.read_f64();
       out.stats_.batches = r.read_i64();
       out.stats_.updates_applied = r.read_i64();
       out.stats_.updates_effective = r.read_i64();

@@ -30,6 +30,9 @@ enum class ErrorCode {
   kStalled,           // RunBudget progress watchdog fired
   kInterrupted,       // SIGINT/SIGTERM-style stop requested mid-run
   kCheckpointMismatch,  // resume refused: checkpoint written under other config
+  kStaleRead,         // follower read refused: replication lag beyond budget
+  kReadOnly,          // mutation refused: this endpoint is a read-only follower
+  kReplicationBroken,  // replication link/protocol failure (shipping session)
   kInjectedFault,     // fault-injection site fired (testing only)
   kInternal,          // contained exception without structured info
 };
@@ -64,6 +67,9 @@ enum class Phase {
     case ErrorCode::kStalled: return "stalled";
     case ErrorCode::kInterrupted: return "interrupted";
     case ErrorCode::kCheckpointMismatch: return "checkpoint-mismatch";
+    case ErrorCode::kStaleRead: return "stale-read";
+    case ErrorCode::kReadOnly: return "read-only";
+    case ErrorCode::kReplicationBroken: return "replication-broken";
     case ErrorCode::kInjectedFault: return "injected-fault";
     case ErrorCode::kInternal: return "internal";
   }
@@ -97,20 +103,27 @@ enum class Phase {
 ///   7  checkpoint/configuration mismatch — fix flags, do not retry
 ///   8  interrupted — resume
 ///   9  internal/injected failure — report
+/// Replication-era codes fold into the same categories: a stale read
+/// (kStaleRead) and a broken shipping link (kReplicationBroken) are
+/// retryable (6 and 3); a mutation sent to a follower (kReadOnly) is a
+/// wrong-endpoint configuration error (5).
 [[nodiscard]] constexpr int exit_code_for(ErrorCode c) noexcept {
   switch (c) {
     case ErrorCode::kIoOpen:
     case ErrorCode::kIoRead:
     case ErrorCode::kIoWrite:
     case ErrorCode::kIoFormat:
-    case ErrorCode::kIoParse: return 3;
+    case ErrorCode::kIoParse:
+    case ErrorCode::kReplicationBroken: return 3;
     case ErrorCode::kIdOverflow:
     case ErrorCode::kBadWeight:
     case ErrorCode::kBadEndpoint: return 4;
-    case ErrorCode::kInvalidArgument: return 5;
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kReadOnly: return 5;
     case ErrorCode::kDeadlineExceeded:
     case ErrorCode::kMemoryBudget:
-    case ErrorCode::kStalled: return 6;
+    case ErrorCode::kStalled:
+    case ErrorCode::kStaleRead: return 6;
     case ErrorCode::kCheckpointMismatch: return 7;
     case ErrorCode::kInterrupted: return 8;
     case ErrorCode::kInjectedFault:

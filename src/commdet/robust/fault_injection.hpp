@@ -33,6 +33,9 @@ inline constexpr const char* kSnapshotRead = "io.snapshot.read";
 inline constexpr const char* kDynApply = "dyn.apply";      // mid-batch, at the staged graph apply
 inline constexpr const char* kDynRecompute = "dyn.recompute";  // mid-batch, before re-agglomeration
 inline constexpr const char* kIoDeltaText = "io.delta_text";
+inline constexpr const char* kServePublish = "serve.publish";  // writer: between durable diff-commit and epoch publish
+inline constexpr const char* kReplShip = "repl.ship";          // writer link: before shipping one record
+inline constexpr const char* kReplApply = "repl.apply";        // follower: before applying a verified record
 
 }  // namespace commdet::fault
 

@@ -15,6 +15,9 @@
 //                  "dynamic" object
 //   SAVE           persist a snapshot generation now
 //   PING           liveness
+//   HEALTH         one-line JSON: role (writer/follower), epoch,
+//                  replication lag, WAL cursor
+//   PROMOTE        follower only: take over as writer (failover)
 //   QUIT           close this connection
 //   SHUTDOWN       graceful daemon drain-and-checkpoint stop
 //   # ...          comment, ignored (also '%')
@@ -28,6 +31,13 @@
 // that reports state carries the epoch it came from); a client that
 // needs its own writes visible issues COMMIT first.  Doubles are
 // printed with %.17g, so equal epochs compare bit-for-bit as text.
+//
+// Follower endpoints (serve/follower.hpp) answer the same query verbs
+// from their replicated epoch, refuse mutations with "ERR read-only",
+// and refuse queries beyond the staleness budget with "ERR stale-read".
+// The replication connection itself (writer dialing follower) starts
+// with "REPL HELLO ..." and speaks the shipping grammar documented in
+// serve/replication.hpp, not this request protocol.
 #pragma once
 
 #include <cstdio>

@@ -1,0 +1,809 @@
+// WAL-shipping replication: the writer side.
+//
+// The writer daemon streams committed WAL records — the same
+// "B ... E" intent + "C ... c" commit text the local log persists — to
+// N follower daemons over the existing newline-framed protocol.  One
+// ReplicationManager owns one FollowerLink (thread + bounded queue) per
+// endpoint:
+//
+//   * on_commit() is called on the writer thread after every published
+//     epoch.  It only pushes into per-link bounded queues — it NEVER
+//     blocks, and a full queue is shed wholesale (the link falls back
+//     to WAL-tail catch-up from disk, or a snapshot transfer when the
+//     tail was pruned).  A slow or dead follower can therefore never
+//     backpressure the writer into unavailability.
+//   * Each link dials its follower, handshakes (config fingerprint +
+//     epoch exchange), bootstraps a behind follower with a
+//     snapshot-generation transfer (base64 over the line protocol)
+//     plus WAL-tail catch-up, then ships records as they commit.
+//   * Heartbeats ("HB <epoch>") flow when the link is idle; every send
+//     and receive is bounded by an I/O timeout, and a silent or broken
+//     peer triggers reconnect with jittered exponential backoff.
+//   * The follower acks each durably applied record ("ACK <seq>"), so
+//     the link maintains an acked cursor; HEALTH reports it per
+//     follower and the writer's replication lag is epoch - min(acked).
+//
+// Consistency model: followers replay only committed records, in
+// sequence, CRC-verified — a follower is always a prefix of the
+// writer's committed history (bounded staleness, never divergence).
+#pragma once
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "commdet/robust/checkpoint.hpp"
+#include "commdet/robust/error.hpp"
+#include "commdet/robust/fault_injection.hpp"
+#include "commdet/serve/wal.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet::serve {
+
+// ---------------------------------------------------------------------------
+// base64 (snapshot bytes over the text protocol)
+
+namespace detail {
+inline constexpr std::string_view kB64 =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+}  // namespace detail
+
+[[nodiscard]] inline std::string base64_encode(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::string out;
+  out.reserve((n + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= n; i += 3) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(p[i]) << 16) |
+                            (static_cast<std::uint32_t>(p[i + 1]) << 8) | p[i + 2];
+    out += detail::kB64[(v >> 18) & 63];
+    out += detail::kB64[(v >> 12) & 63];
+    out += detail::kB64[(v >> 6) & 63];
+    out += detail::kB64[v & 63];
+  }
+  if (i + 1 == n) {
+    const std::uint32_t v = static_cast<std::uint32_t>(p[i]) << 16;
+    out += detail::kB64[(v >> 18) & 63];
+    out += detail::kB64[(v >> 12) & 63];
+    out += "==";
+  } else if (i + 2 == n) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(p[i]) << 16) |
+                            (static_cast<std::uint32_t>(p[i + 1]) << 8);
+    out += detail::kB64[(v >> 18) & 63];
+    out += detail::kB64[(v >> 12) & 63];
+    out += detail::kB64[(v >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+/// Appends the decoded bytes to `out`; false on any malformed input
+/// (a corrupted transfer must fail loudly, not truncate silently).
+[[nodiscard]] inline bool base64_decode(std::string_view in, std::string& out) {
+  if (in.size() % 4 != 0) return false;
+  static constexpr auto value_of = [](char c) -> int {
+    if (c >= 'A' && c <= 'Z') return c - 'A';
+    if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+    if (c >= '0' && c <= '9') return c - '0' + 52;
+    if (c == '+') return 62;
+    if (c == '/') return 63;
+    return -1;
+  };
+  out.reserve(out.size() + in.size() / 4 * 3);
+  for (std::size_t i = 0; i < in.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t v = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const char c = in[i + j];
+      if (c == '=') {
+        // Padding is only legal in the final group's last two slots.
+        if (i + 4 != in.size() || j < 2) return false;
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) return false;  // data after '='
+      const int d = value_of(c);
+      if (d < 0) return false;
+      v = (v << 6) | static_cast<std::uint32_t>(d);
+    }
+    out += static_cast<char>((v >> 16) & 0xff);
+    if (pad < 2) out += static_cast<char>((v >> 8) & 0xff);
+    if (pad < 1) out += static_cast<char>(v & 0xff);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental record assembly (the follower's receive side)
+
+/// Reassembles WAL records from a shipped line stream.  Grammar and
+/// checksums are exactly serve/wal.hpp's — but where the file reader
+/// treats a bad record as an ordinary torn tail, a shipped record that
+/// fails its CRC or framing is a hard typed error: the follower must
+/// refuse it (and force the writer to resend) rather than ever apply
+/// bytes that differ from what the writer committed.
+template <VertexId V>
+class WalRecordAssembler {
+ public:
+  /// Feeds one line; returns the completed record when this line
+  /// finished one, std::nullopt while mid-record.  Throws CommdetError
+  /// (kReplicationBroken / kIoParse) on malformed framing or checksum
+  /// mismatch; the assembler resets itself on error.
+  std::optional<WalRecord<V>> feed(const std::string& line) {
+    try {
+      return feed_impl(line);
+    } catch (...) {
+      reset();
+      throw;
+    }
+  }
+
+  /// Drops any mid-record state (link dropped mid-record: the writer
+  /// re-ships the whole record after reconnect).
+  void reset() noexcept {
+    state_ = State::kIdle;
+    lines_.clear();
+    remaining_ = 0;
+    rec_ = WalRecord<V>{};
+  }
+
+  [[nodiscard]] bool mid_record() const noexcept { return state_ != State::kIdle; }
+
+ private:
+  enum class State { kIdle, kIntentLines, kIntentSeal, kOutcome, kCommitLines, kCommitSeal };
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw_error(ErrorCode::kReplicationBroken, Phase::kDynamic,
+                "shipped WAL record refused: " + what);
+  }
+
+  std::optional<WalRecord<V>> feed_impl(const std::string& line) {
+    switch (state_) {
+      case State::kIdle: {
+        std::istringstream hs(line);
+        std::string tag;
+        std::int64_t seq = 0, ndeltas = 0;
+        if (!(hs >> tag >> seq >> ndeltas) || tag != "B" || ndeltas < 0)
+          fail("expected intent header, got '" + line + "'");
+        rec_ = WalRecord<V>{};
+        rec_.seq = seq;
+        lines_.clear();
+        remaining_ = ndeltas;
+        state_ = remaining_ > 0 ? State::kIntentLines : State::kIntentSeal;
+        return std::nullopt;
+      }
+      case State::kIntentLines:
+        lines_.push_back(line);
+        if (--remaining_ == 0) state_ = State::kIntentSeal;
+        return std::nullopt;
+      case State::kIntentSeal: {
+        std::istringstream es(line);
+        std::string tag;
+        std::int64_t seq = 0;
+        std::uint32_t crc = 0;
+        if (!(es >> tag >> seq >> crc) || tag != "E" || seq != rec_.seq)
+          fail("bad intent seal for seq " + std::to_string(rec_.seq));
+        if (crc != detail::crc_lines(lines_))
+          fail("intent CRC mismatch at seq " + std::to_string(rec_.seq));
+        for (std::size_t i = 0; i < lines_.size(); ++i)
+          parse_delta_line(lines_[i],
+                           "shipped record " + std::to_string(rec_.seq) + " delta " +
+                               std::to_string(i + 1),
+                           rec_.batch);
+        lines_.clear();
+        state_ = State::kOutcome;
+        return std::nullopt;
+      }
+      case State::kOutcome: {
+        std::istringstream cs(line);
+        std::string tag;
+        std::int64_t seq = 0, nchanges = 0;
+        if (!(cs >> tag >> seq >> nchanges >> rec_.num_communities >> rec_.modularity >>
+              rec_.coverage >> rec_.labels_crc) ||
+            tag != "C" || seq != rec_.seq || nchanges < 0)
+          fail("expected commit header for seq " + std::to_string(rec_.seq));
+        lines_.clear();
+        lines_.push_back(line);  // commit seal covers the header line too
+        remaining_ = nchanges;
+        state_ = remaining_ > 0 ? State::kCommitLines : State::kCommitSeal;
+        return std::nullopt;
+      }
+      case State::kCommitLines:
+        lines_.push_back(line);
+        if (--remaining_ == 0) state_ = State::kCommitSeal;
+        return std::nullopt;
+      case State::kCommitSeal: {
+        std::istringstream ts(line);
+        std::string tag;
+        std::int64_t seq = 0;
+        std::uint32_t crc = 0;
+        if (!(ts >> tag >> seq >> crc) || tag != "c" || seq != rec_.seq)
+          fail("bad commit seal for seq " + std::to_string(rec_.seq));
+        if (crc != detail::crc_lines(lines_))
+          fail("commit CRC mismatch at seq " + std::to_string(rec_.seq));
+        rec_.changes.reserve(lines_.size() - 1);
+        for (std::size_t i = 1; i < lines_.size(); ++i) {
+          std::istringstream vs(lines_[i]);
+          typename DynamicCommunities<V>::LabelChange ch;
+          if (!(vs >> ch.vertex >> ch.label))
+            fail("malformed change line in seq " + std::to_string(rec_.seq));
+          rec_.changes.push_back(ch);
+        }
+        WalRecord<V> done = std::move(rec_);
+        reset();
+        return done;
+      }
+    }
+    fail("assembler in impossible state");
+  }
+
+  State state_ = State::kIdle;
+  std::vector<std::string> lines_;
+  std::int64_t remaining_ = 0;
+  WalRecord<V> rec_;
+};
+
+// ---------------------------------------------------------------------------
+// Endpoints and timed socket I/O
+
+/// Dials a follower endpoint: all-digits = loopback TCP port, anything
+/// else = Unix-domain socket path.  Returns the connected fd or -1.
+[[nodiscard]] inline int dial_endpoint(const std::string& endpoint) {
+  const bool is_port =
+      !endpoint.empty() &&
+      endpoint.find_first_not_of("0123456789") == std::string::npos;
+  if (is_port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    struct sockaddr_in addr {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(std::stoi(endpoint)));
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_un addr {};
+  addr.sun_family = AF_UNIX;
+  if (endpoint.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, endpoint.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+namespace detail {
+
+/// Newline-framed I/O over one socket with per-operation timeouts.
+/// Every blocking point is bounded, so a stalled peer can only stall
+/// the owning link thread for one timeout — never forever.
+class LineSocket {
+ public:
+  LineSocket(int fd, double timeout_seconds)
+      : fd_(fd), timeout_ms_(static_cast<int>(timeout_seconds * 1000.0)) {
+    last_read_ = std::chrono::steady_clock::now();
+  }
+
+  /// Writes everything or fails; a peer that stops draining its socket
+  /// trips the POLLOUT timeout (this is how a stalled follower is shed).
+  [[nodiscard]] bool write_all(const std::string& data) {
+    const char* p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+      struct pollfd pfd {fd_, POLLOUT, 0};
+      const int pr = ::poll(&pfd, 1, timeout_ms_);
+      if (pr == 0) return false;  // send window closed for a full timeout
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        return false;
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool write_line(const std::string& line) { return write_all(line + "\n"); }
+
+  /// 1 = got a line, 0 = nothing within `timeout_ms`, -1 = EOF/error.
+  [[nodiscard]] int read_line(std::string& line, int timeout_ms) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line.assign(buf_, 0, nl);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        buf_.erase(0, nl + 1);
+        return 1;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      const int wait_ms =
+          timeout_ms <= 0
+              ? 0
+              : static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                     deadline - now)
+                                     .count());
+      if (timeout_ms > 0 && wait_ms <= 0) return 0;
+      struct pollfd pfd {fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, timeout_ms <= 0 ? 0 : wait_ms);
+      if (pr == 0) return 0;
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return -1;
+      }
+      char chunk[65536];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      if (n <= 0) return -1;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      last_read_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  [[nodiscard]] double seconds_since_last_read() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - last_read_)
+        .count();
+  }
+
+ private:
+  int fd_;
+  int timeout_ms_;
+  std::string buf_;
+  std::chrono::steady_clock::time_point last_read_;
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// ReplicationManager
+
+struct ReplicationOptions {
+  /// Follower endpoints (Unix socket path or loopback TCP port).
+  std::vector<std::string> endpoints;
+
+  /// Per-follower bound on queued committed records.  Overflow sheds
+  /// the whole queue (the link re-syncs from disk / snapshot); the
+  /// writer thread never waits.
+  std::int64_t max_queue_records = 256;
+
+  /// Idle-link heartbeat cadence.
+  double heartbeat_interval_seconds = 1.0;
+
+  /// Per-operation socket timeout, and the ack-progress deadline: a
+  /// link with unacked records and no bytes from the peer for this
+  /// long reconnects.
+  double io_timeout_seconds = 5.0;
+
+  /// Jittered exponential reconnect backoff bounds.
+  double reconnect_min_seconds = 0.05;
+  double reconnect_max_seconds = 2.0;
+
+  [[nodiscard]] bool enabled() const noexcept { return !endpoints.empty(); }
+};
+
+/// One follower link's externally visible state (HEALTH, tests, bench).
+struct FollowerLinkStatus {
+  std::string endpoint;
+  bool connected = false;
+  std::int64_t acked_epoch = -1;  // highest durably applied epoch acked
+  std::int64_t shed = 0;          // bounded-queue overflows (forced re-syncs)
+  std::int64_t reconnects = 0;
+  std::int64_t snapshots_sent = 0;
+  std::string last_error;
+};
+
+template <VertexId V>
+class ReplicationManager {
+  struct Link {
+    explicit Link(std::string ep) : endpoint(std::move(ep)) {}
+    std::string endpoint;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::pair<std::int64_t, std::shared_ptr<const std::string>>> queue;
+    std::string last_error;  // guarded by mu
+    std::atomic<bool> connected{false};
+    std::atomic<std::int64_t> acked{-1};
+    std::atomic<std::int64_t> shed{0};
+    std::atomic<std::int64_t> reconnects{0};
+    std::atomic<std::int64_t> snapshots_sent{0};
+    std::uint64_t jitter_state = 0;  // link thread only
+    std::thread thread;
+  };
+
+ public:
+  /// `state_dir` / `wal_dir` are the writer's own snapshot + WAL roots
+  /// (bootstrap and catch-up read them); `fingerprint` is the dynamic
+  /// configuration fingerprint both ends must share.
+  ReplicationManager(ReplicationOptions opts, std::string state_dir, std::string wal_dir,
+                     std::uint64_t fingerprint, std::int64_t current_epoch)
+      : opts_(std::move(opts)),
+        state_dir_(std::move(state_dir)),
+        wal_dir_(std::move(wal_dir)),
+        fingerprint_(fingerprint),
+        epoch_(current_epoch) {
+    links_.reserve(opts_.endpoints.size());
+    for (const std::string& ep : opts_.endpoints)
+      links_.push_back(std::make_unique<Link>(ep));
+    for (auto& lk : links_) {
+      Link* l = lk.get();
+      l->thread = std::thread([this, l] { link_loop(*l); });
+    }
+  }
+
+  ReplicationManager(const ReplicationManager&) = delete;
+  ReplicationManager& operator=(const ReplicationManager&) = delete;
+
+  ~ReplicationManager() { shutdown(); }
+
+  /// Writer thread, after publish: enqueue the committed record for
+  /// every link.  Bounded and non-blocking by contract.
+  void on_commit(std::int64_t seq, std::shared_ptr<const std::string> record) {
+    // Advance the epoch first so link threads never see a queued seq
+    // beyond the target epoch.
+    std::int64_t cur = epoch_.load(std::memory_order_relaxed);
+    while (cur < seq &&
+           !epoch_.compare_exchange_weak(cur, seq, std::memory_order_release)) {
+    }
+    for (auto& lk : links_) {
+      {
+        std::lock_guard<std::mutex> g(lk->mu);
+        if (static_cast<std::int64_t>(lk->queue.size()) >= opts_.max_queue_records) {
+          lk->queue.clear();  // shed: this follower re-syncs from disk
+          lk->shed.fetch_add(1, std::memory_order_relaxed);
+        }
+        lk->queue.emplace_back(seq, record);
+      }
+      lk->cv.notify_one();
+    }
+  }
+
+  [[nodiscard]] std::vector<FollowerLinkStatus> status() const {
+    std::vector<FollowerLinkStatus> out;
+    out.reserve(links_.size());
+    for (const auto& lk : links_) {
+      FollowerLinkStatus s;
+      s.endpoint = lk->endpoint;
+      s.connected = lk->connected.load(std::memory_order_relaxed);
+      s.acked_epoch = lk->acked.load(std::memory_order_relaxed);
+      s.shed = lk->shed.load(std::memory_order_relaxed);
+      s.reconnects = lk->reconnects.load(std::memory_order_relaxed);
+      s.snapshots_sent = lk->snapshots_sent.load(std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> g(lk->mu);
+        s.last_error = lk->last_error;
+      }
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+  /// Lowest acked epoch across followers (-1 until every follower has
+  /// acked something); writer lag = epoch - min_acked().
+  [[nodiscard]] std::int64_t min_acked() const {
+    std::int64_t m = std::numeric_limits<std::int64_t>::max();
+    for (const auto& lk : links_) m = std::min(m, lk->acked.load(std::memory_order_relaxed));
+    return links_.empty() ? -1 : m;
+  }
+
+  [[nodiscard]] std::size_t num_links() const noexcept { return links_.size(); }
+
+  void shutdown() {
+    stop_.store(true, std::memory_order_release);
+    for (auto& lk : links_) lk->cv.notify_all();
+    for (auto& lk : links_)
+      if (lk->thread.joinable()) lk->thread.join();
+  }
+
+ private:
+  void note_error(Link& lk, std::string what) {
+    std::lock_guard<std::mutex> g(lk.mu);
+    lk.last_error = std::move(what);
+  }
+
+  /// Deterministic jitter (no global RNG, no wall clock): xorshift over
+  /// a per-link counter.
+  static std::uint64_t jitter_step(std::uint64_t x) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  }
+
+  void backoff_sleep(Link& lk, std::uint64_t attempt) {
+    double base = opts_.reconnect_min_seconds;
+    for (std::uint64_t i = 0; i < attempt && base < opts_.reconnect_max_seconds; ++i)
+      base *= 2.0;
+    base = std::min(base, opts_.reconnect_max_seconds);
+    lk.jitter_state = jitter_step(lk.jitter_state ? lk.jitter_state
+                                                  : 0x9e3779b97f4a7c15ull + attempt);
+    const double frac = 0.5 + 0.5 * static_cast<double>(lk.jitter_state % 1024) / 1024.0;
+    const auto dur = std::chrono::duration<double>(base * frac);
+    std::unique_lock<std::mutex> g(lk.mu);
+    lk.cv.wait_for(g, dur, [this] { return stop_.load(std::memory_order_acquire); });
+  }
+
+  void link_loop(Link& lk) {
+    std::uint64_t attempt = 0;
+    while (!stop_.load(std::memory_order_acquire)) {
+      const int fd = dial_endpoint(lk.endpoint);
+      if (fd < 0) {
+        note_error(lk, "connect failed");
+        backoff_sleep(lk, ++attempt);
+        continue;
+      }
+      lk.connected.store(true, std::memory_order_relaxed);
+      bool had_session = false;
+      try {
+        had_session = run_connection(lk, fd);
+      } catch (const std::exception& e) {
+        // A fault-injected (or otherwise unexpected) throw mid-ship is a
+        // dropped link, not a daemon crash: close, back off, reconnect.
+        note_error(lk, e.what());
+      }
+      ::close(fd);
+      lk.connected.store(false, std::memory_order_relaxed);
+      if (stop_.load(std::memory_order_acquire)) break;
+      lk.reconnects.fetch_add(1, std::memory_order_relaxed);
+      attempt = had_session ? 1 : attempt + 1;
+      backoff_sleep(lk, attempt);
+    }
+  }
+
+  /// Drains any pending "ACK ..." / "ERR ..." lines; returns false when
+  /// the connection must be abandoned.
+  [[nodiscard]] bool drain_acks(Link& lk, detail::LineSocket& io, int timeout_ms) {
+    std::string line;
+    for (;;) {
+      const int r = io.read_line(line, timeout_ms);
+      if (r < 0) return false;
+      if (r == 0) return true;
+      timeout_ms = 0;  // only the first read waits
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      if (tag == "ACK") {
+        std::string what;
+        ls >> what;
+        std::int64_t e = -1;
+        if (what == "HB" || what == "SNAP") {
+          ls >> e;
+        } else {
+          try {
+            e = std::stoll(what);
+          } catch (...) {
+            e = -1;
+          }
+        }
+        if (e >= 0) {
+          std::int64_t cur = lk.acked.load(std::memory_order_relaxed);
+          while (cur < e &&
+                 !lk.acked.compare_exchange_weak(cur, e, std::memory_order_relaxed)) {
+          }
+        }
+      } else if (tag == "ERR") {
+        note_error(lk, line);
+        return false;
+      }
+      // Anything else is protocol noise; ignore (the peer may be a
+      // newer version with extra chatter).
+    }
+  }
+
+  /// True when the head of the queue is exactly `next_seq` (pops it);
+  /// drops stale entries below it on the way.
+  [[nodiscard]] std::shared_ptr<const std::string> pop_if_head(Link& lk,
+                                                               std::int64_t next_seq) {
+    std::lock_guard<std::mutex> g(lk.mu);
+    while (!lk.queue.empty() && lk.queue.front().first < next_seq) lk.queue.pop_front();
+    if (!lk.queue.empty() && lk.queue.front().first == next_seq) {
+      auto rec = std::move(lk.queue.front().second);
+      lk.queue.pop_front();
+      return rec;
+    }
+    return nullptr;
+  }
+
+  /// Waits for new queued work (or stop) up to the heartbeat interval;
+  /// true when something is queued.
+  [[nodiscard]] bool wait_for_work(Link& lk) {
+    std::unique_lock<std::mutex> g(lk.mu);
+    lk.cv.wait_for(g,
+                   std::chrono::duration<double>(opts_.heartbeat_interval_seconds),
+                   [this, &lk] {
+                     return stop_.load(std::memory_order_acquire) || !lk.queue.empty();
+                   });
+    return !lk.queue.empty();
+  }
+
+  /// Ships the newest snapshot generation (base64 over the line
+  /// protocol) and waits for the follower to load + ack it.  On success
+  /// `next_seq` resumes right after the snapshot's epoch.
+  [[nodiscard]] bool send_snapshot(Link& lk, detail::LineSocket& io,
+                                   std::int64_t& next_seq) {
+    const auto gens = list_checkpoints(state_dir_);
+    if (gens.empty()) {
+      note_error(lk, "no snapshot generation to bootstrap from");
+      return false;
+    }
+    std::string bytes;
+    {
+      std::ifstream in(gens.front().second, std::ios::binary);
+      if (!in) {
+        note_error(lk, "cannot read snapshot " + gens.front().second);
+        return false;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      bytes = std::move(ss).str();
+    }
+    const std::uint32_t crc = crc32_update(0, bytes.data(), bytes.size());
+    if (!io.write_line("SNAP BEGIN " + std::to_string(bytes.size()) + ' ' +
+                       std::to_string(crc)))
+      return false;
+    constexpr std::size_t kChunk = 3 * 1024;  // 4 KiB base64 per line
+    for (std::size_t off = 0; off < bytes.size(); off += kChunk) {
+      if (stop_.load(std::memory_order_acquire)) return false;
+      const std::size_t n = std::min(kChunk, bytes.size() - off);
+      if (!io.write_line("SNAP D " + base64_encode(bytes.data() + off, n))) return false;
+    }
+    if (!io.write_line("SNAP END")) return false;
+    // Loading a big graph takes a while; give the follower extra room.
+    const int load_timeout_ms =
+        std::max(60000, static_cast<int>(opts_.io_timeout_seconds * 6000.0));
+    std::string line;
+    if (io.read_line(line, load_timeout_ms) != 1) return false;
+    std::istringstream ls(line);
+    std::string tag, what;
+    std::int64_t epoch = -1;
+    if (!(ls >> tag >> what >> epoch) || tag != "ACK" || what != "SNAP" || epoch < 0) {
+      note_error(lk, "snapshot transfer refused: " + line);
+      return false;
+    }
+    next_seq = epoch + 1;
+    std::int64_t cur = lk.acked.load(std::memory_order_relaxed);
+    while (cur < epoch &&
+           !lk.acked.compare_exchange_weak(cur, epoch, std::memory_order_relaxed)) {
+    }
+    lk.snapshots_sent.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// One connected session; returns true when a handshake completed
+  /// (resets the backoff), false on handshake failure.
+  bool run_connection(Link& lk, int fd) {
+    detail::LineSocket io(fd, opts_.io_timeout_seconds);
+    const int io_timeout_ms = static_cast<int>(opts_.io_timeout_seconds * 1000.0);
+    if (!io.write_line("REPL HELLO " + std::to_string(fingerprint_) + ' ' +
+                       std::to_string(epoch_.load(std::memory_order_acquire))))
+      return false;
+    std::string line;
+    if (io.read_line(line, io_timeout_ms) != 1) {
+      note_error(lk, "handshake timed out");
+      return false;
+    }
+    std::int64_t fepoch = -2;
+    {
+      std::istringstream ls(line);
+      std::string tag, okay;
+      if (!(ls >> tag >> okay >> fepoch) || tag != "REPL" || okay != "OK" || fepoch < -1) {
+        note_error(lk, "handshake refused: " + line);
+        return false;
+      }
+    }
+    if (fepoch > epoch_.load(std::memory_order_acquire)) {
+      // A follower ahead of this writer is a topology error (promoted
+      // elsewhere, or mixed state dirs); never ship into it.
+      note_error(lk, "follower is ahead of the writer (epoch " + std::to_string(fepoch) +
+                         ")");
+      return false;
+    }
+    if (fepoch >= 0) {
+      std::int64_t cur = lk.acked.load(std::memory_order_relaxed);
+      while (cur < fepoch &&
+             !lk.acked.compare_exchange_weak(cur, fepoch, std::memory_order_relaxed)) {
+      }
+    }
+    note_error(lk, "");
+    std::int64_t next_seq = fepoch + 1;  // fepoch == -1: nothing yet, snapshot path
+
+    while (!stop_.load(std::memory_order_acquire)) {
+      if (!drain_acks(lk, io, 0)) return true;
+      const std::int64_t target = epoch_.load(std::memory_order_acquire);
+      if (fepoch < 0) {
+        if (!send_snapshot(lk, io, next_seq)) return true;
+        fepoch = next_seq - 1;
+        continue;
+      }
+      if (next_seq <= target) {
+        if (auto rec = pop_if_head(lk, next_seq)) {
+          COMMDET_FAULT_POINT(fault::kReplShip, Phase::kDynamic);
+          if (!io.write_all(*rec)) return true;
+          ++next_seq;
+        } else {
+          // Queue gap (shed, or records committed before this link
+          // connected): catch up from the on-disk WAL tail; when even
+          // the disk no longer has the next record (segments pruned),
+          // fall back to a snapshot transfer.
+          auto records = read_wal_records<V>(wal_dir_, next_seq - 1);
+          if (records.empty()) {
+            if (!send_snapshot(lk, io, next_seq)) return true;
+            fepoch = next_seq - 1;
+            continue;
+          }
+          for (const WalRecord<V>& r : records) {
+            if (stop_.load(std::memory_order_acquire)) return true;
+            COMMDET_FAULT_POINT(fault::kReplShip, Phase::kDynamic);
+            if (!io.write_all(serialize_wal_record(r))) return true;
+            next_seq = r.seq + 1;
+            if (!drain_acks(lk, io, 0)) return true;
+          }
+        }
+      } else {
+        // Fully shipped: idle until new work, heartbeating so the
+        // follower can track writer liveness and epoch.
+        if (!wait_for_work(lk)) {
+          if (!io.write_line("HB " +
+                             std::to_string(epoch_.load(std::memory_order_acquire))))
+            return true;
+          if (!drain_acks(lk, io, io_timeout_ms)) return true;
+        }
+      }
+      // Progress deadline: unacked records but a silent peer for a full
+      // timeout means the follower is stuck — reconnect (and possibly
+      // re-bootstrap) instead of waiting forever.
+      if (lk.acked.load(std::memory_order_relaxed) < next_seq - 1 &&
+          io.seconds_since_last_read() > opts_.io_timeout_seconds) {
+        note_error(lk, "no ack progress within timeout");
+        return true;
+      }
+    }
+    return true;
+  }
+
+  ReplicationOptions opts_;
+  std::string state_dir_;
+  std::string wal_dir_;
+  std::uint64_t fingerprint_ = 0;
+  std::atomic<std::int64_t> epoch_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace commdet::serve

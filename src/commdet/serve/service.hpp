@@ -49,7 +49,9 @@
 #include "commdet/robust/checkpoint.hpp"
 #include "commdet/robust/error.hpp"
 #include "commdet/robust/expected.hpp"
+#include "commdet/robust/fault_injection.hpp"
 #include "commdet/serve/epoch.hpp"
+#include "commdet/serve/replication.hpp"
 #include "commdet/serve/wal.hpp"
 #include "commdet/util/types.hpp"
 
@@ -83,6 +85,11 @@ struct ServeOptions {
   /// Backpressure bound: submit() blocks while this many deltas are
   /// already queued.
   std::int64_t max_queue_deltas = std::int64_t{1} << 20;
+
+  /// WAL-shipping replication (serve/replication.hpp).  Empty endpoint
+  /// list = no replication.  Shipping is strictly post-commit and
+  /// non-blocking: a slow or dead follower never stalls ingestion.
+  ReplicationOptions replication;
 };
 
 /// What SAVE acknowledges: the generation written and the epoch it
@@ -239,6 +246,7 @@ class CommunityService {
     cv_work_.notify_all();
     cv_space_.notify_all();
     if (writer_.joinable()) writer_.join();
+    if (repl_) repl_->shutdown();
   }
 
   /// Crash simulation for recovery tests: the writer thread exits
@@ -253,9 +261,49 @@ class CommunityService {
     cv_work_.notify_all();
     cv_space_.notify_all();
     if (writer_.joinable()) writer_.join();
+    if (repl_) repl_->shutdown();
   }
 
   [[nodiscard]] const ServeOptions& options() const noexcept { return opts_; }
+
+  /// Replication shipping state, when enabled (HEALTH, tests, bench).
+  [[nodiscard]] const ReplicationManager<V>* replication() const noexcept {
+    return repl_.get();
+  }
+
+  /// One-line JSON for the HEALTH verb (writer role).  Safe from any
+  /// thread: reads the published snapshot and atomics only.
+  [[nodiscard]] std::string health_json() const {
+    const auto snap = publisher_.current();
+    const std::int64_t epoch = snap ? snap->epoch : 0;
+    std::string out = "{\"role\":\"writer\",\"epoch\":" + std::to_string(epoch) +
+                      ",\"wal_first_seq\":" +
+                      std::to_string(wal_first_seq_.load(std::memory_order_relaxed)) +
+                      ",\"queries\":" +
+                      std::to_string(queries_.load(std::memory_order_relaxed));
+    if (repl_) {
+      const std::int64_t acked = repl_->min_acked();
+      out += ",\"replication\":{\"min_acked\":" + std::to_string(acked) +
+             ",\"lag\":" + std::to_string(acked < 0 ? epoch : epoch - acked) +
+             ",\"followers\":[";
+      bool first = true;
+      for (const FollowerLinkStatus& s : repl_->status()) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"endpoint\":\"" + s.endpoint + "\",\"connected\":";
+        out += s.connected ? "true" : "false";
+        out += ",\"acked_epoch\":" + std::to_string(s.acked_epoch) +
+               ",\"shed\":" + std::to_string(s.shed) +
+               ",\"reconnects\":" + std::to_string(s.reconnects) +
+               ",\"snapshots_sent\":" + std::to_string(s.snapshots_sent) + "}";
+      }
+      out += "]}";
+    } else {
+      out += ",\"replication\":null";
+    }
+    out += "}";
+    return out;
+  }
 
   /// The maintained dynamic state.  Writer-owned while the service is
   /// running: only call this after shutdown() (e.g. to fold the final
@@ -282,6 +330,10 @@ class CommunityService {
     last_save_generation_ = dyn_->save_state(opts_.dir, opts_.keep_generations);
     open_wal_segment(dyn_->epoch() + 1);
     publish();
+    if (opts_.replication.enabled())
+      repl_ = std::make_unique<ReplicationManager<V>>(
+          opts_.replication, opts_.dir, wal_dir(),
+          dynamic_config_fingerprint(opts_.dynamic), dyn_->epoch());
     writer_ = std::thread([this] { writer_loop(); });
   }
 
@@ -413,8 +465,12 @@ class CommunityService {
   /// WAL intent -> apply -> WAL commit -> publish -> periodic save.
   [[nodiscard]] Expected<std::int64_t> apply_one_batch(const DeltaBatch<V>& batch) {
     const std::int64_t seq = dyn_->epoch() + 1;
+    // Serialize once: the same bytes go to the local WAL and (suffixed
+    // with the commit record) to every replication link.
+    const std::string intent =
+        format_intent_record<V>(seq, std::span<const EdgeDelta<V>>(batch.deltas));
     try {
-      wal_->append_intent(seq, std::span<const EdgeDelta<V>>(batch.deltas));
+      wal_->append_record(intent);
     } catch (const std::exception& e) {
       return Unexpected(error_from_exception(e, Phase::kDynamic));
     }
@@ -440,10 +496,11 @@ class CommunityService {
                                       static_cast<std::int64_t>(labels[v])});
     const std::uint32_t crc =
         DynamicCommunities<V>::labels_checksum(std::span<const V>(labels));
+    const std::string commit_rec = format_commit_record<V>(
+        seq, std::span<const LabelChange>(changes), dyn_->num_communities(),
+        dyn_->clustering().final_modularity, dyn_->clustering().final_coverage, crc);
     try {
-      wal_->append_commit(seq, std::span<const LabelChange>(changes),
-                          dyn_->num_communities(), dyn_->clustering().final_modularity,
-                          dyn_->clustering().final_coverage, crc);
+      wal_->append_record(commit_rec);
     } catch (const std::exception& e) {
       // The epoch advanced in memory but its commit record is not
       // durable; worse, later commit records would be unreachable past
@@ -460,7 +517,20 @@ class CommunityService {
       return Unexpected(error_from_exception(e, Phase::kDynamic));
     }
 
+    // The record is durable but not yet visible: a crash here loses
+    // nothing committed (recovery replays the WAL; followers receive
+    // the record from the restarted writer's catch-up path).  An
+    // injected fault surfaces as the batch's structured error — the
+    // fault tests then crash + reopen to prove the epoch survived.
+    try {
+      COMMDET_FAULT_POINT(fault::kServePublish, Phase::kDynamic);
+    } catch (const std::exception& e) {
+      return Unexpected(error_from_exception(e, Phase::kDynamic));
+    }
+
     publish();
+    if (repl_)
+      repl_->on_commit(seq, std::make_shared<const std::string>(intent + commit_rec));
     if (auto* c = obs::counter("serve.batches")) c->add(1);
     ++batches_since_save_;
     if (opts_.save_every_batches > 0 && batches_since_save_ >= opts_.save_every_batches) {
@@ -530,8 +600,9 @@ class CommunityService {
   ServeOptions opts_;
   std::unique_ptr<DynamicCommunities<V>> dyn_;  // writer thread only (after start)
   std::unique_ptr<WalWriter<V>> wal_;           // writer thread only (after start)
-  std::int64_t wal_first_seq_ = 1;
+  std::atomic<std::int64_t> wal_first_seq_{1};  // atomic: HEALTH reads it
   EpochPublisher<V> publisher_;
+  std::unique_ptr<ReplicationManager<V>> repl_;
 
   std::mutex mu_;
   std::condition_variable cv_work_;

@@ -1,9 +1,20 @@
 // One protocol session: a line-in / line-out state machine over a
-// CommunityService.  Transport-free on purpose — the daemon wraps one
-// Session per connection (or one for stdio), and tests drive it
-// directly with strings.
+// CommunityService (writer role) or a FollowerService (follower role).
+// Transport-free on purpose — the daemon wraps one Session per
+// connection (or one for stdio), and tests drive it directly with
+// strings.
+//
+// Role differences (same verbs, different answers):
+//   * writer: full protocol — ingest, COMMIT, SAVE, queries, STATS.
+//   * follower: read-only — deltas, COMMIT, and SAVE are refused with
+//     a typed kReadOnly error; queries answer from the replicated
+//     epoch and are refused with kStaleRead beyond the staleness
+//     budget; PROMOTE requests failover (the daemon performs it).
+//   * HEALTH works in both roles: one JSON line with role, epoch,
+//     replication lag, and WAL cursor.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <sstream>
@@ -13,11 +24,82 @@
 #include "commdet/graph/delta.hpp"
 #include "commdet/io/delta_text.hpp"
 #include "commdet/robust/error.hpp"
+#include "commdet/serve/follower.hpp"
 #include "commdet/serve/protocol.hpp"
 #include "commdet/serve/service.hpp"
 #include "commdet/util/types.hpp"
 
 namespace commdet::serve {
+
+/// Incremental newline framing with a hard per-line bound.  The daemon
+/// feeds raw reads; a client that streams an unbounded "line" (hostile
+/// or broken) trips the bound instead of growing the buffer without
+/// limit, and the session can reply with a typed error and close.
+class LineFramer {
+ public:
+  explicit LineFramer(std::size_t max_line_bytes = std::size_t{1} << 20)
+      : max_line_bytes_(max_line_bytes < 16 ? 16 : max_line_bytes) {}
+
+  /// Appends raw bytes; false once the current (unterminated) line has
+  /// exceeded the bound.  After overflow the framer discards input
+  /// until reset().
+  [[nodiscard]] bool feed(const char* data, std::size_t n) {
+    if (overflow_) return false;
+    buf_.append(data, n);
+    if (scan_floor_ < buf_.size() && buf_.find('\n', scan_floor_) == std::string::npos) {
+      scan_floor_ = buf_.size();
+      if (buf_.size() > max_line_bytes_) {
+        overflow_ = true;
+        buf_.clear();
+        scan_floor_ = 0;
+        return false;
+      }
+    }
+    return !overflow_;
+  }
+
+  /// Next complete line (without its terminator; a trailing '\r' is
+  /// stripped), or nullopt when none is buffered.
+  [[nodiscard]] std::optional<std::string> next_line() {
+    const std::size_t nl = buf_.find('\n');
+    if (nl == std::string::npos) return std::nullopt;
+    std::string line = buf_.substr(0, nl);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    buf_.erase(0, nl + 1);
+    scan_floor_ = 0;
+    if (line.size() > max_line_bytes_) {  // terminated but oversized
+      overflow_ = true;
+      return std::nullopt;
+    }
+    return line;
+  }
+
+  [[nodiscard]] bool overflowed() const noexcept { return overflow_; }
+
+  /// Bytes of an unterminated final line still buffered (EOF handling:
+  /// stdio keeps it as a last request, sockets discard it).
+  [[nodiscard]] bool has_partial() const noexcept { return !buf_.empty(); }
+  [[nodiscard]] std::string take_partial() {
+    std::string out = std::move(buf_);
+    buf_.clear();
+    scan_floor_ = 0;
+    return out;
+  }
+
+  void reset() noexcept {
+    buf_.clear();
+    scan_floor_ = 0;
+    overflow_ = false;
+  }
+
+  [[nodiscard]] std::size_t max_line_bytes() const noexcept { return max_line_bytes_; }
+
+ private:
+  std::size_t max_line_bytes_;
+  std::size_t scan_floor_ = 0;  // no '\n' below this offset (amortizes the scan)
+  std::string buf_;
+  bool overflow_ = false;
+};
 
 template <VertexId V>
 class Session {
@@ -26,12 +108,20 @@ class Session {
     std::optional<std::string> line;  // response to send, when any
     bool close = false;               // QUIT / SHUTDOWN: drop the connection
     bool shutdown = false;            // SHUTDOWN: stop the daemon
+    bool promote = false;             // PROMOTE: daemon turns follower into writer
   };
 
-  /// `peer` labels this session in error locations ("stdin:17",
-  /// "conn-3:2"), mirroring the file readers' "path:line" contract.
+  /// Writer-role session.  `peer` labels this session in error
+  /// locations ("stdin:17", "conn-3:2"), mirroring the file readers'
+  /// "path:line" contract.
   Session(CommunityService<V>& service, std::string peer)
-      : service_(service), peer_(std::move(peer)) {}
+      : writer_(&service), peer_(std::move(peer)) {}
+
+  /// Follower-role session: read-only, bounded-stale.
+  Session(FollowerService<V>& follower, std::string peer)
+      : follower_(&follower), peer_(std::move(peer)) {}
+
+  [[nodiscard]] bool is_follower() const noexcept { return follower_ != nullptr; }
 
   Reply handle_line(const std::string& line) {
     ++line_no_;
@@ -47,10 +137,11 @@ class Session {
 
  private:
   Reply handle_delta(const std::string& line, const std::string& where) {
+    if (follower_) return read_only(where);
     scratch_.deltas.clear();
     parse_delta_line(line, where, scratch_);  // throws the located error
     for (const EdgeDelta<V>& d : scratch_.deltas) {
-      auto sent = service_.submit(d);
+      auto sent = writer_->submit(d);
       if (!sent.has_value()) return {protocol_error_line(sent.error()), true, false};
     }
     return {};  // silent: bulk ingest costs no round trips
@@ -65,14 +156,16 @@ class Session {
       std::int64_t v = -1;
       if (!(ls >> v))
         return err(where + ": GET takes a vertex id");
-      const auto snap = service_.snapshot();
+      auto got = query_snapshot();
+      if (!got.has_value()) return {protocol_error_line(got.error()), false, false};
+      const auto snap = std::move(got.value());
       if (v < 0 || v >= static_cast<std::int64_t>(snap->labels->size()))
         return {protocol_error_line(
                     Error{ErrorCode::kBadEndpoint, Phase::kInput,
                           where + ": vertex " + std::to_string(v) + " outside [0, " +
                               std::to_string(snap->labels->size()) + ")"}),
                 false, false};
-      service_.note_query();
+      note_query();
       return ok(std::to_string(v) + ' ' +
                 std::to_string(static_cast<std::int64_t>(
                     (*snap->labels)[static_cast<std::size_t>(v)])) +
@@ -82,7 +175,9 @@ class Session {
       std::int64_t c = -1;
       if (!(ls >> c))
         return err(where + ": COMMUNITY takes a community id");
-      const auto snap = service_.snapshot();
+      auto got = query_snapshot();
+      if (!got.has_value()) return {protocol_error_line(got.error()), false, false};
+      const auto snap = std::move(got.value());
       if (c < 0 || c >= static_cast<std::int64_t>(snap->communities->size()))
         return {protocol_error_line(
                     Error{ErrorCode::kBadEndpoint, Phase::kInput,
@@ -90,41 +185,83 @@ class Session {
                               std::to_string(snap->communities->size()) + ")"}),
                 false, false};
       const CommunityStats& s = (*snap->communities)[static_cast<std::size_t>(c)];
-      service_.note_query();
+      note_query();
       return ok(std::to_string(c) + ' ' + std::to_string(s.size) + ' ' +
                 std::to_string(s.internal_weight) + ' ' + std::to_string(s.volume) + ' ' +
                 std::to_string(snap->epoch));
     }
     if (verb == "QUALITY") {
-      const auto snap = service_.snapshot();
-      service_.note_query();
+      auto got = query_snapshot();
+      if (!got.has_value()) return {protocol_error_line(got.error()), false, false};
+      const auto snap = std::move(got.value());
+      note_query();
       return ok(std::to_string(snap->epoch) + ' ' + std::to_string(snap->num_communities) +
                 ' ' + protocol_f64(snap->modularity) + ' ' + protocol_f64(snap->coverage));
     }
     if (verb == "EPOCH") {
-      service_.note_query();
-      return ok(std::to_string(service_.snapshot()->epoch));
+      note_query();
+      return ok(std::to_string(current_epoch()));
     }
-    if (verb == "PING") return ok("pong " + std::to_string(service_.snapshot()->epoch));
+    if (verb == "PING") return ok("pong " + std::to_string(current_epoch()));
+    if (verb == "HEALTH")
+      return ok(follower_ ? follower_->health_json() : writer_->health_json());
     if (verb == "COMMIT") {
-      auto committed = service_.commit();
+      if (follower_) return read_only(where);
+      auto committed = writer_->commit();
       if (!committed.has_value()) return {protocol_error_line(committed.error()), false, false};
       return ok(std::to_string(committed.value()));
     }
     if (verb == "SAVE") {
-      auto saved = service_.save();
+      if (follower_) return read_only(where);
+      auto saved = writer_->save();
       if (!saved.has_value()) return {protocol_error_line(saved.error()), false, false};
       return ok(std::to_string(saved.value().generation) + ' ' +
                 std::to_string(saved.value().epoch));
     }
     if (verb == "STATS") {
-      auto stats = service_.stats_json();
+      if (follower_) return ok(follower_->health_json());
+      auto stats = writer_->stats_json();
       if (!stats.has_value()) return {protocol_error_line(stats.error()), false, false};
       return ok(stats.value());
+    }
+    if (verb == "PROMOTE") {
+      if (!follower_)
+        return {protocol_error_line(Error{ErrorCode::kInvalidArgument, Phase::kInput,
+                                          where + ": already the writer"}),
+                false, false};
+      // The daemon owns the services; it performs the actual takeover
+      // (finalize + reopen as writer) and sends the acknowledgement.
+      return Reply{std::nullopt, false, false, true};
     }
     if (verb == "QUIT") return {std::string("OK bye"), true, false};
     if (verb == "SHUTDOWN") return {std::string("OK shutting-down"), true, true};
     return err(where + ": unknown verb '" + verb + "'");
+  }
+
+  [[nodiscard]] Expected<std::shared_ptr<const MembershipSnapshot<V>>> query_snapshot()
+      const {
+    if (follower_) return follower_->snapshot_for_query();
+    return writer_->snapshot();
+  }
+
+  [[nodiscard]] std::int64_t current_epoch() const {
+    if (follower_) return follower_->epoch();
+    return writer_->snapshot()->epoch;
+  }
+
+  void note_query() {
+    if (follower_)
+      follower_->note_query();
+    else
+      writer_->note_query();
+  }
+
+  [[nodiscard]] Reply read_only(const std::string& where) const {
+    return {protocol_error_line(Error{
+                ErrorCode::kReadOnly, Phase::kInput,
+                where + ": this endpoint is a read-only follower (mutations go to the "
+                        "writer; PROMOTE to take over)"}),
+            false, false};
   }
 
   static Reply ok(const std::string& fields) { return {"OK " + fields, false, false}; }
@@ -134,7 +271,8 @@ class Session {
             false};
   }
 
-  CommunityService<V>& service_;
+  CommunityService<V>* writer_ = nullptr;
+  FollowerService<V>* follower_ = nullptr;
   std::string peer_;
   std::int64_t line_no_ = 0;
   DeltaBatch<V> scratch_;

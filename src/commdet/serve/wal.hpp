@@ -20,8 +20,12 @@
 //   E <seq> <crc32 of the delta lines>
 //   C <seq> <nchanges> <k> <modularity> <coverage> <labels_crc>
 //   <nchanges "vertex label" lines>   diff vs the previous epoch
-//   c <seq> <crc32 of the change lines>
+//   c <seq> <crc32 of the C line and the change lines>
 //   A <seq>                           abort (batch rolled back; seq reused)
+//
+// The commit seal deliberately covers its header line too: the quality
+// scalars and labels_crc live there, and a bit flip in any of them must
+// fail the CRC rather than replay (or replicate) silently wrong values.
 //
 // The reader walks segments in ascending order; a torn or corrupt
 // record ends that segment (everything before it still counts) and only
@@ -117,6 +121,44 @@ namespace detail {
 
 }  // namespace detail
 
+/// Serialized "B ... E" intent record: the batch's deltas sealed with a
+/// CRC of the delta lines.  Shared by the WAL writer and the
+/// replication shipping session, so a shipped record is byte-identical
+/// to the durable one.
+template <VertexId V>
+[[nodiscard]] std::string format_intent_record(std::int64_t seq,
+                                               std::span<const EdgeDelta<V>> deltas) {
+  std::vector<std::string> lines;
+  lines.reserve(deltas.size());
+  for (const EdgeDelta<V>& d : deltas) lines.push_back(format_delta_line(d));
+  std::string rec = "B " + std::to_string(seq) + ' ' + std::to_string(deltas.size()) + '\n';
+  for (const std::string& l : lines) rec += l + '\n';
+  rec += "E " + std::to_string(seq) + ' ' + std::to_string(detail::crc_lines(lines)) + '\n';
+  return rec;
+}
+
+/// Serialized "C ... c" commit record: the membership diff plus quality
+/// scalars, sealed with a CRC over the header line AND the change lines
+/// (the header carries the quality scalars and the full-label-array
+/// checksum, so it must be tamper-evident too).
+template <VertexId V>
+[[nodiscard]] std::string format_commit_record(
+    std::int64_t seq, std::span<const typename DynamicCommunities<V>::LabelChange> changes,
+    std::int64_t num_communities, double modularity, double coverage,
+    std::uint32_t labels_crc) {
+  std::vector<std::string> lines;
+  lines.reserve(changes.size() + 1);
+  lines.push_back("C " + std::to_string(seq) + ' ' + std::to_string(changes.size()) + ' ' +
+                  std::to_string(num_communities) + ' ' + detail::format_f64(modularity) +
+                  ' ' + detail::format_f64(coverage) + ' ' + std::to_string(labels_crc));
+  for (const auto& ch : changes)
+    lines.push_back(std::to_string(ch.vertex) + ' ' + std::to_string(ch.label));
+  std::string rec;
+  for (const std::string& l : lines) rec += l + '\n';
+  rec += "c " + std::to_string(seq) + ' ' + std::to_string(detail::crc_lines(lines)) + '\n';
+  return rec;
+}
+
 /// Appends records to one open segment.  Every append is a single
 /// write(2) of the whole record followed by fsync (when enabled), so a
 /// crash leaves at worst one torn record at the tail — which the reader
@@ -155,13 +197,7 @@ class WalWriter {
 
   /// Durable intent: the batch's deltas, before any of them is applied.
   void append_intent(std::int64_t seq, std::span<const EdgeDelta<V>> deltas) {
-    std::vector<std::string> lines;
-    lines.reserve(deltas.size());
-    for (const EdgeDelta<V>& d : deltas) lines.push_back(format_delta_line(d));
-    std::string rec = "B " + std::to_string(seq) + ' ' + std::to_string(deltas.size()) + '\n';
-    for (const std::string& l : lines) rec += l + '\n';
-    rec += "E " + std::to_string(seq) + ' ' + std::to_string(detail::crc_lines(lines)) + '\n';
-    append(rec);
+    append(format_intent_record<V>(seq, deltas));
   }
 
   /// Durable commit: the membership diff the batch produced, sealed
@@ -170,21 +206,16 @@ class WalWriter {
                      std::span<const typename DynamicCommunities<V>::LabelChange> changes,
                      std::int64_t num_communities, double modularity, double coverage,
                      std::uint32_t labels_crc) {
-    std::vector<std::string> lines;
-    lines.reserve(changes.size());
-    for (const auto& ch : changes)
-      lines.push_back(std::to_string(ch.vertex) + ' ' + std::to_string(ch.label));
-    std::string rec = "C " + std::to_string(seq) + ' ' + std::to_string(changes.size()) +
-                      ' ' + std::to_string(num_communities) + ' ' +
-                      detail::format_f64(modularity) + ' ' + detail::format_f64(coverage) +
-                      ' ' + std::to_string(labels_crc) + '\n';
-    for (const std::string& l : lines) rec += l + '\n';
-    rec += "c " + std::to_string(seq) + ' ' + std::to_string(detail::crc_lines(lines)) + '\n';
-    append(rec);
+    append(format_commit_record<V>(seq, changes, num_communities, modularity, coverage,
+                                   labels_crc));
   }
 
   /// The batch rolled back; its sequence number will be reused.
   void append_abort(std::int64_t seq) { append("A " + std::to_string(seq) + '\n'); }
+
+  /// Appends one pre-serialized record verbatim.  Used by the follower
+  /// to re-log shipped records byte-identically to the writer's WAL.
+  void append_record(const std::string& rec) { append(rec); }
 
  private:
   void append(const std::string& rec) {
@@ -232,6 +263,18 @@ struct WalRecord {
   double coverage = 0.0;
   std::uint32_t labels_crc = 0;
 };
+
+/// Re-serializes one recovered record in the exact on-disk/on-wire
+/// grammar (WAL-tail catch-up for a reconnecting follower ships the
+/// same bytes the writer logged).
+template <VertexId V>
+[[nodiscard]] std::string serialize_wal_record(const WalRecord<V>& rec) {
+  return format_intent_record<V>(rec.seq, std::span<const EdgeDelta<V>>(rec.batch.deltas)) +
+         format_commit_record<V>(
+             rec.seq,
+             std::span<const typename DynamicCommunities<V>::LabelChange>(rec.changes),
+             rec.num_communities, rec.modularity, rec.coverage, rec.labels_crc);
+}
 
 namespace detail {
 
@@ -289,7 +332,8 @@ void read_wal_segment(const std::string& path, std::vector<WalRecord<V>>& out) {
           tag != "C" || cseq != seq || nchanges < 0)
         return;
       std::vector<std::string> change_lines;
-      change_lines.reserve(static_cast<std::size_t>(nchanges));
+      change_lines.reserve(static_cast<std::size_t>(nchanges) + 1);
+      change_lines.push_back(line);  // seal covers the C header line too
       for (std::int64_t i = 0; i < nchanges; ++i) {
         if (!next_line()) return;
         change_lines.push_back(line);
@@ -302,9 +346,9 @@ void read_wal_segment(const std::string& path, std::vector<WalRecord<V>>& out) {
       if (!(ts >> ttag >> tseq >> crc) || ttag != "c" || tseq != seq) return;
       if (crc != crc_lines(change_lines)) return;
 
-      rec.changes.reserve(change_lines.size());
-      for (const std::string& cl : change_lines) {
-        std::istringstream vs(cl);
+      rec.changes.reserve(change_lines.size() - 1);
+      for (std::size_t i = 1; i < change_lines.size(); ++i) {
+        std::istringstream vs(change_lines[i]);
         typename DynamicCommunities<V>::LabelChange ch;
         if (!(vs >> ch.vertex >> ch.label)) return;
         rec.changes.push_back(ch);

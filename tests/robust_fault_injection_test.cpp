@@ -7,12 +7,19 @@
 // instead of crashing or calling std::terminate.
 #include <gtest/gtest.h>
 
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "commdet/core/agglomerate.hpp"
 #include "commdet/core/detect.hpp"
@@ -28,6 +35,11 @@
 #include "commdet/robust/fault_injection.hpp"
 #include "commdet/robust/sanitize.hpp"
 #include "commdet/score/scorers.hpp"
+#include "commdet/serve/follower.hpp"
+#include "commdet/serve/replication.hpp"
+#include "commdet/serve/service.hpp"
+#include "commdet/serve/session.hpp"
+#include "commdet/serve/wal.hpp"
 
 namespace commdet {
 namespace {
@@ -409,6 +421,283 @@ TEST(FaultInjection, DeltaTextReadFaultSurfacesAsInputError) {
     EXPECT_EQ(e.error().phase, Phase::kInput);
   }
   std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Replication faults: the three kill-windows the replication design
+// must survive — writer dead between durable commit and publish, a
+// follower dead mid-replay, and a link dropped mid-record.
+
+[[nodiscard]] EdgeList<V32> two_cliques_graph() {
+  EdgeList<V32> g;
+  g.num_vertices = 12;
+  for (V32 c = 0; c < 2; ++c)
+    for (V32 i = 0; i < 6; ++i)
+      for (V32 j = static_cast<V32>(i + 1); j < 6; ++j)
+        g.add(static_cast<V32>(c * 6 + i), static_cast<V32>(c * 6 + j));
+  return g;
+}
+
+[[nodiscard]] std::string serve_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+[[nodiscard]] serve::ServeOptions serve_options(const std::string& dir) {
+  serve::ServeOptions o;
+  o.dir = dir;
+  o.batch_max_deltas = 4;
+  o.batch_max_delay_seconds = 0.25;
+  o.save_every_batches = 0;
+  o.fsync_wal = false;
+  return o;
+}
+
+[[nodiscard]] std::vector<std::string> text_lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::optional<std::string> ship_lines(serve::FollowerService<V32>& f,
+                                                    const std::string& text) {
+  std::optional<std::string> last;
+  for (const std::string& line : text_lines(text)) last = f.handle_repl_line(line);
+  return last;
+}
+
+TEST(FaultInjection, WriterDeathBetweenCommitAndPublishLosesNoEpoch) {
+  // The commit record is durable before publish: a writer killed in
+  // that window must recover *with* the batch — and a catching-up
+  // follower then receives it — rather than losing an acked epoch.
+  const std::string dir = serve_dir("fi_publish_window");
+  auto opts = serve_options(dir);
+  {
+    auto svc = serve::CommunityService<V32>::create(
+        build_community_graph(two_cliques_graph()), opts);
+    ASSERT_TRUE(svc.has_value());
+    serve::Session<V32> sess(**svc, "test");
+    sess.handle_line("+ 0 6 4");
+    ASSERT_EQ(*sess.handle_line("COMMIT").line, "OK 1");
+
+    fault::ScopedFault f(fault::kServePublish, 1);
+    sess.handle_line("+ 1 7 4");
+    auto r = sess.handle_line("COMMIT");
+    ASSERT_TRUE(r.line.has_value());
+    EXPECT_EQ(r.line->rfind("ERR injected-fault", 0), 0u) << *r.line;
+    // Epoch 2 was never published to readers...
+    EXPECT_EQ((*svc)->snapshot()->epoch, 1);
+    (*svc)->crash_for_test();
+  }
+  // ...but its commit record was durable, so recovery replays it.
+  auto re = serve::CommunityService<V32>::open(opts);
+  ASSERT_TRUE(re.has_value()) << re.error().message();
+  EXPECT_EQ((*re)->snapshot()->epoch, 2);
+  EXPECT_EQ((*re)->replayed_batches(), 2);
+  serve::Session<V32> sess(**re, "test");
+  sess.handle_line("+ 2 8 4");
+  EXPECT_EQ(*sess.handle_line("COMMIT").line, "OK 3");
+  (*re)->shutdown();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultInjection, FollowerDeathMidReplayRestartsAndResumes) {
+  const std::string wdir = serve_dir("fi_apply_writer");
+  const std::string fdir = serve_dir("fi_apply_replica");
+
+  // Writer: three committed epochs, a checkpoint captured at epoch 1.
+  auto opts = serve_options(wdir);
+  std::string snapshot_bytes;
+  std::shared_ptr<const serve::MembershipSnapshot<V32>> final_snap;
+  {
+    auto svc = serve::CommunityService<V32>::create(
+        build_community_graph(two_cliques_graph()), opts);
+    ASSERT_TRUE(svc.has_value());
+    serve::Session<V32> sess(**svc, "writer");
+    for (int b = 0; b < 3; ++b) {
+      sess.handle_line("+ " + std::to_string(b) + " " + std::to_string(6 + b) + " 3");
+      ASSERT_EQ(*sess.handle_line("COMMIT").line, "OK " + std::to_string(b + 1));
+      if (b == 0) {
+        ASSERT_TRUE((*svc)->save().has_value());
+        const auto gens = list_checkpoints(wdir);
+        ASSERT_FALSE(gens.empty());
+        std::ifstream in(gens.front().second, std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        snapshot_bytes = std::move(ss).str();
+      }
+    }
+    final_snap = (*svc)->snapshot();
+    (*svc)->crash_for_test();
+  }
+  std::vector<std::string> records;
+  for (const auto& rec : serve::read_wal_records<V32>(wdir + "/wal", 0))
+    records.push_back(serve::serialize_wal_record(rec));
+  ASSERT_EQ(records.size(), 3u);
+  const std::uint64_t fp = dynamic_config_fingerprint(opts.dynamic);
+
+  serve::FollowerOptions fopts;
+  fopts.dir = fdir;
+  fopts.fsync_wal = false;
+  {
+    auto fol = serve::FollowerService<V32>::open(fopts);
+    ASSERT_TRUE(fol.has_value());
+    ASSERT_TRUE(
+        (*fol)->handle_repl_line("REPL HELLO " + std::to_string(fp) + " 3").has_value());
+    const std::uint32_t crc =
+        crc32_update(0, snapshot_bytes.data(), snapshot_bytes.size());
+    ASSERT_FALSE((*fol)
+                     ->handle_repl_line("SNAP BEGIN " +
+                                        std::to_string(snapshot_bytes.size()) + ' ' +
+                                        std::to_string(crc))
+                     .has_value());
+    constexpr std::size_t kChunk = 3 * 1024;
+    for (std::size_t off = 0; off < snapshot_bytes.size(); off += kChunk) {
+      const std::size_t n = std::min(kChunk, snapshot_bytes.size() - off);
+      ASSERT_FALSE(
+          (*fol)
+              ->handle_repl_line("SNAP D " +
+                                 serve::base64_encode(snapshot_bytes.data() + off, n))
+              .has_value());
+    }
+    auto snap_ack = (*fol)->handle_repl_line("SNAP END");
+    ASSERT_TRUE(snap_ack.has_value());
+    EXPECT_EQ(*snap_ack, "ACK SNAP 1");
+
+    // The injected fault fires inside apply — the follower process
+    // "dies" mid-replay (the throw escapes exactly so a daemon crash is
+    // faithful): record 2 must leave no partial state behind.
+    fault::ScopedFault f(fault::kReplApply, 1);
+    EXPECT_THROW((void)ship_lines(**fol, records[1]), CommdetError);
+    EXPECT_EQ((*fol)->epoch(), 1);
+  }  // killed
+
+  // Restart from its own directory: resumes at the last applied epoch,
+  // re-ships cleanly, and converges bit-for-bit with the writer.
+  auto re = serve::FollowerService<V32>::open(fopts);
+  ASSERT_TRUE(re.has_value()) << re.error().message();
+  EXPECT_EQ((*re)->epoch(), 1);
+  ASSERT_TRUE(
+      (*re)->handle_repl_line("REPL HELLO " + std::to_string(fp) + " 3").has_value());
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    auto ack = ship_lines(**re, records[i]);
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(*ack, "ACK " + std::to_string(i + 1));
+  }
+  auto q = (*re)->snapshot_for_query();
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ((*q)->epoch, final_snap->epoch);
+  EXPECT_EQ(*(*q)->labels, *final_snap->labels);
+
+  std::filesystem::remove_all(wdir);
+  std::filesystem::remove_all(fdir);
+}
+
+TEST(FaultInjection, DroppedLinkMidRecordReconnectsAndCatchesUp) {
+  const std::string wdir = serve_dir("fi_ship_writer");
+  const std::string fdir = serve_dir("fi_ship_replica");
+  const std::string sock = testing::TempDir() + "/commdet_fi_ship.sock";
+  ::unlink(sock.c_str());
+
+  serve::FollowerOptions fopts;
+  fopts.dir = fdir;
+  fopts.fsync_wal = false;
+  auto fol = serve::FollowerService<V32>::open(fopts);
+  ASSERT_TRUE(fol.has_value());
+  serve::FollowerService<V32>& follower = **fol;
+
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(sock.size(), sizeof(addr.sun_path));
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", sock.c_str());
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 4), 0);
+
+  std::atomic<bool> stop{false};
+  std::thread daemon([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      pollfd p{lfd, POLLIN, 0};
+      if (::poll(&p, 1, 50) <= 0) continue;
+      const int fd = ::accept(lfd, nullptr, nullptr);
+      if (fd < 0) continue;
+      std::string buf;
+      char chunk[4096];
+      for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n <= 0) break;
+        buf.append(chunk, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+          const std::string line = buf.substr(0, nl);
+          buf.erase(0, nl + 1);
+          auto reply = follower.handle_repl_line(line);
+          if (!reply.has_value()) continue;
+          const std::string out = *reply + "\n";
+          if (::write(fd, out.data(), out.size()) < 0) break;
+        }
+      }
+      ::close(fd);
+      follower.repl_disconnected();
+    }
+  });
+
+  auto opts = serve_options(wdir);
+  opts.replication.endpoints = {sock};
+  opts.replication.reconnect_min_seconds = 0.01;
+  opts.replication.reconnect_max_seconds = 0.1;
+  auto svc = serve::CommunityService<V32>::create(
+      build_community_graph(two_cliques_graph()), opts);
+  ASSERT_TRUE(svc.has_value());
+
+  // The first record send throws inside the link thread; the manager
+  // must treat it as a dropped connection — back off, reconnect, and
+  // resume from the follower's acked position — never crash the daemon
+  // or block the writer.
+  fault::arm(fault::kReplShip, 1);
+
+  serve::Session<V32> sess(**svc, "ingest");
+  for (int b = 0; b < 5; ++b) {
+    sess.handle_line("+ " + std::to_string(b) + " " + std::to_string(6 + b) + " 2");
+    ASSERT_EQ(*sess.handle_line("COMMIT").line, "OK " + std::to_string(b + 1));
+  }
+  const auto wsnap = (*svc)->snapshot();
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (follower.epoch() < wsnap->epoch &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(follower.epoch(), wsnap->epoch);
+  EXPECT_GE(fault::hits(fault::kReplShip), 1);  // the ship fault point fired
+
+  const auto st = (*svc)->replication()->status();
+  ASSERT_EQ(st.size(), 1u);
+  EXPECT_GE(st[0].reconnects, 1);
+  EXPECT_EQ(st[0].acked_epoch, wsnap->epoch);
+
+  stop.store(true, std::memory_order_release);
+  (*svc)->shutdown();
+  daemon.join();
+  ::close(lfd);
+  ::unlink(sock.c_str());
+  fault::disarm_all();
+
+  auto q = follower.snapshot_for_query();
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*(*q)->labels, *wsnap->labels);  // bit-for-bit after the drop
+
+  std::filesystem::remove_all(wdir);
+  std::filesystem::remove_all(fdir);
 }
 
 }  // namespace
