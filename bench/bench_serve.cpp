@@ -22,6 +22,18 @@
 // the writer never waits on a follower, so the ratio should be ~1;
 // --assert-ratio R makes the bench fail below R (the acceptance gate
 // uses 0.9).  Rows from the second pass are suffixed "_replicated".
+//
+// --telemetry compare does the same for the observability layer: passes
+// with no metrics registry or event log installed (every obs:: lookup
+// is a null handle) against passes with both live — histograms
+// recording on every batch, events at batch cadence.  Because the
+// claimed effect (<1%) is smaller than the drift a shared host shows
+// between two back-to-back passes, the compare interleaves `--trials`
+// off/on pass pairs and compares the MEDIAN ingest rate of each side;
+// rows from the extra passes are suffixed "_baseline<k>"/
+// "_telemetry<k>".  --assert-overhead F fails the bench if the median
+// instrumented rate drops below (1 - F) of the median baseline (the
+// acceptance gate uses 0.01: telemetry must cost under 1%).
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -40,6 +52,9 @@
 #include "bench_common.hpp"
 #include "commdet/dyn/dynamic_communities.hpp"
 #include "commdet/graph/delta.hpp"
+#include "commdet/obs/eventlog.hpp"
+#include "commdet/obs/metrics.hpp"
+#include "commdet/obs/telemetry.hpp"
 #include "commdet/serve/replication.hpp"
 #include "commdet/serve/service.hpp"
 #include "commdet/util/rng.hpp"
@@ -169,7 +184,8 @@ struct PassResult {
 PassResult run_pass(const commdet::bench::BenchConfig& cfg, int batches,
                     int readers, bool fsync, double fraction,
                     const std::string& suffix,
-                    const std::vector<std::string>& endpoints) {
+                    const std::vector<std::string>& endpoints,
+                    bool telemetry = false) {
   using namespace commdet;
   using namespace commdet::bench;
   PassResult res;
@@ -179,6 +195,23 @@ PassResult run_pass(const commdet::bench::BenchConfig& cfg, int batches,
 
   const std::string dir = "bench_serve_state" + suffix;
   std::filesystem::remove_all(dir);
+
+  // The instrumented pass installs both telemetry sinks before the
+  // service exists, so its constructor resolves live metric handles;
+  // the baseline pass leaves the slots empty and every handle null.
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::MetricsSession> metrics_session;
+  std::unique_ptr<obs::EventLog> event_log;
+  std::unique_ptr<obs::EventLogSession> event_session;
+  if (telemetry) {
+    metrics_session = std::make_unique<obs::MetricsSession>(registry);
+    std::filesystem::create_directories(dir);
+    obs::EventLogOptions eopts;
+    eopts.path = dir + "/events.jsonl";
+    event_log = std::make_unique<obs::EventLog>(eopts);
+    event_session = std::make_unique<obs::EventLogSession>(*event_log);
+  }
+
   serve::ServeOptions sopts;
   sopts.dir = dir;
   sopts.fsync_wal = fsync;
@@ -312,14 +345,30 @@ PassResult run_pass(const commdet::bench::BenchConfig& cfg, int batches,
               suffix.c_str(), res.deltas, batches, res.ingest_rate);
   std::printf("# query%s: %zu samples, p50 %.2fus p90 %.2fus p99 %.2fus\n",
               suffix.c_str(), res.queries, res.p50_us, res.p90_us, res.p99_us);
-  report().add("summary" + suffix, 0, 0, res.ingest_seconds,
-               {{"deltas_per_second", res.ingest_rate},
-                {"queries", static_cast<double>(res.queries)},
-                {"p50_us", res.p50_us},
-                {"p90_us", res.p90_us},
-                {"p99_us", res.p99_us},
-                {"replication_shed", static_cast<double>(res.shed)},
-                {"replication_reconnects", static_cast<double>(res.reconnects)}});
+  std::vector<std::pair<std::string, double>> summary = {
+      {"deltas_per_second", res.ingest_rate},
+      {"queries", static_cast<double>(res.queries)},
+      {"p50_us", res.p50_us},
+      {"p90_us", res.p90_us},
+      {"p99_us", res.p99_us},
+      {"replication_shed", static_cast<double>(res.shed)},
+      {"replication_reconnects", static_cast<double>(res.reconnects)}};
+  if (telemetry) {
+    // What the instrumentation itself measured: the numbers METRICS
+    // would serve.  Collected here so the committed report is evidence
+    // the telemetry path was actually live during the instrumented pass.
+    const obs::TelemetrySnapshot tsnap = svc.collect_telemetry();
+    if (const auto it = tsnap.histograms.find("serve.batch.total_us");
+        it != tsnap.histograms.end()) {
+      summary.emplace_back("batch_p50_us",
+                           static_cast<double>(it->second.percentile(0.50)));
+      summary.emplace_back("batch_p99_us",
+                           static_cast<double>(it->second.percentile(0.99)));
+    }
+    summary.emplace_back("events_logged",
+                         static_cast<double>(tsnap.events_appended));
+  }
+  report().add("summary" + suffix, 0, 0, res.ingest_seconds, summary);
 
   svc.shutdown();
   std::filesystem::remove_all(dir);
@@ -338,6 +387,8 @@ int main(int argc, char** argv) {
   bool fsync = false;
   std::string replication = "off";  // off | stalled | compare
   double assert_ratio = 0.0;        // 0 = report only, no gate
+  std::string telemetry = "off";    // off | on | compare
+  double assert_overhead = 0.0;     // 0 = report only, no gate
   std::vector<char*> rest{argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--batches" && i + 1 < argc) batches = std::atoi(argv[++i]);
@@ -345,10 +396,20 @@ int main(int argc, char** argv) {
     else if (std::string(argv[i]) == "--fsync") fsync = true;
     else if (std::string(argv[i]) == "--replication" && i + 1 < argc) replication = argv[++i];
     else if (std::string(argv[i]) == "--assert-ratio" && i + 1 < argc) assert_ratio = std::atof(argv[++i]);
+    else if (std::string(argv[i]) == "--telemetry" && i + 1 < argc) telemetry = argv[++i];
+    else if (std::string(argv[i]) == "--assert-overhead" && i + 1 < argc) assert_overhead = std::atof(argv[++i]);
     else rest.push_back(argv[i]);
   }
   if (replication != "off" && replication != "stalled" && replication != "compare") {
     std::fprintf(stderr, "--replication must be off, stalled, or compare\n");
+    return 2;
+  }
+  if (telemetry != "off" && telemetry != "on" && telemetry != "compare") {
+    std::fprintf(stderr, "--telemetry must be off, on, or compare\n");
+    return 2;
+  }
+  if (telemetry != "off" && replication != "off") {
+    std::fprintf(stderr, "--telemetry and --replication modes are mutually exclusive\n");
     return 2;
   }
   BenchConfig cfg = parse_args(static_cast<int>(rest.size()), rest.data());
@@ -357,9 +418,9 @@ int main(int argc, char** argv) {
 
   std::printf(
       "# bench_serve: scale=%d edgefactor=%d batches=%d readers=%d fsync=%d "
-      "replication=%s\n",
+      "replication=%s telemetry=%s\n",
       cfg.scale, cfg.edge_factor, batches, readers, fsync ? 1 : 0,
-      replication.c_str());
+      replication.c_str(), telemetry.c_str());
 
   // The stalled follower answers one handshake and then plays dead; the
   // second endpoint is a socket nobody ever listens on, so that link
@@ -376,7 +437,8 @@ int main(int argc, char** argv) {
 
   PassResult baseline;
   if (replication != "stalled") {
-    baseline = run_pass(cfg, batches, readers, fsync, fraction, "", {});
+    baseline = run_pass(cfg, batches, readers, fsync, fraction, "", {},
+                        /*telemetry=*/telemetry == "on");
     if (!baseline.ok) return 1;
   }
   PassResult degraded;
@@ -390,6 +452,61 @@ int main(int argc, char** argv) {
   }
 
   int rc = 0;
+  if (telemetry == "compare") {
+    // Interleaved off/on pairs, medians compared: a single pair is
+    // hostage to whatever the host was doing between its two halves.
+    const auto median = [](std::vector<double> v) {
+      std::sort(v.begin(), v.end());
+      const std::size_t n = v.size();
+      if (n == 0) return 0.0;
+      return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+    };
+    const int pairs = std::max(1, cfg.trials);
+    std::vector<double> base_rates{baseline.ingest_rate};
+    std::vector<double> tel_rates;
+    double compare_seconds = baseline.ingest_seconds;
+    for (int pair = 0; pair < pairs; ++pair) {
+      if (pair > 0) {
+        const PassResult again =
+            run_pass(cfg, batches, readers, fsync, fraction,
+                     "_baseline" + std::to_string(pair + 1), {});
+        if (!again.ok) return 1;
+        base_rates.push_back(again.ingest_rate);
+        compare_seconds += again.ingest_seconds;
+      }
+      const std::string suffix =
+          pair == 0 ? "_telemetry" : "_telemetry" + std::to_string(pair + 1);
+      const PassResult instrumented =
+          run_pass(cfg, batches, readers, fsync, fraction, suffix, {},
+                   /*telemetry=*/true);
+      if (!instrumented.ok) return 1;
+      tel_rates.push_back(instrumented.ingest_rate);
+      compare_seconds += instrumented.ingest_seconds;
+    }
+    const double base_med = median(base_rates);
+    const double tel_med = median(tel_rates);
+    const double ratio = base_med > 0.0 ? tel_med / base_med : 0.0;
+    std::printf("row,telemetry_compare,0,0,%.6f,%.0f,%.0f,%.4f\n",
+                compare_seconds, base_med, tel_med, ratio);
+    report().add("telemetry_compare", 0, 0, compare_seconds,
+                 {{"baseline_deltas_per_second", base_med},
+                  {"telemetry_deltas_per_second", tel_med},
+                  {"ingest_ratio", ratio},
+                  {"pairs", static_cast<double>(pairs)},
+                  {"batches", static_cast<double>(batches)},
+                  {"readers", static_cast<double>(readers)}});
+    std::printf(
+        "# telemetry compare: median of %d pairs, baseline %.0f deltas/s, "
+        "instrumented %.0f deltas/s (ratio %.3f, overhead %.2f%%)\n",
+        pairs, base_med, tel_med, ratio, 100.0 * (1.0 - ratio));
+    if (assert_overhead > 0.0 && ratio < 1.0 - assert_overhead) {
+      std::fprintf(stderr,
+                   "FAIL: telemetry dragged ingest to %.3fx of the baseline "
+                   "(gate: >= %.3f)\n",
+                   ratio, 1.0 - assert_overhead);
+      rc = 1;
+    }
+  }
   if (replication == "compare") {
     const double ratio =
         baseline.ingest_rate > 0.0 ? degraded.ingest_rate / baseline.ingest_rate

@@ -42,6 +42,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -56,8 +57,11 @@
 #include "commdet/io/edge_list_text.hpp"
 #include "commdet/io/matrix_market.hpp"
 #include "commdet/io/metis.hpp"
+#include "commdet/obs/eventlog.hpp"
 #include "commdet/obs/json.hpp"
+#include "commdet/obs/metrics.hpp"
 #include "commdet/obs/report.hpp"
+#include "commdet/obs/telemetry.hpp"
 #include "commdet/platform/platform_info.hpp"
 #include "commdet/robust/checkpoint.hpp"
 #include "commdet/robust/error.hpp"
@@ -92,10 +96,16 @@ commdet::EdgeList<V> load(const std::string& path) {
                "       [--batch-count n] [--batch-ms m] [--save-every n] [--keep k]\n"
                "       [--session-idle-timeout s] [--max-line bytes]\n"
                "       [--no-fsync] [--report file.json]\n"
+               "       [--no-telemetry] [--slow-query-ms m]\n"
+               "       [--event-log path] [--event-log-bytes n] [--event-log-keep k]\n"
                "  --follower      run as a read-only replica (no graph file needed;\n"
                "                  a writer with --replicate-to this endpoint feeds it)\n"
                "  --replicate-to  follower endpoint: Unix socket path or local TCP port\n"
-               "  --max-lag       refuse follower reads more than n epochs stale (-1 = off)\n");
+               "  --max-lag       refuse follower reads more than n epochs stale (-1 = off)\n"
+               "  --no-telemetry  disable metrics + event log (METRICS still answers,\n"
+               "                  with live gauges only)\n"
+               "  --slow-query-ms log a slow_query event for verbs above m ms (0 = off)\n"
+               "  --event-log     structured JSONL event path (default <dir>/events.jsonl)\n");
   std::exit(2);
 }
 
@@ -206,6 +216,7 @@ Roles g_roles;
 std::atomic<std::int64_t> g_roles_gen{0};  // bumped on promotion
 commdet::serve::ServeOptions g_sopts;      // promotion reopens with these
 std::atomic<bool> g_closing{false};
+double g_slow_query_seconds = 0.0;         // sessions log slow_query above this
 
 Roles current_roles() {
   std::lock_guard<std::mutex> g(g_roles_mu);
@@ -267,8 +278,9 @@ void run_session(const std::string& peer, int in_fd, int out_fd, bool is_socket,
   std::int64_t gen = g_roles_gen.load(std::memory_order_acquire);
   Roles roles = current_roles();
   auto make_session = [&peer, &roles]() {
-    return roles.writer ? commdet::serve::Session<V>(*roles.writer, peer)
-                        : commdet::serve::Session<V>(*roles.follower, peer);
+    return roles.writer
+               ? commdet::serve::Session<V>(*roles.writer, peer, g_slow_query_seconds)
+               : commdet::serve::Session<V>(*roles.follower, peer, g_slow_query_seconds);
   };
   commdet::serve::Session<V> session = make_session();
   FdLineReader reader(in_fd, /*keep_partial_on_eof=*/!is_socket, max_line_bytes);
@@ -377,6 +389,9 @@ int main(int argc, char** argv) {
   std::int64_t max_lag = -1;
   double idle_timeout_seconds = -1.0;  // <0: default per transport
   std::size_t max_line_bytes = std::size_t{1} << 20;
+  bool telemetry = true;
+  std::string event_log_path;  // empty: <dir>/events.jsonl
+  commdet::obs::EventLogOptions eopts;
   commdet::serve::ServeOptions sopts;
   commdet::DynamicOptions& dopts = sopts.dynamic;
 
@@ -435,6 +450,16 @@ int main(int argc, char** argv) {
       max_line_bytes = static_cast<std::size_t>(std::stoll(next()));
     } else if (arg == "--no-fsync") {
       sopts.fsync_wal = false;
+    } else if (arg == "--no-telemetry") {
+      telemetry = false;
+    } else if (arg == "--slow-query-ms") {
+      g_slow_query_seconds = std::stod(next()) / 1000.0;
+    } else if (arg == "--event-log") {
+      event_log_path = next();
+    } else if (arg == "--event-log-bytes") {
+      eopts.max_bytes = static_cast<std::uint64_t>(std::stoll(next()));
+    } else if (arg == "--event-log-keep") {
+      eopts.max_files = std::stoi(next());
     } else if (arg == "--report") {
       report_path = next();
     } else {
@@ -468,6 +493,25 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_stop_signal);
   std::signal(SIGTERM, on_stop_signal);
   std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the daemon
+
+  // Telemetry is on by default: a process-wide metrics registry (the
+  // services resolve counter/histogram handles against it when they are
+  // constructed, so it must be installed first) plus a size-rotated
+  // structured event log under the state directory.  --no-telemetry
+  // leaves both slots empty; every obs:: lookup then returns nullptr
+  // and the hot paths skip recording entirely.
+  commdet::obs::MetricsRegistry registry;
+  std::unique_ptr<commdet::obs::MetricsSession> metrics_session;
+  std::unique_ptr<commdet::obs::EventLog> event_log;
+  std::unique_ptr<commdet::obs::EventLogSession> event_log_session;
+  if (telemetry) {
+    metrics_session = std::make_unique<commdet::obs::MetricsSession>(registry);
+    std::error_code ec;
+    std::filesystem::create_directories(sopts.dir, ec);  // events may precede first save
+    eopts.path = event_log_path.empty() ? sopts.dir + "/events.jsonl" : event_log_path;
+    event_log = std::make_unique<commdet::obs::EventLog>(eopts);
+    event_log_session = std::make_unique<commdet::obs::EventLogSession>(*event_log);
+  }
 
   try {
     // Recover when the state directory already holds generations;
@@ -566,6 +610,8 @@ int main(int argc, char** argv) {
         commdet::obs::RunReportInputs inputs;
         inputs.platform = &platform;
         inputs.dynamic = &roles.writer->dynamics().stats();
+        const commdet::obs::TelemetrySnapshot tsnap = roles.writer->collect_telemetry();
+        inputs.telemetry = &tsnap;
         inputs.info = {{"tool", "commdet_serve"},
                        {"dir", sopts.dir},
                        {"metric", metric},

@@ -13,16 +13,27 @@ then:
 
     python3 examples/serve_client.py --socket /tmp/commdet.sock
 
+or watch the daemon's live telemetry (a serve_top: ingest rate, batch
+and query latency percentiles, per-follower replication lag), polling
+the METRICS verb and redrawing one screen per interval:
+
+    python3 examples/serve_client.py --socket /tmp/commdet.sock --watch
+
 The protocol is newline-framed text (see src/commdet/serve/protocol.hpp):
 delta lines ("+ u v w", "- u v", "= u v w") are acknowledged lazily by
 the next COMMIT; query verbs (GET, COMMUNITY, QUALITY, EPOCH, STATS)
-answer immediately from the latest published epoch.
+answer immediately from the latest published epoch.  METRICS is the one
+multi-line reply: "OK METRICS <n>" followed by n lines of Prometheus
+text exposition.
 """
 
 import argparse
 import json
+import math
+import re
 import socket
 import sys
+import time
 
 
 class ServeClient:
@@ -76,15 +87,179 @@ class ServeClient:
             raise RuntimeError(reply)
         return json.loads(reply[3:])
 
+    def metrics(self):
+        """Raw Prometheus exposition lines from the METRICS verb."""
+        reply = self.ask("METRICS")
+        if not reply.startswith("OK METRICS "):
+            raise RuntimeError(reply)
+        n = int(reply.split()[2])
+        return [self.recv_line() for _ in range(n)]
+
+    def metrics_json(self):
+        """The commdet-telemetry v1 object from "METRICS json"."""
+        reply = self.ask("METRICS json")
+        if not reply.startswith("OK {"):
+            raise RuntimeError(reply)
+        return json.loads(reply[3:])
+
+
+# ---------------------------------------------------------------------------
+# Exposition parsing (the subset the daemon emits: no escapes in label
+# values beyond \" never appearing, one "name{labels} value" per line).
+
+_SERIES_RE = re.compile(r"^([a-zA-Z_][a-zA-Z0-9_]*)(\{[^}]*\})? (\S+)$")
+
+
+def parse_exposition(lines):
+    """Returns ({series: float}, {histogram_family: [(le, cumulative)]}).
+
+    `series` keys keep their label suffix verbatim; histogram buckets are
+    grouped per family (name with its non-le labels), le-sorted with
+    +Inf last.
+    """
+    values = {}
+    buckets = {}
+    for line in lines:
+        if not line or line.startswith("#"):
+            continue
+        m = _SERIES_RE.match(line)
+        if not m:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        name, labels, raw = m.groups()
+        value = float(raw)
+        values[name + (labels or "")] = value
+        if name.endswith("_bucket") and labels:
+            inner = labels[1:-1]
+            parts = [kv for kv in inner.split(",") if not kv.startswith('le="')]
+            le = next(kv[4:-1] for kv in inner.split(",") if kv.startswith('le="'))
+            family = name[: -len("_bucket")] + ("{" + ",".join(parts) + "}" if parts else "")
+            buckets.setdefault(family, []).append(
+                (float("inf") if le == "+Inf" else float(le), value))
+    for series in buckets.values():
+        series.sort(key=lambda p: p[0])
+    return values, buckets
+
+
+def percentile(series, q):
+    """Nearest-rank percentile from cumulative log2 buckets: the upper
+    bound (le) of the bucket holding the ceil(q * count)-th sample."""
+    if not series:
+        return 0.0
+    total = series[-1][1]
+    if total <= 0:
+        return 0.0
+    rank = min(total, max(1, math.ceil(q * total)))
+    for le, cum in series:
+        if cum >= rank:
+            return le
+    return series[-1][0]
+
+
+def _fmt_us(us):
+    if us == float("inf"):
+        return "inf"
+    if us >= 1e6:
+        return f"{us / 1e6:.1f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.1f}ms"
+    return f"{us:.0f}us"
+
+
+def watch(client, interval):
+    """serve_top: poll METRICS and redraw a one-screen summary table."""
+    prev = None  # (time, deltas_applied, queries) for rate computation
+    while True:
+        lines = client.metrics()
+        now = time.monotonic()
+        values, buckets = parse_exposition(lines)
+
+        deltas = values.get("commdet_serve_deltas_applied_total",
+                            values.get("commdet_serve_follower_replicated_total", 0))
+        queries = values.get("commdet_serve_queries_total", 0)
+        if prev is not None and now > prev[0]:
+            dt = now - prev[0]
+            ingest_rate = (deltas - prev[1]) / dt
+            query_rate = (queries - prev[2]) / dt
+        else:
+            ingest_rate = values.get("commdet_serve_ingest_deltas_per_second", 0.0)
+            query_rate = 0.0
+        prev = (now, deltas, queries)
+
+        rows = [
+            ("epoch", f"{values.get('commdet_serve_epoch', 0):.0f}"),
+            ("uptime", f"{values.get('commdet_serve_uptime_seconds', 0):.0f}s"),
+            ("queue depth", f"{values.get('commdet_serve_queue_depth', 0):.0f}"),
+            ("ingest", f"{ingest_rate:,.0f} deltas/s ({deltas:,.0f} total)"),
+            ("queries", f"{query_rate:,.0f}/s ({queries:,.0f} total)"),
+            ("batches", f"{values.get('commdet_serve_batches_total', 0):,.0f} "
+                        f"({values.get('commdet_serve_batches_rolled_back_total', 0):.0f} rolled back)"),
+        ]
+        for family, label in [("commdet_serve_batch_total_us", "batch latency"),
+                              ("commdet_serve_batch_wal_append_us", "  wal append"),
+                              ("commdet_serve_batch_apply_us", "  apply"),
+                              ("commdet_serve_batch_publish_us", "  publish")]:
+            if family in buckets:
+                b = buckets[family]
+                rows.append((label, f"p50 {_fmt_us(percentile(b, 0.50))}   "
+                                    f"p99 {_fmt_us(percentile(b, 0.99))}"))
+        for family in sorted(buckets):
+            m = re.match(r"commdet_serve_query_([A-Z]+)_us$", family)
+            if m:
+                b = buckets[family]
+                rows.append((f"query {m.group(1)}",
+                             f"p50 {_fmt_us(percentile(b, 0.50))}   "
+                             f"p99 {_fmt_us(percentile(b, 0.99))}   "
+                             f"n {b[-1][1]:,.0f}"))
+        followers = {}
+        for series, v in values.items():
+            m = re.match(r'commdet_serve_repl_link_(\w+)\{endpoint="([^"]*)"\}', series)
+            if m:
+                followers.setdefault(m.group(2), {})[m.group(1)] = v
+        for endpoint, f in sorted(followers.items()):
+            state = "up" if f.get("connected", 0) else "down"
+            rows.append((f"follower {endpoint}",
+                         f"{state}  lag {f.get('lag_records', 0):,.0f} rec / "
+                         f"{f.get('lag_seconds', 0):.1f}s  "
+                         f"shed {f.get('shed', 0):.0f}"))
+        if "commdet_serve_follower_lag_records" in values:
+            rows.append(("replication lag",
+                         f"{values['commdet_serve_follower_lag_records']:,.0f} rec / "
+                         f"{values.get('commdet_serve_follower_lag_seconds', 0):.1f}s "
+                         f"behind writer epoch "
+                         f"{values.get('commdet_serve_follower_writer_epoch', 0):.0f}"))
+        if "commdet_events_appended_total" in values:
+            rows.append(("events logged",
+                         f"{values['commdet_events_appended_total']:.0f}"))
+
+        sys.stdout.write("\x1b[H\x1b[2J")  # home + clear: one steady screen
+        width = max(len(k) for k, _ in rows)
+        print(f"commdet_serve telemetry — {time.strftime('%H:%M:%S')} "
+              f"(every {interval:g}s, Ctrl-C to quit)")
+        for key, val in rows:
+            print(f"  {key:<{width}}  {val}")
+        sys.stdout.flush()
+        time.sleep(interval)
+
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     group = ap.add_mutually_exclusive_group(required=True)
     group.add_argument("--socket", help="Unix socket path of the daemon")
     group.add_argument("--port", type=int, help="local TCP port of the daemon")
+    ap.add_argument("--watch", action="store_true",
+                    help="poll METRICS and render a refreshing telemetry table")
+    ap.add_argument("--interval", type=float, default=2.0,
+                    help="watch refresh interval in seconds (default 2)")
     args = ap.parse_args()
 
     c = ServeClient.connect(unix_path=args.socket, port=args.port)
+
+    if args.watch:
+        try:
+            watch(c, args.interval)
+        except KeyboardInterrupt:
+            print()
+        return 0
 
     print("epoch at connect:", c.ask("EPOCH"))
 
@@ -111,6 +286,14 @@ def main():
     if health.get("replication"):
         for link in health["replication"]["followers"]:
             print("  follower", link["endpoint"], "acked", link["acked_epoch"])
+
+    # One telemetry sample: p50/p99 batch latency from the histogram
+    # buckets, the same numbers --watch renders continuously.
+    values, buckets = parse_exposition(c.metrics())
+    fam = "commdet_serve_batch_total_us"
+    if fam in buckets:
+        print("batch latency: p50", _fmt_us(percentile(buckets[fam], 0.5)),
+              "p99", _fmt_us(percentile(buckets[fam], 0.99)))
 
     print(c.ask("QUIT"))
 

@@ -73,6 +73,26 @@ class Client:
         assert reply.startswith("OK "), reply
         return json.loads(reply[3:])
 
+    def metrics(self):
+        """Scrapes the METRICS verb; returns the parsed exposition as
+        {series_name_with_labels: float}.  Asserts the framing and that
+        every line parses (comment lines must be '# TYPE <family> <kind>')."""
+        reply = self.ask("METRICS")
+        assert reply.startswith("OK METRICS "), reply
+        n = int(reply.split()[2])
+        values = {}
+        for _ in range(n):
+            line = self.recv_line()
+            if line.startswith("#"):
+                parts = line.split()
+                assert parts[:2] == ["#", "TYPE"] and len(parts) == 4, line
+                assert parts[3] in ("counter", "gauge", "histogram"), line
+                continue
+            series, _, raw = line.rpartition(" ")
+            assert series.startswith("commdet_"), line
+            values[series] = float(raw)
+        return values
+
     def dump_membership(self):
         """Full membership + quality, one deterministic text blob."""
         lo, hi = 0, 1
@@ -160,11 +180,22 @@ def main():
         extra=["--replicate-to", fsocks[0], "--replicate-to", fsocks[1]])
     assert role == "writer" and epoch == 0, (role, epoch)
 
-    # Phase 1: stream committed batches, then demand convergence.
+    # Phase 1: stream committed batches, then demand convergence.  The
+    # writer's METRICS exposition must parse throughout and its counters
+    # must be monotone non-decreasing across scrapes.
     w = Client(wsock)
+    prev_metrics = {}
     for b, batch in enumerate(batches[:args.batches], start=1):
         w.send("".join(batch))
         assert w.commit() == b
+        m = w.metrics()
+        assert m["commdet_serve_epoch"] == b, (b, m["commdet_serve_epoch"])
+        for series, value in prev_metrics.items():
+            if series.endswith("_total") or "_bucket{" in series \
+                    or series.endswith("_count"):
+                assert m.get(series, 0) >= value, \
+                    f"counter went backwards: {series} {value} -> {m.get(series)}"
+        prev_metrics = m
     committed = args.batches
     wh = w.health()
     assert wh["role"] == "writer" and wh["epoch"] == committed, wh
@@ -172,6 +203,31 @@ def main():
     for fsock in fsocks:
         h = wait_for_epoch(fsock, committed)
         assert h["role"] == "follower" and h["lag"] == 0, h
+
+    # Once every follower acked the committed epoch, the writer's
+    # per-link lag gauges and each follower's own lag must read zero.
+    # The ack travels back asynchronously, so poll briefly for it.
+    deadline = time.monotonic() + 30.0
+    while True:
+        m = w.metrics()
+        lags = [m.get(f'commdet_serve_repl_link_lag_records{{endpoint="{s}"}}')
+                for s in fsocks]
+        if all(lag == 0 for lag in lags):
+            break
+        assert time.monotonic() < deadline, f"link lag never drained: {lags}"
+        time.sleep(0.1)
+    for fsock in fsocks:
+        lag_s = m.get(f'commdet_serve_repl_link_lag_seconds{{endpoint="{fsock}"}}')
+        assert lag_s == 0, (fsock, lag_s)
+        connected = m.get(f'commdet_serve_repl_link_connected{{endpoint="{fsock}"}}')
+        assert connected == 1, (fsock, connected)
+    for fsock in fsocks:
+        fm = Client(fsock).metrics()
+        assert fm["commdet_serve_follower_lag_records"] == 0, fm
+        assert fm["commdet_serve_epoch"] == committed, fm
+        assert fm["commdet_serve_follower_writer_epoch"] == committed, fm
+    print("metrics OK: exposition parses on both roles, counters monotone, "
+          "link lag drained to zero")
     dump_writer = w.dump_membership()
     dumps = [Client(s).dump_membership() for s in fsocks]
     assert dumps[0] == dump_writer, "follower 1 diverged from the writer"

@@ -59,6 +59,26 @@ class Client:
         assert reply.startswith("OK "), reply
         return int(reply.split()[1])
 
+    def metrics(self):
+        """Scrapes the METRICS verb; returns the parsed exposition as
+        {series_name_with_labels: float}.  Asserts the framing and that
+        every line parses (comment lines must be '# TYPE <family> <kind>')."""
+        reply = self.ask("METRICS")
+        assert reply.startswith("OK METRICS "), reply
+        n = int(reply.split()[2])
+        values = {}
+        for _ in range(n):
+            line = self.recv_line()
+            if line.startswith("#"):
+                parts = line.split()
+                assert parts[:2] == ["#", "TYPE"] and len(parts) == 4, line
+                assert parts[3] in ("counter", "gauge", "histogram"), line
+                continue
+            series, _, raw = line.rpartition(" ")
+            assert series.startswith("commdet_"), line
+            values[series] = float(raw)  # every sample must parse as a double
+        return values
+
     def dump_membership(self):
         """Full membership + quality, one deterministic text blob.
 
@@ -123,15 +143,32 @@ def main():
     report_path = os.path.join(args.workdir, "report.json")
     half = args.batches // 2
 
-    # Phase 1: cold start, stream the first half with queries.
+    # Phase 1: cold start, stream the first half with queries, and
+    # scrape METRICS mid-run: the exposition must parse, and its
+    # counters must be monotone non-decreasing across scrapes.
     proc, epoch, replayed = start_daemon(args.binary, args.graph, state, sock_path)
     assert (epoch, replayed) == (0, 0), (epoch, replayed)
     c = Client(sock_path)
+    prev_metrics = {}
     for b, batch in enumerate(batches[:half], start=1):
         c.send("".join(batch))
         assert c.commit() == b
         assert c.ask("EPOCH") == f"OK {b}"
         assert c.ask("GET 0").startswith("OK 0 ")
+        m = c.metrics()
+        assert m["commdet_serve_epoch"] == b, (b, m["commdet_serve_epoch"])
+        assert m["commdet_serve_batches_total"] == b
+        for series, value in prev_metrics.items():
+            if series.endswith("_total") or "_bucket{" in series \
+                    or series.endswith("_count"):
+                assert m.get(series, 0) >= value, \
+                    f"counter went backwards: {series} {value} -> {m.get(series)}"
+        prev_metrics = m
+    assert prev_metrics["commdet_serve_deltas_applied_total"] == \
+        half * args.batch_size, prev_metrics["commdet_serve_deltas_applied_total"]
+    assert "commdet_serve_batch_total_us_sum" in prev_metrics
+    assert "commdet_serve_batch_wal_append_us_sum" in prev_metrics
+    assert "commdet_serve_query_GET_us_count" in prev_metrics
     dump_before = c.dump_membership()
     committed = half
 

@@ -1,0 +1,266 @@
+// Bounded structured event log: one JSON object per line, size-rotated.
+//
+// Metrics answer "how much / how fast"; the event log answers "what
+// happened and when".  Each event is a single JSONL line —
+//
+//   {"ts":1754640000.123,"type":"batch_commit","epoch":41,"deltas":128,...}
+//
+// — with a fixed prefix (ts: unix seconds as %.17g; type: event name;
+// epoch: the membership epoch in force when the event fired) followed
+// by event-specific fields.  Every line passes obs::json_validate, so
+// the log is replayable by any JSON-lines reader and by our own strict
+// validator in tests.
+//
+// The serve layer logs typed events at batch cadence (commit, rollback,
+// full refresh, WAL rotation, checkpoint publish, follower shed or
+// reconnect, slow query, promotion) — a handful of lines per second at
+// most, so a single mutex-guarded append is fine; this is deliberately
+// NOT a hot-path structure like Counter/Histogram.
+//
+// Rotation is by size: when the active file would exceed max_bytes, it
+// shifts to <path>.1 (and .1 to .2, ...), keeping max_files files total.
+// Appends are line-atomic per process (one write under the mutex) but a
+// crash can still tear the final line; read_events() tolerates exactly
+// that — an unterminated or json-invalid tail line is dropped, anything
+// earlier must parse.
+//
+// Install discipline mirrors MetricsRegistry: a process-wide slot,
+// obs::log_event(...) is a cheap no-op when nothing is installed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <sys/time.h>
+
+#include "commdet/obs/json.hpp"
+
+namespace commdet::obs {
+
+/// One extra field appended to an event line after ts/type/epoch.
+struct EventField {
+  std::string_view key;
+  enum class Kind { kInt, kDouble, kString } kind = Kind::kInt;
+  std::int64_t i = 0;
+  double d = 0.0;
+  std::string_view s;
+
+  static EventField of(std::string_view key, std::int64_t v) {
+    EventField f;
+    f.key = key;
+    f.kind = Kind::kInt;
+    f.i = v;
+    return f;
+  }
+  static EventField of(std::string_view key, double v) {
+    EventField f;
+    f.key = key;
+    f.kind = Kind::kDouble;
+    f.d = v;
+    return f;
+  }
+  static EventField of(std::string_view key, std::string_view v) {
+    EventField f;
+    f.key = key;
+    f.kind = Kind::kString;
+    f.s = v;
+    return f;
+  }
+};
+
+struct EventLogOptions {
+  std::string path;                       // active file; rotations are path.1..path.N
+  std::uint64_t max_bytes = 4 << 20;      // rotate before exceeding this
+  int max_files = 4;                      // active file + (max_files - 1) rotations
+};
+
+/// Append-only JSONL event sink with size rotation.  Thread-safe; one
+/// mutex per append (events fire at batch cadence, not per delta).
+class EventLog {
+ public:
+  explicit EventLog(EventLogOptions opts) : opts_(std::move(opts)) {
+    if (opts_.max_files < 1) opts_.max_files = 1;
+  }
+  ~EventLog() { close_locked(); }
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Appends one event line; ts is stamped here (unix seconds).
+  /// Returns false if the file cannot be opened or written (the event
+  /// is dropped; telemetry must never take the service down).
+  bool append(std::string_view type, std::int64_t epoch,
+              std::initializer_list<EventField> fields = {}) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("ts");
+    w.value(now_unix());
+    w.key("type");
+    w.value(type);
+    w.key("epoch");
+    w.value(epoch);
+    for (const EventField& f : fields) {
+      w.key(f.key);
+      switch (f.kind) {
+        case EventField::Kind::kInt: w.value(f.i); break;
+        case EventField::Kind::kDouble: w.value(f.d); break;
+        case EventField::Kind::kString: w.value(f.s); break;
+      }
+    }
+    w.end_object();
+    std::string line = w.take();
+    line += '\n';
+
+    std::lock_guard<std::mutex> lock(mu_);
+    // Open before the rotation check so bytes_ reflects a pre-existing
+    // file after restart (open seeks to the end to count it).
+    if (file_ == nullptr && !open_locked()) return false;
+    if (bytes_ > 0 && bytes_ + line.size() > opts_.max_bytes) {
+      rotate_locked();
+      if (!open_locked()) return false;
+    }
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) return false;
+    std::fflush(file_);  // events are for post-mortems; don't sit in stdio buffers
+    bytes_ += line.size();
+    appended_.fetch_add(1, std::memory_order_relaxed);
+    last_unix_.store(now_unix(), std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Monotone cursor: events appended by this process so far.  Lets
+  /// HEALTH report "how far has the log advanced" without reading it.
+  [[nodiscard]] std::int64_t events_appended() const noexcept {
+    return appended_.load(std::memory_order_relaxed);
+  }
+
+  /// Unix timestamp of the most recent append, or 0 if none yet.
+  [[nodiscard]] double last_event_unix() const noexcept {
+    return last_unix_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return opts_.path; }
+
+  [[nodiscard]] static double now_unix() noexcept {
+    timeval tv{};
+    gettimeofday(&tv, nullptr);
+    return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) * 1e-6;
+  }
+
+ private:
+  bool open_locked() {
+    file_ = std::fopen(opts_.path.c_str(), "ab");
+    if (file_ == nullptr) return false;
+    // In append mode the initial stream position is unspecified until
+    // the first write; seek explicitly so bytes_ counts existing data.
+    std::fseek(file_, 0, SEEK_END);
+    const long pos = std::ftell(file_);
+    bytes_ = pos > 0 ? static_cast<std::uint64_t>(pos) : 0;
+    return true;
+  }
+
+  void close_locked() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+
+  void rotate_locked() {
+    close_locked();
+    // Shift path.(N-1) -> dropped, ..., path.1 -> path.2, path -> path.1.
+    std::remove((opts_.path + "." + std::to_string(opts_.max_files - 1)).c_str());
+    for (int i = opts_.max_files - 1; i >= 2; --i) {
+      std::rename((opts_.path + "." + std::to_string(i - 1)).c_str(),
+                  (opts_.path + "." + std::to_string(i)).c_str());
+    }
+    if (opts_.max_files >= 2) {
+      std::rename(opts_.path.c_str(), (opts_.path + ".1").c_str());
+    } else {
+      std::remove(opts_.path.c_str());  // max_files == 1: truncate in place
+    }
+    bytes_ = 0;
+  }
+
+  EventLogOptions opts_;
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t bytes_ = 0;
+  std::atomic<std::int64_t> appended_{0};
+  std::atomic<double> last_unix_{0.0};
+};
+
+/// Reads one event-log file, tolerating a torn tail: returns every
+/// complete, json-valid line; a final line that is unterminated or
+/// fails validation (a crash mid-append) is silently dropped.  Any
+/// invalid line *before* the tail is real corruption and stops the read
+/// there (everything already returned is still good).
+[[nodiscard]] inline std::vector<std::string> read_events(const std::string& path) {
+  std::vector<std::string> out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  std::string data;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) data.append(buf, n);
+  std::fclose(f);
+
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) break;  // unterminated tail: torn, drop
+    std::string_view line(data.data() + pos, nl - pos);
+    if (!json_validate(line)) {
+      // Torn only if nothing follows; mid-file garbage ends the read.
+      break;
+    }
+    out.emplace_back(line);
+    pos = nl + 1;
+  }
+  return out;
+}
+
+namespace detail {
+
+inline std::atomic<EventLog*>& eventlog_slot() noexcept {
+  static std::atomic<EventLog*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace detail
+
+/// The installed event log, or nullptr (event logging disabled).
+[[nodiscard]] inline EventLog* active_eventlog() noexcept {
+  return detail::eventlog_slot().load(std::memory_order_relaxed);
+}
+
+/// Installs `log` process-wide (nullptr uninstalls); returns the previous.
+inline EventLog* install_eventlog(EventLog* log) noexcept {
+  return detail::eventlog_slot().exchange(log, std::memory_order_release);
+}
+
+/// Logs one event against the installed log; no-op when disabled.
+inline void log_event(std::string_view type, std::int64_t epoch,
+                      std::initializer_list<EventField> fields = {}) {
+  EventLog* log = active_eventlog();
+  if (log != nullptr) log->append(type, epoch, fields);
+}
+
+/// RAII installation for the duration of a scope.
+class EventLogSession {
+ public:
+  explicit EventLogSession(EventLog& log) noexcept : previous_(install_eventlog(&log)) {}
+  ~EventLogSession() { install_eventlog(previous_); }
+  EventLogSession(const EventLogSession&) = delete;
+  EventLogSession& operator=(const EventLogSession&) = delete;
+
+ private:
+  EventLog* previous_;
+};
+
+}  // namespace commdet::obs

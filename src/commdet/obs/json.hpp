@@ -18,6 +18,19 @@
 
 namespace commdet::obs {
 
+/// Canonical shortest-round-trip double formatting: %.17g, with
+/// non-finite values degraded to "null" (JSON has no inf/nan).  Every
+/// surface that prints a double a client might byte-compare — query
+/// replies (serve/protocol.hpp), HEALTH JSON, the METRICS exposition,
+/// run reports — must route through this one function so two views of
+/// the same value can never drift in formatting.
+[[nodiscard]] inline std::string format_f64(double d) {
+  if (!std::isfinite(d)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  return buf;
+}
+
 /// Streaming JSON writer.  Call sequence is the caller's contract:
 /// inside an object alternate key()/value (or key()/begin_*), inside an
 /// array just emit values.  Misuse shows up as invalid output, which
@@ -74,13 +87,7 @@ class JsonWriter {
   }
   void value(double d) {
     comma();
-    if (!std::isfinite(d)) {
-      out_ += "null";
-      return;
-    }
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g", d);
-    out_ += buf;
+    out_ += format_f64(d);
     // %.17g never emits a bare integer-looking token that JSON rejects,
     // but "1e+06" etc. are all valid JSON numbers already.
   }

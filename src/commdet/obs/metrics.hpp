@@ -30,6 +30,8 @@
 #include <string_view>
 #include <vector>
 
+#include "commdet/obs/histogram.hpp"
+
 namespace commdet::obs {
 
 // A fixed 64 rather than std::hardware_destructive_interference_size:
@@ -131,8 +133,16 @@ class MetricsRegistry {
     return *slot;
   }
 
-  /// Merged snapshot of every metric, sorted by name (counters and
-  /// gauges share the namespace; pick distinct names).
+  [[nodiscard]] Histogram& histogram(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = histograms_[std::string(name)];
+    if (!slot) slot = std::make_unique<Histogram>();
+    return *slot;
+  }
+
+  /// Merged snapshot of every scalar metric, sorted by name (counters
+  /// and gauges share the namespace; pick distinct names).  Histograms
+  /// are excluded — see snapshot_histograms().
   [[nodiscard]] std::map<std::string, std::int64_t> snapshot() const {
     std::lock_guard<std::mutex> lock(mu_);
     std::map<std::string, std::int64_t> out;
@@ -141,10 +151,35 @@ class MetricsRegistry {
     return out;
   }
 
+  /// Typed snapshots for exposition formats that distinguish metric
+  /// kinds (Prometheus TYPE lines).  snapshot() remains the union the
+  /// run report consumes.
+  [[nodiscard]] std::map<std::string, std::int64_t> snapshot_counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, std::int64_t> out;
+    for (const auto& [name, c] : counters_) out[name] = c->value();
+    return out;
+  }
+
+  [[nodiscard]] std::map<std::string, std::int64_t> snapshot_gauges() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, std::int64_t> out;
+    for (const auto& [name, g] : gauges_) out[name] = g->value();
+    return out;
+  }
+
+  [[nodiscard]] std::map<std::string, HistogramSnapshot> snapshot_histograms() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, HistogramSnapshot> out;
+    for (const auto& [name, h] : histograms_) out[name] = h->snapshot();
+    return out;
+  }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 namespace detail {
@@ -189,6 +224,12 @@ class MetricsSession {
 [[nodiscard]] inline Gauge* gauge(std::string_view name) {
   MetricsRegistry* m = active_metrics();
   return m != nullptr ? &m->gauge(name) : nullptr;
+}
+
+/// Resolves a histogram; nullptr when metrics are disabled.
+[[nodiscard]] inline Histogram* histogram(std::string_view name) {
+  MetricsRegistry* m = active_metrics();
+  return m != nullptr ? &m->histogram(name) : nullptr;
 }
 
 }  // namespace commdet::obs

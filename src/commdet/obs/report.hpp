@@ -38,6 +38,9 @@
 //                                // present only for --updates runs
 //                                // (added within schema version 1)
 //     "metrics": { "<name>": <int64>, ... },
+//     "telemetry": <commdet-telemetry v1 object, see telemetry.hpp> | null,
+//                                // present for live-telemetry runs
+//                                // (added within schema version 1)
 //     "resources": { max_rss_bytes, minor_faults, major_faults,
 //                    voluntary_ctx_switches, involuntary_ctx_switches },
 //     "trace": [ { id, parent, name, start_seconds, end_seconds, threads,
@@ -70,6 +73,7 @@
 #include "commdet/graph/stats.hpp"
 #include "commdet/obs/json.hpp"
 #include "commdet/obs/metrics.hpp"
+#include "commdet/obs/telemetry.hpp"
 #include "commdet/obs/probes.hpp"
 #include "commdet/obs/trace.hpp"
 #include "commdet/platform/platform_info.hpp"
@@ -136,6 +140,7 @@ struct RunReportInputs {
   const MetricsRegistry* metrics = nullptr;
   const ResourceSample* resources = nullptr;
   const DynamicRunStats* dynamic = nullptr;              // --updates runs only
+  const TelemetrySnapshot* telemetry = nullptr;          // live-telemetry runs only
   std::vector<std::pair<std::string, std::string>> info;  // free-form strings
 };
 
@@ -396,7 +401,8 @@ inline void begin_report(JsonWriter& w, std::string_view kind,
   write_platform(w, in.platform);
 }
 
-/// Shared envelope tail: metrics, resources, trace; closes the object.
+/// Shared envelope tail: metrics, telemetry, resources, trace; closes
+/// the object.
 inline void end_report(JsonWriter& w, const RunReportInputs& in) {
   w.key("metrics");
   w.begin_object();
@@ -407,6 +413,14 @@ inline void end_report(JsonWriter& w, const RunReportInputs& in) {
     }
   }
   w.end_object();
+  // Additive in v1: the full "commdet-telemetry" object for runs that
+  // collected live telemetry (histograms, live gauges, event cursor).
+  w.key("telemetry");
+  if (in.telemetry != nullptr) {
+    write_telemetry(w, *in.telemetry);
+  } else {
+    w.null();
+  }
   w.key("resources");
   if (in.resources != nullptr) {
     write_resources(w, *in.resources);

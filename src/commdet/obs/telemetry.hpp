@@ -1,0 +1,281 @@
+// TelemetryHub: on-demand snapshots of the process-wide metrics
+// registry, rendered as a versioned JSON object or Prometheus text
+// exposition (text/plain; version 0.0.4).
+//
+// The PR-2 obs/ layer dumps counters into an end-of-run report — fine
+// for a bench, useless for a daemon that never ends.  The hub is the
+// daemon-shaped read path: collect() merges every counter, gauge, and
+// histogram shard *now*, the caller layers in live values the registry
+// cannot hold (queue depth, per-link lag — registry Gauges are
+// high-water only), and the result renders to either format.  Both
+// renderings format doubles through obs::format_f64, so METRICS and
+// HEALTH can never drift on the same value.
+//
+// Naming: registry names are dotted ("serve.batch.apply_us") and may
+// carry a literal Prometheus label suffix ("serve.repl.lag_records
+// {endpoint=\"a.sock\"}").  Exposition sanitizes the pre-label part —
+// '.' and any other non-[a-zA-Z0-9_] become '_' — and prefixes
+// "commdet_"; counters additionally get "_total" per convention.
+// Histogram names end in a unit suffix ("_us"): buckets are emitted as
+// cumulative <name>_bucket{le="..."} series (trailing empty buckets
+// trimmed, le="+Inf" always last) plus <name>_sum / <name>_count.
+//
+// JSON schema ("commdet-telemetry" version 1):
+//   {"schema":"commdet-telemetry","version":1,"unix_time":...,
+//    "counters":{name:int,...},"gauges":{name:num,...},
+//    "histograms":{name:{"count":N,"sum":N,"mean":x,"p50":N,"p90":N,
+//                        "p99":N,"max":N,"buckets":[[le,count],...]},...},
+//    "events":{"appended":N,"last_unix":x}|null}
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "commdet/obs/eventlog.hpp"
+#include "commdet/obs/histogram.hpp"
+#include "commdet/obs/json.hpp"
+#include "commdet/obs/metrics.hpp"
+
+namespace commdet::obs {
+
+inline constexpr std::string_view kTelemetrySchema = "commdet-telemetry";
+inline constexpr int kTelemetryVersion = 1;
+
+/// One merged view of everything observable at a point in time.  The
+/// registry maps come from collect(); services append live gauges
+/// (scrape-time values the high-water registry Gauge cannot express)
+/// and doubles (rates, lag seconds) before rendering.
+struct TelemetrySnapshot {
+  double unix_time = 0.0;
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, std::int64_t> gauges;        // high-water + live int gauges
+  std::map<std::string, double> gauges_f64;          // live float gauges (rates, seconds)
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::int64_t events_appended = -1;                 // -1: no event log installed
+  double last_event_unix = 0.0;
+
+  void set_gauge(std::string name, std::int64_t v) { gauges[std::move(name)] = v; }
+  void set_gauge(std::string name, double v) { gauges_f64[std::move(name)] = v; }
+};
+
+namespace detail {
+
+/// Splits "name {label=\"x\"}" into its metric name and label suffix;
+/// sanitizes the name part to Prometheus [a-zA-Z_][a-zA-Z0-9_]* with a
+/// "commdet_" prefix.
+struct PromName {
+  std::string name;    // sanitized, prefixed
+  std::string labels;  // "" or "{...}" verbatim from the registry name
+};
+
+[[nodiscard]] inline PromName prom_name(std::string_view raw) {
+  PromName out;
+  std::string_view base = raw;
+  const std::size_t brace = raw.find('{');
+  if (brace != std::string_view::npos) {
+    base = raw.substr(0, brace);
+    out.labels = std::string(raw.substr(brace));
+  }
+  while (!base.empty() && base.back() == ' ') base.remove_suffix(1);
+  out.name = "commdet_";
+  for (const char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.name += ok ? c : '_';
+  }
+  return out;
+}
+
+inline void prom_type_line(std::string& out, const std::string& family,
+                           std::string_view type, std::string& last_family) {
+  if (family == last_family) return;  // one TYPE line per family
+  out += "# TYPE ";
+  out += family;
+  out += ' ';
+  out += type;
+  out += '\n';
+  last_family = family;
+}
+
+}  // namespace detail
+
+/// Renders a snapshot as Prometheus text exposition format 0.0.4.
+[[nodiscard]] inline std::string to_prometheus(const TelemetrySnapshot& snap) {
+  std::string out;
+  std::string last_family;
+
+  for (const auto& [raw, v] : snap.counters) {
+    const auto pn = detail::prom_name(raw);
+    const std::string family = pn.name + "_total";
+    detail::prom_type_line(out, family, "counter", last_family);
+    out += family + pn.labels + ' ' + std::to_string(v) + '\n';
+  }
+  for (const auto& [raw, v] : snap.gauges) {
+    const auto pn = detail::prom_name(raw);
+    detail::prom_type_line(out, pn.name, "gauge", last_family);
+    out += pn.name + pn.labels + ' ' + std::to_string(v) + '\n';
+  }
+  for (const auto& [raw, v] : snap.gauges_f64) {
+    const auto pn = detail::prom_name(raw);
+    detail::prom_type_line(out, pn.name, "gauge", last_family);
+    out += pn.name + pn.labels + ' ' + format_f64(v) + '\n';
+  }
+  for (const auto& [raw, h] : snap.histograms) {
+    const auto pn = detail::prom_name(raw);
+    detail::prom_type_line(out, pn.name, "histogram", last_family);
+    // Highest non-empty bucket; everything above collapses into +Inf.
+    int top = -1;
+    for (int i = 0; i < kHistogramBuckets; ++i)
+      if (h.buckets[static_cast<std::size_t>(i)] > 0) top = i;
+    std::int64_t cum = 0;
+    for (int i = 0; i <= top && i < kHistogramBuckets - 1; ++i) {
+      cum += h.buckets[static_cast<std::size_t>(i)];
+      std::string labels = pn.labels.empty()
+                               ? "{le=\"" + std::to_string(HistogramSnapshot::bucket_upper(i)) + "\"}"
+                               : pn.labels.substr(0, pn.labels.size() - 1) + ",le=\"" +
+                                     std::to_string(HistogramSnapshot::bucket_upper(i)) + "\"}";
+      out += pn.name + "_bucket" + labels + ' ' + std::to_string(cum) + '\n';
+    }
+    const std::string inf_labels =
+        pn.labels.empty() ? std::string("{le=\"+Inf\"}")
+                          : pn.labels.substr(0, pn.labels.size() - 1) + ",le=\"+Inf\"}";
+    out += pn.name + "_bucket" + inf_labels + ' ' + std::to_string(h.count()) + '\n';
+    out += pn.name + "_sum" + pn.labels + ' ' + std::to_string(h.sum) + '\n';
+    out += pn.name + "_count" + pn.labels + ' ' + std::to_string(h.count()) + '\n';
+  }
+
+  {
+    std::string family = "commdet_unix_time_seconds";
+    detail::prom_type_line(out, family, "gauge", last_family);
+    out += family + ' ' + format_f64(snap.unix_time) + '\n';
+  }
+  if (snap.events_appended >= 0) {
+    std::string family = "commdet_events_appended_total";
+    detail::prom_type_line(out, family, "counter", last_family);
+    out += family + ' ' + std::to_string(snap.events_appended) + '\n';
+  }
+  return out;
+}
+
+/// Emits the "commdet-telemetry" v1 object into an in-progress writer
+/// (shared by to_json and the run report's additive "telemetry" key).
+inline void write_telemetry(JsonWriter& w, const TelemetrySnapshot& snap) {
+  w.begin_object();
+  w.key("schema");
+  w.value(kTelemetrySchema);
+  w.key("version");
+  w.value(kTelemetryVersion);
+  w.key("unix_time");
+  w.value(snap.unix_time);
+
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : snap.counters) {
+    w.key(name);
+    w.value(v);
+  }
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : snap.gauges) {
+    w.key(name);
+    w.value(v);
+  }
+  for (const auto& [name, v] : snap.gauges_f64) {
+    w.key(name);
+    w.value(v);
+  }
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : snap.histograms) {
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.value(h.count());
+    w.key("sum");
+    w.value(h.sum);
+    w.key("mean");
+    w.value(h.mean());
+    w.key("p50");
+    w.value(h.percentile(0.50));
+    w.key("p90");
+    w.value(h.percentile(0.90));
+    w.key("p99");
+    w.value(h.percentile(0.99));
+    w.key("max");
+    w.value(h.percentile(1.0));
+    w.key("buckets");
+    w.begin_array();
+    std::int64_t cum = 0;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      if (h.buckets[static_cast<std::size_t>(i)] == 0) continue;
+      cum += h.buckets[static_cast<std::size_t>(i)];
+      w.begin_array();
+      w.value(HistogramSnapshot::bucket_upper(i));
+      w.value(cum);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("events");
+  if (snap.events_appended >= 0) {
+    w.begin_object();
+    w.key("appended");
+    w.value(snap.events_appended);
+    w.key("last_unix");
+    w.value(snap.last_event_unix);
+    w.end_object();
+  } else {
+    w.null();
+  }
+  w.end_object();
+}
+
+/// Renders a snapshot as one "commdet-telemetry" v1 JSON object
+/// (single line; passes json_validate).
+[[nodiscard]] inline std::string to_json(const TelemetrySnapshot& snap) {
+  JsonWriter w;
+  write_telemetry(w, snap);
+  return w.take();
+}
+
+/// Snapshot factory over the installed (or an explicit) registry plus
+/// the installed event log.  Stateless beyond its sources — services
+/// call collect(), add their live gauges, then render.
+class TelemetryHub {
+ public:
+  TelemetryHub() = default;
+  explicit TelemetryHub(MetricsRegistry* registry) : registry_(registry) {}
+
+  [[nodiscard]] TelemetrySnapshot collect() const {
+    TelemetrySnapshot snap;
+    snap.unix_time = EventLog::now_unix();
+    MetricsRegistry* reg = registry_ != nullptr ? registry_ : active_metrics();
+    if (reg != nullptr) {
+      snap.counters = reg->snapshot_counters();
+      snap.gauges = reg->snapshot_gauges();
+      snap.histograms = reg->snapshot_histograms();
+    }
+    if (EventLog* log = active_eventlog(); log != nullptr) {
+      snap.events_appended = log->events_appended();
+      snap.last_event_unix = log->last_event_unix();
+    }
+    return snap;
+  }
+
+ private:
+  MetricsRegistry* registry_ = nullptr;  // nullptr: follow the installed slot
+};
+
+}  // namespace commdet::obs

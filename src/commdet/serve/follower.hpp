@@ -36,6 +36,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -49,6 +50,10 @@
 #include <vector>
 
 #include "commdet/dyn/dynamic_communities.hpp"
+#include "commdet/obs/eventlog.hpp"
+#include "commdet/obs/json.hpp"
+#include "commdet/obs/metrics.hpp"
+#include "commdet/obs/telemetry.hpp"
 #include "commdet/robust/checkpoint.hpp"
 #include "commdet/robust/error.hpp"
 #include "commdet/robust/expected.hpp"
@@ -57,6 +62,7 @@
 #include "commdet/serve/protocol.hpp"
 #include "commdet/serve/replication.hpp"
 #include "commdet/serve/wal.hpp"
+#include "commdet/util/timer.hpp"
 #include "commdet/util/types.hpp"
 
 namespace commdet::serve {
@@ -182,7 +188,10 @@ class FollowerService {
     return writer_epoch_seen_.load(std::memory_order_relaxed);
   }
 
-  void note_query() noexcept { queries_.fetch_add(1, std::memory_order_relaxed); }
+  void note_query() noexcept {
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    if (queries_counter_ != nullptr) queries_counter_->add(1);
+  }
   [[nodiscard]] std::int64_t queries_served() const noexcept {
     return queries_.load(std::memory_order_relaxed);
   }
@@ -198,19 +207,56 @@ class FollowerService {
   }
   [[nodiscard]] const FollowerOptions& options() const noexcept { return opts_; }
 
-  /// One-line JSON for the HEALTH verb (follower role).
+  /// Seconds since replication last advanced the local epoch, or 0 when
+  /// caught up with the writer's advertised epoch.  The same value
+  /// telemetry exposes as serve.follower.lag_seconds, so HEALTH and
+  /// METRICS can never disagree on lag.
+  [[nodiscard]] double lag_seconds() const noexcept {
+    if (lag() <= 0) return 0.0;
+    const std::int64_t since = last_progress_us_.load(std::memory_order_relaxed);
+    if (since == 0) return 0.0;  // cold: nothing replicated, nothing to age
+    return static_cast<double>(detail_mono_us() - since) * 1e-6;
+  }
+
+  /// One-line JSON for the HEALTH verb (follower role).  The doubles
+  /// (lag_seconds, last_event_unix) go through obs::format_f64 — the
+  /// same formatter as the METRICS exposition.
   [[nodiscard]] std::string health_json() const {
     const std::int64_t e = epoch();
     std::string out = "{\"role\":\"follower\",\"epoch\":" + std::to_string(e) +
                       ",\"writer_epoch\":" +
                       std::to_string(writer_epoch_seen_.load(std::memory_order_relaxed)) +
                       ",\"lag\":" + std::to_string(lag_of(e)) +
+                      ",\"lag_seconds\":" + obs::format_f64(lag_seconds()) +
                       ",\"max_lag\":" + std::to_string(opts_.max_lag_epochs) +
                       ",\"wal_first_seq\":" + std::to_string(wal_first_seq()) +
                       ",\"replicated\":" + std::to_string(replicated_records()) +
                       ",\"snapshots_received\":" + std::to_string(snapshots_received()) +
-                      ",\"queries\":" + std::to_string(queries_served()) + "}";
+                      ",\"queries\":" + std::to_string(queries_served());
+    // Event-log cursor: how far the structured log has advanced and the
+    // timestamp of its newest line (null when no log is installed).
+    if (obs::EventLog* log = obs::active_eventlog(); log != nullptr) {
+      out += ",\"events_logged\":" + std::to_string(log->events_appended()) +
+             ",\"last_event_unix\":" + obs::format_f64(log->last_event_unix());
+    } else {
+      out += ",\"events_logged\":null,\"last_event_unix\":null";
+    }
+    out += "}";
     return out;
+  }
+
+  /// Merged telemetry: registry metrics plus the follower's live lag
+  /// gauges.  Safe from any thread (published snapshot + atomics).
+  [[nodiscard]] obs::TelemetrySnapshot collect_telemetry() const {
+    obs::TelemetrySnapshot snap = obs::TelemetryHub().collect();
+    const std::int64_t e = epoch();
+    snap.set_gauge("serve.epoch", e);
+    snap.set_gauge("serve.follower.writer_epoch",
+                   writer_epoch_seen_.load(std::memory_order_relaxed));
+    snap.set_gauge("serve.follower.lag_records", lag_of(e));
+    snap.set_gauge("serve.follower.lag_seconds", lag_seconds());
+    snap.set_gauge("serve.wal.first_seq", wal_first_seq());
+    return snap;
   }
 
   // ----- takeover -----
@@ -233,6 +279,7 @@ class FollowerService {
     wal_.reset();
     dyn_.reset();
     publisher_.publish(nullptr);
+    obs::log_event("promotion", e);
     return e;
   }
 
@@ -241,6 +288,16 @@ class FollowerService {
     if (opts_.dir.empty())
       throw_error(ErrorCode::kInvalidArgument, Phase::kDynamic,
                   "FollowerOptions.dir must name a state directory");
+    queries_counter_ = obs::counter("serve.queries");
+    replicated_counter_ = obs::counter("serve.follower.replicated");
+    snapshots_counter_ = obs::counter("serve.follower.snapshots_received");
+    h_repl_apply_ = obs::histogram("serve.repl.apply_us");
+  }
+
+  [[nodiscard]] static std::int64_t detail_mono_us() noexcept {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
   }
 
   [[nodiscard]] std::string wal_dir() const {
@@ -405,6 +462,9 @@ class FollowerService {
     dyn_ = std::make_unique<DynamicCommunities<V>>(std::move(loaded.value()));
     adopt_state_locked();
     snapshots_received_.fetch_add(1, std::memory_order_relaxed);
+    if (snapshots_counter_ != nullptr) snapshots_counter_->add(1);
+    last_progress_us_.store(detail_mono_us(), std::memory_order_relaxed);
+    obs::log_event("snapshot_received", dyn_->epoch());
     return "ACK SNAP " + std::to_string(dyn_->epoch());
   }
 
@@ -424,6 +484,7 @@ class FollowerService {
           "record gap: got seq " + std::to_string(rec.seq) + " at epoch " +
               std::to_string(e)});
     COMMDET_FAULT_POINT(fault::kReplApply, Phase::kDynamic);
+    const WallTimer apply_timer;
     auto rep = dyn_->replay_batch(rec.batch, std::span<const LabelChange>(rec.changes),
                                   rec.num_communities, rec.modularity, rec.coverage,
                                   rec.labels_crc);
@@ -433,7 +494,10 @@ class FollowerService {
     wal_->append_record(serialize_wal_record(rec));
     note_writer_epoch(rec.seq);
     publish_locked();
+    if (h_repl_apply_ != nullptr) h_repl_apply_->record_seconds(apply_timer.seconds());
+    if (replicated_counter_ != nullptr) replicated_counter_->add(1);
     replicated_.fetch_add(1, std::memory_order_relaxed);
+    last_progress_us_.store(detail_mono_us(), std::memory_order_relaxed);
     ++batches_since_save_;
     if (opts_.save_every_batches > 0 && batches_since_save_ >= opts_.save_every_batches)
       adopt_state_locked();  // snapshot + segment rotation, like the writer
@@ -458,6 +522,13 @@ class FollowerService {
   std::atomic<std::int64_t> queries_{0};
   std::atomic<std::int64_t> replicated_{0};
   std::atomic<std::int64_t> snapshots_received_{0};
+  std::atomic<std::int64_t> last_progress_us_{0};  // monotonic; 0 = cold
+
+  // Metric handles resolved once at construction; nullptr = disabled.
+  obs::Counter* queries_counter_ = nullptr;
+  obs::Counter* replicated_counter_ = nullptr;
+  obs::Counter* snapshots_counter_ = nullptr;
+  obs::Histogram* h_repl_apply_ = nullptr;
 };
 
 }  // namespace commdet::serve

@@ -17,6 +17,11 @@
 //   PING           liveness
 //   HEALTH         one-line JSON: role (writer/follower), epoch,
 //                  replication lag, WAL cursor
+//   METRICS        live telemetry, both roles.  The one multi-line
+//                  reply in the protocol: "OK METRICS <nlines>"
+//                  followed by exactly <nlines> lines of Prometheus
+//                  text exposition.  "METRICS json" answers one line:
+//                  "OK <commdet-telemetry v1 JSON>"
 //   PROMOTE        follower only: take over as writer (failover)
 //   QUIT           close this connection
 //   SHUTDOWN       graceful daemon drain-and-checkpoint stop
@@ -40,20 +45,18 @@
 // serve/replication.hpp, not this request protocol.
 #pragma once
 
-#include <cstdio>
 #include <string>
 
+#include "commdet/obs/json.hpp"
 #include "commdet/robust/error.hpp"
 
 namespace commdet::serve {
 
 /// %.17g — round-trips every double exactly (the bit-for-bit epoch
-/// comparison in recovery tests relies on it).
-[[nodiscard]] inline std::string protocol_f64(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
+/// comparison in recovery tests relies on it).  Delegates to the one
+/// shared formatter so protocol replies, HEALTH JSON, and the METRICS
+/// exposition can never drift on the same value.
+[[nodiscard]] inline std::string protocol_f64(double v) { return obs::format_f64(v); }
 
 /// One-line "ERR <code> <phase> <detail>"; newlines in the detail are
 /// flattened so the framing survives arbitrary error text.

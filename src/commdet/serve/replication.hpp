@@ -53,6 +53,7 @@
 #include <utility>
 #include <vector>
 
+#include "commdet/obs/eventlog.hpp"
 #include "commdet/robust/checkpoint.hpp"
 #include "commdet/robust/error.hpp"
 #include "commdet/robust/fault_injection.hpp"
@@ -426,6 +427,10 @@ struct FollowerLinkStatus {
   std::int64_t shed = 0;          // bounded-queue overflows (forced re-syncs)
   std::int64_t reconnects = 0;
   std::int64_t snapshots_sent = 0;
+  /// Seconds since acked_epoch last advanced (since link creation if it
+  /// never has).  Telemetry reports this as the link's lag in seconds
+  /// when the follower is behind, 0 once it has caught up.
+  double ack_age_seconds = 0.0;
   std::string last_error;
 };
 
@@ -443,9 +448,30 @@ class ReplicationManager {
     std::atomic<std::int64_t> shed{0};
     std::atomic<std::int64_t> reconnects{0};
     std::atomic<std::int64_t> snapshots_sent{0};
+    std::atomic<std::int64_t> last_ack_change_us{0};  // monotonic; 0 = never acked
     std::uint64_t jitter_state = 0;  // link thread only
     std::thread thread;
   };
+
+  /// Monotonic microseconds for ack-age accounting (differences only).
+  [[nodiscard]] static std::int64_t mono_us() noexcept {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Max-advance of lk.acked, stamping the progress time on success.
+  static void advance_acked(Link& lk, std::int64_t e) noexcept {
+    std::int64_t cur = lk.acked.load(std::memory_order_relaxed);
+    bool advanced = false;
+    while (cur < e) {
+      if (lk.acked.compare_exchange_weak(cur, e, std::memory_order_relaxed)) {
+        advanced = true;
+        break;
+      }
+    }
+    if (advanced) lk.last_ack_change_us.store(mono_us(), std::memory_order_relaxed);
+  }
 
  public:
   /// `state_dir` / `wal_dir` are the writer's own snapshot + WAL roots
@@ -463,6 +489,7 @@ class ReplicationManager {
       links_.push_back(std::make_unique<Link>(ep));
     for (auto& lk : links_) {
       Link* l = lk.get();
+      l->last_ack_change_us.store(mono_us(), std::memory_order_relaxed);
       l->thread = std::thread([this, l] { link_loop(*l); });
     }
   }
@@ -487,6 +514,8 @@ class ReplicationManager {
         if (static_cast<std::int64_t>(lk->queue.size()) >= opts_.max_queue_records) {
           lk->queue.clear();  // shed: this follower re-syncs from disk
           lk->shed.fetch_add(1, std::memory_order_relaxed);
+          obs::log_event("follower_shed", seq,
+                         {obs::EventField::of("endpoint", std::string_view(lk->endpoint))});
         }
         lk->queue.emplace_back(seq, record);
       }
@@ -505,6 +534,12 @@ class ReplicationManager {
       s.shed = lk->shed.load(std::memory_order_relaxed);
       s.reconnects = lk->reconnects.load(std::memory_order_relaxed);
       s.snapshots_sent = lk->snapshots_sent.load(std::memory_order_relaxed);
+      if (s.acked_epoch >= epoch_.load(std::memory_order_relaxed)) {
+        s.ack_age_seconds = 0.0;  // caught up: no lag regardless of idle time
+      } else {
+        const std::int64_t since = lk->last_ack_change_us.load(std::memory_order_relaxed);
+        s.ack_age_seconds = static_cast<double>(mono_us() - since) * 1e-6;
+      }
       {
         std::lock_guard<std::mutex> g(lk->mu);
         s.last_error = lk->last_error;
@@ -581,6 +616,8 @@ class ReplicationManager {
       lk.connected.store(false, std::memory_order_relaxed);
       if (stop_.load(std::memory_order_acquire)) break;
       lk.reconnects.fetch_add(1, std::memory_order_relaxed);
+      obs::log_event("follower_reconnect", lk.acked.load(std::memory_order_relaxed),
+                     {obs::EventField::of("endpoint", std::string_view(lk.endpoint))});
       attempt = had_session ? 1 : attempt + 1;
       backoff_sleep(lk, attempt);
     }
@@ -611,12 +648,7 @@ class ReplicationManager {
             e = -1;
           }
         }
-        if (e >= 0) {
-          std::int64_t cur = lk.acked.load(std::memory_order_relaxed);
-          while (cur < e &&
-                 !lk.acked.compare_exchange_weak(cur, e, std::memory_order_relaxed)) {
-          }
-        }
+        if (e >= 0) advance_acked(lk, e);
       } else if (tag == "ERR") {
         note_error(lk, line);
         return false;
@@ -697,10 +729,7 @@ class ReplicationManager {
       return false;
     }
     next_seq = epoch + 1;
-    std::int64_t cur = lk.acked.load(std::memory_order_relaxed);
-    while (cur < epoch &&
-           !lk.acked.compare_exchange_weak(cur, epoch, std::memory_order_relaxed)) {
-    }
+    advance_acked(lk, epoch);
     lk.snapshots_sent.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
@@ -734,12 +763,7 @@ class ReplicationManager {
                          ")");
       return false;
     }
-    if (fepoch >= 0) {
-      std::int64_t cur = lk.acked.load(std::memory_order_relaxed);
-      while (cur < fepoch &&
-             !lk.acked.compare_exchange_weak(cur, fepoch, std::memory_order_relaxed)) {
-      }
-    }
+    if (fepoch >= 0) advance_acked(lk, fepoch);
     note_error(lk, "");
     std::int64_t next_seq = fepoch + 1;  // fepoch == -1: nothing yet, snapshot path
 

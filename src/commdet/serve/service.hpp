@@ -43,9 +43,11 @@
 
 #include "commdet/dyn/dynamic_communities.hpp"
 #include "commdet/graph/delta.hpp"
+#include "commdet/obs/eventlog.hpp"
 #include "commdet/obs/json.hpp"
 #include "commdet/obs/metrics.hpp"
 #include "commdet/obs/report.hpp"
+#include "commdet/obs/telemetry.hpp"
 #include "commdet/robust/checkpoint.hpp"
 #include "commdet/robust/error.hpp"
 #include "commdet/robust/expected.hpp"
@@ -53,6 +55,7 @@
 #include "commdet/serve/epoch.hpp"
 #include "commdet/serve/replication.hpp"
 #include "commdet/serve/wal.hpp"
+#include "commdet/util/timer.hpp"
 #include "commdet/util/types.hpp"
 
 namespace commdet::serve {
@@ -172,7 +175,7 @@ class CommunityService {
   /// Query-throughput gauge hook (sessions call this per answered query).
   void note_query() noexcept {
     queries_.fetch_add(1, std::memory_order_relaxed);
-    if (auto* c = obs::counter("serve.queries")) c->add(1);
+    if (queries_counter_ != nullptr) queries_counter_->add(1);
   }
 
   [[nodiscard]] std::int64_t queries_served() const noexcept {
@@ -189,14 +192,22 @@ class CommunityService {
   /// acknowledges it.
   Expected<std::monostate> submit(const EdgeDelta<V>& d) {
     std::unique_lock<std::mutex> lk(mu_);
-    cv_space_.wait(lk, [this] {
-      return queued_deltas_ < opts_.max_queue_deltas || stop_ || crash_;
-    });
+    const auto has_space = [this] {
+      return queued_deltas_.load(std::memory_order_relaxed) < opts_.max_queue_deltas ||
+             stop_ || crash_;
+    };
+    if (!has_space()) {
+      // Clock only the blocked path: the common (uncontended) submit
+      // must not pay two steady_clock reads per delta.
+      WallTimer blocked;
+      cv_space_.wait(lk, has_space);
+      if (h_submit_wait_ != nullptr) h_submit_wait_->record_seconds(blocked.seconds());
+    }
     if (stop_ || crash_)
       return Unexpected(Error{ErrorCode::kInterrupted, Phase::kDynamic,
                               "service is shutting down"});
     queue_.emplace_back(d);
-    ++queued_deltas_;
+    queued_deltas_.fetch_add(1, std::memory_order_relaxed);
     cv_work_.notify_one();
     return std::monostate{};
   }
@@ -310,6 +321,42 @@ class CommunityService {
   /// clustering and DynamicRunStats into a run report).
   [[nodiscard]] const DynamicCommunities<V>& dynamics() const noexcept { return *dyn_; }
 
+  /// Merged telemetry: every registry counter/gauge/histogram plus the
+  /// live values the high-water registry cannot express — queue depth,
+  /// epoch, ingest rate, per-link replication lag in records *and*
+  /// seconds.  Safe from any thread (atomics + link status snapshots).
+  [[nodiscard]] obs::TelemetrySnapshot collect_telemetry() const {
+    obs::TelemetrySnapshot snap = obs::TelemetryHub().collect();
+    const auto pub = publisher_.current();
+    const std::int64_t epoch = pub ? pub->epoch : 0;
+    snap.set_gauge("serve.epoch", epoch);
+    snap.set_gauge("serve.queue.depth", queued_deltas_.load(std::memory_order_relaxed));
+    snap.set_gauge("serve.wal.first_seq", wal_first_seq_.load(std::memory_order_relaxed));
+    const double uptime = snap.unix_time - start_unix_;
+    snap.set_gauge("serve.uptime_seconds", uptime);
+    const std::int64_t applied = deltas_applied_.load(std::memory_order_relaxed);
+    snap.set_gauge("serve.ingest.deltas_per_second",
+                   uptime > 0.0 ? static_cast<double>(applied) / uptime : 0.0);
+    if (repl_) {
+      const std::int64_t acked = repl_->min_acked();
+      snap.set_gauge("serve.repl.min_acked_epoch", acked);
+      snap.set_gauge("serve.repl.lag_records", acked < 0 ? epoch : epoch - acked);
+      for (const FollowerLinkStatus& s : repl_->status()) {
+        const std::string labels = "{endpoint=\"" + s.endpoint + "\"}";
+        snap.set_gauge("serve.repl.link.lag_records" + labels,
+                       s.acked_epoch < 0 ? epoch : epoch - s.acked_epoch);
+        snap.set_gauge("serve.repl.link.lag_seconds" + labels,
+                       s.acked_epoch >= epoch ? 0.0 : s.ack_age_seconds);
+        snap.set_gauge("serve.repl.link.connected" + labels,
+                       static_cast<std::int64_t>(s.connected ? 1 : 0));
+        snap.set_gauge("serve.repl.link.shed" + labels, s.shed);
+        snap.set_gauge("serve.repl.link.reconnects" + labels, s.reconnects);
+        snap.set_gauge("serve.repl.link.snapshots_sent" + labels, s.snapshots_sent);
+      }
+    }
+    return snap;
+  }
+
  private:
   explicit CommunityService(ServeOptions opts) : opts_(std::move(opts)) {
     if (opts_.batch_max_deltas < 1) opts_.batch_max_deltas = 1;
@@ -327,6 +374,21 @@ class CommunityService {
   /// a fresh generation (so the possibly-torn previous WAL segment can
   /// be retired), open a new segment, publish, start the writer.
   void bootstrap() {
+    start_unix_ = obs::EventLog::now_unix();
+    // Resolve metric handles once (nullptr when no registry installed);
+    // the hot paths then pay one predictable branch each.
+    queries_counter_ = obs::counter("serve.queries");
+    batches_counter_ = obs::counter("serve.batches");
+    rollbacks_counter_ = obs::counter("serve.batches_rolled_back");
+    deltas_counter_ = obs::counter("serve.deltas_applied");
+    saves_counter_ = obs::counter("serve.saves");
+    refreshes_counter_ = obs::counter("serve.full_refreshes");
+    h_batch_total_ = obs::histogram("serve.batch.total_us");
+    h_wal_append_ = obs::histogram("serve.batch.wal_append_us");
+    h_apply_ = obs::histogram("serve.batch.apply_us");
+    h_publish_ = obs::histogram("serve.batch.publish_us");
+    h_batch_deltas_ = obs::histogram("serve.batch.deltas");
+    h_submit_wait_ = obs::histogram("serve.submit.wait_us");
     last_save_generation_ = dyn_->save_state(opts_.dir, opts_.keep_generations);
     open_wal_segment(dyn_->epoch() + 1);
     publish();
@@ -338,10 +400,14 @@ class CommunityService {
   }
 
   void open_wal_segment(std::int64_t first_seq) {
+    const bool rotation = wal_ != nullptr;
     wal_.reset();
     wal_ = std::make_unique<WalWriter<V>>(wal_dir(), first_seq, opts_.fsync_wal);
     wal_first_seq_ = first_seq;
     prune_wal_segments();
+    if (rotation)
+      obs::log_event("wal_rotate", dyn_->epoch(),
+                     {obs::EventField::of("first_seq", first_seq)});
   }
 
   /// Segment retention mirrors snapshot retention: one segment per
@@ -423,7 +489,7 @@ class CommunityService {
           queue_.pop_front();
           if (auto* d = std::get_if<EdgeDelta<V>>(&it)) {
             batch.deltas.push_back(*d);
-            --queued_deltas_;
+            queued_deltas_.fetch_sub(1, std::memory_order_relaxed);
             cv_space_.notify_all();
             if (static_cast<std::int64_t>(batch.size()) >= opts_.batch_max_deltas)
               flush = true;
@@ -463,20 +529,29 @@ class CommunityService {
   }
 
   /// WAL intent -> apply -> WAL commit -> publish -> periodic save.
+  /// Phase latencies (wal_append = intent + commit appends, apply,
+  /// publish) land in the serve.batch.* histograms; the outcome is
+  /// logged as a batch_commit / batch_rollback event.
   [[nodiscard]] Expected<std::int64_t> apply_one_batch(const DeltaBatch<V>& batch) {
+    const WallTimer batch_timer;
+    double wal_seconds = 0.0;
     const std::int64_t seq = dyn_->epoch() + 1;
     // Serialize once: the same bytes go to the local WAL and (suffixed
     // with the commit record) to every replication link.
     const std::string intent =
         format_intent_record<V>(seq, std::span<const EdgeDelta<V>>(batch.deltas));
     try {
+      const ScopedTimer t(wal_seconds);
       wal_->append_record(intent);
     } catch (const std::exception& e) {
-      return Unexpected(error_from_exception(e, Phase::kDynamic));
+      return Unexpected(note_rollback(seq, batch, error_from_exception(e, Phase::kDynamic)));
     }
 
     auto prev = publisher_.current();
+    const std::int64_t refreshes_before = dyn_->stats().full_refreshes;
+    WallTimer apply_timer;
     auto applied = dyn_->apply_batch(batch);
+    const double apply_seconds = apply_timer.seconds();
     if (!applied.has_value()) {
       try {
         wal_->append_abort(seq);
@@ -484,7 +559,12 @@ class CommunityService {
         // The missing abort marker is indistinguishable from a crash
         // before commit; replay discards the intent either way.
       }
-      return Unexpected(applied.error());
+      return Unexpected(note_rollback(seq, batch, applied.error()));
+    }
+    if (dyn_->stats().full_refreshes > refreshes_before) {
+      if (refreshes_counter_ != nullptr) refreshes_counter_->add(1);
+      obs::log_event("full_refresh", seq,
+                     {obs::EventField::of("modularity", dyn_->clustering().final_modularity)});
     }
 
     const std::vector<V>& labels = dyn_->clustering().community;
@@ -500,6 +580,7 @@ class CommunityService {
         seq, std::span<const LabelChange>(changes), dyn_->num_communities(),
         dyn_->clustering().final_modularity, dyn_->clustering().final_coverage, crc);
     try {
+      const ScopedTimer t(wal_seconds);
       wal_->append_record(commit_rec);
     } catch (const std::exception& e) {
       // The epoch advanced in memory but its commit record is not
@@ -528,10 +609,27 @@ class CommunityService {
       return Unexpected(error_from_exception(e, Phase::kDynamic));
     }
 
+    WallTimer publish_timer;
     publish();
+    const double publish_seconds = publish_timer.seconds();
     if (repl_)
       repl_->on_commit(seq, std::make_shared<const std::string>(intent + commit_rec));
-    if (auto* c = obs::counter("serve.batches")) c->add(1);
+    if (batches_counter_ != nullptr) batches_counter_->add(1);
+    if (deltas_counter_ != nullptr)
+      deltas_counter_->add(static_cast<std::int64_t>(batch.size()));
+    deltas_applied_.fetch_add(static_cast<std::int64_t>(batch.size()),
+                              std::memory_order_relaxed);
+    const double total_seconds = batch_timer.seconds();
+    if (h_wal_append_ != nullptr) h_wal_append_->record_seconds(wal_seconds);
+    if (h_apply_ != nullptr) h_apply_->record_seconds(apply_seconds);
+    if (h_publish_ != nullptr) h_publish_->record_seconds(publish_seconds);
+    if (h_batch_total_ != nullptr) h_batch_total_->record_seconds(total_seconds);
+    if (h_batch_deltas_ != nullptr)
+      h_batch_deltas_->record(static_cast<std::int64_t>(batch.size()));
+    obs::log_event("batch_commit", dyn_->epoch(),
+                   {obs::EventField::of("deltas", static_cast<std::int64_t>(batch.size())),
+                    obs::EventField::of("changes", static_cast<std::int64_t>(changes.size())),
+                    obs::EventField::of("total_us", total_seconds * 1e6)});
     ++batches_since_save_;
     if (opts_.save_every_batches > 0 && batches_since_save_ >= opts_.save_every_batches) {
       try {
@@ -562,6 +660,17 @@ class CommunityService {
     }
   }
 
+  /// Logs the failed batch and counts it; returns the error unchanged
+  /// so call sites can stay one-line.
+  [[nodiscard]] Error note_rollback(std::int64_t seq, const DeltaBatch<V>& batch,
+                                    Error err) {
+    if (rollbacks_counter_ != nullptr) rollbacks_counter_->add(1);
+    obs::log_event("batch_rollback", seq,
+                   {obs::EventField::of("deltas", static_cast<std::int64_t>(batch.size())),
+                    obs::EventField::of("error", std::string_view(err.detail))});
+    return err;
+  }
+
   SaveResult do_save() {
     SaveResult out;
     out.generation = dyn_->save_state(opts_.dir, opts_.keep_generations);
@@ -569,7 +678,9 @@ class CommunityService {
     last_save_generation_ = out.generation;
     batches_since_save_ = 0;
     ++saves_;
-    if (auto* c = obs::counter("serve.saves")) c->add(1);
+    if (saves_counter_ != nullptr) saves_counter_->add(1);
+    obs::log_event("checkpoint_publish", out.epoch,
+                   {obs::EventField::of("generation", out.generation)});
     if (out.epoch + 1 != wal_first_seq_) open_wal_segment(out.epoch + 1);
     return out;
   }
@@ -608,7 +719,7 @@ class CommunityService {
   std::condition_variable cv_work_;
   std::condition_variable cv_space_;
   std::deque<Item> queue_;
-  std::int64_t queued_deltas_ = 0;
+  std::atomic<std::int64_t> queued_deltas_{0};  // atomic: METRICS reads it unlocked
   bool stop_ = false;
   bool crash_ = false;
 
@@ -620,6 +731,23 @@ class CommunityService {
   std::int64_t replayed_ = 0;
 
   std::atomic<std::int64_t> queries_{0};
+  std::atomic<std::int64_t> deltas_applied_{0};
+  double start_unix_ = 0.0;
+
+  // Metric handles resolved once in bootstrap(); nullptr = disabled.
+  obs::Counter* queries_counter_ = nullptr;
+  obs::Counter* batches_counter_ = nullptr;
+  obs::Counter* rollbacks_counter_ = nullptr;
+  obs::Counter* deltas_counter_ = nullptr;
+  obs::Counter* saves_counter_ = nullptr;
+  obs::Counter* refreshes_counter_ = nullptr;
+  obs::Histogram* h_batch_total_ = nullptr;
+  obs::Histogram* h_wal_append_ = nullptr;
+  obs::Histogram* h_apply_ = nullptr;
+  obs::Histogram* h_publish_ = nullptr;
+  obs::Histogram* h_batch_deltas_ = nullptr;
+  obs::Histogram* h_submit_wait_ = nullptr;
+
   std::thread writer_;
 };
 

@@ -12,10 +12,18 @@
 //     budget; PROMOTE requests failover (the daemon performs it).
 //   * HEALTH works in both roles: one JSON line with role, epoch,
 //     replication lag, and WAL cursor.
+//   * METRICS works in both roles: live telemetry as Prometheus text
+//     exposition (the protocol's one multi-line reply, framed as
+//     "OK METRICS <nlines>" + payload) or, with "METRICS json", as a
+//     one-line "commdet-telemetry" v1 object.
+//
+// Every verb is timed into a serve.query.<verb>_us histogram, and a
+// verb slower than the configured threshold logs a slow_query event.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -23,10 +31,14 @@
 
 #include "commdet/graph/delta.hpp"
 #include "commdet/io/delta_text.hpp"
+#include "commdet/obs/eventlog.hpp"
+#include "commdet/obs/metrics.hpp"
+#include "commdet/obs/telemetry.hpp"
 #include "commdet/robust/error.hpp"
 #include "commdet/serve/follower.hpp"
 #include "commdet/serve/protocol.hpp"
 #include "commdet/serve/service.hpp"
+#include "commdet/util/timer.hpp"
 #include "commdet/util/types.hpp"
 
 namespace commdet::serve {
@@ -113,13 +125,16 @@ class Session {
 
   /// Writer-role session.  `peer` labels this session in error
   /// locations ("stdin:17", "conn-3:2"), mirroring the file readers'
-  /// "path:line" contract.
-  Session(CommunityService<V>& service, std::string peer)
-      : writer_(&service), peer_(std::move(peer)) {}
+  /// "path:line" contract.  `slow_query_seconds` > 0 logs a slow_query
+  /// event for any verb whose handling exceeds it.
+  Session(CommunityService<V>& service, std::string peer, double slow_query_seconds = 0.0)
+      : writer_(&service), peer_(std::move(peer)), slow_query_seconds_(slow_query_seconds) {}
 
   /// Follower-role session: read-only, bounded-stale.
-  Session(FollowerService<V>& follower, std::string peer)
-      : follower_(&follower), peer_(std::move(peer)) {}
+  Session(FollowerService<V>& follower, std::string peer, double slow_query_seconds = 0.0)
+      : follower_(&follower),
+        peer_(std::move(peer)),
+        slow_query_seconds_(slow_query_seconds) {}
 
   [[nodiscard]] bool is_follower() const noexcept { return follower_ != nullptr; }
 
@@ -147,11 +162,31 @@ class Session {
     return {};  // silent: bulk ingest costs no round trips
   }
 
+  /// Times every verb into its serve.query.<verb>_us histogram and
+  /// logs a slow_query event past the configured threshold.  Unknown
+  /// verbs are not recorded — a hostile client must not be able to
+  /// mint unbounded metric names.
   Reply handle_verb(const std::string& line, const std::string& where) {
     std::istringstream ls(line);
     std::string verb;
     ls >> verb;
 
+    const WallTimer timer;
+    Reply reply = dispatch_verb(verb, ls, where);
+    const double seconds = timer.seconds();
+    if (obs::Histogram* h = verb_histogram(verb); h != nullptr)
+      h->record_seconds(seconds);
+    if (slow_query_seconds_ > 0.0 && seconds > slow_query_seconds_ && known_verb(verb)) {
+      obs::log_event("slow_query", current_epoch(),
+                     {obs::EventField::of("verb", std::string_view(verb)),
+                      obs::EventField::of("us", seconds * 1e6),
+                      obs::EventField::of("peer", std::string_view(peer_))});
+    }
+    return reply;
+  }
+
+  Reply dispatch_verb(const std::string& verb, std::istringstream& ls,
+                      const std::string& where) {
     if (verb == "GET") {
       std::int64_t v = -1;
       if (!(ls >> v))
@@ -233,9 +268,46 @@ class Session {
       // (finalize + reopen as writer) and sends the acknowledgement.
       return Reply{std::nullopt, false, false, true};
     }
+    if (verb == "METRICS") {
+      // Live telemetry, both roles.  Default is Prometheus text
+      // exposition — the protocol's one multi-line reply, framed by a
+      // line count so clients can read exactly the payload:
+      //   OK METRICS <nlines>\n<line 1>\n...\n<line n>
+      // "METRICS json" stays single-line: "OK {commdet-telemetry v1}".
+      std::string fmt;
+      ls >> fmt;
+      const obs::TelemetrySnapshot snap =
+          follower_ ? follower_->collect_telemetry() : writer_->collect_telemetry();
+      note_query();
+      if (fmt == "json") return ok(obs::to_json(snap));
+      if (!fmt.empty())
+        return err(where + ": METRICS takes no argument or 'json'");
+      std::string text = obs::to_prometheus(snap);
+      std::int64_t nlines = 0;
+      for (const char c : text) nlines += c == '\n' ? 1 : 0;
+      if (!text.empty() && text.back() == '\n') text.pop_back();  // daemon adds the last
+      return ok("METRICS " + std::to_string(nlines) + '\n' + text);
+    }
     if (verb == "QUIT") return {std::string("OK bye"), true, false};
     if (verb == "SHUTDOWN") return {std::string("OK shutting-down"), true, true};
     return err(where + ": unknown verb '" + verb + "'");
+  }
+
+  /// The closed verb set per-verb latency histograms exist for.
+  [[nodiscard]] static bool known_verb(const std::string& verb) noexcept {
+    return verb == "GET" || verb == "COMMUNITY" || verb == "QUALITY" ||
+           verb == "EPOCH" || verb == "PING" || verb == "HEALTH" || verb == "COMMIT" ||
+           verb == "SAVE" || verb == "STATS" || verb == "METRICS" || verb == "PROMOTE";
+  }
+
+  /// Session-cached handle for serve.query.<verb>_us; nullptr for
+  /// unknown verbs or when metrics are disabled.
+  [[nodiscard]] obs::Histogram* verb_histogram(const std::string& verb) {
+    if (!known_verb(verb)) return nullptr;
+    auto it = verb_hist_.find(verb);
+    if (it == verb_hist_.end())
+      it = verb_hist_.emplace(verb, obs::histogram("serve.query." + verb + "_us")).first;
+    return it->second;
   }
 
   [[nodiscard]] Expected<std::shared_ptr<const MembershipSnapshot<V>>> query_snapshot()
@@ -274,8 +346,10 @@ class Session {
   CommunityService<V>* writer_ = nullptr;
   FollowerService<V>* follower_ = nullptr;
   std::string peer_;
+  double slow_query_seconds_ = 0.0;  // 0 = slow-query events disabled
   std::int64_t line_no_ = 0;
   DeltaBatch<V> scratch_;
+  std::map<std::string, obs::Histogram*> verb_hist_;  // session-local handle cache
 };
 
 }  // namespace commdet::serve

@@ -460,7 +460,7 @@ TEST(ObsReport, DetectionReportValidatesAndCarriesSchema) {
         "\"community_size_distribution\":", "\"levels\":", "\"failed_level\":null",
         "\"metrics\":", "\"score.edges_scored\":", "\"resources\":",
         "\"max_rss_bytes\":", "\"trace\":", "\"name\":\"agglomerate\"",
-        "\"log2_buckets\":"}) {
+        "\"log2_buckets\":", "\"telemetry\":null"}) {
     EXPECT_NE(doc.find(key), std::string::npos) << "missing " << key;
   }
 }
@@ -472,6 +472,7 @@ TEST(ObsReport, MinimalReportStillValidates) {
   EXPECT_NE(doc.find("\"platform\":null"), std::string::npos);
   EXPECT_NE(doc.find("\"graph\":null"), std::string::npos);
   EXPECT_NE(doc.find("\"trace\":[]"), std::string::npos);
+  EXPECT_NE(doc.find("\"telemetry\":null"), std::string::npos);
 }
 
 TEST(ObsReport, BenchReportSharesTheEnvelope) {
