@@ -22,6 +22,22 @@
 //     replicated state and reopens it as the writer, resuming from the
 //     last committed epoch; the daemon keeps serving across the swap.
 //
+// Self-healing cluster mode (serve/cluster.hpp):
+//
+//   * `--peer <endpoint>` (repeated, identical ordered list on every
+//     node; one entry must be this node's own --socket/--port) turns on
+//     lease-based failure detection and deterministic leader election.
+//     The writer stamps HELLO/HB frames with its term and a lease
+//     (--lease-ms); when a follower's lease expires it polls the peers
+//     with `CLUSTER peek` and the reachable node with the highest
+//     (epoch, wal_seq, rank) self-promotes — no human PROMOTE needed.
+//     Survivors retarget to the new writer in place: its higher-term
+//     HELLO re-arms their lease and catch-up reuses the normal
+//     snapshot/WAL-tail path, no restart.
+//   * a revived old writer is fenced (`ERR stale-term`) by every peer
+//     that observed the higher term; the supervisor notices, wipes the
+//     stale state, and rejoins as a cold follower of the new writer.
+//
 // Startup: when --dir already holds a dynamic state, the daemon
 // recovers from it (the graph file is ignored); otherwise it loads the
 // graph, runs the initial detection, and starts at epoch 0.  Followers
@@ -36,6 +52,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -45,6 +62,7 @@
 #include <filesystem>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -65,6 +83,7 @@
 #include "commdet/platform/platform_info.hpp"
 #include "commdet/robust/checkpoint.hpp"
 #include "commdet/robust/error.hpp"
+#include "commdet/serve/cluster.hpp"
 #include "commdet/serve/follower.hpp"
 #include "commdet/serve/service.hpp"
 #include "commdet/serve/session.hpp"
@@ -90,6 +109,7 @@ commdet::EdgeList<V> load(const std::string& path) {
                "usage: commdet_serve [graph-file] --dir <state-dir>\n"
                "       [--socket path | --port p]          (default: stdin/stdout)\n"
                "       [--follower] [--replicate-to endpoint]... [--max-lag n]\n"
+               "       [--peer endpoint]... [--lease-ms m]\n"
                "       [--metric modularity|conductance|heavy|resolution] [--gamma g]\n"
                "       [--refine flat|vcycle] [--threads t]\n"
                "       [--halo k|auto] [--refresh-margin x] [--refresh-every n]\n"
@@ -102,6 +122,10 @@ commdet::EdgeList<V> load(const std::string& path) {
                "                  a writer with --replicate-to this endpoint feeds it)\n"
                "  --replicate-to  follower endpoint: Unix socket path or local TCP port\n"
                "  --max-lag       refuse follower reads more than n epochs stale (-1 = off)\n"
+               "  --peer          cluster mode: the full ordered peer list (same on every\n"
+               "                  node, one entry = this node's own --socket/--port);\n"
+               "                  enables leases, automatic election, and fencing\n"
+               "  --lease-ms      writer lease duration in cluster mode (default 3000)\n"
                "  --no-telemetry  disable metrics + event log (METRICS still answers,\n"
                "                  with live gauges only)\n"
                "  --slow-query-ms log a slow_query event for verbs above m ms (0 = off)\n"
@@ -213,8 +237,11 @@ struct Roles {
 
 std::mutex g_roles_mu;
 Roles g_roles;
-std::atomic<std::int64_t> g_roles_gen{0};  // bumped on promotion
+std::atomic<std::int64_t> g_roles_gen{0};  // bumped on promotion/demotion
 commdet::serve::ServeOptions g_sopts;      // promotion reopens with these
+commdet::serve::FollowerOptions g_fopts;   // demotion reopens with these
+commdet::serve::ClusterOptions g_copts;    // empty peers = cluster mode off
+std::unique_ptr<commdet::serve::ClusterSupervisor> g_supervisor;
 std::atomic<bool> g_closing{false};
 double g_slow_query_seconds = 0.0;         // sessions log slow_query above this
 
@@ -223,25 +250,148 @@ Roles current_roles() {
   return g_roles;
 }
 
-/// PROMOTE: finalize the follower's replicated state and reopen its
-/// directory as the writer.  Serialized; concurrent sessions observe
-/// the generation bump and rebind.  Returns the reply line.
-std::string promote_follower() {
+/// Demotion cleanup: a fenced writer may hold locally-committed epochs
+/// that never replicated (shipping is asynchronous), and those would
+/// diverge from the new writer's history.  Drop every state artifact
+/// and rejoin cold via snapshot bootstrap.  The live event log (and its
+/// rotations) is the one thing kept — it is an audit trail, not state.
+void wipe_state_dir(const std::string& dir) {
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.rfind("events", 0) == 0) continue;
+    std::error_code rec;
+    std::filesystem::remove_all(it->path(), rec);
+  }
+}
+
+/// PROMOTE (manual verb or election win): finalize the follower's
+/// replicated state and reopen its directory as the writer.
+/// Serialized; concurrent sessions observe the generation bump and
+/// rebind.  `new_term > 0` promotes into that cluster term (persisted
+/// before the writer opens, so its first HELLO already carries it);
+/// 0 = legacy unclustered promote, unless cluster mode computes one.
+/// Returns the reply line.
+std::string promote_follower(std::int64_t new_term = 0) {
   std::lock_guard<std::mutex> g(g_roles_mu);
   if (g_roles.writer)
     return commdet::serve::protocol_error_line(
         commdet::Error{commdet::ErrorCode::kInvalidArgument, commdet::Phase::kInput,
                        "already the writer"});
+  if (new_term <= 0 && g_copts.enabled()) {
+    // Manual PROMOTE on a clustered follower still fences the old
+    // writer: take a term above everything this node has observed.
+    new_term = std::max(g_roles.follower->term(),
+                        commdet::serve::load_cluster_term(g_sopts.dir)) +
+               1;
+  }
   auto fin = g_roles.follower->finalize_for_promotion();
   if (!fin.has_value()) return commdet::serve::protocol_error_line(fin.error());
+  if (new_term > 0) {
+    commdet::serve::store_cluster_term(g_sopts.dir, new_term);
+    g_sopts.replication.term = new_term;
+    if (g_copts.enabled()) {
+      g_sopts.replication.lease_seconds = g_copts.lease_seconds;
+      g_sopts.replication.endpoints = g_copts.replication_endpoints();
+    }
+  }
   commdet::serve::ServeOptions sopts = g_sopts;
   auto opened = commdet::serve::CommunityService<V>::open(sopts);
   if (!opened.has_value()) return commdet::serve::protocol_error_line(opened.error());
   g_roles.writer = std::move(opened.value());
   g_roles.follower.reset();  // sessions holding a ref keep it alive until rebind
   g_roles_gen.fetch_add(1, std::memory_order_release);
-  std::fprintf(stderr, "PROMOTED epoch=%lld\n", static_cast<long long>(fin.value()));
+  std::fprintf(stderr, "PROMOTED epoch=%lld term=%lld\n",
+               static_cast<long long>(fin.value()), static_cast<long long>(new_term));
   return "OK promoted " + std::to_string(fin.value());
+}
+
+/// A peer fenced this writer with `observed_term`: step down.  The
+/// local history may contain unreplicated commits the new writer never
+/// saw, so the state directory is wiped and the node rejoins cold as a
+/// follower — the new writer's next dial bootstraps it by snapshot.
+void demote_writer(std::int64_t observed_term) {
+  std::lock_guard<std::mutex> g(g_roles_mu);
+  if (!g_roles.writer) return;
+  g_roles.writer->shutdown();  // stop shipping + batch thread first
+  wipe_state_dir(g_sopts.dir);
+  commdet::serve::store_cluster_term(g_sopts.dir, observed_term);
+  auto opened = commdet::serve::FollowerService<V>::open(g_fopts);
+  if (!opened.has_value()) {
+    std::fprintf(stderr, "DEMOTE FAILED: %s\n", opened.error().detail.c_str());
+    return;  // keep the (stopped) writer; the supervisor retries next tick
+  }
+  g_roles.follower = std::move(opened.value());
+  g_roles.writer.reset();
+  g_roles_gen.fetch_add(1, std::memory_order_release);
+  std::fprintf(stderr, "DEMOTED term=%lld\n", static_cast<long long>(observed_term));
+}
+
+/// Answers the CLUSTER verb with daemon-wide context (sessions install
+/// this; without it they only know node-local state).
+std::string cluster_info_reply(const std::string& arg) {
+  const Roles roles = current_roles();
+  commdet::serve::ClusterPeek p;
+  p.rank = g_copts.self_rank;
+  double lease_remaining = 0.0;
+  std::int64_t fenced = 0;
+  if (roles.writer) {
+    p.role = "writer";
+    p.term = roles.writer->cluster_term();
+    p.epoch = roles.writer->snapshot()->epoch;
+    fenced = roles.writer->fenced_term();
+  } else if (roles.follower) {
+    p.role = g_supervisor && g_supervisor->electing() ? "candidate" : "follower";
+    p.term = roles.follower->term();
+    p.epoch = roles.follower->epoch();
+    lease_remaining = std::max(0.0, roles.follower->lease_remaining_seconds());
+  } else {
+    p.role = "none";  // mid-handoff; next poll sees the new role
+  }
+  p.wal_seq = p.epoch;  // one WAL record per committed epoch
+  if (arg == "peek") return commdet::serve::format_cluster_peek(p);
+  commdet::obs::JsonWriter w;
+  w.begin_object();
+  w.key("role");
+  w.value(p.role);
+  w.key("term");
+  w.value(p.term);
+  w.key("epoch");
+  w.value(p.epoch);
+  w.key("wal_seq");
+  w.value(p.wal_seq);
+  w.key("rank");
+  w.value(p.rank);
+  if (roles.follower) {
+    w.key("lease_remaining");
+    w.value(lease_remaining);
+  }
+  if (roles.writer) {
+    w.key("fenced_term");
+    w.value(fenced);
+  }
+  w.key("elections_won");
+  w.value(g_supervisor ? g_supervisor->elections_won() : 0);
+  w.key("election_rounds_aborted");
+  w.value(g_supervisor ? g_supervisor->rounds_aborted() : 0);
+  w.key("lease_seconds");
+  w.value(g_copts.lease_seconds);
+  w.key("peers");
+  w.begin_array();
+  for (std::size_t i = 0; i < g_copts.peers.size(); ++i) {
+    w.begin_object();
+    w.key("rank");
+    w.value(static_cast<std::int64_t>(i));
+    w.key("endpoint");
+    w.value(g_copts.peers[i]);
+    w.key("self");
+    w.value(static_cast<int>(i) == g_copts.self_rank);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return "OK " + w.take();
 }
 
 /// One replication connection (a writer dialed in and sent REPL HELLO):
@@ -251,9 +401,11 @@ void run_repl_connection(std::shared_ptr<commdet::serve::FollowerService<V>> fol
                          std::size_t max_line_bytes) {
   const std::int64_t gen = g_roles_gen.load(std::memory_order_acquire);
   FdLineReader reader(in_fd, /*keep_partial_on_eof=*/false, max_line_bytes);
+  typename commdet::serve::FollowerService<V>::ReplConn conn;  // this dial's HELLO term
   std::string line = first_line;
   for (;;) {
-    if (auto reply = follower->handle_repl_line(line)) write_all(out_fd, *reply + "\n");
+    if (auto reply = follower->handle_repl_line(line, conn))
+      write_all(out_fd, *reply + "\n");
     for (;;) {
       if (g_closing.load(std::memory_order_relaxed) || commdet::interrupt_requested() ||
           g_roles_gen.load(std::memory_order_acquire) != gen) {
@@ -278,9 +430,12 @@ void run_session(const std::string& peer, int in_fd, int out_fd, bool is_socket,
   std::int64_t gen = g_roles_gen.load(std::memory_order_acquire);
   Roles roles = current_roles();
   auto make_session = [&peer, &roles]() {
-    return roles.writer
-               ? commdet::serve::Session<V>(*roles.writer, peer, g_slow_query_seconds)
-               : commdet::serve::Session<V>(*roles.follower, peer, g_slow_query_seconds);
+    commdet::serve::Session<V> s =
+        roles.writer
+            ? commdet::serve::Session<V>(*roles.writer, peer, g_slow_query_seconds)
+            : commdet::serve::Session<V>(*roles.follower, peer, g_slow_query_seconds);
+    if (g_copts.enabled()) s.set_cluster_info(cluster_info_reply);
+    return s;
   };
   commdet::serve::Session<V> session = make_session();
   FdLineReader reader(in_fd, /*keep_partial_on_eof=*/!is_socket, max_line_bytes);
@@ -418,6 +573,10 @@ int main(int argc, char** argv) {
       sopts.replication.endpoints.push_back(next());
     } else if (arg == "--max-lag") {
       max_lag = std::stoll(next());
+    } else if (arg == "--peer") {
+      g_copts.peers.push_back(next());
+    } else if (arg == "--lease-ms") {
+      g_copts.lease_seconds = std::stod(next()) / 1000.0;
     } else if (arg == "--metric") {
       metric = next();
     } else if (arg == "--gamma") {
@@ -478,6 +637,29 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --follower and --replicate-to are mutually exclusive\n");
     return 2;
   }
+  if (!g_copts.peers.empty()) {
+    if (!sopts.replication.endpoints.empty()) {
+      std::fprintf(stderr, "error: --peer and --replicate-to are mutually exclusive "
+                           "(cluster mode derives the replication targets)\n");
+      return 2;
+    }
+    if (socket_path.empty() && port == 0) {
+      std::fprintf(stderr, "error: --peer requires --socket or --port\n");
+      return 2;
+    }
+    if (g_copts.peers.size() < 2) {
+      std::fprintf(stderr, "error: cluster mode needs at least two --peer entries\n");
+      return 2;
+    }
+    const std::string self_ep = socket_path.empty() ? std::to_string(port) : socket_path;
+    for (std::size_t i = 0; i < g_copts.peers.size(); ++i)
+      if (g_copts.peers[i] == self_ep) g_copts.self_rank = static_cast<int>(i);
+    if (g_copts.self_rank < 0) {
+      std::fprintf(stderr, "error: own endpoint '%s' is not in the --peer list\n",
+                   self_ep.c_str());
+      return 2;
+    }
+  }
 
   if (metric == "modularity") dopts.detect.scorer = commdet::ScorerKind::kModularity;
   else if (metric == "conductance") dopts.detect.scorer = commdet::ScorerKind::kConductance;
@@ -518,14 +700,25 @@ int main(int argc, char** argv) {
     // otherwise cold-start from the graph file (writer) or empty
     // awaiting a snapshot transfer (follower).
     const bool have_state = !commdet::list_checkpoints(sopts.dir).empty();
+    commdet::serve::FollowerOptions fopts;  // follower start, and demotion reopen
+    fopts.dynamic = sopts.dynamic;
+    fopts.dir = sopts.dir;
+    fopts.max_lag_epochs = max_lag;
+    fopts.save_every_batches = sopts.save_every_batches;
+    fopts.keep_generations = sopts.keep_generations;
+    fopts.fsync_wal = sopts.fsync_wal;
+    g_fopts = fopts;
+    if (g_copts.enabled() && !follower_mode) {
+      // Clustered writer: replicate to every other peer and stamp every
+      // frame with a persisted term (>= 1, never lower across restarts)
+      // plus the lease the followers' failure detectors arm.
+      sopts.replication.endpoints = g_copts.replication_endpoints();
+      sopts.replication.term =
+          std::max<std::int64_t>(commdet::serve::load_cluster_term(sopts.dir), 1);
+      sopts.replication.lease_seconds = g_copts.lease_seconds;
+      commdet::serve::store_cluster_term(sopts.dir, sopts.replication.term);
+    }
     if (follower_mode) {
-      commdet::serve::FollowerOptions fopts;
-      fopts.dynamic = sopts.dynamic;
-      fopts.dir = sopts.dir;
-      fopts.max_lag_epochs = max_lag;
-      fopts.save_every_batches = sopts.save_every_batches;
-      fopts.keep_generations = sopts.keep_generations;
-      fopts.fsync_wal = sopts.fsync_wal;
       auto opened = commdet::serve::FollowerService<V>::open(fopts);
       if (!opened.has_value())
         return report_structured_error(opened.error(),
@@ -557,9 +750,48 @@ int main(int argc, char** argv) {
                                            : roles.follower->epoch();
       const long long replayed = roles.writer ? roles.writer->replayed_batches()
                                               : roles.follower->replayed_batches();
-      std::printf("READY epoch=%lld replayed=%lld role=%s\n", epoch, replayed,
-                  roles.writer ? "writer" : "follower");
+      const long long term = roles.writer ? roles.writer->cluster_term()
+                                          : roles.follower->term();
+      std::printf("READY epoch=%lld replayed=%lld role=%s term=%lld\n", epoch,
+                  replayed, roles.writer ? "writer" : "follower", term);
       std::fflush(stdout);
+    }
+
+    if (g_copts.enabled()) {
+      // The self-healing loop: watches the lease (follower), runs the
+      // election when it expires, and steps down a fenced writer.
+      commdet::serve::ClusterSupervisor::Callbacks cb;
+      cb.self = [] {
+        const Roles roles = current_roles();
+        commdet::serve::ClusterSelf s;
+        if (roles.writer) {
+          s.role = "writer";
+          s.term = roles.writer->cluster_term();
+          s.epoch = roles.writer->snapshot()->epoch;
+          s.fenced_term = roles.writer->fenced_term();
+        } else if (roles.follower) {
+          s.role = "follower";
+          s.term = roles.follower->term();
+          s.epoch = roles.follower->epoch();
+          s.lease_granted = roles.follower->lease_granted();
+          s.lease_remaining_seconds = roles.follower->lease_remaining_seconds();
+        } else {
+          throw std::runtime_error("role handoff in progress");
+        }
+        s.wal_seq = s.epoch;
+        return s;
+      };
+      cb.promote = [](std::int64_t new_term) {
+        const std::string reply = promote_follower(new_term);
+        if (reply.compare(0, 2, "OK") != 0) throw std::runtime_error(reply);
+      };
+      cb.demote = [](std::int64_t observed_term) { demote_writer(observed_term); };
+      cb.observe_writer = [](std::int64_t term) {
+        const Roles roles = current_roles();
+        if (roles.follower) roles.follower->grant_lease(term, g_copts.lease_seconds);
+      };
+      g_supervisor =
+          std::make_unique<commdet::serve::ClusterSupervisor>(g_copts, std::move(cb));
     }
 
     if (!socket_path.empty()) {
@@ -600,6 +832,8 @@ int main(int argc, char** argv) {
       run_session("stdin", 0, 1, /*is_socket=*/false, idle_timeout_seconds,
                   max_line_bytes);
     }
+
+    g_supervisor.reset();  // join the failover loop before closing services
 
     const Roles roles = current_roles();
     if (roles.writer) {

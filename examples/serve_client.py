@@ -87,6 +87,16 @@ class ServeClient:
             raise RuntimeError(reply)
         return json.loads(reply[3:])
 
+    def cluster(self):
+        """One JSON object from the CLUSTER verb: role, cluster term,
+        lease remaining (follower) / fenced term (writer), peer list
+        with ranks, and elections won.  On an unclustered daemon the
+        peer list is empty and rank is -1."""
+        reply = self.ask("CLUSTER")
+        if not reply.startswith("OK "):
+            raise RuntimeError(reply)
+        return json.loads(reply[3:])
+
     def metrics(self):
         """Raw Prometheus exposition lines from the METRICS verb."""
         reply = self.ask("METRICS")
@@ -227,6 +237,16 @@ def watch(client, interval):
                          f"{values.get('commdet_serve_follower_lag_seconds', 0):.1f}s "
                          f"behind writer epoch "
                          f"{values.get('commdet_serve_follower_writer_epoch', 0):.0f}"))
+        if "commdet_cluster_term" in values:
+            term = values["commdet_cluster_term"]
+            lease = values.get("commdet_cluster_lease_remaining_seconds")
+            elections = values.get("commdet_cluster_elections_total", 0)
+            role = ("follower" if "commdet_serve_follower_lag_records" in values
+                    else "writer")
+            detail = (f"lease {lease:.1f}s remaining" if lease is not None
+                      else "granting leases")
+            rows.append(("cluster", f"{role}  term {term:.0f}  {detail}  "
+                                    f"elections won {elections:.0f}"))
         if "commdet_events_appended_total" in values:
             rows.append(("events logged",
                          f"{values['commdet_events_appended_total']:.0f}"))
@@ -286,6 +306,12 @@ def main():
     if health.get("replication"):
         for link in health["replication"]["followers"]:
             print("  follower", link["endpoint"], "acked", link["acked_epoch"])
+
+    # Failover introspection: cluster term, rank, and peers (empty /
+    # term 0 on an unclustered daemon).
+    cl = c.cluster()
+    print("cluster: role", cl["role"], "term", cl["term"], "rank", cl["rank"],
+          "peers", len(cl.get("peers", [])))
 
     # One telemetry sample: p50/p99 batch latency from the histogram
     # buckets, the same numbers --watch renders continuously.

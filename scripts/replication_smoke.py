@@ -14,7 +14,15 @@ committed WAL record to both followers.  The script then:
      dump again (WAL recovery and replication agree),
   4. promotes follower 1 to writer (PROMOTE) after the writer is gone
      for good, and requires the promoted node to answer queries
-     identically AND accept new commits.
+     identically AND accept new commits,
+  5. chaos: brings up a fresh three-node *cluster* (--peer list, short
+     lease), SIGKILLs the writer mid-batch with NO human PROMOTE, and
+     requires a follower to self-promote within two lease intervals
+     (the deterministic winner: highest rank at equal epochs), the
+     survivor to retarget to the new writer without restarting, ingest
+     to resume, and the revived old writer to be fenced, auto-demote,
+     and converge — final membership byte-identical on all three nodes,
+     with exactly one election won cluster-wide.
 
 Usage:
     python3 scripts/replication_smoke.py <serve-binary> <graph-file> \
@@ -92,6 +100,11 @@ class Client:
             assert series.startswith("commdet_"), line
             values[series] = float(raw)
         return values
+
+    def cluster(self):
+        reply = self.ask("CLUSTER")
+        assert reply.startswith("OK "), reply
+        return json.loads(reply[3:])
 
     def dump_membership(self):
         """Full membership + quality, one deterministic text blob."""
@@ -285,6 +298,138 @@ def main():
     for proc in followers:
         assert proc.wait(timeout=60) == 0
         proc.stdout.close()
+
+    # Phase 5: chaos — a fresh three-node self-healing cluster.  Ranks
+    # follow the shared --peer order: node0 (writer), node1, node2.
+    # After the writer is SIGKILLed nobody sends PROMOTE: node 2 must
+    # win the election (equal epochs, highest rank) within two lease
+    # intervals, node 1 must retarget in place, and the revived node 0
+    # must be fenced and auto-demote into a cold follower.
+    peers = [os.path.join(args.workdir, f"node{i}.sock") for i in range(3)]
+    ndirs = [os.path.join(args.workdir, f"node{i}") for i in range(3)]
+    lease_s = 2.0
+    cluster_flags = ["--peer", peers[0], "--peer", peers[1], "--peer", peers[2],
+                     "--lease-ms", str(int(lease_s * 1000))]
+    nprocs = [None] * 3
+    for i in (1, 2):
+        nprocs[i], epoch, role = start_daemon(args.binary, ndirs[i], peers[i],
+                                              extra=["--follower"] + cluster_flags)
+        assert role == "follower" and epoch == -1, (role, epoch)
+    nprocs[0], epoch, role = start_daemon(args.binary, ndirs[0], peers[0],
+                                          graph=args.graph, extra=cluster_flags)
+    assert role == "writer" and epoch == 0, (role, epoch)
+
+    c0 = Client(peers[0])
+    cl = c0.cluster()
+    assert cl["role"] == "writer" and cl["term"] == 1 and cl["rank"] == 0, cl
+    assert [p["endpoint"] for p in cl["peers"]] == peers, cl
+
+    cluster_batches = min(args.batches, 6)
+    for b, batch in enumerate(batches[:cluster_batches], start=1):
+        c0.send("".join(batch))
+        assert c0.commit() == b
+    for s in peers[1:]:
+        h = wait_for_epoch(s, cluster_batches)
+        assert h["role"] == "follower" and h["lag"] == 0, h
+    dump_cluster = c0.dump_membership()
+    for i in (1, 2):
+        cl = Client(peers[i]).cluster()
+        assert cl["role"] == "follower" and cl["term"] == 1 and cl["rank"] == i, cl
+        assert cl["lease_remaining"] > 0, cl
+        assert Client(peers[i]).dump_membership() == dump_cluster, \
+            f"node {i} diverged before the fault"
+
+    # Kill the writer mid-batch.  The uncommitted tail must vanish; the
+    # election must finish without any operator action.
+    c0.send("".join(batches[cluster_batches][:100]))
+    nprocs[0].send_signal(signal.SIGKILL)
+    nprocs[0].wait()
+    nprocs[0].stdout.close()
+    killed_at = time.monotonic()
+    new_writer, cl2 = None, None
+    while time.monotonic() < killed_at + 2 * lease_s:
+        found = [(i, Client(peers[i]).cluster()) for i in (1, 2)]
+        ws = [(i, cl) for i, cl in found if cl["role"] == "writer"]
+        if ws:
+            (new_writer, cl2), = ws
+            break
+        time.sleep(0.05)
+    elected_in = time.monotonic() - killed_at
+    assert new_writer is not None, \
+        f"no self-promotion within two lease intervals ({2 * lease_s:.0f}s)"
+    assert new_writer == 2, f"deterministic winner must be rank 2, got {new_writer}"
+    assert cl2["term"] == 2, cl2
+
+    # The survivor retargets to the new writer *in place*: same process,
+    # term adopted from the higher-term HELLO, lease re-armed.
+    assert nprocs[1].poll() is None
+    deadline = time.monotonic() + 30.0
+    while True:
+        cl1 = Client(peers[1]).cluster()
+        if (cl1["role"] == "follower" and cl1["term"] == 2
+                and cl1["lease_remaining"] > 0):
+            break
+        assert time.monotonic() < deadline, f"survivor never retargeted: {cl1}"
+        time.sleep(0.1)
+    assert nprocs[1].poll() is None, "survivor restarted during retarget"
+
+    # Zero committed epochs lost, and ingest resumes on the new writer.
+    c2 = Client(peers[2])
+    assert c2.dump_membership() == dump_cluster, "election lost a committed epoch"
+    assert Client(peers[1]).dump_membership() == dump_cluster, \
+        "survivor lost a committed epoch"
+    c2.send("".join(batches[cluster_batches]))
+    assert c2.commit() == cluster_batches + 1
+    h = wait_for_epoch(peers[1], cluster_batches + 1)
+    assert h["lag"] == 0, h
+    dump_after = c2.dump_membership()
+    assert Client(peers[1]).dump_membership() == dump_after, \
+        "survivor diverged after post-election commits"
+    print(f"election OK: node 2 self-promoted to term 2 in {elected_in:.2f}s "
+          f"(lease {lease_s:.0f}s, no PROMOTE sent), survivor retargeted "
+          f"in place, ingest resumed")
+
+    # Revive the dead writer.  It restarts believing it owns term 1,
+    # gets fenced (ERR stale-term) by both peers, and the supervisor
+    # demotes it: state wiped, cold rejoin as a follower of node 2.
+    nprocs[0], epoch, role = start_daemon(args.binary, ndirs[0], peers[0],
+                                          graph=args.graph, extra=cluster_flags)
+    assert role == "writer", role  # it does not know it is stale yet
+    deadline = time.monotonic() + 60.0
+    while True:
+        cl0 = Client(peers[0]).cluster()
+        if (cl0["role"] == "follower" and cl0["term"] == 2
+                and cl0["epoch"] == cluster_batches + 1):
+            break
+        assert time.monotonic() < deadline, f"revived writer never demoted: {cl0}"
+        time.sleep(0.2)
+    assert Client(peers[0]).dump_membership() == dump_after, \
+        "demoted writer diverged after cold rejoin"
+
+    # Exactly one election cluster-wide; every node agrees on term 2.
+    m2 = c2.metrics()
+    assert m2["commdet_cluster_elections_total"] == 1, m2
+    assert m2["commdet_cluster_term"] == 2, m2
+    for i in (0, 1):
+        mi = Client(peers[i]).metrics()
+        assert mi.get("commdet_cluster_elections_total", 0) == 0, (i, mi)
+        assert mi["commdet_cluster_term"] == 2, (i, mi)
+
+    # The whole incident is reconstructable from the winner's event log.
+    with open(os.path.join(ndirs[2], "events.jsonl")) as f:
+        events = [json.loads(l)["type"] for l in f if l.strip()]
+    for name in ("lease_expired", "election_start", "election_won"):
+        assert name in events, (name, events[-20:])
+
+    print(f"self-healing OK: revived writer fenced at term 1, auto-demoted, "
+          f"rejoined cold; all three nodes byte-identical at epoch "
+          f"{cluster_batches + 1}; elections_total == 1")
+
+    for i in (0, 1, 2):
+        assert Client(peers[i]).ask("SHUTDOWN") == "OK shutting-down"
+    for i in (0, 1, 2):
+        assert nprocs[i].wait(timeout=60) == 0
+        nprocs[i].stdout.close()
     print("replication smoke OK")
     return 0
 

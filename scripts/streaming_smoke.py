@@ -169,6 +169,17 @@ def main():
     assert "commdet_serve_batch_total_us_sum" in prev_metrics
     assert "commdet_serve_batch_wal_append_us_sum" in prev_metrics
     assert "commdet_serve_query_GET_us_count" in prev_metrics
+    # CLUSTER answers on an unclustered daemon too: node-local state,
+    # term 0 (legacy), no peers, and a parseable peek one-liner.
+    reply = c.ask("CLUSTER")
+    assert reply.startswith("OK "), reply
+    cl = json.loads(reply[3:])
+    assert cl["role"] == "writer" and cl["term"] == 0, cl
+    assert cl["rank"] == -1 and cl["peers"] == [], cl
+    peek = c.ask("CLUSTER peek")
+    assert peek.startswith("OK CLUSTER role=writer term=0 "), peek
+    assert f"epoch={half}" in peek, peek
+
     dump_before = c.dump_membership()
     committed = half
 

@@ -33,6 +33,7 @@ enum class ErrorCode {
   kStaleRead,         // follower read refused: replication lag beyond budget
   kReadOnly,          // mutation refused: this endpoint is a read-only follower
   kReplicationBroken,  // replication link/protocol failure (shipping session)
+  kStaleTerm,         // fenced: sender's cluster term is older than one we observed
   kInjectedFault,     // fault-injection site fired (testing only)
   kInternal,          // contained exception without structured info
 };
@@ -70,6 +71,7 @@ enum class Phase {
     case ErrorCode::kStaleRead: return "stale-read";
     case ErrorCode::kReadOnly: return "read-only";
     case ErrorCode::kReplicationBroken: return "replication-broken";
+    case ErrorCode::kStaleTerm: return "stale-term";
     case ErrorCode::kInjectedFault: return "injected-fault";
     case ErrorCode::kInternal: return "internal";
   }
@@ -106,7 +108,9 @@ enum class Phase {
 /// Replication-era codes fold into the same categories: a stale read
 /// (kStaleRead) and a broken shipping link (kReplicationBroken) are
 /// retryable (6 and 3); a mutation sent to a follower (kReadOnly) is a
-/// wrong-endpoint configuration error (5).
+/// wrong-endpoint configuration error (5); a fenced stale-term writer
+/// (kStaleTerm) is likewise a wrong-endpoint condition (5) — it must
+/// demote and rejoin, never retry the same handshake.
 [[nodiscard]] constexpr int exit_code_for(ErrorCode c) noexcept {
   switch (c) {
     case ErrorCode::kIoOpen:
@@ -119,7 +123,8 @@ enum class Phase {
     case ErrorCode::kBadWeight:
     case ErrorCode::kBadEndpoint: return 4;
     case ErrorCode::kInvalidArgument:
-    case ErrorCode::kReadOnly: return 5;
+    case ErrorCode::kReadOnly:
+    case ErrorCode::kStaleTerm: return 5;
     case ErrorCode::kDeadlineExceeded:
     case ErrorCode::kMemoryBudget:
     case ErrorCode::kStalled:

@@ -36,6 +36,8 @@ inline constexpr const char* kIoDeltaText = "io.delta_text";
 inline constexpr const char* kServePublish = "serve.publish";  // writer: between durable diff-commit and epoch publish
 inline constexpr const char* kReplShip = "repl.ship";          // writer link: before shipping one record
 inline constexpr const char* kReplApply = "repl.apply";        // follower: before applying a verified record
+inline constexpr const char* kClusterLeaseExpire = "cluster.lease_expire";  // supervisor: lease check — forces expiry
+inline constexpr const char* kClusterElect = "cluster.elect";  // candidate: election round — forces a retry/split vote
 
 }  // namespace commdet::fault
 

@@ -1,0 +1,452 @@
+// Self-healing cluster coordination on top of WAL-shipping replication.
+//
+// Three mechanisms, no external consensus dependency:
+//
+//   * Leases.  The writer stamps every `REPL HELLO` and `HB` frame with
+//     its cluster term and a lease duration; a follower that accepts
+//     the frame re-arms a deadline clock.  Writer liveness is therefore
+//     tracked by the replication traffic that already flows — no extra
+//     failure-detector channel.
+//   * Deterministic election.  When a follower's lease expires it polls
+//     the configured peer list with `CLUSTER peek` and every reachable
+//     node computes the same winner: the candidate with the highest
+//     (committed_epoch, wal_seq, peer_rank) tuple.  Committed-epoch-
+//     prefix consistency means that winner holds every epoch any
+//     survivor has, so promotion through finalize_for_promotion() can
+//     never lose a replicated commit.  The new term is max(observed)+1.
+//     Promotion additionally requires a majority of the cluster
+//     reachable (self included), so a partitioned minority keeps
+//     polling instead of forking history.
+//   * Fencing.  Terms are monotone per node and persisted
+//     (`<dir>/cluster-term`).  A node that has observed term T refuses
+//     HELLO/HB/record frames carrying a lower term with a typed
+//     `ERR stale-term`, so a revived old writer cannot ship a single
+//     record to any peer that outlived it — it must demote and rejoin.
+//
+// ClusterSupervisor is the per-daemon state machine
+// (follower -> candidate -> writer, writer -> demoted follower) driven
+// by callbacks so the same code runs under the real daemon and
+// in-process tests.  Both fault sites (kClusterLeaseExpire,
+// kClusterElect) fire inside the supervisor loop, making expiry,
+// split-vote retry, and fencing reachable deterministically.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "commdet/obs/eventlog.hpp"
+#include "commdet/obs/metrics.hpp"
+#include "commdet/robust/error.hpp"
+#include "commdet/robust/fault_injection.hpp"
+#include "commdet/serve/replication.hpp"
+
+namespace commdet::serve {
+
+// ---------------------------------------------------------------------------
+// Term persistence: `<dir>/cluster-term`, one decimal integer, written
+// atomically (tmp + rename) so a torn write can never lower a node's
+// observed term across a restart.
+
+[[nodiscard]] inline std::int64_t load_cluster_term(const std::string& dir) {
+  std::ifstream in(std::filesystem::path(dir) / "cluster-term");
+  std::int64_t term = 0;
+  if (in >> term && term > 0) return term;
+  return 0;
+}
+
+inline void store_cluster_term(const std::string& dir, std::int64_t term) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const auto path = std::filesystem::path(dir) / "cluster-term";
+  const auto tmp = std::filesystem::path(dir) / ".cluster-term.tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << term << '\n';
+    if (!out) return;  // best-effort: fencing still holds in-memory
+  }
+  std::filesystem::rename(tmp, path, ec);
+}
+
+// ---------------------------------------------------------------------------
+// Election
+
+/// One node's candidacy, as exchanged via `CLUSTER peek`.
+struct CandidateInfo {
+  std::int64_t epoch = -1;    // last committed (published) epoch
+  std::int64_t wal_seq = -1;  // highest durable WAL sequence
+  int rank = -1;              // index in the shared, ordered peer list
+
+  friend bool operator==(const CandidateInfo&, const CandidateInfo&) = default;
+};
+
+/// The pure election rule: the candidate with the highest
+/// (epoch, wal_seq, rank) tuple wins.  Every node evaluates the same
+/// deterministic function over the same peer state, so reachable nodes
+/// agree on the winner without a vote exchange.  Returns the winner's
+/// rank, or -1 when there are no candidates.
+[[nodiscard]] inline int elect_winner(const std::vector<CandidateInfo>& candidates) {
+  int winner = -1;
+  CandidateInfo best;
+  for (const CandidateInfo& c : candidates) {
+    if (c.rank < 0) continue;
+    const auto key = std::tuple(c.epoch, c.wal_seq, c.rank);
+    if (winner < 0 || key > std::tuple(best.epoch, best.wal_seq, best.rank)) {
+      best = c;
+      winner = c.rank;
+    }
+  }
+  return winner;
+}
+
+// ---------------------------------------------------------------------------
+// CLUSTER peek: the machine-parseable one-liner election polls use.
+// (The plain CLUSTER verb answers JSON for humans; peek stays fixed
+// key=value so poll_peer never needs a JSON parser.)
+
+struct ClusterPeek {
+  std::string role;  // "writer" | "follower" | "candidate"
+  std::int64_t term = 0;
+  std::int64_t epoch = -1;
+  std::int64_t wal_seq = -1;
+  int rank = -1;
+};
+
+[[nodiscard]] inline std::string format_cluster_peek(const ClusterPeek& p) {
+  return "OK CLUSTER role=" + p.role + " term=" + std::to_string(p.term) +
+         " epoch=" + std::to_string(p.epoch) + " wal_seq=" + std::to_string(p.wal_seq) +
+         " rank=" + std::to_string(p.rank);
+}
+
+[[nodiscard]] inline std::optional<ClusterPeek> parse_cluster_peek(const std::string& line) {
+  std::istringstream ls(line);
+  std::string ok, verb;
+  if (!(ls >> ok >> verb) || ok != "OK" || verb != "CLUSTER") return std::nullopt;
+  ClusterPeek p;
+  bool have_role = false;
+  std::string kv;
+  while (ls >> kv) {
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    try {
+      if (key == "role") {
+        p.role = val;
+        have_role = true;
+      } else if (key == "term") {
+        p.term = std::stoll(val);
+      } else if (key == "epoch") {
+        p.epoch = std::stoll(val);
+      } else if (key == "wal_seq") {
+        p.wal_seq = std::stoll(val);
+      } else if (key == "rank") {
+        p.rank = std::stoi(val);
+      }
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  if (!have_role) return std::nullopt;
+  return p;
+}
+
+/// Dials `endpoint`, asks `CLUSTER peek`, and parses the reply; nullopt
+/// on any connect/timeout/parse failure (an unreachable peer simply
+/// does not join the candidate set).
+[[nodiscard]] inline std::optional<ClusterPeek> poll_peer(const std::string& endpoint,
+                                                          double timeout_seconds) {
+  const int fd = dial_endpoint(endpoint);
+  if (fd < 0) return std::nullopt;
+  detail::LineSocket io(fd, timeout_seconds);
+  std::optional<ClusterPeek> out;
+  std::string line;
+  if (io.write_line("CLUSTER peek") &&
+      io.read_line(line, static_cast<int>(timeout_seconds * 1000.0)) == 1)
+    out = parse_cluster_peek(line);
+  ::close(fd);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ClusterSupervisor
+
+struct ClusterOptions {
+  /// The full ordered peer list, identical on every node (rank =
+  /// index).  Endpoints use the replication grammar: all-digits =
+  /// loopback TCP port, anything else = Unix socket path.
+  std::vector<std::string> peers;
+
+  /// This node's index in `peers`.
+  int self_rank = -1;
+
+  /// Lease duration the writer grants per HELLO/HB frame, and the bound
+  /// a follower waits after losing an election round before re-polling
+  /// (the winner's HELLO should land well within one lease).
+  double lease_seconds = 3.0;
+
+  /// Supervisor loop cadence (lease checks, fault sites, retries).
+  double tick_seconds = 0.2;
+
+  /// Per-peer poll timeout during an election round.
+  double poll_timeout_seconds = 1.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return self_rank >= 0 && peers.size() > 1;
+  }
+
+  /// Replication targets: every peer but this node.
+  [[nodiscard]] std::vector<std::string> replication_endpoints() const {
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < peers.size(); ++i)
+      if (static_cast<int>(i) != self_rank) out.push_back(peers[i]);
+    return out;
+  }
+};
+
+/// What the supervisor needs to know about its own node each tick.
+struct ClusterSelf {
+  std::string role;  // "writer" | "follower"
+  std::int64_t term = 0;
+  std::int64_t epoch = -1;
+  std::int64_t wal_seq = -1;
+  bool lease_granted = false;           // follower: a writer has stamped us at least once
+  double lease_remaining_seconds = 0.0;  // follower: <= 0 once expired
+  std::int64_t fenced_term = 0;  // writer: highest term a peer fenced us with (0 = none)
+};
+
+/// The per-daemon failover state machine.  One background thread:
+///
+///   follower --lease expired--> candidate --won--> writer (promote)
+///   candidate --writer seen / lost round--> follower (lease re-armed)
+///   writer --fenced by a higher term--> follower (demote)
+///
+/// All outward effects go through the callbacks, so tests can drive the
+/// machine in-process with synthetic peers and the daemon wires it to
+/// the real services.
+class ClusterSupervisor {
+ public:
+  struct Callbacks {
+    /// Snapshot of this node's current role/term/lease (called every tick).
+    std::function<ClusterSelf()> self;
+    /// Become the writer at `new_term` (throw to signal failure; the
+    /// supervisor retries the election on the next tick).
+    std::function<void(std::int64_t new_term)> promote;
+    /// Writer only: a peer refused us with `observed_term`; step down
+    /// and rejoin as a follower of whoever owns that term.
+    std::function<void(std::int64_t observed_term)> demote;
+    /// Follower only: a live writer at `term` was discovered by
+    /// polling before its HELLO reached us — adopt the term and re-arm
+    /// the lease so the election stands down.
+    std::function<void(std::int64_t term)> observe_writer;
+    /// Peer poll override for tests; defaults to the real poll_peer.
+    std::function<std::optional<ClusterPeek>(const std::string& endpoint)> poll;
+  };
+
+  ClusterSupervisor(ClusterOptions opts, Callbacks cb)
+      : opts_(std::move(opts)), cb_(std::move(cb)) {
+    if (!cb_.poll)
+      cb_.poll = [this](const std::string& ep) {
+        return poll_peer(ep, opts_.poll_timeout_seconds);
+      };
+    elections_counter_ = obs::counter("cluster.elections");
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ClusterSupervisor(const ClusterSupervisor&) = delete;
+  ClusterSupervisor& operator=(const ClusterSupervisor&) = delete;
+
+  ~ClusterSupervisor() { shutdown(); }
+
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// True while the node is actively polling/competing (the `candidate`
+  /// role CLUSTER reports).
+  [[nodiscard]] bool electing() const noexcept {
+    return electing_.load(std::memory_order_relaxed);
+  }
+
+  /// Elections this node has won (the cluster.elections counter).
+  [[nodiscard]] std::int64_t elections_won() const noexcept {
+    return elections_won_.load(std::memory_order_relaxed);
+  }
+
+  /// Election rounds abandoned before completion (fault-injected split
+  /// votes land here; the next tick retries).
+  [[nodiscard]] std::int64_t rounds_aborted() const noexcept {
+    return rounds_aborted_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const ClusterOptions& options() const noexcept { return opts_; }
+
+ private:
+  [[nodiscard]] static std::int64_t mono_us() noexcept {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Sleeps one tick; false once shutdown was requested.
+  [[nodiscard]] bool wait_tick() {
+    std::unique_lock<std::mutex> g(mu_);
+    cv_.wait_for(g, std::chrono::duration<double>(opts_.tick_seconds),
+                 [this] { return stop_; });
+    return !stop_;
+  }
+
+  void loop() {
+    while (wait_tick()) {
+      ClusterSelf self;
+      try {
+        self = cb_.self();
+      } catch (...) {
+        continue;  // role handoff in progress; next tick sees the new role
+      }
+      if (self.role == "writer") {
+        electing_.store(false, std::memory_order_relaxed);
+        if (self.fenced_term > self.term && cb_.demote) {
+          obs::log_event("cluster_demoted", self.epoch,
+                         {obs::EventField::of("term", self.term),
+                          obs::EventField::of("observed_term", self.fenced_term)});
+          try {
+            cb_.demote(self.fenced_term);
+          } catch (...) {
+          }
+        }
+        continue;
+      }
+
+      bool expired = self.lease_granted && self.lease_remaining_seconds <= 0.0;
+      try {
+        COMMDET_FAULT_POINT(fault::kClusterLeaseExpire, Phase::kDynamic);
+      } catch (const CommdetError&) {
+        expired = true;  // injected: treat the lease as expired right now
+      }
+      if (!expired) {
+        electing_.store(false, std::memory_order_relaxed);
+        holdoff_until_us_ = 0;
+        continue;
+      }
+      if (holdoff_until_us_ != 0 && mono_us() < holdoff_until_us_) continue;
+      if (!electing_.exchange(true, std::memory_order_relaxed))
+        obs::log_event("lease_expired", self.epoch,
+                       {obs::EventField::of("term", self.term)});
+      run_election(self);
+    }
+  }
+
+  void run_election(const ClusterSelf& self) {
+    try {
+      COMMDET_FAULT_POINT(fault::kClusterElect, Phase::kDynamic);
+    } catch (const CommdetError&) {
+      // Injected split vote: abandon this round, retry on the next tick.
+      rounds_aborted_.fetch_add(1, std::memory_order_relaxed);
+      obs::log_event("election_retry", self.epoch);
+      return;
+    }
+    obs::log_event("election_start", self.epoch,
+                   {obs::EventField::of("term", self.term)});
+    std::vector<CandidateInfo> candidates;
+    candidates.push_back({self.epoch, self.wal_seq, opts_.self_rank});
+    std::int64_t max_term = self.term;
+    int reachable = 1;  // self; quorum needs a majority view of the cluster
+    for (std::size_t i = 0; i < opts_.peers.size(); ++i) {
+      if (static_cast<int>(i) == opts_.self_rank) continue;
+      std::optional<ClusterPeek> p;
+      try {
+        p = cb_.poll(opts_.peers[i]);
+      } catch (...) {
+        p = std::nullopt;
+      }
+      if (!p) continue;
+      ++reachable;
+      max_term = std::max(max_term, p->term);
+      if (p->role == "writer") {
+        if (p->term >= self.term) {
+          // A live leader exists (its HELLO just has not reached us):
+          // adopt its term, re-arm the lease, stand down.
+          obs::log_event("election_stand_down", p->epoch,
+                         {obs::EventField::of("term", p->term)});
+          if (cb_.observe_writer) cb_.observe_writer(p->term);
+          electing_.store(false, std::memory_order_relaxed);
+          return;
+        }
+        continue;  // stale writer: it will be fenced, never a candidate
+      }
+      candidates.push_back({p->epoch, p->wal_seq,
+                            p->rank >= 0 ? p->rank : static_cast<int>(i)});
+    }
+    // Quorum gate: promotion needs a majority of the cluster reachable
+    // (self counts), so a follower cut off by a partition keeps polling
+    // instead of splitting the brain.  (A two-node cluster therefore
+    // never auto-fails-over — the lone survivor is not a majority; the
+    // manual PROMOTE verb remains the operator override.)
+    const int quorum = static_cast<int>(opts_.peers.size()) / 2 + 1;
+    if (reachable < quorum) {
+      obs::log_event("election_no_quorum", self.epoch,
+                     {obs::EventField::of("reachable", std::int64_t(reachable)),
+                      obs::EventField::of("quorum", std::int64_t(quorum))});
+      return;  // retry on the next tick; the partition may heal
+    }
+    const int winner = elect_winner(candidates);
+    if (winner != opts_.self_rank) {
+      // The winner's HELLO should re-arm our lease within one lease
+      // interval; only if it never comes do we poll again.
+      obs::log_event("election_deferred", self.epoch,
+                     {obs::EventField::of("winner_rank", std::int64_t(winner))});
+      holdoff_until_us_ =
+          mono_us() + static_cast<std::int64_t>(opts_.lease_seconds * 1e6);
+      return;
+    }
+    const std::int64_t new_term = max_term + 1;
+    try {
+      cb_.promote(new_term);
+    } catch (const std::exception& e) {
+      obs::log_event("election_promote_failed", self.epoch,
+                     {obs::EventField::of("error", std::string_view(e.what()))});
+      return;  // retry on the next tick
+    }
+    elections_won_.fetch_add(1, std::memory_order_relaxed);
+    if (elections_counter_ != nullptr) elections_counter_->add(1);
+    obs::log_event("election_won", self.epoch,
+                   {obs::EventField::of("term", new_term)});
+    electing_.store(false, std::memory_order_relaxed);
+  }
+
+  ClusterOptions opts_;
+  Callbacks cb_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;  // guarded by mu_
+
+  std::atomic<bool> electing_{false};
+  std::atomic<std::int64_t> elections_won_{0};
+  std::atomic<std::int64_t> rounds_aborted_{0};
+  std::int64_t holdoff_until_us_ = 0;  // supervisor thread only
+
+  obs::Counter* elections_counter_ = nullptr;
+  std::thread thread_;
+};
+
+}  // namespace commdet::serve

@@ -5,12 +5,21 @@
 // connection; every line of that connection goes through
 // handle_repl_line(), which implements:
 //
-//   REPL HELLO <fingerprint> <writer_epoch>   handshake
+//   REPL HELLO <fingerprint> <writer_epoch> [<term> <lease_ms>]
 //   SNAP BEGIN <nbytes> <crc32>               snapshot bootstrap
 //   SNAP D <base64>                           (when the follower has
 //   SNAP END                                   no usable state)
 //   B/E/C/c record lines                      committed WAL records
-//   HB <writer_epoch>                         idle heartbeat
+//   HB <writer_epoch> [<term> <lease_ms>]     idle heartbeat + lease
+//
+// The optional trailing term/lease fields are the cluster layer
+// (serve/cluster.hpp): a clustered writer stamps every HELLO/HB with
+// its election term and a lease grant; the follower tracks the highest
+// term it has ever observed (persisted to <dir>/cluster-term) and
+// fences any frame — handshake, heartbeat, or record — arriving from a
+// connection that authenticated at a lower term with a typed
+// `ERR stale-term`.  Frames without the fields are term 0 (unclustered
+// legacy writers keep working until a real term is observed).
 //
 // and answers "REPL OK <epoch>", "ACK SNAP <epoch>", "ACK <seq>",
 // "ACK HB <epoch>", or a typed "ERR ..." line.
@@ -58,6 +67,7 @@
 #include "commdet/robust/error.hpp"
 #include "commdet/robust/expected.hpp"
 #include "commdet/robust/fault_injection.hpp"
+#include "commdet/serve/cluster.hpp"
 #include "commdet/serve/epoch.hpp"
 #include "commdet/serve/protocol.hpp"
 #include "commdet/serve/replication.hpp"
@@ -126,21 +136,37 @@ class FollowerService {
 
   // ----- replication connection (one writer link at a time) -----
 
-  /// Processes one line from the replication connection; returns the
+  /// Per-connection replication state.  The term a connection
+  /// authenticated at (its HELLO) sticks to that connection: if a
+  /// higher-term writer takes over mid-session, records still arriving
+  /// on the old connection are fenced even though the service-level
+  /// term has already moved on.
+  struct ReplConn {
+    std::int64_t term = -1;  // -1 = no HELLO seen on this connection yet
+  };
+
+  /// Processes one line from a replication connection; returns the
   /// reply line to send, when any.  Thread-safe against queries (which
   /// read the published snapshot) and against concurrent replication
   /// connections (serialized by the internal mutex; a new HELLO simply
   /// resets the assembly state, and apply remains transactional).
-  [[nodiscard]] std::optional<std::string> handle_repl_line(const std::string& line) {
+  [[nodiscard]] std::optional<std::string> handle_repl_line(const std::string& line,
+                                                            ReplConn& conn) {
     std::lock_guard<std::mutex> g(mu_);
     try {
-      return handle_repl_line_locked(line);
+      return handle_repl_line_locked(line, conn);
     } catch (const CommdetError& e) {
       if (e.code() == ErrorCode::kInjectedFault) throw;  // simulated crash
       return protocol_error_line(e.error());
     } catch (const std::exception& e) {
       return protocol_error_line(error_from_exception(e, Phase::kDynamic));
     }
+  }
+
+  /// Single-connection convenience (tests, simple drivers): all lines
+  /// share one implicit connection.
+  [[nodiscard]] std::optional<std::string> handle_repl_line(const std::string& line) {
+    return handle_repl_line(line, default_conn_);
   }
 
   /// The replication connection dropped (possibly mid-record): discard
@@ -151,6 +177,7 @@ class FollowerService {
     assembler_.reset();
     snap_buf_.clear();
     snap_expected_bytes_ = -1;
+    default_conn_.term = -1;  // the next session must re-authenticate its term
   }
 
   // ----- reader side -----
@@ -207,6 +234,38 @@ class FollowerService {
   }
   [[nodiscard]] const FollowerOptions& options() const noexcept { return opts_; }
 
+  // ----- cluster membership (terms and leases) -----
+
+  /// Highest cluster term this node has observed; 0 until a clustered
+  /// writer stamps a frame.  Monotone, persisted to <dir>/cluster-term.
+  [[nodiscard]] std::int64_t term() const noexcept {
+    return term_.load(std::memory_order_relaxed);
+  }
+
+  /// True once any writer has granted a lease (HELLO/HB with a lease
+  /// field accepted).  A cold follower that never had a writer does not
+  /// start elections.
+  [[nodiscard]] bool lease_granted() const noexcept {
+    return lease_deadline_us_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Seconds of lease left; 0 when expired or never granted.  May go
+  /// negative briefly so callers can tell "just expired" from "none".
+  [[nodiscard]] double lease_remaining_seconds() const noexcept {
+    const std::int64_t d = lease_deadline_us_.load(std::memory_order_relaxed);
+    if (d == 0) return 0.0;
+    return static_cast<double>(d - detail_mono_us()) * 1e-6;
+  }
+
+  /// Adopts `t` (if higher than anything seen) and re-arms the lease —
+  /// the supervisor calls this when it discovers a live writer by
+  /// polling before that writer's HELLO reached us.
+  void grant_lease(std::int64_t t, double lease_seconds) {
+    std::lock_guard<std::mutex> g(mu_);
+    observe_term_locked(t);
+    arm_lease_locked(static_cast<std::int64_t>(lease_seconds * 1000.0));
+  }
+
   /// Seconds since replication last advanced the local epoch, or 0 when
   /// caught up with the writer's advertised epoch.  The same value
   /// telemetry exposes as serve.follower.lag_seconds, so HEALTH and
@@ -232,7 +291,9 @@ class FollowerService {
                       ",\"wal_first_seq\":" + std::to_string(wal_first_seq()) +
                       ",\"replicated\":" + std::to_string(replicated_records()) +
                       ",\"snapshots_received\":" + std::to_string(snapshots_received()) +
-                      ",\"queries\":" + std::to_string(queries_served());
+                      ",\"queries\":" + std::to_string(queries_served()) +
+                      ",\"term\":" + std::to_string(term()) + ",\"lease_remaining\":" +
+                      obs::format_f64(std::max(0.0, lease_remaining_seconds()));
     // Event-log cursor: how far the structured log has advanced and the
     // timestamp of its newest line (null when no log is installed).
     if (obs::EventLog* log = obs::active_eventlog(); log != nullptr) {
@@ -256,6 +317,9 @@ class FollowerService {
     snap.set_gauge("serve.follower.lag_records", lag_of(e));
     snap.set_gauge("serve.follower.lag_seconds", lag_seconds());
     snap.set_gauge("serve.wal.first_seq", wal_first_seq());
+    snap.set_gauge("cluster.term", term());
+    snap.set_gauge("cluster.lease_remaining_seconds",
+                   std::max(0.0, lease_remaining_seconds()));
     return snap;
   }
 
@@ -292,6 +356,7 @@ class FollowerService {
     replicated_counter_ = obs::counter("serve.follower.replicated");
     snapshots_counter_ = obs::counter("serve.follower.snapshots_received");
     h_repl_apply_ = obs::histogram("serve.repl.apply_us");
+    term_.store(load_cluster_term(opts_.dir), std::memory_order_relaxed);
   }
 
   [[nodiscard]] static std::int64_t detail_mono_us() noexcept {
@@ -353,7 +418,37 @@ class FollowerService {
     publisher_.publish(std::move(snap));
   }
 
-  [[nodiscard]] std::optional<std::string> handle_repl_line_locked(const std::string& line) {
+  /// Highest-term adoption: monotone, persisted before it takes effect
+  /// in memory so a crash can never forget an observed term.
+  void observe_term_locked(std::int64_t t) {
+    if (t <= term_.load(std::memory_order_relaxed)) return;
+    store_cluster_term(opts_.dir, t);
+    term_.store(t, std::memory_order_relaxed);
+  }
+
+  void arm_lease_locked(std::int64_t lease_ms) noexcept {
+    if (lease_ms <= 0) return;  // unclustered writer: no lease, no elections
+    last_lease_ms_ = lease_ms;
+    lease_deadline_us_.store(detail_mono_us() + lease_ms * 1000,
+                             std::memory_order_relaxed);
+  }
+
+  /// The fencing rule for frame-carried terms: once this node has
+  /// observed a real term, any frame from a lower term is refused.
+  [[nodiscard]] std::optional<std::string> fence_if_stale_locked(std::int64_t frame_term) {
+    const std::int64_t t = term_.load(std::memory_order_relaxed);
+    if (t <= 0 || frame_term >= t) return std::nullopt;
+    obs::log_event("stale_term_fenced", dyn_ ? dyn_->epoch() : -1,
+                   {obs::EventField::of("frame_term", frame_term),
+                    obs::EventField::of("term", t)});
+    return protocol_error_line(Error{
+        ErrorCode::kStaleTerm, Phase::kDynamic,
+        "fenced: this follower observed term " + std::to_string(t) +
+            ", writer sent term " + std::to_string(frame_term)});
+  }
+
+  [[nodiscard]] std::optional<std::string> handle_repl_line_locked(const std::string& line,
+                                                                   ReplConn& conn) {
     std::istringstream ls(line);
     std::string tag;
     ls >> tag;
@@ -365,6 +460,9 @@ class FollowerService {
       if (!(ls >> hello >> fingerprint >> wepoch) || hello != "HELLO")
         return protocol_error_line(Error{ErrorCode::kReplicationBroken, Phase::kDynamic,
                                          "malformed replication handshake: " + line});
+      std::int64_t wterm = 0, lease_ms = 0;
+      ls >> wterm >> lease_ms;  // optional cluster fields; absent = term 0
+      if (auto fenced = fence_if_stale_locked(wterm)) return fenced;
       if (fingerprint != dynamic_config_fingerprint(opts_.dynamic))
         return protocol_error_line(
             Error{ErrorCode::kCheckpointMismatch, Phase::kDynamic,
@@ -373,19 +471,42 @@ class FollowerService {
       snap_buf_.clear();
       snap_expected_bytes_ = -1;
       note_writer_epoch(wepoch);
+      if (wterm > term()) {
+        // A higher-term writer taking over IS the live retarget: same
+        // process, same service, new leader.
+        obs::log_event("cluster_retarget", dyn_ ? dyn_->epoch() : -1,
+                       {obs::EventField::of("term", wterm)});
+      }
+      observe_term_locked(wterm);
+      conn.term = wterm;
+      arm_lease_locked(lease_ms);
       return "REPL OK " + std::to_string(dyn_ ? dyn_->epoch() : -1);
     }
 
     if (tag == "HB") {
-      std::int64_t wepoch = -1;
-      if (ls >> wepoch) note_writer_epoch(wepoch);
+      std::int64_t wepoch = -1, wterm = 0, lease_ms = 0;
+      const bool have_epoch = static_cast<bool>(ls >> wepoch);
+      ls >> wterm >> lease_ms;
+      if (auto fenced = fence_if_stale_locked(wterm)) return fenced;
+      if (have_epoch) note_writer_epoch(wepoch);
+      observe_term_locked(wterm);
+      arm_lease_locked(lease_ms);
       return "ACK HB " + std::to_string(dyn_ ? dyn_->epoch() : -1);
     }
 
-    if (tag == "SNAP") return handle_snap_locked(ls, line);
+    if (tag == "SNAP") {
+      if (auto fenced = fence_if_stale_locked(conn.term < 0 ? 0 : conn.term)) return fenced;
+      arm_lease_locked(last_lease_ms_);  // transfer traffic proves liveness
+      return handle_snap_locked(ls, line);
+    }
 
     // Anything else is WAL record text: feed the assembler; a completed
     // record is verified + applied + re-logged + published, then acked.
+    // Record-level fencing first: a connection that authenticated below
+    // the observed term cannot ship even one record (nor advance the
+    // assembler), regardless of interleaved higher-term sessions.
+    if (auto fenced = fence_if_stale_locked(conn.term < 0 ? 0 : conn.term)) return fenced;
+    arm_lease_locked(last_lease_ms_);  // shipped records prove liveness, like HBs
     auto rec = assembler_.feed(line);  // throws typed errors on bad framing/CRC
     if (!rec) return std::nullopt;
     return apply_record_locked(*rec);
@@ -515,9 +636,13 @@ class FollowerService {
   std::uint32_t snap_expected_crc_ = 0;
   std::int64_t batches_since_save_ = 0;
   std::int64_t replayed_ = 0;
+  ReplConn default_conn_;          // guarded by mu_ (single-connection drivers)
+  std::int64_t last_lease_ms_ = 0;  // guarded by mu_; last granted lease duration
 
   EpochPublisher<V> publisher_;
   std::atomic<std::int64_t> writer_epoch_seen_{-1};
+  std::atomic<std::int64_t> term_{0};              // highest observed cluster term
+  std::atomic<std::int64_t> lease_deadline_us_{0};  // monotonic; 0 = never granted
   std::atomic<std::int64_t> wal_first_seq_{0};
   std::atomic<std::int64_t> queries_{0};
   std::atomic<std::int64_t> replicated_{0};

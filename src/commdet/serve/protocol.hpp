@@ -17,6 +17,11 @@
 //   PING           liveness
 //   HEALTH         one-line JSON: role (writer/follower), epoch,
 //                  replication lag, WAL cursor
+//   CLUSTER        one-line JSON: role, cluster term, lease remaining,
+//                  peer list + ranks, elections won.  "CLUSTER peek"
+//                  answers the fixed key=value one-liner
+//                  ("OK CLUSTER role=... term=... epoch=... wal_seq=...
+//                  rank=...") that election polls parse
 //   METRICS        live telemetry, both roles.  The one multi-line
 //                  reply in the protocol: "OK METRICS <nlines>"
 //                  followed by exactly <nlines> lines of Prometheus

@@ -416,6 +416,14 @@ struct ReplicationOptions {
   double reconnect_min_seconds = 0.05;
   double reconnect_max_seconds = 2.0;
 
+  /// Cluster term this writer ships under.  0 = unclustered: HELLO/HB
+  /// keep the legacy wire format (no trailing term/lease fields) and
+  /// followers never start elections.
+  std::int64_t term = 0;
+
+  /// Lease duration granted to followers on every stamped HELLO/HB.
+  double lease_seconds = 3.0;
+
   [[nodiscard]] bool enabled() const noexcept { return !endpoints.empty(); }
 };
 
@@ -559,6 +567,16 @@ class ReplicationManager {
 
   [[nodiscard]] std::size_t num_links() const noexcept { return links_.size(); }
 
+  /// Highest term a follower has fenced this writer with (via a typed
+  /// `ERR stale-term` refusal); 0 while unfenced.  A non-zero value
+  /// means a newer leader exists — the daemon's cluster supervisor
+  /// demotes this writer and rejoins it as a follower.
+  [[nodiscard]] std::int64_t fenced_term() const noexcept {
+    return fenced_term_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t term() const noexcept { return opts_.term; }
+
   void shutdown() {
     stop_.store(true, std::memory_order_release);
     for (auto& lk : links_) lk->cv.notify_all();
@@ -570,6 +588,40 @@ class ReplicationManager {
   void note_error(Link& lk, std::string what) {
     std::lock_guard<std::mutex> g(lk.mu);
     lk.last_error = std::move(what);
+  }
+
+  /// The optional cluster suffix for HELLO/HB frames; empty in legacy
+  /// (term 0) mode so the unclustered wire format is byte-identical.
+  [[nodiscard]] std::string term_suffix() const {
+    if (opts_.term <= 0) return "";
+    return ' ' + std::to_string(opts_.term) + ' ' +
+           std::to_string(static_cast<std::int64_t>(opts_.lease_seconds * 1000.0));
+  }
+
+  /// A peer refused a frame with `ERR stale-term ...`: record the term
+  /// it says it observed (max-advance; the detail carries
+  /// "observed term <T>", and when unparsable any term above ours
+  /// still forces demotion).
+  void note_fenced(const std::string& err_line) {
+    std::int64_t observed = opts_.term + 1;
+    const std::size_t pos = err_line.find("observed term ");
+    if (pos != std::string::npos) {
+      try {
+        observed = std::stoll(err_line.substr(pos + 14));
+      } catch (...) {
+      }
+    }
+    std::int64_t cur = fenced_term_.load(std::memory_order_relaxed);
+    while (cur < observed &&
+           !fenced_term_.compare_exchange_weak(cur, observed, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// True when `line` is a typed ERR reply whose code is stale-term.
+  [[nodiscard]] static bool is_stale_term_err(const std::string& line) {
+    std::istringstream ls(line);
+    std::string tag, code;
+    return (ls >> tag >> code) && tag == "ERR" && code == "stale-term";
   }
 
   /// Deterministic jitter (no global RNG, no wall clock): xorshift over
@@ -650,6 +702,7 @@ class ReplicationManager {
         }
         if (e >= 0) advance_acked(lk, e);
       } else if (tag == "ERR") {
+        if (is_stale_term_err(line)) note_fenced(line);
         note_error(lk, line);
         return false;
       }
@@ -740,7 +793,8 @@ class ReplicationManager {
     detail::LineSocket io(fd, opts_.io_timeout_seconds);
     const int io_timeout_ms = static_cast<int>(opts_.io_timeout_seconds * 1000.0);
     if (!io.write_line("REPL HELLO " + std::to_string(fingerprint_) + ' ' +
-                       std::to_string(epoch_.load(std::memory_order_acquire))))
+                       std::to_string(epoch_.load(std::memory_order_acquire)) +
+                       term_suffix()))
       return false;
     std::string line;
     if (io.read_line(line, io_timeout_ms) != 1) {
@@ -752,6 +806,7 @@ class ReplicationManager {
       std::istringstream ls(line);
       std::string tag, okay;
       if (!(ls >> tag >> okay >> fepoch) || tag != "REPL" || okay != "OK" || fepoch < -1) {
+        if (is_stale_term_err(line)) note_fenced(line);
         note_error(lk, "handshake refused: " + line);
         return false;
       }
@@ -804,7 +859,8 @@ class ReplicationManager {
         // follower can track writer liveness and epoch.
         if (!wait_for_work(lk)) {
           if (!io.write_line("HB " +
-                             std::to_string(epoch_.load(std::memory_order_acquire))))
+                             std::to_string(epoch_.load(std::memory_order_acquire)) +
+                             term_suffix()))
             return true;
           if (!drain_acks(lk, io, io_timeout_ms)) return true;
         }
@@ -826,6 +882,7 @@ class ReplicationManager {
   std::string wal_dir_;
   std::uint64_t fingerprint_ = 0;
   std::atomic<std::int64_t> epoch_{0};
+  std::atomic<std::int64_t> fenced_term_{0};
   std::atomic<bool> stop_{false};
   std::vector<std::unique_ptr<Link>> links_;
 };

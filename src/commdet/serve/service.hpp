@@ -282,6 +282,18 @@ class CommunityService {
     return repl_.get();
   }
 
+  /// Cluster term this writer ships under (0 = unclustered).
+  [[nodiscard]] std::int64_t cluster_term() const noexcept {
+    return opts_.replication.term;
+  }
+
+  /// Highest term a follower has fenced this writer with via a typed
+  /// stale-term refusal (0 while unfenced).  Non-zero means a newer
+  /// leader exists and this writer must demote.
+  [[nodiscard]] std::int64_t fenced_term() const noexcept {
+    return repl_ ? repl_->fenced_term() : 0;
+  }
+
   /// One-line JSON for the HEALTH verb (writer role).  Safe from any
   /// thread: reads the published snapshot and atomics only.
   [[nodiscard]] std::string health_json() const {
@@ -291,7 +303,9 @@ class CommunityService {
                       ",\"wal_first_seq\":" +
                       std::to_string(wal_first_seq_.load(std::memory_order_relaxed)) +
                       ",\"queries\":" +
-                      std::to_string(queries_.load(std::memory_order_relaxed));
+                      std::to_string(queries_.load(std::memory_order_relaxed)) +
+                      ",\"term\":" + std::to_string(cluster_term()) +
+                      ",\"fenced_term\":" + std::to_string(fenced_term());
     if (repl_) {
       const std::int64_t acked = repl_->min_acked();
       out += ",\"replication\":{\"min_acked\":" + std::to_string(acked) +
@@ -337,6 +351,7 @@ class CommunityService {
     const std::int64_t applied = deltas_applied_.load(std::memory_order_relaxed);
     snap.set_gauge("serve.ingest.deltas_per_second",
                    uptime > 0.0 ? static_cast<double>(applied) / uptime : 0.0);
+    snap.set_gauge("cluster.term", cluster_term());
     if (repl_) {
       const std::int64_t acked = repl_->min_acked();
       snap.set_gauge("serve.repl.min_acked_epoch", acked);

@@ -21,8 +21,10 @@
 // verb slower than the configured threshold logs a slow_query event.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -35,6 +37,7 @@
 #include "commdet/obs/metrics.hpp"
 #include "commdet/obs/telemetry.hpp"
 #include "commdet/robust/error.hpp"
+#include "commdet/serve/cluster.hpp"
 #include "commdet/serve/follower.hpp"
 #include "commdet/serve/protocol.hpp"
 #include "commdet/serve/service.hpp"
@@ -137,6 +140,14 @@ class Session {
         slow_query_seconds_(slow_query_seconds) {}
 
   [[nodiscard]] bool is_follower() const noexcept { return follower_ != nullptr; }
+
+  /// Installed by the daemon: answers the CLUSTER verb with
+  /// cluster-wide context (peer list, rank, supervisor state).  The
+  /// callback receives the verb argument ("" for the JSON form, "peek"
+  /// for the machine one-liner) and returns the complete reply line.
+  /// Without one, the session composes node-local info only.
+  using ClusterInfoFn = std::function<std::string(const std::string& arg)>;
+  void set_cluster_info(ClusterInfoFn fn) { cluster_info_ = std::move(fn); }
 
   Reply handle_line(const std::string& line) {
     ++line_no_;
@@ -288,6 +299,40 @@ class Session {
       if (!text.empty() && text.back() == '\n') text.pop_back();  // daemon adds the last
       return ok("METRICS " + std::to_string(nlines) + '\n' + text);
     }
+    if (verb == "CLUSTER") {
+      // Failover introspection, both roles.  Plain CLUSTER answers one
+      // JSON line next to HEALTH; "CLUSTER peek" answers the fixed
+      // key=value one-liner election polls parse (serve/cluster.hpp).
+      std::string arg;
+      ls >> arg;
+      if (!arg.empty() && arg != "peek")
+        return err(where + ": CLUSTER takes no argument or 'peek'");
+      note_query();
+      if (cluster_info_) return {cluster_info_(arg), false, false};
+      // No daemon-installed provider: compose node-local state (no
+      // peer list, rank unknown).
+      const std::int64_t e = current_epoch();
+      const std::int64_t term = follower_ ? follower_->term() : writer_->cluster_term();
+      if (arg == "peek") {
+        ClusterPeek p;
+        p.role = follower_ ? "follower" : "writer";
+        p.term = term;
+        p.epoch = e;
+        p.wal_seq = e;
+        return {format_cluster_peek(p), false, false};
+      }
+      std::string json = std::string("{\"role\":\"") +
+                         (follower_ ? "follower" : "writer") +
+                         "\",\"term\":" + std::to_string(term) +
+                         ",\"epoch\":" + std::to_string(e);
+      if (follower_)
+        json += ",\"lease_remaining\":" +
+                protocol_f64(std::max(0.0, follower_->lease_remaining_seconds()));
+      else
+        json += ",\"fenced_term\":" + std::to_string(writer_->fenced_term());
+      json += ",\"rank\":-1,\"peers\":[]}";
+      return ok(json);
+    }
     if (verb == "QUIT") return {std::string("OK bye"), true, false};
     if (verb == "SHUTDOWN") return {std::string("OK shutting-down"), true, true};
     return err(where + ": unknown verb '" + verb + "'");
@@ -297,7 +342,8 @@ class Session {
   [[nodiscard]] static bool known_verb(const std::string& verb) noexcept {
     return verb == "GET" || verb == "COMMUNITY" || verb == "QUALITY" ||
            verb == "EPOCH" || verb == "PING" || verb == "HEALTH" || verb == "COMMIT" ||
-           verb == "SAVE" || verb == "STATS" || verb == "METRICS" || verb == "PROMOTE";
+           verb == "SAVE" || verb == "STATS" || verb == "METRICS" || verb == "PROMOTE" ||
+           verb == "CLUSTER";
   }
 
   /// Session-cached handle for serve.query.<verb>_us; nullptr for
@@ -345,6 +391,7 @@ class Session {
 
   CommunityService<V>* writer_ = nullptr;
   FollowerService<V>* follower_ = nullptr;
+  ClusterInfoFn cluster_info_;
   std::string peer_;
   double slow_query_seconds_ = 0.0;  // 0 = slow-query events disabled
   std::int64_t line_no_ = 0;

@@ -1,0 +1,729 @@
+// Self-healing replication tests (serve/cluster.hpp + the term/lease
+// machinery in follower.hpp and replication.hpp), all in-process:
+//
+//   * term persistence and the pure (epoch, wal_seq, rank) election rule,
+//   * CLUSTER peek wire format round-trips,
+//   * stale-term fencing — handshake-level, heartbeat-level, and
+//     record-level through a per-connection term (a revived old writer
+//     cannot ship a single record past a peer that observed a higher
+//     term, even over a connection opened before the takeover),
+//   * live retargeting: a higher-term HELLO re-points a follower at the
+//     new writer without restart, membership byte-identical,
+//   * the ClusterSupervisor state machine with synthetic peers:
+//     deterministic winner, deferral, stand-down, quorum gate, demotion,
+//   * both cluster fault sites (this binary compiles the library with
+//     COMMDET_FAULT_INJECTION=1, see tests/CMakeLists.txt),
+//   * a regression pin: ReplicationManager::shutdown() must interrupt a
+//     link mid reconnect-backoff instead of sleeping it out,
+//   * concurrency stress kept TSan-clean (scripts/check_sanitizers.sh
+//     builds this target under -fsanitize=thread).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "commdet/graph/builder.hpp"
+#include "commdet/robust/fault_injection.hpp"
+#include "commdet/serve/cluster.hpp"
+#include "commdet/serve/follower.hpp"
+#include "commdet/serve/replication.hpp"
+#include "commdet/serve/service.hpp"
+#include "commdet/serve/session.hpp"
+#include "commdet/serve/wal.hpp"
+
+namespace commdet {
+namespace {
+
+using V32 = std::int32_t;
+
+static_assert(fault::kEnabled, "this binary must be built with COMMDET_FAULT_INJECTION");
+
+template <VertexId V>
+[[nodiscard]] EdgeList<V> two_cliques(std::int64_t size) {
+  EdgeList<V> g;
+  g.num_vertices = static_cast<V>(2 * size);
+  for (std::int64_t c = 0; c < 2; ++c)
+    for (std::int64_t i = 0; i < size; ++i)
+      for (std::int64_t j = i + 1; j < size; ++j)
+        g.add(static_cast<V>(c * size + i), static_cast<V>(c * size + j));
+  return g;
+}
+
+[[nodiscard]] std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+[[nodiscard]] serve::ServeOptions fast_options(const std::string& dir) {
+  serve::ServeOptions o;
+  o.dir = dir;
+  o.batch_max_deltas = 4;
+  o.batch_max_delay_seconds = 0.25;
+  o.save_every_batches = 0;
+  o.fsync_wal = false;
+  return o;
+}
+
+[[nodiscard]] serve::FollowerOptions follower_options(const std::string& dir) {
+  serve::FollowerOptions o;
+  o.dir = dir;
+  o.fsync_wal = false;
+  return o;
+}
+
+[[nodiscard]] std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+/// Writer run to epoch 4 with a checkpoint captured at epoch 2 (same
+/// fixture shape as serve_test.cpp): a follower bootstraps from the
+/// snapshot and catches up from shipped records 3..4.
+struct WriterArtifacts {
+  std::vector<std::string> record_texts;
+  std::shared_ptr<const serve::MembershipSnapshot<V32>> final_snap;
+  std::string snapshot_bytes;
+  std::int64_t snapshot_epoch = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+[[nodiscard]] WriterArtifacts make_writer_artifacts(const std::string& dir) {
+  WriterArtifacts art;
+  auto opts = fast_options(dir);
+  auto svc = serve::CommunityService<V32>::create(
+      build_community_graph(two_cliques<V32>(6)), opts);
+  EXPECT_TRUE(svc.has_value());
+  serve::Session<V32> sess(**svc, "writer");
+  for (int b = 0; b < 4; ++b) {
+    sess.handle_line("+ " + std::to_string(b) + " " + std::to_string(6 + b) + " 3");
+    EXPECT_EQ(*sess.handle_line("COMMIT").line, "OK " + std::to_string(b + 1));
+    if (b == 1) {
+      const auto saved = (*svc)->save();
+      EXPECT_TRUE(saved.has_value());
+      art.snapshot_epoch = saved->epoch;
+      const auto gens = list_checkpoints(dir);
+      EXPECT_FALSE(gens.empty());
+      std::ifstream in(gens.front().second, std::ios::binary);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      art.snapshot_bytes = std::move(ss).str();
+    }
+  }
+  art.final_snap = (*svc)->snapshot();
+  art.fingerprint = dynamic_config_fingerprint(opts.dynamic);
+  (*svc)->crash_for_test();
+  for (const auto& rec : serve::read_wal_records<V32>(dir + "/wal", 0))
+    art.record_texts.push_back(serve::serialize_wal_record(rec));
+  EXPECT_EQ(art.record_texts.size(), 4u);
+  return art;
+}
+
+using ReplConn = serve::FollowerService<V32>::ReplConn;
+
+[[nodiscard]] std::optional<std::string> ship_record(serve::FollowerService<V32>& f,
+                                                     const std::string& text,
+                                                     ReplConn& conn) {
+  std::optional<std::string> last;
+  for (const std::string& line : split_lines(text)) last = f.handle_repl_line(line, conn);
+  return last;
+}
+
+[[nodiscard]] std::optional<std::string> ship_snapshot(serve::FollowerService<V32>& f,
+                                                       const std::string& bytes,
+                                                       ReplConn& conn) {
+  const std::uint32_t crc = crc32_update(0, bytes.data(), bytes.size());
+  auto r = f.handle_repl_line("SNAP BEGIN " + std::to_string(bytes.size()) + ' ' +
+                                  std::to_string(crc),
+                              conn);
+  EXPECT_FALSE(r.has_value());
+  constexpr std::size_t kChunk = 3 * 1024;
+  for (std::size_t off = 0; off < bytes.size(); off += kChunk) {
+    const std::size_t n = std::min(kChunk, bytes.size() - off);
+    r = f.handle_repl_line("SNAP D " + serve::base64_encode(bytes.data() + off, n), conn);
+    EXPECT_FALSE(r.has_value());
+  }
+  return f.handle_repl_line("SNAP END", conn);
+}
+
+[[nodiscard]] std::string hello_line(const WriterArtifacts& art, std::int64_t epoch,
+                                     std::int64_t term, std::int64_t lease_ms) {
+  std::string line = "REPL HELLO " + std::to_string(art.fingerprint) + ' ' +
+                     std::to_string(epoch);
+  if (term > 0) line += ' ' + std::to_string(term) + ' ' + std::to_string(lease_ms);
+  return line;
+}
+
+/// Polls `pred` until it holds or `seconds` elapse.
+[[nodiscard]] bool wait_for(const std::function<bool()>& pred, double seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+// ---------------------------------------------------------------------------
+// ClusterTerm: persistence
+
+TEST(ClusterTerm, MissingFileReadsZero) {
+  const std::string dir = fresh_dir("term_missing");
+  EXPECT_EQ(serve::load_cluster_term(dir), 0);
+}
+
+TEST(ClusterTerm, StoreLoadRoundTripLeavesNoTmp) {
+  const std::string dir = fresh_dir("term_rt");
+  serve::store_cluster_term(dir, 7);
+  EXPECT_EQ(serve::load_cluster_term(dir), 7);
+  serve::store_cluster_term(dir, 12);
+  EXPECT_EQ(serve::load_cluster_term(dir), 12);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/.cluster-term.tmp"));
+}
+
+TEST(ClusterTerm, GarbageFileReadsZero) {
+  const std::string dir = fresh_dir("term_garbage");
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/cluster-term") << "not-a-number\n";
+  EXPECT_EQ(serve::load_cluster_term(dir), 0);
+}
+
+// ---------------------------------------------------------------------------
+// ClusterElect: the pure election rule
+
+TEST(ClusterElect, HighestEpochWinsRegardlessOfRank) {
+  EXPECT_EQ(serve::elect_winner({{10, 10, 0}, {12, 12, 1}, {11, 11, 2}}), 1);
+}
+
+TEST(ClusterElect, WalSeqBreaksEqualEpochs) {
+  EXPECT_EQ(serve::elect_winner({{10, 11, 0}, {10, 10, 2}}), 0);
+}
+
+TEST(ClusterElect, RankBreaksFullTies) {
+  EXPECT_EQ(serve::elect_winner({{10, 10, 0}, {10, 10, 2}, {10, 10, 1}}), 2);
+}
+
+TEST(ClusterElect, DeterministicUnderPermutation) {
+  std::vector<serve::CandidateInfo> a = {{5, 5, 0}, {5, 5, 1}, {4, 9, 2}};
+  std::vector<serve::CandidateInfo> b = {a[2], a[0], a[1]};
+  EXPECT_EQ(serve::elect_winner(a), serve::elect_winner(b));
+  EXPECT_EQ(serve::elect_winner(a), 1);
+}
+
+TEST(ClusterElect, EmptyAndInvalidCandidates) {
+  EXPECT_EQ(serve::elect_winner({}), -1);
+  EXPECT_EQ(serve::elect_winner({{100, 100, -1}}), -1);  // unranked never wins
+  EXPECT_EQ(serve::elect_winner({{100, 100, -1}, {1, 1, 0}}), 0);
+}
+
+// ---------------------------------------------------------------------------
+// ClusterPeek: wire format
+
+TEST(ClusterPeek, FormatParseRoundTrip) {
+  serve::ClusterPeek p;
+  p.role = "follower";
+  p.term = 3;
+  p.epoch = 41;
+  p.wal_seq = 41;
+  p.rank = 2;
+  const auto parsed = serve::parse_cluster_peek(serve::format_cluster_peek(p));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->role, "follower");
+  EXPECT_EQ(parsed->term, 3);
+  EXPECT_EQ(parsed->epoch, 41);
+  EXPECT_EQ(parsed->wal_seq, 41);
+  EXPECT_EQ(parsed->rank, 2);
+}
+
+TEST(ClusterPeek, RejectsGarbage) {
+  EXPECT_FALSE(serve::parse_cluster_peek("").has_value());
+  EXPECT_FALSE(serve::parse_cluster_peek("ERR io-parse input nope").has_value());
+  EXPECT_FALSE(serve::parse_cluster_peek("OK CLUSTER term=1").has_value());  // no role
+  EXPECT_FALSE(serve::parse_cluster_peek("OK CLUSTER role=x term=zzz").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// ClusterFencing: terms on the follower's replication state machine
+
+TEST(ClusterFencing, HelloBelowObservedTermIsRefusedAndTermPersists) {
+  const std::string wdir = fresh_dir("fence_hello_w");
+  const std::string fdir = fresh_dir("fence_hello_f");
+  const WriterArtifacts art = make_writer_artifacts(wdir);
+
+  {
+    auto fol = serve::FollowerService<V32>::open(follower_options(fdir));
+    ASSERT_TRUE(fol.has_value()) << fol.error().message();
+    EXPECT_EQ((*fol)->term(), 0);
+    EXPECT_FALSE((*fol)->lease_granted());
+
+    ReplConn conn;
+    auto ok = (*fol)->handle_repl_line(hello_line(art, 4, 2, 3000), conn);
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(*ok, "REPL OK -1");
+    EXPECT_EQ((*fol)->term(), 2);
+    EXPECT_TRUE((*fol)->lease_granted());
+    EXPECT_GT((*fol)->lease_remaining_seconds(), 0.0);
+
+    // A lower term is refused with the typed error; the detail names
+    // the observed term so the stale writer can fence itself.
+    ReplConn stale;
+    auto refused = (*fol)->handle_repl_line(hello_line(art, 4, 1, 3000), stale);
+    ASSERT_TRUE(refused.has_value());
+    EXPECT_EQ(refused->rfind("ERR stale-term dynamic ", 0), 0u) << *refused;
+    EXPECT_NE(refused->find("observed term 2"), std::string::npos) << *refused;
+
+    // Equal term is not fencing: the same leader may redial.
+    ReplConn again;
+    auto re = (*fol)->handle_repl_line(hello_line(art, 4, 2, 3000), again);
+    ASSERT_TRUE(re.has_value());
+    EXPECT_EQ(*re, "REPL OK -1");
+
+    // A legacy (unstamped, term 0) heartbeat is below the observed term
+    // too — an unclustered writer cannot feed a clustered follower.
+    ReplConn legacy;
+    auto hb = (*fol)->handle_repl_line("HB 4", legacy);
+    ASSERT_TRUE(hb.has_value());
+    EXPECT_EQ(hb->rfind("ERR stale-term", 0), 0u) << *hb;
+  }
+
+  // The observed term survives a restart (cluster-term file).
+  auto re = serve::FollowerService<V32>::open(follower_options(fdir));
+  ASSERT_TRUE(re.has_value());
+  EXPECT_EQ((*re)->term(), 2);
+}
+
+TEST(ClusterFencing, StaleConnectionCannotShipRecordsAfterTakeover) {
+  const std::string wdir = fresh_dir("fence_rec_w");
+  const std::string fdir = fresh_dir("fence_rec_f");
+  const WriterArtifacts art = make_writer_artifacts(wdir);
+
+  auto fol = serve::FollowerService<V32>::open(follower_options(fdir));
+  ASSERT_TRUE(fol.has_value()) << fol.error().message();
+  serve::FollowerService<V32>& f = **fol;
+
+  // The old writer (term 1) bootstraps the follower to epoch 3.
+  ReplConn old_conn;
+  ASSERT_EQ(*f.handle_repl_line(hello_line(art, 4, 1, 3000), old_conn), "REPL OK -1");
+  ASSERT_EQ(*ship_snapshot(f, art.snapshot_bytes, old_conn),
+            "ACK SNAP " + std::to_string(art.snapshot_epoch));
+  ASSERT_EQ(*ship_record(f, art.record_texts[2], old_conn), "ACK 3");
+  const std::int64_t replicated = f.replicated_records();
+
+  // A new leader takes over on a different connection.
+  ReplConn new_conn;
+  ASSERT_EQ(*f.handle_repl_line(hello_line(art, 4, 2, 3000), new_conn), "REPL OK 3");
+  EXPECT_EQ(f.term(), 2);
+
+  // The old writer's still-open connection is dead on arrival for every
+  // frame kind: records, snapshots, and stamped heartbeats.  Not one
+  // record may land (the acceptance bar for a revived stale writer).
+  auto rec = f.handle_repl_line(split_lines(art.record_texts[3]).front(), old_conn);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->rfind("ERR stale-term", 0), 0u) << *rec;
+  auto snap = f.handle_repl_line("SNAP BEGIN 10 0", old_conn);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->rfind("ERR stale-term", 0), 0u) << *snap;
+  auto hb = f.handle_repl_line("HB 4 1 3000", old_conn);
+  ASSERT_TRUE(hb.has_value());
+  EXPECT_EQ(hb->rfind("ERR stale-term", 0), 0u) << *hb;
+
+  EXPECT_EQ(f.epoch(), 3);
+  EXPECT_EQ(f.replicated_records(), replicated);
+
+  // The new connection still ships normally.
+  ASSERT_EQ(*ship_record(f, art.record_texts[3], new_conn), "ACK 4");
+  EXPECT_EQ(f.epoch(), 4);
+}
+
+TEST(ClusterFencing, RetargetWithoutRestartIsByteIdentical) {
+  const std::string wdir = fresh_dir("retarget_w");
+  const std::string fdir = fresh_dir("retarget_f");
+  const WriterArtifacts art = make_writer_artifacts(wdir);
+
+  auto fol = serve::FollowerService<V32>::open(follower_options(fdir));
+  ASSERT_TRUE(fol.has_value()) << fol.error().message();
+  serve::FollowerService<V32>& f = **fol;
+
+  ReplConn old_conn;
+  ASSERT_EQ(*f.handle_repl_line(hello_line(art, 4, 1, 3000), old_conn), "REPL OK -1");
+  ASSERT_EQ(*ship_snapshot(f, art.snapshot_bytes, old_conn),
+            "ACK SNAP " + std::to_string(art.snapshot_epoch));
+  ASSERT_EQ(*ship_record(f, art.record_texts[2], old_conn), "ACK 3");
+  ASSERT_EQ(*ship_record(f, art.record_texts[3], old_conn), "ACK 4");
+  const auto before = f.snapshot_for_query();
+  ASSERT_TRUE(before.has_value());
+
+  // The elected writer's first HELLO is the whole retarget: same
+  // process, same service object, nothing reloaded.
+  ReplConn new_conn;
+  auto ok = f.handle_repl_line(hello_line(art, 4, 2, 3000), new_conn);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, "REPL OK 4");  // catch-up cursor: nothing to resend
+  EXPECT_EQ(f.term(), 2);
+  EXPECT_TRUE(f.lease_granted());
+
+  const auto after = f.snapshot_for_query();
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ((*after)->epoch, 4);
+  EXPECT_EQ(*(*after)->labels, *(*before)->labels);        // bit-for-bit
+  EXPECT_EQ(*(*after)->labels, *art.final_snap->labels);   // and correct
+}
+
+TEST(ClusterLease, RecordTrafficReArmsTheLease) {
+  const std::string wdir = fresh_dir("lease_w");
+  const std::string fdir = fresh_dir("lease_f");
+  const WriterArtifacts art = make_writer_artifacts(wdir);
+
+  auto fol = serve::FollowerService<V32>::open(follower_options(fdir));
+  ASSERT_TRUE(fol.has_value()) << fol.error().message();
+  serve::FollowerService<V32>& f = **fol;
+
+  ReplConn conn;
+  ASSERT_EQ(*f.handle_repl_line(hello_line(art, 4, 1, 60), conn), "REPL OK -1");
+  ASSERT_EQ(*ship_snapshot(f, art.snapshot_bytes, conn),
+            "ACK SNAP " + std::to_string(art.snapshot_epoch));
+  EXPECT_TRUE(f.lease_granted());
+
+  // Let the 60 ms lease run out: a sustained record stream must still
+  // count as writer liveness (the writer does not heartbeat mid-ship).
+  ASSERT_TRUE(wait_for([&] { return f.lease_remaining_seconds() <= 0.0; }, 2.0));
+  ASSERT_EQ(*ship_record(f, art.record_texts[2], conn), "ACK 3");
+  EXPECT_GT(f.lease_remaining_seconds(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// ClusterSupervisor: the state machine against synthetic peers
+
+struct SyntheticNode {
+  serve::ClusterOptions opts;
+  std::atomic<std::int64_t> promoted_term{0};
+  std::atomic<std::int64_t> demoted_term{0};
+  std::atomic<std::int64_t> observed_term{0};
+  std::atomic<std::int64_t> self_term{1};
+  std::atomic<bool> is_writer{false};
+  std::atomic<bool> lease_ok{false};  // false = expired (remaining < 0)
+  std::int64_t self_epoch = 10;
+  std::atomic<std::int64_t> fenced{0};
+
+  serve::ClusterSupervisor::Callbacks callbacks(
+      std::function<std::optional<serve::ClusterPeek>(const std::string&)> poll) {
+    serve::ClusterSupervisor::Callbacks cb;
+    cb.self = [this] {
+      serve::ClusterSelf s;
+      s.role = is_writer.load() ? "writer" : "follower";
+      s.term = self_term.load();
+      s.epoch = self_epoch;
+      s.wal_seq = self_epoch;
+      s.lease_granted = true;
+      s.lease_remaining_seconds = lease_ok.load() ? 10.0 : -1.0;
+      s.fenced_term = fenced.load();
+      return s;
+    };
+    cb.promote = [this](std::int64_t t) {
+      promoted_term.store(t);
+      self_term.store(t);
+      is_writer.store(true);
+    };
+    cb.demote = [this](std::int64_t t) {
+      demoted_term.store(t);
+      is_writer.store(false);
+      self_term.store(t);
+      lease_ok.store(true);  // rejoined behind the new leader
+    };
+    cb.observe_writer = [this](std::int64_t t) {
+      observed_term.store(t);
+      self_term.store(t);
+      lease_ok.store(true);  // stand-down re-arms the lease
+    };
+    cb.poll = std::move(poll);
+    return cb;
+  }
+};
+
+[[nodiscard]] serve::ClusterOptions synthetic_options(int self_rank) {
+  serve::ClusterOptions o;
+  o.peers = {"peer0", "peer1", "peer2"};
+  o.self_rank = self_rank;
+  o.lease_seconds = 0.05;
+  o.tick_seconds = 0.005;
+  return o;
+}
+
+[[nodiscard]] serve::ClusterPeek peek_of(const std::string& role, std::int64_t term,
+                                         std::int64_t epoch, int rank) {
+  serve::ClusterPeek p;
+  p.role = role;
+  p.term = term;
+  p.epoch = epoch;
+  p.wal_seq = epoch;
+  p.rank = rank;
+  return p;
+}
+
+TEST(ClusterSupervisor, ExpiredLeaseElectsDeterministicWinner) {
+  SyntheticNode node;
+  // Dead writer at rank 0, equal-epoch follower at rank 1: rank 2 (us)
+  // must win and take term max+1.
+  auto cb = node.callbacks([&](const std::string& ep) -> std::optional<serve::ClusterPeek> {
+    if (ep == "peer1") return peek_of("follower", 1, node.self_epoch, 1);
+    return std::nullopt;  // peer0: dead
+  });
+  serve::ClusterSupervisor sup(synthetic_options(2), std::move(cb));
+  ASSERT_TRUE(wait_for([&] { return sup.elections_won() == 1; }, 5.0));
+  EXPECT_EQ(node.promoted_term.load(), 2);
+  ASSERT_TRUE(wait_for([&] { return !sup.electing(); }, 5.0));
+  sup.shutdown();
+  EXPECT_EQ(sup.elections_won(), 1);  // writer role never re-elects
+}
+
+TEST(ClusterSupervisor, HigherEpochPeerWinsOverHigherRank) {
+  SyntheticNode node;
+  node.self_epoch = 10;
+  std::atomic<bool> deferred_seen{false};
+  auto cb = node.callbacks([&](const std::string& ep) -> std::optional<serve::ClusterPeek> {
+    if (ep == "peer1") return peek_of("follower", 1, 12, 1);  // ahead of us
+    return std::nullopt;
+  });
+  serve::ClusterSupervisor sup(synthetic_options(2), std::move(cb));
+  // We (rank 2) must defer to the rank-1 peer holding more epochs.
+  EXPECT_FALSE(wait_for([&] { return sup.elections_won() > 0; }, 0.3));
+  EXPECT_EQ(node.promoted_term.load(), 0);
+  EXPECT_TRUE(sup.electing());
+  (void)deferred_seen;
+  sup.shutdown();
+}
+
+TEST(ClusterSupervisor, StandsDownWhenALiveWriterAppears) {
+  SyntheticNode node;
+  auto cb = node.callbacks([&](const std::string& ep) -> std::optional<serve::ClusterPeek> {
+    if (ep == "peer0") return peek_of("writer", 4, 20, 0);
+    return peek_of("follower", 4, 20, 1);
+  });
+  serve::ClusterSupervisor sup(synthetic_options(2), std::move(cb));
+  ASSERT_TRUE(wait_for([&] { return node.observed_term.load() == 4; }, 5.0));
+  ASSERT_TRUE(wait_for([&] { return !sup.electing(); }, 5.0));
+  EXPECT_EQ(sup.elections_won(), 0);
+  EXPECT_EQ(node.promoted_term.load(), 0);
+  sup.shutdown();
+}
+
+TEST(ClusterSupervisor, StaleWriterPeerIsIgnoredNotFollowed) {
+  SyntheticNode node;
+  node.self_term.store(2);
+  auto cb = node.callbacks([&](const std::string& ep) -> std::optional<serve::ClusterPeek> {
+    if (ep == "peer0") return peek_of("writer", 1, 50, 0);  // zombie old leader
+    return peek_of("follower", 2, node.self_epoch, 1);
+  });
+  serve::ClusterSupervisor sup(synthetic_options(2), std::move(cb));
+  ASSERT_TRUE(wait_for([&] { return sup.elections_won() == 1; }, 5.0));
+  // Never adopted the zombie's term; new term clears everything observed.
+  EXPECT_EQ(node.observed_term.load(), 0);
+  EXPECT_EQ(node.promoted_term.load(), 3);
+  sup.shutdown();
+}
+
+TEST(ClusterSupervisor, NoQuorumNoPromotion) {
+  SyntheticNode node;
+  std::atomic<bool> reachable{false};
+  auto cb = node.callbacks([&](const std::string& ep) -> std::optional<serve::ClusterPeek> {
+    if (!reachable.load()) return std::nullopt;  // total partition
+    if (ep == "peer1") return peek_of("follower", 1, node.self_epoch, 1);
+    return std::nullopt;
+  });
+  serve::ClusterSupervisor sup(synthetic_options(2), std::move(cb));
+  // Alone we would win every election — but 1 of 3 nodes is not a
+  // majority, so the supervisor must keep polling instead.
+  EXPECT_FALSE(wait_for([&] { return sup.elections_won() > 0; }, 0.3));
+  EXPECT_TRUE(sup.electing());
+  // The partition heals: one reachable peer makes a majority of three.
+  reachable.store(true);
+  ASSERT_TRUE(wait_for([&] { return sup.elections_won() == 1; }, 5.0));
+  EXPECT_EQ(node.promoted_term.load(), 2);
+  sup.shutdown();
+}
+
+TEST(ClusterSupervisor, FencedWriterDemotes) {
+  SyntheticNode node;
+  node.is_writer.store(true);
+  node.self_term.store(1);
+  node.fenced.store(3);
+  auto cb = node.callbacks([](const std::string&) { return std::nullopt; });
+  serve::ClusterSupervisor sup(synthetic_options(0), std::move(cb));
+  ASSERT_TRUE(wait_for([&] { return node.demoted_term.load() == 3; }, 5.0));
+  EXPECT_EQ(sup.elections_won(), 0);
+  sup.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// ClusterFault: the two injection sites (compiled live in this binary)
+
+TEST(ClusterFault, InjectedLeaseExpiryForcesAnElection) {
+  SyntheticNode node;
+  node.lease_ok.store(true);  // the lease is healthy: only the fault expires it
+  auto cb = node.callbacks([&](const std::string& ep) -> std::optional<serve::ClusterPeek> {
+    if (ep == "peer1") return peek_of("follower", 1, node.self_epoch, 1);
+    return std::nullopt;
+  });
+  serve::ClusterSupervisor sup(synthetic_options(2), std::move(cb));
+  EXPECT_FALSE(wait_for([&] { return sup.elections_won() > 0; }, 0.2));
+  fault::ScopedFault f(fault::kClusterLeaseExpire, 1);
+  ASSERT_TRUE(wait_for([&] { return sup.elections_won() == 1; }, 5.0));
+  EXPECT_EQ(node.promoted_term.load(), 2);
+  sup.shutdown();
+}
+
+TEST(ClusterFault, InjectedElectionAbortRetriesAndThenWins) {
+  SyntheticNode node;  // lease genuinely expired
+  auto cb = node.callbacks([&](const std::string& ep) -> std::optional<serve::ClusterPeek> {
+    if (ep == "peer1") return peek_of("follower", 1, node.self_epoch, 1);
+    return std::nullopt;
+  });
+  fault::ScopedFault f(fault::kClusterElect, 1);  // first round splits
+  serve::ClusterSupervisor sup(synthetic_options(2), std::move(cb));
+  ASSERT_TRUE(wait_for([&] { return sup.elections_won() == 1; }, 5.0));
+  EXPECT_EQ(sup.rounds_aborted(), 1);
+  EXPECT_EQ(node.promoted_term.load(), 2);
+  sup.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// ClusterBackoff: regression pin — shutdown() interrupts backoff_sleep
+
+TEST(ClusterBackoff, ShutdownInterruptsReconnectBackoff) {
+  const std::string dir = fresh_dir("backoff_dir");
+  std::filesystem::create_directories(dir);
+  serve::ReplicationOptions ropts;
+  ropts.endpoints = {dir + "/no-such-follower.sock"};
+  // A backoff long enough that sleeping it out would fail the test:
+  // shutdown must wake the link through the stop CV instead.
+  ropts.reconnect_min_seconds = 30.0;
+  ropts.reconnect_max_seconds = 30.0;
+  auto mgr = std::make_unique<serve::ReplicationManager<V32>>(ropts, dir, dir + "/wal",
+                                                              1, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));  // enter the backoff
+  const auto t0 = std::chrono::steady_clock::now();
+  mgr->shutdown();
+  const double took = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  EXPECT_LT(took, 5.0) << "shutdown slept out the reconnect backoff";
+}
+
+// ---------------------------------------------------------------------------
+// ClusterStress: TSan targets (scripts/check_sanitizers.sh)
+
+TEST(ClusterStress, ConcurrentHellosHeartbeatsAndReads) {
+  const std::string wdir = fresh_dir("stress_w");
+  const std::string fdir = fresh_dir("stress_f");
+  const WriterArtifacts art = make_writer_artifacts(wdir);
+
+  auto fol = serve::FollowerService<V32>::open(follower_options(fdir));
+  ASSERT_TRUE(fol.has_value()) << fol.error().message();
+  serve::FollowerService<V32>& f = **fol;
+
+  ReplConn boot;
+  ASSERT_EQ(*f.handle_repl_line(hello_line(art, 4, 1, 3000), boot), "REPL OK -1");
+  ASSERT_EQ(*ship_snapshot(f, art.snapshot_bytes, boot),
+            "ACK SNAP " + std::to_string(art.snapshot_epoch));
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  // Two competing writer connections racing terms up, one record
+  // shipper on the winning term, and a reader hammering the accessors
+  // the daemon's CLUSTER/HEALTH/telemetry paths use.
+  std::thread t1([&] {
+    ReplConn conn;
+    for (std::int64_t term = 2; !stop.load(); term += 2) {
+      auto r = f.handle_repl_line(hello_line(art, 4, term, 50), conn);
+      if (!r || (r->rfind("REPL OK", 0) != 0 && r->rfind("ERR stale-term", 0) != 0))
+        failed.store(true);
+    }
+  });
+  std::thread t2([&] {
+    ReplConn conn;
+    for (std::int64_t term = 3; !stop.load(); term += 2) {
+      auto r = f.handle_repl_line("HB 4 " + std::to_string(term) + " 50", conn);
+      if (!r || (r->rfind("ACK HB", 0) != 0 && r->rfind("ERR stale-term", 0) != 0))
+        failed.store(true);
+    }
+  });
+  std::thread t3([&] {
+    std::int64_t last_term = 0;
+    while (!stop.load()) {
+      const std::int64_t t = f.term();
+      if (t < last_term) failed.store(true);  // terms are monotone
+      last_term = t;
+      (void)f.lease_granted();
+      (void)f.lease_remaining_seconds();
+      (void)f.epoch();
+      obs::TelemetrySnapshot snap = f.collect_telemetry();
+      if (snap.gauges.empty()) failed.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  stop.store(true);
+  t1.join();
+  t2.join();
+  t3.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_GE(f.term(), 2);
+  EXPECT_EQ(f.epoch(), art.snapshot_epoch);  // interleaved HELLOs never corrupt state
+}
+
+TEST(ClusterStress, SupervisorSurvivesRoleChurn) {
+  SyntheticNode node;
+  // Every time we become the writer, a peer immediately fences us; the
+  // demotion rejoins with an expired lease, so the machine loops
+  // follower -> candidate -> writer -> demoted follower continuously.
+  auto cb = node.callbacks([&](const std::string& ep) -> std::optional<serve::ClusterPeek> {
+    if (ep == "peer1")
+      return peek_of("follower", node.self_term.load(), node.self_epoch, 1);
+    return std::nullopt;
+  });
+  auto opts = synthetic_options(2);
+  opts.tick_seconds = 0.002;
+  serve::ClusterSupervisor sup(opts, std::move(cb));
+  std::atomic<bool> stop{false};
+  std::thread chaos([&] {
+    while (!stop.load()) {
+      if (node.is_writer.load()) {
+        node.fenced.store(node.self_term.load() + 1);
+      } else {
+        node.fenced.store(0);
+        node.lease_ok.store(false);  // expire the lease again
+      }
+      (void)sup.electing();
+      (void)sup.elections_won();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  ASSERT_TRUE(wait_for([&] { return sup.elections_won() >= 3; }, 10.0));
+  stop.store(true);
+  chaos.join();
+  sup.shutdown();
+  EXPECT_GE(sup.elections_won(), 3);
+  EXPECT_GE(node.demoted_term.load(), 2);
+}
+
+}  // namespace
+}  // namespace commdet
