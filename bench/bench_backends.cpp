@@ -1,0 +1,78 @@
+// Backend race: the paper's agglomeration vs. parallel CDLP (sync and
+// async label propagation) vs. parallel Louvain, through the same
+// DetectPlan dispatch the serve layer uses for refresh ticks.
+//
+// Two workloads — the rmat-24-16 stand-in (hub-heavy, weak community
+// structure) and the soc-LiveJournal1 stand-in (planted partition,
+// community-rich) — at full thread count.  Per backend and trial, one
+// CSV row with wall time, modularity, coverage, community count, and
+// the backend's iteration count (levels or sweeps), quantifying the
+// quality-vs-latency trade the --refresh-algo knob exposes.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "commdet/core/detect.hpp"
+
+namespace {
+
+using V = std::int64_t;
+using commdet::bench::BenchConfig;
+using commdet::bench::report;
+
+void race(const commdet::CommunityGraph<V>& g, const std::string& graph_name,
+          const BenchConfig& cfg) {
+  const std::vector<commdet::DetectPlan> plans = {
+      commdet::DetectPlan::Agglomerative(),
+      commdet::DetectPlan::LabelPropagationSync(),
+      commdet::DetectPlan::LabelPropagationAsync(),
+      commdet::DetectPlan::LouvainRefined(),
+  };
+  commdet::DetectOptions dopts;
+  dopts.agglomeration.min_coverage = 0.5;  // the paper's DIMACS stop
+
+  for (const auto& plan : plans) {
+    const std::string series = graph_name + "/" + std::string(plan.name());
+    for (int trial = 0; trial < cfg.trials; ++trial) {
+      const auto result = commdet::detect_communities(g, plan, dopts);
+      const int iters = result.algorithm ? result.algorithm->iterations : 0;
+      std::printf("row,%s,%d,%d,%.6f,%lld,%.4f,%.4f,%d\n", series.c_str(),
+                  omp_get_max_threads(), trial, result.total_seconds,
+                  static_cast<long long>(result.num_communities),
+                  result.final_coverage, result.final_modularity, iters);
+      std::fflush(stdout);
+      report().add(series, omp_get_max_threads(), trial, result.total_seconds,
+                   {{"communities", static_cast<double>(result.num_communities)},
+                    {"coverage", result.final_coverage},
+                    {"modularity", result.final_modularity},
+                    {"iterations", static_cast<double>(iters)}});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig cfg = commdet::bench::parse_args(argc, argv);
+
+  std::printf("# backend race: agglomerative vs lp-sync vs lp-async vs louvain\n");
+  std::printf("# row,<graph/backend>,<threads>,<trial>,<seconds>,<communities>,"
+              "<coverage>,<modularity>,<iterations>\n");
+
+  {
+    const auto g = commdet::bench::build_rmat_workload<V>(cfg, cfg.scale, cfg.edge_factor);
+    std::printf("# rmat scale %d: %lld vertices, %lld edges\n", cfg.scale,
+                static_cast<long long>(g.nv), static_cast<long long>(g.num_edges()));
+    race(g, "rmat-" + std::to_string(cfg.scale), cfg);
+  }
+  {
+    const auto g = commdet::bench::build_social_workload<V>(cfg);
+    std::printf("# sbm: %lld vertices, %lld edges\n", static_cast<long long>(g.nv),
+                static_cast<long long>(g.num_edges()));
+    race(g, "sbm", cfg);
+  }
+
+  commdet::bench::write_report(cfg, "bench_backends");
+  return 0;
+}

@@ -113,6 +113,7 @@ commdet::EdgeList<V> load(const std::string& path) {
                "       [--metric modularity|conductance|heavy|resolution] [--gamma g]\n"
                "       [--refine flat|vcycle] [--threads t]\n"
                "       [--halo k|auto] [--refresh-margin x] [--refresh-every n]\n"
+               "       [--refresh-algo agglo|lp-sync|lp-async|louvain]\n"
                "       [--batch-count n] [--batch-ms m] [--save-every n] [--keep k]\n"
                "       [--session-idle-timeout s] [--max-line bytes]\n"
                "       [--no-fsync] [--report file.json]\n"
@@ -129,6 +130,8 @@ commdet::EdgeList<V> load(const std::string& path) {
                "  --no-telemetry  disable metrics + event log (METRICS still answers,\n"
                "                  with live gauges only)\n"
                "  --slow-query-ms log a slow_query event for verbs above m ms (0 = off)\n"
+               "  --refresh-algo  backend for triggered refresh ticks (default agglo;\n"
+               "                  lp-sync trades a little quality for O(E) ticks)\n"
                "  --event-log     structured JSONL event path (default <dir>/events.jsonl)\n");
   std::exit(2);
 }
@@ -595,6 +598,10 @@ int main(int argc, char** argv) {
       dopts.refresh_margin = std::stod(next());
     } else if (arg == "--refresh-every") {
       dopts.refresh_every = std::stoi(next());
+    } else if (arg == "--refresh-algo") {
+      const auto p = commdet::DetectPlan::FromName(next());
+      if (!p.has_value()) usage();
+      dopts.refresh_plan = *p;
     } else if (arg == "--batch-count") {
       sopts.batch_max_deltas = std::stoll(next());
     } else if (arg == "--batch-ms") {

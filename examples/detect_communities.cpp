@@ -6,6 +6,10 @@
 // Formats are chosen by extension: .txt/.el (edge list), .graph (METIS),
 // .mtx (Matrix Market), .bin (commdet binary).  Options:
 //   --metric modularity|conductance|heavy   scoring metric
+//   --algo agglo|lp-sync|lp-async|louvain   detection backend (DetectPlan;
+//                       default agglo = the paper's agglomeration; lp-* =
+//                       parallel CDLP label propagation; louvain = parallel
+//                       Louvain with local-move refinement)
 //   --coverage <x>      stop at coverage >= x (paper's experiments: 0.5)
 //   --min-communities <k>
 //   --max-size <n>      maximum original vertices per community
@@ -33,6 +37,9 @@
 //   --halo <k>|auto     unseat k hops around updated edges (default 1);
 //                       "auto" picks the radius per batch from the
 //                       perturbation's cut-weight share
+//   --refresh-algo agglo|lp-sync|lp-async|louvain
+//                       backend for cadence/quality-triggered refreshes
+//                       in dynamic mode (default agglo)
 //   --report <file>     machine-readable JSON run report (schema
 //                       "commdet-run-report" v1: trace, metrics, levels,
 //                       platform, resources, checkpoint provenance;
@@ -95,6 +102,7 @@ commdet::EdgeList<V> load(const std::string& path) {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: detect_communities <graph-file> [--metric modularity|conductance|heavy|resolution]\n"
+               "       [--algo agglo|lp-sync|lp-async|louvain]\n"
                "       [--coverage x] [--min-communities k] [--max-size n]\n"
                "       [--matcher list|sweep|greedy] [--contractor bucket|hash|spgemm]\n"
                "       [--refine flat|vcycle] [--gamma g] [--threads t] [--out file]\n"
@@ -104,6 +112,7 @@ commdet::EdgeList<V> load(const std::string& path) {
                "       [--resume]\n"
                "       [--updates deltas.txt] [--batch-size n] [--halo k|auto]\n"
                "       [--refresh-margin x] [--refresh-every n]\n"
+               "       [--refresh-algo agglo|lp-sync|lp-async|louvain]\n"
                "       [--report file.json] [--report-csv file.csv] [--trace]\n");
   std::exit(2);
 }
@@ -154,6 +163,8 @@ int main(int argc, char** argv) {
   bool print_trace = false;
   bool use_largest_component = false;
   bool resume = false;
+  commdet::DetectPlan plan;          // default: agglomerative
+  commdet::DetectPlan refresh_plan;  // dynamic-mode refresh backend
   commdet::DetectOptions dopts;
   commdet::AgglomerationOptions& opts = dopts.agglomeration;
 
@@ -165,6 +176,14 @@ int main(int argc, char** argv) {
     };
     if (arg == "--metric") {
       metric = next();
+    } else if (arg == "--algo") {
+      const auto p = commdet::DetectPlan::FromName(next());
+      if (!p.has_value()) usage();
+      plan = *p;
+    } else if (arg == "--refresh-algo") {
+      const auto p = commdet::DetectPlan::FromName(next());
+      if (!p.has_value()) usage();
+      refresh_plan = *p;
     } else if (arg == "--coverage") {
       opts.min_coverage = std::stod(next());
     } else if (arg == "--min-communities") {
@@ -292,10 +311,10 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "warning: no valid checkpoint in %s; starting a fresh run\n",
                      opts.checkpoint.directory.c_str());
-        result = commdet::detect_communities(g, dopts);
+        result = commdet::detect_communities(g, plan, dopts);
       }
     } else {
-      result = commdet::detect_communities(g, dopts);
+      result = commdet::detect_communities(g, plan, dopts);
     }
 
     std::printf("communities: %lld   modularity: %.4f   coverage: %.4f\n",
@@ -305,6 +324,11 @@ int main(int argc, char** argv) {
                 result.num_levels(), result.total_seconds,
                 100.0 * result.contraction_fraction());
     std::printf("termination: %s\n", std::string(commdet::to_string(result.reason)).c_str());
+    if (result.algorithm.has_value())
+      std::printf("algorithm: %s (%d %s%s)\n", result.algorithm->name.c_str(),
+                  result.algorithm->iterations,
+                  result.algorithm->name.rfind("lp-", 0) == 0 ? "sweeps" : "levels",
+                  result.algorithm->converged ? ", converged" : "");
     if (commdet::is_degraded(result.reason) && result.error)
       std::printf("degraded run (best clustering so far returned): %s\n",
                   result.error->message().c_str());
@@ -329,6 +353,7 @@ int main(int argc, char** argv) {
       dyn_opts.halo_hops = halo_hops;
       dyn_opts.refresh_margin = refresh_margin;
       dyn_opts.refresh_every = refresh_every;
+      dyn_opts.refresh_plan = refresh_plan;
       commdet::DynamicCommunities<V> dyn(commdet::CommunityGraph<V>(g), result, dyn_opts);
       const auto deltas = commdet::read_delta_text<V>(updates_path);
       const auto total = static_cast<std::int64_t>(deltas.size());
@@ -396,7 +421,8 @@ int main(int argc, char** argv) {
       inputs.resources = &resources;
       inputs.info = {{"tool", "detect_communities"},
                      {"input", path},
-                     {"metric", metric}};
+                     {"metric", metric},
+                     {"algorithm", std::string(plan.name())}};
       if (opts.checkpoint.enabled())
         inputs.info.emplace_back("checkpoint_dir", opts.checkpoint.directory);
       if (dyn_stats.has_value()) {

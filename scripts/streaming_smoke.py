@@ -142,11 +142,16 @@ def main():
     sock_path = os.path.join(args.workdir, "serve.sock")
     report_path = os.path.join(args.workdir, "report.json")
     half = args.batches // 2
+    # Cheap label-propagation refresh ticks every 5 batches: exercises
+    # the plan-selected refresh backend end to end (including crash
+    # recovery of refreshed label arrays).
+    refresh = ("--refresh-algo", "lp-sync", "--refresh-every", "5")
 
     # Phase 1: cold start, stream the first half with queries, and
     # scrape METRICS mid-run: the exposition must parse, and its
     # counters must be monotone non-decreasing across scrapes.
-    proc, epoch, replayed = start_daemon(args.binary, args.graph, state, sock_path)
+    proc, epoch, replayed = start_daemon(args.binary, args.graph, state, sock_path,
+                                         extra=refresh)
     assert (epoch, replayed) == (0, 0), (epoch, replayed)
     c = Client(sock_path)
     prev_metrics = {}
@@ -189,7 +194,8 @@ def main():
     # Phase 2: SIGKILL, restart, demand bit-for-bit recovery.
     proc.send_signal(signal.SIGKILL)
     proc.wait()
-    proc, epoch, replayed = start_daemon(args.binary, args.graph, state, sock_path)
+    proc, epoch, replayed = start_daemon(args.binary, args.graph, state, sock_path,
+                                         extra=refresh)
     assert epoch == committed, (epoch, committed)
     assert replayed >= 1, "expected WAL batches past the last snapshot"
     c = Client(sock_path)
@@ -205,7 +211,16 @@ def main():
         assert c.commit() == b
     stats = c.ask("STATS")
     assert stats.startswith("OK "), stats
-    assert json.loads(stats[3:])["epoch"] == args.batches
+    parsed = json.loads(stats[3:])
+    assert parsed["epoch"] == args.batches
+    # The --refresh-algo plan ran: this instance applied half the stream
+    # live (cadence 5), so its rows must include lp-sync refresh ticks.
+    rows = parsed["dynamic"]["batch_rows"]
+    refreshed = [r for r in rows if r.get("refreshed")]
+    assert refreshed, "expected lp-sync refresh ticks in the batch rows"
+    for r in refreshed:
+        assert r["refresh_algorithm"] == "lp-sync", r
+    print(f"refresh ticks OK: {len(refreshed)} lp-sync refreshes recorded")
     gen = c.ask("SAVE")
     assert gen.startswith("OK "), gen
     proc2_stdout = proc.stdout

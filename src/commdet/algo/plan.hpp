@@ -1,0 +1,139 @@
+// DetectPlan: runtime algorithm selection for community detection.
+//
+// The facade's detect_communities() historically hard-coded the paper's
+// agglomeration; a DetectPlan names which backend runs and carries its
+// knobs, so callers pick quality-vs-latency per request — the streaming
+// service can run cheap label-propagation refresh ticks while
+// recompute() keeps the paper's agglomeration, and the bench suite can
+// race every backend on every graph family.  The shape follows Katana's
+// CdlpPlan: private constructor, one static factory per (architecture,
+// algorithm) combination, accessors for the per-backend options.
+//
+// Every backend returns the same Clustering<V> contract (dense labels,
+// quality scalars, termination reason) and stamps the additive
+// AlgorithmProvenance object the run report serializes, so downstream
+// consumers never branch on which algorithm produced a result.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace commdet {
+
+enum class AlgorithmKind {
+  kAgglomerative,          // the paper's score/match/contract loop
+  kLabelPropagationSync,   // CDLP, double-buffered deterministic sweeps
+  kLabelPropagationAsync,  // CDLP, in-place sweeps (faster convergence)
+  kLouvain,                // PLM: parallel local moving + contraction
+};
+
+[[nodiscard]] constexpr std::string_view to_string(AlgorithmKind k) noexcept {
+  switch (k) {
+    case AlgorithmKind::kAgglomerative: return "agglomerative";
+    case AlgorithmKind::kLabelPropagationSync: return "lp-sync";
+    case AlgorithmKind::kLabelPropagationAsync: return "lp-async";
+    case AlgorithmKind::kLouvain: return "louvain";
+  }
+  return "unknown";
+}
+
+/// Knobs of the CDLP backends (Raghavan et al. label propagation).
+struct CdlpOptions {
+  /// Sweep cap: label propagation has no intrinsic termination on
+  /// graphs that oscillate (bipartite/star subgraphs flip forever under
+  /// synchronous updates), so the cap is the guarantee, not a tuning
+  /// knob.  A run that hits it reports converged = false.
+  int max_iterations = 32;
+
+  /// Early stop: treat the run as converged once a sweep changes at
+  /// most this fraction of vertices (0 = only an unchanged sweep
+  /// converges).  Useful for refresh ticks where the last percent of
+  /// label churn does not pay for its sweeps.
+  double convergence_fraction = 0.0;
+};
+
+/// Knobs of the parallel Louvain backend (PLM, Staudt–Meyerhenke).
+struct PlmOptions {
+  int max_levels = 32;
+  int max_passes_per_level = 8;
+  double min_gain = 1e-9;  // a move must beat staying by this much
+
+  /// Run one parallel local-move refinement pass over the *original*
+  /// graph after the level loop (the LouvainRefined factory's default);
+  /// recovers the quality the coarse levels froze too early.
+  bool refine = true;
+};
+
+/// Selects which detection backend runs and carries its knobs.  Build
+/// one with a factory; the default-constructed plan is the paper's
+/// agglomeration, so existing call sites keep their behavior.
+class DetectPlan {
+ public:
+  /// The paper's agglomeration (score/match/contract); the
+  /// AgglomerationOptions inside DetectOptions continue to configure it.
+  [[nodiscard]] static DetectPlan Agglomerative() {
+    return DetectPlan(AlgorithmKind::kAgglomerative);
+  }
+
+  /// Synchronous CDLP: all vertices update from the previous sweep's
+  /// labels (double-buffered), deterministic min-label tie-break —
+  /// bit-identical results under any thread count.
+  [[nodiscard]] static DetectPlan LabelPropagationSync(CdlpOptions opts = {}) {
+    DetectPlan p(AlgorithmKind::kLabelPropagationSync);
+    p.cdlp_ = opts;
+    return p;
+  }
+
+  /// Asynchronous CDLP: in-place updates see neighbors' current labels,
+  /// converging in fewer sweeps at the price of run-to-run label
+  /// nondeterminism (the partition quality is equivalent).
+  [[nodiscard]] static DetectPlan LabelPropagationAsync(CdlpOptions opts = {}) {
+    DetectPlan p(AlgorithmKind::kLabelPropagationAsync);
+    p.cdlp_ = opts;
+    return p;
+  }
+
+  /// Parallel Louvain with a final refinement pass over the original
+  /// graph.
+  [[nodiscard]] static DetectPlan LouvainRefined(PlmOptions opts = {}) {
+    DetectPlan p(AlgorithmKind::kLouvain);
+    p.plm_ = opts;
+    return p;
+  }
+
+  /// CLI spelling -> plan with default knobs; nullopt for an unknown
+  /// name.  Accepts the provenance names plus "agglo" shorthand.
+  [[nodiscard]] static std::optional<DetectPlan> FromName(std::string_view name) {
+    if (name == "agglo" || name == "agglomerative") return Agglomerative();
+    if (name == "lp-sync") return LabelPropagationSync();
+    if (name == "lp-async") return LabelPropagationAsync();
+    if (name == "louvain") return LouvainRefined();
+    return std::nullopt;
+  }
+
+  DetectPlan() = default;  // agglomerative, like the plan-less overloads
+
+  [[nodiscard]] AlgorithmKind algorithm() const noexcept { return algorithm_; }
+  [[nodiscard]] const CdlpOptions& cdlp() const noexcept { return cdlp_; }
+  [[nodiscard]] const PlmOptions& plm() const noexcept { return plm_; }
+  [[nodiscard]] std::string_view name() const noexcept { return to_string(algorithm_); }
+
+  /// Metric-name-safe spelling ("lp-sync" -> "lp_sync") for counter
+  /// families like dyn.refresh.<algorithm>.
+  [[nodiscard]] std::string metric_token() const {
+    std::string token(name());
+    for (char& c : token)
+      if (c == '-') c = '_';
+    return token;
+  }
+
+ private:
+  explicit DetectPlan(AlgorithmKind k) noexcept : algorithm_(k) {}
+
+  AlgorithmKind algorithm_ = AlgorithmKind::kAgglomerative;
+  CdlpOptions cdlp_;
+  PlmOptions plm_;
+};
+
+}  // namespace commdet

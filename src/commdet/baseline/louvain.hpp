@@ -1,24 +1,25 @@
-// Sequential Louvain method (Blondel, Guillaume, Lambiotte, Lefebvre,
-// "Fast unfolding of communities in large networks", 2008) — the paper's
-// related-work comparator [17] ("it does not use matchings and has not
-// been designed with parallelism in mind").
+// Louvain compatibility facade (Blondel, Guillaume, Lambiotte,
+// Lefebvre, "Fast unfolding of communities in large networks", 2008) —
+// the paper's related-work comparator [17].
 //
-// Two nested phases: (1) local moves — each vertex greedily joins the
-// neighboring community with the largest positive modularity gain until a
-// full pass makes no move; (2) aggregation — communities become vertices
-// of a coarser graph.  Levels repeat until phase 1 stops improving.
-// Used by bench_quality to contextualize the matching-based algorithm's
-// modularity, and by tests as an independent quality oracle.
+// Deprecated shim: the serial implementation that used to live here was
+// superseded by the parallel PLM backend in algo/louvain.hpp, which
+// runs the same two nested phases (local moves, aggregation) with
+// OpenMP local moving and the shared label-keyed bucket-sort
+// contraction.  This header keeps the historical LouvainOptions /
+// LouvainResult / louvain_cluster() surface for bench_quality,
+// bench_refinement, and the baseline tests, forwarding to
+// parallel_louvain().  New code should call parallel_louvain() or
+// detect_communities(g, DetectPlan::LouvainRefined()) directly.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
-#include "commdet/graph/builder.hpp"
+#include "commdet/algo/louvain.hpp"
+#include "commdet/algo/plan.hpp"
 #include "commdet/graph/community_graph.hpp"
-#include "commdet/graph/csr.hpp"
-#include "commdet/util/timer.hpp"
 #include "commdet/util/types.hpp"
 
 namespace commdet {
@@ -38,130 +39,26 @@ struct LouvainResult {
   double seconds = 0.0;
 };
 
+/// Deprecated: forwards to parallel_louvain() with refinement off (the
+/// historical serial method had no post-pass).  Quality and level counts
+/// match the serial implementation's behavior; labels are no longer
+/// deterministic run to run (PLM's racy move schedule).
 template <VertexId V>
 [[nodiscard]] LouvainResult<V> louvain_cluster(const CommunityGraph<V>& input,
                                                const LouvainOptions& opts = {}) {
-  WallTimer timer;
+  PlmOptions plm;
+  plm.max_levels = opts.max_levels;
+  plm.max_passes_per_level = opts.max_passes_per_level;
+  plm.min_gain = opts.min_gain;
+  plm.refine = false;
+  Clustering<V> c = parallel_louvain(input, plm);
+
   LouvainResult<V> result;
-  const auto original_nv = static_cast<std::int64_t>(input.nv);
-  result.community.resize(static_cast<std::size_t>(original_nv));
-  for (std::int64_t v = 0; v < original_nv; ++v)
-    result.community[static_cast<std::size_t>(v)] = static_cast<V>(v);
-  result.num_communities = original_nv;
-  if (input.total_weight == 0) {
-    result.seconds = timer.seconds();
-    return result;
-  }
-
-  CsrGraph<V> g = to_csr(input);
-  const double w_total = static_cast<double>(input.total_weight);
-
-  for (int level = 0; level < opts.max_levels; ++level) {
-    const auto nv = static_cast<std::int64_t>(g.num_vertices());
-    std::vector<std::int64_t> comm(static_cast<std::size_t>(nv));
-    std::vector<double> comm_vol(static_cast<std::size_t>(nv));
-    std::vector<double> vertex_vol(static_cast<std::size_t>(nv));
-    for (std::int64_t v = 0; v < nv; ++v) {
-      comm[static_cast<std::size_t>(v)] = v;
-      double vol = 2.0 * static_cast<double>(g.self_weight[static_cast<std::size_t>(v)]);
-      for (const Weight w : g.weights_of(static_cast<V>(v))) vol += static_cast<double>(w);
-      vertex_vol[static_cast<std::size_t>(v)] = vol;
-      comm_vol[static_cast<std::size_t>(v)] = vol;
-    }
-
-    // Phase 1: local moves.
-    bool any_move = false;
-    std::unordered_map<std::int64_t, double> weight_to;  // community -> edge weight from v
-    for (int pass = 0; pass < opts.max_passes_per_level; ++pass) {
-      bool moved_this_pass = false;
-      for (std::int64_t v = 0; v < nv; ++v) {
-        const auto vi = static_cast<std::size_t>(v);
-        const std::int64_t home = comm[vi];
-        weight_to.clear();
-        weight_to[home];  // staying is always an option
-        const auto nbrs = g.neighbors_of(static_cast<V>(v));
-        const auto wts = g.weights_of(static_cast<V>(v));
-        for (std::size_t k = 0; k < nbrs.size(); ++k)
-          weight_to[comm[static_cast<std::size_t>(nbrs[k])]] += static_cast<double>(wts[k]);
-
-        // Gain of joining community c (with v removed from its home):
-        //   k_{v,c}/W - vol(c) * vol(v) / (2 W^2)
-        comm_vol[static_cast<std::size_t>(home)] -= vertex_vol[vi];
-        double best_gain = weight_to[home] / w_total -
-                           comm_vol[static_cast<std::size_t>(home)] * vertex_vol[vi] /
-                               (2.0 * w_total * w_total);
-        std::int64_t best_comm = home;
-        for (const auto& [c, k_vc] : weight_to) {
-          if (c == home) continue;
-          const double gain = k_vc / w_total - comm_vol[static_cast<std::size_t>(c)] *
-                                                   vertex_vol[vi] / (2.0 * w_total * w_total);
-          if (gain > best_gain + opts.min_gain) {
-            best_gain = gain;
-            best_comm = c;
-          }
-        }
-        comm[vi] = best_comm;
-        comm_vol[static_cast<std::size_t>(best_comm)] += vertex_vol[vi];
-        if (best_comm != home) {
-          moved_this_pass = true;
-          any_move = true;
-        }
-      }
-      if (!moved_this_pass) break;
-    }
-    if (!any_move) break;
-    result.levels = level + 1;
-
-    // Dense-relabel the level's communities.
-    std::vector<std::int64_t> dense(static_cast<std::size_t>(nv), -1);
-    std::int64_t next = 0;
-    for (std::int64_t v = 0; v < nv; ++v) {
-      auto& d = dense[static_cast<std::size_t>(comm[static_cast<std::size_t>(v)])];
-      if (d < 0) d = next++;
-    }
-    for (std::int64_t v = 0; v < original_nv; ++v) {
-      auto& c = result.community[static_cast<std::size_t>(v)];
-      c = static_cast<V>(dense[static_cast<std::size_t>(comm[static_cast<std::size_t>(c)])]);
-    }
-    result.num_communities = next;
-
-    // Phase 2: aggregate into the coarser graph.
-    EdgeList<V> coarse;
-    coarse.num_vertices = static_cast<V>(next);
-    std::vector<Weight> coarse_self(static_cast<std::size_t>(next), 0);
-    for (std::int64_t v = 0; v < nv; ++v) {
-      const auto vi = static_cast<std::size_t>(v);
-      const auto cv = dense[static_cast<std::size_t>(comm[vi])];
-      coarse_self[static_cast<std::size_t>(cv)] += g.self_weight[vi];
-      const auto nbrs = g.neighbors_of(static_cast<V>(v));
-      const auto wts = g.weights_of(static_cast<V>(v));
-      for (std::size_t k = 0; k < nbrs.size(); ++k) {
-        const auto cu = dense[static_cast<std::size_t>(comm[static_cast<std::size_t>(nbrs[k])])];
-        if (cv < cu) {
-          coarse.add(static_cast<V>(cv), static_cast<V>(cu), wts[k]);
-        } else if (cv == cu && static_cast<std::int64_t>(v) < static_cast<std::int64_t>(nbrs[k])) {
-          coarse_self[static_cast<std::size_t>(cv)] += wts[k];
-        }
-      }
-    }
-    for (std::int64_t c = 0; c < next; ++c)
-      if (coarse_self[static_cast<std::size_t>(c)] > 0)
-        coarse.add(static_cast<V>(c), static_cast<V>(c), coarse_self[static_cast<std::size_t>(c)]);
-    g = to_csr(build_community_graph(coarse));
-  }
-
-  // Final modularity from the coarse graph (= partition modularity).
-  {
-    const auto nv = static_cast<std::int64_t>(g.num_vertices());
-    for (std::int64_t v = 0; v < nv; ++v) {
-      const auto vi = static_cast<std::size_t>(v);
-      double vol = 2.0 * static_cast<double>(g.self_weight[vi]);
-      for (const Weight w : g.weights_of(static_cast<V>(v))) vol += static_cast<double>(w);
-      result.modularity += static_cast<double>(g.self_weight[vi]) / w_total -
-                           (vol / (2.0 * w_total)) * (vol / (2.0 * w_total));
-    }
-  }
-  result.seconds = timer.seconds();
+  result.community = std::move(c.community);
+  result.num_communities = c.num_communities;
+  result.modularity = c.final_modularity;
+  result.levels = c.algorithm ? c.algorithm->iterations : 0;
+  result.seconds = c.total_seconds;
   return result;
 }
 

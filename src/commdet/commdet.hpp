@@ -29,9 +29,11 @@
 //   score/     modularity / conductance / heavy-edge / resolution scorers
 //   match/     unmatched-list (paper), edge-sweep (baseline), sequential
 //              greedy matchers
-//   contract/  bucket-sort (paper), hash-chain (baseline), SpGEMM
-//              contractors
+//   contract/  bucket-sort (paper), hash-chain (baseline), SpGEMM,
+//              label-keyed contractors
 //   core/      the agglomerative driver, metrics, hierarchy, extraction
+//   algo/      pluggable detection backends behind DetectPlan: parallel
+//              CDLP (sync/async label propagation) and parallel Louvain
 //   dyn/       batched edge updates with seeded (warm-start)
 //              re-agglomeration over a maintained clustering
 //   refine/    parallel local-move refinement (the paper's future work)
@@ -39,12 +41,16 @@
 //   platform/  host characteristics detection
 #pragma once
 
+#include "commdet/algo/cdlp.hpp"
+#include "commdet/algo/louvain.hpp"
+#include "commdet/algo/plan.hpp"
 #include "commdet/baseline/cnm.hpp"
 #include "commdet/baseline/louvain.hpp"
 #include "commdet/cc/bfs.hpp"
 #include "commdet/cc/connected_components.hpp"
 #include "commdet/contract/bucket_sort_contractor.hpp"
 #include "commdet/contract/hash_chain_contractor.hpp"
+#include "commdet/contract/label_contractor.hpp"
 #include "commdet/contract/spgemm_contractor.hpp"
 #include "commdet/core/agglomerate.hpp"
 #include "commdet/core/clustering.hpp"

@@ -66,6 +66,18 @@ struct LevelStats {
   double contract_seconds = 0.0;
 };
 
+/// Which backend produced a Clustering, surfaced additively in the run
+/// report's "result.algorithm" object so downstream consumers can tell
+/// a cheap label-propagation refresh from a full agglomeration without
+/// branching on schema shape.  `iterations` counts the backend's
+/// natural unit (agglomeration/Louvain levels, CDLP sweeps).
+struct AlgorithmProvenance {
+  std::string name = "agglomerative";
+  int iterations = 0;
+  bool converged = true;
+  std::string refine;  // "", "flat", "vcycle", "local-move"
+};
+
 /// Checkpoint/resume provenance of one driver invocation, surfaced in
 /// the run report so supervisors can tell a fresh run from a resumed
 /// one and find the newest generation to resume from.
@@ -95,6 +107,10 @@ struct Clustering {
 
   /// Present when checkpointing was enabled or the run was resumed.
   std::optional<CheckpointProvenance> checkpoint;
+
+  /// Which backend produced this result (DetectPlan dispatch and the
+  /// backends themselves fill it; absent from results built by hand).
+  std::optional<AlgorithmProvenance> algorithm;
 
   /// Partial stats of the level a contained failure interrupted: phase
   /// times accumulated up to the throw (ScopedTimer adds on unwinding),

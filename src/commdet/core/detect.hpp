@@ -16,6 +16,9 @@
 #include <string_view>
 #include <utility>
 
+#include "commdet/algo/cdlp.hpp"
+#include "commdet/algo/louvain.hpp"
+#include "commdet/algo/plan.hpp"
 #include "commdet/core/agglomerate.hpp"
 #include "commdet/core/metrics.hpp"
 #include "commdet/core/clustering.hpp"
@@ -71,6 +74,17 @@ struct DetectOptions {
   SanitizeOptions sanitize;
 };
 
+/// One spelling of the refine mode for span attributes, provenance, and
+/// the report writer (previously duplicated as inline ternaries).
+[[nodiscard]] constexpr std::string_view to_string(DetectOptions::RefineMode m) noexcept {
+  switch (m) {
+    case DetectOptions::RefineMode::kNone: return "none";
+    case DetectOptions::RefineMode::kFlat: return "flat";
+    case DetectOptions::RefineMode::kVCycle: return "vcycle";
+  }
+  return "unknown";
+}
+
 namespace detail {
 
 /// Dispatches a runtime ScorerKind to the statically typed scorer and
@@ -111,6 +125,17 @@ prepare_agglomeration(const DetectOptions& opts) {
   agglomeration.checkpoint.config_salt =
       fold_detect_salt(agglomeration.checkpoint.config_salt, opts.scorer, opts.resolution_gamma);
   return {std::move(agglomeration), mode};
+}
+
+/// Stamps the agglomerative backend's provenance onto a driver result.
+template <VertexId V>
+void stamp_agglomerative_provenance(Clustering<V>& result, DetectOptions::RefineMode mode) {
+  result.algorithm.emplace();
+  result.algorithm->name = "agglomerative";
+  result.algorithm->iterations = result.num_levels();
+  result.algorithm->converged = !is_degraded(result.reason);
+  if (mode != DetectOptions::RefineMode::kNone)
+    result.algorithm->refine = std::string(to_string(mode));
 }
 
 /// Post-agglomeration refinement shared by detect and resume.
@@ -156,10 +181,7 @@ template <VertexId V>
 
   obs::ScopedSpan span("detect");
   span.attr("scorer", to_string(opts.scorer));
-  span.attr("refine",
-            mode == DetectOptions::RefineMode::kFlat     ? "flat"
-            : mode == DetectOptions::RefineMode::kVCycle ? "vcycle"
-                                                         : "none");
+  span.attr("refine", to_string(mode));
 
   Clustering<V> result =
       detail::with_scorer(opts.scorer, opts.resolution_gamma, [&](const auto& scorer) {
@@ -167,7 +189,31 @@ template <VertexId V>
       });
 
   detail::apply_refinement(g, result, mode, opts);
+  detail::stamp_agglomerative_provenance(result, mode);
   return result;
+}
+
+/// Plan-dispatched detection: runs the backend the DetectPlan selects.
+/// `opts` configures the agglomerative backend (scorer, agglomeration,
+/// refinement) exactly as the plan-less overload does; the CDLP and
+/// Louvain backends are configured by the plan's own knobs and ignore
+/// it.  Every backend returns the same Clustering contract with the
+/// "algorithm" provenance object filled in.
+template <VertexId V>
+[[nodiscard]] Clustering<V> detect_communities(const CommunityGraph<V>& g,
+                                               const DetectPlan& plan,
+                                               const DetectOptions& opts = {}) {
+  switch (plan.algorithm()) {
+    case AlgorithmKind::kLabelPropagationSync:
+      return cdlp_cluster(g, plan.cdlp(), /*synchronous=*/true);
+    case AlgorithmKind::kLabelPropagationAsync:
+      return cdlp_cluster(g, plan.cdlp(), /*synchronous=*/false);
+    case AlgorithmKind::kLouvain:
+      return parallel_louvain(g, plan.plm());
+    case AlgorithmKind::kAgglomerative:
+      break;
+  }
+  return detect_communities(g, opts);
 }
 
 /// Raw edge-list entry point: sanitizes (per opts.sanitize), builds the
@@ -204,6 +250,7 @@ template <VertexId V>
       });
 
   detail::apply_refinement(g, result, mode, opts);
+  detail::stamp_agglomerative_provenance(result, mode);
   return result;
 }
 

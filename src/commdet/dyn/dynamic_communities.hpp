@@ -86,6 +86,14 @@ struct DynamicOptions {
   /// the config fingerprint, so a restarted stream may change it.
   int refresh_every = 0;
 
+  /// Backend the triggered refresh runs (DetectPlan; default
+  /// agglomerative = the classic recompute()).  A label-propagation
+  /// plan makes routine refresh ticks O(E)-per-sweep instead of a full
+  /// agglomeration — the serve layer's quality-vs-latency knob.  Like
+  /// refresh cadence, this is operational tuning excluded from the
+  /// config fingerprint.
+  DetectPlan refresh_plan;
+
   /// Level cap for the warm (seeded) re-agglomeration only, applied
   /// when detect.agglomeration.max_levels is unset.  Heavy matching
   /// absorbs the unseated singletons around a hub one per level (a
@@ -577,11 +585,23 @@ class DynamicCommunities {
           tracker.check_deadline(std::numeric_limits<int>::max()).has_value())
         return;
       WallTimer timer;
-      recompute();
+      if (opts_.refresh_plan.algorithm() == AlgorithmKind::kAgglomerative) {
+        recompute();
+      } else {
+        // Plan-selected refresh backend (e.g. lp-sync for cheap ticks).
+        clustering_ = detect_communities(base_, opts_.refresh_plan, opts_.detect);
+        clustering_.compact_labels();
+        community_cache_.clear();
+        reference_modularity_ = clustering_.final_modularity;
+        batches_since_refresh_ = 0;
+      }
       row.refreshed = true;
       row.refresh_seconds = timer.seconds();
+      row.refresh_algorithm = std::string(opts_.refresh_plan.name());
       ++stats_.full_refreshes;
       if (auto* c = obs::counter("dyn.refreshes")) c->add(1);
+      if (auto* c = obs::counter("dyn.refresh." + opts_.refresh_plan.metric_token()))
+        c->add(1);
     } catch (...) {
       // Committed batch stands; the refresh retries on a later batch.
     }

@@ -24,6 +24,10 @@
 //                               resumed, resumed_from, resumed_generation,
 //                               resumed_level,
 //                               resumed_elapsed_seconds } | null,
+//                 algorithm: { name, iterations, converged,
+//                              refine } | null,
+//                                // which backend produced the result
+//                                // (added within schema version 1)
 //                 community_size_distribution: <distribution> | null,
 //                 levels: [ <level> ... ],
 //                 failed_level: <level> | null },
@@ -33,8 +37,8 @@
 //                  batch_rows: [ { batch, deltas, effective, touched,
 //                                  dirty, seed_communities, apply_seconds,
 //                                  recompute_seconds, modularity, coverage,
-//                                  num_communities, termination,
-//                                  degraded } ... ] } | null,
+//                                  num_communities, termination, degraded,
+//                                  refresh_algorithm } ... ] } | null,
 //                                // present only for --updates runs
 //                                // (added within schema version 1)
 //     "metrics": { "<name>": <int64>, ... },
@@ -107,6 +111,7 @@ struct DynamicBatchRow {
   int halo_hops_used = 0;   // actual radius (adaptive halo picks per batch)
   bool refreshed = false;   // a quality-triggered full recompute followed
   double refresh_seconds = 0.0;
+  std::string refresh_algorithm;  // DetectPlan name of that refresh; "" if none
 };
 
 /// Aggregate dynamic-update telemetry for one run (the "dynamic" run
@@ -361,6 +366,8 @@ inline void write_dynamic(JsonWriter& w, const DynamicRunStats* d) {
     w.value(r.refreshed);
     w.key("refresh_seconds");
     w.value(r.refresh_seconds);
+    w.key("refresh_algorithm");
+    w.value(r.refresh_algorithm);
     w.end_object();
   }
   w.end_array();
@@ -504,6 +511,22 @@ template <VertexId V>
   w.key("checkpoint");
   if (c.checkpoint.has_value()) {
     detail::write_checkpoint(w, *c.checkpoint);
+  } else {
+    w.null();
+  }
+  // Additive in v1: which backend produced the result.
+  w.key("algorithm");
+  if (c.algorithm.has_value()) {
+    w.begin_object();
+    w.key("name");
+    w.value(c.algorithm->name);
+    w.key("iterations");
+    w.value(c.algorithm->iterations);
+    w.key("converged");
+    w.value(c.algorithm->converged);
+    w.key("refine");
+    w.value(c.algorithm->refine);
+    w.end_object();
   } else {
     w.null();
   }
