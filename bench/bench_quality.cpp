@@ -11,7 +11,7 @@
 
 #include "bench_common.hpp"
 #include "commdet/baseline/cnm.hpp"
-#include "commdet/baseline/louvain.hpp"
+#include "commdet/algo/louvain.hpp"
 #include "commdet/core/metrics.hpp"
 
 int main(int argc, char** argv) {
@@ -85,8 +85,10 @@ int main(int argc, char** argv) {
       report("sequential-cnm (SNAP-like)", r.community, r.num_communities, r.seconds);
     }
     {
-      const auto r = louvain_cluster(g);
-      report("sequential-louvain", r.community, r.num_communities, r.seconds);
+      PlmOptions plm;
+      plm.refine = false;  // bare level loop, like the historical baseline
+      const auto r = parallel_louvain(g, plm);
+      report("louvain-plm", r.community, r.num_communities, r.total_seconds);
     }
     std::printf("\n");
   }

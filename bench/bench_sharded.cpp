@@ -1,0 +1,375 @@
+// Memory-vs-time sweep for the sharded out-of-core backend (ISSUE PR 10):
+// detection time and peak RSS across shard counts, with spill on/off,
+// against the unsharded agglomerative baseline.
+//
+//   --scale N --edgefactor F --seed X   R-MAT workload (default 20 / 8)
+//   --shard-counts "1,2,4,8"            shard sweep
+//   --cap-mb M                          RLIMIT_AS cap applied to every
+//                                       measured child process; a run that
+//                                       exceeds it records an abort row
+//   --spill-root D                      where children put spill blocks
+//   --trials T --report F --quick       as the other bench tools
+//
+// Peak RSS (VmHWM) is process-wide and monotone, so every measurement
+// runs in a fresh child process (re-exec of this binary with
+// --child-run); the parent parses a one-line @@RESULT / @@ABORT
+// protocol from the child's stdout.  The sharded children never
+// materialize the full edge list: the R-MAT stream is regenerated in
+// chunks (the counter-keyed RNG makes any index range reproducible) and
+// fed through ShardedGraphBuilder, so a capped scale-22 run completes
+// where the unsharded build aborts.
+#include <omp.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "commdet/core/detect.hpp"
+#include "commdet/obs/metrics.hpp"
+#include "commdet/obs/probes.hpp"
+#include "commdet/shard/sharded_graph.hpp"
+#include "commdet/util/timer.hpp"
+
+namespace {
+
+using commdet::CounterRng;
+using commdet::RawEdge;
+using commdet::RmatParams;
+using V = std::int64_t;
+
+struct Args {
+  // workload
+  int scale = 20;
+  int edge_factor = 8;
+  std::uint64_t seed = 24;
+  int trials = 1;
+  std::vector<int> shard_counts = {1, 2, 4, 8};
+  std::int64_t cap_mb = 0;   // 0 = uncapped
+  bool spill_only = false;   // skip the in-core sharded configs
+  std::string spill_root = "/tmp/bench_sharded_spill";
+  std::string report_path;
+  // child protocol
+  bool child_run = false;
+  std::string mode = "unsharded";  // or "sharded"
+  int shards = 1;
+  bool spill = false;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") a.scale = std::atoi(next());
+    else if (arg == "--edgefactor") a.edge_factor = std::atoi(next());
+    else if (arg == "--seed") a.seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--trials") a.trials = std::atoi(next());
+    else if (arg == "--cap-mb") a.cap_mb = std::atoll(next());
+    else if (arg == "--spill-only") a.spill_only = true;
+    else if (arg == "--spill-root") a.spill_root = next();
+    else if (arg == "--report") a.report_path = next();
+    else if (arg == "--shard-counts") {
+      a.shard_counts.clear();
+      for (const char* p = next(); *p;) {
+        a.shard_counts.push_back(std::atoi(p));
+        while (*p && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    } else if (arg == "--quick") {
+      a.scale = 14;
+      a.shard_counts = {1, 4};
+      a.trials = 1;
+    } else if (arg == "--child-run") a.child_run = true;
+    else if (arg == "--mode") a.mode = next();
+    else if (arg == "--shards") a.shards = std::atoi(next());
+    else if (arg == "--spill") a.spill = true;
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+// Regenerates edges [e0, e1) of generate_rmat<V>(p) — same counter-keyed
+// draws, so the chunked stream is bit-identical to the monolithic one.
+void rmat_chunk(const RmatParams& p, std::int64_t e0, std::int64_t e1,
+                std::vector<RawEdge<V>>& out) {
+  out.resize(static_cast<std::size_t>(e1 - e0));
+  const CounterRng rng(p.seed, /*stream=*/0x524d4154);
+  commdet::parallel_for(e1 - e0, [&](std::int64_t k) {
+    const std::int64_t e = e0 + k;
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(e) * (2 * static_cast<std::uint64_t>(p.scale));
+    std::int64_t row = 0;
+    std::int64_t col = 0;
+    for (int level = 0; level < p.scale; ++level) {
+      double a = p.a, b = p.b, c = p.c, d = p.d;
+      if (p.noise > 0.0) {
+        const std::uint64_t nbits =
+            rng.at(base + 2 * static_cast<std::uint64_t>(level) + 1);
+        const auto jitter = [&](int j) {
+          const double u = static_cast<double>((nbits >> (16 * j)) & 0xffff) / 65536.0;
+          return 1.0 - p.noise / 2.0 + p.noise * u;
+        };
+        a *= jitter(0);
+        b *= jitter(1);
+        c *= jitter(2);
+        d *= jitter(3);
+        const double total = a + b + c + d;
+        a /= total;
+        b /= total;
+        c /= total;
+        d /= total;
+      }
+      const double u = rng.uniform(base + 2 * static_cast<std::uint64_t>(level));
+      row <<= 1;
+      col <<= 1;
+      if (u < a) {
+      } else if (u < a + b) {
+        col |= 1;
+      } else if (u < a + b + c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    out[static_cast<std::size_t>(k)] = {static_cast<V>(row), static_cast<V>(col), 1};
+  });
+}
+
+int run_child(const Args& a) {
+  if (a.cap_mb > 0) {
+    rlimit lim{};
+    lim.rlim_cur = lim.rlim_max =
+        static_cast<rlim_t>(a.cap_mb) * 1024 * 1024;
+    if (setrlimit(RLIMIT_AS, &lim) != 0) {
+      std::printf("@@ABORT setrlimit-failed\n");
+      return 3;
+    }
+  }
+  try {
+    RmatParams p;
+    p.scale = a.scale;
+    p.edge_factor = a.edge_factor;
+    p.seed = a.seed;
+
+    commdet::DetectOptions opts;
+    opts.agglomeration.min_coverage = 0.5;  // the paper's DIMACS rule
+    opts.agglomeration.matcher = commdet::MatcherKind::kEdgeSweep;
+
+    commdet::obs::MetricsRegistry reg;
+    commdet::obs::MetricsSession session(reg);
+    commdet::WallTimer build_timer;
+    commdet::Clustering<V> result;
+    double build_seconds = 0.0;
+
+    if (a.mode == "unsharded") {
+      const auto g = commdet::build_community_graph(commdet::generate_rmat<V>(p));
+      build_seconds = build_timer.seconds();
+      result = commdet::detect_communities(g, opts);
+    } else {
+      // Streamed two-pass build: never hold the full multigraph.
+      const std::int64_t nv = std::int64_t{1} << p.scale;
+      const std::int64_t ne = static_cast<std::int64_t>(p.edge_factor) * nv;
+      const std::int64_t chunk = std::min<std::int64_t>(ne, std::int64_t{1} << 21);
+      commdet::ShardedGraphBuilder<V> builder(
+          nv, a.shards, commdet::ShardSpill{a.spill, a.spill_root});
+      std::vector<RawEdge<V>> buf;
+      for (std::int64_t e0 = 0; e0 < ne; e0 += chunk) {
+        rmat_chunk(p, e0, std::min(ne, e0 + chunk), buf);
+        builder.count_edges(std::span<const RawEdge<V>>(buf));
+      }
+      builder.finalize_ranges();
+      for (std::int64_t e0 = 0; e0 < ne; e0 += chunk) {
+        rmat_chunk(p, e0, std::min(ne, e0 + chunk), buf);
+        builder.add_edges(std::span<const RawEdge<V>>(buf));
+      }
+      std::vector<RawEdge<V>>().swap(buf);
+      auto sg = builder.finalize();
+      build_seconds = build_timer.seconds();
+      result = commdet::detect_communities_sharded(std::move(sg), opts);
+    }
+
+    // A run whose mid-level failure (e.g. bad_alloc under the cap) was
+    // contained by the driver returns best-so-far labels with a
+    // degraded reason — report it as such, not as a clean completion.
+    std::printf("@@RESULT degraded=%d build_seconds=%.6f detect_seconds=%.6f "
+                "modularity=%.9f "
+                "coverage=%.9f communities=%lld levels=%d peak_rss_mb=%.1f "
+                "spill_writes=%lld spill_write_mb=%.1f spill_reads=%lld "
+                "spill_read_mb=%.1f\n",
+                commdet::is_degraded(result.reason) ? 1 : 0,
+                build_seconds, result.total_seconds, result.final_modularity,
+                result.final_coverage, static_cast<long long>(result.num_communities),
+                result.num_levels(),
+                static_cast<double>(commdet::obs::rss_high_water_bytes()) / (1024.0 * 1024.0),
+                static_cast<long long>(reg.counter("shard.spill.writes").value()),
+                static_cast<double>(reg.counter("shard.spill.write_bytes").value()) /
+                    (1024.0 * 1024.0),
+                static_cast<long long>(reg.counter("shard.spill.reads").value()),
+                static_cast<double>(reg.counter("shard.spill.read_bytes").value()) /
+                    (1024.0 * 1024.0));
+    return 0;
+  } catch (const std::bad_alloc&) {
+    std::printf("@@ABORT bad_alloc\n");
+    return 3;
+  } catch (const std::exception& e) {
+    std::printf("@@ABORT %s\n", e.what());
+    return 3;
+  }
+}
+
+struct ChildResult {
+  bool ok = false;
+  std::string abort_reason;
+  std::vector<std::pair<std::string, double>> values;
+};
+
+// popen's `sh -c` would resolve /proc/self/exe to the shell, so the
+// parent resolves its own binary path up front.
+std::string self_exe() {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  return buf;
+}
+
+ChildResult spawn_measurement(const Args& a, const std::string& mode, int shards,
+                              bool spill) {
+  std::string cmd = "'" + self_exe() + "' --child-run --mode " + mode +
+                    " --scale " + std::to_string(a.scale) +
+                    " --edgefactor " + std::to_string(a.edge_factor) +
+                    " --seed " + std::to_string(a.seed) +
+                    " --shards " + std::to_string(shards) +
+                    " --spill-root " + a.spill_root;
+  if (spill) cmd += " --spill";
+  if (a.cap_mb > 0) cmd += " --cap-mb " + std::to_string(a.cap_mb);
+  cmd += " 2>/dev/null";
+
+  ChildResult r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) {
+    r.abort_reason = "popen-failed";
+    return r;
+  }
+  char line[1024];
+  std::string payload;
+  bool aborted = false;
+  while (std::fgets(line, sizeof line, pipe)) {
+    if (std::strncmp(line, "@@RESULT ", 9) == 0) {
+      payload = line + 9;
+      r.ok = true;
+    } else if (std::strncmp(line, "@@ABORT ", 8) == 0) {
+      r.abort_reason = line + 8;
+      if (!r.abort_reason.empty() && r.abort_reason.back() == '\n')
+        r.abort_reason.pop_back();
+      aborted = true;
+    }
+  }
+  const int status = pclose(pipe);
+  if (aborted) r.ok = false;
+  if (!r.ok) {
+    // A child killed by the kernel (OOM under the cap) produces no
+    // protocol line at all — still an abort, not a harness bug.
+    if (r.abort_reason.empty())
+      r.abort_reason = status == 0 ? "no-result" : "killed";
+    return r;
+  }
+  // Parse "key=value key=value ..." into the row's value list.
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    const std::size_t eq = payload.find('=', pos);
+    if (eq == std::string::npos) break;
+    std::size_t end = payload.find(' ', eq);
+    if (end == std::string::npos) end = payload.size();
+    r.values.emplace_back(payload.substr(pos, eq - pos),
+                          std::atof(payload.c_str() + eq + 1));
+    pos = end + 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  if (a.child_run) return run_child(a);
+
+  namespace bench = commdet::bench;
+  std::printf("# bench_sharded: rmat scale %d ef %d, shard counts {", a.scale,
+              a.edge_factor);
+  for (std::size_t i = 0; i < a.shard_counts.size(); ++i)
+    std::printf("%s%d", i ? "," : "", a.shard_counts[i]);
+  std::printf("}, cap %lld MB%s\n", static_cast<long long>(a.cap_mb),
+              a.cap_mb == 0 ? " (uncapped)" : "");
+
+  struct Config {
+    std::string series;
+    std::string mode;
+    int shards;
+    bool spill;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"unsharded", "unsharded", 1, false});
+  for (const int k : a.shard_counts) {
+    if (!a.spill_only)
+      configs.push_back({"sharded-k" + std::to_string(k), "sharded", k, false});
+    configs.push_back({"sharded-k" + std::to_string(k) + "-spill", "sharded", k, true});
+  }
+
+  const int threads = omp_get_max_threads();
+  for (const auto& cfg : configs) {
+    for (int trial = 0; trial < a.trials; ++trial) {
+      const ChildResult r = spawn_measurement(a, cfg.mode, cfg.shards, cfg.spill);
+      if (!r.ok) {
+        std::printf("row,%s,%d,%d,aborted,%s\n", cfg.series.c_str(), threads, trial,
+                    r.abort_reason.c_str());
+        bench::report().add(cfg.series, threads, trial, 0.0,
+                            {{"aborted", 1.0}, {"shards", double(cfg.shards)},
+                             {"spill", cfg.spill ? 1.0 : 0.0},
+                             {"cap_mb", double(a.cap_mb)}});
+        continue;
+      }
+      double detect_s = 0.0, rss = 0.0;
+      bool degraded = false;
+      auto values = r.values;
+      for (const auto& [k, v] : values) {
+        if (k == "detect_seconds") detect_s = v;
+        if (k == "peak_rss_mb") rss = v;
+        if (k == "degraded") degraded = v != 0.0;
+      }
+      values.emplace_back("shards", double(cfg.shards));
+      values.emplace_back("spill", cfg.spill ? 1.0 : 0.0);
+      values.emplace_back("cap_mb", double(a.cap_mb));
+      std::printf("row,%s,%d,%d,%.3f,rss_mb=%.1f%s\n", cfg.series.c_str(), threads,
+                  trial, detect_s, rss, degraded ? ",degraded" : "");
+      bench::report().add(cfg.series, threads, trial, detect_s, std::move(values));
+    }
+  }
+
+  bench::BenchConfig bc;
+  bc.scale = a.scale;
+  bc.edge_factor = a.edge_factor;
+  bc.trials = a.trials;
+  bc.seed = a.seed;
+  bc.report_path = a.report_path;
+  bench::write_report(bc, "bench_sharded");
+  return 0;
+}

@@ -6,10 +6,17 @@
 // Formats are chosen by extension: .txt/.el (edge list), .graph (METIS),
 // .mtx (Matrix Market), .bin (commdet binary).  Options:
 //   --metric modularity|conductance|heavy   scoring metric
-//   --algo agglo|lp-sync|lp-async|louvain   detection backend (DetectPlan;
-//                       default agglo = the paper's agglomeration; lp-* =
-//                       parallel CDLP label propagation; louvain = parallel
-//                       Louvain with local-move refinement)
+//   --algo agglo|lp-sync|lp-async|louvain|agglo-sharded
+//                       detection backend (DetectPlan; default agglo = the
+//                       paper's agglomeration; lp-* = parallel CDLP label
+//                       propagation; louvain = parallel Louvain with
+//                       local-move refinement; agglo-sharded = the
+//                       agglomeration over a K-way partitioned graph)
+//   --shards <K>        shard count for agglo-sharded (implies the
+//                       sharded backend when --algo is default/agglo)
+//   --spill-dir <dir>   out-of-core mode: spill inactive shard blocks to
+//                       snapshot files under <dir> so one block is
+//                       resident per pass (implies agglo-sharded)
 //   --coverage <x>      stop at coverage >= x (paper's experiments: 0.5)
 //   --min-communities <k>
 //   --max-size <n>      maximum original vertices per community
@@ -102,7 +109,8 @@ commdet::EdgeList<V> load(const std::string& path) {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: detect_communities <graph-file> [--metric modularity|conductance|heavy|resolution]\n"
-               "       [--algo agglo|lp-sync|lp-async|louvain]\n"
+               "       [--algo agglo|lp-sync|lp-async|louvain|agglo-sharded]\n"
+               "       [--shards K] [--spill-dir d]\n"
                "       [--coverage x] [--min-communities k] [--max-size n]\n"
                "       [--matcher list|sweep|greedy] [--contractor bucket|hash|spgemm]\n"
                "       [--refine flat|vcycle] [--gamma g] [--threads t] [--out file]\n"
@@ -163,6 +171,8 @@ int main(int argc, char** argv) {
   bool print_trace = false;
   bool use_largest_component = false;
   bool resume = false;
+  int shards = 0;            // > 0: agglo-sharded with this K
+  std::string spill_dir;     // non-empty: out-of-core (implies sharded)
   commdet::DetectPlan plan;          // default: agglomerative
   commdet::DetectPlan refresh_plan;  // dynamic-mode refresh backend
   commdet::DetectOptions dopts;
@@ -180,6 +190,10 @@ int main(int argc, char** argv) {
       const auto p = commdet::DetectPlan::FromName(next());
       if (!p.has_value()) usage();
       plan = *p;
+    } else if (arg == "--shards") {
+      shards = std::stoi(next());
+    } else if (arg == "--spill-dir") {
+      spill_dir = next();
     } else if (arg == "--refresh-algo") {
       const auto p = commdet::DetectPlan::FromName(next());
       if (!p.has_value()) usage();
@@ -255,6 +269,25 @@ int main(int argc, char** argv) {
   if (resume && !opts.checkpoint.enabled()) {
     std::fprintf(stderr, "error: --resume requires --checkpoint-dir\n");
     return 2;
+  }
+  // --shards / --spill-dir select (or configure) the sharded backend.
+  if (shards > 0 || !spill_dir.empty()) {
+    const bool agglo_family =
+        plan.algorithm() == commdet::AlgorithmKind::kAgglomerative ||
+        plan.algorithm() == commdet::AlgorithmKind::kAggloSharded;
+    if (!agglo_family) {
+      std::fprintf(stderr, "error: --shards/--spill-dir require --algo agglo-sharded\n");
+      return 2;
+    }
+    commdet::ShardOptions sh = plan.algorithm() == commdet::AlgorithmKind::kAggloSharded
+                                   ? plan.shard()
+                                   : commdet::ShardOptions{};
+    if (shards > 0) sh.shards = shards;
+    if (!spill_dir.empty()) {
+      sh.spill = true;
+      sh.spill_dir = spill_dir;
+    }
+    plan = commdet::DetectPlan::AggloSharded(sh);
   }
 
   // Observability is opt-in: with no report/trace flag the sinks stay

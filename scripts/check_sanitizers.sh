@@ -29,7 +29,7 @@ run_tsan() {
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   for t in util_parallel_test util_spinlock_test match_test contract_test \
            agglomerate_test robust_budget_test sanitize_test obs_test \
-           serve_test telemetry_test cluster_test algo_test; do
+           serve_test telemetry_test cluster_test algo_test shard_test; do
     cmake --build build-tsan -j "${jobs}" --target "${t}" > /dev/null
   done
   # OpenMP runtimes trip TSan's lock-order heuristics without the
@@ -38,7 +38,7 @@ run_tsan() {
   # internals (see scripts/tsan.supp).
   TSAN_OPTIONS="halt_on_error=1 suppressions=$(pwd)/scripts/tsan.supp" \
     ctest --test-dir build-tsan --output-on-failure -j "${jobs}" \
-      -R "ParallelFor|ParallelSum|ParallelCount|ParallelMax|ParallelExceptions|ExceptionCollector|Spinlock|Match|Contract|Agglomerate|Sanitize|BudgetTracker|Obs|Serve|Telemetry|Cluster|Algo"
+      -R "ParallelFor|ParallelSum|ParallelCount|ParallelMax|ParallelExceptions|ExceptionCollector|Spinlock|Match|Contract|Agglomerate|Sanitize|BudgetTracker|Obs|Serve|Telemetry|Cluster|Algo|Shard"
 }
 
 case "${mode}" in

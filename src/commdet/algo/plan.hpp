@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace commdet {
 
@@ -26,6 +27,7 @@ enum class AlgorithmKind {
   kLabelPropagationSync,   // CDLP, double-buffered deterministic sweeps
   kLabelPropagationAsync,  // CDLP, in-place sweeps (faster convergence)
   kLouvain,                // PLM: parallel local moving + contraction
+  kAggloSharded,           // agglomeration over a partitioned ShardedGraph
 };
 
 [[nodiscard]] constexpr std::string_view to_string(AlgorithmKind k) noexcept {
@@ -34,6 +36,7 @@ enum class AlgorithmKind {
     case AlgorithmKind::kLabelPropagationSync: return "lp-sync";
     case AlgorithmKind::kLabelPropagationAsync: return "lp-async";
     case AlgorithmKind::kLouvain: return "louvain";
+    case AlgorithmKind::kAggloSharded: return "agglo-sharded";
   }
   return "unknown";
 }
@@ -63,6 +66,18 @@ struct PlmOptions {
   /// graph after the level loop (the LouvainRefined factory's default);
   /// recovers the quality the coarse levels froze too early.
   bool refine = true;
+};
+
+/// Knobs of the sharded agglomerative backend (src/commdet/shard/): the
+/// paper's loop over a K-way partitioned graph, optionally out-of-core.
+struct ShardOptions {
+  /// Number of edge-block shards the graph is partitioned into.
+  int shards = 4;
+
+  /// Spill inactive shard blocks to disk (io/snapshot.hpp containers
+  /// under spill_dir) so only one block is resident per pass.
+  bool spill = false;
+  std::string spill_dir;
 };
 
 /// Selects which detection backend runs and carries its knobs.  Build
@@ -102,6 +117,15 @@ class DetectPlan {
     return p;
   }
 
+  /// The paper's agglomeration over a K-way ShardedGraph: same result
+  /// as Agglomerative configured with the edge-sweep matcher
+  /// (bit-identical at every K), with an out-of-core spill mode.
+  [[nodiscard]] static DetectPlan AggloSharded(ShardOptions opts = {}) {
+    DetectPlan p(AlgorithmKind::kAggloSharded);
+    p.shard_ = std::move(opts);
+    return p;
+  }
+
   /// CLI spelling -> plan with default knobs; nullopt for an unknown
   /// name.  Accepts the provenance names plus "agglo" shorthand.
   [[nodiscard]] static std::optional<DetectPlan> FromName(std::string_view name) {
@@ -109,6 +133,7 @@ class DetectPlan {
     if (name == "lp-sync") return LabelPropagationSync();
     if (name == "lp-async") return LabelPropagationAsync();
     if (name == "louvain") return LouvainRefined();
+    if (name == "agglo-sharded") return AggloSharded();
     return std::nullopt;
   }
 
@@ -117,6 +142,7 @@ class DetectPlan {
   [[nodiscard]] AlgorithmKind algorithm() const noexcept { return algorithm_; }
   [[nodiscard]] const CdlpOptions& cdlp() const noexcept { return cdlp_; }
   [[nodiscard]] const PlmOptions& plm() const noexcept { return plm_; }
+  [[nodiscard]] const ShardOptions& shard() const noexcept { return shard_; }
   [[nodiscard]] std::string_view name() const noexcept { return to_string(algorithm_); }
 
   /// Metric-name-safe spelling ("lp-sync" -> "lp_sync") for counter
@@ -134,6 +160,7 @@ class DetectPlan {
   AlgorithmKind algorithm_ = AlgorithmKind::kAgglomerative;
   CdlpOptions cdlp_;
   PlmOptions plm_;
+  ShardOptions shard_;
 };
 
 }  // namespace commdet

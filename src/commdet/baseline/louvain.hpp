@@ -42,8 +42,12 @@ struct LouvainResult {
 /// Deprecated: forwards to parallel_louvain() with refinement off (the
 /// historical serial method had no post-pass).  Quality and level counts
 /// match the serial implementation's behavior; labels are no longer
-/// deterministic run to run (PLM's racy move schedule).
+/// deterministic run to run (PLM's racy move schedule).  Removal
+/// horizon: see DESIGN.md "Deprecations" — this shim goes away two
+/// minor releases after the in-repo callers finished migrating.
 template <VertexId V>
+[[deprecated("use parallel_louvain() or DetectPlan::LouvainRefined(); "
+             "this shim will be removed (DESIGN.md: Deprecations)")]]
 [[nodiscard]] LouvainResult<V> louvain_cluster(const CommunityGraph<V>& input,
                                                const LouvainOptions& opts = {}) {
   PlmOptions plm;

@@ -29,6 +29,8 @@
 #include "commdet/refine/multilevel.hpp"
 #include "commdet/refine/refine.hpp"
 #include "commdet/robust/sanitize.hpp"
+#include "commdet/shard/shard_detect.hpp"
+#include "commdet/shard/sharded_graph.hpp"
 #include "commdet/util/rng.hpp"
 #include "commdet/util/types.hpp"
 
@@ -193,6 +195,50 @@ template <VertexId V>
   return result;
 }
 
+/// Sharded detection entry point: runs the agglomeration over a
+/// partitioned (optionally out-of-core) graph, consumed by the driver.
+/// Same scorer/refinement knobs as detect_communities; when refinement
+/// is requested the original graph is assembled from the shards first
+/// (refinement moves vertices of the ORIGINAL graph, which the driver's
+/// contractions destroy).  Out-of-core runs normally skip refinement —
+/// assembly materializes the full graph in memory.
+template <VertexId V>
+[[nodiscard]] Clustering<V> detect_communities_sharded(ShardedGraph<V> sg,
+                                                       const DetectOptions& opts = {}) {
+  const bool unbounded =
+      opts.scorer == ScorerKind::kHeavyEdge || opts.scorer == ScorerKind::kConductance;
+  if (unbounded && opts.agglomeration.min_coverage > 1.0 &&
+      opts.agglomeration.min_communities <= 1 && opts.agglomeration.max_levels == 0 &&
+      opts.agglomeration.max_community_size == 0) {
+    throw std::invalid_argument(
+        std::string(to_string(opts.scorer)) +
+        " scoring never reaches a local maximum; set a coverage/size/level limit");
+  }
+
+  const auto [agglomeration, mode] = detail::prepare_agglomeration(opts);
+
+  obs::ScopedSpan span("detect");
+  span.attr("scorer", to_string(opts.scorer));
+  span.attr("refine", to_string(mode));
+  span.attr("shards", static_cast<std::int64_t>(sg.num_shards()));
+
+  // Refinement needs the original graph, which the sharded driver
+  // consumes level by level — assemble a copy up front only when asked.
+  CommunityGraph<V> original;
+  const bool need_original = mode != DetectOptions::RefineMode::kNone;
+  if (need_original) original = sg.assemble();
+
+  Clustering<V> result =
+      detail::with_scorer(opts.scorer, opts.resolution_gamma, [&](const auto& scorer) {
+        return sharded_agglomerate(std::move(sg), scorer, agglomeration);
+      });
+
+  if (need_original) detail::apply_refinement(original, result, mode, opts);
+  detail::stamp_agglomerative_provenance(result, mode);
+  result.algorithm->name = "agglo-sharded";
+  return result;
+}
+
 /// Plan-dispatched detection: runs the backend the DetectPlan selects.
 /// `opts` configures the agglomerative backend (scorer, agglomeration,
 /// refinement) exactly as the plan-less overload does; the CDLP and
@@ -210,6 +256,11 @@ template <VertexId V>
       return cdlp_cluster(g, plan.cdlp(), /*synchronous=*/false);
     case AlgorithmKind::kLouvain:
       return parallel_louvain(g, plan.plm());
+    case AlgorithmKind::kAggloSharded: {
+      const auto& sh = plan.shard();
+      return detect_communities_sharded(
+          partition_graph(g, sh.shards, ShardSpill{sh.spill, sh.spill_dir}), opts);
+    }
     case AlgorithmKind::kAgglomerative:
       break;
   }

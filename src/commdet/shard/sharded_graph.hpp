@@ -1,0 +1,926 @@
+// Partitioned community graph: the single-process skeleton of the
+// multi-node designs in Lu–Halappanavar and the Arachne paper.
+//
+// A ShardedGraph splits the vertex range [0, nv) into K contiguous
+// ownership ranges, cut so every shard holds roughly the same number of
+// edges.  Shard s stores the edge buckets of its owned vertices in a
+// ShardBlock — the same hashed-first canonical layout the builder
+// produces (buckets contiguous in vertex order, each sorted by second
+// endpoint), restricted to [lo, hi).  An edge whose second endpoint is
+// owned elsewhere is a *cut edge*: it is stored exactly once, in its
+// hashed-first owner's block, and the remote endpoint appears in that
+// block's ghost list.  Concatenating the blocks in shard order therefore
+// reproduces the unsharded canonical graph bit for bit (assemble()), and
+// every cut edge's weight is counted exactly once across shards.
+//
+// Ownership of *per-vertex* state (self weights, volumes) stays in two
+// nv-long arrays indexed globally.  In this single-process skeleton they
+// are shared memory; in a multi-node port each shard would own its
+// slice and the ghost lists delimit exactly which remote entries must be
+// exchanged before scoring (exchange point 1 of the protocol described
+// in DESIGN.md).
+//
+// Out-of-core mode: with ShardSpill enabled, a block's arrays live in a
+// crash-atomic io/snapshot.hpp container on disk while inactive.  A
+// BlockLease makes a shard resident for the duration of a pass and
+// spills it back on release, so the peak footprint of a sweep is the
+// per-vertex arrays plus ONE resident block.  Blocks are immutable
+// during detection, so a clean release is a pure memory free (the disk
+// copy stays valid); only delta application rewrites the spill file.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "commdet/graph/builder.hpp"
+#include "commdet/graph/community_graph.hpp"
+#include "commdet/graph/delta.hpp"
+#include "commdet/graph/edge_list.hpp"
+#include "commdet/io/snapshot.hpp"
+#include "commdet/obs/metrics.hpp"
+#include "commdet/util/compact.hpp"
+#include "commdet/util/parallel.hpp"
+#include "commdet/util/prefix_sum.hpp"
+#include "commdet/util/sort.hpp"
+#include "commdet/util/types.hpp"
+
+namespace commdet {
+
+/// Out-of-core configuration: when enabled, inactive shard blocks live
+/// in snapshot containers under `directory` instead of memory.
+struct ShardSpill {
+  bool enabled = false;
+  std::string directory;
+};
+
+inline constexpr std::uint32_t kShardBlockSnapshotVersion = 41;
+inline constexpr std::uint32_t kShardStageSnapshotVersion = 42;
+
+namespace detail {
+
+[[nodiscard]] inline std::uint64_t next_shard_file_id() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Creates the spill directory on first use (idempotent; races between
+/// shards are fine — create_directories succeeds if it already exists).
+inline void ensure_spill_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec)
+    throw std::runtime_error("cannot create spill directory: " + dir + " (" +
+                             ec.message() + ")");
+}
+
+/// Cuts [0, nv) into k contiguous ranges balanced by the edge-count
+/// prefix `cum` (size nv + 1).  Falls back to vertex-balanced cuts on an
+/// edgeless graph.  Deterministic: the same prefix always produces the
+/// same cuts, which is what keeps re-sharded contractions reproducible.
+template <VertexId V>
+[[nodiscard]] std::vector<V> balanced_shard_cuts(std::span<const EdgeId> cum, int k) {
+  const auto nv = static_cast<std::int64_t>(cum.size()) - 1;
+  const EdgeId total = cum[static_cast<std::size_t>(nv)];
+  std::vector<V> cuts(static_cast<std::size_t>(k) + 1, 0);
+  cuts[static_cast<std::size_t>(k)] = static_cast<V>(nv);
+  for (int s = 1; s < k; ++s) {
+    std::int64_t at;
+    if (total == 0) {
+      at = nv * s / k;
+    } else {
+      const EdgeId target = total * s / k;
+      at = std::lower_bound(cum.begin(), cum.end(), target) - cum.begin();
+    }
+    at = std::clamp<std::int64_t>(at, static_cast<std::int64_t>(cuts[static_cast<std::size_t>(s) - 1]), nv);
+    cuts[static_cast<std::size_t>(s)] = static_cast<V>(at);
+  }
+  return cuts;
+}
+
+}  // namespace detail
+
+/// One shard's edge storage: the canonical bucketed layout restricted to
+/// the owned vertex range [lo, hi).  Bucket cursors are local (indexed
+/// by v - lo); endpoint ids stay global.  `ne` and the range survive a
+/// spill — only the arrays leave memory.
+template <VertexId V>
+struct ShardBlock {
+  V lo = 0;
+  V hi = 0;
+
+  std::vector<EdgeId> bucket_begin;  // local index (v - lo)
+  std::vector<EdgeId> bucket_end;
+  std::vector<V> efirst;   // global ids; efirst[e] in [lo, hi)
+  std::vector<V> esecond;  // global ids, may be remote
+  std::vector<Weight> eweight;
+
+  /// Sorted unique remote endpoints referenced by this block's edges —
+  /// the exact set of vertices whose volumes a multi-node port would
+  /// fetch before scoring, and whose match offers cross the boundary.
+  std::vector<V> ghosts;
+
+  EdgeId ne = 0;  // edge count; valid while spilled
+  bool resident = true;
+  bool spilled_valid = false;  // the on-disk copy matches the arrays
+  std::string spill_path;
+
+  [[nodiscard]] V num_owned() const noexcept { return hi - lo; }
+  [[nodiscard]] EdgeId num_edges() const noexcept { return ne; }
+
+  /// Bucket of an *owned* global vertex v.
+  [[nodiscard]] std::pair<EdgeId, EdgeId> bucket(V v) const noexcept {
+    const auto i = static_cast<std::size_t>(v - lo);
+    return {bucket_begin[i], bucket_end[i]};
+  }
+
+  [[nodiscard]] std::size_t array_bytes() const noexcept {
+    return bucket_begin.size() * sizeof(EdgeId) + bucket_end.size() * sizeof(EdgeId) +
+           (efirst.size() + esecond.size() + ghosts.size()) * sizeof(V) +
+           eweight.size() * sizeof(Weight);
+  }
+
+  /// Rebuilds the ghost list from the current edge arrays.
+  void refresh_ghosts() {
+    ghosts.clear();
+    for (const V s : esecond)
+      if (s < lo || s >= hi) ghosts.push_back(s);
+    std::sort(ghosts.begin(), ghosts.end());
+    ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+  }
+
+  void drop_arrays() noexcept {
+    std::vector<EdgeId>().swap(bucket_begin);
+    std::vector<EdgeId>().swap(bucket_end);
+    std::vector<V>().swap(efirst);
+    std::vector<V>().swap(esecond);
+    std::vector<Weight>().swap(eweight);
+    std::vector<V>().swap(ghosts);
+  }
+};
+
+/// The partitioned graph.  Move-only: the instance owns its spill files
+/// and removes them on destruction.
+template <VertexId V>
+struct ShardedGraph {
+  V nv = 0;
+  Weight total_weight = 0;
+  ShardSpill spill;
+  std::vector<ShardBlock<V>> shards;
+
+  /// Per-vertex state, globally indexed.  Writers are always the owning
+  /// shard or a reconciled cross-shard reduction (see DESIGN.md).
+  std::vector<Weight> self_weight;
+  std::vector<Weight> volume;
+
+  ShardedGraph() = default;
+  ShardedGraph(const ShardedGraph&) = delete;
+  ShardedGraph& operator=(const ShardedGraph&) = delete;
+  ShardedGraph(ShardedGraph&&) noexcept = default;
+  ShardedGraph& operator=(ShardedGraph&& other) noexcept {
+    if (this != &other) {
+      remove_spill_files();
+      nv = other.nv;
+      total_weight = other.total_weight;
+      spill = std::move(other.spill);
+      shards = std::move(other.shards);
+      self_weight = std::move(other.self_weight);
+      volume = std::move(other.volume);
+    }
+    return *this;
+  }
+  ~ShardedGraph() { remove_spill_files(); }
+
+  [[nodiscard]] int num_shards() const noexcept { return static_cast<int>(shards.size()); }
+  [[nodiscard]] V num_vertices() const noexcept { return nv; }
+
+  [[nodiscard]] EdgeId num_edges() const noexcept {
+    EdgeId total = 0;
+    for (const auto& b : shards) total += b.ne;
+    return total;
+  }
+
+  /// Shard owning global vertex v (ranges are contiguous and sorted).
+  [[nodiscard]] int owner_of(V v) const noexcept {
+    int lo = 0;
+    int hi = num_shards() - 1;
+    while (lo < hi) {
+      const int mid = (lo + hi + 1) / 2;
+      if (shards[static_cast<std::size_t>(mid)].lo <= v) lo = mid;
+      else hi = mid - 1;
+    }
+    return lo;
+  }
+
+  /// Bytes currently held in memory (blocks + per-vertex arrays).
+  [[nodiscard]] std::size_t resident_bytes() const noexcept {
+    std::size_t total = (self_weight.size() + volume.size()) * sizeof(Weight);
+    for (const auto& b : shards)
+      if (b.resident) total += b.array_bytes();
+    return total;
+  }
+
+  /// Loads a spilled block back into memory.  Throws CommdetError on a
+  /// failed or corrupt read (fault site io.snapshot.read).
+  void ensure_resident(int s) {
+    auto& b = shards[static_cast<std::size_t>(s)];
+    if (b.resident) return;
+    SnapshotReader r(b.spill_path, kShardBlockSnapshotVersion);
+    const auto lo = static_cast<V>(r.read_i64());
+    const auto hi = static_cast<V>(r.read_i64());
+    if (lo != b.lo || hi != b.hi)
+      throw_error(ErrorCode::kIoFormat, Phase::kDriver,
+                  "shard block range mismatch in " + b.spill_path);
+    b.bucket_begin = r.read_i64_array<EdgeId>();
+    b.bucket_end = r.read_i64_array<EdgeId>();
+    b.efirst = r.read_i64_array<V>();
+    b.esecond = r.read_i64_array<V>();
+    b.eweight = r.read_i64_array<Weight>();
+    b.ghosts = r.read_i64_array<V>();
+    r.finish();
+    b.ne = static_cast<EdgeId>(b.efirst.size());
+    b.resident = true;
+    if (obs::Counter* c = obs::counter("shard.spill.reads")) c->add(1);
+    if (obs::Counter* c = obs::counter("shard.spill.read_bytes"))
+      c->add(static_cast<std::int64_t>(b.array_bytes()));
+  }
+
+  /// Releases a block after a pass.  No-op without spill; otherwise the
+  /// arrays are freed, writing the snapshot first when the block is
+  /// dirty (or was never stored).
+  void release(int s) {
+    if (!spill.enabled) return;
+    auto& b = shards[static_cast<std::size_t>(s)];
+    if (!b.resident) return;
+    if (!b.spilled_valid) store_block(s);
+    b.drop_arrays();
+    b.resident = false;
+  }
+
+  /// Reconstructs the unsharded canonical CommunityGraph (tests, the
+  /// oracle comparisons, and small-graph interop).  Blocks are leased
+  /// one at a time, so this works in spill mode too.
+  [[nodiscard]] CommunityGraph<V> assemble() {
+    CommunityGraph<V> g;
+    g.nv = nv;
+    g.total_weight = total_weight;
+    g.self_weight = self_weight;
+    g.volume = volume;
+    const EdgeId total = num_edges();
+    g.efirst.reserve(static_cast<std::size_t>(total));
+    g.esecond.reserve(static_cast<std::size_t>(total));
+    g.eweight.reserve(static_cast<std::size_t>(total));
+    g.bucket_begin.assign(static_cast<std::size_t>(nv), 0);
+    g.bucket_end.assign(static_cast<std::size_t>(nv), 0);
+    for (int s = 0; s < num_shards(); ++s) {
+      ensure_resident(s);
+      const auto& b = shards[static_cast<std::size_t>(s)];
+      const auto base = static_cast<EdgeId>(g.efirst.size());
+      for (V v = b.lo; v < b.hi; ++v) {
+        const auto [bb, be] = b.bucket(v);
+        g.bucket_begin[static_cast<std::size_t>(v)] = base + bb;
+        g.bucket_end[static_cast<std::size_t>(v)] = base + be;
+      }
+      g.efirst.insert(g.efirst.end(), b.efirst.begin(), b.efirst.end());
+      g.esecond.insert(g.esecond.end(), b.esecond.begin(), b.esecond.end());
+      g.eweight.insert(g.eweight.end(), b.eweight.begin(), b.eweight.end());
+      release(s);
+    }
+    return g;
+  }
+
+  void remove_spill_files() noexcept {
+    for (auto& b : shards) {
+      if (!b.spill_path.empty()) (void)std::remove(b.spill_path.c_str());
+      b.spill_path.clear();
+      b.spilled_valid = false;
+    }
+  }
+
+ private:
+  void store_block(int s) {
+    auto& b = shards[static_cast<std::size_t>(s)];
+    if (b.spill_path.empty()) {
+      detail::ensure_spill_dir(spill.directory);
+      b.spill_path = spill.directory + "/blk-" +
+                     std::to_string(detail::next_shard_file_id()) + ".shard";
+    }
+    SnapshotWriter w(b.spill_path, kShardBlockSnapshotVersion);
+    w.write_i64(static_cast<std::int64_t>(b.lo));
+    w.write_i64(static_cast<std::int64_t>(b.hi));
+    w.write_i64_array(b.bucket_begin);
+    w.write_i64_array(b.bucket_end);
+    w.write_i64_array(b.efirst);
+    w.write_i64_array(b.esecond);
+    w.write_i64_array(b.eweight);
+    w.write_i64_array(b.ghosts);
+    w.commit();
+    b.spilled_valid = true;
+    if (obs::Counter* c = obs::counter("shard.spill.writes")) c->add(1);
+    if (obs::Counter* c = obs::counter("shard.spill.write_bytes"))
+      c->add(static_cast<std::int64_t>(w.payload_size()));
+  }
+};
+
+/// RAII residency for one shard during a pass: loads on construction,
+/// releases (spilling if dirty) on destruction.  A release failure in
+/// the destructor is contained — the block simply stays resident; call
+/// close() to release with error propagation.
+template <VertexId V>
+class BlockLease {
+ public:
+  BlockLease(ShardedGraph<V>& g, int s) : g_(&g), s_(s) { g.ensure_resident(s); }
+  BlockLease(const BlockLease&) = delete;
+  BlockLease& operator=(const BlockLease&) = delete;
+  ~BlockLease() {
+    try {
+      g_->release(s_);
+    } catch (...) {
+      if (obs::Counter* c = obs::counter("shard.spill.release_failures")) c->add(1);
+    }
+  }
+
+  void close() { g_->release(s_); }
+
+  [[nodiscard]] ShardBlock<V>& block() noexcept {
+    return g_->shards[static_cast<std::size_t>(s_)];
+  }
+
+ private:
+  ShardedGraph<V>* g_;
+  int s_;
+};
+
+/// Partitions an in-memory canonical CommunityGraph (builder layout:
+/// contiguous buckets in vertex order, each sorted by second endpoint)
+/// into K edge-balanced shards.  With spill enabled, each block is
+/// written out as soon as it is cut, so the peak overhead beyond the
+/// input graph is one block.
+template <VertexId V>
+[[nodiscard]] ShardedGraph<V> partition_graph(const CommunityGraph<V>& g, int num_shards,
+                                              ShardSpill spill = {}) {
+  if (num_shards < 1) throw std::invalid_argument("shard count must be >= 1");
+  if (spill.enabled && spill.directory.empty())
+    throw std::invalid_argument("shard spill requires a directory");
+  const auto nv = static_cast<std::int64_t>(g.nv);
+  const int k = static_cast<int>(
+      std::min<std::int64_t>(num_shards, std::max<std::int64_t>(nv, 1)));
+
+  ShardedGraph<V> out;
+  out.nv = g.nv;
+  out.total_weight = g.total_weight;
+  out.spill = std::move(spill);
+  out.self_weight = g.self_weight;
+  out.volume = g.volume;
+
+  std::vector<EdgeId> cum(static_cast<std::size_t>(nv) + 1, 0);
+  parallel_for(nv, [&](std::int64_t v) {
+    const auto i = static_cast<std::size_t>(v);
+    cum[i] = g.bucket_end[i] - g.bucket_begin[i];
+  });
+  (void)exclusive_prefix_sum(std::span<EdgeId>(cum));
+  const auto cuts = detail::balanced_shard_cuts<V>(std::span<const EdgeId>(cum), k);
+
+  out.shards.resize(static_cast<std::size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    auto& b = out.shards[static_cast<std::size_t>(s)];
+    b.lo = cuts[static_cast<std::size_t>(s)];
+    b.hi = cuts[static_cast<std::size_t>(s) + 1];
+    const auto owned = static_cast<std::int64_t>(b.hi - b.lo);
+    const EdgeId base = cum[static_cast<std::size_t>(b.lo)];
+    const EdgeId count = cum[static_cast<std::size_t>(b.hi)] - base;
+    b.bucket_begin.resize(static_cast<std::size_t>(owned));
+    b.bucket_end.resize(static_cast<std::size_t>(owned));
+    b.efirst.resize(static_cast<std::size_t>(count));
+    b.esecond.resize(static_cast<std::size_t>(count));
+    b.eweight.resize(static_cast<std::size_t>(count));
+    parallel_for(owned, [&](std::int64_t i) {
+      const auto v = static_cast<std::size_t>(b.lo + static_cast<V>(i));
+      const EdgeId dst = cum[v] - base;
+      const EdgeId len = g.bucket_end[v] - g.bucket_begin[v];
+      b.bucket_begin[static_cast<std::size_t>(i)] = dst;
+      b.bucket_end[static_cast<std::size_t>(i)] = dst + len;
+      const EdgeId src = g.bucket_begin[v];
+      for (EdgeId e = 0; e < len; ++e) {
+        b.efirst[static_cast<std::size_t>(dst + e)] = g.efirst[static_cast<std::size_t>(src + e)];
+        b.esecond[static_cast<std::size_t>(dst + e)] = g.esecond[static_cast<std::size_t>(src + e)];
+        b.eweight[static_cast<std::size_t>(dst + e)] = g.eweight[static_cast<std::size_t>(src + e)];
+      }
+    });
+    b.ne = count;
+    b.refresh_ghosts();
+    out.release(s);
+  }
+  return out;
+}
+
+/// Builds a ShardedGraph from raw edges WITHOUT ever materializing the
+/// full edge list or the unsharded graph — the out-of-core entry point.
+/// Two passes over the input (any chunking, any order):
+///
+///   1. count_edges() on every chunk, then finalize_ranges(): a
+///      per-vertex histogram of hashed-first placements fixes the
+///      edge-balanced ownership cuts.
+///   2. add_edges() on every chunk routes each edge to its owner's
+///      staging buffer (spilled to stage part files beyond a budget),
+///      then finalize() sorts/dedupes each shard independently into the
+///      canonical block layout — identical to partitioning the output
+///      of build_community_graph on the same input.
+template <VertexId V>
+class ShardedGraphBuilder {
+ public:
+  ShardedGraphBuilder(V nv, int num_shards, ShardSpill spill = {},
+                      std::int64_t stage_budget_edges = std::int64_t{1} << 20)
+      : nv_(nv), stage_budget_(stage_budget_edges) {
+    if (num_shards < 1) throw std::invalid_argument("shard count must be >= 1");
+    if (spill.enabled && spill.directory.empty())
+      throw std::invalid_argument("shard spill requires a directory");
+    k_ = static_cast<int>(std::min<std::int64_t>(
+        num_shards, std::max<std::int64_t>(static_cast<std::int64_t>(nv), 1)));
+    graph_.nv = nv;
+    graph_.spill = std::move(spill);
+    counts_.assign(static_cast<std::size_t>(nv) + 1, 0);
+  }
+
+  /// Phase 1: histogram one chunk (validates endpoints and weights).
+  void count_edges(std::span<const RawEdge<V>> chunk) {
+    if (ranged_) throw std::logic_error("count_edges after finalize_ranges");
+    std::atomic<bool> bad_endpoint{false};
+    std::atomic<bool> bad_weight{false};
+    parallel_for(static_cast<std::int64_t>(chunk.size()), [&](std::int64_t i) {
+      const auto& e = chunk[static_cast<std::size_t>(i)];
+      if (e.u < 0 || e.u >= nv_ || e.v < 0 || e.v >= nv_) {
+        bad_endpoint.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (e.w <= 0) {
+        bad_weight.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (e.u == e.v) return;
+      const auto [f, s] = hashed_edge_order(e.u, e.v);
+      std::atomic_ref<EdgeId>(counts_[static_cast<std::size_t>(f)])
+          .fetch_add(1, std::memory_order_relaxed);
+    });
+    if (bad_endpoint.load()) throw std::invalid_argument("edge endpoint out of range");
+    if (bad_weight.load()) throw std::invalid_argument("edge weight must be positive");
+  }
+
+  void finalize_ranges() {
+    if (ranged_) return;
+    cum_ = counts_;
+    (void)exclusive_prefix_sum(std::span<EdgeId>(cum_));
+    const auto cuts = detail::balanced_shard_cuts<V>(std::span<const EdgeId>(cum_), k_);
+    graph_.shards.resize(static_cast<std::size_t>(k_));
+    for (int s = 0; s < k_; ++s) {
+      graph_.shards[static_cast<std::size_t>(s)].lo = cuts[static_cast<std::size_t>(s)];
+      graph_.shards[static_cast<std::size_t>(s)].hi = cuts[static_cast<std::size_t>(s) + 1];
+    }
+    graph_.self_weight.assign(static_cast<std::size_t>(nv_), 0);
+    graph_.volume.assign(static_cast<std::size_t>(nv_), 0);
+    stage_.assign(static_cast<std::size_t>(k_), Stage{});
+    parts_.assign(static_cast<std::size_t>(k_), {});
+    cuts_ = cuts;
+    ranged_ = true;
+  }
+
+  /// Phase 2: route one chunk to the owning shards' staging buffers.
+  void add_edges(std::span<const RawEdge<V>> chunk) {
+    if (!ranged_) throw std::logic_error("add_edges before finalize_ranges");
+    for (const auto& e : chunk) {
+      graph_.total_weight += e.w;
+      if (e.u == e.v) {
+        graph_.self_weight[static_cast<std::size_t>(e.u)] += e.w;
+        continue;
+      }
+      const auto [f, s] = hashed_edge_order(e.u, e.v);
+      const int owner = owner_of(f);
+      auto& st = stage_[static_cast<std::size_t>(owner)];
+      st.first.push_back(f);
+      st.second.push_back(s);
+      st.weight.push_back(e.w);
+      if (graph_.spill.enabled &&
+          static_cast<std::int64_t>(st.first.size()) >= stage_budget_)
+        flush_stage(owner);
+    }
+  }
+
+  /// Sorts, dedupes, and lays out every shard; returns the finished
+  /// graph (blocks spilled as they complete when spill is on).
+  [[nodiscard]] ShardedGraph<V> finalize() {
+    if (!ranged_) finalize_ranges();
+    for (int s = 0; s < k_; ++s) finalize_shard(s);
+    // Volume = 2*self + incident cut weight; the edge contributions were
+    // accumulated per shard, the self term lands here.
+    parallel_for(static_cast<std::int64_t>(nv_), [&](std::int64_t v) {
+      const auto i = static_cast<std::size_t>(v);
+      std::atomic_ref<Weight>(graph_.volume[i])
+          .fetch_add(2 * graph_.self_weight[i], std::memory_order_relaxed);
+    });
+    ranged_ = false;
+    return std::move(graph_);
+  }
+
+ private:
+  struct Stage {
+    std::vector<V> first;
+    std::vector<V> second;
+    std::vector<Weight> weight;
+  };
+
+  [[nodiscard]] int owner_of(V f) const noexcept {
+    int lo = 0;
+    int hi = k_ - 1;
+    while (lo < hi) {
+      const int mid = (lo + hi + 1) / 2;
+      if (cuts_[static_cast<std::size_t>(mid)] <= f) lo = mid;
+      else hi = mid - 1;
+    }
+    return lo;
+  }
+
+  void flush_stage(int s) {
+    auto& st = stage_[static_cast<std::size_t>(s)];
+    if (st.first.empty()) return;
+    detail::ensure_spill_dir(graph_.spill.directory);
+    const std::string path = graph_.spill.directory + "/stage-" +
+                             std::to_string(detail::next_shard_file_id()) + ".part";
+    SnapshotWriter w(path, kShardStageSnapshotVersion);
+    w.write_i64_array(st.first);
+    w.write_i64_array(st.second);
+    w.write_i64_array(st.weight);
+    w.commit();
+    parts_[static_cast<std::size_t>(s)].push_back(path);
+    Stage{}.first.swap(st.first);
+    Stage{}.second.swap(st.second);
+    Stage{}.weight.swap(st.weight);
+  }
+
+  void finalize_shard(int s) {
+    auto& b = graph_.shards[static_cast<std::size_t>(s)];
+    const EdgeId expect = cum_[static_cast<std::size_t>(b.hi)] -
+                          cum_[static_cast<std::size_t>(b.lo)];
+    std::vector<detail::HashedTriple<V>> triples;
+    triples.reserve(static_cast<std::size_t>(expect));
+    for (const auto& path : parts_[static_cast<std::size_t>(s)]) {
+      SnapshotReader r(path, kShardStageSnapshotVersion);
+      const auto first = r.read_i64_array<V>();
+      const auto second = r.read_i64_array<V>();
+      const auto weight = r.read_i64_array<Weight>();
+      r.finish();
+      for (std::size_t i = 0; i < first.size(); ++i)
+        triples.push_back({first[i], second[i], weight[i]});
+      (void)std::remove(path.c_str());
+    }
+    parts_[static_cast<std::size_t>(s)].clear();
+    auto& st = stage_[static_cast<std::size_t>(s)];
+    for (std::size_t i = 0; i < st.first.size(); ++i)
+      triples.push_back({st.first[i], st.second[i], st.weight[i]});
+    Stage{}.first.swap(st.first);
+    Stage{}.second.swap(st.second);
+    Stage{}.weight.swap(st.weight);
+    if (static_cast<EdgeId>(triples.size()) != expect)
+      throw std::logic_error("shard staging does not match the counting pass");
+
+    parallel_sort(triples.begin(), triples.end(),
+                  [](const detail::HashedTriple<V>& a, const detail::HashedTriple<V>& b2) {
+                    return a.first != b2.first ? a.first < b2.first : a.second < b2.second;
+                  });
+
+    // Accumulate duplicates into run leaders (same pass as the builder).
+    const auto nt = static_cast<std::int64_t>(triples.size());
+    std::vector<std::int64_t> is_leader(static_cast<std::size_t>(nt), 0);
+    parallel_for(nt, [&](std::int64_t i) {
+      is_leader[static_cast<std::size_t>(i)] =
+          (i == 0 || triples[static_cast<std::size_t>(i)].first !=
+                         triples[static_cast<std::size_t>(i - 1)].first ||
+           triples[static_cast<std::size_t>(i)].second !=
+               triples[static_cast<std::size_t>(i - 1)].second)
+              ? 1
+              : 0;
+    });
+    std::vector<std::int64_t> leaders_before(is_leader);
+    const std::int64_t ne = exclusive_prefix_sum(std::span<std::int64_t>(leaders_before));
+
+    b.efirst.assign(static_cast<std::size_t>(ne), V{});
+    b.esecond.assign(static_cast<std::size_t>(ne), V{});
+    b.eweight.assign(static_cast<std::size_t>(ne), 0);
+    parallel_for(nt, [&](std::int64_t i) {
+      const auto& t = triples[static_cast<std::size_t>(i)];
+      const auto slot = static_cast<std::size_t>(
+          leaders_before[static_cast<std::size_t>(i)] + is_leader[static_cast<std::size_t>(i)] - 1);
+      if (is_leader[static_cast<std::size_t>(i)] != 0) {
+        b.efirst[slot] = t.first;
+        b.esecond[slot] = t.second;
+      }
+      std::atomic_ref<Weight>(b.eweight[slot]).fetch_add(t.w, std::memory_order_relaxed);
+    });
+    std::vector<detail::HashedTriple<V>>().swap(triples);
+
+    // Local buckets: edges sorted by first, so contiguous runs.
+    const auto owned = static_cast<std::int64_t>(b.hi - b.lo);
+    std::vector<EdgeId> bcounts(static_cast<std::size_t>(owned) + 1, 0);
+    parallel_for(ne, [&](std::int64_t e) {
+      const auto f = b.efirst[static_cast<std::size_t>(e)] - b.lo;
+      std::atomic_ref<EdgeId>(bcounts[static_cast<std::size_t>(f)])
+          .fetch_add(1, std::memory_order_relaxed);
+    });
+    (void)exclusive_prefix_sum(std::span<EdgeId>(bcounts));
+    b.bucket_begin.assign(bcounts.begin(), bcounts.end() - 1);
+    b.bucket_end.assign(static_cast<std::size_t>(owned), 0);
+    parallel_for(owned, [&](std::int64_t v) {
+      b.bucket_end[static_cast<std::size_t>(v)] = bcounts[static_cast<std::size_t>(v) + 1];
+    });
+
+    // Edge contributions to both endpoints' volumes (remote endpoints
+    // land in the shared array — exchange point 1 in a multi-node port).
+    parallel_for(ne, [&](std::int64_t e) {
+      const auto i = static_cast<std::size_t>(e);
+      std::atomic_ref<Weight>(graph_.volume[static_cast<std::size_t>(b.efirst[i])])
+          .fetch_add(b.eweight[i], std::memory_order_relaxed);
+      std::atomic_ref<Weight>(graph_.volume[static_cast<std::size_t>(b.esecond[i])])
+          .fetch_add(b.eweight[i], std::memory_order_relaxed);
+    });
+
+    b.ne = static_cast<EdgeId>(ne);
+    b.refresh_ghosts();
+    graph_.release(s);
+  }
+
+  V nv_ = 0;
+  int k_ = 1;
+  std::int64_t stage_budget_ = 0;
+  bool ranged_ = false;
+  ShardedGraph<V> graph_;
+  std::vector<EdgeId> counts_;
+  std::vector<EdgeId> cum_;
+  std::vector<V> cuts_;
+  std::vector<Stage> stage_;
+  std::vector<std::vector<std::string>> parts_;
+};
+
+/// Sharded counterpart of graph/builder.hpp's apply_delta: the same
+/// normalized span, classified and merged SHARD-LOCALLY.  Each delta's
+/// hashed-first endpoint names its owning shard, and normalization sorts
+/// by that endpoint, so a shard's work is one contiguous subrange —
+/// exactly the routing a multi-node port would ship.  Mutates the graph
+/// in place (blocks are leased, merged, and marked dirty so the next
+/// release rewrites their spill file); per-vertex volume updates for
+/// remote endpoints go to the shared arrays.  Category counts and the
+/// touched set match the unsharded oracle exactly.
+template <VertexId V>
+struct ShardedDeltaApplied {
+  DeltaApplyReport report;
+  std::vector<V> touched;
+};
+
+template <VertexId V>
+[[nodiscard]] ShardedDeltaApplied<V> apply_delta(ShardedGraph<V>& sg,
+                                                 std::span<const EdgeDelta<V>> deltas) {
+  const V nv = sg.nv;
+  const auto nvs = static_cast<std::size_t>(nv);
+  const auto nd = static_cast<std::int64_t>(deltas.size());
+
+  std::atomic<bool> bad_endpoint{false};
+  std::atomic<bool> bad_weight{false};
+  parallel_for(nd, [&](std::int64_t i) {
+    const auto& d = deltas[static_cast<std::size_t>(i)];
+    if (d.u < 0 || d.u >= nv || d.v < 0 || d.v >= nv)
+      bad_endpoint.store(true, std::memory_order_relaxed);
+    if (d.op != DeltaOp::kDelete && d.w <= 0)
+      bad_weight.store(true, std::memory_order_relaxed);
+  });
+  if (bad_endpoint.load()) throw std::invalid_argument("delta endpoint out of range");
+  if (bad_weight.load()) throw std::invalid_argument("delta weight must be positive");
+
+  ShardedDeltaApplied<V> out;
+  out.report.applied = nd;
+  std::vector<std::uint8_t> touched_flag(nvs, 0);
+
+  const auto self_deltas =
+      parallel_compact(deltas, [](const EdgeDelta<V>& d) { return d.u == d.v; });
+  const auto edge_deltas =
+      parallel_compact(deltas, [](const EdgeDelta<V>& d) { return d.u != d.v; });
+
+  // Self-loop deltas: per-vertex state, owner-indexed global arrays.
+  for (const auto& d : self_deltas) {
+    const auto vi = static_cast<std::size_t>(d.u);
+    const Weight old = sg.self_weight[vi];
+    Weight neww = old;
+    switch (d.op) {
+      case DeltaOp::kInsert: neww = old + d.w; break;
+      case DeltaOp::kDelete: neww = 0; break;
+      case DeltaOp::kReweight: neww = d.w; break;
+    }
+    if (d.op == DeltaOp::kDelete && old == 0) ++out.report.missing_deletes;
+    ++out.report.self_loop_updates;
+    const Weight dw = neww - old;
+    if (dw == 0) continue;
+    sg.self_weight[vi] = neww;
+    sg.volume[vi] += 2 * dw;
+    sg.total_weight += dw;
+    touched_flag[vi] = 1;
+    ++out.report.effective;
+  }
+
+  // Edge deltas: normalized order is (hashed-first, second), so each
+  // shard's slice is contiguous.  Every shard merges independently.
+  const auto ned = static_cast<std::int64_t>(edge_deltas.size());
+  const auto cmp_first = [](const EdgeDelta<V>& d, V f) { return d.u < f; };
+  for (int s = 0; s < sg.num_shards(); ++s) {
+    const V range_lo = sg.shards[static_cast<std::size_t>(s)].lo;
+    const V range_hi = sg.shards[static_cast<std::size_t>(s)].hi;
+    const auto* dbegin = std::lower_bound(edge_deltas.data(), edge_deltas.data() + ned,
+                                          range_lo, cmp_first);
+    const auto* dend = std::lower_bound(dbegin, edge_deltas.data() + ned, range_hi, cmp_first);
+    const auto slice = std::span<const EdgeDelta<V>>(dbegin, dend);
+    if (slice.empty()) continue;
+
+    BlockLease<V> lease(sg, s);
+    auto& b = lease.block();
+    const auto ns = static_cast<std::int64_t>(slice.size());
+
+    // Classify against the block's sorted buckets.  Kinds: 0 = in-place
+    // weight change, 1 = create, 2 = remove, 3 = no-op.
+    std::vector<std::uint8_t> kind(static_cast<std::size_t>(ns), 3);
+    std::vector<Weight> result_w(static_cast<std::size_t>(ns), 0);
+    std::vector<Weight> weight_dw(static_cast<std::size_t>(ns), 0);
+    parallel_for(ns, [&](std::int64_t i) {
+      const auto& d = slice[static_cast<std::size_t>(i)];
+      const auto [bb, be] = b.bucket(d.u);
+      const auto* blo = b.esecond.data() + bb;
+      const auto* bhi = b.esecond.data() + be;
+      const auto* it = std::lower_bound(blo, bhi, d.v);
+      const bool found = it != bhi && *it == d.v;
+      const auto idx = static_cast<std::size_t>(bb + (it - blo));
+      const auto ii = static_cast<std::size_t>(i);
+      switch (d.op) {
+        case DeltaOp::kInsert:
+          kind[ii] = found ? 0 : 1;
+          result_w[ii] = found ? b.eweight[idx] + d.w : d.w;
+          weight_dw[ii] = d.w;
+          break;
+        case DeltaOp::kDelete:
+          kind[ii] = found ? 2 : 3;
+          weight_dw[ii] = found ? -b.eweight[idx] : 0;
+          break;
+        case DeltaOp::kReweight:
+          if (found && b.eweight[idx] == d.w) {
+            kind[ii] = 3;
+          } else {
+            kind[ii] = found ? 0 : 1;
+            result_w[ii] = d.w;
+            weight_dw[ii] = found ? d.w - b.eweight[idx] : d.w;
+          }
+          break;
+      }
+    });
+
+    const auto count_kind = [&](DeltaOp op, std::uint8_t kk) {
+      return parallel_count(ns, [&](std::int64_t i) {
+        return slice[static_cast<std::size_t>(i)].op == op &&
+               kind[static_cast<std::size_t>(i)] == kk;
+      });
+    };
+    out.report.inserted += count_kind(DeltaOp::kInsert, 1);
+    out.report.strengthened += count_kind(DeltaOp::kInsert, 0);
+    out.report.deleted += count_kind(DeltaOp::kDelete, 2);
+    out.report.missing_deletes += count_kind(DeltaOp::kDelete, 3);
+    out.report.reweighted += count_kind(DeltaOp::kReweight, 0);
+    out.report.upserts += count_kind(DeltaOp::kReweight, 1);
+    out.report.effective += parallel_count(ns, [&](std::int64_t i) {
+      return kind[static_cast<std::size_t>(i)] != 3;
+    });
+
+    // New local bucket sizes -> cursors, then one merge pass per bucket.
+    const auto owned = static_cast<std::int64_t>(range_hi - range_lo);
+    std::vector<EdgeId> grow(static_cast<std::size_t>(owned), 0);
+    std::vector<EdgeId> shrink(static_cast<std::size_t>(owned), 0);
+    parallel_for(ns, [&](std::int64_t i) {
+      const auto ii = static_cast<std::size_t>(i);
+      const auto f = static_cast<std::size_t>(slice[ii].u - range_lo);
+      if (kind[ii] == 1)
+        std::atomic_ref<EdgeId>(grow[f]).fetch_add(1, std::memory_order_relaxed);
+      else if (kind[ii] == 2)
+        std::atomic_ref<EdgeId>(shrink[f]).fetch_add(1, std::memory_order_relaxed);
+    });
+    std::vector<EdgeId> cursors(static_cast<std::size_t>(owned) + 1, 0);
+    parallel_for(owned, [&](std::int64_t v) {
+      const auto vi = static_cast<std::size_t>(v);
+      cursors[vi] = b.bucket_end[vi] - b.bucket_begin[vi] + grow[vi] - shrink[vi];
+    });
+    const EdgeId ne_new = exclusive_prefix_sum(std::span<EdgeId>(cursors));
+
+    std::vector<EdgeId> new_begin(cursors.begin(), cursors.end() - 1);
+    std::vector<EdgeId> new_end(static_cast<std::size_t>(owned), 0);
+    parallel_for(owned, [&](std::int64_t v) {
+      new_end[static_cast<std::size_t>(v)] = cursors[static_cast<std::size_t>(v) + 1];
+    });
+    std::vector<V> new_first(static_cast<std::size_t>(ne_new), V{});
+    std::vector<V> new_second(static_cast<std::size_t>(ne_new), V{});
+    std::vector<Weight> new_weight(static_cast<std::size_t>(ne_new), 0);
+
+    parallel_for_dynamic(owned, [&](std::int64_t v) {
+      const auto vv = static_cast<V>(range_lo + static_cast<V>(v));
+      const auto vi = static_cast<std::size_t>(v);
+      EdgeId oi = b.bucket_begin[vi];
+      const EdgeId oe = b.bucket_end[vi];
+      const auto* dlo = std::lower_bound(slice.data(), slice.data() + ns, vv, cmp_first);
+      const auto* dhi =
+          std::lower_bound(dlo, slice.data() + ns, static_cast<V>(vv + 1), cmp_first);
+      EdgeId w = new_begin[vi];
+      const auto emit = [&](V second, Weight weight) {
+        const auto wi = static_cast<std::size_t>(w++);
+        new_first[wi] = vv;
+        new_second[wi] = second;
+        new_weight[wi] = weight;
+      };
+      auto di = dlo;
+      const auto delta_index = [&](const EdgeDelta<V>* d) {
+        return static_cast<std::size_t>(d - slice.data());
+      };
+      while (di != dhi && kind[delta_index(di)] == 3) ++di;
+      while (oi < oe || di != dhi) {
+        if (di == dhi) {
+          emit(b.esecond[static_cast<std::size_t>(oi)],
+               b.eweight[static_cast<std::size_t>(oi)]);
+          ++oi;
+          continue;
+        }
+        const auto ki = delta_index(di);
+        if (oi == oe || di->v < b.esecond[static_cast<std::size_t>(oi)]) {
+          assert(kind[ki] == 1 && "create delta matched an existing edge");
+          emit(di->v, result_w[ki]);
+        } else if (di->v == b.esecond[static_cast<std::size_t>(oi)]) {
+          if (kind[ki] == 0) emit(di->v, result_w[ki]);  // kind 2 drops the edge
+          ++oi;
+        } else {
+          emit(b.esecond[static_cast<std::size_t>(oi)],
+               b.eweight[static_cast<std::size_t>(oi)]);
+          ++oi;
+          continue;
+        }
+        ++di;
+        while (di != dhi && kind[delta_index(di)] == 3) ++di;
+      }
+      assert(w == new_end[vi] && "merged bucket size mismatch");
+    });
+
+    b.bucket_begin = std::move(new_begin);
+    b.bucket_end = std::move(new_end);
+    b.efirst = std::move(new_first);
+    b.esecond = std::move(new_second);
+    b.eweight = std::move(new_weight);
+    b.ne = ne_new;
+    b.refresh_ghosts();
+    b.spilled_valid = false;
+
+    // Incremental volume / total-weight / touched maintenance.
+    parallel_for(ns, [&](std::int64_t i) {
+      const auto ii = static_cast<std::size_t>(i);
+      const Weight dw = weight_dw[ii];
+      if (dw == 0) return;
+      const auto& d = slice[ii];
+      std::atomic_ref<Weight>(sg.volume[static_cast<std::size_t>(d.u)])
+          .fetch_add(dw, std::memory_order_relaxed);
+      std::atomic_ref<Weight>(sg.volume[static_cast<std::size_t>(d.v)])
+          .fetch_add(dw, std::memory_order_relaxed);
+      std::atomic_ref<std::uint8_t>(touched_flag[static_cast<std::size_t>(d.u)])
+          .store(1, std::memory_order_relaxed);
+      std::atomic_ref<std::uint8_t>(touched_flag[static_cast<std::size_t>(d.v)])
+          .store(1, std::memory_order_relaxed);
+    });
+    sg.total_weight += parallel_sum<Weight>(ns, [&](std::int64_t i) {
+      return weight_dw[static_cast<std::size_t>(i)];
+    });
+    lease.close();
+  }
+
+  std::vector<V> ids(nvs);
+  parallel_for(static_cast<std::int64_t>(nv), [&](std::int64_t v) {
+    ids[static_cast<std::size_t>(v)] = static_cast<V>(v);
+  });
+  out.touched = parallel_compact(std::span<const V>(ids), [&](V v) {
+    return touched_flag[static_cast<std::size_t>(v)] != 0;
+  });
+  return out;
+}
+
+/// Convenience overload for a raw (un-normalized) batch.
+template <VertexId V>
+[[nodiscard]] ShardedDeltaApplied<V> apply_delta(ShardedGraph<V>& sg,
+                                                 const DeltaBatch<V>& batch) {
+  const auto normalized = normalize_deltas(batch);
+  return apply_delta(sg, std::span<const EdgeDelta<V>>(normalized));
+}
+
+}  // namespace commdet

@@ -258,7 +258,11 @@ TEST(AlgoLouvain, RefineOffSkipsProvenanceTag) {
 TEST(AlgoLouvain, BaselineWrapperStillWorks) {
   const auto g = build_community_graph(make_caveman<V32>(8, 6));
   LouvainOptions opts;
+  // Deliberately pins the deprecated compatibility shim until removal.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const auto r = louvain_cluster(g, opts);
+#pragma GCC diagnostic pop
   EXPECT_GT(r.modularity, 0.5);
   EXPECT_GT(r.levels, 0);
   EXPECT_EQ(static_cast<std::int64_t>(r.community.size()),

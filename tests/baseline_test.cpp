@@ -4,7 +4,7 @@
 #include <span>
 
 #include "commdet/baseline/cnm.hpp"
-#include "commdet/baseline/louvain.hpp"
+#include "commdet/algo/louvain.hpp"
 #include "commdet/core/agglomerate.hpp"
 #include "commdet/core/metrics.hpp"
 #include "commdet/gen/planted_partition.hpp"
@@ -63,11 +63,13 @@ TEST(Cnm, EmptyAndTrivialGraphs) {
 
 TEST(Louvain, CavemanGraphFindsCaves) {
   const auto g = build_community_graph(make_caveman<V32>(6, 6));
-  const auto r = louvain_cluster(g);
+  PlmOptions plm;
+  plm.refine = false;
+  const auto r = parallel_louvain(g, plm);
   EXPECT_EQ(r.num_communities, 6);
-  EXPECT_GT(r.modularity, 0.7);
+  EXPECT_GT(r.final_modularity, 0.7);
   const auto q = evaluate_partition(g, std::span<const V32>(r.community.data(), r.community.size()));
-  EXPECT_NEAR(q.modularity, r.modularity, 1e-9);
+  EXPECT_NEAR(q.modularity, r.final_modularity, 1e-9);
 }
 
 TEST(Louvain, RecoversPlantedPartitionWell) {
@@ -77,7 +79,9 @@ TEST(Louvain, RecoversPlantedPartitionWell) {
   p.internal_degree = 16;
   p.external_degree = 2;
   const auto g = build_community_graph(generate_planted_partition<V32>(p));
-  const auto r = louvain_cluster(g);
+  PlmOptions plm;
+  plm.refine = false;
+  const auto r = parallel_louvain(g, plm);
   std::vector<std::int64_t> truth(static_cast<std::size_t>(p.num_vertices));
   for (std::int64_t v = 0; v < p.num_vertices; ++v)
     truth[static_cast<std::size_t>(v)] = planted_block_of(p, v);
@@ -90,7 +94,9 @@ TEST(Louvain, RecoversPlantedPartitionWell) {
 TEST(Louvain, NoStructureMeansFewMoves) {
   // A single clique is one community at the optimum.
   const auto g = build_community_graph(make_clique<V32>(12));
-  const auto r = louvain_cluster(g);
+  PlmOptions plm;
+  plm.refine = false;
+  const auto r = parallel_louvain(g, plm);
   EXPECT_EQ(r.num_communities, 1);
 }
 
@@ -107,12 +113,14 @@ TEST(Baselines, QualityComparableToParallelAlgorithm) {
 
   const auto parallel = agglomerate(g, ModularityScorer{});
   const auto cnm = cnm_cluster(g);
-  const auto louvain = louvain_cluster(g);
+  PlmOptions plm;
+  plm.refine = false;
+  const auto louvain = parallel_louvain(g, plm);
 
-  EXPECT_GT(parallel.final_modularity, 0.5 * louvain.modularity);
+  EXPECT_GT(parallel.final_modularity, 0.5 * louvain.final_modularity);
   EXPECT_GT(parallel.final_modularity, 0.5 * cnm.modularity);
   EXPECT_GT(cnm.modularity, 0.0);
-  EXPECT_GT(louvain.modularity, 0.0);
+  EXPECT_GT(louvain.final_modularity, 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,473 @@
+// Tests for the sharded graph subsystem (src/commdet/shard/): partition
+// invariants, boundary-edge accounting, bit-parity of the sharded
+// kernels with the unsharded oracles, spill round-trips, fault
+// containment, dynamic routing, and plan/facade wiring.
+//
+// Compiled with COMMDET_FAULT_INJECTION=1 so the spill-read fault site
+// (io.snapshot.read) is live for the containment tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <numeric>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "commdet/core/detect.hpp"
+#include "commdet/core/metrics.hpp"
+#include "commdet/dyn/dynamic_communities.hpp"
+#include "commdet/gen/planted_partition.hpp"
+#include "commdet/gen/rmat.hpp"
+#include "commdet/gen/simple_graphs.hpp"
+#include "commdet/graph/builder.hpp"
+#include "commdet/obs/metrics.hpp"
+#include "commdet/robust/fault_injection.hpp"
+#include "commdet/shard/shard_contract.hpp"
+#include "commdet/shard/shard_dyn.hpp"
+#include "commdet/shard/shard_match.hpp"
+#include "commdet/shard/shard_score.hpp"
+#include "commdet/shard/sharded_graph.hpp"
+
+namespace commdet {
+namespace {
+
+using V32 = std::int32_t;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+CommunityGraph<V32> rmat_graph(int scale, int ef = 8, std::uint64_t seed = 7) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = ef;
+  p.seed = seed;
+  return build_community_graph(generate_rmat<V32>(p));
+}
+
+CommunityGraph<V32> sbm_graph() {
+  PlantedPartitionParams p;
+  p.num_vertices = 1 << 15;
+  p.num_blocks = 64;
+  p.internal_degree = 12.0;
+  p.external_degree = 3.0;
+  p.seed = 11;
+  return build_community_graph(generate_planted_partition<V32>(p));
+}
+
+void expect_same_graph(const CommunityGraph<V32>& a, const CommunityGraph<V32>& b) {
+  ASSERT_EQ(a.nv, b.nv);
+  EXPECT_EQ(a.total_weight, b.total_weight);
+  EXPECT_EQ(a.bucket_begin, b.bucket_begin);
+  EXPECT_EQ(a.bucket_end, b.bucket_end);
+  EXPECT_EQ(a.efirst, b.efirst);
+  EXPECT_EQ(a.esecond, b.esecond);
+  EXPECT_EQ(a.eweight, b.eweight);
+  EXPECT_EQ(a.self_weight, b.self_weight);
+  EXPECT_EQ(a.volume, b.volume);
+}
+
+// ---------------------------------------------------------------------------
+// Partition invariants and boundary-edge accounting
+
+TEST(ShardPartition, InvariantsAndGhosts) {
+  const auto g = rmat_graph(10);
+  for (int k : {1, 3, 8}) {
+    auto sg = partition_graph(g, k);
+    ASSERT_EQ(sg.num_shards(), std::min<std::int64_t>(k, g.nv));
+    EXPECT_EQ(sg.nv, g.nv);
+    EXPECT_EQ(sg.total_weight, g.total_weight);
+    EXPECT_EQ(sg.num_edges(), g.num_edges());
+
+    // Contiguous, non-overlapping, covering ownership.
+    V32 expect_lo = 0;
+    for (int s = 0; s < sg.num_shards(); ++s) {
+      const auto& b = sg.shards[static_cast<std::size_t>(s)];
+      EXPECT_EQ(b.lo, expect_lo);
+      EXPECT_GE(b.hi, b.lo);
+      expect_lo = b.hi;
+      // Every edge's first endpoint is owned; ghosts are exactly the
+      // remote second endpoints, sorted and unique.
+      std::vector<V32> remote;
+      for (EdgeId e = 0; e < b.num_edges(); ++e) {
+        const auto i = static_cast<std::size_t>(e);
+        EXPECT_GE(b.efirst[i], b.lo);
+        EXPECT_LT(b.efirst[i], b.hi);
+        const V32 sec = b.esecond[i];
+        if (sec < b.lo || sec >= b.hi) remote.push_back(sec);
+        EXPECT_EQ(sg.owner_of(b.efirst[i]), s);
+      }
+      std::sort(remote.begin(), remote.end());
+      remote.erase(std::unique(remote.begin(), remote.end()), remote.end());
+      EXPECT_EQ(b.ghosts, remote);
+    }
+    EXPECT_EQ(expect_lo, static_cast<V32>(g.nv));
+  }
+}
+
+TEST(ShardPartition, AssembleRoundTrip) {
+  const auto g = rmat_graph(10);
+  for (int k : {1, 3, 8}) {
+    auto sg = partition_graph(g, k);
+    expect_same_graph(sg.assemble(), g);
+  }
+}
+
+// Property: every cut edge's weight is counted exactly once across
+// shards — block weights plus self-loops reconstruct the total, and
+// per-vertex volumes derived from the blocks match the oracle.
+TEST(ShardPartition, CutEdgeWeightCountedOnce) {
+  const auto g = rmat_graph(10);
+  for (int k : {2, 5, 8}) {
+    auto sg = partition_graph(g, k);
+    Weight edge_weight = 0;
+    std::vector<Weight> vol(static_cast<std::size_t>(g.nv), 0);
+    for (int s = 0; s < sg.num_shards(); ++s) {
+      BlockLease<V32> lease(sg, s);
+      const auto& b = lease.block();
+      for (EdgeId e = 0; e < b.num_edges(); ++e) {
+        const auto i = static_cast<std::size_t>(e);
+        edge_weight += b.eweight[i];
+        vol[static_cast<std::size_t>(b.efirst[i])] += b.eweight[i];
+        vol[static_cast<std::size_t>(b.esecond[i])] += b.eweight[i];
+      }
+      lease.close();
+    }
+    Weight self = 0;
+    for (std::int64_t v = 0; v < g.nv; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      self += g.self_weight[vi];
+      vol[vi] += 2 * g.self_weight[vi];
+    }
+    EXPECT_EQ(edge_weight + self, g.total_weight);
+    EXPECT_EQ(vol, g.volume);
+
+    // Modularity over the sharded arrays equals the unsharded value
+    // bit for bit (same expression over the same doubles).
+    std::vector<V32> singletons(static_cast<std::size_t>(g.nv));
+    std::iota(singletons.begin(), singletons.end(), 0);
+    const auto oracle = evaluate_partition(
+        g, std::span<const V32>(singletons.data(), singletons.size()));
+    const auto [q, cov] = sharded_labeling_quality(
+        sg, std::span<const V32>(singletons.data(), singletons.size()), g.nv);
+    EXPECT_DOUBLE_EQ(q, oracle.modularity);
+    EXPECT_DOUBLE_EQ(cov, oracle.coverage);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+
+TEST(ShardBuilder, MatchesUnshardedBuild) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = 21;
+  const auto edges = generate_rmat<V32>(p);
+  const auto g = build_community_graph(edges);
+
+  ShardedGraphBuilder<V32> b(g.nv, 4, ShardSpill{});
+  b.count_edges(std::span<const RawEdge<V32>>(edges.edges));
+  b.finalize_ranges();
+  const std::size_t chunk = 777;  // deliberately unaligned
+  for (std::size_t i = 0; i < edges.edges.size(); i += chunk)
+    b.add_edges(std::span<const RawEdge<V32>>(
+        edges.edges.data() + i, std::min(chunk, edges.edges.size() - i)));
+  auto sg = b.finalize();
+  expect_same_graph(sg.assemble(), g);
+}
+
+TEST(ShardBuilder, SpillRoundTrip) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = 22;
+  const auto edges = generate_rmat<V32>(p);
+  const auto g = build_community_graph(edges);
+  const std::string dir = fresh_dir("shard_builder_spill");
+
+  obs::MetricsRegistry reg;
+  {
+    obs::MetricsSession session(reg);
+    ShardedGraphBuilder<V32> b(g.nv, 3, ShardSpill{true, dir});
+    b.count_edges(std::span<const RawEdge<V32>>(edges.edges));
+    b.finalize_ranges();
+    const std::size_t chunk = 4096;
+    for (std::size_t i = 0; i < edges.edges.size(); i += chunk)
+      b.add_edges(std::span<const RawEdge<V32>>(
+          edges.edges.data() + i, std::min(chunk, edges.edges.size() - i)));
+    auto sg = b.finalize();
+    expect_same_graph(sg.assemble(), g);
+  }
+  EXPECT_GT(reg.counter("shard.spill.writes").value(), 0);
+  EXPECT_GT(reg.counter("shard.spill.reads").value(), 0);
+  // Spill files are removed with the graph.
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+}
+
+// ---------------------------------------------------------------------------
+// Kernel bit-parity with the unsharded oracles
+
+TEST(ShardScore, SummaryMatchesUnsharded) {
+  const auto g = rmat_graph(10);
+  std::vector<Score> scores;
+  const auto oracle = score_edges(g, ModularityScorer{}, scores);
+  for (int k : {1, 4}) {
+    auto sg = partition_graph(g, k);
+    const auto summary = sharded_score_summary(sg, ModularityScorer{});
+    EXPECT_EQ(summary.positive_edges, oracle.positive_edges);
+    EXPECT_DOUBLE_EQ(summary.max_score, oracle.max_score);
+  }
+}
+
+TEST(ShardMatch, ParityWithEdgeSweep) {
+  const auto g = rmat_graph(10);
+  std::vector<Score> scores;
+  (void)score_edges(g, ModularityScorer{}, scores);
+  EdgeSweepMatcher<V32> matcher;
+  const auto oracle =
+      matcher.match(g, scores);
+  for (int k : {1, 2, 8}) {
+    auto sg = partition_graph(g, k);
+    const auto m = sharded_match(sg, ModularityScorer{});
+    EXPECT_EQ(m.mate, oracle.mate) << "shard count " << k;
+    EXPECT_EQ(m.num_pairs, oracle.num_pairs);
+  }
+}
+
+TEST(ShardContract, BitParityWithBucketSort) {
+  const auto g = rmat_graph(10);
+  std::vector<Score> scores;
+  (void)score_edges(g, ModularityScorer{}, scores);
+  EdgeSweepMatcher<V32> matcher;
+  const auto m =
+      matcher.match(g, scores);
+
+  BucketSortContractor<V32> contractor;
+  CommunityGraph<V32> g_copy(g);
+  const auto oracle = contractor.contract(g_copy, m);
+
+  for (int k : {1, 3, 8}) {
+    auto sg = partition_graph(g, k);
+    auto contracted = contract_sharded(sg, m);
+    EXPECT_EQ(contracted.new_label, oracle.new_label);
+    expect_same_graph(contracted.graph.assemble(), oracle.graph);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Detection parity (satellite 1: quality-parity guard)
+
+TEST(ShardDetect, K1BitIdenticalToUnsharded) {
+  const auto g = rmat_graph(12);
+  DetectOptions uopts;
+  uopts.agglomeration.min_coverage = 0.5;
+  uopts.agglomeration.matcher = MatcherKind::kEdgeSweep;
+  const auto ref = detect_communities(g, uopts);
+
+  DetectOptions sopts;
+  sopts.agglomeration.min_coverage = 0.5;
+  const auto r = detect_communities_sharded(partition_graph(g, 1), sopts);
+  EXPECT_EQ(r.community, ref.community);
+  EXPECT_EQ(r.num_communities, ref.num_communities);
+  EXPECT_EQ(r.reason, ref.reason);
+  EXPECT_EQ(r.num_levels(), ref.num_levels());
+  EXPECT_DOUBLE_EQ(r.final_modularity, ref.final_modularity);
+  ASSERT_TRUE(r.algorithm.has_value());
+  EXPECT_EQ(r.algorithm->name, "agglo-sharded");
+}
+
+TEST(ShardDetect, QualityParityAcrossK) {
+  // Scale-15 R-MAT and an SBM: every K gives the same labels (the
+  // sharded path is deterministic in K), and modularity stays within 5%
+  // of the unsharded default plan — the ISSUE's quality-parity bound.
+  for (const bool sbm : {false, true}) {
+    const auto g = sbm ? sbm_graph() : rmat_graph(15);
+    DetectOptions opts;
+    opts.agglomeration.min_coverage = 0.5;
+    const auto unsharded = detect_communities(g, opts);
+
+    std::vector<V32> first_labels;
+    for (int k : {1, 2, 8}) {
+      const auto r = detect_communities_sharded(partition_graph(g, k), opts);
+      if (first_labels.empty()) first_labels = r.community;
+      EXPECT_EQ(r.community, first_labels) << "K=" << k << " diverged";
+      EXPECT_GE(r.final_modularity, 0.95 * unsharded.final_modularity)
+          << (sbm ? "sbm" : "rmat") << " K=" << k << ": sharded "
+          << r.final_modularity << " vs unsharded " << unsharded.final_modularity;
+    }
+  }
+}
+
+TEST(ShardDetect, SpillBitIdentical) {
+  const auto g = rmat_graph(12);
+  DetectOptions opts;
+  opts.agglomeration.min_coverage = 0.5;
+  const auto in_core = detect_communities_sharded(partition_graph(g, 4), opts);
+
+  const std::string dir = fresh_dir("shard_detect_spill");
+  obs::MetricsRegistry reg;
+  Clustering<V32> spilled;
+  {
+    obs::MetricsSession session(reg);
+    spilled = detect_communities_sharded(
+        partition_graph(g, 4, ShardSpill{true, dir}), opts);
+  }
+  EXPECT_EQ(spilled.community, in_core.community);
+  EXPECT_DOUBLE_EQ(spilled.final_modularity, in_core.final_modularity);
+  EXPECT_GT(reg.counter("shard.spill.writes").value(), 0);
+  EXPECT_GT(reg.counter("shard.spill.reads").value(), 0);
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+}
+
+// Satellite 3: a spill-file read failure is contained — the driver
+// degrades to the best clustering so far with a structured error, and
+// never returns torn data.
+TEST(ShardDetect, SpillReadFaultContained) {
+  const auto g = rmat_graph(12);
+  const std::string dir = fresh_dir("shard_fault_spill");
+  DetectOptions opts;
+  opts.agglomeration.min_coverage = 0.5;
+
+  // The first few snapshot reads happen during detection; failing one
+  // mid-run must degrade, not throw or corrupt.
+  fault::ScopedFault guard(fault::kSnapshotRead, 3);
+  const auto r = detect_communities_sharded(
+      partition_graph(g, 4, ShardSpill{true, dir}), opts);
+  ASSERT_TRUE(is_degraded(r.reason));
+  ASSERT_TRUE(r.error.has_value());
+  EXPECT_EQ(r.error->code, ErrorCode::kInjectedFault);
+  // The best-so-far labels are a valid dense partition of the graph.
+  ASSERT_EQ(static_cast<std::int64_t>(r.community.size()), g.nv);
+  for (const V32 c : r.community) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, static_cast<V32>(g.nv));
+  }
+}
+
+TEST(ShardDetect, RejectsUnsupportedOptions) {
+  const auto g = rmat_graph(8);
+  DetectOptions size_capped;
+  size_capped.agglomeration.min_coverage = 0.5;
+  size_capped.agglomeration.max_community_size = 64;
+  EXPECT_THROW((void)detect_communities_sharded(partition_graph(g, 2), size_capped),
+               std::invalid_argument);
+
+  DetectOptions checkpointed;
+  checkpointed.agglomeration.min_coverage = 0.5;
+  checkpointed.agglomeration.checkpoint.directory = fresh_dir("shard_ckpt_reject");
+  EXPECT_THROW((void)detect_communities_sharded(partition_graph(g, 2), checkpointed),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Plan wiring
+
+TEST(ShardPlan, FromNameAndDispatch) {
+  const auto p = DetectPlan::FromName("agglo-sharded");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->algorithm(), AlgorithmKind::kAggloSharded);
+  EXPECT_EQ(p->name(), "agglo-sharded");
+  EXPECT_EQ(p->shard().shards, 4);
+  EXPECT_FALSE(p->shard().spill);
+  EXPECT_EQ(p->metric_token(), "agglo_sharded");
+
+  const auto g = rmat_graph(10);
+  DetectOptions opts;
+  opts.agglomeration.min_coverage = 0.5;
+  opts.agglomeration.matcher = MatcherKind::kEdgeSweep;
+  const auto ref = detect_communities(g, opts);
+
+  ShardOptions sh;
+  sh.shards = 2;
+  const auto r = detect_communities(g, DetectPlan::AggloSharded(sh), opts);
+  EXPECT_EQ(r.community, ref.community);
+  ASSERT_TRUE(r.algorithm.has_value());
+  EXPECT_EQ(r.algorithm->name, "agglo-sharded");
+}
+
+// ---------------------------------------------------------------------------
+// Delta routing (dyn/ deltas stay shard-local)
+
+TEST(ShardDelta, RoutingMatchesUnsharded) {
+  const auto g = rmat_graph(10);
+  DeltaBatch<V32> batch;
+  for (int i = 0; i < 300; ++i)
+    batch.insert(static_cast<V32>((i * 37) % g.nv), static_cast<V32>((i * 53 + 1) % g.nv),
+                 1 + i % 3);
+  for (int i = 0; i < 80; ++i)
+    batch.erase(static_cast<V32>((i * 11) % g.nv), static_cast<V32>((i * 13 + 2) % g.nv));
+  for (int i = 0; i < 40; ++i)
+    batch.reweight(static_cast<V32>((i * 7) % g.nv), static_cast<V32>((i * 29 + 3) % g.nv),
+                   5);
+  const auto normalized = normalize_deltas(batch);
+
+  CommunityGraph<V32> oracle_graph(g);
+  const auto oracle =
+      apply_delta(oracle_graph, std::span<const EdgeDelta<V32>>(normalized));
+
+  for (int k : {1, 3}) {
+    auto sg = partition_graph(g, k);
+    const auto applied = apply_delta(sg, std::span<const EdgeDelta<V32>>(normalized));
+    EXPECT_EQ(applied.report.inserted, oracle.report.inserted);
+    EXPECT_EQ(applied.report.strengthened, oracle.report.strengthened);
+    EXPECT_EQ(applied.report.deleted, oracle.report.deleted);
+    EXPECT_EQ(applied.report.missing_deletes, oracle.report.missing_deletes);
+    EXPECT_EQ(applied.report.reweighted, oracle.report.reweighted);
+    EXPECT_EQ(applied.report.effective, oracle.report.effective);
+    EXPECT_EQ(applied.touched, oracle.touched);
+    expect_same_graph(sg.assemble(), oracle.graph);
+  }
+
+  // Spilled blocks are re-written dirty and survive the round trip.
+  const std::string dir = fresh_dir("shard_delta_spill");
+  auto sg = partition_graph(g, 3, ShardSpill{true, dir});
+  const auto applied = apply_delta(sg, std::span<const EdgeDelta<V32>>(normalized));
+  EXPECT_EQ(applied.report.effective, oracle.report.effective);
+  expect_same_graph(sg.assemble(), oracle.graph);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded dynamic facade
+
+TEST(ShardDyn, ApplyBatchQuality) {
+  const auto g = rmat_graph(10);
+  ShardedDynamicOptions opts;
+  opts.detect.agglomeration.min_coverage = 0.5;
+  ShardedCommunities<V32> dyn(partition_graph(g, 3), opts);
+  const double q0 = dyn.clustering().final_modularity;
+  EXPECT_GT(dyn.num_communities(), 0);
+
+  DeltaBatch<V32> batch;
+  for (int i = 0; i < 200; ++i)
+    batch.insert(static_cast<V32>((i * 3) % g.nv), static_cast<V32>((i * 7 + 1) % g.nv), 2);
+  const auto row = dyn.apply_batch(batch);
+  ASSERT_TRUE(row.has_value()) << row.error().message();
+  EXPECT_GT(row->touched, 0);
+  EXPECT_GE(row->dirty, row->touched);
+  EXPECT_GT(row->num_communities, 0);
+  // The kept-prior guard bounds the committed quality from below by the
+  // prior labeling's score on the mutated graph.
+  auto labels = dyn.clustering().community;
+  auto& sg = dyn.graph();
+  const auto quality = sharded_labeling_quality(
+      sg, std::span<const V32>(labels.data(), labels.size()), dyn.num_communities());
+  EXPECT_NEAR(quality.first, row->modularity, 1e-9);
+  EXPECT_GT(row->modularity, 0.5 * q0);
+
+  // A no-op batch keeps the clustering bit-for-bit.
+  DeltaBatch<V32> noop;
+  const auto row2 = dyn.apply_batch(noop);
+  ASSERT_TRUE(row2.has_value());
+  EXPECT_EQ(row2->touched, 0);
+  EXPECT_EQ(dyn.clustering().community, labels);
+}
+
+}  // namespace
+}  // namespace commdet
